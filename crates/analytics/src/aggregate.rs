@@ -1,0 +1,148 @@
+//! Time-bucketed aggregation of resolved mentions.
+
+use std::collections::BTreeMap;
+
+/// Per-bucket counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BucketStats {
+    /// Mentions of the tracked entity in this bucket.
+    pub mentions: usize,
+    /// Positive-sentiment mentions.
+    pub positive: usize,
+    /// Negative-sentiment mentions.
+    pub negative: usize,
+}
+
+impl BucketStats {
+    /// Net sentiment in `[-1, 1]` (0 when no opinionated mentions).
+    pub fn net_sentiment(&self) -> f64 {
+        let opinions = self.positive + self.negative;
+        if opinions == 0 {
+            0.0
+        } else {
+            (self.positive as f64 - self.negative as f64) / opinions as f64
+        }
+    }
+}
+
+/// A time series of bucket stats (key = bucket index, e.g. week).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeries {
+    /// bucket → stats, ordered.
+    pub buckets: BTreeMap<u32, BucketStats>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one mention with its sentiment.
+    pub fn record(&mut self, bucket: u32, sentiment: i8) {
+        let b = self.buckets.entry(bucket).or_default();
+        b.mentions += 1;
+        match sentiment.signum() {
+            1 => b.positive += 1,
+            -1 => b.negative += 1,
+            _ => {}
+        }
+    }
+
+    /// Merges another series into this one (used by the parallel
+    /// executor; merge is commutative and associative).
+    pub fn merge(&mut self, other: &TimeSeries) {
+        for (&bucket, stats) in &other.buckets {
+            let b = self.buckets.entry(bucket).or_default();
+            b.mentions += stats.mentions;
+            b.positive += stats.positive;
+            b.negative += stats.negative;
+        }
+    }
+
+    /// Total mentions across buckets.
+    pub fn total_mentions(&self) -> usize {
+        self.buckets.values().map(|b| b.mentions).sum()
+    }
+
+    /// Least-squares slope of mentions over buckets (trend direction).
+    pub fn trend_slope(&self) -> f64 {
+        let n = self.buckets.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = self.buckets.keys().map(|&k| k as f64).collect();
+        let ys: Vec<f64> = self.buckets.values().map(|b| b.mentions as f64).collect();
+        let mean_x = xs.iter().sum::<f64>() / n as f64;
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+        let var: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+        if var == 0.0 {
+            0.0
+        } else {
+            cov / var
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut ts = TimeSeries::new();
+        ts.record(0, 1);
+        ts.record(0, -1);
+        ts.record(1, 0);
+        assert_eq!(ts.total_mentions(), 3);
+        assert_eq!(ts.buckets[&0].positive, 1);
+        assert_eq!(ts.buckets[&0].negative, 1);
+        assert_eq!(ts.buckets[&1].mentions, 1);
+    }
+
+    #[test]
+    fn net_sentiment_normalizes() {
+        let mut ts = TimeSeries::new();
+        ts.record(0, 1);
+        ts.record(0, 1);
+        ts.record(0, -1);
+        ts.record(0, 0);
+        let b = ts.buckets[&0];
+        assert!((b.net_sentiment() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(BucketStats::default().net_sentiment(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = TimeSeries::new();
+        a.record(0, 1);
+        a.record(2, -1);
+        let mut b = TimeSeries::new();
+        b.record(0, -1);
+        b.record(1, 1);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_mentions(), 4);
+    }
+
+    #[test]
+    fn trend_slope_detects_ramps() {
+        let mut flat = TimeSeries::new();
+        let mut rising = TimeSeries::new();
+        for week in 0..8u32 {
+            for _ in 0..5 {
+                flat.record(week, 0);
+            }
+            for _ in 0..week {
+                rising.record(week, 0);
+            }
+        }
+        assert!(flat.trend_slope().abs() < 1e-9);
+        assert!(rising.trend_slope() > 0.5);
+        assert_eq!(TimeSeries::new().trend_slope(), 0.0);
+    }
+}

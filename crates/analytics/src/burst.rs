@@ -1,0 +1,136 @@
+//! Burst detection over mention time series: flagging buckets whose
+//! volume spikes above the trailing baseline — the "what happened this
+//! week?" primitive of entity-centric stream monitoring.
+
+use crate::aggregate::TimeSeries;
+
+/// A detected burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// The bursting bucket.
+    pub bucket: u32,
+    /// Observed mentions.
+    pub mentions: usize,
+    /// Trailing-baseline mean the bucket was compared against.
+    pub baseline: f64,
+    /// Z-score against the trailing window.
+    pub z_score: f64,
+}
+
+/// Detection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstConfig {
+    /// Trailing window length (buckets) forming the baseline.
+    pub window: usize,
+    /// Minimum z-score to flag a burst.
+    pub min_z: f64,
+    /// Minimum absolute mentions (suppresses bursts over near-zero
+    /// baselines).
+    pub min_mentions: usize,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        Self { window: 4, min_z: 2.0, min_mentions: 5 }
+    }
+}
+
+/// Detects bursts in a series. Buckets with fewer than two trailing
+/// observations are never flagged (no baseline to compare against).
+/// Missing buckets inside the observed range count as zero.
+pub fn detect_bursts(series: &TimeSeries, cfg: &BurstConfig) -> Vec<Burst> {
+    let Some((&first, _)) = series.buckets.first_key_value() else {
+        return Vec::new();
+    };
+    let Some((&last, _)) = series.buckets.last_key_value() else {
+        return Vec::new();
+    };
+    let counts: Vec<(u32, usize)> = (first..=last)
+        .map(|b| (b, series.buckets.get(&b).map_or(0, |s| s.mentions)))
+        .collect();
+    let mut bursts = Vec::new();
+    for (i, &(bucket, mentions)) in counts.iter().enumerate() {
+        if i < 2 {
+            continue;
+        }
+        let lo = i.saturating_sub(cfg.window.max(1));
+        let window: Vec<f64> = counts[lo..i].iter().map(|&(_, m)| m as f64).collect();
+        let mean = window.iter().sum::<f64>() / window.len() as f64;
+        let var = window.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / window.len() as f64;
+        // Poisson-style floor keeps the z-score finite on flat windows.
+        let std = var.sqrt().max(mean.sqrt()).max(1.0);
+        let z = (mentions as f64 - mean) / std;
+        if z >= cfg.min_z && mentions >= cfg.min_mentions {
+            bursts.push(Burst { bucket, mentions, baseline: mean, z_score: z });
+        }
+    }
+    bursts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(counts: &[usize]) -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for (week, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                ts.record(week as u32, 0);
+            }
+        }
+        ts
+    }
+
+    #[test]
+    fn flat_series_has_no_bursts() {
+        let ts = series(&[10, 10, 10, 10, 10, 10]);
+        assert!(detect_bursts(&ts, &BurstConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn spike_is_detected_with_correct_bucket() {
+        let ts = series(&[10, 10, 10, 10, 60, 10]);
+        let bursts = detect_bursts(&ts, &BurstConfig::default());
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].bucket, 4);
+        assert_eq!(bursts[0].mentions, 60);
+        assert!(bursts[0].z_score > 2.0);
+        assert!((bursts[0].baseline - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradual_ramp_is_not_a_burst() {
+        let ts = series(&[10, 12, 14, 16, 18, 20, 22]);
+        assert!(detect_bursts(&ts, &BurstConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn small_spikes_below_min_mentions_are_suppressed() {
+        let ts = series(&[1, 1, 1, 1, 9, 1]);
+        let cfg = BurstConfig { min_mentions: 10, ..Default::default() };
+        assert!(detect_bursts(&ts, &cfg).is_empty());
+        let lax = BurstConfig { min_mentions: 1, ..Default::default() };
+        assert_eq!(detect_bursts(&ts, &lax).len(), 1);
+        assert_eq!(detect_bursts(&ts, &lax)[0].bucket, 4);
+    }
+
+    #[test]
+    fn missing_buckets_count_as_zero_baseline() {
+        let mut ts = TimeSeries::new();
+        for _ in 0..8 {
+            ts.record(0, 0);
+        }
+        for _ in 0..40 {
+            ts.record(6, 0);
+        }
+        // Weeks 1..5 are silent; week 6 explodes.
+        let bursts = detect_bursts(&ts, &BurstConfig::default());
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].bucket, 6);
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(detect_bursts(&TimeSeries::new(), &BurstConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Parallel stream aggregation: a worker pool over post chunks with
+//! commutative merge — the map-reduce shape of big-data analytics on a
+//! single machine.
+
+use std::collections::HashMap;
+
+use kb_store::TermId;
+
+use crate::aggregate::TimeSeries;
+use crate::stream::StreamPost;
+use crate::track::Tracker;
+
+/// Aggregates a stream with `workers` threads. Results are identical to
+/// the serial [`Tracker::aggregate`] because per-entity series merge
+/// commutatively.
+pub fn aggregate_parallel(
+    tracker: &Tracker<'_, '_>,
+    kb: &kb_store::KnowledgeBase,
+    posts: &[StreamPost],
+    workers: usize,
+) -> HashMap<TermId, TimeSeries> {
+    let workers = workers.max(1);
+    if workers == 1 || posts.len() < 2 {
+        return tracker.aggregate(kb, posts);
+    }
+    let chunk_size = posts.len().div_ceil(workers);
+    let partials: Vec<HashMap<TermId, TimeSeries>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = posts
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move |_| tracker.aggregate(kb, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analytics worker panicked"))
+            .collect()
+    })
+    .expect("scope failed");
+    let mut merged: HashMap<TermId, TimeSeries> = tracker
+        .tracked
+        .iter()
+        .map(|&e| (e, TimeSeries::new()))
+        .collect();
+    for partial in partials {
+        for (entity, series) in partial {
+            merged.entry(entity).or_default().merge(&series);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kb_ned::Ned;
+    use kb_store::KnowledgeBase;
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mut kb = KnowledgeBase::new();
+        let strato = kb.intern("Strato_3");
+        let en = kb.labels.lang("en");
+        kb.labels.add(strato, en, "Strato 3");
+        let mut ned = Ned::new(&kb);
+        ned.add_anchor("Strato 3", strato);
+        ned.finalize();
+        let tracker = Tracker::new(&ned, vec![strato]);
+        let posts: Vec<StreamPost> = (0..40)
+            .map(|i| {
+                StreamPost::new(
+                    i % 14,
+                    if i % 3 == 0 {
+                        "the Strato 3 is great"
+                    } else {
+                        "the Strato 3 is terrible"
+                    },
+                )
+            })
+            .collect();
+        let serial = tracker.aggregate(&kb, &posts);
+        for w in [2, 4, 7] {
+            let parallel = aggregate_parallel(&tracker, &kb, &posts, w);
+            assert_eq!(serial, parallel, "workers = {w}");
+        }
+    }
+
+    #[test]
+    fn single_worker_short_circuits() {
+        let kb = KnowledgeBase::new();
+        let mut ned = Ned::new(&kb);
+        ned.finalize();
+        let tracker = Tracker::new(&ned, vec![]);
+        let out = aggregate_parallel(&tracker, &kb, &[], 8);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! # kb-analytics
+//!
+//! Entity-centric analytics over text streams — the tutorial's §4
+//! motivating example: "track and compare two entities in social media
+//! over an extended timespan (e.g., the Apple iPhone vs. Samsung Galaxy
+//! families)".
+//!
+//! The pipeline: each post is scanned for entity mentions
+//! ([`kb_ned::detect_mentions`]), mentions are disambiguated against
+//! the KB, resolved mentions of *tracked* entities are bucketed by time
+//! and scored for sentiment, and a [`ComparisonReport`](report) renders
+//! the volume/sentiment series side by side. [`exec`] runs the same
+//! aggregation with a multi-threaded worker pool.
+
+pub mod aggregate;
+pub mod burst;
+pub mod exec;
+pub mod report;
+pub mod sentiment;
+pub mod stream;
+pub mod track;
+
+pub use aggregate::TimeSeries;
+pub use report::ComparisonReport;
+pub use stream::StreamPost;
+pub use track::Tracker;

@@ -1,0 +1,73 @@
+//! Lexicon-based sentiment scoring: the cheap, robust baseline that
+//! large-scale stream analytics actually deploys.
+
+/// Positive opinion words.
+static POSITIVE: &[&str] = &[
+    "amazing", "awesome", "brilliant", "excellent", "fantastic", "fast",
+    "gorgeous", "great", "love", "loved", "nice", "superb", "wonderful",
+];
+
+/// Negative opinion words.
+static NEGATIVE: &[&str] = &[
+    "awful", "broken", "buggy", "disappointing", "flimsy", "hate",
+    "hated", "overpriced", "poor", "slow", "terrible", "ugly", "worst",
+];
+
+/// Sentiment polarity of a text: `+1`, `-1` or `0`, by counting lexicon
+/// hits over lowercased word tokens.
+pub fn polarity(text: &str) -> i8 {
+    let mut score = 0i32;
+    for word in kb_nlp::token::word_texts(text) {
+        if POSITIVE.binary_search(&word.as_str()).is_ok() {
+            score += 1;
+        } else if NEGATIVE.binary_search(&word.as_str()).is_ok() {
+            score -= 1;
+        }
+    }
+    score.signum() as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicons_are_sorted_for_binary_search() {
+        let mut p = POSITIVE.to_vec();
+        p.sort_unstable();
+        assert_eq!(p, POSITIVE);
+        let mut n = NEGATIVE.to_vec();
+        n.sort_unstable();
+        assert_eq!(n, NEGATIVE);
+    }
+
+    #[test]
+    fn classifies_clear_cases() {
+        assert_eq!(polarity("the camera is great! love it"), 1);
+        assert_eq!(polarity("battery is terrible and slow"), -1);
+        assert_eq!(polarity("no strong opinion yet"), 0);
+    }
+
+    #[test]
+    fn mixed_text_nets_out() {
+        assert_eq!(polarity("great screen but terrible battery"), 0);
+        assert_eq!(polarity("great great but terrible"), 1);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(polarity("GREAT phone"), 1);
+    }
+
+    #[test]
+    fn covers_the_corpus_lexicon() {
+        // Every sentiment word the corpus generator uses must be scored,
+        // otherwise T10's sentiment series degenerates.
+        for w in kb_corpus::lexicon::POSITIVE_WORDS {
+            assert_eq!(polarity(w), 1, "{w} not recognized as positive");
+        }
+        for w in kb_corpus::lexicon::NEGATIVE_WORDS {
+            assert_eq!(polarity(w), -1, "{w} not recognized as negative");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The analytics input: timestamped text posts.
+
+/// One post of a social-media-like stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamPost {
+    /// Day index from stream start.
+    pub day: u32,
+    /// Post text.
+    pub text: String,
+}
+
+impl StreamPost {
+    /// Creates a post.
+    pub fn new(day: u32, text: &str) -> Self {
+        Self { day, text: text.to_string() }
+    }
+
+    /// The week bucket this post falls into.
+    pub fn week(&self) -> u32 {
+        self.day / 7
+    }
+}
+
+/// Converts a corpus post (drops gold annotations — analytics must
+/// resolve mentions itself).
+pub fn from_corpus(post: &kb_corpus::social::Post) -> StreamPost {
+    StreamPost { day: post.day, text: post.text.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn week_bucketing() {
+        assert_eq!(StreamPost::new(0, "x").week(), 0);
+        assert_eq!(StreamPost::new(6, "x").week(), 0);
+        assert_eq!(StreamPost::new(7, "x").week(), 1);
+        assert_eq!(StreamPost::new(20, "x").week(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the analytics aggregation layer.
+
+use proptest::prelude::*;
+
+use kb_analytics::aggregate::TimeSeries;
+use kb_analytics::burst::{detect_bursts, BurstConfig};
+use kb_analytics::sentiment::polarity;
+
+fn events() -> impl Strategy<Value = Vec<(u32, i8)>> {
+    prop::collection::vec((0u32..16, -1i8..=1), 0..120)
+}
+
+proptest! {
+    /// Merge is commutative, associative, and totals add up.
+    #[test]
+    fn merge_algebra(a in events(), b in events(), c in events()) {
+        let build = |evs: &[(u32, i8)]| {
+            let mut ts = TimeSeries::new();
+            for &(w, s) in evs {
+                ts.record(w, s);
+            }
+            ts
+        };
+        let (ta, tb, tc) = (build(&a), build(&b), build(&c));
+        // Commutativity.
+        let mut ab = ta.clone();
+        ab.merge(&tb);
+        let mut ba = tb.clone();
+        ba.merge(&ta);
+        prop_assert_eq!(&ab, &ba);
+        // Associativity.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&tc);
+        let mut bc = tb.clone();
+        bc.merge(&tc);
+        let mut a_bc = ta.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // Totals.
+        prop_assert_eq!(ab_c.total_mentions(), a.len() + b.len() + c.len());
+    }
+
+    /// Net sentiment stays within [-1, 1] for every bucket.
+    #[test]
+    fn net_sentiment_bounded(a in events()) {
+        let mut ts = TimeSeries::new();
+        for &(w, s) in &a {
+            ts.record(w, s);
+        }
+        for b in ts.buckets.values() {
+            let net = b.net_sentiment();
+            prop_assert!((-1.0..=1.0).contains(&net));
+            prop_assert!(b.positive + b.negative <= b.mentions);
+        }
+    }
+
+    /// Burst buckets always exceed their reported baseline, and burst
+    /// detection is deterministic.
+    #[test]
+    fn bursts_exceed_baseline(a in events()) {
+        let mut ts = TimeSeries::new();
+        for &(w, s) in &a {
+            ts.record(w, s);
+        }
+        let cfg = BurstConfig::default();
+        let bursts = detect_bursts(&ts, &cfg);
+        for b in &bursts {
+            prop_assert!(b.mentions as f64 > b.baseline, "{b:?}");
+            prop_assert!(b.z_score >= cfg.min_z);
+            prop_assert!(b.mentions >= cfg.min_mentions);
+        }
+        prop_assert_eq!(bursts, detect_bursts(&ts, &cfg));
+    }
+
+    /// Sentiment polarity is a sign function: bounded and stable under
+    /// repetition of the same text.
+    #[test]
+    fn polarity_is_bounded_and_pure(text in "[a-z ]{0,80}") {
+        let p = polarity(&text);
+        prop_assert!((-1..=1).contains(&p));
+        prop_assert_eq!(p, polarity(&text));
+        // Adding a clearly positive word never decreases polarity class
+        // from negative to... (monotonicity in one word):
+        let boosted = format!("{text} great");
+        prop_assert!(polarity(&boosted) >= p);
+    }
+}

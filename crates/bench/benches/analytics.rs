@@ -1,0 +1,52 @@
+//! Criterion benches for stream analytics: mention resolution and
+//! serial vs parallel aggregation (experiment T10's timing counterpart).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kb_analytics::exec::aggregate_parallel;
+use kb_analytics::stream::from_corpus;
+use kb_analytics::{StreamPost, Tracker};
+use kb_bench::setup::{build_ned, harvest_with, small_corpus};
+use kb_harvest::pipeline::Method;
+
+fn bench_analytics(c: &mut Criterion) {
+    let corpus = small_corpus(42);
+    let out = harvest_with(&corpus, Method::Reasoning, 1);
+    let kb = &out.kb;
+    let ned = build_ned(&corpus, kb);
+    let world = &corpus.world;
+    let (pa, pb) = world.rival_products;
+    let tracked: Vec<_> = [pa, pb]
+        .iter()
+        .filter_map(|p| kb.term(&world.entity(*p).canonical))
+        .collect();
+    let tracker = Tracker::new(&ned, tracked);
+    let posts: Vec<StreamPost> = corpus.posts.iter().map(from_corpus).collect();
+
+    let mut group = c.benchmark_group("analytics");
+    group.bench_function("sentiment_polarity", |b| {
+        b.iter(|| {
+            black_box(
+                posts
+                    .iter()
+                    .map(|p| kb_analytics::sentiment::polarity(&p.text) as i64)
+                    .sum::<i64>(),
+            )
+        })
+    });
+    for workers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("aggregate_stream", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let series = aggregate_parallel(&tracker, kb, &posts, w);
+                black_box(series.values().map(|s| s.total_mentions()).sum::<usize>())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_analytics
+}
+criterion_main!(benches);

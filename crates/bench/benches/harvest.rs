@@ -1,0 +1,101 @@
+//! Criterion benches for the harvesting stack: taxonomy harvest,
+//! occurrence collection (serial vs parallel — experiment F2's timing
+//! counterpart), distant-supervision training, candidate extraction,
+//! MaxSat reasoning, factor-graph inference, Open IE.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kb_bench::setup::small_corpus;
+use kb_corpus::{gold, Doc};
+use kb_harvest::facts::distant::{stratified_seeds, train, TrainConfig};
+use kb_harvest::facts::extract::{extract_candidates, ExtractConfig};
+use kb_harvest::facts::patterns::CollectConfig;
+use kb_harvest::facts::scoring::TypeIndex;
+use kb_harvest::factorgraph::{infer_candidates, GibbsConfig};
+use kb_harvest::openie::{extract_open, OpenIeConfig};
+use kb_harvest::pipeline::{analyze_parallel, collect_parallel};
+use kb_harvest::reasoning::{reason_candidates, SolverConfig};
+use kb_harvest::taxonomy::{category, hearst};
+
+fn bench_harvest(c: &mut Criterion) {
+    let corpus = small_corpus(42);
+    let world = &corpus.world;
+    let docs: Vec<&Doc> = corpus.all_docs();
+    let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+
+    let mut group = c.benchmark_group("harvest");
+
+    group.bench_function("taxonomy_categories", |b| {
+        b.iter(|| black_box(category::harvest_categories(&docs, canonical_of).instances.len()))
+    });
+    group.bench_function("taxonomy_hearst", |b| {
+        b.iter(|| black_box(hearst::harvest_hearst(&docs, canonical_of).len()))
+    });
+
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("collect_occurrences", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    black_box(
+                        collect_parallel(&docs, &canonical_of, &CollectConfig::default(), w).len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("analyze_docs", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let (occs, open) = analyze_parallel(
+                    &docs,
+                    &canonical_of,
+                    &CollectConfig::default(),
+                    &OpenIeConfig::default(),
+                    w,
+                );
+                black_box(occs.len() + open.len())
+            })
+        });
+    }
+
+    let occurrences = collect_parallel(&docs, &canonical_of, &CollectConfig::default(), 1);
+    let gold_facts = gold::gold_fact_strings(world);
+    let seeds = stratified_seeds(&gold_facts, 0.25);
+    group.bench_function("distant_train", |b| {
+        b.iter(|| black_box(train(&occurrences, &seeds, &TrainConfig::default()).len()))
+    });
+
+    let model = train(&occurrences, &seeds, &TrainConfig::default());
+    group.bench_function("extract_candidates", |b| {
+        b.iter(|| {
+            black_box(extract_candidates(&occurrences, &model, &ExtractConfig::default()).len())
+        })
+    });
+
+    let candidates = extract_candidates(&occurrences, &model, &ExtractConfig::default());
+    let types = TypeIndex::new();
+    group.bench_function("maxsat_reasoning", |b| {
+        b.iter(|| {
+            black_box(
+                reason_candidates(&candidates, &types, &SolverConfig::default())
+                    .accepted
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("factor_graph_gibbs", |b| {
+        b.iter(|| black_box(infer_candidates(&candidates, &types, &GibbsConfig::default()).len()))
+    });
+
+    group.bench_function("open_ie_full", |b| {
+        b.iter(|| black_box(extract_open(&docs, &OpenIeConfig::default()).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_harvest
+}
+criterion_main!(benches);

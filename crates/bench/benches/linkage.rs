@@ -1,0 +1,89 @@
+//! Criterion benches for entity linkage: blocking strategies, pair
+//! features, matchers, clustering (experiment T6's timing counterpart).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kb_bench::exp_link::fixture;
+use kb_bench::setup::small_corpus;
+use kb_link::blocking::{candidate_pairs, Blocking};
+use kb_link::cluster::cluster_with_constraints;
+use kb_link::features::pair_features;
+use kb_link::logreg::{LogRegMatcher, TrainConfig};
+use kb_link::rules::{rule_match, RuleConfig};
+
+fn bench_linkage(c: &mut Criterion) {
+    let corpus = small_corpus(42);
+    let fix = fixture(&corpus, 99);
+    let records = &fix.records;
+
+    let mut group = c.benchmark_group("linkage");
+    for (name, strategy) in [
+        ("full", Blocking::Full),
+        ("token", Blocking::Token),
+        ("snw8", Blocking::SortedNeighborhood(8)),
+    ] {
+        group.bench_function(format!("blocking_{name}"), |b| {
+            b.iter(|| black_box(candidate_pairs(records, strategy).len()))
+        });
+    }
+
+    let pairs = candidate_pairs(records, Blocking::Token);
+    let by_id: std::collections::HashMap<u32, &kb_link::Record> =
+        records.iter().map(|r| (r.id, r)).collect();
+    group.bench_function("pair_features", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(x, y) in &pairs {
+                acc += pair_features(by_id[&x], by_id[&y])[1];
+            }
+            black_box(acc)
+        })
+    });
+
+    let labeled: Vec<(&kb_link::Record, &kb_link::Record, bool)> = pairs
+        .iter()
+        .map(|&(x, y)| (by_id[&x], by_id[&y], fix.gold.contains(&(x, y))))
+        .collect();
+    group.bench_function("logreg_train", |b| {
+        b.iter(|| black_box(LogRegMatcher::train(&labeled, &TrainConfig::default()).threshold))
+    });
+
+    let model = LogRegMatcher::train(&labeled, &TrainConfig::default());
+    let rule_cfg = RuleConfig::default();
+    group.bench_function("match_all_pairs_rule", |b| {
+        b.iter(|| {
+            black_box(
+                pairs
+                    .iter()
+                    .filter(|&&(x, y)| rule_match(by_id[&x], by_id[&y], &rule_cfg))
+                    .count(),
+            )
+        })
+    });
+    group.bench_function("match_all_pairs_logreg", |b| {
+        b.iter(|| {
+            black_box(
+                pairs
+                    .iter()
+                    .filter(|&&(x, y)| model.matches(by_id[&x], by_id[&y]))
+                    .count(),
+            )
+        })
+    });
+
+    let matched: Vec<(u32, u32)> = pairs
+        .iter()
+        .copied()
+        .filter(|&(x, y)| rule_match(by_id[&x], by_id[&y], &rule_cfg))
+        .collect();
+    group.bench_function("constrained_clustering", |b| {
+        b.iter(|| black_box(cluster_with_constraints(records, &matched, true).refused_merges))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_linkage
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for NED: candidate generation and the three
+//! disambiguation strategies (experiment T5's timing counterpart).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kb_bench::setup::{build_ned, harvest_with, ned_gold_docs, small_corpus};
+use kb_harvest::pipeline::Method;
+use kb_ned::Strategy;
+
+fn bench_ned(c: &mut Criterion) {
+    let corpus = small_corpus(42);
+    let out = harvest_with(&corpus, Method::Reasoning, 1);
+    let ned = build_ned(&corpus, &out.kb);
+    let gold = ned_gold_docs(&corpus.articles, &corpus, &out.kb);
+    // A representative ambiguous surface form.
+    let ambiguous_surface = corpus
+        .world
+        .of_kind(kb_corpus::EntityKind::Person)
+        .map(|e| e.short.clone())
+        .find(|s| ned.ambiguity(s) >= 2)
+        .unwrap_or_else(|| "Varen".to_string());
+
+    let mut group = c.benchmark_group("ned");
+    group.bench_function("candidate_generation", |b| {
+        b.iter(|| black_box(ned.candidates(&ambiguous_surface).len()))
+    });
+    for (name, strategy) in [
+        ("prior", Strategy::Prior),
+        ("context", Strategy::Context),
+        ("coherence", Strategy::Coherence),
+    ] {
+        group.bench_function(format!("disambiguate_{name}"), |b| {
+            b.iter(|| {
+                let mut correct = 0usize;
+                for doc in &gold {
+                    let spans: Vec<(usize, usize)> =
+                        doc.mentions.iter().map(|&(s, e, _)| (s, e)).collect();
+                    let res = ned.disambiguate(doc.text, &spans, strategy);
+                    correct += res.iter().flatten().count();
+                }
+                black_box(correct)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ned
+}
+criterion_main!(benches);

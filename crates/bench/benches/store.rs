@@ -1,0 +1,50 @@
+//! Criterion benches for the triple store (experiment F4's precise
+//! timing counterpart): insertion, point lookup, pattern scan, path
+//! join, and serialization at two KB sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kb_bench::exp_kb::synthetic_kb;
+use kb_store::TriplePattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    for &n in &[10_000usize, 80_000] {
+        let kb = synthetic_kb(n, 7);
+        let triples = kb.matching_triples(&TriplePattern::any());
+        let mut rng = StdRng::seed_from_u64(3);
+
+        group.bench_with_input(BenchmarkId::new("point_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                let t = triples[rng.gen_range(0..triples.len())];
+                black_box(kb.contains(&t))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("subject_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let t = triples[rng.gen_range(0..triples.len())];
+                black_box(kb.matching_triples(&TriplePattern::with_s(t.s)).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("path_join", n), &n, |b, _| {
+            let r0 = kb.term("rel_0").unwrap();
+            let r1 = kb.term("rel_1").unwrap();
+            b.iter(|| black_box(kb.path_join(r0, r1).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("serialize", n), &n, |b, _| {
+            b.iter(|| black_box(kb_store::ntriples::to_string(&kb).unwrap().len()))
+        });
+    }
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| black_box(synthetic_kb(10_000, 7).len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_store
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! The experiment harness: regenerates every table and figure defined
+//! in DESIGN.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! harness            # run everything on the standard corpus
+//! harness t3 f1      # run selected experiments
+//! harness --small    # use the tiny corpus (fast smoke run)
+//! ```
+
+use std::env;
+use std::time::Instant;
+
+use kb_bench::{exp_analytics, exp_facts, exp_kb, exp_link, exp_misc, exp_ned, exp_openie, exp_rules, exp_scale, exp_taxonomy, setup, HARNESS_SEED};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let corpus = if small {
+        setup::small_corpus(HARNESS_SEED)
+    } else {
+        setup::standard_corpus(HARNESS_SEED)
+    };
+    println!(
+        "kbkit experiment harness — corpus: {} entities, {} gold facts, {} docs, {} posts (seed {})\n",
+        corpus.world.entities.len(),
+        corpus.world.facts.len(),
+        corpus.all_docs().len(),
+        corpus.posts.len(),
+        HARNESS_SEED
+    );
+    let want = |id: &str| selected.is_empty() || selected.contains(&id);
+    let experiments: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+        ("t1", Box::new(|| exp_kb::t1(&corpus))),
+        ("t2", Box::new(|| exp_taxonomy::t2(&corpus))),
+        ("t3", Box::new(|| exp_facts::t3(&corpus))),
+        ("f1", Box::new(|| exp_facts::f1(&corpus))),
+        ("t4", Box::new(|| exp_openie::t4(&corpus))),
+        ("f2", Box::new(|| exp_scale::f2(&corpus))),
+        ("t5", Box::new(|| exp_ned::t5(&corpus))),
+        ("f3", Box::new(|| exp_ned::f3(&corpus))),
+        ("f7", Box::new(|| exp_ned::f7(&corpus))),
+        ("t6", Box::new(|| exp_link::t6(&corpus))),
+        ("f5", Box::new(|| exp_link::f5(&corpus))),
+        ("t7", Box::new(|| exp_facts::t7(&corpus))),
+        ("t8", Box::new(|| exp_misc::t8(&corpus))),
+        ("t9", Box::new(|| exp_misc::t9(&corpus))),
+        ("f4", Box::new(exp_kb::f4)),
+        ("t11", Box::new(|| exp_rules::t11(&corpus))),
+        ("t12", Box::new(|| exp_facts::t12(&corpus))),
+        ("f6", Box::new(|| exp_facts::f6(&corpus))),
+        ("t10", Box::new(|| exp_analytics::t10(&corpus))),
+    ];
+    for (id, run) in experiments {
+        if !want(id) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let output = run();
+        println!("{output}");
+        println!("[{id} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,318 @@
+//! T3 (fact-extraction quality per method), F1 (precision/recall
+//! trade-off curve) and T7 (temporal inference quality).
+
+use std::collections::{HashMap, HashSet};
+
+use kb_corpus::{gold, Corpus};
+use kb_harvest::facts::extract::predicted_set;
+use kb_harvest::pipeline::{evaluate_discovered, Method};
+use kb_harvest::temporal;
+
+use crate::setup::harvest_with;
+use crate::table::{f3, Table};
+
+/// One T3 row.
+#[derive(Debug, Clone)]
+pub struct FactsResult {
+    /// Method label.
+    pub method: String,
+    /// Accepted fact count.
+    pub accepted: usize,
+    /// Quality vs non-seed gold facts.
+    pub metrics: gold::PrF1,
+}
+
+/// Runs all methods over the corpus, plus the pattern-generalization
+/// ablation on top of the reasoning stack.
+pub fn run_t3(corpus: &Corpus) -> Vec<FactsResult> {
+    let gold_facts = gold::gold_fact_strings(&corpus.world);
+    let mut results: Vec<FactsResult> = [
+        (Method::PatternsOnly, "patterns"),
+        (Method::Statistical, "+ statistics"),
+        (Method::Reasoning, "+ reasoning (MaxSat)"),
+        (Method::FactorGraph, "factor graph"),
+    ]
+    .into_iter()
+    .map(|(method, label)| {
+        let out = harvest_with(corpus, method, 4);
+        FactsResult {
+            method: label.to_string(),
+            accepted: out.accepted.len(),
+            metrics: evaluate_discovered(&out.accepted, &gold_facts, &out.seeds),
+        }
+    })
+    .collect();
+    // Ablation: PrefixSpan pattern generalization. At the default 25%
+    // seeds every template paraphrase is already learned exactly, so the
+    // ablation runs at scarce seeds (4%) where unseen paraphrases exist.
+    for (generalize, label) in [(false, "scarce seeds (4%)"), (true, "scarce + generalized")] {
+        let cfg = kb_harvest::pipeline::HarvestConfig {
+            method: Method::Reasoning,
+            generalize,
+            seed_fraction: 0.04,
+            workers: 4,
+            ..Default::default()
+        };
+        let out = kb_harvest::pipeline::harvest(corpus, &cfg);
+        results.push(FactsResult {
+            method: label.to_string(),
+            accepted: out.accepted.len(),
+            metrics: evaluate_discovered(&out.accepted, &gold_facts, &out.seeds),
+        });
+    }
+    results
+}
+
+/// Renders T3.
+pub fn t3(corpus: &Corpus) -> String {
+    let mut t = Table::new(&["method", "accepted", "precision", "recall", "F1"]);
+    for r in run_t3(corpus) {
+        t.row(vec![
+            r.method,
+            r.accepted.to_string(),
+            f3(r.metrics.precision),
+            f3(r.metrics.recall),
+            f3(r.metrics.f1),
+        ]);
+    }
+    format!("T3 — relational fact extraction: discovered-fact quality per method\n{}", t.render())
+}
+
+/// F1: precision/recall while sweeping the confidence threshold over
+/// the statistically-scored candidates.
+pub fn f1(corpus: &Corpus) -> String {
+    let out = harvest_with(corpus, Method::Statistical, 4);
+    let gold_facts = gold::gold_fact_strings(&corpus.world);
+    let target: HashSet<_> = gold_facts.difference(&out.seeds).cloned().collect();
+    let mut t = Table::new(&["threshold", "predicted", "precision", "recall", "F1"]);
+    // Evidence aggregation (noisy-or) concentrates confidences near the
+    // top, so the sweep is finer there.
+    for threshold in [0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98, 0.99] {
+        let predicted: HashSet<_> = predicted_set(&out.candidates, threshold)
+            .into_iter()
+            .filter(|k| !out.seeds.contains(k))
+            .collect();
+        let m = gold::pr_f1(&predicted, &target);
+        t.row(vec![
+            format!("{threshold:.2}"),
+            predicted.len().to_string(),
+            f3(m.precision),
+            f3(m.recall),
+            f3(m.f1),
+        ]);
+    }
+    format!("F1 — precision/recall vs confidence threshold (statistical scoring)\n{}", t.render())
+}
+
+/// T7 result: temporal inference quality on accepted facts.
+pub fn run_t7(corpus: &Corpus) -> temporal::TemporalAccuracy {
+    let out = harvest_with(corpus, Method::Reasoning, 4);
+    // gold (s, rel, o) -> (begin, end)
+    let mut gold_spans: HashMap<(String, String, String), (Option<i32>, Option<i32>)> = HashMap::new();
+    for f in &corpus.world.facts {
+        if f.rel.temporal() {
+            gold_spans.insert(
+                (
+                    corpus.world.entity(f.s).canonical.clone(),
+                    f.rel.name().to_string(),
+                    corpus.world.entity(f.o).canonical.clone(),
+                ),
+                (f.begin, f.end),
+            );
+        }
+    }
+    let rows: Vec<_> = out
+        .accepted
+        .iter()
+        .filter_map(|c| {
+            gold_spans.get(&c.key()).map(|&(gb, ge)| {
+                (temporal::infer_span(&c.hints), gb, ge)
+            })
+        })
+        .collect();
+    temporal::score_spans(&rows)
+}
+
+/// Renders T7.
+pub fn t7(corpus: &Corpus) -> String {
+    let acc = run_t7(corpus);
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(vec!["temporal gold facts matched".into(), acc.total.to_string()]);
+    t.row(vec!["spans inferred".into(), acc.inferred.to_string()]);
+    t.row(vec!["coverage".into(), f3(acc.coverage())]);
+    t.row(vec!["begin-year accuracy".into(), f3(acc.begin_accuracy())]);
+    t.row(vec!["full-interval correct".into(), acc.end_correct.to_string()]);
+    format!("T7 — temporal scoping of harvested facts\n{}", t.render())
+}
+
+/// T12: semi-structured (infobox) extraction vs text extraction vs
+/// their union.
+pub fn run_t12(corpus: &Corpus) -> Vec<FactsResult> {
+    use kb_harvest::facts::infobox::harvest_infoboxes;
+    use std::collections::HashMap;
+
+    let gold_facts = gold::gold_fact_strings(&corpus.world);
+    let text_out = harvest_with(corpus, Method::Reasoning, 4);
+    // Surface → canonical resolver from article mention statistics
+    // (the anchor-text channel — NOT the world's alias table).
+    let mut surface_votes: HashMap<String, HashMap<String, usize>> = HashMap::new();
+    for doc in corpus.all_docs() {
+        for m in &doc.mentions {
+            *surface_votes
+                .entry(m.surface.clone())
+                .or_default()
+                .entry(corpus.world.entity(m.entity).canonical.clone())
+                .or_insert(0) += 1;
+        }
+    }
+    let resolve = |surface: &str| -> Option<String> {
+        surface_votes.get(surface).and_then(|votes| {
+            votes
+                .iter()
+                .max_by_key(|&(name, count)| (*count, std::cmp::Reverse(name.clone())))
+                .map(|(name, _)| name.clone())
+        })
+    };
+    let docs = corpus.all_docs();
+    let canonical_of = |id: kb_corpus::EntityId| corpus.world.entity(id).canonical.as_str();
+    let infobox = harvest_infoboxes(&docs, canonical_of, resolve);
+
+    // Union: noisy-or merge by fact key.
+    let mut union: HashMap<kb_harvest::facts::distant::FactKey, kb_harvest::CandidateFact> =
+        HashMap::new();
+    for c in text_out.accepted.iter().chain(infobox.iter()) {
+        union
+            .entry(c.key())
+            .and_modify(|existing| {
+                existing.confidence = 1.0 - (1.0 - existing.confidence) * (1.0 - c.confidence);
+                existing.support += c.support;
+            })
+            .or_insert_with(|| c.clone());
+    }
+    let union_facts: Vec<kb_harvest::CandidateFact> = union.into_values().collect();
+
+    let score = |label: &str, facts: &[kb_harvest::CandidateFact]| FactsResult {
+        method: label.to_string(),
+        accepted: facts.len(),
+        metrics: evaluate_discovered(facts, &gold_facts, &text_out.seeds),
+    };
+    vec![
+        score("text (reasoning)", &text_out.accepted),
+        score("infobox only", &infobox),
+        score("text + infobox", &union_facts),
+    ]
+}
+
+/// Renders T12.
+pub fn t12(corpus: &Corpus) -> String {
+    let mut t = Table::new(&["channel", "accepted", "precision", "recall", "F1"]);
+    for r in run_t12(corpus) {
+        t.row(vec![
+            r.method,
+            r.accepted.to_string(),
+            f3(r.metrics.precision),
+            f3(r.metrics.recall),
+            f3(r.metrics.f1),
+        ]);
+    }
+    format!("T12 — semi-structured (infobox) vs text extraction\n{}", t.render())
+}
+
+/// F6: precision/recall per bootstrapping round (NELL-style coupled
+/// learning), starting from a small seed slice.
+pub fn f6(corpus: &Corpus) -> String {
+    use kb_harvest::facts::bootstrap::{bootstrap, BootstrapConfig};
+    use kb_harvest::facts::distant::stratified_seeds;
+    use kb_harvest::facts::patterns::CollectConfig;
+    use kb_harvest::facts::scoring::build_type_index;
+    use kb_harvest::openie::OpenIeConfig;
+    use kb_harvest::pipeline::analyze_parallel;
+    use kb_harvest::taxonomy::{category, hearst, induce};
+
+    let docs = corpus.all_docs();
+    let world = &corpus.world;
+    let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+    let (occurrences, _) = analyze_parallel(
+        &docs,
+        &canonical_of,
+        &CollectConfig::default(),
+        &OpenIeConfig::default(),
+        4,
+    );
+    let cat = category::harvest_categories(&docs, canonical_of);
+    let hearst_found = hearst::harvest_hearst(&docs, canonical_of);
+    let instances = induce::merge_instances(&[(&cat.instances, 0.9), (&hearst_found, 0.7)]);
+    let types = build_type_index(&instances, &cat.subclass_edges);
+
+    let gold_facts = gold::gold_fact_strings(world);
+    let initial = stratified_seeds(&gold_facts, 0.08);
+    let mut t = Table::new(&["rounds", "seeds", "patterns", "candidates", "precision", "recall"]);
+    for rounds in 1..=4usize {
+        let cfg = BootstrapConfig { rounds, promote_threshold: 0.7, ..Default::default() };
+        let out = bootstrap(&occurrences, &initial, &types, &cfg);
+        let accepted: Vec<kb_harvest::CandidateFact> = out
+            .candidates
+            .iter()
+            .filter(|c| c.confidence >= 0.5)
+            .cloned()
+            .collect();
+        // Evaluate against gold minus the *initial* seeds only — the
+        // promotions are the system's own discoveries.
+        let m = evaluate_discovered(&accepted, &gold_facts, &initial);
+        let last = out.rounds.last().expect("at least one round");
+        t.row(vec![
+            out.rounds.len().to_string(),
+            (last.seeds + last.promoted).to_string(),
+            last.patterns.to_string(),
+            accepted.len().to_string(),
+            f3(m.precision),
+            f3(m.recall),
+        ]);
+    }
+    format!(
+        "F6 — NELL-style bootstrapping from {} initial seeds\n{}",
+        initial.len(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::small_corpus;
+
+    #[test]
+    fn reasoning_and_statistics_beat_raw_patterns_on_precision() {
+        let corpus = small_corpus(42);
+        let results = run_t3(&corpus);
+        let get = |m: &str| results.iter().find(|r| r.method.contains(m)).unwrap().metrics;
+        let patterns = get("patterns");
+        let stats = get("statistics");
+        let reasoning = get("reasoning");
+        assert!(stats.precision >= patterns.precision - 0.02);
+        assert!(reasoning.precision >= patterns.precision - 0.02);
+    }
+
+    #[test]
+    fn f1_curve_trades_precision_for_recall() {
+        let corpus = small_corpus(42);
+        let text = f1(&corpus);
+        assert!(text.contains("0.3"));
+        assert!(text.contains("0.99"));
+        // Title + header + separator + 9 data rows.
+        assert_eq!(text.lines().count(), 3 + 9);
+    }
+
+    #[test]
+    fn t7_scores_temporal_facts() {
+        let corpus = small_corpus(42);
+        let acc = run_t7(&corpus);
+        assert!(acc.total > 0, "some temporal facts must be matched");
+        if acc.inferred > 0 {
+            // "graduated from X in Y" hints carry the END year of the
+            // studiedAt interval, a systematic begin-year hazard (as in
+            // YAGO2); on the tiny corpus this caps accuracy around 0.5.
+            assert!(acc.begin_accuracy() >= 0.4, "begin accuracy {}", acc.begin_accuracy());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! T6 (blocking + matcher quality) and F5 (constrained clustering).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use kb_corpus::gold::{linkage_dump, pr_f1, LinkageDump};
+use kb_corpus::Corpus;
+use kb_link::blocking::{blocking_quality, candidate_pairs, Blocking};
+use kb_link::cluster::cluster_with_constraints;
+use kb_link::logreg::{LogRegMatcher, TrainConfig};
+use kb_link::record::{from_corpus, Record};
+use kb_link::rules::{rule_match, RuleConfig};
+
+use crate::table::{f3, Table};
+
+/// The linkage fixture: records plus gold pairs.
+pub struct LinkFixture {
+    /// All records from both sources.
+    pub records: Vec<Record>,
+    /// Gold duplicate pairs.
+    pub gold: HashSet<(u32, u32)>,
+}
+
+/// Builds the fixture from a corpus world.
+pub fn fixture(corpus: &Corpus, seed: u64) -> LinkFixture {
+    let LinkageDump { records, gold_pairs } = linkage_dump(&corpus.world, seed);
+    LinkFixture {
+        records: records.iter().map(from_corpus).collect(),
+        gold: gold_pairs,
+    }
+}
+
+/// One blocking row of T6.
+#[derive(Debug, Clone)]
+pub struct BlockingRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Candidate pairs.
+    pub pairs: usize,
+    /// Pair recall.
+    pub recall: f64,
+    /// Wall time in milliseconds.
+    pub millis: f64,
+}
+
+/// Measures the blocking strategies.
+pub fn run_blocking(fix: &LinkFixture) -> Vec<BlockingRow> {
+    [
+        (Blocking::Full, "full cross product"),
+        (Blocking::Token, "token blocking"),
+        (Blocking::SortedNeighborhood(4), "sorted neighborhood w=4"),
+        (Blocking::SortedNeighborhood(8), "sorted neighborhood w=8"),
+    ]
+    .into_iter()
+    .map(|(strategy, label)| {
+        let t0 = Instant::now();
+        let pairs = candidate_pairs(&fix.records, strategy);
+        let millis = t0.elapsed().as_secs_f64() * 1e3;
+        let q = blocking_quality(&pairs, &fix.gold);
+        BlockingRow {
+            strategy: label.to_string(),
+            pairs: q.pairs,
+            recall: q.pair_recall,
+            millis,
+        }
+    })
+    .collect()
+}
+
+/// Matcher quality over token-blocked candidates with a train/test
+/// split on the gold labels.
+#[derive(Debug, Clone)]
+pub struct MatcherRow {
+    /// Matcher label.
+    pub matcher: String,
+    /// Pair-level precision/recall/F1 on the held-out pairs.
+    pub metrics: kb_corpus::gold::PrF1,
+}
+
+/// Runs rule vs learned matcher.
+pub fn run_matchers(fix: &LinkFixture) -> Vec<MatcherRow> {
+    let candidates = candidate_pairs(&fix.records, Blocking::Token);
+    let by_id: std::collections::HashMap<u32, &Record> =
+        fix.records.iter().map(|r| (r.id, r)).collect();
+    // Split candidate pairs deterministically: even-indexed train,
+    // odd-indexed test.
+    let mut train: Vec<(&Record, &Record, bool)> = Vec::new();
+    let mut test: Vec<(u32, u32)> = Vec::new();
+    for (i, &(a, b)) in candidates.iter().enumerate() {
+        let label = fix.gold.contains(&(a, b));
+        if i % 2 == 0 {
+            train.push((by_id[&a], by_id[&b], label));
+        } else {
+            test.push((a, b));
+        }
+    }
+    let test_gold: HashSet<(u32, u32)> = test
+        .iter()
+        .copied()
+        .filter(|p| fix.gold.contains(p))
+        .collect();
+    let model = LogRegMatcher::train(&train, &TrainConfig::default());
+    let rule_cfg = RuleConfig::default();
+
+    let eval = |name: &str, decide: &dyn Fn(&Record, &Record) -> bool| -> MatcherRow {
+        let predicted: HashSet<(u32, u32)> = test
+            .iter()
+            .copied()
+            .filter(|&(a, b)| decide(by_id[&a], by_id[&b]))
+            .collect();
+        MatcherRow {
+            matcher: name.to_string(),
+            metrics: pr_f1(&predicted, &test_gold),
+        }
+    };
+    vec![
+        eval("rule matcher", &|a, b| rule_match(a, b, &rule_cfg)),
+        eval("logistic regression", &|a, b| model.matches(a, b)),
+    ]
+}
+
+/// Renders T6.
+pub fn t6(corpus: &Corpus) -> String {
+    let fix = fixture(corpus, 99);
+    let mut t = Table::new(&["blocking", "pairs", "pair recall", "ms"]);
+    for r in run_blocking(&fix) {
+        t.row(vec![r.strategy, r.pairs.to_string(), f3(r.recall), format!("{:.1}", r.millis)]);
+    }
+    let mut m = Table::new(&["matcher", "precision", "recall", "F1"]);
+    for r in run_matchers(&fix) {
+        m.row(vec![
+            r.matcher,
+            f3(r.metrics.precision),
+            f3(r.metrics.recall),
+            f3(r.metrics.f1),
+        ]);
+    }
+    format!(
+        "T6 — entity linkage: blocking ({} records, {} gold pairs)\n{}\nmatchers on held-out token-blocked pairs\n{}",
+        fix.records.len(),
+        fix.gold.len(),
+        t.render(),
+        m.render()
+    )
+}
+
+/// F5: clustering with vs without constraint checking.
+pub fn f5(corpus: &Corpus) -> String {
+    let fix = fixture(corpus, 99);
+    let candidates = candidate_pairs(&fix.records, Blocking::Token);
+    let by_id: std::collections::HashMap<u32, &Record> =
+        fix.records.iter().map(|r| (r.id, r)).collect();
+    let rule_cfg = RuleConfig::default();
+    let matched: Vec<(u32, u32)> = candidates
+        .into_iter()
+        .filter(|&(a, b)| rule_match(by_id[&a], by_id[&b], &rule_cfg))
+        .collect();
+    let mut t = Table::new(&["mode", "implied pairs", "precision", "recall", "refused merges"]);
+    for (label, constrained) in [("unconstrained closure", false), ("constrained closure", true)] {
+        let clusters = cluster_with_constraints(&fix.records, &matched, constrained);
+        let implied = clusters.implied_pairs();
+        // Evaluate only cross-source implications against gold.
+        let predicted: HashSet<(u32, u32)> = implied
+            .into_iter()
+            .filter(|&(a, b)| by_id[&a].source != by_id[&b].source)
+            .map(|(a, b)| if by_id[&a].source == 0 { (a, b) } else { (b, a) })
+            .collect();
+        let m = pr_f1(&predicted, &fix.gold);
+        t.row(vec![
+            label.to_string(),
+            predicted.len().to_string(),
+            f3(m.precision),
+            f3(m.recall),
+            clusters.refused_merges.to_string(),
+        ]);
+    }
+    format!("F5 — sameAs closure with and without constraint checking\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::small_corpus;
+
+    #[test]
+    fn blocking_prunes_with_high_recall() {
+        let corpus = small_corpus(42);
+        let fix = fixture(&corpus, 99);
+        let rows = run_blocking(&fix);
+        let full = rows.iter().find(|r| r.strategy.contains("full")).unwrap();
+        let token = rows.iter().find(|r| r.strategy.contains("token")).unwrap();
+        assert!(token.pairs * 2 < full.pairs, "token {} vs full {}", token.pairs, full.pairs);
+        assert!(token.recall > 0.9, "token recall {}", token.recall);
+        assert!((full.recall - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learned_matcher_is_at_least_competitive() {
+        let corpus = small_corpus(42);
+        let fix = fixture(&corpus, 99);
+        let rows = run_matchers(&fix);
+        let rule = rows.iter().find(|r| r.matcher.contains("rule")).unwrap();
+        let learned = rows.iter().find(|r| r.matcher.contains("logistic")).unwrap();
+        assert!(learned.metrics.f1 >= rule.metrics.f1 - 0.05,
+            "learned {} vs rule {}", learned.metrics.f1, rule.metrics.f1);
+        assert!(learned.metrics.f1 > 0.6, "learned F1 {}", learned.metrics.f1);
+    }
+
+    #[test]
+    fn constrained_clustering_never_reduces_precision() {
+        let corpus = small_corpus(42);
+        let text = f5(&corpus);
+        assert!(text.contains("constrained closure"));
+    }
+}

@@ -1,0 +1,171 @@
+//! T5 (NED accuracy per strategy) and F3 (accuracy vs ambiguity).
+
+use kb_corpus::Corpus;
+use kb_harvest::pipeline::Method;
+use kb_ned::{evaluate, NedAccuracy, Strategy};
+
+use crate::setup::{build_ned, harvest_with, ned_gold_docs};
+use crate::table::{f3 as fmt3, Table};
+
+/// T5/F3 results for the three strategies.
+#[derive(Debug)]
+pub struct NedResults {
+    /// Prior-only accuracy.
+    pub prior: NedAccuracy,
+    /// Prior + context.
+    pub context: NedAccuracy,
+    /// Prior + context + coherence.
+    pub coherence: NedAccuracy,
+}
+
+/// Runs all three strategies over the corpus articles.
+pub fn run_ned(corpus: &Corpus) -> NedResults {
+    let out = harvest_with(corpus, Method::Reasoning, 4);
+    let ned = build_ned(corpus, &out.kb);
+    let gold = ned_gold_docs(&corpus.articles, corpus, &out.kb);
+    NedResults {
+        prior: evaluate(&ned, &gold, Strategy::Prior),
+        context: evaluate(&ned, &gold, Strategy::Context),
+        coherence: evaluate(&ned, &gold, Strategy::Coherence),
+    }
+}
+
+/// Renders T5.
+pub fn t5(corpus: &Corpus) -> String {
+    let r = run_ned(corpus);
+    let mut t = Table::new(&["strategy", "mentions", "accuracy", "ambiguous", "amb. accuracy"]);
+    for (name, acc) in [
+        ("prior", &r.prior),
+        ("+ context", &r.context),
+        ("+ coherence", &r.coherence),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            acc.total.to_string(),
+            fmt3(acc.accuracy()),
+            acc.ambiguous.to_string(),
+            fmt3(acc.ambiguous_accuracy()),
+        ]);
+    }
+    format!("T5 — named entity disambiguation accuracy\n{}", t.render())
+}
+
+/// Renders F3: per-ambiguity-bin accuracy for the three strategies.
+pub fn f3(corpus: &Corpus) -> String {
+    let r = run_ned(corpus);
+    let mut t = Table::new(&["candidates", "mentions", "prior", "+context", "+coherence"]);
+    let lookup = |acc: &NedAccuracy, bin: usize| -> Option<f64> {
+        acc.by_ambiguity
+            .iter()
+            .find(|&&(k, _, _)| k == bin)
+            .map(|&(_, total, correct)| {
+                if total == 0 { 0.0 } else { correct as f64 / total as f64 }
+            })
+    };
+    for bin in 1..=5usize {
+        let total = r
+            .prior
+            .by_ambiguity
+            .iter()
+            .find(|&&(k, _, _)| k == bin)
+            .map(|&(_, t, _)| t)
+            .unwrap_or(0);
+        if total == 0 {
+            continue;
+        }
+        let label = if bin == 5 { "5+".to_string() } else { bin.to_string() };
+        t.row(vec![
+            label,
+            total.to_string(),
+            lookup(&r.prior, bin).map(fmt3).unwrap_or_default(),
+            lookup(&r.context, bin).map(fmt3).unwrap_or_default(),
+            lookup(&r.coherence, bin).map(fmt3).unwrap_or_default(),
+        ]);
+    }
+    format!("F3 — NED accuracy vs surface-form ambiguity\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::small_corpus;
+
+    #[test]
+    fn strategies_rank_as_the_literature_says() {
+        let corpus = small_corpus(42);
+        let r = run_ned(&corpus);
+        // Context must beat prior on ambiguous mentions; coherence must
+        // not be worse than prior.
+        assert!(
+            r.context.ambiguous_accuracy() >= r.prior.ambiguous_accuracy(),
+            "context {} < prior {}",
+            r.context.ambiguous_accuracy(),
+            r.prior.ambiguous_accuracy()
+        );
+        assert!(
+            r.coherence.ambiguous_accuracy() >= r.prior.ambiguous_accuracy() - 0.02,
+            "coherence {} too far below prior {}",
+            r.coherence.ambiguous_accuracy(),
+            r.prior.ambiguous_accuracy()
+        );
+        assert!(r.prior.total > 50, "need a meaningful mention count");
+    }
+
+    #[test]
+    fn tables_render() {
+        let corpus = small_corpus(42);
+        assert!(t5(&corpus).contains("coherence"));
+        assert!(f3(&corpus).contains("candidates"));
+    }
+}
+
+/// F7: ablation of the coherence weight — how much joint coherence is
+/// worth on ambiguous mentions (0 = context-only behavior inside the
+/// joint algorithm; large values let coherence overrule local evidence).
+pub fn f7(corpus: &Corpus) -> String {
+    let out = harvest_with(corpus, Method::Reasoning, 4);
+    let ned_base = build_ned(corpus, &out.kb);
+    let gold = crate::setup::ned_gold_docs(&corpus.articles, corpus, &out.kb);
+    let mut t = Table::new(&["coherence weight", "accuracy", "amb. accuracy"]);
+    for w in [0.0, 0.15, 0.3, 0.6, 1.2, 2.4] {
+        let mut ned = build_ned(corpus, &out.kb);
+        ned.weights = ned_base.weights;
+        ned.weights.coherence = w;
+        let acc = evaluate(&ned, &gold, Strategy::Coherence);
+        t.row(vec![
+            format!("{w:.2}"),
+            fmt3(acc.accuracy()),
+            fmt3(acc.ambiguous_accuracy()),
+        ]);
+    }
+    format!("F7 — NED coherence-weight ablation (joint strategy)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod f7_tests {
+    use super::*;
+    use crate::setup::small_corpus;
+
+    #[test]
+    fn zero_coherence_is_never_better_than_tuned() {
+        let corpus = small_corpus(42);
+        let out = harvest_with(&corpus, Method::Reasoning, 2);
+        let gold = crate::setup::ned_gold_docs(&corpus.articles, &corpus, &out.kb);
+        let eval_at = |w: f64| {
+            let mut ned = build_ned(&corpus, &out.kb);
+            ned.weights.coherence = w;
+            evaluate(&ned, &gold, Strategy::Coherence).ambiguous_accuracy()
+        };
+        let zero = eval_at(0.0);
+        let tuned = eval_at(0.6);
+        assert!(tuned >= zero - 1e-9, "tuned {tuned} < zero-coherence {zero}");
+    }
+
+    #[test]
+    fn f7_renders_all_rows() {
+        let corpus = small_corpus(42);
+        let text = f7(&corpus);
+        assert!(text.contains("0.00"));
+        assert!(text.contains("2.40"));
+    }
+}

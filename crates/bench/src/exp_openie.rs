@@ -1,0 +1,148 @@
+//! T4: Open IE yield and precision vs closed IE.
+
+use std::collections::HashMap;
+
+use kb_corpus::{Corpus, EntityId};
+use kb_harvest::openie::{extract_open, relation_inventory, OpenFact, OpenIeConfig};
+use kb_harvest::pipeline::Method;
+
+use crate::setup::harvest_with;
+use crate::table::{f3, Table};
+
+/// Maps argument surface strings to world entities by alias lookup.
+fn alias_map(corpus: &Corpus) -> HashMap<String, EntityId> {
+    let mut map = HashMap::new();
+    for e in &corpus.world.entities {
+        for a in &e.aliases {
+            // Ambiguous aliases resolve to the first owner; precision
+            // estimation tolerates this (we check gold facts both ways).
+            map.entry(a.to_lowercase()).or_insert(e.id);
+        }
+    }
+    map
+}
+
+/// Whether an open extraction corresponds to *some* gold fact between
+/// its two arguments (either direction, any relation) — the standard
+/// proxy for Open IE precision without per-phrase gold.
+pub fn is_supported(corpus: &Corpus, aliases: &HashMap<String, EntityId>, f: &OpenFact) -> Option<bool> {
+    let a = aliases.get(&f.arg1.to_lowercase())?;
+    let b = aliases.get(&f.arg2.to_lowercase())?;
+    let supported = corpus
+        .world
+        .facts
+        .iter()
+        .any(|g| (g.s == *a && g.o == *b) || (g.s == *b && g.o == *a));
+    Some(supported)
+}
+
+/// T4 result.
+#[derive(Debug, Clone)]
+pub struct OpenIeResult {
+    /// Open extractions produced.
+    pub extractions: usize,
+    /// Distinct normalized relation phrases.
+    pub distinct_relations: usize,
+    /// Precision over extractions whose args resolve to known entities.
+    pub precision: f64,
+    /// Fraction of extractions with both args resolvable.
+    pub resolvable: f64,
+    /// Closed-IE accepted facts (for the comparison row).
+    pub closed_accepted: usize,
+    /// Closed-IE precision (from T3's reasoning method).
+    pub closed_precision: f64,
+}
+
+/// Runs T4.
+pub fn run_t4(corpus: &Corpus) -> OpenIeResult {
+    let docs = corpus.all_docs();
+    let open = extract_open(&docs, &OpenIeConfig::default());
+    let aliases = alias_map(corpus);
+    let mut supported = 0usize;
+    let mut resolvable = 0usize;
+    for f in &open {
+        match is_supported(corpus, &aliases, f) {
+            Some(true) => {
+                supported += 1;
+                resolvable += 1;
+            }
+            Some(false) => resolvable += 1,
+            None => {}
+        }
+    }
+    let closed = harvest_with(corpus, Method::Reasoning, 4);
+    let gold_facts = kb_corpus::gold::gold_fact_strings(&corpus.world);
+    let closed_metrics =
+        kb_harvest::pipeline::evaluate_discovered(&closed.accepted, &gold_facts, &closed.seeds);
+    OpenIeResult {
+        extractions: open.len(),
+        distinct_relations: relation_inventory(&open).len(),
+        precision: if resolvable == 0 { 0.0 } else { supported as f64 / resolvable as f64 },
+        resolvable: if open.is_empty() { 0.0 } else { resolvable as f64 / open.len() as f64 },
+        closed_accepted: closed.accepted.len(),
+        closed_precision: closed_metrics.precision,
+    }
+}
+
+/// Renders T4.
+pub fn t4(corpus: &Corpus) -> String {
+    let r = run_t4(corpus);
+    let mut t = Table::new(&["system", "extractions", "distinct relations", "precision"]);
+    t.row(vec![
+        "Open IE (ReVerb-style)".into(),
+        r.extractions.to_string(),
+        r.distinct_relations.to_string(),
+        f3(r.precision),
+    ]);
+    t.row(vec![
+        "Closed IE (schema + reasoning)".into(),
+        r.closed_accepted.to_string(),
+        "10 (schema)".into(),
+        f3(r.closed_precision),
+    ]);
+    format!(
+        "T4 — Open IE vs closed IE (arg-resolvable extractions: {:.0}%)\n{}",
+        r.resolvable * 100.0,
+        t.render()
+    )
+}
+
+/// Also expose the top relation phrases (qualitative inventory).
+pub fn top_relations(corpus: &Corpus, k: usize) -> Vec<(String, usize)> {
+    let docs = corpus.all_docs();
+    let open = extract_open(&docs, &OpenIeConfig::default());
+    relation_inventory(&open).into_iter().take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::small_corpus;
+
+    #[test]
+    fn open_ie_yields_more_relations_but_less_precision_than_closed() {
+        let corpus = small_corpus(42);
+        let r = run_t4(&corpus);
+        assert!(r.extractions > 0);
+        assert!(r.distinct_relations > 10, "open IE should exceed the closed schema");
+        assert!(r.precision > 0.3, "open precision {}", r.precision);
+        assert!(
+            r.closed_precision >= r.precision - 0.05,
+            "closed {} should generally beat open {}",
+            r.closed_precision,
+            r.precision
+        );
+    }
+
+    #[test]
+    fn top_relations_include_template_verbs() {
+        let corpus = small_corpus(42);
+        let top = top_relations(&corpus, 15);
+        assert!(!top.is_empty());
+        let phrases: Vec<&str> = top.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(
+            phrases.iter().any(|p| p.contains("found") || p.contains("born") || p.contains("work")),
+            "expected template verbs in {phrases:?}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! F2: pipeline throughput (documents/second) vs worker threads.
+//!
+//! The measured unit is the per-document *analysis* stage — pattern
+//! occurrence collection plus raw Open IE extraction (tokenize, tag,
+//! chunk) — which is where a real harvesting pipeline burns its CPU.
+
+use std::time::Instant;
+
+use kb_corpus::Corpus;
+use kb_harvest::facts::patterns::CollectConfig;
+use kb_harvest::openie::OpenIeConfig;
+use kb_harvest::pipeline::analyze_parallel;
+
+use crate::table::Table;
+
+/// One F2 measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Worker threads.
+    pub workers: usize,
+    /// Documents per second.
+    pub docs_per_sec: f64,
+    /// Speedup relative to 1 worker.
+    pub speedup: f64,
+}
+
+/// Measures document-analysis throughput for each worker count.
+/// `repeat` controls how many passes are timed (higher = stabler).
+pub fn run_f2(corpus: &Corpus, worker_counts: &[usize], repeat: usize) -> Vec<ScalePoint> {
+    let docs = corpus.all_docs();
+    let world = &corpus.world;
+    let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+    let collect_cfg = CollectConfig::default();
+    let openie_cfg = OpenIeConfig::default();
+    let mut baseline = None;
+    let mut out = Vec::new();
+    for &workers in worker_counts {
+        // Warm-up pass.
+        let _ = analyze_parallel(&docs, &canonical_of, &collect_cfg, &openie_cfg, workers);
+        let t0 = Instant::now();
+        for _ in 0..repeat.max(1) {
+            let (occs, open) =
+                analyze_parallel(&docs, &canonical_of, &collect_cfg, &openie_cfg, workers);
+            assert!(occs.len() + open.len() > 0 || docs.is_empty());
+        }
+        let secs = t0.elapsed().as_secs_f64() / repeat.max(1) as f64;
+        let dps = docs.len() as f64 / secs;
+        let base = *baseline.get_or_insert(dps);
+        out.push(ScalePoint { workers, docs_per_sec: dps, speedup: dps / base });
+    }
+    out
+}
+
+/// Renders F2.
+pub fn f2(corpus: &Corpus) -> String {
+    let points = run_f2(corpus, &[1, 2, 4, 8], 3);
+    let mut t = Table::new(&["workers", "docs/s", "speedup"]);
+    for p in points {
+        t.row(vec![
+            p.workers.to_string(),
+            format!("{:.0}", p.docs_per_sec),
+            format!("{:.2}x", p.speedup),
+        ]);
+    }
+    format!("F2 — document-parallel analysis throughput (occurrences + Open IE)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::small_corpus;
+
+    #[test]
+    fn throughput_is_positive_and_parallel_runs_agree() {
+        let corpus = small_corpus(42);
+        let points = run_f2(&corpus, &[1, 2], 1);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.docs_per_sec > 0.0));
+        assert!((points[0].speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_analysis_is_order_stable() {
+        use kb_harvest::pipeline::analyze_parallel;
+        let corpus = small_corpus(42);
+        let docs = corpus.all_docs();
+        let world = &corpus.world;
+        let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+        let (o1, f1) = analyze_parallel(
+            &docs,
+            &canonical_of,
+            &CollectConfig::default(),
+            &OpenIeConfig::default(),
+            1,
+        );
+        let (o4, f4) = analyze_parallel(
+            &docs,
+            &canonical_of,
+            &CollectConfig::default(),
+            &OpenIeConfig::default(),
+            4,
+        );
+        assert_eq!(o1, o4);
+        assert_eq!(f1.len(), f4.len());
+    }
+}

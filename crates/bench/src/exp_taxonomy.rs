@@ -1,0 +1,125 @@
+//! T2: taxonomy induction quality — category analysis vs Hearst
+//! patterns vs set expansion vs the merged harvest.
+
+use std::collections::HashSet;
+
+use kb_corpus::{gold, Corpus, Doc, EntityKind};
+use kb_harvest::taxonomy::{category, hearst, induce, setexp, to_eval_set, InstanceAssertion};
+
+use crate::table::{f3, Table};
+
+/// Per-method instance-assertion quality.
+#[derive(Debug, Clone)]
+pub struct TaxonomyResult {
+    /// Method label.
+    pub method: String,
+    /// Assertions produced.
+    pub assertions: usize,
+    /// Precision / recall / F1 vs gold instanceOf.
+    pub metrics: gold::PrF1,
+}
+
+/// Runs all three harvesters plus the merge and scores them.
+pub fn run_t2(corpus: &Corpus) -> Vec<TaxonomyResult> {
+    let world = &corpus.world;
+    let docs: Vec<&Doc> = corpus.all_docs();
+    let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+    let gold_set = gold::gold_instance_strings(world);
+
+    let cat = category::harvest_categories(&docs, canonical_of);
+    let hearst_found = hearst::harvest_hearst(&docs, canonical_of);
+
+    // Set expansion: seed each kind class with 3 gold members, expand,
+    // take candidates sharing at least 2 lists with the seeds.
+    let mut setexp_found: Vec<InstanceAssertion> = Vec::new();
+    for kind in [
+        EntityKind::Person,
+        EntityKind::Company,
+        EntityKind::City,
+        EntityKind::Country,
+        EntityKind::University,
+        EntityKind::Product,
+    ] {
+        let class = kind.class_name().to_string();
+        let seeds: HashSet<String> = world
+            .of_kind(kind)
+            .take(3)
+            .map(|e| e.canonical.clone())
+            .collect();
+        if seeds.is_empty() {
+            continue;
+        }
+        for cand in setexp::expand_set(&docs, canonical_of, &seeds) {
+            if cand.shared_lists >= 2 {
+                setexp_found.push(InstanceAssertion { entity: cand.entity, class: class.clone() });
+            }
+        }
+        for s in seeds {
+            setexp_found.push(InstanceAssertion { entity: s, class: class.clone() });
+        }
+    }
+
+    let merged = induce::merge_instances(&[(&cat.instances, 0.9), (&hearst_found, 0.7), (&setexp_found, 0.5)]);
+    let merged_assertions: Vec<InstanceAssertion> = merged
+        .iter()
+        .map(|m| InstanceAssertion { entity: m.entity.clone(), class: m.class.clone() })
+        .collect();
+
+    let score = |name: &str, found: &[InstanceAssertion]| TaxonomyResult {
+        method: name.to_string(),
+        assertions: found.len(),
+        metrics: gold::pr_f1(&to_eval_set(found), &gold_set),
+    };
+    vec![
+        score("categories", &cat.instances),
+        score("hearst", &hearst_found),
+        score("set expansion", &setexp_found),
+        score("merged", &merged_assertions),
+    ]
+}
+
+/// Renders T2.
+pub fn t2(corpus: &Corpus) -> String {
+    let mut t = Table::new(&["method", "assertions", "precision", "recall", "F1"]);
+    for r in run_t2(corpus) {
+        t.row(vec![
+            r.method,
+            r.assertions.to_string(),
+            f3(r.metrics.precision),
+            f3(r.metrics.recall),
+            f3(r.metrics.f1),
+        ]);
+    }
+    format!("T2 — taxonomy induction: instanceOf quality per method\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::small_corpus;
+
+    #[test]
+    fn categories_are_highest_precision() {
+        let corpus = small_corpus(42);
+        let results = run_t2(&corpus);
+        let get = |m: &str| results.iter().find(|r| r.method == m).unwrap().metrics;
+        assert!(get("categories").precision > 0.9);
+        assert!(get("categories").precision >= get("set expansion").precision);
+        // Merging should not lose recall vs the best single method.
+        let best_recall = results
+            .iter()
+            .filter(|r| r.method != "merged")
+            .map(|r| r.metrics.recall)
+            .fold(0.0, f64::max);
+        assert!(get("merged").recall >= best_recall - 1e-9);
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let corpus = small_corpus(42);
+        let s = t2(&corpus);
+        for m in ["categories", "hearst", "set expansion", "merged"] {
+            assert!(s.contains(m), "missing {m}");
+        }
+    }
+}

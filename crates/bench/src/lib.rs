@@ -1,0 +1,23 @@
+//! # kb-bench
+//!
+//! The experiment suite: one function per table/figure defined in
+//! DESIGN.md, shared between the `harness` binary (which prints every
+//! table) and the Criterion benches (which time the hot paths).
+//!
+//! Every experiment is deterministic: same seed, same numbers.
+
+pub mod exp_analytics;
+pub mod exp_facts;
+pub mod exp_kb;
+pub mod exp_link;
+pub mod exp_misc;
+pub mod exp_ned;
+pub mod exp_openie;
+pub mod exp_rules;
+pub mod exp_scale;
+pub mod exp_taxonomy;
+pub mod setup;
+pub mod table;
+
+/// The seed every harness experiment uses.
+pub const HARNESS_SEED: u64 = 2014;

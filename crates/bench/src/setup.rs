@@ -1,0 +1,83 @@
+//! Shared experiment fixtures: corpora, harvest runs, NED engines.
+
+use kb_corpus::{Corpus, CorpusConfig, Doc};
+use kb_harvest::pipeline::{harvest, HarvestConfig, HarvestOutput, Method};
+use kb_ned::eval::GoldDoc;
+use kb_ned::Ned;
+use kb_store::KnowledgeBase;
+
+/// The standard evaluation corpus for a seed.
+pub fn standard_corpus(seed: u64) -> Corpus {
+    Corpus::generate(&CorpusConfig::standard(seed))
+}
+
+/// A small corpus for timing-sensitive micro-experiments.
+pub fn small_corpus(seed: u64) -> Corpus {
+    let mut cfg = CorpusConfig::tiny();
+    cfg.world.seed = seed;
+    Corpus::generate(&cfg)
+}
+
+/// Runs the harvesting pipeline with the given method.
+pub fn harvest_with(corpus: &Corpus, method: Method, workers: usize) -> HarvestOutput {
+    let cfg = HarvestConfig { method, workers, ..Default::default() };
+    harvest(corpus, &cfg)
+}
+
+/// Builds a NED engine over a harvested KB, using the corpus' article
+/// mentions as anchor statistics.
+pub fn build_ned<'kb>(corpus: &Corpus, kb: &'kb KnowledgeBase) -> Ned<'kb> {
+    let mut ned = Ned::new(kb);
+    for doc in corpus.all_docs() {
+        for m in &doc.mentions {
+            let canonical = &corpus.world.entity(m.entity).canonical;
+            if let Some(term) = kb.term(canonical) {
+                ned.add_anchor(&m.surface, term);
+            }
+        }
+    }
+    ned.finalize();
+    ned
+}
+
+/// Converts corpus articles into NED gold documents (mentions whose
+/// gold entity is unknown to the KB are skipped).
+pub fn ned_gold_docs<'a>(
+    docs: &'a [Doc],
+    corpus: &Corpus,
+    kb: &KnowledgeBase,
+) -> Vec<GoldDoc<'a>> {
+    docs.iter()
+        .map(|d| GoldDoc {
+            text: &d.text,
+            mentions: d
+                .mentions
+                .iter()
+                .filter_map(|m| {
+                    kb.term(&corpus.world.entity(m.entity).canonical)
+                        .map(|t| (m.start, m.end, t))
+                })
+                .collect(),
+        })
+        .filter(|g| !g.mentions.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kb_ned::Strategy;
+
+    #[test]
+    fn fixtures_compose() {
+        let corpus = small_corpus(42);
+        let out = harvest_with(&corpus, Method::Statistical, 2);
+        assert!(!out.kb.is_empty());
+        let ned = build_ned(&corpus, &out.kb);
+        let gold = ned_gold_docs(&corpus.articles, &corpus, &out.kb);
+        assert!(!gold.is_empty());
+        let acc = kb_ned::evaluate(&ned, &gold, Strategy::Prior);
+        assert!(acc.total > 0);
+        assert!(acc.accuracy() > 0.3, "prior accuracy {}", acc.accuracy());
+    }
+}

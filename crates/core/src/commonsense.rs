@@ -1,0 +1,238 @@
+//! Commonsense knowledge acquisition (tutorial §3): properties of
+//! concepts ("apples can be red, green, juicy — but not punctual") and
+//! part-whole relations ("mouthpiece partOf clarinet"), mined from
+//! generic sentences with frequency filtering.
+
+use std::collections::HashMap;
+
+use kb_corpus::Doc;
+use kb_nlp::sentence::split_sentences;
+use kb_nlp::token::{tokenize, TokenKind};
+
+use crate::taxonomy::singularize_class;
+
+/// A mined `concept hasProperty adjective` assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyFact {
+    /// Concept (singular).
+    pub concept: String,
+    /// The property adjective.
+    pub property: String,
+    /// Occurrence count across the collection.
+    pub freq: usize,
+}
+
+/// A mined `part partOf whole` assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartFact {
+    /// The part.
+    pub part: String,
+    /// The whole.
+    pub whole: String,
+    /// Occurrence count.
+    pub freq: usize,
+}
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CommonsenseConfig {
+    /// Minimum occurrences for an assertion to be kept — the frequency
+    /// filter that rejects one-off absurd statements.
+    pub min_freq: usize,
+}
+
+impl Default for CommonsenseConfig {
+    fn default() -> Self {
+        Self { min_freq: 2 }
+    }
+}
+
+/// Mines property and part-whole assertions from a document collection.
+pub fn mine_commonsense(docs: &[&Doc], cfg: &CommonsenseConfig) -> (Vec<PropertyFact>, Vec<PartFact>) {
+    let mut prop_counts: HashMap<(String, String), usize> = HashMap::new();
+    let mut part_counts: HashMap<(String, String), usize> = HashMap::new();
+    for doc in docs {
+        for sent in split_sentences(&doc.text) {
+            let text = &doc.text[sent.start..sent.end];
+            mine_properties(text, &mut prop_counts);
+            mine_parts(text, &mut part_counts);
+        }
+    }
+    let mut props: Vec<PropertyFact> = prop_counts
+        .into_iter()
+        .filter(|&(_, c)| c >= cfg.min_freq)
+        .map(|((concept, property), freq)| PropertyFact { concept, property, freq })
+        .collect();
+    props.sort_by(|a, b| b.freq.cmp(&a.freq).then_with(|| (&a.concept, &a.property).cmp(&(&b.concept, &b.property))));
+    let mut parts: Vec<PartFact> = part_counts
+        .into_iter()
+        .filter(|&(_, c)| c >= cfg.min_freq)
+        .map(|((part, whole), freq)| PartFact { part, whole, freq })
+        .collect();
+    parts.sort_by(|a, b| b.freq.cmp(&a.freq).then_with(|| (&a.part, &a.whole).cmp(&(&b.part, &b.whole))));
+    (props, parts)
+}
+
+/// "«Plural» can be a, b or c." → properties of the singular concept.
+fn mine_properties(sentence: &str, counts: &mut HashMap<(String, String), usize>) {
+    let toks = tokenize(sentence);
+    let words: Vec<String> = toks
+        .iter()
+        .map(|t| if t.kind == TokenKind::Word { t.lower() } else { t.text.clone() })
+        .collect();
+    for i in 0..words.len().saturating_sub(2) {
+        if words[i + 1] == "can" && words[i + 2] == "be" {
+            let concept = singularize_class(&words[i]);
+            if concept.is_empty() {
+                continue;
+            }
+            // Adjectives until sentence end, skipping connectives.
+            for w in &toks[i + 3..] {
+                match w.kind {
+                    TokenKind::Word => {
+                        let lw = w.lower();
+                        if lw == "or" || lw == "and" {
+                            continue;
+                        }
+                        *counts.entry((concept.clone(), lw)).or_insert(0) += 1;
+                    }
+                    TokenKind::Punct if w.text == "." => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// "The P is part of a C." and "A C has a P." → `P partOf C`.
+fn mine_parts(sentence: &str, counts: &mut HashMap<(String, String), usize>) {
+    let toks = tokenize(sentence);
+    let words: Vec<String> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Word)
+        .map(|t| t.lower())
+        .collect();
+    // ... P is part of a C ...
+    for i in 0..words.len() {
+        if i >= 1
+            && i + 4 < words.len()
+            && words[i] == "is"
+            && words[i + 1] == "part"
+            && words[i + 2] == "of"
+            && (words[i + 3] == "a" || words[i + 3] == "an" || words[i + 3] == "the")
+        {
+            let part = words[i - 1].clone();
+            let whole = words[i + 4].clone();
+            *counts.entry((part, whole)).or_insert(0) += 1;
+        }
+        // ... C has a P ...
+        if i >= 1
+            && i + 2 < words.len()
+            && words[i] == "has"
+            && (words[i + 1] == "a" || words[i + 1] == "an")
+        {
+            let whole = words[i - 1].clone();
+            let part = words[i + 2].clone();
+            *counts.entry((part, whole)).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Precision@k of mined properties against the gold concept table.
+pub fn property_precision_at_k(
+    props: &[PropertyFact],
+    k: usize,
+    gold: impl Fn(&str, &str) -> bool,
+) -> f64 {
+    let top: Vec<_> = props.iter().take(k).collect();
+    if top.is_empty() {
+        return 0.0;
+    }
+    let correct = top.iter().filter(|p| gold(&p.concept, &p.property)).count();
+    correct as f64 / top.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kb_corpus::doc::TextBuilder;
+    use kb_corpus::DocKind;
+
+    fn essay(text: &str) -> Doc {
+        let mut b = TextBuilder::new();
+        b.push(text);
+        let (text, mentions) = b.finish();
+        Doc {
+            id: 0,
+            kind: DocKind::Essay,
+            title: "e".into(),
+            subject: None,
+            text,
+            mentions,
+            infobox: vec![],
+            categories: vec![],
+        }
+    }
+
+    #[test]
+    fn properties_are_mined_and_singularized() {
+        let d = essay("Apples can be red, green or sweet. Apples can be red.");
+        let (props, _) = mine_commonsense(&[&d], &CommonsenseConfig { min_freq: 1 });
+        let red = props.iter().find(|p| p.property == "red").unwrap();
+        assert_eq!(red.concept, "apple");
+        assert_eq!(red.freq, 2);
+        assert!(props.iter().any(|p| p.property == "sweet"));
+        assert!(!props.iter().any(|p| p.property == "or"));
+    }
+
+    #[test]
+    fn frequency_filter_kills_one_off_absurdities() {
+        let d = essay("Apples can be red. Apples can be red. Apples can be punctual.");
+        let (props, _) = mine_commonsense(&[&d], &CommonsenseConfig { min_freq: 2 });
+        assert!(props.iter().any(|p| p.property == "red"));
+        assert!(!props.iter().any(|p| p.property == "punctual"));
+    }
+
+    #[test]
+    fn parts_are_mined_from_both_shapes() {
+        let d = essay("The mouthpiece is part of a clarinet. A clarinet has a reed.");
+        let (_, parts) = mine_commonsense(&[&d], &CommonsenseConfig { min_freq: 1 });
+        assert!(parts.iter().any(|p| p.part == "mouthpiece" && p.whole == "clarinet"));
+        assert!(parts.iter().any(|p| p.part == "reed" && p.whole == "clarinet"));
+    }
+
+    #[test]
+    fn precision_at_k_against_gold_table() {
+        use kb_corpus::lexicon::CONCEPTS;
+        let gold = |concept: &str, prop: &str| {
+            CONCEPTS
+                .iter()
+                .any(|c| c.name == concept && c.properties.contains(&prop))
+        };
+        let props = vec![
+            PropertyFact { concept: "apple".into(), property: "red".into(), freq: 5 },
+            PropertyFact { concept: "apple".into(), property: "punctual".into(), freq: 1 },
+        ];
+        assert_eq!(property_precision_at_k(&props, 1, gold), 1.0);
+        assert_eq!(property_precision_at_k(&props, 2, gold), 0.5);
+        assert_eq!(property_precision_at_k(&[], 5, gold), 0.0);
+    }
+
+    #[test]
+    fn mining_generated_essays_beats_noise() {
+        use kb_corpus::lexicon::CONCEPTS;
+        use kb_corpus::{Corpus, CorpusConfig};
+        let corpus = Corpus::generate(&CorpusConfig::tiny());
+        let docs: Vec<&Doc> = corpus.essays.iter().collect();
+        let (props, parts) = mine_commonsense(&docs, &CommonsenseConfig::default());
+        assert!(!props.is_empty());
+        assert!(!parts.is_empty());
+        let gold = |concept: &str, prop: &str| {
+            CONCEPTS
+                .iter()
+                .any(|c| c.name == concept && c.properties.contains(&prop))
+        };
+        let p10 = property_precision_at_k(&props, 10, gold);
+        assert!(p10 >= 0.8, "precision@10 = {p10}");
+    }
+}

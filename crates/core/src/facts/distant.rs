@@ -1,0 +1,308 @@
+//! Distant supervision: learn per-(pattern, relation) precision from a
+//! seed fact set (Mintz et al. 2009 lineage, as used by NELL, DeepDive
+//! and Knowledge Vault).
+//!
+//! Every pattern occurrence whose argument pair appears in the seeds for
+//! relation *r* is a positive example for *(pattern, r)*; pairs known
+//! under a *different* relation count as negatives; pairs unknown to the
+//! seed set count as weak negatives (the seed KB is incomplete — the
+//! classic distant-supervision noise source), discounted by
+//! [`TrainConfig::unknown_discount`].
+
+use std::collections::{HashMap, HashSet};
+
+use super::patterns::{PatternKey, PatternOccurrence};
+
+/// A seed/gold fact keyed by canonical strings.
+pub type FactKey = (String, String, String);
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Additive smoothing in the precision denominator.
+    pub smoothing: f64,
+    /// Weight of occurrences whose pair is unknown to the seeds.
+    pub unknown_discount: f64,
+    /// Minimum positive support for a (pattern, relation) to be kept.
+    pub min_support: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { smoothing: 1.0, unknown_discount: 0.1, min_support: 2 }
+    }
+}
+
+/// A learned pattern with its per-relation precision estimates.
+#[derive(Debug, Clone, Default)]
+pub struct PatternStats {
+    /// relation name → (estimated precision, positive support).
+    pub relations: HashMap<String, (f64, usize)>,
+}
+
+/// The learned pattern model.
+#[derive(Debug, Clone, Default)]
+pub struct PatternModel {
+    /// Forward-orientation patterns (subject mention first in text).
+    pub forward: HashMap<String, PatternStats>,
+    /// Reversed-orientation patterns (object first, e.g. passives).
+    pub reversed: HashMap<String, PatternStats>,
+}
+
+impl PatternModel {
+    /// Relations predicted by `pattern` in the given orientation, with
+    /// precision estimates.
+    pub fn predictions(&self, pattern: &PatternKey, reversed: bool) -> Option<&PatternStats> {
+        if reversed {
+            self.reversed.get(&pattern.infix)
+        } else {
+            self.forward.get(&pattern.infix)
+        }
+    }
+
+    /// Total number of retained (pattern, orientation, relation) entries.
+    pub fn len(&self) -> usize {
+        self.forward.values().chain(self.reversed.values()).map(|s| s.relations.len()).sum()
+    }
+
+    /// Whether nothing was learned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Trains the pattern model from occurrences and seed facts.
+///
+/// Seeds index: `(subject, object) → set of relation names`. Each
+/// occurrence is tried in both orientations: `(first, second)` trains
+/// the forward table, `(second, first)` the reversed table.
+pub fn train(
+    occurrences: &[PatternOccurrence],
+    seeds: &HashSet<FactKey>,
+    cfg: &TrainConfig,
+) -> PatternModel {
+    // (s, o) -> rels
+    let mut pair_rels: HashMap<(&str, &str), Vec<&str>> = HashMap::new();
+    let mut seeded_entities: HashSet<&str> = HashSet::new();
+    for (s, r, o) in seeds {
+        pair_rels.entry((s.as_str(), o.as_str())).or_default().push(r.as_str());
+        seeded_entities.insert(s.as_str());
+        seeded_entities.insert(o.as_str());
+    }
+
+    // counts[orientation][infix][rel] = positives; totals track the
+    // denominator components per infix.
+    #[derive(Default)]
+    struct Tally {
+        pos: HashMap<String, HashMap<String, usize>>,
+        neg: HashMap<String, f64>,
+    }
+    let mut tallies = [Tally::default(), Tally::default()];
+
+    for occ in occurrences {
+        for (ori, (s, o)) in [
+            (0usize, (occ.first.as_str(), occ.second.as_str())),
+            (1usize, (occ.second.as_str(), occ.first.as_str())),
+        ] {
+            let tally = &mut tallies[ori];
+            match pair_rels.get(&(s, o)) {
+                Some(rels) => {
+                    for r in rels {
+                        *tally
+                            .pos
+                            .entry(occ.pattern.infix.clone())
+                            .or_default()
+                            .entry((*r).to_string())
+                            .or_insert(0) += 1;
+                    }
+                }
+                None => {
+                    // Unknown pair: weak negative evidence, stronger when
+                    // both entities are covered by the seed KB (then the
+                    // absence of the fact is more meaningful).
+                    let w = if seeded_entities.contains(s) && seeded_entities.contains(o) {
+                        cfg.unknown_discount * 2.0
+                    } else {
+                        cfg.unknown_discount
+                    };
+                    *tally.neg.entry(occ.pattern.infix.clone()).or_insert(0.0) += w;
+                }
+            }
+        }
+    }
+
+    let mut model = PatternModel::default();
+    for (ori, tally) in tallies.into_iter().enumerate() {
+        let table = if ori == 0 { &mut model.forward } else { &mut model.reversed };
+        for (infix, rel_counts) in tally.pos {
+            let neg = tally.neg.get(&infix).copied().unwrap_or(0.0);
+            let total_pos: usize = rel_counts.values().sum();
+            let mut stats = PatternStats::default();
+            for (rel, pos) in rel_counts {
+                if pos < cfg.min_support {
+                    continue;
+                }
+                // Other relations' positives are hard negatives for this one.
+                let other_pos = (total_pos - pos) as f64;
+                let precision = pos as f64 / (pos as f64 + other_pos + neg + cfg.smoothing);
+                stats.relations.insert(rel, (precision, pos));
+            }
+            if !stats.relations.is_empty() {
+                table.insert(infix, stats);
+            }
+        }
+    }
+    model
+}
+
+/// Draws a deterministic seed subset of the gold facts: every `k`-th
+/// fact per relation (a stratified sample, so every relation gets
+/// seeds).
+pub fn stratified_seeds(
+    gold: &HashSet<FactKey>,
+    fraction: f64,
+) -> HashSet<FactKey> {
+    let mut by_rel: HashMap<&str, Vec<&FactKey>> = HashMap::new();
+    for f in gold {
+        by_rel.entry(f.1.as_str()).or_default().push(f);
+    }
+    let mut seeds = HashSet::new();
+    for (_, mut facts) in by_rel {
+        facts.sort();
+        let take = ((facts.len() as f64) * fraction).ceil() as usize;
+        for f in facts.into_iter().take(take.max(1)) {
+            seeds.insert(f.clone());
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(first: &str, infix: &str, second: &str) -> PatternOccurrence {
+        PatternOccurrence {
+            doc_id: 0,
+            first: first.into(),
+            second: second.into(),
+            pattern: PatternKey { infix: infix.into(), reversed: false },
+            hint: None,
+        }
+    }
+
+    fn fact(s: &str, r: &str, o: &str) -> FactKey {
+        (s.into(), r.into(), o.into())
+    }
+
+    #[test]
+    fn positive_patterns_are_learned_forward() {
+        let occs = vec![
+            occ("A", "was born in", "X"),
+            occ("B", "was born in", "Y"),
+            occ("C", "was born in", "Z"),
+        ];
+        let seeds: HashSet<FactKey> = [
+            fact("A", "bornIn", "X"),
+            fact("B", "bornIn", "Y"),
+            fact("C", "bornIn", "Z"),
+        ]
+        .into_iter()
+        .collect();
+        let model = train(&occs, &seeds, &TrainConfig::default());
+        let stats = model
+            .predictions(&PatternKey { infix: "was born in".into(), reversed: false }, false)
+            .unwrap();
+        let (prec, support) = stats.relations["bornIn"];
+        assert_eq!(support, 3);
+        assert!(prec > 0.7, "precision {prec}");
+    }
+
+    #[test]
+    fn passive_patterns_are_learned_reversed() {
+        // Text order: Company ... founder. Logical: founder founded company.
+        let occs = vec![
+            occ("AppleCo", "was founded by", "Jobs"),
+            occ("BetaCo", "was founded by", "Ann"),
+        ];
+        let seeds: HashSet<FactKey> = [
+            fact("Jobs", "founded", "AppleCo"),
+            fact("Ann", "founded", "BetaCo"),
+        ]
+        .into_iter()
+        .collect();
+        let model = train(&occs, &seeds, &TrainConfig::default());
+        assert!(model
+            .predictions(&PatternKey { infix: "was founded by".into(), reversed: false }, true)
+            .is_some());
+        assert!(model
+            .predictions(&PatternKey { infix: "was founded by".into(), reversed: false }, false)
+            .is_none());
+    }
+
+    #[test]
+    fn min_support_filters_one_off_patterns() {
+        let occs = vec![occ("A", "visited", "X")];
+        let seeds: HashSet<FactKey> = [fact("A", "bornIn", "X")].into_iter().collect();
+        let model = train(&occs, &seeds, &TrainConfig::default());
+        assert!(model.is_empty(), "support 1 must be dropped");
+    }
+
+    #[test]
+    fn conflicting_relations_depress_precision() {
+        let occs = vec![
+            occ("A", "is linked with", "X"),
+            occ("B", "is linked with", "Y"),
+            occ("C", "is linked with", "Z"),
+            occ("D", "is linked with", "W"),
+        ];
+        let seeds: HashSet<FactKey> = [
+            fact("A", "bornIn", "X"),
+            fact("B", "bornIn", "Y"),
+            fact("C", "worksAt", "Z"),
+            fact("D", "worksAt", "W"),
+        ]
+        .into_iter()
+        .collect();
+        let model = train(&occs, &seeds, &TrainConfig::default());
+        let stats = model
+            .predictions(&PatternKey { infix: "is linked with".into(), reversed: false }, false)
+            .unwrap();
+        let (p_born, _) = stats.relations["bornIn"];
+        assert!(p_born < 0.5, "ambiguous pattern must have low precision, got {p_born}");
+    }
+
+    #[test]
+    fn unknown_pairs_weaken_patterns() {
+        let mut occs = vec![
+            occ("A", "met", "X"),
+            occ("B", "met", "Y"),
+        ];
+        // Lots of unknown-pair occurrences for the same pattern.
+        for i in 0..20 {
+            occs.push(occ(&format!("U{i}"), "met", &format!("V{i}")));
+        }
+        let seeds: HashSet<FactKey> =
+            [fact("A", "bornIn", "X"), fact("B", "bornIn", "Y")].into_iter().collect();
+        let model = train(&occs, &seeds, &TrainConfig::default());
+        let stats = model
+            .predictions(&PatternKey { infix: "met".into(), reversed: false }, false)
+            .unwrap();
+        let (prec, _) = stats.relations["bornIn"];
+        assert!(prec < 0.6, "noisy pattern should be discounted, got {prec}");
+    }
+
+    #[test]
+    fn stratified_seeds_cover_every_relation() {
+        let gold: HashSet<FactKey> = (0..10)
+            .map(|i| fact(&format!("S{i}"), "bornIn", &format!("O{i}")))
+            .chain((0..4).map(|i| fact(&format!("P{i}"), "worksAt", &format!("Q{i}"))))
+            .collect();
+        let seeds = stratified_seeds(&gold, 0.2);
+        assert!(seeds.iter().any(|(_, r, _)| r == "bornIn"));
+        assert!(seeds.iter().any(|(_, r, _)| r == "worksAt"));
+        assert!(seeds.len() < gold.len());
+        // Deterministic.
+        assert_eq!(seeds, stratified_seeds(&gold, 0.2));
+    }
+}

@@ -1,0 +1,207 @@
+//! Infobox fact harvesting — the DBpedia recipe: map semi-structured
+//! infobox keys to KB relations via a declared mapping (DBpedia's
+//! "mappings wiki" equivalent) and resolve attribute values to
+//! entities.
+//!
+//! Infobox extraction is the high-precision/low-effort counterpart to
+//! text extraction; experiment T12 compares the two and their union.
+
+use kb_corpus::Doc;
+
+use super::extract::CandidateFact;
+
+/// The declared infobox-key → relation mapping. Keys not listed are
+/// ignored (names, free-text fields, years handled elsewhere).
+pub const INFOBOX_MAPPING: &[(&str, &str)] = &[
+    ("birth_place", "bornIn"),
+    ("citizenship", "citizenOf"),
+    ("founded", "founded"),
+    ("employer", "worksAt"),
+    ("spouse", "marriedTo"),
+    ("alma_mater", "studiedAt"),
+    ("country", "locatedIn"),
+    ("headquarters", "headquarteredIn"),
+    ("capital_of", "capitalOf"),
+    ("products", "created"),
+];
+
+/// Relation mapped to an infobox key, if any.
+pub fn relation_for_key(key: &str) -> Option<&'static str> {
+    INFOBOX_MAPPING
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|&(_, r)| r)
+}
+
+/// Harvests candidate facts from the infoboxes of entity articles.
+///
+/// * `canonical_of` resolves an article subject (entity id) to its
+///   canonical name;
+/// * `resolve_value` resolves an infobox value string (a display name)
+///   to a canonical entity name — unresolvable values are skipped (they
+///   are literals or unknown entities).
+///
+/// Returned candidates carry confidence [`INFOBOX_CONFIDENCE`] and full
+/// per-doc provenance.
+pub fn harvest_infoboxes<'a>(
+    docs: &[&Doc],
+    canonical_of: impl Fn(kb_corpus::EntityId) -> &'a str,
+    resolve_value: impl Fn(&str) -> Option<String>,
+) -> Vec<CandidateFact> {
+    let mut out: Vec<CandidateFact> = Vec::new();
+    for doc in docs {
+        let Some(subject) = doc.subject else { continue };
+        let subject_name = canonical_of(subject);
+        for (key, value) in &doc.infobox {
+            let Some(relation) = relation_for_key(key) else { continue };
+            let Some(value_entity) = resolve_value(value) else { continue };
+            // The article subject is always the relation's subject: the
+            // corpus emits infobox rows from the subject's own facts
+            // ("founded: AcmeCo" on a person page = person founded it).
+            let (s, o) = (subject_name.to_string(), value_entity);
+            out.push(CandidateFact {
+                subject: s,
+                relation: relation.to_string(),
+                object: o,
+                confidence: INFOBOX_CONFIDENCE,
+                support: 1,
+                docs: 1,
+                patterns: 0,
+                hints: vec![],
+            });
+        }
+    }
+    // Merge duplicates (same fact from several infoboxes).
+    out.sort_by_key(|a| a.key());
+    let mut merged: Vec<CandidateFact> = Vec::new();
+    for c in out {
+        match merged.last_mut() {
+            Some(last) if last.key() == c.key() => {
+                last.support += 1;
+                last.docs += 1;
+                last.confidence = 1.0 - (1.0 - last.confidence) * (1.0 - c.confidence);
+            }
+            _ => merged.push(c),
+        }
+    }
+    merged
+}
+
+/// Extraction confidence assigned to a single infobox statement.
+pub const INFOBOX_CONFIDENCE: f64 = 0.95;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kb_corpus::doc::TextBuilder;
+    use kb_corpus::{DocKind, EntityId};
+
+    fn doc(subject: u32, infobox: &[(&str, &str)]) -> Doc {
+        let b = TextBuilder::new();
+        let (text, mentions) = b.finish();
+        Doc {
+            id: 0,
+            kind: DocKind::Article,
+            title: format!("E{subject}"),
+            subject: Some(EntityId(subject)),
+            text,
+            mentions,
+            infobox: infobox
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            categories: vec![],
+        }
+    }
+
+    fn canon(id: EntityId) -> &'static str {
+        ["E0", "E1", "E2"][id.0 as usize]
+    }
+
+    fn resolver(v: &str) -> Option<String> {
+        match v {
+            "Lundholm" => Some("Lundholm".to_string()),
+            "Alan Varen" => Some("Alan_Varen".to_string()),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn mapped_keys_become_facts() {
+        let d = doc(0, &[("birth_place", "Lundholm"), ("name", "E0")]);
+        let facts = harvest_infoboxes(&[&d], canon, resolver);
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0].subject, "E0");
+        assert_eq!(facts[0].relation, "bornIn");
+        assert_eq!(facts[0].object, "Lundholm");
+        assert_eq!(facts[0].confidence, INFOBOX_CONFIDENCE);
+    }
+
+    #[test]
+    fn founded_keeps_the_page_subject_as_relation_subject() {
+        // On a person page, "founded: AcmeCo" means the person founded it...
+        // but our resolver only knows people; use spouse for the shape.
+        let d = doc(1, &[("spouse", "Alan Varen")]);
+        let facts = harvest_infoboxes(&[&d], canon, resolver);
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0].subject, "E1");
+        assert_eq!(facts[0].relation, "marriedTo");
+        assert_eq!(facts[0].object, "Alan_Varen");
+    }
+
+    #[test]
+    fn unresolvable_values_and_unmapped_keys_are_skipped() {
+        let d = doc(0, &[("birth_place", "Atlantis"), ("favorite_color", "Lundholm")]);
+        assert!(harvest_infoboxes(&[&d], canon, resolver).is_empty());
+    }
+
+    #[test]
+    fn duplicates_across_docs_merge() {
+        let d1 = doc(0, &[("birth_place", "Lundholm")]);
+        let d2 = doc(0, &[("birth_place", "Lundholm")]);
+        let facts = harvest_infoboxes(&[&d1, &d2], canon, resolver);
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0].support, 2);
+        assert!(facts[0].confidence > INFOBOX_CONFIDENCE);
+    }
+
+    #[test]
+    fn mapping_covers_the_declared_schema() {
+        for (_, rel) in INFOBOX_MAPPING {
+            assert!(
+                super::super::relation_spec(rel).is_some(),
+                "{rel} not in schema"
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_generated_corpus_with_high_precision() {
+        use kb_corpus::{gold, Corpus, CorpusConfig};
+        use std::collections::HashMap;
+        let corpus = Corpus::generate(&CorpusConfig::tiny());
+        let world = &corpus.world;
+        let docs: Vec<&Doc> = corpus.articles.iter().collect();
+        // Display-name resolver from the world's alias table.
+        let display_map: HashMap<String, String> = world
+            .entities
+            .iter()
+            .map(|e| (e.display.clone(), e.canonical.clone()))
+            .collect();
+        let facts = harvest_infoboxes(
+            &docs,
+            |id| world.entity(id).canonical.as_str(),
+            |v| display_map.get(v).cloned(),
+        );
+        assert!(!facts.is_empty());
+        let predicted: std::collections::HashSet<_> =
+            facts.iter().map(|c| c.key()).collect();
+        let gold_set = gold::gold_fact_strings(world);
+        let m = gold::pr_f1(&predicted, &gold_set);
+        assert!(m.precision > 0.99, "infobox precision {}", m.precision);
+        // The corpus renders each fact into its infobox with probability
+        // `infobox_coverage` (0.75 in the tiny preset).
+        assert!(m.recall > 0.6, "infobox recall {}", m.recall);
+        assert!(m.recall < 0.95, "recall should reflect partial coverage");
+    }
+}

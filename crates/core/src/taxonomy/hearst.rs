@@ -1,0 +1,255 @@
+//! Hearst-pattern harvesting: "CLASSES such as A, B and C" and
+//! "A, B and other CLASSES" (Hearst 1992), the classic web-based method
+//! for gathering instances of classes.
+
+use kb_corpus::{Doc, Mention};
+
+use super::{singularize_class, InstanceAssertion};
+
+/// Words that terminate the class phrase after "and other".
+const PHRASE_TERMINATORS: [&str; 8] = ["appear", "are", "is", "were", "have", "can", "attract", "remain"];
+
+/// Harvests instance assertions from both Hearst patterns over a
+/// document collection. Entity grounding uses the documents' mention
+/// annotations (the anchor-text signal of real Wikipedia).
+pub fn harvest_hearst<'a>(
+    docs: &[&Doc],
+    canonical_of: impl Fn(kb_corpus::EntityId) -> &'a str,
+) -> Vec<InstanceAssertion> {
+    let mut out = Vec::new();
+    for doc in docs {
+        harvest_such_as(doc, &canonical_of, &mut out);
+        harvest_and_other(doc, &canonical_of, &mut out);
+    }
+    out.sort_by(|a, b| (&a.entity, &a.class).cmp(&(&b.entity, &b.class)));
+    out.dedup();
+    out
+}
+
+/// "CLASSES such as A, B and C ..." — the class phrase precedes the cue,
+/// the instances follow it until the sentence ends.
+fn harvest_such_as<'a>(
+    doc: &Doc,
+    canonical_of: &impl Fn(kb_corpus::EntityId) -> &'a str,
+    out: &mut Vec<InstanceAssertion>,
+) {
+    for cue in find_all(&doc.text, " such as ") {
+        let Some(class) = class_phrase_before(&doc.text, cue) else { continue };
+        let enum_start = cue + " such as ".len();
+        let enum_end = doc.text[enum_start..]
+            .find('.')
+            .map(|p| enum_start + p)
+            .unwrap_or(doc.text.len());
+        for m in mentions_in(doc, enum_start, enum_end) {
+            out.push(InstanceAssertion {
+                entity: canonical_of(m.entity).to_string(),
+                class: class.clone(),
+            });
+        }
+    }
+}
+
+/// "A, B and other CLASSES ..." — the instances precede the cue within
+/// the sentence, the class phrase follows it.
+fn harvest_and_other<'a>(
+    doc: &Doc,
+    canonical_of: &impl Fn(kb_corpus::EntityId) -> &'a str,
+    out: &mut Vec<InstanceAssertion>,
+) {
+    for cue in find_all(&doc.text, " and other ") {
+        let after = &doc.text[cue + " and other ".len()..];
+        let Some(class) = class_phrase_after(after) else { continue };
+        // Sentence start: position after the previous period.
+        let sent_start = doc.text[..cue].rfind('.').map(|p| p + 1).unwrap_or(0);
+        for m in mentions_in(doc, sent_start, cue) {
+            out.push(InstanceAssertion {
+                entity: canonical_of(m.entity).to_string(),
+                class: class.clone(),
+            });
+        }
+    }
+}
+
+/// All byte offsets where `needle` occurs in `hay`.
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        out.push(from + p);
+        from += p + needle.len();
+    }
+    out
+}
+
+/// Mentions fully inside `[start, end)`.
+fn mentions_in(doc: &Doc, start: usize, end: usize) -> impl Iterator<Item = &Mention> {
+    doc.mentions
+        .iter()
+        .filter(move |m| m.start >= start && m.end <= end)
+}
+
+/// Extracts the class phrase (up to two words) immediately before byte
+/// offset `pos`, stopping at sentence boundaries. Returns the
+/// normalized singular class.
+fn class_phrase_before(text: &str, pos: usize) -> Option<String> {
+    let before = &text[..pos];
+    let sent_start = before.rfind('.').map(|p| p + 1).unwrap_or(0);
+    let words: Vec<&str> = before[sent_start..].split_whitespace().collect();
+    match words.len() {
+        0 => None,
+        1 => Some(singularize_class(words[0])),
+        _ => {
+            let last_two = format!("{} {}", words[words.len() - 2], words[words.len() - 1]);
+            // Prefer the two-word phrase when the first word is a plain
+            // lowercase modifier or a capitalized phrase-initial word
+            // ("Phone companies"); otherwise the head alone.
+            if words.len() == 2 || words[words.len() - 2].chars().all(char::is_alphanumeric) {
+                Some(singularize_class(&last_two))
+            } else {
+                Some(singularize_class(words[words.len() - 1]))
+            }
+        }
+    }
+}
+
+/// Extracts the class phrase following "and other": words until a
+/// terminator verb or punctuation, capped at two words.
+fn class_phrase_after(after: &str) -> Option<String> {
+    let mut words = Vec::new();
+    for w in after.split_whitespace() {
+        let clean = w.trim_matches(|c: char| !c.is_alphanumeric());
+        if clean.is_empty() || PHRASE_TERMINATORS.contains(&clean) {
+            break;
+        }
+        words.push(clean);
+        if words.len() == 2 {
+            // Peek: if the next word is a terminator, the 2-word phrase
+            // stands; otherwise keep only the head... two words is our cap
+            // either way.
+            break;
+        }
+        if w.ends_with('.') || w.ends_with(',') {
+            break;
+        }
+    }
+    if words.is_empty() {
+        None
+    } else {
+        Some(singularize_class(&words.join(" ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kb_corpus::doc::TextBuilder;
+    use kb_corpus::{DocKind, EntityId};
+
+    fn doc_with(text_parts: &[(&str, Option<u32>)]) -> Doc {
+        let mut b = TextBuilder::new();
+        for (s, ent) in text_parts {
+            match ent {
+                Some(id) => b.push_mention(s, EntityId(*id)),
+                None => b.push(s),
+            }
+        }
+        let (text, mentions) = b.finish();
+        Doc {
+            id: 0,
+            kind: DocKind::Overview,
+            title: "t".into(),
+            subject: None,
+            text,
+            mentions,
+            infobox: vec![],
+            categories: vec![],
+        }
+    }
+
+    fn names(id: kb_corpus::EntityId) -> &'static str {
+        match id.0 {
+            1 => "Lundholm",
+            2 => "Torberg",
+            3 => "Stavby",
+            _ => "Other",
+        }
+    }
+
+    #[test]
+    fn such_as_pattern_yields_instances() {
+        let doc = doc_with(&[
+            ("Cities such as ", None),
+            ("Lundholm", Some(1)),
+            (", ", None),
+            ("Torberg", Some(2)),
+            (" and ", None),
+            ("Stavby", Some(3)),
+            (" are widely known. ", None),
+        ]);
+        let found = harvest_hearst(&[&doc], |id| names(id));
+        assert_eq!(found.len(), 3);
+        assert!(found.iter().all(|a| a.class == "city"));
+        assert!(found.iter().any(|a| a.entity == "Lundholm"));
+    }
+
+    #[test]
+    fn and_other_pattern_yields_instances() {
+        let doc = doc_with(&[
+            ("Reports mention ", None),
+            ("Lundholm", Some(1)),
+            (" and ", None),
+            ("Torberg", Some(2)),
+            (" and other cities appear in many reports. ", None),
+        ]);
+        let found = harvest_hearst(&[&doc], |id| names(id));
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|a| a.class == "city"));
+    }
+
+    #[test]
+    fn two_word_class_phrases_become_compounds() {
+        let doc = doc_with(&[
+            ("Phone companies such as ", None),
+            ("Lundholm", Some(1)),
+            (" are widely known. ", None),
+        ]);
+        let found = harvest_hearst(&[&doc], |id| names(id));
+        assert_eq!(found[0].class, "phone_company");
+    }
+
+    #[test]
+    fn instances_outside_the_sentence_are_not_caught() {
+        let doc = doc_with(&[
+            ("Unrelated ", None),
+            ("Stavby", Some(3)),
+            (" fact. Cities such as ", None),
+            ("Lundholm", Some(1)),
+            (" are widely known. ", None),
+            ("Torberg", Some(2)),
+            (" is elsewhere. ", None),
+        ]);
+        let found = harvest_hearst(&[&doc], |id| names(id));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].entity, "Lundholm");
+    }
+
+    #[test]
+    fn no_patterns_no_output() {
+        let doc = doc_with(&[("Just a plain sentence about ", None), ("Lundholm", Some(1)), (". ", None)]);
+        assert!(harvest_hearst(&[&doc], |id| names(id)).is_empty());
+    }
+
+    #[test]
+    fn works_on_generated_overviews() {
+        use kb_corpus::{gold, Corpus, CorpusConfig};
+        let corpus = Corpus::generate(&CorpusConfig::tiny());
+        let world = &corpus.world;
+        let docs: Vec<&Doc> = corpus.overviews.iter().collect();
+        let found = harvest_hearst(&docs, |id| world.entity(id).canonical.as_str());
+        assert!(!found.is_empty());
+        let predicted = super::super::to_eval_set(&found);
+        let gold_set = gold::gold_instance_strings(world);
+        let m = gold::pr_f1(&predicted, &gold_set);
+        assert!(m.precision > 0.8, "precision {}", m.precision);
+    }
+}

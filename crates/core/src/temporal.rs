@@ -1,0 +1,262 @@
+//! Temporal knowledge harvesting (tutorial §3): tagging temporal
+//! expressions and inferring the timespans during which facts hold
+//! (YAGO2 lineage).
+//!
+//! The tagger recognizes year expressions (`in 1976`,
+//! `from 1970 to 1985`); the inference step aggregates the hints
+//! attached to a candidate fact's supporting sentences into a single
+//! [`TimeSpan`] by majority vote over begin years (and end years when
+//! present).
+
+use std::collections::HashMap;
+
+use kb_store::{TimePoint, TimeSpan};
+
+use crate::facts::patterns::TimeHint;
+
+/// A tagged temporal expression in text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalTag {
+    /// Byte offset where the expression starts.
+    pub start: usize,
+    /// Byte offset one past its end.
+    pub end: usize,
+    /// The hint it denotes.
+    pub hint: TimeHint,
+}
+
+/// Tags all temporal expressions in `text`: every `from Y1 to Y2` span
+/// and every remaining `in Y`.
+pub fn tag_temporal(text: &str) -> Vec<TemporalTag> {
+    use kb_nlp::token::{tokenize, TokenKind};
+    let toks = tokenize(text);
+    let mut tags: Vec<TemporalTag> = Vec::new();
+    let mut consumed = vec![false; toks.len()];
+    // from Y1 to Y2
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].kind == TokenKind::Word
+            && toks[i].lower() == "from"
+            && toks[i + 1].kind == TokenKind::Number
+            && toks[i + 2].lower() == "to"
+            && toks[i + 3].kind == TokenKind::Number
+        {
+            let (Some(a), Some(b)) = (
+                crate::facts::patterns::parse_year(&toks[i + 1].text),
+                crate::facts::patterns::parse_year(&toks[i + 3].text),
+            ) else {
+                continue;
+            };
+            tags.push(TemporalTag {
+                start: toks[i].start,
+                end: toks[i + 3].end,
+                hint: TimeHint { begin: Some(a), end: Some(b) },
+            });
+            for c in consumed.iter_mut().skip(i).take(4) {
+                *c = true;
+            }
+        }
+    }
+    // in Y
+    for i in 0..toks.len().saturating_sub(1) {
+        if consumed[i] || consumed[i + 1] {
+            continue;
+        }
+        if toks[i].kind == TokenKind::Word
+            && toks[i].lower() == "in"
+            && toks[i + 1].kind == TokenKind::Number
+        {
+            if let Some(y) = crate::facts::patterns::parse_year(&toks[i + 1].text) {
+                tags.push(TemporalTag {
+                    start: toks[i].start,
+                    end: toks[i + 1].end,
+                    hint: TimeHint { begin: Some(y), end: None },
+                });
+            }
+        }
+    }
+    tags.sort_by_key(|t| t.start);
+    tags
+}
+
+/// Infers a single timespan from a fact's collected hints.
+///
+/// Interval hints (`from A to B`) dominate: the modal (most frequent)
+/// interval wins. Otherwise the modal begin year becomes the span's
+/// begin with an open end. Returns `None` when no hints exist.
+pub fn infer_span(hints: &[TimeHint]) -> Option<TimeSpan> {
+    if hints.is_empty() {
+        return None;
+    }
+    // Prefer full intervals.
+    let mut interval_votes: HashMap<(i32, i32), usize> = HashMap::new();
+    for h in hints {
+        if let (Some(b), Some(e)) = (h.begin, h.end) {
+            *interval_votes.entry((b, e)).or_insert(0) += 1;
+        }
+    }
+    if let Some(((b, e), _)) = interval_votes
+        .into_iter()
+        .max_by_key(|&(k, v)| (v, std::cmp::Reverse(k)))
+    {
+        return TimeSpan::between(TimePoint::year(b), TimePoint::year(e)).ok();
+    }
+    let mut begin_votes: HashMap<i32, usize> = HashMap::new();
+    for h in hints {
+        if let Some(b) = h.begin {
+            *begin_votes.entry(b).or_insert(0) += 1;
+        }
+    }
+    begin_votes
+        .into_iter()
+        .max_by_key(|&(year, votes)| (votes, std::cmp::Reverse(year)))
+        .map(|(year, _)| TimeSpan::since(TimePoint::year(year)))
+}
+
+/// Accuracy of inferred spans against gold `(begin, end)` years:
+/// a span is correct when its begin year matches the gold begin (and
+/// its end matches when gold has one and the span claims one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalAccuracy {
+    /// Facts with any inferred span.
+    pub inferred: usize,
+    /// Inferred spans whose begin matches gold.
+    pub begin_correct: usize,
+    /// Inferred interval spans whose end also matches gold.
+    pub end_correct: usize,
+    /// Facts evaluated (gold temporal facts seen).
+    pub total: usize,
+}
+
+impl TemporalAccuracy {
+    /// Begin-year accuracy over inferred spans.
+    pub fn begin_accuracy(&self) -> f64 {
+        if self.inferred == 0 {
+            0.0
+        } else {
+            self.begin_correct as f64 / self.inferred as f64
+        }
+    }
+
+    /// Coverage: inferred / total.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.inferred as f64 / self.total as f64
+        }
+    }
+}
+
+/// Scores inferred spans against gold years.
+pub fn score_spans(
+    inferred: &[(Option<TimeSpan>, Option<i32>, Option<i32>)],
+) -> TemporalAccuracy {
+    let mut acc = TemporalAccuracy { inferred: 0, begin_correct: 0, end_correct: 0, total: 0 };
+    for (span, gold_begin, gold_end) in inferred {
+        acc.total += 1;
+        let Some(span) = span else { continue };
+        acc.inferred += 1;
+        if let (Some(b), Some(gb)) = (span.begin, gold_begin) {
+            if b.year == *gb {
+                acc.begin_correct += 1;
+                if let (Some(e), Some(ge)) = (span.end, gold_end) {
+                    if e.year == *ge {
+                        acc.end_correct += 1;
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hint(b: Option<i32>, e: Option<i32>) -> TimeHint {
+        TimeHint { begin: b, end: e }
+    }
+
+    #[test]
+    fn tags_in_year() {
+        let tags = tag_temporal("Jobs founded Apple in 1976.");
+        assert_eq!(tags.len(), 1);
+        assert_eq!(tags[0].hint, hint(Some(1976), None));
+        assert_eq!(&"Jobs founded Apple in 1976."[tags[0].start..tags[0].end], "in 1976");
+    }
+
+    #[test]
+    fn tags_from_to_without_double_counting() {
+        let tags = tag_temporal("She worked there from 1970 to 1985 happily.");
+        assert_eq!(tags.len(), 1);
+        assert_eq!(tags[0].hint, hint(Some(1970), Some(1985)));
+    }
+
+    #[test]
+    fn mixed_expressions() {
+        let tags = tag_temporal("Born in 1955, he worked from 1970 to 1985.");
+        assert_eq!(tags.len(), 2);
+        assert_eq!(tags[0].hint, hint(Some(1955), None));
+        assert_eq!(tags[1].hint, hint(Some(1970), Some(1985)));
+    }
+
+    #[test]
+    fn non_years_are_ignored()  {
+        assert!(tag_temporal("in 12 days from 3 to 5").is_empty());
+        assert!(tag_temporal("no numbers at all").is_empty());
+    }
+
+    #[test]
+    fn infer_prefers_modal_interval() {
+        let hints = vec![
+            hint(Some(1970), Some(1985)),
+            hint(Some(1970), Some(1985)),
+            hint(Some(1971), Some(1985)),
+            hint(Some(1999), None),
+        ];
+        let span = infer_span(&hints).unwrap();
+        assert_eq!(span.begin.unwrap().year, 1970);
+        assert_eq!(span.end.unwrap().year, 1985);
+    }
+
+    #[test]
+    fn infer_falls_back_to_modal_begin() {
+        let hints = vec![hint(Some(1976), None), hint(Some(1976), None), hint(Some(1980), None)];
+        let span = infer_span(&hints).unwrap();
+        assert_eq!(span.begin.unwrap().year, 1976);
+        assert!(span.end.is_none());
+    }
+
+    #[test]
+    fn infer_none_without_hints() {
+        assert!(infer_span(&[]).is_none());
+        assert!(infer_span(&[hint(None, None)]).is_none());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let hints = vec![hint(Some(1970), None), hint(Some(1980), None)];
+        // Tie: the smaller year wins via Reverse ordering.
+        assert_eq!(infer_span(&hints).unwrap().begin.unwrap().year, 1970);
+    }
+
+    #[test]
+    fn scoring_counts_correctly() {
+        let span7076 = TimeSpan::between(TimePoint::year(1970), TimePoint::year(1976)).ok();
+        let span_since = Some(TimeSpan::since(TimePoint::year(1980)));
+        let rows = vec![
+            (span7076, Some(1970), Some(1976)), // begin+end correct
+            (span_since, Some(1980), None),     // begin correct
+            (span_since, Some(1999), None),     // begin wrong
+            (None, Some(1970), None),           // not inferred
+        ];
+        let acc = score_spans(&rows);
+        assert_eq!(acc.total, 4);
+        assert_eq!(acc.inferred, 3);
+        assert_eq!(acc.begin_correct, 2);
+        assert_eq!(acc.end_correct, 1);
+        assert!((acc.begin_accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((acc.coverage() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,691 @@
+//! Wikipedia-style article rendering with gold mentions, infoboxes,
+//! categories — plus enumeration "overview" pages carrying Hearst
+//! patterns for the taxonomy-induction experiments.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::CorpusConfig;
+use crate::doc::{Doc, DocKind, TextBuilder};
+use crate::lexicon::DISTRACTOR_TEMPLATES;
+use crate::names::nationality_adjective;
+use crate::world::{Entity, EntityId, EntityKind, GoldFact, Rel, World};
+
+/// Pluralizes a class name for category strings and Hearst patterns.
+pub fn pluralize(class: &str) -> String {
+    if class == "person" {
+        return "people".to_string();
+    }
+    if let Some(stripped) = class.strip_suffix('y') {
+        // city -> cities, university -> universities
+        if !stripped.ends_with(|c: char| "aeiou".contains(c)) {
+            return format!("{stripped}ies");
+        }
+    }
+    format!("{class}s")
+}
+
+/// Renders one article per entity.
+pub fn render_articles(world: &World, cfg: &CorpusConfig, rng: &mut StdRng) -> Vec<Doc> {
+    world
+        .entities
+        .iter()
+        .enumerate()
+        .map(|(i, e)| render_entity_article(world, cfg, e, rng, i as u32))
+        .collect()
+}
+
+/// The infobox key a relation uses.
+pub fn infobox_key(rel: Rel) -> &'static str {
+    match rel {
+        Rel::BornIn => "birth_place",
+        Rel::CitizenOf => "citizenship",
+        Rel::Founded => "founded",
+        Rel::WorksAt => "employer",
+        Rel::MarriedTo => "spouse",
+        Rel::StudiedAt => "alma_mater",
+        Rel::LocatedIn => "country",
+        Rel::HeadquarteredIn => "headquarters",
+        Rel::CapitalOf => "capital_of",
+        Rel::Created => "products",
+    }
+}
+
+/// Chooses the subject surface form for a repeated mention.
+fn subject_surface<'a>(e: &'a Entity, cfg: &CorpusConfig, rng: &mut StdRng, first: bool) -> &'a str {
+    if first || !rng.gen_bool(cfg.alias_mention_rate) {
+        &e.display
+    } else {
+        &e.short
+    }
+}
+
+/// Renders one fact as a sentence into the builder, choosing among the
+/// relation's paraphrase templates.
+fn fact_sentence(
+    b: &mut TextBuilder,
+    world: &World,
+    f: &GoldFact,
+    subj_surface: &str,
+    rng: &mut StdRng,
+) {
+    let s = f.s;
+    let o = f.o;
+    let obj = &world.entity(o).display;
+    let y = f.begin;
+    let y2 = f.end;
+    // Each arm writes one full sentence ending in ". ".
+    match f.rel {
+        Rel::BornIn => {
+            b.push_mention(subj_surface, s);
+            b.push(" was born in ");
+            b.push_mention(obj, o);
+            if let Some(y) = y {
+                b.push(&format!(" in {y}"));
+            }
+            b.push(". ");
+        }
+        Rel::CitizenOf => {
+            b.push_mention(subj_surface, s);
+            b.push(" is a citizen of ");
+            b.push_mention(obj, o);
+            b.push(". ");
+        }
+        Rel::Founded => match rng.gen_range(0..3) {
+            0 => {
+                b.push_mention(subj_surface, s);
+                b.push(" founded ");
+                b.push_mention(obj, o);
+                if let Some(y) = y {
+                    b.push(&format!(" in {y}"));
+                }
+                b.push(". ");
+            }
+            1 => {
+                b.push_mention(obj, o);
+                b.push(" was founded by ");
+                b.push_mention(subj_surface, s);
+                if let Some(y) = y {
+                    b.push(&format!(" in {y}"));
+                }
+                b.push(". ");
+            }
+            _ => {
+                b.push_mention(subj_surface, s);
+                b.push(" established ");
+                b.push_mention(obj, o);
+                if let Some(y) = y {
+                    b.push(&format!(" in {y}"));
+                }
+                b.push(". ");
+            }
+        },
+        Rel::WorksAt => {
+            if let (Some(y), Some(y2)) = (y, y2) {
+                b.push_mention(subj_surface, s);
+                b.push(" worked at ");
+                b.push_mention(obj, o);
+                b.push(&format!(" from {y} to {y2}. "));
+            } else if rng.gen_bool(0.5) {
+                b.push_mention(subj_surface, s);
+                b.push(" works at ");
+                b.push_mention(obj, o);
+                b.push(". ");
+            } else {
+                b.push_mention(subj_surface, s);
+                b.push(" joined ");
+                b.push_mention(obj, o);
+                if let Some(y) = y {
+                    b.push(&format!(" in {y}"));
+                }
+                b.push(". ");
+            }
+        }
+        Rel::MarriedTo => {
+            if rng.gen_bool(0.5) {
+                b.push_mention(subj_surface, s);
+                b.push(" married ");
+                b.push_mention(obj, o);
+                if let Some(y) = y {
+                    b.push(&format!(" in {y}"));
+                }
+                b.push(". ");
+            } else {
+                b.push_mention(subj_surface, s);
+                b.push(" is married to ");
+                b.push_mention(obj, o);
+                b.push(". ");
+            }
+        }
+        Rel::StudiedAt => {
+            if let (Some(y2), true) = (y2, rng.gen_bool(0.5)) {
+                b.push_mention(subj_surface, s);
+                b.push(" graduated from ");
+                b.push_mention(obj, o);
+                b.push(&format!(" in {y2}. "));
+            } else {
+                b.push_mention(subj_surface, s);
+                b.push(" studied at ");
+                b.push_mention(obj, o);
+                b.push(". ");
+            }
+        }
+        Rel::LocatedIn => {
+            if rng.gen_bool(0.5) {
+                b.push_mention(subj_surface, s);
+                b.push(" is located in ");
+            } else {
+                b.push_mention(subj_surface, s);
+                b.push(" is a city in ");
+            }
+            b.push_mention(obj, o);
+            b.push(". ");
+        }
+        Rel::HeadquarteredIn => {
+            b.push_mention(subj_surface, s);
+            if rng.gen_bool(0.5) {
+                b.push(" is headquartered in ");
+            } else {
+                b.push(" is based in ");
+            }
+            b.push_mention(obj, o);
+            b.push(". ");
+        }
+        Rel::CapitalOf => {
+            b.push_mention(subj_surface, s);
+            b.push(" is the capital of ");
+            b.push_mention(obj, o);
+            b.push(". ");
+        }
+        Rel::Created => match rng.gen_range(0..3) {
+            0 => {
+                b.push_mention(subj_surface, s);
+                b.push(" released ");
+                b.push_mention(obj, o);
+                if let Some(y) = y {
+                    b.push(&format!(" in {y}"));
+                }
+                b.push(". ");
+            }
+            1 => {
+                b.push_mention(obj, o);
+                b.push(" was released by ");
+                b.push_mention(subj_surface, s);
+                if let Some(y) = y {
+                    b.push(&format!(" in {y}"));
+                }
+                b.push(". ");
+            }
+            _ => {
+                b.push_mention(subj_surface, s);
+                b.push(" launched ");
+                b.push_mention(obj, o);
+                if let Some(y) = y {
+                    b.push(&format!(" in {y}"));
+                }
+                b.push(". ");
+            }
+        },
+    }
+}
+
+/// Renders a *false* fact sentence (noise). Half the time the false fact
+/// violates a functionality constraint (same subject, different object),
+/// half the time a type constraint (subject of the wrong kind).
+fn noise_sentence(b: &mut TextBuilder, world: &World, subject: &Entity, rng: &mut StdRng) {
+    // Relations whose templates we can reuse with arbitrary arguments.
+    const NOISE_RELS: [Rel; 4] = [Rel::BornIn, Rel::HeadquarteredIn, Rel::WorksAt, Rel::Founded];
+    let type_violation = rng.gen_bool(0.5);
+    // Type violation: a relation whose domain does NOT match the subject
+    // ("Nimbus Systems was born in ..."). Otherwise a domain-compatible
+    // relation, which for functional relations yields a functionality
+    // violation the reasoner can catch.
+    let pool: Vec<Rel> = NOISE_RELS
+        .into_iter()
+        .filter(|r| (r.domain() != subject.kind) == type_violation)
+        .collect();
+    let rel = if pool.is_empty() {
+        NOISE_RELS[rng.gen_range(0..NOISE_RELS.len())]
+    } else {
+        pool[rng.gen_range(0..pool.len())]
+    };
+    // Pick a random object of the template's range kind that is NOT a
+    // gold object for this subject.
+    let candidates: Vec<EntityId> = world
+        .of_kind(rel.range())
+        .map(|e| e.id)
+        .filter(|&o| !world.holds(subject.id, rel, o))
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let o = candidates[rng.gen_range(0..candidates.len())];
+    let fake = GoldFact { s: subject.id, rel, o, begin: None, end: None };
+    fact_sentence(b, world, &fake, &subject.display, rng);
+}
+
+/// Renders a distractor sentence. The subject may be mentioned by its
+/// short alias (products by their line stem, people by surname), which
+/// is how those ambiguous surface forms enter the anchor statistics.
+fn distractor_sentence(
+    b: &mut TextBuilder,
+    world: &World,
+    subject: &Entity,
+    cfg: &CorpusConfig,
+    rng: &mut StdRng,
+) {
+    let template = DISTRACTOR_TEMPLATES[rng.gen_range(0..DISTRACTOR_TEMPLATES.len())];
+    let other = &world.entities[rng.gen_range(0..world.entities.len())];
+    let surface = if rng.gen_bool(cfg.alias_mention_rate) {
+        &subject.short
+    } else {
+        &subject.display
+    };
+    let mut rest = template;
+    while let Some(pos) = rest.find('{') {
+        b.push(&rest[..pos]);
+        if rest[pos..].starts_with("{S}") {
+            b.push_mention(surface, subject.id);
+            rest = &rest[pos + 3..];
+        } else if rest[pos..].starts_with("{X}") {
+            b.push_mention(&other.display, other.id);
+            rest = &rest[pos + 3..];
+        } else {
+            b.push("{");
+            rest = &rest[pos + 1..];
+        }
+    }
+    b.push(rest);
+    b.push(" ");
+}
+
+/// Builds the article for one entity.
+fn render_entity_article(
+    world: &World,
+    cfg: &CorpusConfig,
+    e: &Entity,
+    rng: &mut StdRng,
+    id: u32,
+) -> Doc {
+    let mut b = TextBuilder::new();
+    let mut infobox: Vec<(String, String)> = vec![("name".into(), e.display.clone())];
+    if let Some(y) = e.year {
+        let key = match e.kind {
+            EntityKind::Person => "birth_year",
+            EntityKind::Company => "founding_year",
+            EntityKind::Product => "launch_year",
+            _ => "year",
+        };
+        infobox.push((key.into(), y.to_string()));
+    }
+
+    // Intro sentence establishing the subject's classes (context for NED).
+    intro_sentence(&mut b, world, e);
+
+    let facts: Vec<&GoldFact> = world.facts_of(e.id).collect();
+    let mut first = true;
+    for f in &facts {
+        if rng.gen_bool(cfg.infobox_coverage) {
+            infobox.push((infobox_key(f.rel).into(), world.entity(f.o).display.clone()));
+        }
+        if rng.gen_bool(cfg.fact_sentence_rate) {
+            let surface = subject_surface(e, cfg, rng, first).to_string();
+            fact_sentence(&mut b, world, f, &surface, rng);
+            first = false;
+        }
+        // Interleave distractors.
+        if rng.gen_bool(cfg.distractors_per_article / (facts.len() as f64 + 1.0)) {
+            distractor_sentence(&mut b, world, e, cfg, rng);
+        }
+    }
+    // Standalone distractors for entities with few facts (products and
+    // quiet people still need alias mentions for the anchor statistics).
+    if facts.len() < 2 {
+        distractor_sentence(&mut b, world, e, cfg, rng);
+        distractor_sentence(&mut b, world, e, cfg, rng);
+    }
+    // Noise.
+    if rng.gen_bool(cfg.noise_rate) {
+        noise_sentence(&mut b, world, e, rng);
+    }
+
+    let categories = categories_for(world, e);
+    let (text, mentions) = b.finish();
+    Doc {
+        id,
+        kind: DocKind::Article,
+        title: e.display.clone(),
+        subject: Some(e.id),
+        text,
+        mentions,
+        infobox,
+        categories,
+    }
+}
+
+/// The intro sentence: "«Name» is a «Nationality» «occupation»." etc.
+fn intro_sentence(b: &mut TextBuilder, world: &World, e: &Entity) {
+    b.push_mention(&e.display, e.id);
+    match e.kind {
+        EntityKind::Person => {
+            let occ = e
+                .classes
+                .iter()
+                .find(|c| *c != "person")
+                .cloned()
+                .unwrap_or_else(|| "person".into());
+            match e.country.map(|c| &world.entity(c).display) {
+                Some(country) => {
+                    b.push(&format!(" is a {} {occ}. ", nationality_adjective(country)))
+                }
+                None => b.push(&format!(" is a {occ}. ")),
+            }
+        }
+        EntityKind::Company => {
+            let industry = e
+                .classes
+                .iter()
+                .find_map(|c| c.strip_suffix("_company"))
+                .unwrap_or("large");
+            b.push(&format!(" is a {industry} company. "));
+        }
+        EntityKind::City => b.push(" is a city. "),
+        EntityKind::Country => b.push(" is a country. "),
+        EntityKind::University => b.push(" is a university. "),
+        EntityKind::Product => {
+            let kind = e
+                .classes
+                .iter()
+                .find(|c| *c != "product")
+                .cloned()
+                .unwrap_or_else(|| "product".into());
+            b.push(&format!(" is a {kind}. "));
+        }
+    }
+}
+
+/// Category strings for an article: a mix of *class* categories
+/// ("Valdorian entrepreneurs") and *relational* categories
+/// ("People born in Lundholm") — the latter must NOT become classes in
+/// the taxonomy-induction experiment.
+fn categories_for(world: &World, e: &Entity) -> Vec<String> {
+    let mut cats = Vec::new();
+    match e.kind {
+        EntityKind::Person => {
+            let nat = e
+                .country
+                .map(|c| nationality_adjective(&world.entity(c).display));
+            for occ in e.classes.iter().filter(|c| *c != "person") {
+                match &nat {
+                    Some(adj) => cats.push(format!("{adj} {}", pluralize(occ))),
+                    None => cats.push(pluralize(occ)),
+                }
+            }
+            if let Some(f) = world.facts_of(e.id).find(|f| f.rel == Rel::BornIn) {
+                cats.push(format!("People born in {}", world.entity(f.o).display));
+            }
+        }
+        EntityKind::Company => {
+            for c in e.classes.iter().filter_map(|c| c.strip_suffix("_company")) {
+                cats.push(format!("{} companies", capitalize(c)));
+            }
+            if let Some(f) = world.facts_of(e.id).find(|f| f.rel == Rel::HeadquarteredIn) {
+                cats.push(format!(
+                    "Companies headquartered in {}",
+                    world.entity(f.o).display
+                ));
+            }
+        }
+        EntityKind::City => {
+            if let Some(f) = world.facts_of(e.id).find(|f| f.rel == Rel::LocatedIn) {
+                cats.push(format!("Cities in {}", world.entity(f.o).display));
+            }
+        }
+        EntityKind::Country => cats.push("Countries".into()),
+        EntityKind::University => {
+            if let Some(c) = e.country {
+                cats.push(format!("Universities in {}", world.entity(c).display));
+            }
+        }
+        EntityKind::Product => {
+            for c in e.classes.iter().filter(|c| *c != "product") {
+                cats.push(capitalize(&pluralize(c)));
+            }
+        }
+    }
+    cats
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Renders enumeration/overview pages carrying Hearst patterns and
+/// plain lists, the raw material for taxonomy induction and set
+/// expansion.
+pub fn render_overviews(world: &World, _cfg: &CorpusConfig, rng: &mut StdRng) -> Vec<Doc> {
+    let mut docs = Vec::new();
+    let mut next_id = 100_000u32;
+    // One overview page per class that has at least 3 instances.
+    let mut classes: Vec<String> = world
+        .instance_of
+        .iter()
+        .map(|(_, c)| c.clone())
+        .collect();
+    classes.sort();
+    classes.dedup();
+    for class in classes {
+        let members: Vec<EntityId> = world
+            .instance_of
+            .iter()
+            .filter(|(_, c)| *c == class)
+            .map(|(id, _)| *id)
+            .collect();
+        if members.len() < 3 {
+            continue;
+        }
+        let mut b = TextBuilder::new();
+        // Underscored class names render as space-separated phrases:
+        // "phone_company" → "phone companies".
+        let plural = pluralize(&class.replace('_', " "));
+        // Hearst: "X such as A, B and C ..."
+        let sample = sample_ids(&members, 3.min(members.len()), rng);
+        b.push(&capitalize(&plural));
+        b.push(" such as ");
+        push_enumeration(&mut b, world, &sample);
+        b.push(" are widely known. ");
+        // Hearst: "A and other X ..."
+        let sample2 = sample_ids(&members, 2.min(members.len()), rng);
+        push_enumeration(&mut b, world, &sample2);
+        b.push(&format!(" and other {plural} appear in many reports. "));
+        // Plain enumeration for set expansion.
+        let sample3 = sample_ids(&members, 4.min(members.len()), rng);
+        b.push(&format!("Popular {plural} include "));
+        push_enumeration(&mut b, world, &sample3);
+        b.push(". ");
+        let (text, mentions) = b.finish();
+        docs.push(Doc {
+            id: next_id,
+            kind: DocKind::Overview,
+            title: format!("Overview of {plural}"),
+            subject: None,
+            text,
+            mentions,
+            infobox: vec![],
+            categories: vec![],
+        });
+        next_id += 1;
+    }
+    docs
+}
+
+/// Writes "A, B and C" with gold mentions.
+fn push_enumeration(b: &mut TextBuilder, world: &World, ids: &[EntityId]) {
+    for (i, &id) in ids.iter().enumerate() {
+        if i > 0 {
+            if i + 1 == ids.len() {
+                b.push(" and ");
+            } else {
+                b.push(", ");
+            }
+        }
+        b.push_mention(&world.entity(id).display, id);
+    }
+}
+
+/// Samples `n` distinct ids deterministically.
+fn sample_ids(pool: &[EntityId], n: usize, rng: &mut StdRng) -> Vec<EntityId> {
+    let mut picked: Vec<EntityId> = Vec::with_capacity(n);
+    let mut attempts = 0;
+    while picked.len() < n && attempts < 10 * n + 20 {
+        let c = pool[rng.gen_range(0..pool.len())];
+        if !picked.contains(&c) {
+            picked.push(c);
+        }
+        attempts += 1;
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CorpusConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (World, CorpusConfig, StdRng) {
+        let cfg = CorpusConfig::tiny();
+        let world = World::generate(&cfg.world);
+        let rng = StdRng::seed_from_u64(1);
+        (world, cfg, rng)
+    }
+
+    #[test]
+    fn every_entity_gets_an_article_with_valid_mentions() {
+        let (world, cfg, mut rng) = setup();
+        let docs = render_articles(&world, &cfg, &mut rng);
+        assert_eq!(docs.len(), world.entities.len());
+        for d in &docs {
+            assert!(!d.text.is_empty());
+            for m in &d.mentions {
+                assert_eq!(&d.text[m.start..m.end], m.surface, "bad offsets in {}", d.title);
+            }
+        }
+    }
+
+    #[test]
+    fn articles_mention_their_subject() {
+        let (world, cfg, mut rng) = setup();
+        let docs = render_articles(&world, &cfg, &mut rng);
+        for d in &docs {
+            let subject = d.subject.unwrap();
+            assert!(
+                d.mentions_of(subject).count() >= 1,
+                "article {} never mentions its subject",
+                d.title
+            );
+        }
+    }
+
+    #[test]
+    fn clean_config_renders_every_fact() {
+        let cfg = CorpusConfig::clean();
+        let world = World::generate(&cfg.world);
+        let mut rng = StdRng::seed_from_u64(3);
+        let docs = render_articles(&world, &cfg, &mut rng);
+        // With fact_sentence_rate = 1 every gold fact of the subject must
+        // surface as a sentence mentioning subject and object.
+        for d in &docs {
+            let subject = d.subject.unwrap();
+            for f in world.facts_of(subject) {
+                assert!(
+                    d.mentions_of(f.o).count() >= 1,
+                    "fact {:?} of {} not verbalized",
+                    f.rel,
+                    d.title
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infobox_carries_all_facts_at_full_coverage() {
+        let (world, mut cfg, mut rng) = setup();
+        cfg.infobox_coverage = 1.0;
+        let docs = render_articles(&world, &cfg, &mut rng);
+        for d in &docs {
+            let subject = d.subject.unwrap();
+            for f in world.facts_of(subject) {
+                let key = infobox_key(f.rel);
+                let val = &world.entity(f.o).display;
+                assert!(
+                    d.infobox.iter().any(|(k, v)| k == key && v == val),
+                    "infobox of {} misses {key}={val}",
+                    d.title
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn person_categories_mix_class_and_relational() {
+        let (world, cfg, mut rng) = setup();
+        let docs = render_articles(&world, &cfg, &mut rng);
+        let person_doc = docs
+            .iter()
+            .find(|d| {
+                world.entity(d.subject.unwrap()).kind == EntityKind::Person
+            })
+            .unwrap();
+        assert!(
+            person_doc.categories.iter().any(|c| c.starts_with("People born in")),
+            "missing relational category: {:?}",
+            person_doc.categories
+        );
+        assert!(!person_doc.categories.is_empty());
+    }
+
+    #[test]
+    fn overviews_carry_hearst_patterns() {
+        let (world, cfg, mut rng) = setup();
+        let docs = render_overviews(&world, &cfg, &mut rng);
+        assert!(!docs.is_empty());
+        let with_such_as = docs.iter().filter(|d| d.text.contains("such as")).count();
+        assert_eq!(with_such_as, docs.len());
+        let with_other = docs.iter().filter(|d| d.text.contains("and other")).count();
+        assert_eq!(with_other, docs.len());
+        for d in &docs {
+            for m in &d.mentions {
+                assert_eq!(&d.text[m.start..m.end], m.surface);
+            }
+        }
+    }
+
+    #[test]
+    fn pluralize_handles_irregulars() {
+        assert_eq!(pluralize("person"), "people");
+        assert_eq!(pluralize("city"), "cities");
+        assert_eq!(pluralize("company"), "companies");
+        assert_eq!(pluralize("phone"), "phones");
+        assert_eq!(pluralize("university"), "universities");
+    }
+
+    #[test]
+    fn alias_mentions_appear_with_high_alias_rate() {
+        let mut cfg = CorpusConfig::tiny();
+        cfg.alias_mention_rate = 1.0;
+        let world = World::generate(&cfg.world);
+        let mut rng = StdRng::seed_from_u64(5);
+        let docs = render_articles(&world, &cfg, &mut rng);
+        // Some subject mention somewhere must use the short alias.
+        let any_short = docs.iter().any(|d| {
+            let e = world.entity(d.subject.unwrap());
+            e.short != e.display && d.mentions_of(e.id).any(|m| m.surface == e.short)
+        });
+        assert!(any_short, "no alias mentions generated");
+    }
+}

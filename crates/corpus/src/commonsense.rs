@@ -1,0 +1,123 @@
+//! Commonsense essays: generic sentences about concepts ("apples can be
+//! red"), part-whole statements ("the mouthpiece is part of a
+//! clarinet") — plus controlled absurd noise, for the commonsense-mining
+//! experiment (tutorial §3, "Commonsense Knowledge").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::CorpusConfig;
+use crate::doc::{Doc, DocKind, TextBuilder};
+use crate::lexicon::{ABSURD_PROPERTIES, CONCEPTS};
+use crate::world::World;
+
+/// Renders `cfg.essays` essays cycling through the concept table. Each
+/// property/part is stated multiple times across essays (frequency is the
+/// miner's signal), while absurd properties appear at most once each.
+pub fn render_essays(_world: &World, cfg: &CorpusConfig, rng: &mut StdRng) -> Vec<Doc> {
+    let mut docs = Vec::new();
+    for i in 0..cfg.essays {
+        let mut b = TextBuilder::new();
+        for concept in CONCEPTS {
+            // Property sentences: enumerate a sample of gold properties.
+            let mut props: Vec<&str> = concept.properties.to_vec();
+            // Rotate deterministically so different essays emphasize
+            // different properties but every property recurs.
+            let rot = i % props.len().max(1);
+            props.rotate_left(rot);
+            let take = rng.gen_range(2..=props.len().max(2)).min(props.len());
+            b.push(&format!("{} can be ", capitalize(concept.plural)));
+            for (j, p) in props[..take].iter().enumerate() {
+                if j > 0 {
+                    if j + 1 == take {
+                        b.push(" or ");
+                    } else {
+                        b.push(", ");
+                    }
+                }
+                b.push(p);
+            }
+            b.push(". ");
+            // Part sentences.
+            for part in concept.parts {
+                if rng.gen_bool(0.7) {
+                    if rng.gen_bool(0.5) {
+                        b.push(&format!(
+                            "The {part} is part of a {}. ",
+                            concept.name
+                        ));
+                    } else {
+                        b.push(&format!("A {} has a {part}. ", concept.name));
+                    }
+                }
+            }
+        }
+        // Absurd noise: rare, so frequency-based mining can reject it.
+        if rng.gen_bool((cfg.noise_rate * 2.0).min(1.0)) {
+            let c = &CONCEPTS[rng.gen_range(0..CONCEPTS.len())];
+            let a = ABSURD_PROPERTIES[rng.gen_range(0..ABSURD_PROPERTIES.len())];
+            b.push(&format!("{} can be {a}. ", capitalize(c.plural)));
+        }
+        let (text, mentions) = b.finish();
+        docs.push(Doc {
+            id: 300_000 + i as u32,
+            kind: DocKind::Essay,
+            title: format!("essay-{i}"),
+            subject: None,
+            text,
+            mentions,
+            infobox: vec![],
+            categories: vec![],
+        });
+    }
+    docs
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn essays() -> Vec<Doc> {
+        let cfg = CorpusConfig::tiny();
+        let world = World::generate(&cfg.world);
+        let mut rng = StdRng::seed_from_u64(2);
+        render_essays(&world, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn renders_requested_count() {
+        let cfg = CorpusConfig::tiny();
+        assert_eq!(essays().len(), cfg.essays);
+    }
+
+    #[test]
+    fn property_sentences_use_can_be() {
+        let docs = essays();
+        assert!(docs.iter().all(|d| d.text.contains(" can be ")));
+    }
+
+    #[test]
+    fn part_sentences_appear() {
+        let docs = essays();
+        let text: String = docs.iter().map(|d| d.text.as_str()).collect();
+        assert!(text.contains("is part of a") || text.contains("has a"));
+    }
+
+    #[test]
+    fn gold_properties_recur_across_essays() {
+        let docs = essays();
+        let text: String = docs.iter().map(|d| d.text.as_str()).collect();
+        // "red" is gold for apples and cars; must appear repeatedly.
+        let occurrences = text.matches("red").count();
+        assert!(occurrences >= 2, "gold property too rare: {occurrences}");
+    }
+}

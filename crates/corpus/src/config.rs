@@ -1,0 +1,154 @@
+//! Generation configuration knobs.
+
+/// Sizes and noise knobs for the synthetic world itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Master RNG seed — the single source of randomness.
+    pub seed: u64,
+    /// Number of person entities.
+    pub people: usize,
+    /// Number of company entities.
+    pub companies: usize,
+    /// Number of city entities.
+    pub cities: usize,
+    /// Number of country entities.
+    pub countries: usize,
+    /// Number of university entities.
+    pub universities: usize,
+    /// Number of product entities.
+    pub products: usize,
+    /// Name-ambiguity knob in `[0, 1]`: 0 gives everyone a unique
+    /// surname, values toward 1 shrink the surname pool so short
+    /// aliases ("Varen") become highly ambiguous.
+    pub ambiguity: f64,
+}
+
+impl WorldConfig {
+    /// A minimal world for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            people: 24,
+            companies: 6,
+            cities: 8,
+            countries: 3,
+            universities: 3,
+            products: 8,
+            ambiguity: 0.5,
+        }
+    }
+
+    /// The default evaluation world (used by the experiment harness).
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            seed,
+            people: 400,
+            companies: 60,
+            cities: 50,
+            countries: 10,
+            universities: 20,
+            products: 80,
+            ambiguity: 0.5,
+        }
+    }
+
+    /// Total entity count across all kinds.
+    pub fn total_entities(&self) -> usize {
+        self.people + self.companies + self.cities + self.countries + self.universities + self.products
+    }
+}
+
+/// Knobs for corpus rendering on top of a world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// The world to render.
+    pub world: WorldConfig,
+    /// Probability that a gold fact of an article's subject is verbalized
+    /// in the article text (coverage knob; infoboxes always carry facts).
+    pub fact_sentence_rate: f64,
+    /// Expected number of distractor (fact-free) sentences per article.
+    pub distractors_per_article: f64,
+    /// Probability of injecting a *false* fact sentence into an article
+    /// (drawn to violate functionality or type constraints half the time).
+    pub noise_rate: f64,
+    /// Probability that a repeated mention of the subject uses an
+    /// ambiguous short alias instead of the full name.
+    pub alias_mention_rate: f64,
+    /// Probability that a gold fact appears in the subject's infobox
+    /// (real infoboxes are incomplete; text carries the rest).
+    pub infobox_coverage: f64,
+    /// Number of noisy web pages to render.
+    pub web_pages: usize,
+    /// Number of commonsense essays.
+    pub essays: usize,
+    /// Number of days the social stream covers.
+    pub stream_days: usize,
+    /// Expected posts per day in the social stream.
+    pub posts_per_day: usize,
+}
+
+impl CorpusConfig {
+    /// Minimal corpus for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            world: WorldConfig::tiny(42),
+            fact_sentence_rate: 0.9,
+            distractors_per_article: 1.5,
+            noise_rate: 0.08,
+            alias_mention_rate: 0.6,
+            infobox_coverage: 0.75,
+            web_pages: 10,
+            essays: 4,
+            stream_days: 28,
+            posts_per_day: 6,
+        }
+    }
+
+    /// The standard evaluation corpus (harness default).
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            world: WorldConfig::standard(seed),
+            fact_sentence_rate: 0.9,
+            distractors_per_article: 2.0,
+            noise_rate: 0.08,
+            alias_mention_rate: 0.6,
+            infobox_coverage: 0.75,
+            web_pages: 150,
+            essays: 12,
+            stream_days: 112,
+            posts_per_day: 40,
+        }
+    }
+
+    /// A noise-free corpus, for tests that need perfect extractability.
+    pub fn clean() -> Self {
+        let mut c = Self::tiny();
+        c.noise_rate = 0.0;
+        c.fact_sentence_rate = 1.0;
+        c.infobox_coverage = 1.0;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for cfg in [CorpusConfig::tiny(), CorpusConfig::standard(1), CorpusConfig::clean()] {
+            assert!(cfg.world.total_entities() > 0);
+            assert!((0.0..=1.0).contains(&cfg.noise_rate));
+            assert!((0.0..=1.0).contains(&cfg.fact_sentence_rate));
+            assert!((0.0..=1.0).contains(&cfg.alias_mention_rate));
+            assert!((0.0..=1.0).contains(&cfg.infobox_coverage));
+            assert!((0.0..=1.0).contains(&cfg.world.ambiguity));
+        }
+    }
+
+    #[test]
+    fn clean_preset_disables_noise() {
+        assert_eq!(CorpusConfig::clean().noise_rate, 0.0);
+        assert_eq!(CorpusConfig::clean().fact_sentence_rate, 1.0);
+    }
+}

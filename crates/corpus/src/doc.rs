@@ -1,0 +1,172 @@
+//! The document model shared by all renderers, plus the offset-tracking
+//! text builder.
+
+use crate::world::EntityId;
+
+/// What collection a document belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocKind {
+    /// Wikipedia-style entity article.
+    Article,
+    /// Enumeration/Hearst-pattern overview page.
+    Overview,
+    /// Noisy web page.
+    Web,
+    /// Commonsense essay.
+    Essay,
+}
+
+/// A gold-annotated entity mention: byte span plus the entity it
+/// actually denotes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mention {
+    /// Byte offset of the first character in [`Doc::text`].
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// The gold entity.
+    pub entity: EntityId,
+    /// The surface form as written.
+    pub surface: String,
+}
+
+/// A rendered document with gold annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Doc {
+    /// Dense document id (unique within its corpus).
+    pub id: u32,
+    /// Which collection it belongs to.
+    pub kind: DocKind,
+    /// Title (the subject's display name for articles).
+    pub title: String,
+    /// The subject entity, for articles.
+    pub subject: Option<EntityId>,
+    /// Full text.
+    pub text: String,
+    /// Gold entity mentions, ordered by start offset.
+    pub mentions: Vec<Mention>,
+    /// Infobox key/value pairs (articles only).
+    pub infobox: Vec<(String, String)>,
+    /// Category strings (articles only), e.g. `"Valdorian entrepreneurs"`.
+    pub categories: Vec<String>,
+}
+
+impl Doc {
+    /// The mention (if any) covering byte offset `pos`.
+    pub fn mention_at(&self, pos: usize) -> Option<&Mention> {
+        self.mentions.iter().find(|m| m.start <= pos && pos < m.end)
+    }
+
+    /// All mentions of a given entity.
+    pub fn mentions_of(&self, entity: EntityId) -> impl Iterator<Item = &Mention> {
+        self.mentions.iter().filter(move |m| m.entity == entity)
+    }
+}
+
+/// Builds document text while recording mention offsets.
+#[derive(Debug, Default)]
+pub struct TextBuilder {
+    text: String,
+    mentions: Vec<Mention>,
+}
+
+impl TextBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends plain text.
+    pub fn push(&mut self, s: &str) {
+        self.text.push_str(s);
+    }
+
+    /// Appends an entity mention, recording its gold annotation.
+    pub fn push_mention(&mut self, surface: &str, entity: EntityId) {
+        let start = self.text.len();
+        self.text.push_str(surface);
+        self.mentions.push(Mention {
+            start,
+            end: self.text.len(),
+            entity,
+            surface: surface.to_string(),
+        });
+    }
+
+    /// Ensures the text ends with a single space (template glue).
+    pub fn space(&mut self) {
+        if !self.text.is_empty() && !self.text.ends_with(' ') {
+            self.text.push(' ');
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Finalizes into `(text, mentions)`.
+    pub fn finish(self) -> (String, Vec<Mention>) {
+        (self.text, self.mentions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_offsets() {
+        let mut b = TextBuilder::new();
+        b.push("Hello ");
+        b.push_mention("Alan Varen", EntityId(3));
+        b.push(" of ");
+        b.push_mention("Lundholm", EntityId(7));
+        b.push(".");
+        let (text, mentions) = b.finish();
+        assert_eq!(text, "Hello Alan Varen of Lundholm.");
+        assert_eq!(mentions.len(), 2);
+        assert_eq!(&text[mentions[0].start..mentions[0].end], "Alan Varen");
+        assert_eq!(&text[mentions[1].start..mentions[1].end], "Lundholm");
+        assert_eq!(mentions[1].entity, EntityId(7));
+    }
+
+    #[test]
+    fn space_is_idempotent() {
+        let mut b = TextBuilder::new();
+        b.space();
+        assert!(b.is_empty());
+        b.push("x");
+        b.space();
+        b.space();
+        let (text, _) = b.finish();
+        assert_eq!(text, "x ");
+    }
+
+    #[test]
+    fn mention_lookup() {
+        let mut b = TextBuilder::new();
+        b.push_mention("Varen", EntityId(1));
+        let (text, mentions) = b.finish();
+        let d = Doc {
+            id: 0,
+            kind: DocKind::Article,
+            title: "t".into(),
+            subject: None,
+            text,
+            mentions,
+            infobox: vec![],
+            categories: vec![],
+        };
+        assert_eq!(d.mention_at(0).unwrap().entity, EntityId(1));
+        assert_eq!(d.mention_at(2).unwrap().surface, "Varen");
+        assert!(d.mention_at(5).is_none());
+        assert_eq!(d.mentions_of(EntityId(1)).count(), 1);
+        assert_eq!(d.mentions_of(EntityId(9)).count(), 0);
+    }
+}

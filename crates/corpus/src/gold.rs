@@ -1,0 +1,297 @@
+//! Gold evaluation structures derived from the world: canonical fact
+//! sets, NED mention gold, and record-linkage dumps with known
+//! duplicates.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::world::{EntityId, EntityKind, Rel, World};
+
+/// The gold fact set keyed by canonical names — what extractors are
+/// scored against.
+pub fn gold_fact_strings(world: &World) -> HashSet<(String, String, String)> {
+    world
+        .facts
+        .iter()
+        .map(|f| {
+            (
+                world.entity(f.s).canonical.clone(),
+                f.rel.name().to_string(),
+                world.entity(f.o).canonical.clone(),
+            )
+        })
+        .collect()
+}
+
+/// Gold `instanceOf` pairs as strings `(entity canonical, class)`.
+pub fn gold_instance_strings(world: &World) -> HashSet<(String, String)> {
+    world
+        .instance_of
+        .iter()
+        .map(|(id, class)| (world.entity(*id).canonical.clone(), class.clone()))
+        .collect()
+}
+
+/// Gold subclass edges as string pairs.
+pub fn gold_subclass_strings(world: &World) -> HashSet<(String, String)> {
+    world.taxonomy_edges.iter().cloned().collect()
+}
+
+/// Standard precision/recall/F1 over sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrF1 {
+    /// Precision (1.0 when nothing was predicted).
+    pub precision: f64,
+    /// Recall (1.0 when nothing was expected).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+/// Computes precision/recall/F1 of `predicted` against `gold`.
+pub fn pr_f1<T: Eq + std::hash::Hash>(predicted: &HashSet<T>, gold: &HashSet<T>) -> PrF1 {
+    let tp = predicted.intersection(gold).count();
+    let fp = predicted.len() - tp;
+    let fn_ = gold.len() - tp;
+    let precision = if predicted.is_empty() { 1.0 } else { tp as f64 / predicted.len() as f64 };
+    let recall = if gold.is_empty() { 1.0 } else { tp as f64 / gold.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrF1 { precision, recall, f1, tp, fp, fn_ }
+}
+
+/// One record in a linkage dump: a (possibly perturbed) description of
+/// an entity as a different data source would publish it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkRecord {
+    /// Dense record id within the dump.
+    pub id: u32,
+    /// Which source produced it (0 = clean dump, 1 = perturbed dump).
+    pub source: u8,
+    /// The (possibly perturbed) name.
+    pub name: String,
+    /// Attribute pairs, possibly incomplete in source 1.
+    pub attrs: Vec<(String, String)>,
+    /// The ground-truth entity (hidden from the matcher, used by eval).
+    pub gold_entity: EntityId,
+}
+
+/// A pair of record dumps with the gold duplicate pairs.
+#[derive(Debug, Clone)]
+pub struct LinkageDump {
+    /// All records: source-0 records first, then source-1.
+    pub records: Vec<LinkRecord>,
+    /// Gold matching pairs `(record id, record id)` with the smaller id
+    /// first. Only cross-source duplicates are listed.
+    pub gold_pairs: HashSet<(u32, u32)>,
+}
+
+/// Builds a two-source linkage dump over persons and companies:
+/// source 0 publishes clean records, source 1 perturbs names (initials,
+/// typos, token drops) and drops attributes; ~80% of entities appear in
+/// both sources.
+pub fn linkage_dump(world: &World, seed: u64) -> LinkageDump {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::new();
+    let mut gold_pairs = HashSet::new();
+    let entities: Vec<&crate::world::Entity> = world
+        .entities
+        .iter()
+        .filter(|e| matches!(e.kind, EntityKind::Person | EntityKind::Company))
+        .collect();
+    // Source 0: every entity, clean.
+    for e in &entities {
+        let id = records.len() as u32;
+        records.push(LinkRecord {
+            id,
+            source: 0,
+            name: e.display.clone(),
+            attrs: clean_attrs(world, e),
+            gold_entity: e.id,
+        });
+    }
+    // Source 1: ~80% of entities, perturbed.
+    for (i, e) in entities.iter().enumerate() {
+        if !rng.gen_bool(0.8) {
+            continue;
+        }
+        let id = records.len() as u32;
+        let name = perturb_name(&e.display, &mut rng);
+        let mut attrs = clean_attrs(world, e);
+        // Drop each attribute with 30% probability.
+        attrs.retain(|_| rng.gen_bool(0.7));
+        records.push(LinkRecord {
+            id,
+            source: 1,
+            name,
+            attrs,
+            gold_entity: e.id,
+        });
+        gold_pairs.insert((i as u32, id));
+    }
+    LinkageDump { records, gold_pairs }
+}
+
+fn clean_attrs(world: &World, e: &crate::world::Entity) -> Vec<(String, String)> {
+    let mut attrs = Vec::new();
+    if let Some(y) = e.year {
+        attrs.push(("year".to_string(), y.to_string()));
+    }
+    for f in world.facts_of(e.id) {
+        match f.rel {
+            Rel::BornIn => attrs.push(("birth_place".into(), world.entity(f.o).display.clone())),
+            Rel::HeadquarteredIn => attrs.push(("hq".into(), world.entity(f.o).display.clone())),
+            Rel::CitizenOf => attrs.push(("country".into(), world.entity(f.o).display.clone())),
+            _ => {}
+        }
+    }
+    attrs
+}
+
+/// Applies one of several name perturbations.
+fn perturb_name(name: &str, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..4) {
+        // Initial for the first token: "Alan Varen" -> "A. Varen".
+        0 => {
+            let mut parts: Vec<String> = name.split(' ').map(str::to_string).collect();
+            if parts.len() >= 2 {
+                let first = parts[0].chars().next().unwrap_or('X');
+                parts[0] = format!("{first}.");
+            }
+            parts.join(" ")
+        }
+        // Adjacent-character swap typo.
+        1 => {
+            let mut chars: Vec<char> = name.chars().collect();
+            if chars.len() >= 4 {
+                // Swap two interior letters (avoid token boundaries).
+                let candidates: Vec<usize> = (1..chars.len() - 2)
+                    .filter(|&i| chars[i] != ' ' && chars[i + 1] != ' ')
+                    .collect();
+                if let Some(&i) = candidates.get(rng.gen_range(0..candidates.len().max(1)).min(candidates.len().saturating_sub(1))) {
+                    chars.swap(i, i + 1);
+                }
+            }
+            chars.into_iter().collect()
+        }
+        // Lowercasing (sloppy source).
+        2 => name.to_lowercase(),
+        // Token reorder: "Alan Varen" -> "Varen, Alan".
+        _ => {
+            let parts: Vec<&str> = name.split(' ').collect();
+            if parts.len() == 2 {
+                format!("{}, {}", parts[1], parts[0])
+            } else {
+                name.to_string()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::tiny(42))
+    }
+
+    #[test]
+    fn gold_fact_strings_cover_all_facts() {
+        let w = world();
+        assert_eq!(gold_fact_strings(&w).len(), {
+            // Duplicates collapse in the set; count distinct gold triples.
+            let mut set = HashSet::new();
+            for f in &w.facts {
+                set.insert((f.s, f.rel, f.o));
+            }
+            set.len()
+        });
+    }
+
+    #[test]
+    fn pr_f1_known_values() {
+        let gold: HashSet<u32> = [1, 2, 3, 4].into_iter().collect();
+        let pred: HashSet<u32> = [3, 4, 5].into_iter().collect();
+        let m = pr_f1(&pred, &gold);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 2);
+    }
+
+    #[test]
+    fn pr_f1_edge_cases() {
+        let empty: HashSet<u32> = HashSet::new();
+        let some: HashSet<u32> = [1].into_iter().collect();
+        // Empty vs empty: vacuous success on both axes.
+        assert_eq!(pr_f1(&empty, &empty).f1, 1.0);
+        assert_eq!(pr_f1(&empty, &empty).precision, 1.0);
+        assert_eq!(pr_f1(&empty, &some).recall, 0.0);
+        assert_eq!(pr_f1(&some, &empty).precision, 0.0);
+    }
+
+    #[test]
+    fn linkage_dump_pairs_point_at_same_entity() {
+        let w = world();
+        let dump = linkage_dump(&w, 9);
+        assert!(!dump.gold_pairs.is_empty());
+        for &(a, b) in &dump.gold_pairs {
+            let ra = &dump.records[a as usize];
+            let rb = &dump.records[b as usize];
+            assert_eq!(ra.gold_entity, rb.gold_entity);
+            assert_eq!(ra.source, 0);
+            assert_eq!(rb.source, 1);
+        }
+    }
+
+    #[test]
+    fn perturbed_names_usually_differ_but_stay_similar() {
+        let w = world();
+        let dump = linkage_dump(&w, 9);
+        let mut differ = 0;
+        let mut total = 0;
+        for &(a, b) in &dump.gold_pairs {
+            let ra = &dump.records[a as usize];
+            let rb = &dump.records[b as usize];
+            total += 1;
+            if ra.name != rb.name {
+                differ += 1;
+            }
+            // Perturbations keep last-token overlap in most cases.
+            assert!(!rb.name.is_empty());
+        }
+        assert!(differ * 2 > total, "most perturbed names should differ");
+    }
+
+    #[test]
+    fn dump_is_deterministic_per_seed() {
+        let w = world();
+        let a = linkage_dump(&w, 5);
+        let b = linkage_dump(&w, 5);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.gold_pairs, b.gold_pairs);
+        let c = linkage_dump(&w, 6);
+        assert!(a.records.len() != c.records.len() || a.records != c.records);
+    }
+
+    #[test]
+    fn instance_and_subclass_gold_nonempty() {
+        let w = world();
+        assert!(!gold_instance_strings(&w).is_empty());
+        assert!(gold_subclass_strings(&w).contains(&("city".to_string(), "location".to_string())));
+    }
+}

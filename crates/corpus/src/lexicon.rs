@@ -1,0 +1,199 @@
+//! Static word material for the generators: name syllables, industries,
+//! occupations, sentiment words, filler fragments and the commonsense
+//! concept tables.
+
+/// Syllables for person given names.
+pub static GIVEN_SYLLABLES: &[&str] = &[
+    "Al", "Ber", "Cla", "Do", "El", "Fa", "Ga", "Hel", "Ir", "Jo", "Ka",
+    "Lu", "Mar", "Nor", "Ol", "Pe", "Ro", "Sa", "Te", "Vi",
+];
+
+/// Second syllables for given names.
+pub static GIVEN_ENDINGS: &[&str] = &[
+    "an", "bert", "dia", "fred", "gar", "la", "lena", "mar", "na", "ra",
+    "rik", "ron", "sha", "ta", "vin",
+];
+
+/// Syllables for family names.
+pub static FAMILY_SYLLABLES: &[&str] = &[
+    "Var", "Hol", "Kel", "Mor", "Nes", "Ostr", "Pell", "Quin", "Rav",
+    "Sel", "Thorn", "Ulm", "Wex", "Yar", "Zell", "Bran", "Crel", "Dunn",
+];
+
+/// Endings for family names.
+pub static FAMILY_ENDINGS: &[&str] = &[
+    "en", "er", "ford", "gate", "ham", "ley", "low", "man", "sen", "son",
+    "ström", "ton", "wick", "worth",
+];
+
+/// Syllables for place (city/country) names.
+pub static PLACE_SYLLABLES: &[&str] = &[
+    "Arb", "Bel", "Cor", "Dren", "Esk", "Fal", "Gren", "Hav", "Ister",
+    "Jut", "Kolm", "Lund", "Mar", "Nor", "Oster", "Pren", "Quell", "Ry",
+    "Stav", "Tor", "Ulv", "Vest", "Wim", "Yor", "Zeb",
+];
+
+/// Endings for city names.
+pub static CITY_ENDINGS: &[&str] = &[
+    "berg", "bridge", "burg", "by", "dale", "field", "ford", "gate",
+    "haven", "holm", "mouth", "port", "stad", "ton", "vale", "ville",
+];
+
+/// Endings for country names.
+pub static COUNTRY_ENDINGS: &[&str] = &["ia", "land", "mark", "onia", "stan", "via"];
+
+/// Company name stems.
+pub static COMPANY_STEMS: &[&str] = &[
+    "Acro", "Bitwise", "Cobalt", "Delta", "Ember", "Fathom", "Gyro",
+    "Helix", "Ion", "Jetline", "Krypton", "Lumen", "Meridian", "Nimbus",
+    "Orbit", "Pinnacle", "Quanta", "Ridge", "Solstice", "Tundra",
+    "Umbra", "Vertex", "Wavecrest", "Xenon", "Zephyr",
+];
+
+/// Company name suffixes.
+pub static COMPANY_SUFFIXES: &[&str] = &[
+    "Systems", "Industries", "Labs", "Works", "Dynamics", "Technologies",
+    "Group", "Corporation", "Motors", "Foods",
+];
+
+/// Product name stems (versioned per line: "Strato 2").
+pub static PRODUCT_STEMS: &[&str] = &[
+    "Strato", "Nova", "Pulse", "Vanta", "Aero", "Corda", "Lyra", "Onda",
+    "Presto", "Ray", "Sable", "Tempo", "Vero", "Zeta",
+];
+
+/// Industries a company can belong to; each induces a company subclass
+/// ("phone companies") and constrains its products' kind.
+pub static INDUSTRIES: &[&str] = &["phone", "computer", "car", "food", "software"];
+
+/// Product kinds aligned with [`INDUSTRIES`] by index.
+pub static PRODUCT_KINDS: &[&str] = &["phone", "laptop", "car", "snack", "app"];
+
+/// Occupations for people; each induces a person subclass.
+pub static OCCUPATIONS: &[&str] = &[
+    "entrepreneur", "scientist", "musician", "writer", "athlete", "engineer",
+];
+
+/// Positive sentiment words for the social stream.
+pub static POSITIVE_WORDS: &[&str] = &[
+    "love", "great", "amazing", "fantastic", "excellent", "superb",
+    "brilliant", "wonderful", "fast", "gorgeous",
+];
+
+/// Negative sentiment words for the social stream.
+pub static NEGATIVE_WORDS: &[&str] = &[
+    "hate", "terrible", "awful", "disappointing", "broken", "slow",
+    "ugly", "buggy", "overpriced", "flimsy",
+];
+
+/// Neutral filler fragments for posts.
+pub static POST_FILLERS: &[&str] = &[
+    "just got my hands on", "been using", "thoughts on", "review of",
+    "first impressions of", "one week with", "upgraded to", "comparing",
+];
+
+/// Distractor sentence templates for articles. `{S}` is replaced with
+/// the subject mention; `{X}` with a random other entity mention.
+pub static DISTRACTOR_TEMPLATES: &[&str] = &[
+    "{S} met {X} at a conference .",
+    "{S} visited {X} last year .",
+    "Many people admire {S} .",
+    "{S} gave a talk about the future .",
+    "A documentary about {S} appeared recently .",
+    "{S} and {X} appeared together in the news .",
+];
+
+/// A commonsense concept with its gold properties and parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConceptSpec {
+    /// Concept noun (singular).
+    pub name: &'static str,
+    /// Plural form used in generic sentences.
+    pub plural: &'static str,
+    /// Adjectives that genuinely apply ("apples can be red").
+    pub properties: &'static [&'static str],
+    /// Parts the concept has ("mouthpiece partOf clarinet").
+    pub parts: &'static [&'static str],
+}
+
+/// The gold commonsense table (tutorial §3, "Commonsense Knowledge").
+pub static CONCEPTS: &[ConceptSpec] = &[
+    ConceptSpec {
+        name: "apple",
+        plural: "apples",
+        properties: &["red", "green", "juicy", "sweet", "sour"],
+        parts: &["core", "stem", "skin"],
+    },
+    ConceptSpec {
+        name: "clarinet",
+        plural: "clarinets",
+        properties: &["cylindrical", "wooden", "elegant"],
+        parts: &["mouthpiece", "reed", "bell"],
+    },
+    ConceptSpec {
+        name: "car",
+        plural: "cars",
+        properties: &["fast", "red", "expensive", "reliable"],
+        parts: &["engine", "wheel", "windshield"],
+    },
+    ConceptSpec {
+        name: "house",
+        plural: "houses",
+        properties: &["spacious", "old", "warm"],
+        parts: &["roof", "door", "kitchen"],
+    },
+    ConceptSpec {
+        name: "river",
+        plural: "rivers",
+        properties: &["long", "deep", "cold"],
+        parts: &["bank", "delta", "source"],
+    },
+    ConceptSpec {
+        name: "computer",
+        plural: "computers",
+        properties: &["fast", "silent", "portable"],
+        parts: &["keyboard", "screen", "processor"],
+    },
+];
+
+/// Adjectives that apply to *no* concept in [`CONCEPTS`] — used to
+/// generate implausible property noise ("apples can be punctual").
+pub static ABSURD_PROPERTIES: &[&str] = &[
+    "punctual", "jealous", "polite", "funny", "ambitious", "fluent",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn industries_and_product_kinds_align() {
+        assert_eq!(INDUSTRIES.len(), PRODUCT_KINDS.len());
+    }
+
+    #[test]
+    fn concept_tables_are_nonempty_and_consistent() {
+        assert!(!CONCEPTS.is_empty());
+        for c in CONCEPTS {
+            assert!(!c.properties.is_empty(), "{} needs properties", c.name);
+            assert!(!c.parts.is_empty(), "{} needs parts", c.name);
+            assert!(c.plural.starts_with(c.name) || c.plural.len() >= c.name.len());
+        }
+    }
+
+    #[test]
+    fn absurd_properties_never_overlap_gold() {
+        for c in CONCEPTS {
+            for a in ABSURD_PROPERTIES {
+                assert!(!c.properties.contains(a), "{a} is gold for {}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sentiment_lexicons_are_disjoint() {
+        for p in POSITIVE_WORDS {
+            assert!(!NEGATIVE_WORDS.contains(p));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Deterministic name generation with controllable ambiguity.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+use crate::lexicon::*;
+
+/// Generates unique names of various shapes from a shared RNG, keeping a
+/// registry so canonical names never collide.
+#[derive(Debug)]
+pub struct NameGen {
+    used: HashSet<String>,
+    /// Pre-drawn surname pool; its size controls surname ambiguity.
+    surname_pool: Vec<String>,
+}
+
+impl NameGen {
+    /// Creates a generator with a surname pool of `pool_size` names.
+    pub fn new(rng: &mut StdRng, pool_size: usize) -> Self {
+        let mut used = HashSet::new();
+        let mut surname_pool = Vec::with_capacity(pool_size.max(1));
+        while surname_pool.len() < pool_size.max(1) {
+            let s = format!(
+                "{}{}",
+                pick(rng, FAMILY_SYLLABLES),
+                pick(rng, FAMILY_ENDINGS)
+            );
+            if !surname_pool.contains(&s) {
+                surname_pool.push(s);
+            }
+            // The syllable space has ~250 combinations; cap gracefully.
+            if surname_pool.len() >= FAMILY_SYLLABLES.len() * FAMILY_ENDINGS.len() {
+                break;
+            }
+        }
+        used.extend(surname_pool.iter().cloned());
+        Self { used, surname_pool }
+    }
+
+    /// A person name `(given, family)`. The family name comes from the
+    /// shared pool, so smaller pools yield more shared surnames.
+    pub fn person(&mut self, rng: &mut StdRng) -> (String, String) {
+        let family = self.surname_pool[rng.gen_range(0..self.surname_pool.len())].clone();
+        loop {
+            let given = format!("{}{}", pick(rng, GIVEN_SYLLABLES), pick(rng, GIVEN_ENDINGS));
+            let full = format!("{given} {family}");
+            if self.used.insert(full) {
+                return (given, family);
+            }
+        }
+    }
+
+    /// A fresh city name.
+    pub fn city(&mut self, rng: &mut StdRng) -> String {
+        self.unique(rng, |rng| {
+            format!("{}{}", pick(rng, PLACE_SYLLABLES), pick(rng, CITY_ENDINGS))
+        })
+    }
+
+    /// A fresh country name.
+    pub fn country(&mut self, rng: &mut StdRng) -> String {
+        self.unique(rng, |rng| {
+            format!("{}{}", pick(rng, PLACE_SYLLABLES), pick(rng, COUNTRY_ENDINGS))
+        })
+    }
+
+    /// A fresh two-word company name ("Nimbus Systems").
+    pub fn company(&mut self, rng: &mut StdRng) -> String {
+        self.unique(rng, |rng| {
+            format!("{} {}", pick(rng, COMPANY_STEMS), pick(rng, COMPANY_SUFFIXES))
+        })
+    }
+
+    /// A fresh versioned product name ("Strato 3").
+    pub fn product(&mut self, rng: &mut StdRng, version: u32) -> String {
+        self.unique(rng, |rng| format!("{} {}", pick(rng, PRODUCT_STEMS), version))
+    }
+
+    /// A fresh university name ("University of Lundholm" needs a city —
+    /// callers pass one).
+    pub fn university(&mut self, city: &str) -> String {
+        let base = format!("University of {city}");
+        let mut name = base.clone();
+        let mut i = 2;
+        while !self.used.insert(name.clone()) {
+            name = format!("{base} {i}");
+            i += 1;
+        }
+        name
+    }
+
+    fn unique(&mut self, rng: &mut StdRng, mut gen: impl FnMut(&mut StdRng) -> String) -> String {
+        for _ in 0..10_000 {
+            let name = gen(rng);
+            if self.used.insert(name.clone()) {
+                return name;
+            }
+        }
+        // Syllable space exhausted: append a numeric disambiguator.
+        let mut i = 2u32;
+        loop {
+            let name = format!("{} {}", gen(rng), i);
+            if self.used.insert(name.clone()) {
+                return name;
+            }
+            i += 1;
+        }
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, items: &'a [&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// Canonicalizes a display name into a KB identifier: spaces become
+/// underscores ("Alan Varen" → "Alan_Varen").
+pub fn canonical(name: &str) -> String {
+    name.replace(' ', "_")
+}
+
+/// The nationality adjective of a country ("Norland" → "Norlandian").
+pub fn nationality_adjective(country: &str) -> String {
+    let base = country.trim_end_matches("ia").trim_end_matches("land");
+    if country.ends_with("ia") {
+        format!("{}ian", country.trim_end_matches("ia"))
+    } else if country.ends_with("land") {
+        format!("{base}landic")
+    } else {
+        format!("{country}ese")
+    }
+}
+
+/// Deterministic pseudo-translations for multilingual labels. Returns
+/// `(lang, label)` pairs including English.
+pub fn multilingual_labels(display: &str) -> Vec<(&'static str, String)> {
+    let de = format!("{display}haus");
+    let fr = format!("Le {display}");
+    vec![
+        ("en", display.to_string()),
+        ("de", de),
+        ("fr", fr),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn person_full_names_are_unique_but_surnames_shared() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut gen = NameGen::new(&mut rng, 3); // tiny pool -> heavy sharing
+        let mut fulls = HashSet::new();
+        let mut families = HashSet::new();
+        for _ in 0..30 {
+            let (given, family) = gen.person(&mut rng);
+            assert!(fulls.insert(format!("{given} {family}")));
+            families.insert(family);
+        }
+        assert!(families.len() <= 3);
+    }
+
+    #[test]
+    fn larger_pool_means_less_ambiguity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut gen = NameGen::new(&mut rng, 100);
+        let mut families = HashSet::new();
+        for _ in 0..30 {
+            families.insert(gen.person(&mut rng).1);
+        }
+        assert!(families.len() > 15);
+    }
+
+    #[test]
+    fn all_name_kinds_are_unique_across_calls() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut gen = NameGen::new(&mut rng, 10);
+        let mut seen = HashSet::new();
+        for i in 0..20 {
+            assert!(seen.insert(gen.city(&mut rng)));
+            assert!(seen.insert(gen.country(&mut rng)));
+            assert!(seen.insert(gen.company(&mut rng)));
+            assert!(seen.insert(gen.product(&mut rng, i)));
+        }
+    }
+
+    #[test]
+    fn university_names_disambiguate_per_city() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut gen = NameGen::new(&mut rng, 5);
+        let a = gen.university("Lundholm");
+        let b = gen.university("Lundholm");
+        assert_eq!(a, "University of Lundholm");
+        assert_eq!(b, "University of Lundholm 2");
+    }
+
+    #[test]
+    fn canonical_replaces_spaces() {
+        assert_eq!(canonical("Alan Varen"), "Alan_Varen");
+        assert_eq!(canonical("Nimbus Systems"), "Nimbus_Systems");
+    }
+
+    #[test]
+    fn nationality_adjectives() {
+        assert_eq!(nationality_adjective("Valdoria"), "Valdorian");
+        assert_eq!(nationality_adjective("Norland"), "Norlandic");
+        assert_eq!(nationality_adjective("Jutmark"), "Jutmarkese");
+    }
+
+    #[test]
+    fn multilingual_labels_cover_three_langs() {
+        let labels = multilingual_labels("Lundholm");
+        assert_eq!(labels.len(), 3);
+        assert!(labels.iter().any(|(l, _)| *l == "en"));
+        assert!(labels.iter().any(|(l, s)| *l == "de" && s.contains("Lundholm")));
+    }
+}

@@ -1,0 +1,204 @@
+//! The social-media stream: timestamped posts mentioning the two rival
+//! flagship products, with drifting volume and sentiment — the
+//! "track and compare two entities in social media over an extended
+//! timespan" example of tutorial §4.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::CorpusConfig;
+use crate::doc::{Mention, TextBuilder};
+use crate::lexicon::{NEGATIVE_WORDS, POSITIVE_WORDS, POST_FILLERS};
+use crate::world::{EntityId, World};
+
+/// A timestamped social-media post with gold mention and sentiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Post {
+    /// Day index from stream start (0-based).
+    pub day: u32,
+    /// Post text.
+    pub text: String,
+    /// Gold entity mentions.
+    pub mentions: Vec<Mention>,
+    /// Gold sentiment: +1 positive, -1 negative, 0 neutral.
+    pub gold_sentiment: i8,
+}
+
+/// Ground-truth per-product daily expectations, used to validate the
+/// analytics pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamGold {
+    /// Product A (rival 0).
+    pub product_a: EntityId,
+    /// Product B (rival 1).
+    pub product_b: EntityId,
+}
+
+impl StreamGold {
+    /// Reads the rivals from the world.
+    pub fn from_world(world: &World) -> Self {
+        Self {
+            product_a: world.rival_products.0,
+            product_b: world.rival_products.1,
+        }
+    }
+}
+
+/// Renders the post stream.
+///
+/// Volume model: product A holds steady; product B ramps up linearly
+/// after its "launch buzz" at 40% of the stream. Sentiment model: A
+/// drifts from positive to mixed; B stays mostly positive. These shapes
+/// are what experiment T10 recovers.
+pub fn render_posts(world: &World, cfg: &CorpusConfig, rng: &mut StdRng) -> Vec<Post> {
+    let (prod_a, prod_b) = world.rival_products;
+    if world.entities.is_empty() || cfg.stream_days == 0 {
+        return Vec::new();
+    }
+    let mut posts = Vec::new();
+    let days = cfg.stream_days as u32;
+    for day in 0..days {
+        let progress = day as f64 / days.max(1) as f64;
+        // Volume per product.
+        let base = cfg.posts_per_day as f64 / 2.0;
+        let volume_a = base;
+        let volume_b = if progress < 0.4 {
+            base * 0.3
+        } else {
+            base * (0.3 + 1.4 * (progress - 0.4) / 0.6)
+        };
+        for (product, volume, positive_rate) in [
+            (prod_a, volume_a, 0.8 - 0.4 * progress),
+            (prod_b, volume_b, 0.75),
+        ] {
+            let n = poissonish(volume, rng);
+            for _ in 0..n {
+                posts.push(render_post(world, product, day, positive_rate, rng));
+            }
+        }
+    }
+    posts
+}
+
+/// Approximates a Poisson draw with mean `mean` (floor + Bernoulli on the
+/// fraction, adequate for volume shaping).
+fn poissonish(mean: f64, rng: &mut StdRng) -> usize {
+    let floor = mean.floor() as usize;
+    floor + usize::from(rng.gen_bool((mean - mean.floor()).clamp(0.0, 1.0)))
+}
+
+fn render_post(
+    world: &World,
+    product: EntityId,
+    day: u32,
+    positive_rate: f64,
+    rng: &mut StdRng,
+) -> Post {
+    let e = world.entity(product);
+    let mut b = TextBuilder::new();
+    let filler = POST_FILLERS[rng.gen_range(0..POST_FILLERS.len())];
+    b.push(filler);
+    b.push(" the ");
+    // Posts use the full versioned name or the ambiguous line stem.
+    let surface = if rng.gen_bool(0.5) { &e.display } else { &e.short };
+    b.push_mention(surface, product);
+    let sentiment: i8 = if rng.gen_bool(0.2) {
+        0
+    } else if rng.gen_bool(positive_rate) {
+        1
+    } else {
+        -1
+    };
+    match sentiment {
+        1 => {
+            let w = POSITIVE_WORDS[rng.gen_range(0..POSITIVE_WORDS.len())];
+            b.push(&format!(". the camera is {w}!"));
+        }
+        -1 => {
+            let w = NEGATIVE_WORDS[rng.gen_range(0..NEGATIVE_WORDS.len())];
+            b.push(&format!(". the battery is {w}."));
+        }
+        _ => b.push(". no strong opinion yet."),
+    }
+    let (text, mentions) = b.finish();
+    Post { day, text, mentions, gold_sentiment: sentiment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn stream() -> (World, Vec<Post>, CorpusConfig) {
+        let cfg = CorpusConfig::tiny();
+        let world = World::generate(&cfg.world);
+        let mut rng = StdRng::seed_from_u64(4);
+        let posts = render_posts(&world, &cfg, &mut rng);
+        (world, posts, cfg)
+    }
+
+    #[test]
+    fn posts_have_valid_mentions_and_days() {
+        let (_, posts, cfg) = stream();
+        assert!(!posts.is_empty());
+        for p in &posts {
+            assert!((p.day as usize) < cfg.stream_days);
+            for m in &p.mentions {
+                assert_eq!(&p.text[m.start..m.end], m.surface);
+            }
+        }
+    }
+
+    #[test]
+    fn rival_b_volume_ramps_up() {
+        let (world, posts, cfg) = stream();
+        let (_, b) = world.rival_products;
+        let half = cfg.stream_days as u32 / 2;
+        let early = posts
+            .iter()
+            .filter(|p| p.day < half && p.mentions.iter().any(|m| m.entity == b))
+            .count();
+        let late = posts
+            .iter()
+            .filter(|p| p.day >= half && p.mentions.iter().any(|m| m.entity == b))
+            .count();
+        assert!(late > early, "B volume should ramp: early={early} late={late}");
+    }
+
+    #[test]
+    fn sentiment_words_match_gold() {
+        let (_, posts, _) = stream();
+        for p in &posts {
+            match p.gold_sentiment {
+                1 => assert!(POSITIVE_WORDS.iter().any(|w| p.text.contains(w)), "{}", p.text),
+                -1 => assert!(NEGATIVE_WORDS.iter().any(|w| p.text.contains(w)), "{}", p.text),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn both_surfaces_appear() {
+        let (world, posts, _) = stream();
+        let (a, _) = world.rival_products;
+        let e = world.entity(a);
+        let display_used = posts
+            .iter()
+            .flat_map(|p| &p.mentions)
+            .any(|m| m.entity == a && m.surface == e.display);
+        let short_used = posts
+            .iter()
+            .flat_map(|p| &p.mentions)
+            .any(|m| m.entity == a && m.surface == e.short);
+        assert!(display_used && short_used);
+    }
+
+    #[test]
+    fn zero_days_yields_empty_stream() {
+        let mut cfg = CorpusConfig::tiny();
+        cfg.stream_days = 0;
+        let world = World::generate(&cfg.world);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(render_posts(&world, &cfg, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Noisy web-page rendering: lower fact density, more distractors,
+//! fragmentary prose — the "web sources" of the tutorial's harvesting
+//! pipeline, exercising the robustness/confidence code paths.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::CorpusConfig;
+use crate::doc::{Doc, DocKind, TextBuilder};
+use crate::world::{GoldFact, World};
+
+/// Junk fragments interleaved into web pages (no mentions, no facts).
+static JUNK: &[&str] = &[
+    "Click here to subscribe to our newsletter. ",
+    "Advertisement. ",
+    "Read more below. ",
+    "Top ten lists you cannot miss. ",
+    "Posted by admin at 10:34. ",
+    "Share this article with your friends. ",
+];
+
+/// Renders `cfg.web_pages` noisy pages. Each page picks a handful of
+/// random gold facts and verbalizes them crudely between junk fragments;
+/// a slice of the pages also carries false statements.
+pub fn render_web_pages(world: &World, cfg: &CorpusConfig, rng: &mut StdRng) -> Vec<Doc> {
+    let mut docs = Vec::new();
+    if world.facts.is_empty() {
+        return docs;
+    }
+    for i in 0..cfg.web_pages {
+        let mut b = TextBuilder::new();
+        b.push(JUNK[rng.gen_range(0..JUNK.len())]);
+        let n_facts = rng.gen_range(1..=3usize);
+        for _ in 0..n_facts {
+            let f = &world.facts[rng.gen_range(0..world.facts.len())];
+            crude_fact_sentence(&mut b, world, f, rng);
+            if rng.gen_bool(0.5) {
+                b.push(JUNK[rng.gen_range(0..JUNK.len())]);
+            }
+        }
+        // Web noise is twice the article noise rate.
+        if rng.gen_bool((cfg.noise_rate * 2.0).min(1.0)) {
+            let subject = &world.entities[rng.gen_range(0..world.entities.len())];
+            // Reuse a crude template with a wrong object.
+            let wrong = &world.entities[rng.gen_range(0..world.entities.len())];
+            if !world.holds(subject.id, crate::world::Rel::BornIn, wrong.id) {
+                b.push_mention(&subject.display, subject.id);
+                b.push(" was born in ");
+                b.push_mention(&wrong.display, wrong.id);
+                b.push(". ");
+            }
+        }
+        let (text, mentions) = b.finish();
+        docs.push(Doc {
+            id: 200_000 + i as u32,
+            kind: DocKind::Web,
+            title: format!("webpage-{i}"),
+            subject: None,
+            text,
+            mentions,
+            infobox: vec![],
+            categories: vec![],
+        });
+    }
+    docs
+}
+
+/// A terse, sometimes sloppy verbalization of a fact.
+fn crude_fact_sentence(b: &mut TextBuilder, world: &World, f: &GoldFact, rng: &mut StdRng) {
+    let s = world.entity(f.s);
+    let o = world.entity(f.o);
+    // Web text prefers short alias mentions.
+    let s_surface = if rng.gen_bool(0.5) { &s.short } else { &s.display };
+    match f.rel {
+        crate::world::Rel::BornIn => {
+            b.push_mention(s_surface, f.s);
+            b.push(" was born in ");
+            b.push_mention(&o.display, f.o);
+            b.push(". ");
+        }
+        crate::world::Rel::Founded => {
+            b.push_mention(s_surface, f.s);
+            b.push(" founded ");
+            b.push_mention(&o.display, f.o);
+            b.push(". ");
+        }
+        crate::world::Rel::WorksAt => {
+            b.push_mention(s_surface, f.s);
+            b.push(" works at ");
+            b.push_mention(&o.display, f.o);
+            b.push(". ");
+        }
+        crate::world::Rel::Created => {
+            b.push_mention(s_surface, f.s);
+            b.push(" released ");
+            b.push_mention(&o.display, f.o);
+            b.push(". ");
+        }
+        _ => {
+            // Generic copular statement; still a usable Open IE target.
+            b.push_mention(s_surface, f.s);
+            b.push(" is linked with ");
+            b.push_mention(&o.display, f.o);
+            b.push(". ");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn renders_requested_number_of_pages() {
+        let cfg = CorpusConfig::tiny();
+        let world = World::generate(&cfg.world);
+        let mut rng = StdRng::seed_from_u64(11);
+        let docs = render_web_pages(&world, &cfg, &mut rng);
+        assert_eq!(docs.len(), cfg.web_pages);
+        for d in &docs {
+            assert_eq!(d.kind, DocKind::Web);
+            for m in &d.mentions {
+                assert_eq!(&d.text[m.start..m.end], m.surface);
+            }
+        }
+    }
+
+    #[test]
+    fn pages_contain_junk_and_mentions() {
+        let cfg = CorpusConfig::tiny();
+        let world = World::generate(&cfg.world);
+        let mut rng = StdRng::seed_from_u64(11);
+        let docs = render_web_pages(&world, &cfg, &mut rng);
+        assert!(docs.iter().any(|d| !d.mentions.is_empty()));
+        assert!(docs
+            .iter()
+            .any(|d| JUNK.iter().any(|j| d.text.contains(j.trim_end()))));
+    }
+
+    #[test]
+    fn empty_world_produces_no_pages() {
+        let mut cfg = CorpusConfig::tiny();
+        cfg.world.people = 0;
+        cfg.world.companies = 0;
+        cfg.world.cities = 0;
+        cfg.world.countries = 0;
+        cfg.world.universities = 0;
+        cfg.world.products = 0;
+        let world = World::generate(&cfg.world);
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(render_web_pages(&world, &cfg, &mut rng).is_empty());
+    }
+}

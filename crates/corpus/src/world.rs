@@ -1,0 +1,834 @@
+//! The ground-truth world: entities, gold facts, gold taxonomy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::WorldConfig;
+use crate::lexicon::{INDUSTRIES, OCCUPATIONS, PRODUCT_KINDS};
+use crate::names::{canonical, multilingual_labels, NameGen};
+
+/// Identifier of a world entity (index into [`World::entities`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The coarse kind of an entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A human being.
+    Person,
+    /// A commercial company.
+    Company,
+    /// A city.
+    City,
+    /// A country.
+    Country,
+    /// A university.
+    University,
+    /// A product (phone, laptop, ...).
+    Product,
+}
+
+impl EntityKind {
+    /// The gold class name for this kind.
+    pub fn class_name(self) -> &'static str {
+        match self {
+            EntityKind::Person => "person",
+            EntityKind::Company => "company",
+            EntityKind::City => "city",
+            EntityKind::Country => "country",
+            EntityKind::University => "university",
+            EntityKind::Product => "product",
+        }
+    }
+}
+
+/// The closed relation vocabulary of the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// person → city.
+    BornIn,
+    /// person → country.
+    CitizenOf,
+    /// person → company (temporal: begin = founding year).
+    Founded,
+    /// person → company (temporal interval).
+    WorksAt,
+    /// person → person (stored in both directions; temporal begin).
+    MarriedTo,
+    /// person → university (temporal interval).
+    StudiedAt,
+    /// city → country.
+    LocatedIn,
+    /// company → city.
+    HeadquarteredIn,
+    /// city → country (inverse-functional too).
+    CapitalOf,
+    /// company → product (inverse-functional; temporal begin = launch).
+    Created,
+}
+
+/// All relations, for iteration.
+pub const ALL_RELS: [Rel; 10] = [
+    Rel::BornIn,
+    Rel::CitizenOf,
+    Rel::Founded,
+    Rel::WorksAt,
+    Rel::MarriedTo,
+    Rel::StudiedAt,
+    Rel::LocatedIn,
+    Rel::HeadquarteredIn,
+    Rel::CapitalOf,
+    Rel::Created,
+];
+
+impl Rel {
+    /// The KB predicate name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rel::BornIn => "bornIn",
+            Rel::CitizenOf => "citizenOf",
+            Rel::Founded => "founded",
+            Rel::WorksAt => "worksAt",
+            Rel::MarriedTo => "marriedTo",
+            Rel::StudiedAt => "studiedAt",
+            Rel::LocatedIn => "locatedIn",
+            Rel::HeadquarteredIn => "headquarteredIn",
+            Rel::CapitalOf => "capitalOf",
+            Rel::Created => "created",
+        }
+    }
+
+    /// Parses a predicate name back to the relation.
+    pub fn from_name(name: &str) -> Option<Rel> {
+        ALL_RELS.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Whether a subject may have at most one object.
+    pub fn functional(self) -> bool {
+        matches!(
+            self,
+            Rel::BornIn | Rel::CitizenOf | Rel::LocatedIn | Rel::HeadquarteredIn | Rel::CapitalOf | Rel::MarriedTo
+        )
+    }
+
+    /// Whether an object may have at most one subject.
+    pub fn inverse_functional(self) -> bool {
+        matches!(self, Rel::CapitalOf | Rel::Created | Rel::MarriedTo)
+    }
+
+    /// Required subject kind.
+    pub fn domain(self) -> EntityKind {
+        match self {
+            Rel::BornIn | Rel::CitizenOf | Rel::Founded | Rel::WorksAt | Rel::MarriedTo | Rel::StudiedAt => {
+                EntityKind::Person
+            }
+            Rel::LocatedIn | Rel::CapitalOf => EntityKind::City,
+            Rel::HeadquarteredIn | Rel::Created => EntityKind::Company,
+        }
+    }
+
+    /// Required object kind.
+    pub fn range(self) -> EntityKind {
+        match self {
+            Rel::BornIn => EntityKind::City,
+            Rel::CitizenOf => EntityKind::Country,
+            Rel::Founded | Rel::WorksAt => EntityKind::Company,
+            Rel::MarriedTo => EntityKind::Person,
+            Rel::StudiedAt => EntityKind::University,
+            Rel::LocatedIn | Rel::CapitalOf => EntityKind::Country,
+            Rel::HeadquarteredIn => EntityKind::City,
+            Rel::Created => EntityKind::Product,
+        }
+    }
+
+    /// Whether facts of this relation carry temporal scopes.
+    pub fn temporal(self) -> bool {
+        matches!(
+            self,
+            Rel::Founded | Rel::WorksAt | Rel::MarriedTo | Rel::StudiedAt | Rel::Created
+        )
+    }
+}
+
+/// One entity of the synthetic world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    /// Dense id (index into [`World::entities`]).
+    pub id: EntityId,
+    /// Coarse kind.
+    pub kind: EntityKind,
+    /// Canonical KB identifier (unique, underscored): `Alan_Varen`.
+    pub canonical: String,
+    /// Display name: `Alan Varen`.
+    pub display: String,
+    /// All surface forms (display plus short/ambiguous aliases).
+    pub aliases: Vec<String>,
+    /// The preferred short alias (often ambiguous): `Varen`.
+    pub short: String,
+    /// Gold direct classes (occupations, industry classes, kind class).
+    pub classes: Vec<String>,
+    /// Birth year (person), founding year (company), launch year
+    /// (product); `None` for places.
+    pub year: Option<i32>,
+    /// Country affiliation: citizenship (person), location (city),
+    /// `None` otherwise.
+    pub country: Option<EntityId>,
+    /// Multilingual labels `(lang, label)` including English.
+    pub labels: Vec<(&'static str, String)>,
+}
+
+/// A gold fact with optional temporal scope (years).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GoldFact {
+    /// Subject entity.
+    pub s: EntityId,
+    /// Relation.
+    pub rel: Rel,
+    /// Object entity.
+    pub o: EntityId,
+    /// First year the fact holds, if scoped.
+    pub begin: Option<i32>,
+    /// Last year the fact holds (`None` = open/unknown end).
+    pub end: Option<i32>,
+}
+
+/// The generated ground-truth world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Generation config (for provenance).
+    pub cfg: WorldConfig,
+    /// All entities, indexable by [`EntityId`].
+    pub entities: Vec<Entity>,
+    /// All gold facts.
+    pub facts: Vec<GoldFact>,
+    /// Gold taxonomy edges `(subclass, superclass)` over class names.
+    pub taxonomy_edges: Vec<(String, String)>,
+    /// Gold direct `instanceOf` assignments (entity, class name).
+    pub instance_of: Vec<(EntityId, String)>,
+    /// The two rival flagship products tracked by the analytics
+    /// experiment (newest version of each rival line).
+    pub rival_products: (EntityId, EntityId),
+}
+
+impl World {
+    /// Deterministically generates a world from the config.
+    pub fn generate(cfg: &WorldConfig) -> World {
+        Generator::new(cfg).run()
+    }
+
+    /// Entity lookup.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// All entities of a kind.
+    pub fn of_kind(&self, kind: EntityKind) -> impl Iterator<Item = &Entity> {
+        self.entities.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Finds an entity by canonical name.
+    pub fn by_canonical(&self, canonical: &str) -> Option<&Entity> {
+        self.entities.iter().find(|e| e.canonical == canonical)
+    }
+
+    /// All gold facts with `s` as subject.
+    pub fn facts_of(&self, s: EntityId) -> impl Iterator<Item = &GoldFact> {
+        self.facts.iter().filter(move |f| f.s == s)
+    }
+
+    /// Whether `(s, rel, o)` is a gold fact.
+    pub fn holds(&self, s: EntityId, rel: Rel, o: EntityId) -> bool {
+        self.facts.iter().any(|f| f.s == s && f.rel == rel && f.o == o)
+    }
+}
+
+struct Generator<'a> {
+    cfg: &'a WorldConfig,
+    rng: StdRng,
+    names: NameGen,
+    entities: Vec<Entity>,
+    facts: Vec<GoldFact>,
+    instance_of: Vec<(EntityId, String)>,
+}
+
+impl<'a> Generator<'a> {
+    fn new(cfg: &'a WorldConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Surname pool shrinks as ambiguity grows; at 0 ambiguity every
+        // person can have a unique surname.
+        let pool = ((cfg.people as f64) * (1.0 - cfg.ambiguity)).ceil().max(1.0) as usize;
+        let names = NameGen::new(&mut rng, pool);
+        Self {
+            cfg,
+            rng,
+            names,
+            entities: Vec::new(),
+            facts: Vec::new(),
+            instance_of: Vec::new(),
+        }
+    }
+
+    fn push_entity(
+        &mut self,
+        kind: EntityKind,
+        display: String,
+        short: String,
+        extra_aliases: Vec<String>,
+        classes: Vec<String>,
+        year: Option<i32>,
+        country: Option<EntityId>,
+    ) -> EntityId {
+        let id = EntityId(self.entities.len() as u32);
+        let mut aliases = vec![display.clone()];
+        if short != display {
+            aliases.push(short.clone());
+        }
+        for a in extra_aliases {
+            if !aliases.contains(&a) {
+                aliases.push(a);
+            }
+        }
+        for c in &classes {
+            self.instance_of.push((id, c.clone()));
+        }
+        self.entities.push(Entity {
+            id,
+            kind,
+            canonical: canonical(&display),
+            display: display.clone(),
+            aliases,
+            short,
+            classes,
+            year,
+            country,
+            labels: multilingual_labels(&display),
+        });
+        id
+    }
+
+    fn fact(&mut self, s: EntityId, rel: Rel, o: EntityId, begin: Option<i32>, end: Option<i32>) {
+        self.facts.push(GoldFact { s, rel, o, begin, end });
+    }
+
+    fn run(mut self) -> World {
+        let countries = self.gen_countries();
+        let cities = self.gen_cities(&countries);
+        let universities = self.gen_universities(&cities);
+        let companies = self.gen_companies(&cities);
+        let people = self.gen_people(&cities, &countries);
+        let rival_products = self.gen_products(&companies);
+        self.gen_founders(&companies, &people);
+        self.gen_employment(&companies, &people);
+        self.gen_marriages(&people);
+        self.gen_studies(&universities, &people);
+
+        let taxonomy_edges = gold_taxonomy_edges();
+        World {
+            cfg: self.cfg.clone(),
+            entities: self.entities,
+            facts: self.facts,
+            taxonomy_edges,
+            instance_of: self.instance_of,
+            rival_products,
+        }
+    }
+
+    fn gen_countries(&mut self) -> Vec<EntityId> {
+        (0..self.cfg.countries)
+            .map(|_| {
+                let name = self.names.country(&mut self.rng);
+                self.push_entity(
+                    EntityKind::Country,
+                    name.clone(),
+                    name,
+                    vec![],
+                    vec!["country".into()],
+                    None,
+                    None,
+                )
+            })
+            .collect()
+    }
+
+    fn gen_cities(&mut self, countries: &[EntityId]) -> Vec<EntityId> {
+        let mut capitals_seen = vec![false; countries.len()];
+        (0..self.cfg.cities)
+            .map(|i| {
+                let name = self.names.city(&mut self.rng);
+                let ci = i % countries.len().max(1);
+                let country = countries.get(ci).copied();
+                let id = self.push_entity(
+                    EntityKind::City,
+                    name.clone(),
+                    name,
+                    vec![],
+                    vec!["city".into()],
+                    None,
+                    country,
+                );
+                if let Some(c) = country {
+                    self.fact(id, Rel::LocatedIn, c, None, None);
+                    if !capitals_seen[ci] {
+                        capitals_seen[ci] = true;
+                        self.fact(id, Rel::CapitalOf, c, None, None);
+                    }
+                }
+                id
+            })
+            .collect()
+    }
+
+    fn gen_universities(&mut self, cities: &[EntityId]) -> Vec<EntityId> {
+        (0..self.cfg.universities)
+            .map(|_| {
+                let city = cities[self.rng.gen_range(0..cities.len())];
+                let city_name = self.entities[city.index()].display.clone();
+                let name = self.names.university(&city_name);
+                let short = name.clone();
+                self.push_entity(
+                    EntityKind::University,
+                    name,
+                    short,
+                    vec![],
+                    vec!["university".into()],
+                    None,
+                    self.entities[city.index()].country,
+                )
+            })
+            .collect()
+    }
+
+    fn gen_companies(&mut self, cities: &[EntityId]) -> Vec<EntityId> {
+        (0..self.cfg.companies)
+            .map(|i| {
+                let name = self.names.company(&mut self.rng);
+                let short = name.split(' ').next().unwrap_or(&name).to_string();
+                let acronym: String = name
+                    .split(' ')
+                    .filter_map(|w| w.chars().next())
+                    .collect();
+                // Force the first two companies into the phone industry:
+                // they are the rivals of the analytics case study.
+                let industry = if i < 2 {
+                    "phone"
+                } else {
+                    INDUSTRIES[self.rng.gen_range(0..INDUSTRIES.len())]
+                };
+                let founded = self.rng.gen_range(1900..2005);
+                let city = cities[self.rng.gen_range(0..cities.len())];
+                let id = self.push_entity(
+                    EntityKind::Company,
+                    name,
+                    short,
+                    vec![acronym],
+                    vec!["company".into(), format!("{industry}_company")],
+                    Some(founded),
+                    self.entities[city.index()].country,
+                );
+                self.fact(id, Rel::HeadquarteredIn, city, None, None);
+                id
+            })
+            .collect()
+    }
+
+    fn gen_people(&mut self, cities: &[EntityId], _countries: &[EntityId]) -> Vec<EntityId> {
+        (0..self.cfg.people)
+            .map(|_| {
+                let (given, family) = self.names.person(&mut self.rng);
+                let display = format!("{given} {family}");
+                let initial = format!(
+                    "{}. {family}",
+                    given.chars().next().expect("nonempty given name")
+                );
+                let birth = self.rng.gen_range(1900..1996);
+                let n_occ = self.rng.gen_range(1..=2);
+                let mut classes = vec!["person".to_string()];
+                while classes.len() < 1 + n_occ {
+                    let occ = OCCUPATIONS[self.rng.gen_range(0..OCCUPATIONS.len())].to_string();
+                    if !classes.contains(&occ) {
+                        classes.push(occ);
+                    }
+                }
+                let city = cities[self.rng.gen_range(0..cities.len())];
+                let country = self.entities[city.index()].country;
+                let id = self.push_entity(
+                    EntityKind::Person,
+                    display,
+                    family,
+                    vec![initial],
+                    classes,
+                    Some(birth),
+                    country,
+                );
+                self.fact(id, Rel::BornIn, city, Some(birth), Some(birth));
+                if let Some(c) = country {
+                    self.fact(id, Rel::CitizenOf, c, None, None);
+                }
+                id
+            })
+            .collect()
+    }
+
+    fn gen_products(&mut self, companies: &[EntityId]) -> (EntityId, EntityId) {
+        if companies.is_empty() || self.cfg.products == 0 {
+            // Degenerate worlds (used by edge-case tests) have no rivals;
+            // the sentinel ids are never dereferenced for such worlds.
+            return (EntityId(0), EntityId(0));
+        }
+        let mut per_company_version: Vec<u32> = vec![0; companies.len()];
+        let mut line_stem: Vec<Option<String>> = vec![None; companies.len()];
+        let mut newest_of: Vec<Option<EntityId>> = vec![None; companies.len()];
+        for i in 0..self.cfg.products {
+            let ci = i % companies.len().max(1);
+            let company = companies[ci];
+            per_company_version[ci] += 1;
+            let version = per_company_version[ci];
+            // Each company keeps one product line: "Strato 1", "Strato 2", ...
+            let name = if let Some(stem) = &line_stem[ci] {
+                format!("{stem} {version}")
+            } else {
+                let fresh = self.names.product(&mut self.rng, version);
+                let stem = fresh.rsplit_once(' ').map(|(s, _)| s.to_string()).unwrap_or(fresh.clone());
+                line_stem[ci] = Some(stem);
+                fresh
+            };
+            let stem = line_stem[ci].clone().expect("stem set above");
+            let company_year = self.entities[company.index()].year.unwrap_or(1950);
+            let launch = (company_year + 5 + version as i32 * 3).min(2023);
+            let industry_class = self.entities[company.index()]
+                .classes
+                .iter()
+                .find(|c| c.ends_with("_company"))
+                .cloned()
+                .unwrap_or_default();
+            let industry = industry_class.trim_end_matches("_company");
+            let kind_idx = INDUSTRIES.iter().position(|&x| x == industry).unwrap_or(0);
+            let kind_class = PRODUCT_KINDS[kind_idx].to_string();
+            let id = self.push_entity(
+                EntityKind::Product,
+                name,
+                stem,
+                vec![],
+                vec!["product".into(), kind_class],
+                Some(launch),
+                None,
+            );
+            self.fact(company, Rel::Created, id, Some(launch), None);
+            newest_of[ci] = Some(id);
+        }
+        let a = newest_of.first().copied().flatten().expect("company 0 has a product");
+        let b = newest_of.get(1).copied().flatten().unwrap_or(a);
+        (a, b)
+    }
+
+    fn gen_founders(&mut self, companies: &[EntityId], people: &[EntityId]) {
+        for &company in companies {
+            let founded = self.entities[company.index()].year.unwrap_or(1950);
+            let n = self.rng.gen_range(1..=2usize);
+            for _ in 0..n {
+                let p = people[self.rng.gen_range(0..people.len())];
+                if self.holds_local(p, Rel::Founded, company) {
+                    continue;
+                }
+                self.fact(p, Rel::Founded, company, Some(founded), None);
+                // Founders are entrepreneurs by definition.
+                let person = &mut self.entities[p.index()];
+                if !person.classes.iter().any(|c| c == "entrepreneur") {
+                    person.classes.push("entrepreneur".into());
+                    self.instance_of.push((p, "entrepreneur".into()));
+                }
+            }
+        }
+    }
+
+    fn gen_employment(&mut self, companies: &[EntityId], people: &[EntityId]) {
+        for &p in people {
+            if self.rng.gen_bool(0.6) {
+                let company = companies[self.rng.gen_range(0..companies.len())];
+                let birth = self.entities[p.index()].year.unwrap_or(1950);
+                let begin = birth + self.rng.gen_range(20..30);
+                let end = if self.rng.gen_bool(0.5) {
+                    Some(begin + self.rng.gen_range(1..15))
+                } else {
+                    None
+                };
+                self.fact(p, Rel::WorksAt, company, Some(begin), end);
+            }
+        }
+    }
+
+    fn gen_marriages(&mut self, people: &[EntityId]) {
+        let mut unmarried: Vec<EntityId> = people.to_vec();
+        while unmarried.len() >= 2 {
+            if !self.rng.gen_bool(0.4) {
+                unmarried.pop();
+                continue;
+            }
+            let a = unmarried.pop().expect("len checked");
+            let idx = self.rng.gen_range(0..unmarried.len());
+            let b = unmarried.swap_remove(idx);
+            let birth_a = self.entities[a.index()].year.unwrap_or(1950);
+            let birth_b = self.entities[b.index()].year.unwrap_or(1950);
+            let wed = birth_a.max(birth_b) + self.rng.gen_range(20..35);
+            // Stored in both directions so each is independently gold.
+            self.fact(a, Rel::MarriedTo, b, Some(wed), None);
+            self.fact(b, Rel::MarriedTo, a, Some(wed), None);
+        }
+    }
+
+    fn gen_studies(&mut self, universities: &[EntityId], people: &[EntityId]) {
+        if universities.is_empty() {
+            return;
+        }
+        for &p in people {
+            if self.rng.gen_bool(0.7) {
+                let u = universities[self.rng.gen_range(0..universities.len())];
+                let birth = self.entities[p.index()].year.unwrap_or(1950);
+                let begin = birth + 18;
+                self.fact(p, Rel::StudiedAt, u, Some(begin), Some(begin + 4));
+            }
+        }
+    }
+
+    fn holds_local(&self, s: EntityId, rel: Rel, o: EntityId) -> bool {
+        self.facts.iter().any(|f| f.s == s && f.rel == rel && f.o == o)
+    }
+}
+
+/// The gold class taxonomy, shared by all worlds.
+pub fn gold_taxonomy_edges() -> Vec<(String, String)> {
+    let mut edges: Vec<(String, String)> = vec![
+        ("person".into(), "entity".into()),
+        ("organization".into(), "entity".into()),
+        ("location".into(), "entity".into()),
+        ("product".into(), "entity".into()),
+        ("company".into(), "organization".into()),
+        ("university".into(), "organization".into()),
+        ("city".into(), "location".into()),
+        ("country".into(), "location".into()),
+    ];
+    for occ in OCCUPATIONS {
+        edges.push(((*occ).into(), "person".into()));
+    }
+    for ind in INDUSTRIES {
+        edges.push((format!("{ind}_company"), "company".into()));
+    }
+    for kind in PRODUCT_KINDS {
+        edges.push(((*kind).into(), "product".into()));
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_world() -> World {
+        World::generate(&WorldConfig::tiny(42))
+    }
+
+    #[test]
+    fn entity_counts_match_config() {
+        let w = tiny_world();
+        let cfg = &w.cfg;
+        assert_eq!(w.of_kind(EntityKind::Person).count(), cfg.people);
+        assert_eq!(w.of_kind(EntityKind::Company).count(), cfg.companies);
+        assert_eq!(w.of_kind(EntityKind::City).count(), cfg.cities);
+        assert_eq!(w.of_kind(EntityKind::Country).count(), cfg.countries);
+        assert_eq!(w.of_kind(EntityKind::University).count(), cfg.universities);
+        assert_eq!(w.of_kind(EntityKind::Product).count(), cfg.products);
+        assert_eq!(w.entities.len(), cfg.total_entities());
+    }
+
+    #[test]
+    fn canonical_names_are_unique() {
+        let w = tiny_world();
+        let mut seen = std::collections::HashSet::new();
+        for e in &w.entities {
+            assert!(seen.insert(&e.canonical), "duplicate canonical {}", e.canonical);
+        }
+    }
+
+    #[test]
+    fn all_facts_respect_type_signatures() {
+        let w = tiny_world();
+        for f in &w.facts {
+            assert_eq!(w.entity(f.s).kind, f.rel.domain(), "{f:?}");
+            assert_eq!(w.entity(f.o).kind, f.rel.range(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn functional_relations_have_unique_objects() {
+        let w = tiny_world();
+        for rel in ALL_RELS {
+            if !rel.functional() {
+                continue;
+            }
+            let mut seen = std::collections::HashMap::new();
+            for f in w.facts.iter().filter(|f| f.rel == rel) {
+                if let Some(prev) = seen.insert(f.s, f.o) {
+                    assert_eq!(prev, f.o, "{rel:?} violated for {:?}", f.s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_functional_relations_have_unique_subjects() {
+        let w = tiny_world();
+        for rel in ALL_RELS {
+            if !rel.inverse_functional() {
+                continue;
+            }
+            let mut seen = std::collections::HashMap::new();
+            for f in w.facts.iter().filter(|f| f.rel == rel) {
+                if let Some(prev) = seen.insert(f.o, f.s) {
+                    assert_eq!(prev, f.s, "{rel:?} inverse violated for {:?}", f.o);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_person_is_born_somewhere() {
+        let w = tiny_world();
+        for p in w.of_kind(EntityKind::Person) {
+            assert!(
+                w.facts_of(p.id).any(|f| f.rel == Rel::BornIn),
+                "{} has no birthplace",
+                p.display
+            );
+        }
+    }
+
+    #[test]
+    fn marriages_are_symmetric() {
+        let w = tiny_world();
+        for f in w.facts.iter().filter(|f| f.rel == Rel::MarriedTo) {
+            assert!(w.holds(f.o, Rel::MarriedTo, f.s), "asymmetric marriage {f:?}");
+        }
+    }
+
+    #[test]
+    fn each_country_has_exactly_one_capital() {
+        let w = tiny_world();
+        for c in w.of_kind(EntityKind::Country) {
+            let capitals = w
+                .facts
+                .iter()
+                .filter(|f| f.rel == Rel::CapitalOf && f.o == c.id)
+                .count();
+            assert_eq!(capitals, 1, "{} has {capitals} capitals", c.display);
+        }
+    }
+
+    #[test]
+    fn rival_products_are_phones_from_different_companies() {
+        let w = tiny_world();
+        let (a, b) = w.rival_products;
+        assert_ne!(a, b);
+        let creator = |p: EntityId| {
+            w.facts
+                .iter()
+                .find(|f| f.rel == Rel::Created && f.o == p)
+                .map(|f| f.s)
+                .expect("product has creator")
+        };
+        assert_ne!(creator(a), creator(b));
+        for p in [a, b] {
+            assert!(w.entity(p).classes.iter().any(|c| c == "phone"));
+        }
+    }
+
+    #[test]
+    fn ambiguity_knob_shrinks_surname_pool() {
+        let mut lo = WorldConfig::tiny(7);
+        lo.ambiguity = 0.0;
+        let mut hi = WorldConfig::tiny(7);
+        hi.ambiguity = 0.9;
+        let count_distinct_shorts = |w: &World| {
+            w.of_kind(EntityKind::Person)
+                .map(|e| e.short.clone())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        let w_lo = World::generate(&lo);
+        let w_hi = World::generate(&hi);
+        assert!(count_distinct_shorts(&w_lo) > count_distinct_shorts(&w_hi));
+    }
+
+    #[test]
+    fn founders_are_entrepreneurs() {
+        let w = tiny_world();
+        for f in w.facts.iter().filter(|f| f.rel == Rel::Founded) {
+            let founder = w.entity(f.s);
+            assert!(
+                founder.classes.iter().any(|c| c == "entrepreneur"),
+                "{} founded a company but is no entrepreneur",
+                founder.display
+            );
+        }
+    }
+
+    #[test]
+    fn temporal_relations_carry_begin_years() {
+        let w = tiny_world();
+        for f in &w.facts {
+            if f.rel.temporal() {
+                assert!(f.begin.is_some(), "{f:?} lacks begin year");
+            }
+        }
+    }
+
+    #[test]
+    fn instance_of_covers_every_entity() {
+        let w = tiny_world();
+        for e in &w.entities {
+            assert!(
+                w.instance_of.iter().any(|(id, _)| *id == e.id),
+                "{} has no classes",
+                e.display
+            );
+        }
+    }
+
+    #[test]
+    fn gold_taxonomy_contains_kind_classes() {
+        let edges = gold_taxonomy_edges();
+        for kind in ["person", "company", "city", "country", "university", "product"] {
+            assert!(
+                edges.iter().any(|(sub, _)| sub == kind),
+                "{kind} missing from taxonomy"
+            );
+        }
+        // entrepreneur ⊂ person, phone ⊂ product
+        assert!(edges.contains(&("entrepreneur".into(), "person".into())));
+        assert!(edges.contains(&("phone".into(), "product".into())));
+    }
+
+    #[test]
+    fn aliases_include_display_and_short() {
+        let w = tiny_world();
+        for e in &w.entities {
+            assert!(e.aliases.contains(&e.display));
+            assert!(e.aliases.contains(&e.short) || e.short == e.display);
+        }
+    }
+
+    #[test]
+    fn by_canonical_round_trips() {
+        let w = tiny_world();
+        for e in w.entities.iter().take(10) {
+            assert_eq!(w.by_canonical(&e.canonical).unwrap().id, e.id);
+        }
+        assert!(w.by_canonical("Nonexistent_Entity").is_none());
+    }
+}

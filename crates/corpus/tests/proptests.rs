@@ -1,0 +1,142 @@
+//! Property-based tests over the corpus generator: any seed and any
+//! (small) size knobs must yield a structurally sound world and corpus.
+
+use proptest::prelude::*;
+
+use kb_corpus::{Corpus, CorpusConfig, EntityKind, WorldConfig, World};
+
+fn small_config() -> impl Strategy<Value = CorpusConfig> {
+    (
+        any::<u64>(),
+        2usize..20,  // people
+        1usize..5,   // companies
+        2usize..6,   // cities
+        1usize..3,   // countries
+        0usize..3,   // universities
+        0usize..6,   // products
+        0.0f64..=1.0, // ambiguity
+        0.0f64..=0.3, // noise
+    )
+        .prop_map(
+            |(seed, people, companies, cities, countries, universities, products, ambiguity, noise)| {
+                let mut cfg = CorpusConfig::tiny();
+                cfg.world = WorldConfig {
+                    seed,
+                    people,
+                    companies,
+                    cities,
+                    countries,
+                    universities,
+                    products,
+                    ambiguity,
+                };
+                cfg.noise_rate = noise;
+                cfg.web_pages = 3;
+                cfg.essays = 1;
+                cfg.stream_days = 7;
+                cfg.posts_per_day = 2;
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The world is schema-consistent for any knobs.
+    #[test]
+    fn world_is_schema_consistent(cfg in small_config()) {
+        let w = World::generate(&cfg.world);
+        prop_assert_eq!(w.entities.len(), cfg.world.total_entities());
+        for f in &w.facts {
+            prop_assert_eq!(w.entity(f.s).kind, f.rel.domain());
+            prop_assert_eq!(w.entity(f.o).kind, f.rel.range());
+            if let (Some(b), Some(e)) = (f.begin, f.end) {
+                prop_assert!(b <= e);
+            }
+        }
+        // Canonical names unique.
+        let mut names: Vec<&str> = w.entities.iter().map(|e| e.canonical.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        prop_assert_eq!(names.len(), before, "duplicate canonical names");
+    }
+
+    /// Functional relations stay functional under any knobs.
+    #[test]
+    fn gold_respects_functionality(cfg in small_config()) {
+        let w = World::generate(&cfg.world);
+        for rel in kb_corpus::world::ALL_RELS {
+            if !rel.functional() {
+                continue;
+            }
+            let mut seen = std::collections::HashMap::new();
+            for f in w.facts.iter().filter(|f| f.rel == rel) {
+                if let Some(prev) = seen.insert(f.s, f.o) {
+                    prop_assert_eq!(prev, f.o, "functional violation in {:?}", rel);
+                }
+            }
+        }
+    }
+
+    /// Every rendered document has valid, ordered, non-overlapping
+    /// mention offsets.
+    #[test]
+    fn documents_have_sound_mentions(cfg in small_config()) {
+        let corpus = Corpus::generate(&cfg);
+        for doc in corpus.all_docs() {
+            let mut last_end = 0usize;
+            for m in &doc.mentions {
+                prop_assert!(m.start >= last_end, "overlapping mentions in {}", doc.title);
+                prop_assert_eq!(&doc.text[m.start..m.end], m.surface.as_str());
+                prop_assert!((m.entity.index()) < corpus.world.entities.len());
+                last_end = m.end;
+            }
+        }
+        for post in &corpus.posts {
+            for m in &post.mentions {
+                prop_assert_eq!(&post.text[m.start..m.end], m.surface.as_str());
+            }
+        }
+    }
+
+    /// Generation is a pure function of the config.
+    #[test]
+    fn generation_is_deterministic(cfg in small_config()) {
+        let a = Corpus::generate(&cfg);
+        let b = Corpus::generate(&cfg);
+        prop_assert_eq!(a.world.facts.len(), b.world.facts.len());
+        for (x, y) in a.articles.iter().zip(&b.articles) {
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(&x.infobox, &y.infobox);
+            prop_assert_eq!(&x.categories, &y.categories);
+        }
+    }
+
+    /// Linkage dumps stay internally consistent for any seed.
+    #[test]
+    fn linkage_dump_invariants(cfg in small_config(), dump_seed in any::<u64>()) {
+        let w = World::generate(&cfg.world);
+        let dump = kb_corpus::gold::linkage_dump(&w, dump_seed);
+        // Cross-source gold pairs reference valid records of the right
+        // sources and identical gold entities.
+        for &(a, b) in &dump.gold_pairs {
+            let ra = &dump.records[a as usize];
+            let rb = &dump.records[b as usize];
+            prop_assert_eq!(ra.id, a);
+            prop_assert_eq!(rb.id, b);
+            prop_assert_eq!(ra.source, 0);
+            prop_assert_eq!(rb.source, 1);
+            prop_assert_eq!(ra.gold_entity, rb.gold_entity);
+        }
+        // Source 0 lists every person/company exactly once.
+        let persons_companies = w
+            .entities
+            .iter()
+            .filter(|e| matches!(e.kind, EntityKind::Person | EntityKind::Company))
+            .count();
+        let source0 = dump.records.iter().filter(|r| r.source == 0).count();
+        prop_assert_eq!(source0, persons_companies);
+    }
+}

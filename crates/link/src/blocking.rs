@@ -1,0 +1,174 @@
+//! Blocking: pruning the quadratic comparison space before matching.
+//!
+//! Three strategies, compared in experiment T6:
+//!
+//! * [`Blocking::Full`] — every cross-source pair (the quadratic
+//!   baseline);
+//! * [`Blocking::Token`] — pairs sharing at least one name token;
+//! * [`Blocking::SortedNeighborhood`] — records sorted by a normalized
+//!   key, pairs within a sliding window.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::record::Record;
+
+/// A blocking strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Blocking {
+    /// All cross-source pairs.
+    Full,
+    /// Shared-name-token blocking.
+    Token,
+    /// Sorted neighborhood with the given window size.
+    SortedNeighborhood(usize),
+}
+
+/// Generates candidate pairs `(id_from_source0, id_from_source1)`,
+/// deduplicated and sorted.
+pub fn candidate_pairs(records: &[Record], strategy: Blocking) -> Vec<(u32, u32)> {
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    match strategy {
+        Blocking::Full => {
+            for a in records.iter().filter(|r| r.source == 0) {
+                for b in records.iter().filter(|r| r.source == 1) {
+                    pairs.insert((a.id, b.id));
+                }
+            }
+        }
+        Blocking::Token => {
+            let mut by_token: HashMap<String, Vec<&Record>> = HashMap::new();
+            for r in records {
+                for t in r.name_tokens() {
+                    by_token.entry(t).or_default().push(r);
+                }
+            }
+            for group in by_token.values() {
+                for a in group.iter().filter(|r| r.source == 0) {
+                    for b in group.iter().filter(|r| r.source == 1) {
+                        pairs.insert((a.id, b.id));
+                    }
+                }
+            }
+        }
+        Blocking::SortedNeighborhood(window) => {
+            let mut sorted: Vec<&Record> = records.iter().collect();
+            sorted.sort_by_key(|r| r.sort_key());
+            let w = window.max(1);
+            for (i, a) in sorted.iter().enumerate() {
+                for b in sorted.iter().skip(i + 1).take(w) {
+                    match (a.source, b.source) {
+                        (0, 1) => {
+                            pairs.insert((a.id, b.id));
+                        }
+                        (1, 0) => {
+                            pairs.insert((b.id, a.id));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Blocking quality: candidate count and pair recall against gold pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingQuality {
+    /// Candidate pairs generated.
+    pub pairs: usize,
+    /// Fraction of gold pairs covered by the candidates.
+    pub pair_recall: f64,
+}
+
+/// Measures a strategy against gold duplicate pairs.
+pub fn blocking_quality(
+    candidates: &[(u32, u32)],
+    gold: &HashSet<(u32, u32)>,
+) -> BlockingQuality {
+    let set: HashSet<&(u32, u32)> = candidates.iter().collect();
+    let covered = gold.iter().filter(|p| set.contains(p)).count();
+    BlockingQuality {
+        pairs: candidates.len(),
+        pair_recall: if gold.is_empty() {
+            1.0
+        } else {
+            covered as f64 / gold.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record::new(0, 0, "Alan Varen", &[]),
+            Record::new(1, 0, "Bea Holford", &[]),
+            Record::new(2, 1, "Varen, Alan", &[]),
+            Record::new(3, 1, "B. Holford", &[]),
+            Record::new(4, 1, "Cyrus Unrelated", &[]),
+        ]
+    }
+
+    #[test]
+    fn full_blocking_is_the_cross_product() {
+        let pairs = candidate_pairs(&records(), Blocking::Full);
+        assert_eq!(pairs.len(), 2 * 3);
+    }
+
+    #[test]
+    fn token_blocking_keeps_shared_token_pairs() {
+        let pairs = candidate_pairs(&records(), Blocking::Token);
+        assert!(pairs.contains(&(0, 2)), "varen+alan shared");
+        assert!(pairs.contains(&(1, 3)), "holford shared");
+        assert!(!pairs.contains(&(0, 4)));
+        assert!(pairs.len() < 6, "fewer than the cross product");
+    }
+
+    #[test]
+    fn sorted_neighborhood_finds_reordered_names() {
+        let pairs = candidate_pairs(&records(), Blocking::SortedNeighborhood(2));
+        // "alan varen" sorts next to "alan varen" (from "Varen, Alan").
+        assert!(pairs.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn pair_orientation_is_source0_then_source1() {
+        for strat in [Blocking::Full, Blocking::Token, Blocking::SortedNeighborhood(3)] {
+            let recs = records();
+            for (a, b) in candidate_pairs(&recs, strat) {
+                assert_eq!(recs[a as usize].source, 0);
+                assert_eq!(recs[b as usize].source, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quality_measures_recall() {
+        let gold: HashSet<(u32, u32)> = [(0, 2), (1, 3)].into_iter().collect();
+        let full = candidate_pairs(&records(), Blocking::Full);
+        let q = blocking_quality(&full, &gold);
+        assert_eq!(q.pair_recall, 1.0);
+        let none = blocking_quality(&[], &gold);
+        assert_eq!(none.pair_recall, 0.0);
+        let empty_gold = blocking_quality(&[], &HashSet::new());
+        assert_eq!(empty_gold.pair_recall, 1.0);
+    }
+
+    #[test]
+    fn token_blocking_on_corpus_dump_prunes_hard() {
+        use kb_corpus::{gold::linkage_dump, CorpusConfig, World};
+        let world = World::generate(&CorpusConfig::tiny().world);
+        let dump = linkage_dump(&world, 3);
+        let records: Vec<Record> = dump.records.iter().map(crate::record::from_corpus).collect();
+        let full = candidate_pairs(&records, Blocking::Full);
+        let token = candidate_pairs(&records, Blocking::Token);
+        assert!(token.len() * 2 < full.len(), "token {} vs full {}", token.len(), full.len());
+        let q = blocking_quality(&token, &dump.gold_pairs);
+        assert!(q.pair_recall > 0.9, "recall {}", q.pair_recall);
+    }
+}

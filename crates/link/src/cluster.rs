@@ -1,0 +1,199 @@
+//! Constrained transitive closure: turning pairwise match decisions
+//! into `sameAs` clusters without letting one bad match glue distinct
+//! entities together.
+//!
+//! The closure is a union-find over matched pairs, but a merge is
+//! *refused* when the two clusters carry conflicting values for a
+//! distinguishing attribute (e.g. two different birth years) — the
+//! "graph algorithms" + constraint checking of tutorial §4.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::record::Record;
+
+/// Clustering outcome.
+#[derive(Debug, Clone)]
+pub struct Clusters {
+    /// record id → cluster representative id.
+    pub assignment: HashMap<u32, u32>,
+    /// Merges refused due to attribute conflicts.
+    pub refused_merges: usize,
+}
+
+impl Clusters {
+    /// Whether two records ended up in the same cluster.
+    pub fn same(&self, a: u32, b: u32) -> bool {
+        match (self.assignment.get(&a), self.assignment.get(&b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// All equivalent pairs `(a, b)` with `a < b` implied by the
+    /// clustering (the evaluated closure).
+    pub fn implied_pairs(&self) -> HashSet<(u32, u32)> {
+        let mut by_cluster: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (&id, &root) in &self.assignment {
+            by_cluster.entry(root).or_default().push(id);
+        }
+        let mut pairs = HashSet::new();
+        for members in by_cluster.values() {
+            let mut m = members.clone();
+            m.sort_unstable();
+            for i in 0..m.len() {
+                for j in i + 1..m.len() {
+                    pairs.insert((m[i], m[j]));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Attributes whose disagreement blocks a merge.
+pub const DISTINGUISHING_ATTRS: [&str; 2] = ["year", "birth_place"];
+
+/// Builds clusters from matched pairs with constraint checking.
+///
+/// Pairs are processed in the order given (process strongest matches
+/// first for best results); each merge first checks that no
+/// distinguishing attribute conflicts between the two clusters.
+pub fn cluster_with_constraints(
+    records: &[Record],
+    matched_pairs: &[(u32, u32)],
+    check_constraints: bool,
+) -> Clusters {
+    let by_id: HashMap<u32, &Record> = records.iter().map(|r| (r.id, r)).collect();
+    let mut parent: HashMap<u32, u32> = records.iter().map(|r| (r.id, r.id)).collect();
+    // Cluster attribute profile: root -> attr key -> value set.
+    let mut profile: HashMap<u32, HashMap<String, HashSet<String>>> = HashMap::new();
+    for r in records {
+        let p = profile.entry(r.id).or_default();
+        for (k, v) in &r.attrs {
+            if DISTINGUISHING_ATTRS.contains(&k.as_str()) {
+                p.entry(k.clone()).or_default().insert(v.to_lowercase());
+            }
+        }
+    }
+    fn find(parent: &mut HashMap<u32, u32>, x: u32) -> u32 {
+        let mut root = x;
+        while parent[&root] != root {
+            root = parent[&root];
+        }
+        let mut cur = x;
+        while parent[&cur] != root {
+            let next = parent[&cur];
+            parent.insert(cur, root);
+            cur = next;
+        }
+        root
+    }
+    let mut refused = 0usize;
+    for &(a, b) in matched_pairs {
+        if !by_id.contains_key(&a) || !by_id.contains_key(&b) {
+            continue;
+        }
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra == rb {
+            continue;
+        }
+        if check_constraints {
+            let pa = profile.get(&ra).cloned().unwrap_or_default();
+            let pb = profile.get(&rb).cloned().unwrap_or_default();
+            let conflict = DISTINGUISHING_ATTRS.iter().any(|key| {
+                match (pa.get(*key), pb.get(*key)) {
+                    (Some(va), Some(vb)) => va.is_disjoint(vb) && !va.is_empty() && !vb.is_empty(),
+                    _ => false,
+                }
+            });
+            if conflict {
+                refused += 1;
+                continue;
+            }
+        }
+        // Merge rb into ra, folding profiles.
+        parent.insert(rb, ra);
+        let pb = profile.remove(&rb).unwrap_or_default();
+        let pa = profile.entry(ra).or_default();
+        for (k, vs) in pb {
+            pa.entry(k).or_default().extend(vs);
+        }
+    }
+    let ids: Vec<u32> = records.iter().map(|r| r.id).collect();
+    let assignment = ids
+        .into_iter()
+        .map(|id| {
+            let root = find(&mut parent, id);
+            (id, root)
+        })
+        .collect();
+    Clusters { assignment, refused_merges: refused }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_closure_clusters_transitively() {
+        let records = vec![
+            Record::new(0, 0, "A", &[]),
+            Record::new(1, 1, "A.", &[]),
+            Record::new(2, 0, "A..", &[]),
+            Record::new(3, 1, "B", &[]),
+        ];
+        let clusters = cluster_with_constraints(&records, &[(0, 1), (1, 2)], true);
+        assert!(clusters.same(0, 2), "transitive");
+        assert!(!clusters.same(0, 3));
+        assert_eq!(clusters.refused_merges, 0);
+    }
+
+    #[test]
+    fn conflicting_years_block_a_merge() {
+        let records = vec![
+            Record::new(0, 0, "Alan Varen", &[("year", "1950")]),
+            Record::new(1, 1, "Alan Varen", &[("year", "1981")]),
+        ];
+        let strict = cluster_with_constraints(&records, &[(0, 1)], true);
+        assert!(!strict.same(0, 1));
+        assert_eq!(strict.refused_merges, 1);
+        let lax = cluster_with_constraints(&records, &[(0, 1)], false);
+        assert!(lax.same(0, 1));
+    }
+
+    #[test]
+    fn conflict_propagates_through_merged_profiles() {
+        // 0 and 1 merge (same year); 2 has a conflicting year and must
+        // not join even via a pair with 1 (which has no year itself).
+        let records = vec![
+            Record::new(0, 0, "X", &[("year", "1950")]),
+            Record::new(1, 1, "X", &[]),
+            Record::new(2, 1, "X", &[("year", "1999")]),
+        ];
+        let clusters = cluster_with_constraints(&records, &[(0, 1), (1, 2)], true);
+        assert!(clusters.same(0, 1));
+        assert!(!clusters.same(0, 2), "merged profile must carry the 1950 year");
+        assert_eq!(clusters.refused_merges, 1);
+    }
+
+    #[test]
+    fn implied_pairs_enumerate_clusters() {
+        let records = vec![
+            Record::new(0, 0, "A", &[]),
+            Record::new(1, 1, "A", &[]),
+            Record::new(2, 0, "A", &[]),
+        ];
+        let clusters = cluster_with_constraints(&records, &[(0, 1), (0, 2)], true);
+        let pairs = clusters.implied_pairs();
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&(0, 1)) && pairs.contains(&(0, 2)) && pairs.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn unknown_ids_in_pairs_are_ignored() {
+        let records = vec![Record::new(0, 0, "A", &[])];
+        let clusters = cluster_with_constraints(&records, &[(0, 99)], true);
+        assert_eq!(clusters.assignment.len(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Pair features for record matching.
+
+use kb_nlp::similarity::{dice_bigrams, jaccard_tokens, jaro_winkler, levenshtein_sim, monge_elkan};
+
+use crate::record::Record;
+
+/// Number of features produced by [`pair_features`] (including bias).
+pub const NUM_FEATURES: usize = 8;
+
+/// Computes the feature vector of a record pair:
+/// `[bias, jaro_winkler, levenshtein, jaccard, dice, monge_elkan_sym,
+/// attr_agreement, attr_conflict]`.
+pub fn pair_features(a: &Record, b: &Record) -> [f64; NUM_FEATURES] {
+    let na = a.name.to_lowercase();
+    let nb = b.name.to_lowercase();
+    // Token-sorted names neutralize "Last, First" reordering for the
+    // character-level measures.
+    let sa = a.sort_key();
+    let sb = b.sort_key();
+    let jw = jaro_winkler(&sa, &sb).max(jaro_winkler(&na, &nb));
+    let lev = levenshtein_sim(&sa, &sb).max(levenshtein_sim(&na, &nb));
+    // Jaccard over the alphanumeric-normalized token sets, so that
+    // "Varen, Alan" and "Alan Varen" compare as equal sets.
+    let jac = jaccard_tokens(&sa, &sb);
+    let dice = dice_bigrams(&na, &nb);
+    let me = 0.5 * (monge_elkan(&na, &nb) + monge_elkan(&nb, &na));
+    let (agree, conflict) = attr_agreement(a, b);
+    [1.0, jw, lev, jac, dice, me, agree, conflict]
+}
+
+/// Attribute agreement and conflict rates over shared attribute keys.
+/// Returns `(agreement, conflict)`, both in `[0, 1]`; `(0, 0)` when the
+/// records share no keys.
+pub fn attr_agreement(a: &Record, b: &Record) -> (f64, f64) {
+    let mut shared = 0usize;
+    let mut agree = 0usize;
+    for (k, va) in &a.attrs {
+        if let Some(vb) = b.attr(k) {
+            shared += 1;
+            if va.eq_ignore_ascii_case(vb) {
+                agree += 1;
+            }
+        }
+    }
+    if shared == 0 {
+        return (0.0, 0.0);
+    }
+    let agree_rate = agree as f64 / shared as f64;
+    (agree_rate, 1.0 - agree_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_records_score_high() {
+        let a = Record::new(0, 0, "Alan Varen", &[("year", "1950")]);
+        let b = Record::new(1, 1, "Alan Varen", &[("year", "1950")]);
+        let f = pair_features(&a, &b);
+        assert_eq!(f[0], 1.0, "bias");
+        assert!((f[1] - 1.0).abs() < 1e-9, "jw");
+        assert!((f[6] - 1.0).abs() < 1e-9, "agreement");
+        assert_eq!(f[7], 0.0, "no conflict");
+    }
+
+    #[test]
+    fn reordered_names_still_score_high() {
+        let a = Record::new(0, 0, "Alan Varen", &[]);
+        let b = Record::new(1, 1, "Varen, Alan", &[]);
+        let f = pair_features(&a, &b);
+        assert!(f[1] > 0.95, "sorted-token JW should neutralize reorder: {}", f[1]);
+        assert!((f[3] - 1.0).abs() < 1e-9, "jaccard over tokens");
+    }
+
+    #[test]
+    fn different_records_score_low() {
+        let a = Record::new(0, 0, "Alan Varen", &[("year", "1950")]);
+        let b = Record::new(1, 1, "Quinta Oster", &[("year", "1999")]);
+        let f = pair_features(&a, &b);
+        assert!(f[1] < 0.7);
+        assert_eq!(f[6], 0.0);
+        assert_eq!(f[7], 1.0, "year conflicts");
+    }
+
+    #[test]
+    fn missing_attrs_are_neutral() {
+        let a = Record::new(0, 0, "Alan", &[("year", "1950")]);
+        let b = Record::new(1, 1, "Alan", &[("birth_place", "Lund")]);
+        let (agree, conflict) = attr_agreement(&a, &b);
+        assert_eq!((agree, conflict), (0.0, 0.0));
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        let a = Record::new(0, 0, "", &[]);
+        let b = Record::new(1, 1, "X", &[]);
+        for v in pair_features(&a, &b) {
+            assert!((0.0..=1.0 + 1e-9).contains(&v), "{v}");
+        }
+    }
+}

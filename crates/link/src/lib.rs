@@ -1,0 +1,27 @@
+//! # kb-link
+//!
+//! Entity linkage (record linkage / entity resolution / deduplication) —
+//! tutorial §4: deciding whether two records describe the same
+//! real-world entity, and maintaining `owl:sameAs` at scale.
+//!
+//! The pipeline follows the classical architecture:
+//!
+//! 1. **Blocking** ([`blocking`]) prunes the quadratic pair space:
+//!    token blocking and sorted-neighborhood vs the full cross product
+//!    (experiment T6 measures pairs vs pair-recall).
+//! 2. **Pair features** ([`features`]): name similarities
+//!    (Jaro-Winkler, Levenshtein, Jaccard, Dice, Monge-Elkan) and
+//!    attribute agreement.
+//! 3. **Matching**: a hand-tuned [rule matcher](rules) and a
+//!    [logistic-regression matcher](logreg) trained on labeled pairs.
+//! 4. **Clustering** ([`cluster`]): constrained transitive closure that
+//!    refuses merges contradicting distinguishing attributes.
+
+pub mod blocking;
+pub mod cluster;
+pub mod features;
+pub mod logreg;
+pub mod record;
+pub mod rules;
+
+pub use record::Record;

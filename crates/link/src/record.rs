@@ -1,0 +1,89 @@
+//! The record model: what a data source publishes about an entity.
+
+/// A record from one source, to be matched against records from others.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Dense id, unique across all sources in one linkage task.
+    pub id: u32,
+    /// Which source published it.
+    pub source: u8,
+    /// The entity name as this source writes it.
+    pub name: String,
+    /// Attribute key/value pairs (possibly incomplete).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(id: u32, source: u8, name: &str, attrs: &[(&str, &str)]) -> Self {
+        Self {
+            id,
+            source,
+            name: name.to_string(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Value of an attribute, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Lowercased name tokens (blocking keys).
+    pub fn name_tokens(&self) -> Vec<String> {
+        self.name
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(str::to_lowercase)
+            .collect()
+    }
+
+    /// A normalized sort key: lowercase name tokens sorted and joined —
+    /// robust to token reordering ("Varen, Alan" vs "Alan Varen").
+    pub fn sort_key(&self) -> String {
+        let mut toks = self.name_tokens();
+        toks.sort();
+        toks.join(" ")
+    }
+}
+
+/// Converts a corpus linkage record (used by tests and benches).
+pub fn from_corpus(r: &kb_corpus::gold::LinkRecord) -> Record {
+    Record {
+        id: r.id,
+        source: r.source,
+        name: r.name.clone(),
+        attrs: r.attrs.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_lookup() {
+        let r = Record::new(0, 0, "Alan Varen", &[("year", "1950"), ("birth_place", "Lundholm")]);
+        assert_eq!(r.attr("year"), Some("1950"));
+        assert_eq!(r.attr("missing"), None);
+    }
+
+    #[test]
+    fn name_tokens_normalize() {
+        let r = Record::new(0, 1, "Varen, Alan", &[]);
+        assert_eq!(r.name_tokens(), vec!["varen", "alan"]);
+    }
+
+    #[test]
+    fn sort_key_is_reorder_invariant() {
+        let a = Record::new(0, 0, "Alan Varen", &[]);
+        let b = Record::new(1, 1, "Varen, Alan", &[]);
+        assert_eq!(a.sort_key(), b.sort_key());
+    }
+}

@@ -1,0 +1,70 @@
+//! The hand-tuned rule matcher: the classical baseline a learned
+//! matcher must beat (experiment T6).
+
+use crate::features::pair_features;
+use crate::record::Record;
+
+/// Rule-matcher thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleConfig {
+    /// Names at or above this Jaro-Winkler match outright (absent
+    /// attribute conflicts).
+    pub high_name_sim: f64,
+    /// Names at or above this match when attributes agree.
+    pub mid_name_sim: f64,
+    /// Minimum attribute agreement for the mid-similarity path.
+    pub min_agreement: f64,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        Self { high_name_sim: 0.92, mid_name_sim: 0.78, min_agreement: 0.5 }
+    }
+}
+
+/// Decides whether two records match by rule.
+pub fn rule_match(a: &Record, b: &Record, cfg: &RuleConfig) -> bool {
+    let f = pair_features(a, b);
+    let (jw, agree, conflict) = (f[1], f[6], f[7]);
+    if conflict > 0.5 {
+        // Majority of shared attributes disagree: reject outright.
+        return false;
+    }
+    if jw >= cfg.high_name_sim {
+        return true;
+    }
+    jw >= cfg.mid_name_sim && agree >= cfg.min_agreement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_names_match() {
+        let a = Record::new(0, 0, "Alan Varen", &[]);
+        let b = Record::new(1, 1, "Alan Varen", &[]);
+        assert!(rule_match(&a, &b, &RuleConfig::default()));
+    }
+
+    #[test]
+    fn typo_names_match_when_attributes_agree() {
+        let a = Record::new(0, 0, "Alan Varen", &[("year", "1950")]);
+        let b = Record::new(1, 1, "Alan Vraen", &[("year", "1950")]);
+        assert!(rule_match(&a, &b, &RuleConfig::default()));
+    }
+
+    #[test]
+    fn conflicting_attributes_block_matches() {
+        let a = Record::new(0, 0, "Alan Varen", &[("year", "1950")]);
+        let b = Record::new(1, 1, "Alan Varen", &[("year", "1981")]);
+        assert!(!rule_match(&a, &b, &RuleConfig::default()));
+    }
+
+    #[test]
+    fn unrelated_names_do_not_match() {
+        let a = Record::new(0, 0, "Alan Varen", &[]);
+        let b = Record::new(1, 1, "Quinta Osterberg", &[]);
+        assert!(!rule_match(&a, &b, &RuleConfig::default()));
+    }
+}

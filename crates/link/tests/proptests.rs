@@ -1,0 +1,143 @@
+//! Property-based tests for entity linkage invariants.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use kb_link::blocking::{blocking_quality, candidate_pairs, Blocking};
+use kb_link::cluster::cluster_with_constraints;
+use kb_link::features::{attr_agreement, pair_features, NUM_FEATURES};
+use kb_link::Record;
+
+fn record_strategy(id: u32, source: u8) -> impl Strategy<Value = Record> {
+    (
+        "[A-Z][a-z]{1,6}( [A-Z][a-z]{1,6})?",
+        prop::option::of(1900u32..2000),
+    )
+        .prop_map(move |(name, year)| {
+            let attrs: Vec<(&str, String)> = year
+                .map(|y| vec![("year", y.to_string())])
+                .unwrap_or_default();
+            let attr_refs: Vec<(&str, &str)> =
+                attrs.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            Record::new(id, source, &name, &attr_refs)
+        })
+}
+
+fn records_strategy() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(("[A-Z][a-z]{1,6}", any::<bool>(), prop::option::of(1900u32..1910)), 2..20)
+        .prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (name, second_source, year))| {
+                    let attrs: Vec<(String, String)> = year
+                        .map(|y| vec![("year".to_string(), y.to_string())])
+                        .unwrap_or_default();
+                    Record {
+                        id: i as u32,
+                        source: u8::from(second_source),
+                        name,
+                        attrs,
+                    }
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pair features are bounded and symmetric in their name components.
+    #[test]
+    fn features_are_bounded(
+        a in record_strategy(0, 0),
+        b in record_strategy(1, 1),
+    ) {
+        let f = pair_features(&a, &b);
+        prop_assert_eq!(f.len(), NUM_FEATURES);
+        prop_assert_eq!(f[0], 1.0, "bias");
+        for v in f {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "{v}");
+        }
+        let (agree, conflict) = attr_agreement(&a, &b);
+        prop_assert!(agree + conflict <= 1.0 + 1e-9);
+    }
+
+    /// Identity pairs maximize every name feature.
+    #[test]
+    fn identity_features_are_maximal(a in record_strategy(0, 0)) {
+        let mut b = a.clone();
+        b.id = 1;
+        b.source = 1;
+        let f = pair_features(&a, &b);
+        for v in &f[1..6] {
+            prop_assert!((v - 1.0).abs() < 1e-9, "name feature {v} < 1 on identical records");
+        }
+    }
+
+    /// Every blocking strategy yields a subset of the full cross product,
+    /// oriented source0 → source1, without duplicates.
+    #[test]
+    fn blocking_is_a_sound_subset(records in records_strategy()) {
+        let full: HashSet<(u32, u32)> =
+            candidate_pairs(&records, Blocking::Full).into_iter().collect();
+        for strategy in [Blocking::Token, Blocking::SortedNeighborhood(3)] {
+            let pairs = candidate_pairs(&records, strategy);
+            let set: HashSet<(u32, u32)> = pairs.iter().copied().collect();
+            prop_assert_eq!(set.len(), pairs.len(), "duplicates from {:?}", strategy);
+            for p in &pairs {
+                prop_assert!(full.contains(p), "{:?} invented pair {:?}", strategy, p);
+            }
+        }
+    }
+
+    /// Token blocking finds every exact-name cross-source duplicate.
+    #[test]
+    fn token_blocking_catches_exact_duplicates(records in records_strategy()) {
+        let gold: HashSet<(u32, u32)> = {
+            let mut g = HashSet::new();
+            for a in records.iter().filter(|r| r.source == 0) {
+                for b in records.iter().filter(|r| r.source == 1) {
+                    if a.name == b.name {
+                        g.insert((a.id, b.id));
+                    }
+                }
+            }
+            g
+        };
+        let pairs = candidate_pairs(&records, Blocking::Token);
+        let q = blocking_quality(&pairs, &gold);
+        prop_assert!((q.pair_recall - 1.0).abs() < 1e-9, "recall {}", q.pair_recall);
+    }
+
+    /// Clustering produces a valid partition: assignment is total,
+    /// `same` is an equivalence relation, and constrained clusters never
+    /// contain conflicting distinguishing attributes.
+    #[test]
+    fn clustering_is_a_sound_partition(
+        records in records_strategy(),
+        pair_seed in prop::collection::vec((0usize..20, 0usize..20), 0..15),
+    ) {
+        let pairs: Vec<(u32, u32)> = pair_seed
+            .into_iter()
+            .filter(|&(a, b)| a < records.len() && b < records.len() && a != b)
+            .map(|(a, b)| (a as u32, b as u32))
+            .collect();
+        let clusters = cluster_with_constraints(&records, &pairs, true);
+        prop_assert_eq!(clusters.assignment.len(), records.len());
+        // Reflexive + symmetric + transitive via representative equality
+        // is automatic; verify constraint: no cluster holds two records
+        // with different years.
+        let mut year_of_cluster: std::collections::HashMap<u32, String> =
+            std::collections::HashMap::new();
+        for r in &records {
+            let root = clusters.assignment[&r.id];
+            if let Some(y) = r.attr("year") {
+                if let Some(prev) = year_of_cluster.get(&root) {
+                    prop_assert_eq!(prev.as_str(), y, "conflicting years inside a cluster");
+                } else {
+                    year_of_cluster.insert(root, y.to_string());
+                }
+            }
+        }
+    }
+}

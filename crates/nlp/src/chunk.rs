@@ -1,0 +1,259 @@
+//! NP/VP chunking.
+//!
+//! Open IE "aggressively taps into noun phrases as entity candidates and
+//! verbal phrases as prototypic patterns for relations" (tutorial §3).
+//! This module turns a POS-tagged token sequence into a flat sequence of
+//! noun-phrase and verb-phrase chunks:
+//!
+//! * **NP** := `(Det)? (Adj|Noun|ProperNoun|Number)* (Noun|ProperNoun|Pronoun)`
+//! * **VP** := `(Aux)* Verb (Adverb)*` — or a bare Aux run acting as
+//!   copula ("is", "was").
+
+use crate::pos::PosTag;
+use crate::token::Token;
+
+/// Kind of a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Noun phrase — an entity candidate.
+    Np,
+    /// Verb phrase — a relation candidate.
+    Vp,
+}
+
+/// A contiguous token range forming a phrase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// NP or VP.
+    pub kind: ChunkKind,
+    /// Index of the first token (inclusive).
+    pub start: usize,
+    /// Index one past the last token.
+    pub end: usize,
+    /// Index of the head token (last nominal for NPs, main verb for VPs).
+    pub head: usize,
+}
+
+impl Chunk {
+    /// The chunk's surface text, reconstructed with single spaces.
+    pub fn text(&self, tokens: &[Token]) -> String {
+        tokens[self.start..self.end]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The head token's text.
+    pub fn head_text<'a>(&self, tokens: &'a [Token]) -> &'a str {
+        &tokens[self.head].text
+    }
+
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk covers no tokens (never produced by [`chunk`]).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Chunks a tagged sentence into NPs and VPs. Tokens not fitting either
+/// pattern (prepositions, conjunctions, punctuation) separate chunks.
+pub fn chunk(tokens: &[Token], tags: &[PosTag]) -> Vec<Chunk> {
+    assert_eq!(tokens.len(), tags.len(), "tokens and tags must align");
+    let n = tokens.len();
+    let mut chunks = Vec::new();
+    let mut i = 0;
+    while i < n {
+        match tags[i] {
+            PosTag::Determiner
+            | PosTag::Adjective
+            | PosTag::Noun
+            | PosTag::ProperNoun
+            | PosTag::Number
+            | PosTag::Pronoun => {
+                if let Some(c) = scan_np(tags, i) {
+                    i = c.end;
+                    chunks.push(c);
+                } else {
+                    i += 1;
+                }
+            }
+            PosTag::Aux | PosTag::Verb => {
+                let c = scan_vp(tags, i);
+                i = c.end;
+                chunks.push(c);
+            }
+            _ => i += 1,
+        }
+    }
+    chunks
+}
+
+/// Scans an NP starting at `i`; returns `None` if the candidate run
+/// contains no nominal head (e.g. a bare determiner or dangling
+/// adjective).
+fn scan_np(tags: &[PosTag], start: usize) -> Option<Chunk> {
+    let n = tags.len();
+    let mut i = start;
+    if tags[i] == PosTag::Determiner {
+        i += 1;
+    }
+    let mut last_nominal: Option<usize> = None;
+    while i < n {
+        match tags[i] {
+            PosTag::Noun | PosTag::ProperNoun => {
+                last_nominal = Some(i);
+                i += 1;
+            }
+            PosTag::Pronoun => {
+                // Pronouns head single-token NPs; do not absorb more.
+                if last_nominal.is_none() {
+                    last_nominal = Some(i);
+                    i += 1;
+                }
+                break;
+            }
+            PosTag::Adjective | PosTag::Number => {
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    let head = last_nominal?;
+    Some(Chunk {
+        kind: ChunkKind::Np,
+        start,
+        end: i.max(head + 1),
+        head,
+    })
+}
+
+/// Scans a VP starting at `i`: aux run, optional main verb, trailing
+/// adverbs. A bare aux run (copula) heads itself.
+fn scan_vp(tags: &[PosTag], start: usize) -> Chunk {
+    let n = tags.len();
+    let mut i = start;
+    let mut head = start;
+    while i < n && tags[i] == PosTag::Aux {
+        head = i;
+        i += 1;
+    }
+    // Adverbs may intervene: "was originally founded".
+    let mut j = i;
+    while j < n && tags[j] == PosTag::Adverb {
+        j += 1;
+    }
+    if j < n && tags[j] == PosTag::Verb {
+        head = j;
+        i = j + 1;
+    }
+    while i < n && tags[i] == PosTag::Adverb {
+        i += 1;
+    }
+    Chunk {
+        kind: ChunkKind::Vp,
+        start,
+        end: i,
+        head,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::PosTagger;
+    use crate::token::tokenize;
+
+    fn chunks_of(s: &str) -> (Vec<Token>, Vec<Chunk>) {
+        let toks = tokenize(s);
+        let tags = PosTagger::new().tag(&toks);
+        let cs = chunk(&toks, &tags);
+        (toks, cs)
+    }
+
+    #[test]
+    fn simple_svo_yields_np_vp_np() {
+        let (toks, cs) = chunks_of("Jobs founded Apple");
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].kind, ChunkKind::Np);
+        assert_eq!(cs[1].kind, ChunkKind::Vp);
+        assert_eq!(cs[2].kind, ChunkKind::Np);
+        assert_eq!(cs[0].text(&toks), "Jobs");
+        assert_eq!(cs[1].text(&toks), "founded");
+        assert_eq!(cs[2].text(&toks), "Apple");
+    }
+
+    #[test]
+    fn np_absorbs_determiner_and_adjectives() {
+        let (toks, cs) = chunks_of("He admired the famous young founder");
+        let np = cs.iter().find(|c| c.text(&toks).contains("famous")).unwrap();
+        assert_eq!(np.text(&toks), "the famous young founder");
+        assert_eq!(np.head_text(&toks), "founder");
+    }
+
+    #[test]
+    fn multiword_proper_noun_is_one_np() {
+        let (toks, cs) = chunks_of("He met Steve Jobs there");
+        let np = cs.iter().find(|c| c.text(&toks).contains("Steve")).unwrap();
+        assert_eq!(np.text(&toks), "Steve Jobs");
+        assert_eq!(np.head_text(&toks), "Jobs");
+    }
+
+    #[test]
+    fn vp_with_aux_and_adverb() {
+        let (toks, cs) = chunks_of("Apple was originally founded by Jobs");
+        let vp = cs.iter().find(|c| c.kind == ChunkKind::Vp).unwrap();
+        assert_eq!(vp.text(&toks), "was originally founded");
+        assert_eq!(vp.head_text(&toks), "founded");
+    }
+
+    #[test]
+    fn bare_copula_is_a_vp() {
+        let (toks, cs) = chunks_of("Cupertino is a city");
+        let vps: Vec<_> = cs.iter().filter(|c| c.kind == ChunkKind::Vp).collect();
+        assert_eq!(vps.len(), 1);
+        assert_eq!(vps[0].text(&toks), "is");
+        assert_eq!(vps[0].head_text(&toks), "is");
+    }
+
+    #[test]
+    fn prepositions_split_nps() {
+        let (toks, cs) = chunks_of("the founder of Apple");
+        let nps: Vec<String> = cs
+            .iter()
+            .filter(|c| c.kind == ChunkKind::Np)
+            .map(|c| c.text(&toks))
+            .collect();
+        assert_eq!(nps, vec!["the founder", "Apple"]);
+    }
+
+    #[test]
+    fn dangling_determiner_produces_no_np() {
+        let (_, cs) = chunks_of("the of");
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn pronoun_is_single_token_np() {
+        let (toks, cs) = chunks_of("She founded it");
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].text(&toks), "She");
+        assert_eq!(cs[2].text(&toks), "it");
+    }
+
+    #[test]
+    fn chunks_never_overlap_and_are_ordered() {
+        let (_, cs) = chunks_of("The young Steve Jobs founded Apple Computer in Cupertino and later led the famous company");
+        for w in cs.windows(2) {
+            assert!(w[0].end <= w[1].start, "chunks overlap: {w:?}");
+        }
+        for c in &cs {
+            assert!(!c.is_empty());
+            assert!(c.head >= c.start && c.head < c.end);
+        }
+    }
+}

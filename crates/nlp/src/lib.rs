@@ -1,0 +1,39 @@
+//! # kb-nlp
+//!
+//! The shallow natural-language-processing substrate the harvesting
+//! methods of Suchanek & Weikum's VLDB 2014 tutorial rely on. Knowledge
+//! harvesting at web scale deliberately avoids deep parsing; what it
+//! needs — and what this crate provides — is:
+//!
+//! * [`tokenize`] — offset-preserving tokenization;
+//! * [`split_sentences`] — sentence splitting;
+//! * [`PosTagger`] — lexicon + suffix-rule part-of-speech
+//!   tagging (noun/verb/adjective/preposition/...);
+//! * [`chunk()`](chunk::chunk) — noun-phrase and verb-phrase chunking, the
+//!   entity/relation candidates of Open IE;
+//! * [`stem()`](stem::stem) — a full Porter stemmer;
+//! * [`similarity`] — Levenshtein, Jaro, Jaro-Winkler, Jaccard, Dice and
+//!   friends, for entity linkage features;
+//! * [`tfidf`] — sparse TF-IDF vectors and cosine similarity, for NED
+//!   context scoring;
+//! * [`seqmine`] — PrefixSpan-style frequent sequence mining, used to
+//!   find prototypic relation phrases in Open IE.
+//!
+//! Everything is pure, deterministic and allocation-conscious.
+
+pub mod chunk;
+pub mod pos;
+pub mod sentence;
+pub mod seqmine;
+pub mod similarity;
+pub mod stem;
+pub mod stopwords;
+pub mod tfidf;
+pub mod token;
+
+pub use chunk::{chunk, Chunk, ChunkKind};
+pub use pos::{PosTag, PosTagger};
+pub use sentence::split_sentences;
+pub use stem::stem;
+pub use stopwords::is_stopword;
+pub use token::{tokenize, Token, TokenKind};

@@ -1,0 +1,329 @@
+//! Part-of-speech tagging.
+//!
+//! A lexicon + suffix-rule tagger with two Brill-style contextual repair
+//! rules. This is deliberately shallow: the harvesting methods need POS
+//! only to drive NP/VP chunking (tutorial §3, Open IE "taps into noun
+//! phrases as entity candidates and verbal phrases as prototypic
+//! patterns"), not full syntax.
+
+use std::collections::HashMap;
+
+use crate::token::{Token, TokenKind};
+
+/// Coarse part-of-speech tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Common noun.
+    Noun,
+    /// Proper noun (capitalized, not sentence-initial-only).
+    ProperNoun,
+    /// Main verb (any inflection).
+    Verb,
+    /// Modal/auxiliary verb (can, was, has, ...).
+    Aux,
+    /// Adjective.
+    Adjective,
+    /// Adverb.
+    Adverb,
+    /// Determiner/article.
+    Determiner,
+    /// Preposition or subordinating conjunction.
+    Preposition,
+    /// Pronoun.
+    Pronoun,
+    /// Coordinating conjunction.
+    Conjunction,
+    /// Numeric literal.
+    Number,
+    /// Punctuation.
+    Punct,
+}
+
+impl PosTag {
+    /// Whether this tag can head a noun phrase.
+    pub fn is_nominal(self) -> bool {
+        matches!(self, PosTag::Noun | PosTag::ProperNoun | PosTag::Pronoun)
+    }
+
+    /// Whether this tag is verbal (main or auxiliary).
+    pub fn is_verbal(self) -> bool {
+        matches!(self, PosTag::Verb | PosTag::Aux)
+    }
+}
+
+/// Lexicon-backed POS tagger. Construct once and reuse; tagging is
+/// `&self` and thread-safe.
+#[derive(Debug, Clone)]
+pub struct PosTagger {
+    lexicon: HashMap<&'static str, PosTag>,
+}
+
+impl Default for PosTagger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Closed-class words and common open-class words with fixed tags.
+static LEXICON: &[(&str, PosTag)] = &[
+    // determiners
+    ("a", PosTag::Determiner), ("an", PosTag::Determiner), ("the", PosTag::Determiner),
+    ("this", PosTag::Determiner), ("that", PosTag::Determiner), ("these", PosTag::Determiner),
+    ("those", PosTag::Determiner), ("its", PosTag::Determiner), ("his", PosTag::Determiner),
+    ("her", PosTag::Determiner), ("their", PosTag::Determiner), ("every", PosTag::Determiner),
+    ("some", PosTag::Determiner), ("many", PosTag::Determiner), ("other", PosTag::Determiner),
+    ("several", PosTag::Determiner), ("such", PosTag::Determiner), ("both", PosTag::Determiner),
+    ("all", PosTag::Determiner), ("no", PosTag::Determiner), ("each", PosTag::Determiner),
+    // pronouns
+    ("he", PosTag::Pronoun), ("she", PosTag::Pronoun), ("it", PosTag::Pronoun),
+    ("they", PosTag::Pronoun), ("we", PosTag::Pronoun), ("i", PosTag::Pronoun),
+    ("you", PosTag::Pronoun), ("who", PosTag::Pronoun), ("him", PosTag::Pronoun),
+    ("them", PosTag::Pronoun), ("which", PosTag::Pronoun),
+    // prepositions
+    ("in", PosTag::Preposition), ("on", PosTag::Preposition), ("at", PosTag::Preposition),
+    ("of", PosTag::Preposition), ("by", PosTag::Preposition), ("for", PosTag::Preposition),
+    ("with", PosTag::Preposition), ("from", PosTag::Preposition), ("to", PosTag::Preposition),
+    ("into", PosTag::Preposition), ("as", PosTag::Preposition), ("near", PosTag::Preposition),
+    ("after", PosTag::Preposition), ("before", PosTag::Preposition), ("until", PosTag::Preposition),
+    ("since", PosTag::Preposition), ("during", PosTag::Preposition), ("between", PosTag::Preposition),
+    ("through", PosTag::Preposition), ("under", PosTag::Preposition), ("over", PosTag::Preposition),
+    // conjunctions
+    ("and", PosTag::Conjunction), ("or", PosTag::Conjunction), ("but", PosTag::Conjunction),
+    ("nor", PosTag::Conjunction), ("yet", PosTag::Conjunction),
+    // auxiliaries / modals
+    ("is", PosTag::Aux), ("are", PosTag::Aux), ("was", PosTag::Aux), ("were", PosTag::Aux),
+    ("be", PosTag::Aux), ("been", PosTag::Aux), ("being", PosTag::Aux),
+    ("has", PosTag::Aux), ("have", PosTag::Aux), ("had", PosTag::Aux),
+    ("do", PosTag::Aux), ("does", PosTag::Aux), ("did", PosTag::Aux),
+    ("can", PosTag::Aux), ("could", PosTag::Aux), ("will", PosTag::Aux),
+    ("would", PosTag::Aux), ("may", PosTag::Aux), ("might", PosTag::Aux),
+    ("shall", PosTag::Aux), ("should", PosTag::Aux), ("must", PosTag::Aux),
+    // frequent verbs (base + inflections the corpus uses)
+    ("founded", PosTag::Verb), ("found", PosTag::Verb), ("founds", PosTag::Verb),
+    ("born", PosTag::Verb), ("married", PosTag::Verb), ("marries", PosTag::Verb),
+    ("acquired", PosTag::Verb), ("acquires", PosTag::Verb), ("acquire", PosTag::Verb),
+    ("located", PosTag::Verb), ("headquartered", PosTag::Verb),
+    ("released", PosTag::Verb), ("releases", PosTag::Verb), ("release", PosTag::Verb),
+    ("wrote", PosTag::Verb), ("written", PosTag::Verb), ("writes", PosTag::Verb),
+    ("directed", PosTag::Verb), ("directs", PosTag::Verb),
+    ("won", PosTag::Verb), ("wins", PosTag::Verb), ("win", PosTag::Verb),
+    ("joined", PosTag::Verb), ("joins", PosTag::Verb), ("join", PosTag::Verb),
+    ("studied", PosTag::Verb), ("studies", PosTag::Verb),
+    ("works", PosTag::Verb), ("worked", PosTag::Verb), ("work", PosTag::Verb),
+    ("led", PosTag::Verb), ("leads", PosTag::Verb), ("lead", PosTag::Verb),
+    ("created", PosTag::Verb), ("creates", PosTag::Verb), ("create", PosTag::Verb),
+    ("developed", PosTag::Verb), ("develops", PosTag::Verb), ("develop", PosTag::Verb),
+    ("invented", PosTag::Verb), ("invents", PosTag::Verb),
+    ("produced", PosTag::Verb), ("produces", PosTag::Verb),
+    ("launched", PosTag::Verb), ("launches", PosTag::Verb),
+    ("moved", PosTag::Verb), ("moves", PosTag::Verb), ("move", PosTag::Verb),
+    ("became", PosTag::Verb), ("become", PosTag::Verb), ("becomes", PosTag::Verb),
+    ("served", PosTag::Verb), ("serves", PosTag::Verb), ("serve", PosTag::Verb),
+    ("died", PosTag::Verb), ("dies", PosTag::Verb), ("lives", PosTag::Verb),
+    ("lived", PosTag::Verb), ("grew", PosTag::Verb), ("made", PosTag::Verb),
+    ("makes", PosTag::Verb), ("make", PosTag::Verb), ("said", PosTag::Verb),
+    ("says", PosTag::Verb), ("knew", PosTag::Verb), ("knows", PosTag::Verb),
+    ("announced", PosTag::Verb), ("includes", PosTag::Verb), ("included", PosTag::Verb),
+    ("plays", PosTag::Verb), ("played", PosTag::Verb),
+    ("borders", PosTag::Verb), ("bordered", PosTag::Verb),
+    ("designed", PosTag::Verb), ("designs", PosTag::Verb),
+    ("employs", PosTag::Verb), ("employed", PosTag::Verb),
+    ("sells", PosTag::Verb), ("sold", PosTag::Verb),
+    // irregular pasts and other frequent verb forms
+    ("met", PosTag::Verb), ("meets", PosTag::Verb), ("meet", PosTag::Verb),
+    ("saw", PosTag::Verb), ("sees", PosTag::Verb), ("see", PosTag::Verb),
+    ("took", PosTag::Verb), ("takes", PosTag::Verb), ("take", PosTag::Verb),
+    ("gave", PosTag::Verb), ("gives", PosTag::Verb), ("give", PosTag::Verb),
+    ("got", PosTag::Verb), ("gets", PosTag::Verb), ("get", PosTag::Verb),
+    ("went", PosTag::Verb), ("goes", PosTag::Verb), ("go", PosTag::Verb),
+    ("came", PosTag::Verb), ("comes", PosTag::Verb), ("come", PosTag::Verb),
+    ("held", PosTag::Verb), ("holds", PosTag::Verb), ("hold", PosTag::Verb),
+    ("kept", PosTag::Verb), ("keeps", PosTag::Verb), ("keep", PosTag::Verb),
+    ("began", PosTag::Verb), ("begins", PosTag::Verb), ("begin", PosTag::Verb),
+    ("bought", PosTag::Verb), ("buys", PosTag::Verb), ("buy", PosTag::Verb),
+    ("built", PosTag::Verb), ("builds", PosTag::Verb), ("build", PosTag::Verb),
+    ("spent", PosTag::Verb), ("spends", PosTag::Verb),
+    ("brought", PosTag::Verb), ("brings", PosTag::Verb),
+    ("taught", PosTag::Verb), ("teaches", PosTag::Verb),
+    ("thought", PosTag::Verb), ("thinks", PosTag::Verb),
+    ("ran", PosTag::Verb), ("runs", PosTag::Verb), ("run", PosTag::Verb),
+    ("wore", PosTag::Verb), ("wears", PosTag::Verb),
+    ("owns", PosTag::Verb), ("owned", PosTag::Verb), ("own", PosTag::Verb),
+    // adverbs
+    ("very", PosTag::Adverb), ("also", PosTag::Adverb), ("not", PosTag::Adverb),
+    ("never", PosTag::Adverb), ("often", PosTag::Adverb), ("later", PosTag::Adverb),
+    ("early", PosTag::Adverb), ("soon", PosTag::Adverb), ("again", PosTag::Adverb),
+    ("now", PosTag::Adverb), ("then", PosTag::Adverb), ("there", PosTag::Adverb),
+    ("here", PosTag::Adverb), ("still", PosTag::Adverb), ("already", PosTag::Adverb),
+    // frequent adjectives
+    ("new", PosTag::Adjective), ("first", PosTag::Adjective), ("last", PosTag::Adjective),
+    ("great", PosTag::Adjective), ("small", PosTag::Adjective), ("large", PosTag::Adjective),
+    ("famous", PosTag::Adjective), ("young", PosTag::Adjective), ("old", PosTag::Adjective),
+    ("red", PosTag::Adjective), ("green", PosTag::Adjective), ("blue", PosTag::Adjective),
+    ("sweet", PosTag::Adjective), ("sour", PosTag::Adjective), ("juicy", PosTag::Adjective),
+    ("major", PosTag::Adjective), ("american", PosTag::Adjective), ("european", PosTag::Adjective),
+];
+
+impl PosTagger {
+    /// Builds the tagger with its built-in lexicon.
+    pub fn new() -> Self {
+        Self {
+            lexicon: LEXICON.iter().copied().collect(),
+        }
+    }
+
+    /// Tags a single token in isolation (no context rules).
+    fn tag_lexical(&self, token: &Token, sentence_initial: bool) -> PosTag {
+        match token.kind {
+            TokenKind::Number => return PosTag::Number,
+            TokenKind::Punct => return PosTag::Punct,
+            TokenKind::Word => {}
+        }
+        let lower = token.lower();
+        if let Some(&tag) = self.lexicon.get(lower.as_str()) {
+            // Capitalized mid-sentence words beat lexicon entries that are
+            // common nouns/adjectives ("Apple" vs "apple"), but closed-class
+            // words keep their tag ("The", "In").
+            if token.is_capitalized()
+                && !sentence_initial
+                && matches!(tag, PosTag::Noun | PosTag::Adjective | PosTag::Verb)
+            {
+                return PosTag::ProperNoun;
+            }
+            return tag;
+        }
+        if token.is_capitalized() && !sentence_initial {
+            return PosTag::ProperNoun;
+        }
+        suffix_tag(&lower)
+    }
+
+    /// Tags a token sequence (one sentence) with lexicon, suffix rules
+    /// and two contextual repairs.
+    pub fn tag(&self, tokens: &[Token]) -> Vec<PosTag> {
+        let mut tags: Vec<PosTag> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| self.tag_lexical(t, i == 0))
+            .collect();
+        // Contextual repair 1: Verb directly after a determiner is a noun
+        // ("the founded company" never occurs; "the work" does).
+        for i in 1..tags.len() {
+            if tags[i] == PosTag::Verb && tags[i - 1] == PosTag::Determiner {
+                tags[i] = PosTag::Noun;
+            }
+        }
+        // Contextual repair 2: sentence-initial capitalized unknown word
+        // followed by a verbal tag is a proper noun ("Jobs founded ...").
+        if tags.len() >= 2
+            && tokens[0].is_capitalized()
+            && tags[0] == PosTag::Noun
+            && tags[1].is_verbal()
+        {
+            tags[0] = PosTag::ProperNoun;
+        }
+        tags
+    }
+}
+
+/// Suffix heuristics for unknown words.
+fn suffix_tag(lower: &str) -> PosTag {
+    if lower.ends_with("ly") {
+        return PosTag::Adverb;
+    }
+    if lower.ends_with("ing") || lower.ends_with("ed") {
+        return PosTag::Verb;
+    }
+    for suf in ["ous", "ful", "ive", "ical", "ish", "able", "ible"] {
+        if lower.ends_with(suf) {
+            return PosTag::Adjective;
+        }
+    }
+    PosTag::Noun
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn tag_sentence(s: &str) -> Vec<(String, PosTag)> {
+        let toks = tokenize(s);
+        let tagger = PosTagger::new();
+        let tags = tagger.tag(&toks);
+        toks.into_iter()
+            .zip(tags)
+            .map(|(t, tag)| (t.text, tag))
+            .collect()
+    }
+
+    #[test]
+    fn tags_a_simple_sentence() {
+        let tagged = tag_sentence("Jobs founded Apple in 1976 .");
+        assert_eq!(tagged[0].1, PosTag::ProperNoun, "sentence-initial subject repair");
+        assert_eq!(tagged[1].1, PosTag::Verb);
+        assert_eq!(tagged[2].1, PosTag::ProperNoun);
+        assert_eq!(tagged[3].1, PosTag::Preposition);
+        assert_eq!(tagged[4].1, PosTag::Number);
+        assert_eq!(tagged[5].1, PosTag::Punct);
+    }
+
+    #[test]
+    fn determiner_repair_turns_verb_into_noun() {
+        let tagged = tag_sentence("She admired the work");
+        let work = tagged.last().unwrap();
+        assert_eq!(work.1, PosTag::Noun);
+    }
+
+    #[test]
+    fn capitalized_mid_sentence_is_proper_noun() {
+        let tagged = tag_sentence("He visited Apple yesterday");
+        assert_eq!(tagged[2].1, PosTag::ProperNoun);
+        // "He" is a pronoun even though capitalized sentence-initially.
+        assert_eq!(tagged[0].1, PosTag::Pronoun);
+    }
+
+    #[test]
+    fn closed_class_capitalized_words_keep_their_tag() {
+        let tagged = tag_sentence("The city changed . In 1976 it grew");
+        assert_eq!(tagged[0].1, PosTag::Determiner);
+        let in_tok = tagged.iter().find(|(w, _)| w == "In").unwrap();
+        assert_eq!(in_tok.1, PosTag::Preposition);
+    }
+
+    #[test]
+    fn suffix_rules_cover_unknowns() {
+        let tagged = tag_sentence("the flurbing glorped vexously with marvelous zorkness");
+        let get = |w: &str| tagged.iter().find(|(t, _)| t == w).unwrap().1;
+        assert_eq!(get("glorped"), PosTag::Verb);
+        assert_eq!(get("vexously"), PosTag::Adverb);
+        assert_eq!(get("marvelous"), PosTag::Adjective);
+        assert_eq!(get("zorkness"), PosTag::Noun);
+        // After a determiner, -ing word stays... actually repair only
+        // applies to Verb; "flurbing" after "the" becomes Noun.
+        assert_eq!(get("flurbing"), PosTag::Noun);
+    }
+
+    #[test]
+    fn aux_verbs_are_distinguished() {
+        let tagged = tag_sentence("Apple was founded by Jobs");
+        assert_eq!(tagged[1].1, PosTag::Aux);
+        assert_eq!(tagged[2].1, PosTag::Verb);
+        assert!(tagged[1].1.is_verbal());
+    }
+
+    #[test]
+    fn nominal_and_verbal_predicates() {
+        assert!(PosTag::ProperNoun.is_nominal());
+        assert!(PosTag::Pronoun.is_nominal());
+        assert!(!PosTag::Verb.is_nominal());
+        assert!(PosTag::Verb.is_verbal());
+        assert!(!PosTag::Noun.is_verbal());
+    }
+
+    #[test]
+    fn empty_input() {
+        let tagger = PosTagger::new();
+        assert!(tagger.tag(&[]).is_empty());
+    }
+}

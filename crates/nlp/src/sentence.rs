@@ -1,0 +1,173 @@
+//! Sentence splitting.
+//!
+//! Rule-based splitter: a sentence ends at `.`, `!` or `?` followed by
+//! whitespace and an uppercase letter (or end of text), unless the dot
+//! terminates a known abbreviation or an initial (`J. Smith`).
+
+/// A sentence as a byte range into the original text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentenceSpan {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Abbreviations whose trailing dot does not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "inc", "ltd", "co",
+    "corp", "vs", "etc", "e.g", "i.e", "fig", "no", "vol", "approx",
+];
+
+/// Splits `text` into sentence spans.
+///
+/// ```
+/// use kb_nlp::split_sentences;
+/// let s = split_sentences("Dr. Smith arrived. He sat down.");
+/// assert_eq!(s.len(), 2);
+/// ```
+pub fn split_sentences(text: &str) -> Vec<SentenceSpan> {
+    let mut spans = Vec::new();
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let n = chars.len();
+    let mut sent_start: Option<usize> = None;
+    let mut i = 0;
+    while i < n {
+        let (off, c) = chars[i];
+        if sent_start.is_none() && !c.is_whitespace() {
+            sent_start = Some(off);
+        }
+        if matches!(c, '.' | '!' | '?') && sent_start.is_some() {
+            let is_boundary = match c {
+                '!' | '?' => true,
+                _ => dot_ends_sentence(text, &chars, i),
+            };
+            if is_boundary {
+                let end = if i + 1 < n { chars[i + 1].0 } else { text.len() };
+                spans.push(SentenceSpan { start: sent_start.unwrap(), end });
+                sent_start = None;
+            }
+        }
+        i += 1;
+    }
+    if let Some(start) = sent_start {
+        let trimmed_end = text.trim_end().len();
+        if trimmed_end > start {
+            spans.push(SentenceSpan { start, end: trimmed_end });
+        }
+    }
+    spans
+}
+
+/// Decides whether the dot at char index `i` terminates a sentence.
+fn dot_ends_sentence(text: &str, chars: &[(usize, char)], i: usize) -> bool {
+    // Find the word immediately before the dot.
+    let mut j = i;
+    while j > 0 && (chars[j - 1].1.is_alphanumeric() || chars[j - 1].1 == '.') {
+        j -= 1;
+    }
+    let word_before: String = chars[j..i].iter().map(|&(_, c)| c).collect();
+    let lower = word_before.to_lowercase();
+    // Known abbreviation?
+    if ABBREVIATIONS.contains(&lower.as_str()) {
+        return false;
+    }
+    // Single-letter initial such as "J." in "J. Smith"?
+    if word_before.len() == 1 && word_before.chars().next().unwrap().is_uppercase() {
+        return false;
+    }
+    // Decimal number "3.14": digit on both sides (tokenizer handles most,
+    // but be defensive when the dot splits digits).
+    let next = chars.get(i + 1).map(|&(_, c)| c);
+    if word_before.chars().last().is_some_and(|c| c.is_ascii_digit())
+        && next.is_some_and(|c| c.is_ascii_digit())
+    {
+        return false;
+    }
+    // A boundary requires end-of-text or whitespace after the dot...
+    match next {
+        None => true,
+        Some(c) if c.is_whitespace() => {
+            // ...and the next non-space char (if any) should not be
+            // lowercase (mid-sentence dots in odd text).
+            let upcoming = text[chars[i].0 + 1..]
+                .chars()
+                .find(|c| !c.is_whitespace());
+            match upcoming {
+                None => true,
+                Some(c) => !c.is_lowercase(),
+            }
+        }
+        Some('"') | Some('\'') | Some(')') => true,
+        Some(_) => false,
+    }
+}
+
+/// Convenience: the sentence texts themselves.
+pub fn sentence_texts(text: &str) -> Vec<&str> {
+    split_sentences(text)
+        .into_iter()
+        .map(|s| text[s.start..s.end].trim())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_simple_sentences() {
+        let s = sentence_texts("Jobs founded Apple. Wozniak joined him. They built computers.");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], "Jobs founded Apple.");
+        assert_eq!(s[2], "They built computers.");
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = sentence_texts("Dr. Smith works at Apple Inc. in Cupertino. He likes it.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("Cupertino"));
+    }
+
+    #[test]
+    fn initials_do_not_split() {
+        let s = sentence_texts("J. R. Smith scored. The crowd cheered.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], "J. R. Smith scored.");
+    }
+
+    #[test]
+    fn question_and_exclamation_marks() {
+        let s = sentence_texts("Really? Yes! Fine.");
+        assert_eq!(s, vec!["Really?", "Yes!", "Fine."]);
+    }
+
+    #[test]
+    fn unterminated_final_sentence_is_kept() {
+        let s = sentence_texts("First one. And a trailing fragment");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1], "And a trailing fragment");
+    }
+
+    #[test]
+    fn decimal_numbers_do_not_split() {
+        let s = sentence_texts("Pi is 3.14159 roughly. Indeed.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("3.14159"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   ").is_empty());
+    }
+
+    #[test]
+    fn spans_index_into_source() {
+        let text = "One here. Two there.";
+        for sp in split_sentences(text) {
+            assert!(text.get(sp.start..sp.end).is_some());
+        }
+    }
+}

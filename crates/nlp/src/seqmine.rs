@@ -1,0 +1,238 @@
+//! Frequent sequence mining.
+//!
+//! Open IE systems use "big-data techniques like frequent sequence
+//! mining" (tutorial §3) to find prototypic relation phrases. Two miners
+//! are provided:
+//!
+//! * [`frequent_ngrams`] — contiguous n-grams with minimum support, the
+//!   workhorse for relation-phrase lexical constraints;
+//! * [`prefix_span`] — full PrefixSpan (Pei et al.) mining *gapped*
+//!   subsequences, used for pattern generalization.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A mined pattern with its support (number of input sequences that
+/// contain it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedPattern<T> {
+    /// The item sequence.
+    pub items: Vec<T>,
+    /// Number of input sequences containing the pattern.
+    pub support: usize,
+}
+
+/// Mines all contiguous n-grams of length `1..=max_len` occurring in at
+/// least `min_support` distinct sequences. Results are sorted by
+/// descending support, then length, then items.
+pub fn frequent_ngrams<T: Eq + Hash + Clone + Ord>(
+    sequences: &[Vec<T>],
+    min_support: usize,
+    max_len: usize,
+) -> Vec<MinedPattern<T>> {
+    let mut counts: HashMap<Vec<T>, usize> = HashMap::new();
+    for seq in sequences {
+        let mut seen: HashMap<&[T], ()> = HashMap::new();
+        for len in 1..=max_len.min(seq.len()) {
+            for window in seq.windows(len) {
+                // Count each distinct n-gram once per sequence.
+                if seen.insert(window, ()).is_none() {
+                    *counts.entry(window.to_vec()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut out: Vec<MinedPattern<T>> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .map(|(items, support)| MinedPattern { items, support })
+        .collect();
+    out.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(a.items.len().cmp(&b.items.len()))
+            .then(a.items.cmp(&b.items))
+    });
+    out
+}
+
+/// PrefixSpan: mines all (possibly gapped) subsequences with support at
+/// least `min_support` and length at most `max_len`.
+///
+/// Support counts distinct input sequences. The projected-database
+/// representation is `(sequence index, start offset)` pairs.
+pub fn prefix_span<T: Eq + Hash + Clone + Ord>(
+    sequences: &[Vec<T>],
+    min_support: usize,
+    max_len: usize,
+) -> Vec<MinedPattern<T>> {
+    let mut results = Vec::new();
+    // Initial projection: every sequence from offset 0.
+    let projection: Vec<(usize, usize)> = (0..sequences.len()).map(|i| (i, 0)).collect();
+    let mut prefix: Vec<T> = Vec::new();
+    grow(sequences, &projection, &mut prefix, min_support, max_len, &mut results);
+    results.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(a.items.len().cmp(&b.items.len()))
+            .then(a.items.cmp(&b.items))
+    });
+    results
+}
+
+fn grow<T: Eq + Hash + Clone + Ord>(
+    sequences: &[Vec<T>],
+    projection: &[(usize, usize)],
+    prefix: &mut Vec<T>,
+    min_support: usize,
+    max_len: usize,
+    results: &mut Vec<MinedPattern<T>>,
+) {
+    if prefix.len() >= max_len {
+        return;
+    }
+    // Count, per candidate next item, the distinct sequences supporting it.
+    let mut support: HashMap<T, usize> = HashMap::new();
+    for &(si, off) in projection {
+        let mut seen_here: Vec<&T> = Vec::new();
+        for item in &sequences[si][off..] {
+            if !seen_here.contains(&item) {
+                seen_here.push(item);
+                *support.entry(item.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut candidates: Vec<(T, usize)> = support
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .collect();
+    candidates.sort_by(|a, b| a.0.cmp(&b.0));
+    for (item, sup) in candidates {
+        // Project: for each sequence, the position after the *first*
+        // occurrence of `item` at or past the current offset.
+        let new_projection: Vec<(usize, usize)> = projection
+            .iter()
+            .filter_map(|&(si, off)| {
+                sequences[si][off..]
+                    .iter()
+                    .position(|x| *x == item)
+                    .map(|p| (si, off + p + 1))
+            })
+            .collect();
+        prefix.push(item);
+        results.push(MinedPattern {
+            items: prefix.clone(),
+            support: sup,
+        });
+        grow(sequences, &new_projection, prefix, min_support, max_len, results);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(data: &[&str]) -> Vec<Vec<String>> {
+        data.iter()
+            .map(|s| s.split_whitespace().map(str::to_string).collect())
+            .collect()
+    }
+
+    #[test]
+    fn ngrams_count_distinct_sequences() {
+        let data = seqs(&[
+            "was born in",
+            "was born in",
+            "was raised in",
+        ]);
+        let mined = frequent_ngrams(&data, 2, 3);
+        let find = |items: &[&str]| {
+            mined
+                .iter()
+                .find(|p| p.items.iter().map(String::as_str).collect::<Vec<_>>() == items)
+                .map(|p| p.support)
+        };
+        assert_eq!(find(&["was"]), Some(3));
+        assert_eq!(find(&["was", "born"]), Some(2));
+        assert_eq!(find(&["was", "born", "in"]), Some(2));
+        assert_eq!(find(&["raised"]), None, "support 1 < min 2");
+    }
+
+    #[test]
+    fn repeated_ngram_in_one_sequence_counts_once() {
+        let data = seqs(&["a b a b", "a b"]);
+        let mined = frequent_ngrams(&data, 2, 2);
+        let ab = mined
+            .iter()
+            .find(|p| p.items == vec!["a".to_string(), "b".to_string()])
+            .unwrap();
+        assert_eq!(ab.support, 2);
+    }
+
+    #[test]
+    fn ngrams_sorted_by_support_then_length() {
+        let data = seqs(&["x y", "x y", "x"]);
+        let mined = frequent_ngrams(&data, 2, 2);
+        assert_eq!(mined[0].items, vec!["x".to_string()]);
+        assert_eq!(mined[0].support, 3);
+    }
+
+    #[test]
+    fn prefix_span_finds_gapped_patterns() {
+        let data = seqs(&[
+            "was quickly born in",
+            "was born in",
+        ]);
+        let mined = prefix_span(&data, 2, 3);
+        // "was born in" appears gapped in the first sequence.
+        assert!(mined.iter().any(|p| {
+            p.items == vec!["was".to_string(), "born".to_string(), "in".to_string()]
+                && p.support == 2
+        }));
+    }
+
+    #[test]
+    fn prefix_span_respects_min_support_and_max_len() {
+        let data = seqs(&["a b c d", "a b c d", "a x"]);
+        let mined = prefix_span(&data, 2, 2);
+        assert!(mined.iter().all(|p| p.items.len() <= 2));
+        assert!(mined.iter().all(|p| p.support >= 2));
+        assert!(mined
+            .iter()
+            .any(|p| p.items == vec!["a".to_string(), "c".to_string()]));
+    }
+
+    #[test]
+    fn prefix_span_counts_each_sequence_once() {
+        let data = seqs(&["a a a", "a"]);
+        let mined = prefix_span(&data, 1, 1);
+        let a = mined.iter().find(|p| p.items == vec!["a".to_string()]).unwrap();
+        assert_eq!(a.support, 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<Vec<u32>> = Vec::new();
+        assert!(frequent_ngrams(&empty, 1, 3).is_empty());
+        assert!(prefix_span(&empty, 1, 3).is_empty());
+        let with_empty: Vec<Vec<u32>> = vec![vec![]];
+        assert!(frequent_ngrams(&with_empty, 1, 3).is_empty());
+        assert!(prefix_span(&with_empty, 1, 3).is_empty());
+    }
+
+    #[test]
+    fn ngram_patterns_are_contiguous_subsequences() {
+        let data = seqs(&["p q r", "p r"]);
+        let mined = frequent_ngrams(&data, 2, 2);
+        // "p r" is NOT contiguous in the first sequence -> support 1 -> excluded.
+        assert!(!mined
+            .iter()
+            .any(|p| p.items == vec!["p".to_string(), "r".to_string()]));
+        // But prefix_span finds it.
+        let gapped = prefix_span(&data, 2, 2);
+        assert!(gapped
+            .iter()
+            .any(|p| p.items == vec!["p".to_string(), "r".to_string()]));
+    }
+}

@@ -1,0 +1,264 @@
+//! String similarity measures for entity linkage (tutorial §4).
+//!
+//! All measures return values in `[0, 1]` where 1 means identical.
+//! Character-level: [`levenshtein`], [`levenshtein_sim`], [`jaro`],
+//! [`jaro_winkler`]. Set-level: [`jaccard_tokens`], [`dice_bigrams`],
+//! [`overlap_tokens`]. Hybrid: [`monge_elkan`].
+
+use std::collections::HashSet;
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs),
+/// computed over chars with a two-row DP.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity: `1 - dist / max_len`. Two empty strings are
+/// identical (1.0).
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    let mut matches_b_order: Vec<(usize, char)> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                a_matches.push(ca);
+                matches_b_order.push((j, b[j]));
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    matches_b_order.sort_by_key(|&(j, _)| j);
+    let transpositions = a_matches
+        .iter()
+        .zip(matches_b_order.iter())
+        .filter(|(ca, (_, cb))| *ca != cb)
+        .count();
+    let m = m as f64;
+    let t = transpositions as f64 / 2.0;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by up to 4 chars of common
+/// prefix with scaling factor 0.1.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of whitespace-delimited lowercase token sets.
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = a.split_whitespace().map(str::to_lowercase).collect();
+    let sb: HashSet<String> = b.split_whitespace().map(str::to_lowercase).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Overlap coefficient of token sets: `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap_tokens(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = a.split_whitespace().map(str::to_lowercase).collect();
+    let sb: HashSet<String> = b.split_whitespace().map(str::to_lowercase).collect();
+    if sa.is_empty() || sb.is_empty() {
+        return f64::from(u8::from(sa.is_empty() && sb.is_empty()));
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    inter / sa.len().min(sb.len()) as f64
+}
+
+/// Dice coefficient over character bigrams (Sørensen–Dice), robust for
+/// short names.
+pub fn dice_bigrams(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> Vec<(char, char)> {
+        let cs: Vec<char> = s.to_lowercase().chars().collect();
+        cs.windows(2).map(|w| (w[0], w[1])).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return f64::from(u8::from(a.to_lowercase() == b.to_lowercase()));
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let mut gb_used = vec![false; gb.len()];
+    let mut matches = 0usize;
+    for g in &ga {
+        if let Some(j) = gb
+            .iter()
+            .enumerate()
+            .position(|(j, h)| !gb_used[j] && h == g)
+        {
+            gb_used[j] = true;
+            matches += 1;
+        }
+    }
+    2.0 * matches as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Monge-Elkan: mean over tokens of `a` of the best Jaro-Winkler match
+/// in `b`. Asymmetric by design; symmetrize by averaging both directions
+/// if needed.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta: Vec<&str> = a.split_whitespace().collect();
+    let tb: Vec<&str> = b.split_whitespace().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = ta
+        .iter()
+        .map(|x| {
+            tb.iter()
+                .map(|y| jaro_winkler(&x.to_lowercase(), &y.to_lowercase()))
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    sum / ta.len() as f64
+}
+
+/// Normalized shared-prefix length: `common_prefix / max_len`.
+pub fn prefix_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    let common = a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count();
+    common as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_sim("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.9444444).abs() < 1e-6);
+        assert!((jaro("dixon", "dicksonx") - 0.7666666).abs() < 1e-6);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_prefix_matches() {
+        let jw = jaro_winkler("martha", "marhta");
+        assert!((jw - 0.9611111).abs() < 1e-6);
+        assert!(jaro_winkler("apple", "applf") > jaro_winkler("apple", "fpple"));
+    }
+
+    #[test]
+    fn jaccard_and_overlap() {
+        assert_eq!(jaccard_tokens("steve jobs", "jobs steve"), 1.0);
+        assert!((jaccard_tokens("steve jobs", "steve wozniak") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(overlap_tokens("steve", "steve jobs"), 1.0);
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+    }
+
+    #[test]
+    fn dice_bigrams_known() {
+        assert_eq!(dice_bigrams("night", "nacht"), 0.25);
+        assert_eq!(dice_bigrams("abc", "abc"), 1.0);
+        assert_eq!(dice_bigrams("a", "a"), 1.0, "single chars compare by equality");
+        assert_eq!(dice_bigrams("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_token_reorder_and_typos() {
+        let s = monge_elkan("steve jobs", "jobs steven");
+        assert!(s > 0.9, "got {s}");
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("x", ""), 0.0);
+    }
+
+    #[test]
+    fn all_measures_are_bounded_and_reflexive() {
+        let pairs = [("apple inc", "aple inc."), ("x", "y"), ("", "z")];
+        for (a, b) in pairs {
+            for f in [levenshtein_sim, jaro, jaro_winkler, jaccard_tokens, dice_bigrams, prefix_sim] as [fn(&str, &str) -> f64; 6] {
+                let v = f(a, b);
+                assert!((0.0..=1.0).contains(&v), "{v} out of bounds");
+                assert_eq!(f(a, a), 1.0, "not reflexive on {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_measures_are_symmetric() {
+        let (a, b) = ("cupertino", "cupertion");
+        assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+        assert!((dice_bigrams(a, b) - dice_bigrams(b, a)).abs() < 1e-12);
+        assert!((jaccard_tokens(a, b) - jaccard_tokens(b, a)).abs() < 1e-12);
+    }
+}

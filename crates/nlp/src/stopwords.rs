@@ -1,0 +1,58 @@
+//! A small English stopword list used by TF-IDF contexts and Open IE
+//! argument filtering.
+
+/// Function words excluded from bag-of-words contexts.
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am",
+    "an", "and", "any", "are", "as", "at", "be", "because", "been", "before",
+    "being", "below", "between", "both", "but", "by", "can", "could", "did",
+    "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers",
+    "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is",
+    "it", "its", "itself", "just", "me", "more", "most", "my", "myself",
+    "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or",
+    "other", "our", "ours", "ourselves", "out", "over", "own", "same",
+    "she", "should", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "these", "they",
+    "this", "those", "through", "to", "too", "under", "until", "up", "very",
+    "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "would", "you", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// Whether `word` (case-insensitive) is an English stopword.
+pub fn is_stopword(word: &str) -> bool {
+    let lower = word.to_lowercase();
+    STOPWORDS.binary_search(&lower.as_str()).is_ok()
+}
+
+/// The full stopword list (sorted).
+pub fn stopwords() -> &'static [&'static str] {
+    STOPWORDS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "stopword list must stay sorted");
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "The", "IS", "and", "of"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["apple", "founded", "computer", "city"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Sparse TF-IDF vectors and cosine similarity.
+//!
+//! NED context scoring (tutorial §4) compares the words surrounding a
+//! mention with the salient phrases of each candidate entity. We model
+//! both as sparse TF-IDF vectors over a shared [`Vocabulary`].
+
+use std::collections::HashMap;
+
+use crate::stopwords::is_stopword;
+use crate::token::word_texts;
+
+/// A vocabulary with document frequencies, built once over a corpus of
+/// "documents" (any bags of words) and then used to vectorize new text.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    index: HashMap<String, u32>,
+    doc_freq: Vec<u32>,
+    num_docs: usize,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one document's words (stopwords excluded, counted once per
+    /// document for DF purposes).
+    pub fn add_document<'a, I: IntoIterator<Item = &'a str>>(&mut self, words: I) {
+        self.num_docs += 1;
+        let mut seen: Vec<u32> = Vec::new();
+        for w in words {
+            let lower = w.to_lowercase();
+            if is_stopword(&lower) || lower.is_empty() {
+                continue;
+            }
+            let next_id = self.index.len() as u32;
+            let id = *self.index.entry(lower).or_insert(next_id);
+            if id as usize == self.doc_freq.len() {
+                self.doc_freq.push(0);
+            }
+            if !seen.contains(&id) {
+                seen.push(id);
+                self.doc_freq[id as usize] += 1;
+            }
+        }
+    }
+
+    /// Convenience: add raw text as one document.
+    pub fn add_text(&mut self, text: &str) {
+        let words = word_texts(text);
+        self.add_document(words.iter().map(String::as_str));
+    }
+
+    /// Number of distinct indexed words.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Number of documents seen.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Smoothed inverse document frequency of word id `id`:
+    /// `ln((1 + N) / (1 + df)) + 1`.
+    pub fn idf(&self, id: u32) -> f64 {
+        let df = self.doc_freq.get(id as usize).copied().unwrap_or(0) as f64;
+        ((1.0 + self.num_docs as f64) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// Builds the TF-IDF vector of a bag of words. Unknown words are
+    /// skipped (they carry no comparable signal).
+    pub fn vectorize<'a, I: IntoIterator<Item = &'a str>>(&self, words: I) -> SparseVector {
+        let mut counts: HashMap<u32, f64> = HashMap::new();
+        for w in words {
+            let lower = w.to_lowercase();
+            if let Some(&id) = self.index.get(&lower) {
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut entries: Vec<(u32, f64)> = counts
+            .into_iter()
+            .map(|(id, tf)| (id, (1.0 + tf.ln()) * self.idf(id)))
+            .collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        SparseVector { entries }
+    }
+
+    /// Convenience: vectorize raw text.
+    pub fn vectorize_text(&self, text: &str) -> SparseVector {
+        let words = word_texts(text);
+        self.vectorize(words.iter().map(String::as_str))
+    }
+}
+
+/// A sparse vector sorted by dimension id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVector {
+    /// Number of non-zero dimensions.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Dot product (merge join over sorted dimension ids).
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let mut sum = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (da, va) = self.entries[i];
+            let (db, vb) = other.entries[j];
+            match da.cmp(&db) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += va * vb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Cosine similarity in `[0, 1]` (both vectors non-negative).
+    /// Zero if either vector is empty.
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.dot(other) / denom
+    }
+
+    /// Adds `other` into `self` (vector sum), used to build entity
+    /// profiles from multiple evidence snippets.
+    pub fn add_assign(&mut self, other: &SparseVector) {
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(da, va)), Some(&(db, vb))) => match da.cmp(&db) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((da, va));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((db, vb));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push((da, va + vb));
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(&e), None) => {
+                    merged.push(e);
+                    i += 1;
+                }
+                (None, Some(&e)) => {
+                    merged.push(e);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.entries = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.add_text("apple designs computers and phones");
+        v.add_text("samsung designs phones");
+        v.add_text("oranges and apples are fruit");
+        v
+    }
+
+    #[test]
+    fn vocabulary_counts_docs_and_words() {
+        let v = vocab();
+        assert_eq!(v.num_docs(), 3);
+        assert!(v.len() >= 7);
+    }
+
+    #[test]
+    fn stopwords_are_excluded() {
+        let v = vocab();
+        let vec = v.vectorize_text("and are the");
+        assert!(vec.is_empty());
+    }
+
+    #[test]
+    fn idf_decreases_with_frequency() {
+        let mut v = Vocabulary::new();
+        v.add_text("common word alpha");
+        v.add_text("common word beta");
+        v.add_text("common gamma");
+        let common_vec = v.vectorize_text("common");
+        let rare_vec = v.vectorize_text("alpha");
+        // Single-word vectors: weight = idf directly comparable.
+        assert!(rare_vec.norm() > common_vec.norm());
+    }
+
+    #[test]
+    fn cosine_identity_and_disjoint() {
+        let v = vocab();
+        let a = v.vectorize_text("apple computers");
+        let b = v.vectorize_text("apple computers");
+        let c = v.vectorize_text("samsung");
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.cosine(&c), 0.0);
+        assert_eq!(a.cosine(&SparseVector::default()), 0.0);
+    }
+
+    #[test]
+    fn cosine_reflects_shared_terms() {
+        let v = vocab();
+        let phones1 = v.vectorize_text("apple phones");
+        let phones2 = v.vectorize_text("samsung phones");
+        let fruit = v.vectorize_text("oranges fruit");
+        assert!(phones1.cosine(&phones2) > phones1.cosine(&fruit));
+    }
+
+    #[test]
+    fn unknown_words_are_skipped() {
+        let v = vocab();
+        let vec = v.vectorize_text("zorkmid flibber");
+        assert!(vec.is_empty());
+    }
+
+    #[test]
+    fn add_assign_merges_sorted() {
+        let v = vocab();
+        let mut a = v.vectorize_text("apple");
+        let b = v.vectorize_text("samsung apple");
+        let before_dot = a.dot(&b);
+        a.add_assign(&b);
+        assert!(a.nnz() >= 2);
+        assert!(a.dot(&b) > before_dot);
+        // Entries remain sorted for the merge join.
+        let dims: Vec<u32> = a.entries.iter().map(|&(d, _)| d).collect();
+        let mut sorted = dims.clone();
+        sorted.sort_unstable();
+        assert_eq!(dims, sorted);
+    }
+
+    #[test]
+    fn log_tf_dampens_repetition() {
+        let v = vocab();
+        let once = v.vectorize_text("apple");
+        let thrice = v.vectorize_text("apple apple apple");
+        assert!(thrice.norm() < 3.0 * once.norm());
+        assert!(thrice.norm() > once.norm());
+    }
+}

@@ -1,0 +1,222 @@
+//! Offset-preserving tokenization.
+//!
+//! Tokens carry their byte span in the original text, so downstream
+//! consumers (mention annotation, pattern extraction) can always map
+//! back to the source. The tokenizer is rule-based and deterministic:
+//!
+//! * runs of alphabetic characters (plus internal apostrophes and
+//!   hyphens, as in `don't` / `state-of-the-art`) become [`TokenKind::Word`];
+//! * runs of digits (plus internal `.`/`,` as in `1,234.5`) become
+//!   [`TokenKind::Number`];
+//! * every other non-whitespace character is a single
+//!   [`TokenKind::Punct`] token.
+
+use std::fmt;
+
+/// Classification of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Alphabetic word (may contain internal `'` or `-`).
+    Word,
+    /// Numeric literal (may contain internal `.` or `,`).
+    Number,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// A token with its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (owned copy of the source slice).
+    pub text: String,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte in the source.
+    pub end: usize,
+    /// What kind of token this is.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Lower-cased text, used for lexicon lookups.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// Whether the token starts with an uppercase letter — the cheap
+    /// named-entity signal used by mention detection.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Whether `c` may appear *inside* a word token (but not start/end one).
+fn word_internal(c: char) -> bool {
+    c == '\'' || c == '-'
+}
+
+/// Whether `c` may appear *inside* a number token.
+fn number_internal(c: char) -> bool {
+    c == '.' || c == ','
+}
+
+/// Tokenizes `text` into words, numbers and punctuation with byte spans.
+///
+/// ```
+/// use kb_nlp::{tokenize, TokenKind};
+/// let toks = tokenize("Apple was founded in 1976.");
+/// assert_eq!(toks.len(), 6);
+/// assert_eq!(toks[4].text, "1976");
+/// assert_eq!(toks[4].kind, TokenKind::Number);
+/// assert_eq!(&"Apple was founded in 1976."[toks[4].start..toks[4].end], "1976");
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let (start, c) = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() {
+            let mut j = i + 1;
+            while j < n {
+                let cj = chars[j].1;
+                if cj.is_alphabetic()
+                    || (word_internal(cj) && j + 1 < n && chars[j + 1].1.is_alphabetic())
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let end = if j < n { chars[j].0 } else { text.len() };
+            tokens.push(Token {
+                text: text[start..end].to_string(),
+                start,
+                end,
+                kind: TokenKind::Word,
+            });
+            i = j;
+        } else if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n {
+                let cj = chars[j].1;
+                if cj.is_ascii_digit()
+                    || (number_internal(cj) && j + 1 < n && chars[j + 1].1.is_ascii_digit())
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let end = if j < n { chars[j].0 } else { text.len() };
+            tokens.push(Token {
+                text: text[start..end].to_string(),
+                start,
+                end,
+                kind: TokenKind::Number,
+            });
+            i = j;
+        } else {
+            let end = if i + 1 < n { chars[i + 1].0 } else { text.len() };
+            tokens.push(Token {
+                text: text[start..end].to_string(),
+                start,
+                end,
+                kind: TokenKind::Punct,
+            });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Lower-cased word texts only (numbers and punctuation dropped) — the
+/// bag-of-words view used by TF-IDF.
+pub fn word_texts(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Word)
+        .map(|t| t.lower())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_sentence() {
+        let toks = tokenize("Steve Jobs founded Apple.");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Steve", "Jobs", "founded", "Apple", "."]);
+        assert_eq!(toks[4].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn spans_point_back_into_source() {
+        let text = "He said: \"1,234.5 items\".";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn numbers_with_internal_separators() {
+        let toks = tokenize("1,234.5 and 42");
+        assert_eq!(toks[0].text, "1,234.5");
+        assert_eq!(toks[0].kind, TokenKind::Number);
+        assert_eq!(toks[2].text, "42");
+    }
+
+    #[test]
+    fn trailing_separator_is_not_swallowed() {
+        let toks = tokenize("1976.");
+        assert_eq!(toks[0].text, "1976");
+        assert_eq!(toks[1].text, ".");
+    }
+
+    #[test]
+    fn hyphens_and_apostrophes_inside_words() {
+        let toks = tokenize("state-of-the-art don't stop-");
+        assert_eq!(toks[0].text, "state-of-the-art");
+        assert_eq!(toks[1].text, "don't");
+        assert_eq!(toks[2].text, "stop");
+        assert_eq!(toks[3].text, "-");
+    }
+
+    #[test]
+    fn unicode_words() {
+        let toks = tokenize("Zürich is beautiful");
+        assert_eq!(toks[0].text, "Zürich");
+        assert!(toks[0].is_capitalized());
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn capitalization_check() {
+        let toks = tokenize("Apple apple");
+        assert!(toks[0].is_capitalized());
+        assert!(!toks[1].is_capitalized());
+    }
+
+    #[test]
+    fn word_texts_filters_and_lowercases() {
+        assert_eq!(word_texts("The 3 Apples!"), vec!["the", "apples"]);
+    }
+}

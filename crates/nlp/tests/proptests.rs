@@ -1,0 +1,170 @@
+//! Property-based tests for kb-nlp invariants.
+
+use proptest::prelude::*;
+
+use kb_nlp::similarity::*;
+use kb_nlp::{split_sentences, stem, tokenize, PosTagger};
+
+proptest! {
+    /// Every token's span slices back to exactly its text, tokens are
+    /// ordered and non-overlapping, and no token is empty.
+    #[test]
+    fn token_spans_are_exact_and_ordered(text in "\\PC{0,200}") {
+        let toks = tokenize(&text);
+        let mut last_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= last_end, "overlap at {}", t.start);
+            prop_assert!(t.end > t.start);
+            prop_assert_eq!(&text[t.start..t.end], t.text.as_str());
+            last_end = t.end;
+        }
+    }
+
+    /// Tokens never contain whitespace.
+    #[test]
+    fn tokens_contain_no_whitespace(text in "[ -~\\n\\t]{0,200}") {
+        for t in tokenize(&text) {
+            prop_assert!(!t.text.chars().any(char::is_whitespace), "{:?}", t.text);
+        }
+    }
+
+    /// Sentence spans are ordered, non-overlapping, in-bounds, and cover
+    /// every non-whitespace character of the input.
+    #[test]
+    fn sentence_spans_partition_content(text in "[a-zA-Z0-9 .!?',]{0,300}") {
+        let spans = split_sentences(&text);
+        let mut last_end = 0usize;
+        for s in &spans {
+            prop_assert!(s.start >= last_end);
+            prop_assert!(s.end <= text.len());
+            prop_assert!(s.end > s.start);
+            last_end = s.end;
+        }
+        let covered: usize = spans.iter()
+            .map(|s| text[s.start..s.end].chars().filter(|c| !c.is_whitespace()).count())
+            .sum();
+        let total = text.chars().filter(|c| !c.is_whitespace()).count();
+        prop_assert_eq!(covered, total, "sentences lost content chars");
+    }
+
+    /// Stemming never grows a word, stays lowercase-ASCII, and repeated
+    /// application monotonically shrinks toward a fixpoint. (Porter is
+    /// *not* idempotent in general — e.g. "aase" → "aas" → "aa" — so we
+    /// assert convergence, not one-step idempotence.)
+    #[test]
+    fn stem_shrinks_and_converges(word in "[a-z]{1,20}") {
+        let mut current = word.clone();
+        for _ in 0..6 {
+            let next = stem(&current);
+            prop_assert!(next.len() <= current.len());
+            prop_assert!(next.bytes().all(|b| b.is_ascii_lowercase() || !b.is_ascii()));
+            if next == current {
+                return Ok(()); // fixpoint reached
+            }
+            current = next;
+        }
+        prop_assert_eq!(stem(&current), current.clone(), "no fixpoint after 6 passes");
+    }
+
+    /// POS tagging yields exactly one tag per token for any input.
+    #[test]
+    fn tagging_is_total(text in "\\PC{0,200}") {
+        let toks = tokenize(&text);
+        let tags = PosTagger::new().tag(&toks);
+        prop_assert_eq!(tags.len(), toks.len());
+    }
+
+    /// Chunks are ordered, non-overlapping, with heads inside them.
+    #[test]
+    fn chunks_well_formed(text in "[a-zA-Z ]{0,200}") {
+        let toks = tokenize(&text);
+        let tags = PosTagger::new().tag(&toks);
+        let chunks = kb_nlp::chunk(&toks, &tags);
+        let mut last_end = 0usize;
+        for c in &chunks {
+            prop_assert!(c.start >= last_end);
+            prop_assert!(c.end <= toks.len());
+            prop_assert!(c.head >= c.start && c.head < c.end);
+            last_end = c.end;
+        }
+    }
+
+    /// Similarity metric axioms: bounded, reflexive, symmetric (for the
+    /// symmetric family).
+    #[test]
+    fn similarity_axioms(a in "[a-zA-Z ]{0,20}", b in "[a-zA-Z ]{0,20}") {
+        let measures: [fn(&str, &str) -> f64; 5] =
+            [levenshtein_sim, jaro, jaro_winkler, jaccard_tokens, dice_bigrams];
+        for f in measures {
+            let v = f(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{v}");
+            prop_assert!((f(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((f(&a, &b) - f(&b, &a)).abs() < 1e-9, "asymmetric");
+        }
+    }
+
+    /// Levenshtein triangle inequality.
+    #[test]
+    fn levenshtein_triangle(
+        a in "[a-z]{0,10}", b in "[a-z]{0,10}", c in "[a-z]{0,10}"
+    ) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// TF-IDF cosine is bounded and exact-match maximal.
+    #[test]
+    fn tfidf_cosine_bounds(
+        docs in prop::collection::vec("[a-z]{1,8}( [a-z]{1,8}){0,6}", 1..8),
+        probe in "[a-z]{1,8}( [a-z]{1,8}){0,6}",
+    ) {
+        let mut v = kb_nlp::tfidf::Vocabulary::new();
+        for d in &docs {
+            v.add_text(d);
+        }
+        let pv = v.vectorize_text(&probe);
+        for d in &docs {
+            let dv = v.vectorize_text(d);
+            let cos = pv.cosine(&dv);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&cos));
+        }
+        if !pv.is_empty() {
+            prop_assert!((pv.cosine(&pv) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Mined n-grams actually occur with the claimed support.
+    #[test]
+    fn ngram_support_is_truthful(
+        seqs in prop::collection::vec(
+            prop::collection::vec(0u8..5, 0..8), 0..10
+        ),
+        min_support in 1usize..4,
+    ) {
+        let mined = kb_nlp::seqmine::frequent_ngrams(&seqs, min_support, 3);
+        for p in &mined {
+            let actual = seqs.iter()
+                .filter(|s| s.windows(p.items.len()).any(|w| w == p.items.as_slice()))
+                .count();
+            prop_assert_eq!(actual, p.support);
+            prop_assert!(p.support >= min_support);
+        }
+    }
+
+    /// PrefixSpan patterns are genuine subsequences with truthful support.
+    #[test]
+    fn prefix_span_support_is_truthful(
+        seqs in prop::collection::vec(
+            prop::collection::vec(0u8..4, 0..6), 0..8
+        ),
+    ) {
+        let mined = kb_nlp::seqmine::prefix_span(&seqs, 1, 3);
+        fn is_subseq(needle: &[u8], hay: &[u8]) -> bool {
+            let mut it = hay.iter();
+            needle.iter().all(|n| it.any(|h| h == n))
+        }
+        for p in &mined {
+            let actual = seqs.iter().filter(|s| is_subseq(&p.items, s)).count();
+            prop_assert_eq!(actual, p.support, "pattern {:?}", p.items);
+        }
+    }
+}

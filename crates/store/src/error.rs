@@ -1,0 +1,81 @@
+//! Error type shared by all store operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::TermId;
+
+/// Errors raised by [`KnowledgeBase`](crate::KnowledgeBase) and its
+/// sub-stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A `TermId` was used that this dictionary never issued.
+    UnknownTerm(TermId),
+    /// Adding the subclass edge would create a cycle in the taxonomy.
+    TaxonomyCycle {
+        /// The would-be subclass.
+        sub: TermId,
+        /// The would-be superclass.
+        sup: TermId,
+    },
+    /// A temporal scope with `end < begin` was supplied.
+    InvalidTimeSpan,
+    /// A serialized KB line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An I/O error occurred while reading or writing a serialized KB.
+    ///
+    /// `std::io::Error` is neither `Clone` nor `PartialEq`, so only its
+    /// display string is retained.
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownTerm(t) => write!(f, "unknown term id {t}"),
+            StoreError::TaxonomyCycle { sub, sup } => {
+                write!(f, "subclass edge {sub} -> {sup} would create a cycle")
+            }
+            StoreError::InvalidTimeSpan => write!(f, "time span ends before it begins"),
+            StoreError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            StoreError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_ids() {
+        let e = StoreError::TaxonomyCycle {
+            sub: TermId(1),
+            sup: TermId(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("t1") && s.contains("t2"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: StoreError = io.into();
+        assert!(matches!(e, StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,67 @@
+//! # kb-store
+//!
+//! An in-memory RDF-style knowledge-base store in the spirit of the
+//! SPO-triple model used by YAGO, DBpedia and Freebase, as surveyed in
+//! Suchanek & Weikum, *Knowledge Bases in the Age of Big Data Analytics*
+//! (VLDB 2014), Section 2.
+//!
+//! The store provides:
+//!
+//! * a string [`Dictionary`] interning every term
+//!   (entity, class, relation, literal) to a dense [`TermId`];
+//! * a triple store ([`KnowledgeBase`]) with three
+//!   permutation indexes (SPO, POS, OSP) answering any
+//!   [`TriplePattern`] by range scan;
+//! * per-fact metadata: extraction [confidence](fact::Fact::confidence),
+//!   [provenance source](store::SourceId) and an optional
+//!   temporal scope ([`TimeSpan`]);
+//! * a class [`Taxonomy`] (subclass-of DAG with
+//!   transitive subsumption and cycle rejection);
+//! * `owl:sameAs` management via a union-find ([`SameAsStore`])
+//!   with canonical representatives;
+//! * a multilingual [`LabelStore`] with a reverse
+//!   surface-form index (the `means` relation used by NED);
+//! * a line-oriented [N-Triples-style text format](ntriples) for
+//!   persistence.
+//!
+//! ```
+//! use kb_store::{KnowledgeBase, TriplePattern};
+//!
+//! let mut kb = KnowledgeBase::new();
+//! let jobs = kb.intern("Steve_Jobs");
+//! let apple = kb.intern("Apple_Inc");
+//! let founded = kb.intern("founded");
+//! kb.add_triple(jobs, founded, apple);
+//!
+//! let hits = kb.matching(&TriplePattern::with_s(jobs));
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(kb.resolve(hits[0].triple.o), Some("Apple_Inc"));
+//! ```
+
+pub mod dict;
+pub mod error;
+pub mod fact;
+pub mod fuse;
+pub mod ids;
+pub mod labels;
+pub mod ntriples;
+pub mod pattern;
+pub mod query;
+pub mod sameas;
+pub mod stats;
+pub mod store;
+pub mod taxonomy;
+pub mod time;
+
+pub use dict::Dictionary;
+pub use error::StoreError;
+pub use fact::{Fact, Triple};
+pub use ids::{FactId, TermId};
+pub use labels::LabelStore;
+pub use pattern::TriplePattern;
+pub use query::{Bindings, Query};
+pub use sameas::SameAsStore;
+pub use stats::KbStats;
+pub use store::{KnowledgeBase, SourceId};
+pub use taxonomy::Taxonomy;
+pub use time::{TimePoint, TimeSpan};

@@ -1,0 +1,394 @@
+//! Conjunctive queries over the triple store — the "semantic search and
+//! analytics over entities and relations" the tutorial motivates (§1).
+//!
+//! A [`Query`] is a conjunction of triple patterns whose components are
+//! constants or shared variables, in a compact SPARQL-like text form:
+//!
+//! ```text
+//! ?p bornIn ?c . ?c locatedIn Norland . ?p worksAt Nimbus_Systems
+//! ```
+//!
+//! Execution is a backtracking index-nested-loop join with greedy
+//! selectivity ordering: at every step the engine picks the remaining
+//! pattern with the most bound components (fewest expected matches
+//! first), answers it with one permutation-index range scan, and
+//! extends the bindings.
+//!
+//! ```
+//! use kb_store::KnowledgeBase;
+//! use kb_store::query::query;
+//!
+//! let mut kb = KnowledgeBase::new();
+//! kb.assert_str("Alan", "bornIn", "Lund");
+//! kb.assert_str("Lund", "locatedIn", "Norland");
+//!
+//! let hits = query(&kb, "?p bornIn ?c . ?c locatedIn Norland").unwrap();
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(kb.resolve(hits[0].get("p").unwrap()), Some("Alan"));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::pattern::TriplePattern;
+use crate::store::KnowledgeBase;
+use crate::{StoreError, TermId};
+
+/// A variable or constant in a query pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryTerm {
+    /// A named variable (`?x`).
+    Var(String),
+    /// A constant, already resolved to a term id.
+    Const(TermId),
+}
+
+impl QueryTerm {
+    fn as_var(&self) -> Option<&str> {
+        match self {
+            QueryTerm::Var(v) => Some(v),
+            QueryTerm::Const(_) => None,
+        }
+    }
+}
+
+/// One triple pattern with variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPattern {
+    /// Subject position.
+    pub s: QueryTerm,
+    /// Predicate position.
+    pub p: QueryTerm,
+    /// Object position.
+    pub o: QueryTerm,
+}
+
+/// A conjunctive query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Query {
+    /// The conjoined patterns.
+    pub patterns: Vec<QueryPattern>,
+}
+
+/// One solution: variable name → bound term.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bindings {
+    map: HashMap<String, TermId>,
+}
+
+impl Bindings {
+    /// The term bound to `var`, if any.
+    pub fn get(&self, var: &str) -> Option<TermId> {
+        self.map.get(var).copied()
+    }
+
+    /// All `(variable, term)` pairs, sorted by variable name.
+    pub fn iter_sorted(&self) -> Vec<(&str, TermId)> {
+        let mut v: Vec<(&str, TermId)> = self.map.iter().map(|(k, &t)| (k.as_str(), t)).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .iter_sorted()
+            .into_iter()
+            .map(|(k, t)| format!("?{k}={t}"))
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+impl Query {
+    /// Parses the compact text form: patterns separated by `.`, each
+    /// with three whitespace-separated components; `?name` denotes a
+    /// variable, anything else a constant term that must already exist
+    /// in the KB's dictionary.
+    pub fn parse(kb: &KnowledgeBase, text: &str) -> Result<Query, StoreError> {
+        let mut patterns = Vec::new();
+        for (i, chunk) in text.split('.').enumerate() {
+            let chunk = chunk.trim();
+            if chunk.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = chunk.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(StoreError::Parse {
+                    line: i + 1,
+                    message: format!("pattern needs 3 components, got {}: {chunk:?}", parts.len()),
+                });
+            }
+            let mut terms = Vec::with_capacity(3);
+            for part in parts {
+                let term = if let Some(var) = part.strip_prefix('?') {
+                    if var.is_empty() {
+                        return Err(StoreError::Parse {
+                            line: i + 1,
+                            message: "empty variable name".into(),
+                        });
+                    }
+                    QueryTerm::Var(var.to_string())
+                } else {
+                    let id = kb.term(part).ok_or_else(|| StoreError::Parse {
+                        line: i + 1,
+                        message: format!("unknown term {part:?}"),
+                    })?;
+                    QueryTerm::Const(id)
+                };
+                terms.push(term);
+            }
+            let o = terms.pop().expect("three terms");
+            let p = terms.pop().expect("two terms");
+            let s = terms.pop().expect("one term");
+            patterns.push(QueryPattern { s, p, o });
+        }
+        if patterns.is_empty() {
+            return Err(StoreError::Parse { line: 1, message: "empty query".into() });
+        }
+        Ok(Query { patterns })
+    }
+
+    /// All distinct variable names, sorted.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut vars: Vec<&str> = self
+            .patterns
+            .iter()
+            .flat_map(|p| [p.s.as_var(), p.p.as_var(), p.o.as_var()])
+            .flatten()
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+}
+
+/// Executes a query, returning all solutions (deduplicated, in a
+/// deterministic order).
+pub fn execute(kb: &KnowledgeBase, query: &Query) -> Vec<Bindings> {
+    let mut results = Vec::new();
+    let mut used = vec![false; query.patterns.len()];
+    let mut bindings = Bindings::default();
+    solve(kb, query, &mut used, &mut bindings, &mut results);
+    // Deterministic order + dedup (two patterns can yield the same
+    // solution through different join orders).
+    results.sort_by_key(|b| {
+        b.iter_sorted()
+            .into_iter()
+            .map(|(k, t)| (k.to_string(), t))
+            .collect::<Vec<_>>()
+    });
+    results.dedup();
+    results
+}
+
+/// Substitutes current bindings into a pattern, yielding the concrete
+/// [`TriplePattern`] and the variable names left free (by position).
+fn concretize(
+    pattern: &QueryPattern,
+    bindings: &Bindings,
+) -> (TriplePattern, [Option<String>; 3]) {
+    let mut free: [Option<String>; 3] = [None, None, None];
+    let resolve = |term: &QueryTerm, slot: usize, free: &mut [Option<String>; 3]| match term {
+        QueryTerm::Const(id) => Some(*id),
+        QueryTerm::Var(v) => match bindings.get(v) {
+            Some(id) => Some(id),
+            None => {
+                free[slot] = Some(v.clone());
+                None
+            }
+        },
+    };
+    let s = resolve(&pattern.s, 0, &mut free);
+    let p = resolve(&pattern.p, 1, &mut free);
+    let o = resolve(&pattern.o, 2, &mut free);
+    (TriplePattern { s, p, o }, free)
+}
+
+fn solve(
+    kb: &KnowledgeBase,
+    query: &Query,
+    used: &mut Vec<bool>,
+    bindings: &mut Bindings,
+    results: &mut Vec<Bindings>,
+) {
+    // Pick the unused pattern with the most bound components.
+    let next = (0..query.patterns.len())
+        .filter(|&i| !used[i])
+        .max_by_key(|&i| concretize(&query.patterns[i], bindings).0.bound_count());
+    let Some(i) = next else {
+        results.push(bindings.clone());
+        return;
+    };
+    used[i] = true;
+    let (concrete, free) = concretize(&query.patterns[i], bindings);
+    for triple in kb.matching_triples(&concrete) {
+        let values = [triple.s, triple.p, triple.o];
+        // Bind the free variables; a variable occurring twice in one
+        // pattern must take the same value in both positions.
+        let mut added: Vec<String> = Vec::new();
+        let mut consistent = true;
+        for (slot, var) in free.iter().enumerate() {
+            let Some(var) = var else { continue };
+            match bindings.get(var) {
+                Some(existing) if existing != values[slot] => {
+                    consistent = false;
+                    break;
+                }
+                Some(_) => {}
+                None => {
+                    bindings.map.insert(var.clone(), values[slot]);
+                    added.push(var.clone());
+                }
+            }
+        }
+        if consistent {
+            solve(kb, query, used, bindings, results);
+        }
+        for var in added {
+            bindings.map.remove(&var);
+        }
+    }
+    used[i] = false;
+}
+
+/// Convenience: parse and execute in one call.
+pub fn query(kb: &KnowledgeBase, text: &str) -> Result<Vec<Bindings>, StoreError> {
+    let q = Query::parse(kb, text)?;
+    Ok(execute(kb, &q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// People born in cities located in two countries; employments.
+    fn sample() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for (s, p, o) in [
+            ("Alan", "bornIn", "Lund"),
+            ("Bea", "bornIn", "Lund"),
+            ("Cyr", "bornIn", "Tor"),
+            ("Lund", "locatedIn", "Norland"),
+            ("Tor", "locatedIn", "Grenia"),
+            ("Alan", "worksAt", "Acme"),
+            ("Cyr", "worksAt", "Acme"),
+            ("Acme", "headquarteredIn", "Tor"),
+        ] {
+            kb.assert_str(s, p, o);
+        }
+        kb
+    }
+
+    #[test]
+    fn single_pattern_query() {
+        let kb = sample();
+        let out = query(&kb, "?p bornIn Lund").unwrap();
+        assert_eq!(out.len(), 2);
+        let names: Vec<&str> = out
+            .iter()
+            .map(|b| kb.resolve(b.get("p").unwrap()).unwrap())
+            .collect();
+        assert!(names.contains(&"Alan") && names.contains(&"Bea"));
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        let kb = sample();
+        let out = query(&kb, "?p bornIn ?c . ?c locatedIn Norland").unwrap();
+        assert_eq!(out.len(), 2, "only Lund is in Norland");
+        for b in &out {
+            assert_eq!(kb.resolve(b.get("c").unwrap()), Some("Lund"));
+        }
+    }
+
+    #[test]
+    fn three_way_join() {
+        let kb = sample();
+        // People who work at a company headquartered where someone was born.
+        let out = query(&kb, "?p worksAt ?co . ?co headquarteredIn ?city . ?q bornIn ?city").unwrap();
+        assert_eq!(out.len(), 2); // Alan@Acme/Tor/Cyr and Cyr@Acme/Tor/Cyr
+        for b in &out {
+            assert_eq!(kb.resolve(b.get("city").unwrap()), Some("Tor"));
+            assert_eq!(kb.resolve(b.get("q").unwrap()), Some("Cyr"));
+        }
+    }
+
+    #[test]
+    fn variable_predicates_work() {
+        let kb = sample();
+        let out = query(&kb, "Alan ?r ?x").unwrap();
+        assert_eq!(out.len(), 2);
+        let rels: Vec<&str> = out
+            .iter()
+            .map(|b| kb.resolve(b.get("r").unwrap()).unwrap())
+            .collect();
+        assert!(rels.contains(&"bornIn") && rels.contains(&"worksAt"));
+    }
+
+    #[test]
+    fn repeated_variable_within_pattern_requires_equality() {
+        let mut kb = sample();
+        kb.assert_str("Nar", "likes", "Nar");
+        let out = query(&kb, "?x likes ?x").unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(kb.resolve(out[0].get("x").unwrap()), Some("Nar"));
+    }
+
+    #[test]
+    fn no_solutions_is_empty_not_error() {
+        let kb = sample();
+        let out = query(&kb, "?p bornIn Grenia").unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unknown_constants_are_parse_errors() {
+        let kb = sample();
+        let err = query(&kb, "?p bornIn Atlantis").unwrap_err();
+        assert!(matches!(err, StoreError::Parse { .. }));
+    }
+
+    #[test]
+    fn malformed_patterns_are_parse_errors() {
+        let kb = sample();
+        assert!(query(&kb, "justtwo terms").is_err());
+        assert!(query(&kb, "").is_err());
+        assert!(query(&kb, "?p bornIn ? ").is_err());
+    }
+
+    #[test]
+    fn variables_listing() {
+        let kb = sample();
+        let q = Query::parse(&kb, "?p bornIn ?c . ?c locatedIn Norland").unwrap();
+        assert_eq!(q.variables(), vec!["c", "p"]);
+    }
+
+    #[test]
+    fn results_are_deterministic_and_deduplicated() {
+        let kb = sample();
+        let a = query(&kb, "?p bornIn ?c . ?c locatedIn ?n").unwrap();
+        let b = query(&kb, "?p bornIn ?c . ?c locatedIn ?n").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn display_renders_bindings() {
+        let kb = sample();
+        let out = query(&kb, "?p bornIn Tor").unwrap();
+        let s = out[0].to_string();
+        assert!(s.starts_with('{') && s.contains("?p="));
+    }
+}

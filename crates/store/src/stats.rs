@@ -1,0 +1,69 @@
+//! Summary statistics over a knowledge base, as reported in experiment T1.
+
+use std::fmt;
+
+/// Snapshot statistics produced by
+/// [`KnowledgeBase::stats`](crate::KnowledgeBase::stats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KbStats {
+    /// Distinct interned terms.
+    pub terms: usize,
+    /// Live (non-retracted) facts.
+    pub facts: usize,
+    /// Distinct subjects among live facts.
+    pub subjects: usize,
+    /// Distinct predicates among live facts.
+    pub predicates: usize,
+    /// Classes registered in the taxonomy.
+    pub classes: usize,
+    /// Subclass edges in the taxonomy.
+    pub subclass_edges: usize,
+    /// Non-singleton sameAs equivalence classes.
+    pub sameas_classes: usize,
+    /// Stored multilingual labels.
+    pub labels: usize,
+    /// Live facts carrying a temporal scope.
+    pub temporal_facts: usize,
+    /// Mean confidence over live facts (0 when empty).
+    pub mean_confidence: f64,
+}
+
+impl fmt::Display for KbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "terms:            {}", self.terms)?;
+        writeln!(f, "facts:            {}", self.facts)?;
+        writeln!(f, "subjects:         {}", self.subjects)?;
+        writeln!(f, "predicates:       {}", self.predicates)?;
+        writeln!(f, "classes:          {}", self.classes)?;
+        writeln!(f, "subclass edges:   {}", self.subclass_edges)?;
+        writeln!(f, "sameAs classes:   {}", self.sameas_classes)?;
+        writeln!(f, "labels:           {}", self.labels)?;
+        writeln!(f, "temporal facts:   {}", self.temporal_facts)?;
+        write!(f, "mean confidence:  {:.3}", self.mean_confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_every_field() {
+        let s = KbStats {
+            terms: 1,
+            facts: 2,
+            subjects: 3,
+            predicates: 4,
+            classes: 5,
+            subclass_edges: 6,
+            sameas_classes: 7,
+            labels: 8,
+            temporal_facts: 9,
+            mean_confidence: 0.5,
+        };
+        let text = s.to_string();
+        for needle in ["terms", "facts", "classes", "sameAs", "labels", "0.500"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! The [`KnowledgeBase`]: dictionary + fact table + permutation indexes +
+//! taxonomy + sameAs + labels, behind one façade.
+//!
+//! Design notes:
+//!
+//! * Facts live in an append-only `Vec<Fact>`; a `HashMap<Triple, FactId>`
+//!   deduplicates statements, so re-adding a triple *merges* evidence
+//!   (noisy-or on confidence) instead of duplicating it.
+//! * Three `BTreeSet<(TermId, TermId, TermId)>` permutation indexes (SPO,
+//!   POS, OSP) are maintained incrementally; any [`TriplePattern`] is
+//!   answered by one contiguous range scan (see
+//!   [`TriplePattern::choose_index`]).
+//! * Queries take `&self`; the store has no interior mutability and is
+//!   `Sync`, so read-heavy consumers (NED, analytics) can share it across
+//!   threads.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::fact::{Fact, Triple};
+use crate::ids::{FactId, TermId};
+use crate::labels::LabelStore;
+use crate::pattern::{IndexChoice, TriplePattern};
+use crate::sameas::SameAsStore;
+use crate::stats::KbStats;
+use crate::taxonomy::Taxonomy;
+use crate::time::TimeSpan;
+
+/// Identifier of a registered provenance source (a corpus, an extractor,
+/// a manual assertion batch, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub u32);
+
+impl SourceId {
+    /// The pre-registered source `"asserted"` present in every store.
+    pub const DEFAULT: SourceId = SourceId(0);
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+type Key = (TermId, TermId, TermId);
+
+/// An in-memory SPO knowledge base with metadata, taxonomy, sameAs and
+/// multilingual labels. See the [crate docs](crate) for an overview.
+#[derive(Debug, Default)]
+pub struct KnowledgeBase {
+    dict: crate::Dictionary,
+    facts: Vec<Fact>,
+    by_triple: HashMap<Triple, FactId>,
+    spo: BTreeSet<Key>,
+    pos: BTreeSet<Key>,
+    osp: BTreeSet<Key>,
+    /// Subclass-of DAG over class terms.
+    pub taxonomy: Taxonomy,
+    /// owl:sameAs equivalence classes over entity terms.
+    pub sameas: SameAsStore,
+    /// Multilingual labels and the reverse surface-form (`means`) index.
+    pub labels: LabelStore,
+    sources: Vec<String>,
+    source_lookup: HashMap<String, SourceId>,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty store with the default `"asserted"` source.
+    pub fn new() -> Self {
+        let mut kb = Self::default();
+        let id = kb.register_source("asserted");
+        debug_assert_eq!(id, SourceId::DEFAULT);
+        kb
+    }
+
+    // ---------------------------------------------------------------
+    // Terms
+    // ---------------------------------------------------------------
+
+    /// Interns a term, returning its id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Looks up an already-interned term.
+    pub fn term(&self, term: &str) -> Option<TermId> {
+        self.dict.get(term)
+    }
+
+    /// Resolves a term id back to its string.
+    pub fn resolve(&self, id: TermId) -> Option<&str> {
+        self.dict.resolve(id)
+    }
+
+    /// The underlying dictionary (read access).
+    pub fn dictionary(&self) -> &crate::Dictionary {
+        &self.dict
+    }
+
+    // ---------------------------------------------------------------
+    // Sources
+    // ---------------------------------------------------------------
+
+    /// Registers (or retrieves) a provenance source by name.
+    pub fn register_source(&mut self, name: &str) -> SourceId {
+        if let Some(&id) = self.source_lookup.get(name) {
+            return id;
+        }
+        let id = SourceId(self.sources.len() as u32);
+        self.sources.push(name.to_string());
+        self.source_lookup.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolves a source id back to its name.
+    pub fn source_name(&self, id: SourceId) -> Option<&str> {
+        self.sources.get(id.0 as usize).map(|s| s.as_str())
+    }
+
+    /// All registered sources in id order.
+    pub fn sources(&self) -> impl Iterator<Item = (SourceId, &str)> {
+        self.sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SourceId(i as u32), s.as_str()))
+    }
+
+    // ---------------------------------------------------------------
+    // Facts
+    // ---------------------------------------------------------------
+
+    /// Adds a fully-confident fact with default provenance; returns its id.
+    pub fn add_triple(&mut self, s: TermId, p: TermId, o: TermId) -> FactId {
+        self.add_fact(Fact::asserted(Triple::new(s, p, o)))
+    }
+
+    /// Convenience: interns three strings and asserts the triple.
+    pub fn assert_str(&mut self, s: &str, p: &str, o: &str) -> FactId {
+        let t = Triple::new(self.intern(s), self.intern(p), self.intern(o));
+        self.add_fact(Fact::asserted(t))
+    }
+
+    /// Adds a fact. If the same triple already exists the stored fact is
+    /// *merged*: confidence combines by noisy-or
+    /// (`1 - (1-a)(1-b)`, the standard evidence combination for
+    /// independent extractors), the temporal span is kept if previously
+    /// unknown, and provenance keeps the earlier source. Returns the id
+    /// of the (new or merged) fact.
+    pub fn add_fact(&mut self, fact: Fact) -> FactId {
+        debug_assert!((0.0..=1.0).contains(&fact.confidence));
+        if let Some(&id) = self.by_triple.get(&fact.triple) {
+            let existing = &mut self.facts[id.index()];
+            let was_retracted = existing.is_retracted();
+            existing.confidence = 1.0 - (1.0 - existing.confidence) * (1.0 - fact.confidence);
+            if existing.span.is_none() {
+                existing.span = fact.span;
+            }
+            // Re-adding a retracted fact resurrects it in the indexes.
+            if was_retracted && !existing.is_retracted() {
+                let t = existing.triple;
+                self.spo.insert(t.spo_key());
+                self.pos.insert(t.pos_key());
+                self.osp.insert(t.osp_key());
+            }
+            return id;
+        }
+        let id = FactId(self.facts.len() as u32);
+        let t = fact.triple;
+        self.facts.push(fact);
+        self.by_triple.insert(t, id);
+        self.spo.insert(t.spo_key());
+        self.pos.insert(t.pos_key());
+        self.osp.insert(t.osp_key());
+        id
+    }
+
+    /// Retracts a triple: its confidence is set to zero and it stops
+    /// matching queries. The fact id remains valid. Returns whether the
+    /// triple was present and live.
+    pub fn retract(&mut self, t: Triple) -> bool {
+        let Some(&id) = self.by_triple.get(&t) else {
+            return false;
+        };
+        let fact = &mut self.facts[id.index()];
+        if fact.is_retracted() {
+            return false;
+        }
+        fact.confidence = 0.0;
+        self.spo.remove(&t.spo_key());
+        self.pos.remove(&t.pos_key());
+        self.osp.remove(&t.osp_key());
+        true
+    }
+
+    /// Sets the temporal scope of an existing triple. Returns `false` if
+    /// the triple is absent.
+    pub fn set_span(&mut self, t: Triple, span: TimeSpan) -> bool {
+        match self.by_triple.get(&t) {
+            Some(&id) => {
+                self.facts[id.index()].span = Some(span);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up a fact by id.
+    pub fn fact(&self, id: FactId) -> Option<&Fact> {
+        self.facts.get(id.index())
+    }
+
+    /// Looks up a live fact by triple.
+    pub fn fact_for(&self, t: &Triple) -> Option<&Fact> {
+        self.by_triple
+            .get(t)
+            .map(|id| &self.facts[id.index()])
+            .filter(|f| !f.is_retracted())
+    }
+
+    /// Whether the triple is present and live.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.spo.contains(&t.spo_key())
+    }
+
+    /// Number of live (non-retracted) facts.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the store holds no live facts.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Iterates over all live facts in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> + '_ {
+        self.spo.iter().map(move |&(s, p, o)| {
+            let id = self.by_triple[&Triple::new(s, p, o)];
+            &self.facts[id.index()]
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Queries
+    // ---------------------------------------------------------------
+
+    /// Returns all live facts matching the pattern, using the best
+    /// permutation index (one contiguous range scan; the `s?o` shape
+    /// post-filters inside the `o` range).
+    pub fn matching(&self, pattern: &TriplePattern) -> Vec<&Fact> {
+        self.matching_triples(pattern)
+            .into_iter()
+            .map(|t| self.fact_for(&t).expect("indexed triple must be live"))
+            .collect()
+    }
+
+    /// Like [`matching`](Self::matching) but returns only the triples.
+    pub fn matching_triples(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        let choice = pattern.choose_index();
+        let (index, (lo, hi)) = match choice {
+            IndexChoice::Spo => (&self.spo, range_for(pattern.s, pattern.p, pattern.o)),
+            IndexChoice::Pos => (&self.pos, range_for(pattern.p, pattern.o, pattern.s)),
+            IndexChoice::Osp => (&self.osp, range_for(pattern.o, pattern.s, pattern.p)),
+        };
+        let reorder: fn(Key) -> Triple = match choice {
+            IndexChoice::Spo => |(s, p, o)| Triple::new(s, p, o),
+            IndexChoice::Pos => |(p, o, s)| Triple::new(s, p, o),
+            IndexChoice::Osp => |(o, s, p)| Triple::new(s, p, o),
+        };
+        index
+            .range(lo..=hi)
+            .map(|&k| reorder(k))
+            .filter(|t| pattern.matches(t))
+            .collect()
+    }
+
+    /// Facts matching the pattern that are valid at `point`: facts with
+    /// no temporal scope always qualify (they are assumed timeless);
+    /// scoped facts qualify when their span contains the point — the
+    /// time-travel query of YAGO2-style temporal KBs.
+    pub fn matching_at(&self, pattern: &TriplePattern, point: &crate::TimePoint) -> Vec<&Fact> {
+        self.matching(pattern)
+            .into_iter()
+            .filter(|f| f.span.is_none_or(|sp| sp.contains(point)))
+            .collect()
+    }
+
+    /// Count of live facts matching the pattern (no allocation of results).
+    pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
+        let (index, (lo, hi)) = match pattern.choose_index() {
+            IndexChoice::Spo => (&self.spo, range_for(pattern.s, pattern.p, pattern.o)),
+            IndexChoice::Pos => (&self.pos, range_for(pattern.p, pattern.o, pattern.s)),
+            IndexChoice::Osp => (&self.osp, range_for(pattern.o, pattern.s, pattern.p)),
+        };
+        if pattern.bound_count() == 2 && pattern.p.is_none() {
+            // s?o goes through the OSP range of o and must post-filter on s.
+            let reorder = |(o, s, p): Key| Triple::new(s, p, o);
+            index
+                .range(lo..=hi)
+                .filter(|&&k| pattern.matches(&reorder(k)))
+                .count()
+        } else {
+            index.range(lo..=hi).count()
+        }
+    }
+
+    /// All objects `o` such that `(s, p, o)` is a live fact.
+    pub fn objects(&self, s: TermId, p: TermId) -> Vec<TermId> {
+        self.matching_triples(&TriplePattern::with_sp(s, p))
+            .into_iter()
+            .map(|t| t.o)
+            .collect()
+    }
+
+    /// All subjects `s` such that `(s, p, o)` is a live fact.
+    pub fn subjects(&self, p: TermId, o: TermId) -> Vec<TermId> {
+        self.matching_triples(&TriplePattern::with_po(p, o))
+            .into_iter()
+            .map(|t| t.s)
+            .collect()
+    }
+
+    /// Two-pattern join on a shared variable: returns all `(x, y)` pairs
+    /// such that `(x, p1, m)` and `(m, p2, y)` both hold for some `m`
+    /// (a path join, e.g. "people born in cities located in country Y").
+    pub fn path_join(&self, p1: TermId, p2: TermId) -> Vec<(TermId, TermId)> {
+        let mut out = Vec::new();
+        for t1 in self.matching_triples(&TriplePattern::with_p(p1)) {
+            for t2 in self.matching_triples(&TriplePattern::with_sp(t1.o, p2)) {
+                out.push((t1.s, t2.o));
+            }
+        }
+        out
+    }
+
+    /// Degree of a term: number of live facts where it appears as subject
+    /// plus those where it appears as object. Used by NED coherence and
+    /// popularity priors.
+    pub fn degree(&self, t: TermId) -> usize {
+        self.count_matching(&TriplePattern::with_s(t)) + self.count_matching(&TriplePattern::with_o(t))
+    }
+
+    /// Neighboring entities of `t` (subjects/objects of facts touching it,
+    /// excluding `t` itself), deduplicated.
+    pub fn neighbors(&self, t: TermId) -> Vec<TermId> {
+        let mut out: Vec<TermId> = Vec::new();
+        for tr in self.matching_triples(&TriplePattern::with_s(t)) {
+            out.push(tr.o);
+        }
+        for tr in self.matching_triples(&TriplePattern::with_o(t)) {
+            out.push(tr.s);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&x| x != t);
+        out
+    }
+
+    // ---------------------------------------------------------------
+    // Statistics
+    // ---------------------------------------------------------------
+
+    /// Per-predicate fact counts, sorted by descending count then name —
+    /// the relation histogram reported alongside KB statistics.
+    pub fn predicate_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: HashMap<TermId, usize> = HashMap::new();
+        for f in self.iter() {
+            *counts.entry(f.triple.p).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter_map(|(p, n)| self.resolve(p).map(|s| (s.to_string(), n)))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Computes summary statistics over the current contents.
+    pub fn stats(&self) -> KbStats {
+        let mut distinct_subjects: BTreeSet<TermId> = BTreeSet::new();
+        let mut distinct_predicates: BTreeSet<TermId> = BTreeSet::new();
+        let mut conf_sum = 0.0;
+        let mut temporal = 0usize;
+        for f in self.iter() {
+            distinct_subjects.insert(f.triple.s);
+            distinct_predicates.insert(f.triple.p);
+            conf_sum += f.confidence;
+            if f.span.is_some() {
+                temporal += 1;
+            }
+        }
+        let n = self.len();
+        KbStats {
+            terms: self.dict.len(),
+            facts: n,
+            subjects: distinct_subjects.len(),
+            predicates: distinct_predicates.len(),
+            classes: self.taxonomy.class_count(),
+            subclass_edges: self.taxonomy.edge_count(),
+            sameas_classes: self.sameas.class_count(),
+            labels: self.labels.label_count(),
+            temporal_facts: temporal,
+            mean_confidence: if n == 0 { 0.0 } else { conf_sum / n as f64 },
+        }
+    }
+}
+
+/// Builds the inclusive `(lo, hi)` range over a permutation index whose
+/// key order is `(a, b, c)`, for bound prefix values `a` and `b`.
+fn range_for(a: Option<TermId>, b: Option<TermId>, c: Option<TermId>) -> (Key, Key) {
+    const MIN: TermId = TermId(0);
+    const MAX: TermId = TermId(u32::MAX);
+    match (a, b, c) {
+        (None, _, _) => ((MIN, MIN, MIN), (MAX, MAX, MAX)),
+        (Some(a), None, _) => ((a, MIN, MIN), (a, MAX, MAX)),
+        (Some(a), Some(b), None) => ((a, b, MIN), (a, b, MAX)),
+        (Some(a), Some(b), Some(c)) => ((a, b, c), (a, b, c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimePoint;
+
+    fn sample_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_str("Steve_Jobs", "founded", "Apple_Inc");
+        kb.assert_str("Steve_Wozniak", "founded", "Apple_Inc");
+        kb.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
+        kb.assert_str("San_Francisco", "locatedIn", "United_States");
+        kb.assert_str("Apple_Inc", "headquarteredIn", "Cupertino");
+        kb
+    }
+
+    #[test]
+    fn add_and_query_by_every_shape() {
+        let kb = sample_kb();
+        let jobs = kb.term("Steve_Jobs").unwrap();
+        let founded = kb.term("founded").unwrap();
+        let apple = kb.term("Apple_Inc").unwrap();
+
+        assert_eq!(kb.matching(&TriplePattern::with_s(jobs)).len(), 2);
+        assert_eq!(kb.matching(&TriplePattern::with_p(founded)).len(), 2);
+        assert_eq!(kb.matching(&TriplePattern::with_o(apple)).len(), 2);
+        assert_eq!(kb.matching(&TriplePattern::with_sp(jobs, founded)).len(), 1);
+        assert_eq!(kb.matching(&TriplePattern::with_po(founded, apple)).len(), 2);
+        assert_eq!(kb.matching(&TriplePattern::with_so(jobs, apple)).len(), 1);
+        assert_eq!(kb.matching(&TriplePattern::any()).len(), 5);
+        let t = Triple::new(jobs, founded, apple);
+        assert_eq!(kb.matching(&TriplePattern::exact(t)).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_adds_merge_by_noisy_or() {
+        let mut kb = KnowledgeBase::new();
+        let s = kb.intern("s");
+        let p = kb.intern("p");
+        let o = kb.intern("o");
+        let t = Triple::new(s, p, o);
+        kb.add_fact(Fact { triple: t, confidence: 0.5, source: SourceId::DEFAULT, span: None });
+        kb.add_fact(Fact { triple: t, confidence: 0.5, source: SourceId::DEFAULT, span: None });
+        assert_eq!(kb.len(), 1);
+        let f = kb.fact_for(&t).unwrap();
+        assert!((f.confidence - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_keeps_first_known_span() {
+        let mut kb = KnowledgeBase::new();
+        let t = Triple::new(kb.intern("a"), kb.intern("r"), kb.intern("b"));
+        let span = TimeSpan::at(TimePoint::year(1976));
+        kb.add_fact(Fact { triple: t, confidence: 0.4, source: SourceId::DEFAULT, span: None });
+        kb.add_fact(Fact { triple: t, confidence: 0.4, source: SourceId::DEFAULT, span: Some(span) });
+        assert_eq!(kb.fact_for(&t).unwrap().span, Some(span));
+    }
+
+    #[test]
+    fn retract_hides_from_queries_and_resurrection_works() {
+        let mut kb = sample_kb();
+        let jobs = kb.term("Steve_Jobs").unwrap();
+        let founded = kb.term("founded").unwrap();
+        let apple = kb.term("Apple_Inc").unwrap();
+        let t = Triple::new(jobs, founded, apple);
+
+        assert!(kb.retract(t));
+        assert!(!kb.contains(&t));
+        assert_eq!(kb.len(), 4);
+        assert_eq!(kb.matching(&TriplePattern::with_p(founded)).len(), 1);
+        assert!(!kb.retract(t), "double retract is a no-op");
+
+        // Re-adding resurrects the fact.
+        kb.add_fact(Fact { triple: t, confidence: 0.9, source: SourceId::DEFAULT, span: None });
+        assert!(kb.contains(&t));
+        assert_eq!(kb.len(), 5);
+    }
+
+    #[test]
+    fn path_join_composes_relations() {
+        let kb = sample_kb();
+        let born = kb.term("bornIn").unwrap();
+        let located = kb.term("locatedIn").unwrap();
+        let pairs = kb.path_join(born, located);
+        assert_eq!(pairs.len(), 1);
+        let (s, o) = pairs[0];
+        assert_eq!(kb.resolve(s), Some("Steve_Jobs"));
+        assert_eq!(kb.resolve(o), Some("United_States"));
+    }
+
+    #[test]
+    fn degree_and_neighbors() {
+        let kb = sample_kb();
+        let apple = kb.term("Apple_Inc").unwrap();
+        assert_eq!(kb.degree(apple), 3);
+        let names: Vec<_> = kb
+            .neighbors(apple)
+            .into_iter()
+            .map(|t| kb.resolve(t).unwrap().to_string())
+            .collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"Steve_Jobs".to_string()));
+        assert!(names.contains(&"Cupertino".to_string()));
+    }
+
+    #[test]
+    fn sources_register_and_resolve() {
+        let mut kb = KnowledgeBase::new();
+        assert_eq!(kb.source_name(SourceId::DEFAULT), Some("asserted"));
+        let a = kb.register_source("wiki");
+        let b = kb.register_source("wiki");
+        assert_eq!(a, b);
+        assert_eq!(kb.source_name(a), Some("wiki"));
+        assert_eq!(kb.sources().count(), 2);
+    }
+
+    #[test]
+    fn count_matching_agrees_with_matching() {
+        let kb = sample_kb();
+        let jobs = kb.term("Steve_Jobs").unwrap();
+        let apple = kb.term("Apple_Inc").unwrap();
+        for pat in [
+            TriplePattern::any(),
+            TriplePattern::with_s(jobs),
+            TriplePattern::with_o(apple),
+            TriplePattern::with_so(jobs, apple),
+        ] {
+            assert_eq!(kb.count_matching(&pat), kb.matching(&pat).len());
+        }
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut kb = sample_kb();
+        let t = kb.matching_triples(&TriplePattern::any())[0];
+        kb.set_span(t, TimeSpan::since(TimePoint::year(1976)));
+        let st = kb.stats();
+        assert_eq!(st.facts, 5);
+        assert_eq!(st.predicates, 4);
+        assert_eq!(st.temporal_facts, 1);
+        assert!(st.mean_confidence > 0.99);
+    }
+
+    #[test]
+    fn matching_at_filters_by_validity() {
+        use crate::time::TimePoint;
+        let mut kb = KnowledgeBase::new();
+        let p = kb.intern("worksAt");
+        let (a, b, acme) = (kb.intern("A"), kb.intern("B"), kb.intern("Acme"));
+        kb.add_triple(a, p, acme);
+        kb.set_span(
+            Triple::new(a, p, acme),
+            TimeSpan::between(TimePoint::year(1990), TimePoint::year(1995)).unwrap(),
+        );
+        kb.add_triple(b, p, acme); // timeless
+        let pat = TriplePattern::with_p(p);
+        assert_eq!(kb.matching_at(&pat, &TimePoint::year(1992)).len(), 2);
+        assert_eq!(kb.matching_at(&pat, &TimePoint::year(2000)).len(), 1);
+        let only = kb.matching_at(&pat, &TimePoint::year(2000));
+        assert_eq!(only[0].triple.s, b);
+    }
+
+    #[test]
+    fn predicate_histogram_counts_live_facts() {
+        let mut kb = sample_kb();
+        let hist = kb.predicate_histogram();
+        assert_eq!(hist[0], ("founded".to_string(), 2));
+        assert_eq!(hist.len(), 4);
+        let t = kb.matching_triples(&TriplePattern::with_p(kb.term("founded").unwrap()))[0];
+        kb.retract(t);
+        let hist = kb.predicate_histogram();
+        assert_eq!(hist.iter().find(|(p, _)| p == "founded").unwrap().1, 1);
+    }
+
+    #[test]
+    fn iter_returns_all_live_facts_in_spo_order() {
+        let mut kb = sample_kb();
+        let all: Vec<Triple> = kb.iter().map(|f| f.triple).collect();
+        assert_eq!(all.len(), 5);
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted);
+        kb.retract(all[0]);
+        assert_eq!(kb.iter().count(), 4);
+    }
+}

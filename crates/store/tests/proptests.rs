@@ -1,0 +1,309 @@
+//! Property-based tests for kb-store invariants.
+
+use proptest::prelude::*;
+
+use kb_store::{Fact, KnowledgeBase, SameAsStore, TermId, TimePoint, TimeSpan, Triple, TriplePattern};
+use kb_store::store::SourceId;
+
+fn term_strategy() -> impl Strategy<Value = String> {
+    // Mix of plain identifiers and nasty strings with escapes/unicode.
+    prop_oneof![
+        "[A-Za-z_][A-Za-z0-9_]{0,12}",
+        "[ -~]{0,8}",
+        Just("tab\there".to_string()),
+        Just("nl\nhere".to_string()),
+        Just("Zürich".to_string()),
+    ]
+}
+
+proptest! {
+    /// Interning any sequence of strings round-trips exactly, and equal
+    /// strings always get equal ids.
+    #[test]
+    fn dictionary_round_trip(words in prop::collection::vec(term_strategy(), 0..40)) {
+        let mut d = kb_store::Dictionary::new();
+        let ids: Vec<_> = words.iter().map(|w| d.intern(w)).collect();
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(d.resolve(*id), Some(w.as_str()));
+            prop_assert_eq!(d.get(w), Some(*id));
+        }
+        for (i, a) in words.iter().enumerate() {
+            for (j, b) in words.iter().enumerate() {
+                prop_assert_eq!(a == b, ids[i] == ids[j]);
+            }
+        }
+    }
+
+    /// All three permutation indexes agree: any pattern query returns
+    /// exactly the set a brute-force filter over all triples returns.
+    #[test]
+    fn index_consistency(
+        triples in prop::collection::vec((0u32..12, 0u32..4, 0u32..12), 0..80),
+        qs in 0u32..12, qp in 0u32..4, qo in 0u32..12,
+        mask in 0u8..8,
+    ) {
+        let mut kb = KnowledgeBase::new();
+        let mut all: Vec<Triple> = Vec::new();
+        for (s, p, o) in &triples {
+            // Intern enough terms to cover the id space deterministically.
+            let t = Triple::new(
+                kb.intern(&format!("e{s}")),
+                kb.intern(&format!("r{p}")),
+                kb.intern(&format!("e{o}")),
+            );
+            kb.add_triple(t.s, t.p, t.o);
+            if !all.contains(&t) {
+                all.push(t);
+            }
+        }
+        let pattern = TriplePattern {
+            s: (mask & 1 != 0).then(|| kb.intern(&format!("e{qs}"))),
+            p: (mask & 2 != 0).then(|| kb.intern(&format!("r{qp}"))),
+            o: (mask & 4 != 0).then(|| kb.intern(&format!("e{qo}"))),
+        };
+        let mut got = kb.matching_triples(&pattern);
+        got.sort();
+        let mut expect: Vec<Triple> = all.iter().copied().filter(|t| pattern.matches(t)).collect();
+        expect.sort();
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(kb.count_matching(&pattern), expect.len());
+    }
+
+    /// Retraction removes exactly the retracted triple from every index.
+    #[test]
+    fn retraction_is_precise(
+        triples in prop::collection::vec((0u32..8, 0u32..3, 0u32..8), 1..40),
+        kill in any::<prop::sample::Index>(),
+    ) {
+        let mut kb = KnowledgeBase::new();
+        for (s, p, o) in &triples {
+            kb.assert_str(&format!("e{s}"), &format!("r{p}"), &format!("e{o}"));
+        }
+        let all = kb.matching_triples(&TriplePattern::any());
+        let victim = all[kill.index(all.len())];
+        let before = kb.len();
+        kb.retract(victim);
+        prop_assert_eq!(kb.len(), before - 1);
+        prop_assert!(!kb.contains(&victim));
+        for t in &all {
+            if *t != victim {
+                prop_assert!(kb.contains(t));
+            }
+        }
+    }
+
+    /// Union-find: same/canon agree, canon is idempotent and minimal.
+    #[test]
+    fn sameas_invariants(pairs in prop::collection::vec((0u32..30, 0u32..30), 0..60)) {
+        let mut s = SameAsStore::new();
+        for &(a, b) in &pairs {
+            s.declare(TermId(a), TermId(b));
+        }
+        for i in 0..30u32 {
+            let c = s.canon(TermId(i));
+            // canon is a fixpoint and a member of the same class
+            prop_assert_eq!(s.canon(c), c);
+            prop_assert!(s.same(TermId(i), c));
+            // canon is minimal within the class
+            for j in 0..30u32 {
+                if s.same(TermId(i), TermId(j)) {
+                    prop_assert!(c <= TermId(j));
+                    prop_assert_eq!(s.canon(TermId(j)), c);
+                }
+            }
+        }
+        // same is an equivalence relation (spot-check transitivity)
+        for i in 0..10u32 {
+            for j in 0..10u32 {
+                for k in 0..10u32 {
+                    if s.same(TermId(i), TermId(j)) && s.same(TermId(j), TermId(k)) {
+                        prop_assert!(s.same(TermId(i), TermId(k)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Taxonomy stays acyclic no matter what edges we try to add, and
+    /// subsumption is transitive.
+    #[test]
+    fn taxonomy_acyclic_and_transitive(
+        edges in prop::collection::vec((0u32..12, 0u32..12), 0..60)
+    ) {
+        let mut t = kb_store::Taxonomy::new();
+        for &(a, b) in &edges {
+            // Errors (cycle rejections) are fine; panics are not.
+            let _ = t.add_subclass(TermId(a), TermId(b));
+        }
+        // No class may be a strict subclass of itself via any path.
+        for i in 0..12u32 {
+            let anc = t.ancestors(TermId(i));
+            prop_assert!(!anc.contains(&TermId(i)), "cycle through t{i}");
+        }
+        // Transitivity.
+        for i in 0..12u32 {
+            for &a in &t.ancestors(TermId(i)) {
+                for &aa in &t.ancestors(a) {
+                    prop_assert!(t.is_subclass_of(TermId(i), aa));
+                }
+            }
+        }
+    }
+
+    /// Serialization round-trips arbitrary stores: facts, confidences,
+    /// spans, labels survive.
+    #[test]
+    fn ntriples_round_trip(
+        facts in prop::collection::vec(
+            (term_strategy(), term_strategy(), term_strategy(), 0.01f64..=1.0, prop::option::of(1900i32..2030)),
+            0..30
+        ),
+        labels in prop::collection::vec((term_strategy(), term_strategy()), 0..10),
+    ) {
+        let mut kb = KnowledgeBase::new();
+        for (s, p, o, conf, year) in &facts {
+            let t = Triple::new(kb.intern(s), kb.intern(p), kb.intern(o));
+            kb.add_fact(Fact {
+                triple: t,
+                confidence: *conf,
+                source: SourceId::DEFAULT,
+                span: year.map(|y| TimeSpan::at(TimePoint::year(y))),
+            });
+        }
+        let en = kb.labels.lang("en");
+        for (term, form) in &labels {
+            let t = kb.intern(term);
+            kb.labels.add(t, en, form);
+        }
+        let text = kb_store::ntriples::to_string(&kb).unwrap();
+        let kb2 = kb_store::ntriples::from_str(&text).unwrap();
+        prop_assert_eq!(kb2.len(), kb.len());
+        prop_assert_eq!(kb2.labels.label_count(), kb.labels.label_count());
+        for f in kb.iter() {
+            let s = kb.resolve(f.triple.s).unwrap();
+            let p = kb.resolve(f.triple.p).unwrap();
+            let o = kb.resolve(f.triple.o).unwrap();
+            let t2 = Triple::new(
+                kb2.term(s).unwrap(),
+                kb2.term(p).unwrap(),
+                kb2.term(o).unwrap(),
+            );
+            let f2 = kb2.fact_for(&t2).expect("fact survived");
+            prop_assert!((f2.confidence - f.confidence).abs() < 1e-9);
+            prop_assert_eq!(f2.span, f.span);
+        }
+    }
+
+    /// TimeSpan overlap is symmetric; contains implies overlap with the
+    /// instant span.
+    #[test]
+    fn timespan_axioms(
+        b1 in 1900i32..2030, len1 in 0i32..40,
+        b2 in 1900i32..2030, len2 in 0i32..40,
+        probe in 1900i32..2070,
+    ) {
+        let s1 = TimeSpan::between(TimePoint::year(b1), TimePoint::year(b1 + len1)).unwrap();
+        let s2 = TimeSpan::between(TimePoint::year(b2), TimePoint::year(b2 + len2)).unwrap();
+        prop_assert_eq!(s1.overlaps(&s2), s2.overlaps(&s1));
+        prop_assert!(s1.overlaps(&s1));
+        let p = TimePoint::year(probe);
+        if s1.contains(&p) {
+            prop_assert!(s1.overlaps(&TimeSpan::at(p)));
+        }
+    }
+}
+
+proptest! {
+    /// The N-Triples parser never panics on arbitrary input: every
+    /// outcome is Ok or a structured parse error.
+    #[test]
+    fn ntriples_parser_is_total(input in "\\PC{0,300}") {
+        let _ = kb_store::ntriples::from_str(&input);
+    }
+
+    /// Parser totality on inputs that look almost like records.
+    #[test]
+    fn ntriples_parser_survives_recordish_lines(
+        kind in "[TCSL#X]",
+        fields in prop::collection::vec("[a-z0-9.\\-\\\\]{0,10}", 0..8),
+    ) {
+        let line = format!("{kind}\t{}", fields.join("\t"));
+        let _ = kb_store::ntriples::from_str(&line);
+    }
+
+    /// The conjunctive-query engine agrees with a brute-force join on
+    /// random small KBs and random two-pattern queries.
+    #[test]
+    fn query_engine_matches_brute_force(
+        triples in prop::collection::vec((0u32..6, 0u32..3, 0u32..6), 1..30),
+        p1 in 0u32..3, p2 in 0u32..3,
+    ) {
+        let mut kb = KnowledgeBase::new();
+        for &(s, p, o) in &triples {
+            kb.assert_str(&format!("e{s}"), &format!("r{p}"), &format!("e{o}"));
+        }
+        let q = format!("?x r{p1} ?y . ?y r{p2} ?z");
+        let Ok(solutions) = kb_store::query::query(&kb, &q) else {
+            // r{p} may be absent from the dictionary: fine.
+            return Ok(());
+        };
+        // Brute force over the raw triple list.
+        let mut expected: Vec<(String, String, String)> = Vec::new();
+        for &(s1, r1, o1) in &triples {
+            if r1 != p1 { continue; }
+            for &(s2, r2, o2) in &triples {
+                if r2 != p2 || o1 != s2 { continue; }
+                let row = (format!("e{s1}"), format!("e{o1}"), format!("e{o2}"));
+                if !expected.contains(&row) {
+                    expected.push(row);
+                }
+            }
+        }
+        let mut got: Vec<(String, String, String)> = solutions
+            .iter()
+            .map(|b| {
+                (
+                    kb.resolve(b.get("x").unwrap()).unwrap().to_string(),
+                    kb.resolve(b.get("y").unwrap()).unwrap().to_string(),
+                    kb.resolve(b.get("z").unwrap()).unwrap().to_string(),
+                )
+            })
+            .collect();
+        got.sort();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// merge_from + canonicalize preserve the fact *content* modulo
+    /// sameAs classes: every original statement is still derivable.
+    #[test]
+    fn fusion_preserves_content(
+        triples in prop::collection::vec((0u32..6, 0u32..2, 0u32..6), 1..20),
+        aliases in prop::collection::vec((0u32..6, 0u32..6), 0..4),
+    ) {
+        let mut a = KnowledgeBase::new();
+        for &(s, p, o) in &triples {
+            a.assert_str(&format!("e{s}"), &format!("r{p}"), &format!("e{o}"));
+        }
+        let mut b = KnowledgeBase::new();
+        let merged_new = b.merge_from(&a);
+        prop_assert_eq!(merged_new, a.len());
+        prop_assert_eq!(b.len(), a.len());
+        for &(x, y) in &aliases {
+            let tx = b.intern(&format!("e{x}"));
+            let ty = b.intern(&format!("e{y}"));
+            b.sameas.declare(tx, ty);
+        }
+        b.canonicalize();
+        // Every original triple still holds under canonicalization.
+        for &(s, p, o) in &triples {
+            let ts = b.sameas.canon(b.term(&format!("e{s}")).unwrap());
+            let tp = b.term(&format!("r{p}")).unwrap();
+            let to = b.sameas.canon(b.term(&format!("e{o}")).unwrap());
+            prop_assert!(
+                b.contains(&Triple::new(ts, tp, to)),
+                "lost fact e{s} r{p} e{o} after canonicalization"
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The tutorial's §4 motivating example: track and compare two rival
+//! products in a social-media stream over several months.
+//!
+//! ```text
+//! cargo run --release --example entity_tracking
+//! ```
+
+use kbkit::kb_analytics::exec::aggregate_parallel;
+use kbkit::kb_analytics::stream::from_corpus;
+use kbkit::kb_analytics::{ComparisonReport, StreamPost, Tracker};
+use kbkit::kb_corpus::{Corpus, CorpusConfig};
+use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, Method};
+use kbkit::kb_ned::Ned;
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig::tiny());
+    let world = &corpus.world;
+
+    // Build the KB the tracker will resolve mentions against.
+    let out = harvest(&corpus, &HarvestConfig { method: Method::Reasoning, ..Default::default() });
+    let kb = &out.kb;
+
+    // NED engine with anchor statistics from the corpus articles.
+    let mut ned = Ned::new(kb);
+    for doc in corpus.all_docs() {
+        for m in &doc.mentions {
+            if let Some(term) = kb.term(&world.entity(m.entity).canonical) {
+                ned.add_anchor(&m.surface, term);
+            }
+        }
+    }
+    ned.finalize();
+
+    // Track the two rival flagship phones.
+    let (pa, pb) = world.rival_products;
+    let name_a = &world.entity(pa).display;
+    let name_b = &world.entity(pb).display;
+    let term_a = kb.term(&world.entity(pa).canonical).expect("A in KB");
+    let term_b = kb.term(&world.entity(pb).canonical).expect("B in KB");
+    println!("tracking {name_a} vs {name_b} over {} posts...", corpus.posts.len());
+
+    let tracker = Tracker::new(&ned, vec![term_a, term_b]);
+    let posts: Vec<StreamPost> = corpus.posts.iter().map(from_corpus).collect();
+    let series = aggregate_parallel(&tracker, kb, &posts, 4);
+
+    let report = ComparisonReport::new(
+        name_a,
+        series[&term_a].clone(),
+        name_b,
+        series[&term_b].clone(),
+    );
+    println!("\n{report}");
+}

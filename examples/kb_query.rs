@@ -1,0 +1,66 @@
+//! Conjunctive queries over a harvested knowledge base — the "semantic
+//! search over entities and relations" the tutorial motivates.
+//!
+//! ```text
+//! cargo run --release --example kb_query
+//! ```
+
+use kbkit::kb_corpus::{Corpus, CorpusConfig};
+use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig};
+use kbkit::kb_store::query::query;
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig::tiny());
+    let out = harvest(&corpus, &HarvestConfig::default());
+    let kb = &out.kb;
+    println!("harvested KB: {} facts\n", kb.len());
+
+    // Pick a country that actually has harvested residents so the demo
+    // always shows results.
+    let country = kb
+        .matching(&kbkit::kb_store::TriplePattern::with_p(
+            kb.term("locatedIn").expect("locatedIn harvested"),
+        ))
+        .first()
+        .map(|f| kb.resolve(f.triple.o).unwrap().to_string())
+        .expect("some city is located somewhere");
+
+    let queries = [
+        // Who was born in cities of that country?
+        format!("?p bornIn ?city . ?city locatedIn {country}"),
+        // Founders and where their companies are headquartered.
+        "?founder founded ?co . ?co headquarteredIn ?city".to_string(),
+        // Married couples who studied at the same university.
+        "?a marriedTo ?b . ?a studiedAt ?u . ?b studiedAt ?u".to_string(),
+    ];
+    // Keep only queries whose constant relations were actually harvested
+    // on this corpus (tiny corpora may miss rare paraphrase patterns).
+    let queries: Vec<String> = queries
+        .into_iter()
+        .filter(|q| {
+            q.split_whitespace()
+                .filter(|tok| !tok.starts_with('?') && *tok != ".")
+                .all(|tok| kb.term(tok).is_some())
+        })
+        .collect();
+    for q in &queries {
+        println!("query: {q}");
+        match query(kb, q) {
+            Ok(solutions) => {
+                println!("  {} solutions", solutions.len());
+                for b in solutions.iter().take(4) {
+                    let rendered: Vec<String> = b
+                        .iter_sorted()
+                        .into_iter()
+                        .map(|(var, term)| {
+                            format!("?{var} = {}", kb.resolve(term).unwrap_or("?"))
+                        })
+                        .collect();
+                    println!("    {}", rendered.join(", "));
+                }
+            }
+            Err(e) => println!("  error: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: generate a synthetic corpus, harvest a knowledge base
+//! from it, and query the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kbkit::kb_corpus::{Corpus, CorpusConfig};
+use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, Method};
+use kbkit::kb_store::{ntriples, TriplePattern};
+
+fn main() {
+    // 1. Generate a deterministic synthetic world + corpus (the stand-in
+    //    for Wikipedia/web sources; see DESIGN.md).
+    let corpus = Corpus::generate(&CorpusConfig::tiny());
+    println!(
+        "corpus: {} entities, {} gold facts, {} documents",
+        corpus.world.entities.len(),
+        corpus.world.facts.len(),
+        corpus.all_docs().len()
+    );
+
+    // 2. Harvest: taxonomy induction + distant-supervised pattern
+    //    extraction + MaxSat consistency reasoning.
+    let cfg = HarvestConfig { method: Method::Reasoning, ..Default::default() };
+    let out = harvest(&corpus, &cfg);
+    println!("\nharvest: {}", "-".repeat(40));
+    println!("{}", out.kb.stats());
+
+    // 3. Query the knowledge base.
+    let kb = &out.kb;
+    if let Some(born_in) = kb.term("bornIn") {
+        let births = kb.matching(&TriplePattern::with_p(born_in));
+        println!("\nfirst harvested birthplaces:");
+        for fact in births.iter().take(5) {
+            println!(
+                "  {} bornIn {}   (confidence {:.2}{})",
+                kb.resolve(fact.triple.s).unwrap_or("?"),
+                kb.resolve(fact.triple.o).unwrap_or("?"),
+                fact.confidence,
+                fact.span.map(|s| format!(", {s}")).unwrap_or_default()
+            );
+        }
+    }
+
+    // 4. Taxonomy queries.
+    if let (Some(ent), Some(person)) = (kb.term("entrepreneur"), kb.term("person")) {
+        println!(
+            "\nentrepreneur ⊑ person: {}",
+            kb.taxonomy.is_subclass_of(ent, person)
+        );
+    }
+
+    // 5. Serialize and reload.
+    let dump = ntriples::to_string(kb).expect("serialize");
+    let reloaded = ntriples::from_str(&dump).expect("parse");
+    println!(
+        "\nserialized {} bytes; reloaded KB has {} facts (round-trip ok: {})",
+        dump.len(),
+        reloaded.len(),
+        reloaded.len() == kb.len()
+    );
+}

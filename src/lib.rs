@@ -1,0 +1,26 @@
+//! # kbkit
+//!
+//! Umbrella crate re-exporting the whole knowledge-base construction and
+//! analytics toolkit — a from-scratch Rust realization of the system
+//! landscape surveyed in Suchanek & Weikum, *Knowledge Bases in the Age
+//! of Big Data Analytics* (VLDB 2014).
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`kb_store`] | RDF-style SPO triple store with taxonomy, sameAs, temporal scopes, multilingual labels |
+//! | [`kb_nlp`] | shallow NLP: tokenization, POS tagging, chunking, similarity, TF-IDF, sequence mining |
+//! | [`kb_corpus`] | deterministic synthetic world + corpus generator with ground truth |
+//! | [`kb_harvest`] | knowledge harvesting: taxonomy induction, pattern/statistical/logical fact extraction, Open IE, temporal, commonsense, multilingual |
+//! | [`kb_ned`] | named entity disambiguation: priors, context, coherence |
+//! | [`kb_link`] | entity linkage: blocking, matchers, constrained clustering |
+//! | [`kb_analytics`] | entity-centric stream analytics |
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use kb_analytics;
+pub use kb_corpus;
+pub use kb_harvest;
+pub use kb_link;
+pub use kb_ned;
+pub use kb_nlp;
+pub use kb_store;

@@ -1,0 +1,199 @@
+//! The `kbkit` command-line tool: harvest a knowledge base from a
+//! synthetic corpus, inspect it, query it, mine rules from it, and
+//! disambiguate text against it.
+//!
+//! ```text
+//! kbkit harvest --scale tiny --seed 42 --out kb.tsv
+//! kbkit stats kb.tsv
+//! kbkit query kb.tsv '?p bornIn ?c . ?c locatedIn ?n'
+//! kbkit rules kb.tsv
+//! kbkit ned kb.tsv 'Some text mentioning Known Entities.'
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use kbkit::kb_corpus::{Corpus, CorpusConfig};
+use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, Method};
+use kbkit::kb_harvest::rules::{mine_rules, RuleConfig};
+use kbkit::kb_ned::{detect_mentions, Ned, Strategy};
+use kbkit::kb_store::{ntriples, query::query, KnowledgeBase};
+
+const USAGE: &str = "\
+kbkit — knowledge-base construction and analytics toolkit
+
+USAGE:
+  kbkit harvest [--scale tiny|standard] [--seed N] [--method M] [--out FILE]
+      Build a KB from a generated corpus and write it as TSV.
+      Methods: patterns | statistical | reasoning (default) | factorgraph
+  kbkit stats <kb.tsv>
+      Print knowledge-base statistics.
+  kbkit query <kb.tsv> <query>
+      Run a conjunctive query, e.g. '?p bornIn ?c . ?c locatedIn ?n'.
+  kbkit rules <kb.tsv> [--min-support N]
+      Mine AMIE-style Horn rules from the KB.
+  kbkit ned <kb.tsv> <text>
+      Detect and disambiguate entity mentions in the text.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("harvest") => cmd_harvest(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("rules") => cmd_rules(&args[1..]),
+        Some("ned") => cmd_ned(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Reads `--flag value` style options from an argument list.
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// First argument that is not a flag or a flag value.
+fn positional(args: &[String]) -> Option<&str> {
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_next = true;
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+fn load_kb(path: &str) -> Result<KnowledgeBase, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    ntriples::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn cmd_harvest(args: &[String]) -> Result<(), String> {
+    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let scale = opt(args, "--scale").unwrap_or("tiny");
+    let mut cfg = match scale {
+        "tiny" => CorpusConfig::tiny(),
+        "standard" => CorpusConfig::standard(seed),
+        other => return Err(format!("unknown --scale {other:?} (tiny|standard)")),
+    };
+    cfg.world.seed = seed;
+    let method = match opt(args, "--method").unwrap_or("reasoning") {
+        "patterns" => Method::PatternsOnly,
+        "statistical" => Method::Statistical,
+        "reasoning" => Method::Reasoning,
+        "factorgraph" => Method::FactorGraph,
+        other => return Err(format!("unknown --method {other:?}")),
+    };
+    let out_path = opt(args, "--out").unwrap_or("kb.tsv");
+
+    eprintln!("generating {scale} corpus (seed {seed})...");
+    let corpus = Corpus::generate(&cfg);
+    eprintln!(
+        "  {} entities, {} documents, {} posts",
+        corpus.world.entities.len(),
+        corpus.all_docs().len(),
+        corpus.posts.len()
+    );
+    eprintln!("harvesting ({method:?})...");
+    let output = harvest(&corpus, &HarvestConfig { method, ..Default::default() });
+    eprintln!(
+        "  {} occurrences → {} candidates → {} accepted facts",
+        output.stats.occurrences, output.stats.candidates, output.stats.accepted
+    );
+    let dump = ntriples::to_string(&output.kb).map_err(|e| e.to_string())?;
+    fs::write(out_path, &dump).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!("wrote {} bytes to {out_path}", dump.len());
+    println!("{}", output.kb.stats());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("stats needs a KB file")?;
+    let kb = load_kb(path)?;
+    println!("{}", kb.stats());
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("query needs a KB file and a query")?;
+    let q = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .ok_or("query needs a query string")?;
+    let kb = load_kb(path)?;
+    let solutions = query(&kb, q).map_err(|e| e.to_string())?;
+    println!("{} solutions", solutions.len());
+    for b in solutions.iter().take(50) {
+        let rendered: Vec<String> = b
+            .iter_sorted()
+            .into_iter()
+            .map(|(var, term)| format!("?{var}={}", kb.resolve(term).unwrap_or("?")))
+            .collect();
+        println!("  {}", rendered.join("  "));
+    }
+    Ok(())
+}
+
+fn cmd_rules(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("rules needs a KB file")?;
+    let min_support: usize = opt(args, "--min-support")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| "bad --min-support")?;
+    let kb = load_kb(path)?;
+    let cfg = RuleConfig { min_support, ..Default::default() };
+    let rules = mine_rules(&kb, &cfg);
+    println!("{} rules", rules.len());
+    for r in &rules {
+        println!("  {r}");
+    }
+    Ok(())
+}
+
+fn cmd_ned(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("ned needs a KB file and text")?;
+    let text = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .ok_or("ned needs a text argument")?;
+    let kb = load_kb(path)?;
+    let mut ned = Ned::new(&kb);
+    ned.finalize();
+    let mentions = detect_mentions(&kb, text);
+    if mentions.is_empty() {
+        println!("no known mentions detected");
+        return Ok(());
+    }
+    let spans: Vec<(usize, usize)> = mentions.iter().map(|m| (m.start, m.end)).collect();
+    let resolved = ned.disambiguate(text, &spans, Strategy::Coherence);
+    for (m, r) in mentions.iter().zip(resolved) {
+        match r {
+            Some(t) => println!("  {:>20}  →  {}", m.surface, kb.resolve(t).unwrap_or("?")),
+            None => println!("  {:>20}  →  NIL", m.surface),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Integration tests for the `kbkit` CLI binary.
+
+use std::process::Command;
+
+fn kbkit() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kbkit"))
+}
+
+fn harvest_to(path: &std::path::Path) {
+    let status = kbkit()
+        .args([
+            "harvest",
+            "--scale",
+            "tiny",
+            "--seed",
+            "42",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .expect("spawn kbkit");
+    assert!(status.success());
+    assert!(path.exists());
+}
+
+#[test]
+fn harvest_stats_query_rules_ned_round_trip() {
+    let dir = std::env::temp_dir().join("kbkit-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kb_path = dir.join("kb.tsv");
+    harvest_to(&kb_path);
+
+    // stats
+    let out = kbkit()
+        .args(["stats", kb_path.to_str().unwrap()])
+        .output()
+        .expect("stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("facts:"), "{stdout}");
+
+    // query
+    let out = kbkit()
+        .args([
+            "query",
+            kb_path.to_str().unwrap(),
+            "?p bornIn ?c . ?c locatedIn ?n",
+        ])
+        .output()
+        .expect("query");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("solutions"), "{stdout}");
+
+    // rules
+    let out = kbkit()
+        .args(["rules", kb_path.to_str().unwrap(), "--min-support", "3"])
+        .output()
+        .expect("rules");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rules"), "{stdout}");
+
+    // ned: pick an entity name straight from the KB dump.
+    let dump = std::fs::read_to_string(&kb_path).unwrap();
+    let label_line = dump
+        .lines()
+        .find(|l| l.starts_with("L\t"))
+        .expect("dump has labels");
+    let surface = label_line.split('\t').nth(3).unwrap();
+    let text = format!("I read about {surface} yesterday.");
+    let out = kbkit()
+        .args(["ned", kb_path.to_str().unwrap(), &text])
+        .output()
+        .expect("ned");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains('→'), "{stdout}");
+}
+
+#[test]
+fn help_and_errors() {
+    let out = kbkit().arg("--help").output().expect("help");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = kbkit().arg("frobnicate").output().expect("bad cmd");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = kbkit()
+        .args(["stats", "/nonexistent/kb.tsv"])
+        .output()
+        .expect("bad file");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,84 @@
+//! Seed-sweep invariants: properties that must hold for *any* corpus
+//! seed, exercised across several seeds (a cheap cross-crate
+//! property-test layer on top of the per-crate proptest suites).
+
+use kbkit::kb_corpus::{gold, Corpus, CorpusConfig};
+use kbkit::kb_harvest::pipeline::{evaluate_discovered, harvest, HarvestConfig};
+use kbkit::kb_store::ntriples;
+
+fn corpus_for(seed: u64) -> Corpus {
+    let mut cfg = CorpusConfig::tiny();
+    cfg.world.seed = seed;
+    Corpus::generate(&cfg)
+}
+
+const SEEDS: [u64; 5] = [1, 7, 42, 1234, 987654321];
+
+#[test]
+fn mention_offsets_are_valid_for_every_seed() {
+    for seed in SEEDS {
+        let corpus = corpus_for(seed);
+        for doc in corpus.all_docs() {
+            for m in &doc.mentions {
+                assert_eq!(
+                    &doc.text[m.start..m.end],
+                    m.surface,
+                    "bad mention in seed {seed}, doc {}",
+                    doc.title
+                );
+            }
+        }
+        for post in &corpus.posts {
+            for m in &post.mentions {
+                assert_eq!(&post.text[m.start..m.end], m.surface);
+            }
+        }
+    }
+}
+
+#[test]
+fn world_gold_is_schema_consistent_for_every_seed() {
+    for seed in SEEDS {
+        let corpus = corpus_for(seed);
+        let w = &corpus.world;
+        for f in &w.facts {
+            assert_eq!(w.entity(f.s).kind, f.rel.domain(), "seed {seed}");
+            assert_eq!(w.entity(f.o).kind, f.rel.range(), "seed {seed}");
+            if let (Some(b), Some(e)) = (f.begin, f.end) {
+                assert!(b <= e, "seed {seed}: inverted span {f:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn harvest_precision_floor_holds_for_every_seed() {
+    for seed in SEEDS {
+        let corpus = corpus_for(seed);
+        let out = harvest(&corpus, &HarvestConfig::default());
+        let gold_facts = gold::gold_fact_strings(&corpus.world);
+        let m = evaluate_discovered(&out.accepted, &gold_facts, &out.seeds);
+        assert!(
+            m.precision > 0.5,
+            "seed {seed}: precision {} below floor",
+            m.precision
+        );
+        assert!(!out.kb.is_empty(), "seed {seed}: empty KB");
+    }
+}
+
+#[test]
+fn serialization_round_trips_for_every_seed() {
+    for seed in SEEDS {
+        let corpus = corpus_for(seed);
+        let out = harvest(&corpus, &HarvestConfig::default());
+        let text = ntriples::to_string(&out.kb).expect("serialize");
+        let back = ntriples::from_str(&text).expect("parse");
+        assert_eq!(back.len(), out.kb.len(), "seed {seed}");
+        assert_eq!(
+            ntriples::to_string(&back).unwrap(),
+            text,
+            "seed {seed}: unstable round trip"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration: corpus → harvest → knowledge base, checking
+//! cross-crate invariants the unit tests cannot see.
+
+use kbkit::kb_corpus::{gold, Corpus, CorpusConfig};
+use kbkit::kb_harvest::pipeline::{evaluate_discovered, harvest, HarvestConfig, Method};
+use kbkit::kb_store::{ntriples, TriplePattern};
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig::tiny())
+}
+
+#[test]
+fn harvested_kb_is_internally_consistent() {
+    let corpus = corpus();
+    let out = harvest(&corpus, &HarvestConfig::default());
+    let kb = &out.kb;
+
+    // Every accepted candidate materialized as a live fact whose terms
+    // resolve back to the candidate strings.
+    for c in &out.accepted {
+        let s = kb.term(&c.subject).expect("subject interned");
+        let p = kb.term(&c.relation).expect("relation interned");
+        let o = kb.term(&c.object).expect("object interned");
+        let t = kbkit::kb_store::Triple::new(s, p, o);
+        let fact = kb.fact_for(&t).expect("accepted fact is live");
+        assert!(fact.confidence > 0.0 && fact.confidence <= 1.0);
+    }
+
+    // Every taxonomy class mentioned by an instanceOf fact is a
+    // registered class.
+    let instance_of = kb.term("instanceOf").expect("instanceOf predicate");
+    for fact in kb.matching(&TriplePattern::with_p(instance_of)) {
+        assert!(
+            kb.taxonomy.contains(fact.triple.o),
+            "class {:?} not registered",
+            kb.resolve(fact.triple.o)
+        );
+    }
+
+    // Confidence is a probability everywhere.
+    for fact in kb.iter() {
+        assert!((0.0..=1.0).contains(&fact.confidence));
+    }
+}
+
+#[test]
+fn harvest_is_deterministic_across_runs() {
+    let c1 = corpus();
+    let c2 = corpus();
+    let out1 = harvest(&c1, &HarvestConfig::default());
+    let out2 = harvest(&c2, &HarvestConfig::default());
+    let keys1: Vec<_> = out1.accepted.iter().map(|c| c.key()).collect();
+    let keys2: Vec<_> = out2.accepted.iter().map(|c| c.key()).collect();
+    assert_eq!(keys1, keys2);
+    assert_eq!(out1.kb.len(), out2.kb.len());
+}
+
+#[test]
+fn harvested_kb_survives_serialization() {
+    let corpus = corpus();
+    let out = harvest(&corpus, &HarvestConfig::default());
+    let text = ntriples::to_string(&out.kb).expect("serialize");
+    let reloaded = ntriples::from_str(&text).expect("reload");
+    assert_eq!(reloaded.len(), out.kb.len());
+    assert_eq!(reloaded.labels.label_count(), out.kb.labels.label_count());
+    assert_eq!(
+        reloaded.taxonomy.edge_count(),
+        out.kb.taxonomy.edge_count()
+    );
+    // Double round-trip is byte-stable.
+    let text2 = ntriples::to_string(&reloaded).expect("serialize again");
+    assert_eq!(text, text2);
+}
+
+#[test]
+fn every_method_clears_a_quality_floor() {
+    let corpus = corpus();
+    let gold_facts = gold::gold_fact_strings(&corpus.world);
+    for method in [
+        Method::PatternsOnly,
+        Method::Statistical,
+        Method::Reasoning,
+        Method::FactorGraph,
+    ] {
+        let out = harvest(&corpus, &HarvestConfig { method, ..Default::default() });
+        let m = evaluate_discovered(&out.accepted, &gold_facts, &out.seeds);
+        assert!(m.precision > 0.5, "{method:?} precision {}", m.precision);
+        assert!(!out.accepted.is_empty(), "{method:?} accepted nothing");
+    }
+}
+
+#[test]
+fn noise_free_corpus_yields_higher_precision_than_noisy() {
+    let clean = Corpus::generate(&CorpusConfig::clean());
+    let mut noisy_cfg = CorpusConfig::clean();
+    noisy_cfg.noise_rate = 0.35;
+    let noisy = Corpus::generate(&noisy_cfg);
+    let gold_clean = gold::gold_fact_strings(&clean.world);
+    let gold_noisy = gold::gold_fact_strings(&noisy.world);
+    let cfg = HarvestConfig { method: Method::PatternsOnly, ..Default::default() };
+    let out_clean = harvest(&clean, &cfg);
+    let out_noisy = harvest(&noisy, &cfg);
+    let m_clean = evaluate_discovered(&out_clean.accepted, &gold_clean, &out_clean.seeds);
+    let m_noisy = evaluate_discovered(&out_noisy.accepted, &gold_noisy, &out_noisy.seeds);
+    assert!(
+        m_clean.precision >= m_noisy.precision,
+        "clean {} < noisy {}",
+        m_clean.precision,
+        m_noisy.precision
+    );
+}
+
+#[test]
+fn seed_fraction_trades_recall() {
+    let corpus = corpus();
+    let gold_facts = gold::gold_fact_strings(&corpus.world);
+    let run = |fraction: f64| {
+        let out = harvest(
+            &corpus,
+            &HarvestConfig { seed_fraction: fraction, ..Default::default() },
+        );
+        evaluate_discovered(&out.accepted, &gold_facts, &out.seeds)
+    };
+    let low = run(0.1);
+    let high = run(0.5);
+    // More seeds → more patterns learned → at least as much recall
+    // (allowing small fluctuations from the shrunken gold remainder).
+    assert!(
+        high.recall >= low.recall - 0.05,
+        "high-seed recall {} vs low-seed {}",
+        high.recall,
+        low.recall
+    );
+}
