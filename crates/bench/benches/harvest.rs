@@ -38,7 +38,9 @@ fn bench_harvest(c: &mut Criterion) {
             |b, &w| {
                 b.iter(|| {
                     black_box(
-                        collect_parallel(&docs, &canonical_of, &CollectConfig::default(), w).len(),
+                        collect_parallel(&docs, &canonical_of, &CollectConfig::default(), w)
+                            .expect("collection failed")
+                            .len(),
                     )
                 })
             },
@@ -51,13 +53,15 @@ fn bench_harvest(c: &mut Criterion) {
                     &CollectConfig::default(),
                     &OpenIeConfig::default(),
                     w,
-                );
+                )
+                .expect("analysis failed");
                 black_box(occs.len() + open.len())
             })
         });
     }
 
-    let occurrences = collect_parallel(&docs, &canonical_of, &CollectConfig::default(), 1);
+    let occurrences = collect_parallel(&docs, &canonical_of, &CollectConfig::default(), 1)
+        .expect("collection failed");
     let gold_facts = gold::gold_fact_strings(world);
     let seeds = stratified_seeds(&gold_facts, 0.25);
     group.bench_function("distant_train", |b| {

@@ -36,7 +36,8 @@ fn main() {
         HARNESS_SEED
     );
     let want = |id: &str| selected.is_empty() || selected.contains(&id);
-    let experiments: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+    type Experiment<'a> = (&'a str, Box<dyn Fn() -> String + 'a>);
+    let experiments: Vec<Experiment> = vec![
         ("t1", Box::new(|| exp_kb::t1(&corpus))),
         ("t2", Box::new(|| exp_taxonomy::t2(&corpus))),
         ("t3", Box::new(|| exp_facts::t3(&corpus))),

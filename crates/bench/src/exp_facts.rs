@@ -53,7 +53,8 @@ pub fn run_t3(corpus: &Corpus) -> Vec<FactsResult> {
             workers: 4,
             ..Default::default()
         };
-        let out = kb_harvest::pipeline::harvest(corpus, &cfg);
+        let out = kb_harvest::pipeline::harvest(corpus, &cfg)
+            .expect("harvest pipeline failed on a benchmark corpus");
         results.push(FactsResult {
             method: label.to_string(),
             accepted: out.accepted.len(),
@@ -108,7 +109,8 @@ pub fn f1(corpus: &Corpus) -> String {
 pub fn run_t7(corpus: &Corpus) -> temporal::TemporalAccuracy {
     let out = harvest_with(corpus, Method::Reasoning, 4);
     // gold (s, rel, o) -> (begin, end)
-    let mut gold_spans: HashMap<(String, String, String), (Option<i32>, Option<i32>)> = HashMap::new();
+    type GoldSpans = HashMap<(String, String, String), (Option<i32>, Option<i32>)>;
+    let mut gold_spans: GoldSpans = HashMap::new();
     for f in &corpus.world.facts {
         if f.rel.temporal() {
             gold_spans.insert(
@@ -238,7 +240,8 @@ pub fn f6(corpus: &Corpus) -> String {
         &CollectConfig::default(),
         &OpenIeConfig::default(),
         4,
-    );
+    )
+    .expect("parallel analysis failed on a benchmark corpus");
     let cat = category::harvest_categories(&docs, canonical_of);
     let hearst_found = hearst::harvest_hearst(&docs, canonical_of);
     let instances = induce::merge_instances(&[(&cat.instances, 0.9), (&hearst_found, 0.7)]);

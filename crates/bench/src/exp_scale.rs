@@ -40,7 +40,8 @@ pub fn run_f2(corpus: &Corpus, worker_counts: &[usize], repeat: usize) -> Vec<Sc
         let t0 = Instant::now();
         for _ in 0..repeat.max(1) {
             let (occs, open) =
-                analyze_parallel(&docs, &canonical_of, &collect_cfg, &openie_cfg, workers);
+                analyze_parallel(&docs, &canonical_of, &collect_cfg, &openie_cfg, workers)
+                    .expect("parallel analysis failed on a benchmark corpus");
             assert!(occs.len() + open.len() > 0 || docs.is_empty());
         }
         let secs = t0.elapsed().as_secs_f64() / repeat.max(1) as f64;
@@ -92,14 +93,16 @@ mod tests {
             &CollectConfig::default(),
             &OpenIeConfig::default(),
             1,
-        );
+        )
+        .expect("serial analysis failed");
         let (o4, f4) = analyze_parallel(
             &docs,
             &canonical_of,
             &CollectConfig::default(),
             &OpenIeConfig::default(),
             4,
-        );
+        )
+        .expect("parallel analysis failed");
         assert_eq!(o1, o4);
         assert_eq!(f1.len(), f4.len());
     }

@@ -21,7 +21,7 @@ pub fn small_corpus(seed: u64) -> Corpus {
 /// Runs the harvesting pipeline with the given method.
 pub fn harvest_with(corpus: &Corpus, method: Method, workers: usize) -> HarvestOutput {
     let cfg = HarvestConfig { method, workers, ..Default::default() };
-    harvest(corpus, &cfg)
+    harvest(corpus, &cfg).expect("harvest pipeline failed on a benchmark corpus")
 }
 
 /// Builds a NED engine over a harvested KB, using the corpus' article

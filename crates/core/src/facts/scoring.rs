@@ -96,7 +96,7 @@ pub fn type_verdict(c: &CandidateFact, types: &TypeIndex) -> TypeVerdict {
 /// Rescales candidate confidences in place according to their type
 /// verdicts, then re-sorts by confidence.
 pub fn apply_type_scoring(
-    candidates: &mut Vec<CandidateFact>,
+    candidates: &mut [CandidateFact],
     types: &TypeIndex,
     cfg: &ScoreConfig,
 ) {

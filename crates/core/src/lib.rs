@@ -31,6 +31,10 @@
 //! * **The pipeline** ([`pipeline`]): a multi-threaded end-to-end run
 //!   over a document collection producing a populated
 //!   [`kb_store::KnowledgeBase`].
+//! * **Resilience** ([`resilience`]): poison-document quarantine with a
+//!   dead-letter queue, deterministic retry/backoff, stage budgets and
+//!   the refinement degradation ladder — web-scale noise must not kill
+//!   the harvest.
 
 pub mod commonsense;
 pub mod factorgraph;
@@ -39,9 +43,14 @@ pub mod multilingual;
 pub mod openie;
 pub mod pipeline;
 pub mod reasoning;
+pub mod resilience;
 pub mod rules;
 pub mod taxonomy;
 pub mod temporal;
 
 pub use facts::extract::CandidateFact;
 pub use pipeline::{HarvestConfig, HarvestOutput};
+pub use resilience::{
+    Downgrade, DowngradeReason, PipelineError, Quarantined, QuarantineReason, ResilienceConfig,
+    RetryPolicy,
+};

@@ -1,7 +1,22 @@
 //! The end-to-end harvesting pipeline: documents in, populated
 //! knowledge base out — with document-parallel occurrence collection
 //! (the "scalable distributed algorithms" of the tutorial, realized as
-//! a multi-threaded worker pool).
+//! a multi-threaded worker pool) and a resilience layer that keeps the
+//! harvest alive on poisoned input.
+//!
+//! Failure model (see DESIGN.md, "Failure model"):
+//!
+//! * **Quarantine** — per-document work runs behind integrity
+//!   validation plus `catch_unwind`; a poison document lands in the
+//!   dead-letter queue ([`PipelineStats::quarantined`]) instead of
+//!   killing the run.
+//! * **Degradation** — the refinement stage falls back from
+//!   [`Method::Reasoning`] / [`Method::FactorGraph`] to
+//!   [`Method::Statistical`] when it panics or blows its budget, and
+//!   records the [`Downgrade`].
+//! * **No panics across the API** — [`harvest`] returns
+//!   `Result<_, PipelineError>`; worker joins and stage bodies are
+//!   shielded.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -12,9 +27,13 @@ use kb_store::{Fact, KnowledgeBase, TimeSpan, Triple};
 use crate::facts::distant::{self, FactKey, TrainConfig};
 use crate::facts::extract::{self, CandidateFact, ExtractConfig};
 use crate::facts::patterns::{self, CollectConfig, PatternOccurrence};
-use crate::facts::scoring::{self, ScoreConfig};
+use crate::facts::scoring::{self, ScoreConfig, TypeIndex};
 use crate::factorgraph::{self, GibbsConfig};
 use crate::reasoning::{self, SolverConfig};
+use crate::resilience::{
+    catch_panic, panic_payload_to_string, BudgetGuard, Downgrade, DowngradeReason, PipelineError,
+    Quarantined, QuarantineReason, ResilienceConfig,
+};
 use crate::taxonomy::induce::{self, MergedInstance};
 use crate::taxonomy::{category, hearst};
 use crate::temporal;
@@ -53,6 +72,8 @@ pub struct HarvestConfig {
     pub train: TrainConfig,
     /// Extraction parameters.
     pub extract: ExtractConfig,
+    /// Retry, quarantine and degradation knobs.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for HarvestConfig {
@@ -66,14 +87,16 @@ impl Default for HarvestConfig {
             collect: CollectConfig::default(),
             train: TrainConfig::default(),
             extract: ExtractConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
 
-/// Wall-clock timings and counters per stage.
+/// Wall-clock timings and counters per stage, plus the run's resilience
+/// ledger (dead letters, retries, downgrades).
 #[derive(Debug, Clone, Default)]
 pub struct PipelineStats {
-    /// Documents processed.
+    /// Documents that survived quarantine and were processed.
     pub docs: usize,
     /// Pattern occurrences collected.
     pub occurrences: usize,
@@ -89,6 +112,25 @@ pub struct PipelineStats {
     pub collect_secs: f64,
     /// Seconds spent in training + extraction + refinement.
     pub infer_secs: f64,
+    /// The dead-letter queue: every quarantined document with its
+    /// captured failure.
+    pub quarantined: Vec<Quarantined>,
+    /// Extra per-document extraction attempts spent on retries.
+    pub retries: usize,
+    /// Degradation-ladder rungs taken during refinement.
+    pub downgrades: Vec<Downgrade>,
+}
+
+impl PipelineStats {
+    /// Whether any stage was downgraded during the run.
+    pub fn downgraded(&self) -> bool {
+        !self.downgrades.is_empty()
+    }
+
+    /// Number of documents in the dead-letter queue.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
 }
 
 /// Everything the pipeline produces.
@@ -110,55 +152,76 @@ pub struct HarvestOutput {
     pub stats: PipelineStats,
 }
 
+/// Splits `docs` into per-worker chunks and joins the results without
+/// letting a worker panic escape: a panicking join becomes a
+/// [`PipelineError::WorkerPanic`].
+fn scoped_map_chunks<'env, T: Send>(
+    chunks: &'env [&'env [&'env Doc]],
+    stage: &'static str,
+    work: impl Fn(usize, &'env [&'env Doc]) -> T + Sync,
+) -> Result<Vec<T>, PipelineError> {
+    let joined = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(idx, chunk)| scope.spawn({ let work = &work; move |_| work(idx, chunk) }))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().map_err(|p| PipelineError::WorkerPanic {
+                    stage,
+                    detail: panic_payload_to_string(p),
+                })
+            })
+            .collect::<Result<Vec<T>, PipelineError>>()
+    })
+    .map_err(|p| PipelineError::WorkerPanic { stage, detail: panic_payload_to_string(p) })?;
+    joined
+}
+
 /// Collects occurrences over `docs` with `workers` threads. Output
-/// order equals the serial doc order regardless of worker count.
+/// order equals the serial doc order regardless of worker count. Worker
+/// panics surface as [`PipelineError`] instead of unwinding (for
+/// per-document quarantine semantics use [`collect_resilient`]).
 pub fn collect_parallel<'a>(
     docs: &[&Doc],
     canonical_of: &(impl Fn(kb_corpus::EntityId) -> &'a str + Sync),
     cfg: &CollectConfig,
     workers: usize,
-) -> Vec<PatternOccurrence> {
+) -> Result<Vec<PatternOccurrence>, PipelineError> {
     let workers = workers.max(1);
     if workers == 1 || docs.len() < 2 {
-        return docs
+        return Ok(docs
             .iter()
             .flat_map(|d| patterns::collect_occurrences(d, canonical_of, cfg))
-            .collect();
+            .collect());
     }
     let chunk_size = docs.len().div_ceil(workers);
     let chunks: Vec<&[&Doc]> = docs.chunks(chunk_size).collect();
-    let mut results: Vec<(usize, Vec<PatternOccurrence>)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .enumerate()
-            .map(|(idx, chunk)| {
-                scope.spawn(move |_| {
-                    let occs: Vec<PatternOccurrence> = chunk
-                        .iter()
-                        .flat_map(|d| patterns::collect_occurrences(d, canonical_of, cfg))
-                        .collect();
-                    (idx, occs)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope failed");
+    let mut results: Vec<(usize, Vec<PatternOccurrence>)> =
+        scoped_map_chunks(&chunks, "collect", |idx, chunk| {
+            let occs: Vec<PatternOccurrence> = chunk
+                .iter()
+                .flat_map(|d| patterns::collect_occurrences(d, canonical_of, cfg))
+                .collect();
+            (idx, occs)
+        })?;
     results.sort_by_key(|&(idx, _)| idx);
-    results.into_iter().flat_map(|(_, occs)| occs).collect()
+    Ok(results.into_iter().flat_map(|(_, occs)| occs).collect())
 }
 
 /// The per-document analysis stage: pattern-occurrence collection plus
 /// raw Open IE extraction — the pipeline's "map" work, parallelized
 /// over document chunks for experiment F2. Output order is independent
-/// of the worker count.
+/// of the worker count; worker panics surface as [`PipelineError`].
 pub fn analyze_parallel<'a>(
     docs: &[&Doc],
     canonical_of: &(impl Fn(kb_corpus::EntityId) -> &'a str + Sync),
     collect_cfg: &CollectConfig,
     openie_cfg: &crate::openie::OpenIeConfig,
     workers: usize,
-) -> (Vec<PatternOccurrence>, Vec<crate::openie::OpenFact>) {
+) -> Result<(Vec<PatternOccurrence>, Vec<crate::openie::OpenFact>), PipelineError> {
     let workers = workers.max(1);
     let analyze_chunk = |chunk: &[&Doc]| {
         let mut occs = Vec::new();
@@ -170,20 +233,13 @@ pub fn analyze_parallel<'a>(
         (occs, open)
     };
     if workers == 1 || docs.len() < 2 {
-        return analyze_chunk(docs);
+        return Ok(analyze_chunk(docs));
     }
     let chunk_size = docs.len().div_ceil(workers);
     let chunks: Vec<&[&Doc]> = docs.chunks(chunk_size).collect();
-    let mut results: Vec<(usize, (Vec<PatternOccurrence>, Vec<crate::openie::OpenFact>))> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .enumerate()
-                .map(|(idx, chunk)| scope.spawn(move |_| (idx, analyze_chunk(chunk))))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope failed");
+    type AnalyzedChunk = (usize, (Vec<PatternOccurrence>, Vec<crate::openie::OpenFact>));
+    let mut results: Vec<AnalyzedChunk> =
+        scoped_map_chunks(&chunks, "analyze", |idx, chunk| (idx, analyze_chunk(chunk)))?;
     results.sort_by_key(|&(idx, _)| idx);
     let mut occs = Vec::new();
     let mut open = Vec::new();
@@ -191,138 +247,314 @@ pub fn analyze_parallel<'a>(
         occs.extend(o);
         open.extend(f);
     }
-    (occs, open)
+    Ok((occs, open))
 }
 
-/// Runs the full pipeline over a corpus.
-pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> HarvestOutput {
-    let world = &corpus.world;
-    let docs = corpus.all_docs();
-    let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+/// What [`collect_resilient`] produced: the occurrences and survivors,
+/// plus the dead-letter queue and retry ledger.
+#[derive(Debug)]
+pub struct CollectOutcome {
+    /// Occurrences from surviving documents, in serial doc order.
+    pub occurrences: Vec<PatternOccurrence>,
+    /// Indices (into the input slice) of documents that survived.
+    pub survivors: Vec<usize>,
+    /// Quarantined documents, in serial doc order.
+    pub quarantined: Vec<Quarantined>,
+    /// Extra extraction attempts spent on retries.
+    pub retries: usize,
+}
 
-    // ---- Phase 1: entities & classes -------------------------------
-    let cat = category::harvest_categories(&docs, canonical_of);
-    let hearst_inst = hearst::harvest_hearst(&docs, canonical_of);
-    let instances = induce::merge_instances(&[(&cat.instances, 0.9), (&hearst_inst, 0.7)]);
-    let mut subclass_edges = cat.subclass_edges.clone();
-    for edge in induce::induce_subclasses(&instances, 0.95, 3) {
-        if !subclass_edges.contains(&edge) {
-            subclass_edges.push(edge);
+/// Per-document result inside the resilient collection workers.
+enum DocOutcome {
+    Survived(Vec<PatternOccurrence>),
+    Dead(QuarantineReason),
+}
+
+/// Fault-tolerant occurrence collection: each document is validated
+/// (mention spans in bounds, on char boundaries, entity ids below
+/// `entity_bound`) and then extracted behind `catch_unwind` with the
+/// configured retry policy. A document that fails validation or keeps
+/// panicking is quarantined; the rest of the harvest proceeds without
+/// it. Output order is deterministic and independent of `workers`.
+pub fn collect_resilient<'a>(
+    docs: &[&Doc],
+    canonical_of: &(impl Fn(kb_corpus::EntityId) -> &'a str + Sync),
+    cfg: &CollectConfig,
+    workers: usize,
+    res: &ResilienceConfig,
+    entity_bound: u32,
+) -> Result<CollectOutcome, PipelineError> {
+    let workers = workers.max(1);
+    let process = |doc: &Doc| -> (DocOutcome, u32) {
+        if let Some(defect) = doc.integrity_error(entity_bound) {
+            // Validation failures are permanent properties of the input;
+            // retrying cannot fix them.
+            return (DocOutcome::Dead(QuarantineReason::Defect(defect.to_string())), 1);
         }
-    }
-    let types = scoring::build_type_index(&instances, &subclass_edges);
-
-    // ---- Phase 2: occurrence collection (parallel) ------------------
-    let t0 = Instant::now();
-    let occurrences = collect_parallel(&docs, &canonical_of, &cfg.collect, cfg.workers);
-    let collect_secs = t0.elapsed().as_secs_f64();
-
-    // ---- Phase 3: distant supervision + extraction ------------------
-    let t1 = Instant::now();
-    let gold_facts = gold::gold_fact_strings(world);
-    let seeds = distant::stratified_seeds(&gold_facts, cfg.seed_fraction);
-    let model = distant::train(&occurrences, &seeds, &cfg.train);
-    let mut candidates = extract::extract_candidates(&occurrences, &model, &cfg.extract);
-    if cfg.generalize {
-        use crate::facts::generalize::{extract_generalized, generalize, GeneralizeConfig};
-        let skeletons = generalize(&model, &GeneralizeConfig::default());
-        let extra = extract_generalized(&occurrences, &model, &skeletons);
-        // Merge: generalized candidates are new keys by construction
-        // (they only cover occurrences the exact model missed), but a
-        // fact can be seen both ways through different occurrences.
-        let mut by_key: std::collections::HashMap<_, usize> = candidates
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.key(), i))
-            .collect();
-        for g in extra {
-            match by_key.get(&g.key()) {
-                Some(&i) => {
-                    let c = &mut candidates[i];
-                    c.confidence = 1.0 - (1.0 - c.confidence) * (1.0 - g.confidence);
-                    c.support += g.support;
-                    c.hints.extend(g.hints);
-                }
-                None => {
-                    by_key.insert(g.key(), candidates.len());
-                    candidates.push(g);
-                }
+        let outcome = res.retry.run(|_| catch_panic(|| patterns::collect_occurrences(doc, canonical_of, cfg)));
+        match outcome.result {
+            Ok(occs) => (DocOutcome::Survived(occs), outcome.attempts),
+            Err(msg) => (DocOutcome::Dead(QuarantineReason::Panic(msg)), outcome.attempts),
+        }
+    };
+    let per_doc: Vec<(usize, (DocOutcome, u32))> = if workers == 1 || docs.len() < 2 {
+        docs.iter().enumerate().map(|(i, d)| (i, process(d))).collect()
+    } else {
+        let chunk_size = docs.len().div_ceil(workers);
+        let chunks: Vec<&[&Doc]> = docs.chunks(chunk_size).collect();
+        let mut results: Vec<Vec<(usize, (DocOutcome, u32))>> =
+            scoped_map_chunks(&chunks, "collect-resilient", |idx, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(off, d)| (idx * chunk_size + off, process(d)))
+                    .collect()
+            })?;
+        results.sort_by_key(|chunk| chunk.first().map_or(0, |&(i, _)| i));
+        results.into_iter().flatten().collect()
+    };
+    let mut out = CollectOutcome {
+        occurrences: Vec::new(),
+        survivors: Vec::new(),
+        quarantined: Vec::new(),
+        retries: 0,
+    };
+    for (i, (doc_outcome, attempts)) in per_doc {
+        out.retries += attempts.saturating_sub(1) as usize;
+        match doc_outcome {
+            DocOutcome::Survived(occs) => {
+                out.survivors.push(i);
+                out.occurrences.extend(occs);
             }
+            DocOutcome::Dead(reason) => out.quarantined.push(Quarantined {
+                doc_id: docs[i].id,
+                title: docs[i].title.clone(),
+                reason,
+                attempts,
+            }),
         }
     }
+    Ok(out)
+}
 
-    // ---- Phase 4: refinement ----------------------------------------
-    let accepted_idx: Vec<usize> = match cfg.method {
-        Method::PatternsOnly => (0..candidates.len())
-            .filter(|&i| candidates[i].confidence >= cfg.min_confidence)
-            .collect(),
+/// Indices of candidates clearing the acceptance threshold.
+fn threshold_filter(candidates: &[CandidateFact], min_confidence: f64) -> Vec<usize> {
+    (0..candidates.len()).filter(|&i| candidates[i].confidence >= min_confidence).collect()
+}
+
+/// The refinement stage with its graceful-degradation ladder.
+///
+/// [`Method::Reasoning`] and [`Method::FactorGraph`] run behind a panic
+/// shield and a wall-clock budget; if either trips, the stage falls
+/// back to the already-computed [`Method::Statistical`] scores and
+/// records the [`Downgrade`]. The budget check is cooperative (the
+/// result of an over-budget solve is discarded, not preempted), so a
+/// budget of `0` forces the ladder deterministically.
+fn refine_candidates(
+    candidates: &mut [CandidateFact],
+    types: &TypeIndex,
+    cfg: &HarvestConfig,
+) -> (Vec<usize>, Vec<Downgrade>) {
+    enum Refined {
+        Accepted(Vec<usize>),
+        Marginals(Vec<f64>),
+    }
+    let method = cfg.method;
+    match method {
+        Method::PatternsOnly => (threshold_filter(candidates, cfg.min_confidence), Vec::new()),
         Method::Statistical => {
-            scoring::apply_type_scoring(&mut candidates, &types, &ScoreConfig::default());
-            (0..candidates.len())
-                .filter(|&i| candidates[i].confidence >= cfg.min_confidence)
-                .collect()
+            scoring::apply_type_scoring(candidates, types, &ScoreConfig::default());
+            (threshold_filter(candidates, cfg.min_confidence), Vec::new())
         }
-        Method::Reasoning => {
-            scoring::apply_type_scoring(&mut candidates, &types, &ScoreConfig::default());
-            let outcome = reasoning::reason_candidates(&candidates, &types, &SolverConfig::default());
-            outcome
-                .accepted
-                .into_iter()
-                .filter(|&i| candidates[i].confidence >= cfg.min_confidence)
-                .collect()
-        }
-        Method::FactorGraph => {
-            scoring::apply_type_scoring(&mut candidates, &types, &ScoreConfig::default());
-            let marginals = factorgraph::infer_candidates(&candidates, &types, &GibbsConfig::default());
-            for (c, &m) in candidates.iter_mut().zip(&marginals) {
-                c.confidence = m;
+        Method::Reasoning | Method::FactorGraph => {
+            scoring::apply_type_scoring(candidates, types, &ScoreConfig::default());
+            let budget = cfg.resilience.refine_budget_secs;
+            let attempt = if budget <= 0.0 {
+                Err(DowngradeReason::BudgetExceeded { budget_secs: budget, elapsed_secs: 0.0 })
+            } else {
+                let guard = BudgetGuard::start(budget);
+                let shielded = catch_panic(|| {
+                    if cfg.resilience.inject_refine_panic {
+                        panic!("injected refinement fault (chaos hook)");
+                    }
+                    match method {
+                        Method::Reasoning => {
+                            let outcome = reasoning::reason_candidates(
+                                candidates,
+                                types,
+                                &SolverConfig::default(),
+                            );
+                            Refined::Accepted(
+                                outcome
+                                    .accepted
+                                    .into_iter()
+                                    .filter(|&i| candidates[i].confidence >= cfg.min_confidence)
+                                    .collect(),
+                            )
+                        }
+                        Method::FactorGraph => Refined::Marginals(factorgraph::infer_candidates(
+                            candidates,
+                            types,
+                            &GibbsConfig::default(),
+                        )),
+                        _ => unreachable!("outer match restricts the method"),
+                    }
+                });
+                match shielded {
+                    Ok(refined) if !guard.exceeded() => Ok(refined),
+                    Ok(_) => Err(DowngradeReason::BudgetExceeded {
+                        budget_secs: budget,
+                        elapsed_secs: guard.elapsed_secs(),
+                    }),
+                    Err(payload) => Err(DowngradeReason::Panicked(payload)),
+                }
+            };
+            match attempt {
+                Ok(Refined::Accepted(accepted)) => (accepted, Vec::new()),
+                Ok(Refined::Marginals(marginals)) => {
+                    for (c, &m) in candidates.iter_mut().zip(&marginals) {
+                        c.confidence = m;
+                    }
+                    (threshold_filter(candidates, cfg.min_confidence), Vec::new())
+                }
+                Err(reason) => {
+                    let downgrade = Downgrade {
+                        stage: "refinement",
+                        from: method,
+                        to: Method::Statistical,
+                        reason,
+                    };
+                    (threshold_filter(candidates, cfg.min_confidence), vec![downgrade])
+                }
             }
-            (0..candidates.len())
-                .filter(|&i| candidates[i].confidence >= cfg.min_confidence)
-                .collect()
-        }
-    };
-    let accepted: Vec<CandidateFact> = accepted_idx.iter().map(|&i| candidates[i].clone()).collect();
-    let infer_secs = t1.elapsed().as_secs_f64();
-
-    // ---- Phase 5: load KB -------------------------------------------
-    let mut kb = KnowledgeBase::new();
-    let src = kb.register_source("harvest");
-    induce::load_into_kb(&mut kb, &instances, &subclass_edges, "taxonomy")
-        .expect("taxonomy load cannot fail structurally");
-    for c in &accepted {
-        let triple = Triple::new(kb.intern(&c.subject), kb.intern(&c.relation), kb.intern(&c.object));
-        let span: Option<TimeSpan> = temporal::infer_span(&c.hints);
-        kb.add_fact(Fact { triple, confidence: c.confidence.min(1.0), source: src, span });
-    }
-    // Surface forms from mention annotations (the anchor-text signal).
-    let en = kb.labels.lang("en");
-    for doc in &docs {
-        for m in &doc.mentions {
-            let term = kb.intern(canonical_of(m.entity));
-            kb.labels.add(term, en, &m.surface);
         }
     }
+}
 
-    let stats = PipelineStats {
-        docs: docs.len(),
-        occurrences: occurrences.len(),
-        patterns_learned: model.len(),
-        candidates: candidates.len(),
-        accepted: accepted.len(),
-        instances: instances.len(),
-        collect_secs,
-        infer_secs,
-    };
-    HarvestOutput {
-        kb,
-        candidates,
-        accepted,
-        instances,
-        subclass_edges,
-        seeds,
-        stats,
-    }
+/// Runs the full pipeline over a corpus. Never panics on poisoned
+/// documents: structurally corrupt or extractor-crashing documents are
+/// quarantined into [`PipelineStats::quarantined`] and the harvest
+/// proceeds over the survivors.
+pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, PipelineError> {
+    let world = &corpus.world;
+    let all_docs = corpus.all_docs();
+    let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+    let entity_bound = world.entities.len() as u32;
+
+    // ---- Phase 1: quarantine + occurrence collection (parallel) -----
+    let t0 = Instant::now();
+    let collected = collect_resilient(
+        &all_docs,
+        &canonical_of,
+        &cfg.collect,
+        cfg.workers,
+        &cfg.resilience,
+        entity_bound,
+    )?;
+    let collect_secs = t0.elapsed().as_secs_f64();
+    let docs: Vec<&Doc> = collected.survivors.iter().map(|&i| all_docs[i]).collect();
+    let occurrences = collected.occurrences;
+    let quarantined = collected.quarantined;
+    let retries = collected.retries;
+
+    // The remaining stages run over validated survivors only; shield
+    // them anyway so no unexpected panic crosses the public API.
+    catch_panic(|| -> Result<HarvestOutput, PipelineError> {
+        // ---- Phase 2: entities & classes ----------------------------
+        let cat = category::harvest_categories(&docs, canonical_of);
+        let hearst_inst = hearst::harvest_hearst(&docs, canonical_of);
+        let instances = induce::merge_instances(&[(&cat.instances, 0.9), (&hearst_inst, 0.7)]);
+        let mut subclass_edges = cat.subclass_edges.clone();
+        for edge in induce::induce_subclasses(&instances, 0.95, 3) {
+            if !subclass_edges.contains(&edge) {
+                subclass_edges.push(edge);
+            }
+        }
+        let types = scoring::build_type_index(&instances, &subclass_edges);
+
+        // ---- Phase 3: distant supervision + extraction --------------
+        let t1 = Instant::now();
+        let gold_facts = gold::gold_fact_strings(world);
+        let seeds = distant::stratified_seeds(&gold_facts, cfg.seed_fraction);
+        let model = distant::train(&occurrences, &seeds, &cfg.train);
+        let mut candidates = extract::extract_candidates(&occurrences, &model, &cfg.extract);
+        if cfg.generalize {
+            use crate::facts::generalize::{extract_generalized, generalize, GeneralizeConfig};
+            let skeletons = generalize(&model, &GeneralizeConfig::default());
+            let extra = extract_generalized(&occurrences, &model, &skeletons);
+            // Merge: generalized candidates are new keys by construction
+            // (they only cover occurrences the exact model missed), but a
+            // fact can be seen both ways through different occurrences.
+            let mut by_key: std::collections::HashMap<_, usize> = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.key(), i))
+                .collect();
+            for g in extra {
+                match by_key.get(&g.key()) {
+                    Some(&i) => {
+                        let c = &mut candidates[i];
+                        c.confidence = 1.0 - (1.0 - c.confidence) * (1.0 - g.confidence);
+                        c.support += g.support;
+                        c.hints.extend(g.hints);
+                    }
+                    None => {
+                        by_key.insert(g.key(), candidates.len());
+                        candidates.push(g);
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 4: refinement (with degradation ladder) ----------
+        let (accepted_idx, downgrades) = refine_candidates(&mut candidates, &types, cfg);
+        let accepted: Vec<CandidateFact> =
+            accepted_idx.iter().map(|&i| candidates[i].clone()).collect();
+        let infer_secs = t1.elapsed().as_secs_f64();
+
+        // ---- Phase 5: load KB ---------------------------------------
+        let mut kb = KnowledgeBase::new();
+        let src = kb.register_source("harvest");
+        induce::load_into_kb(&mut kb, &instances, &subclass_edges, "taxonomy")?;
+        for c in &accepted {
+            let triple =
+                Triple::new(kb.intern(&c.subject), kb.intern(&c.relation), kb.intern(&c.object));
+            let span: Option<TimeSpan> = temporal::infer_span(&c.hints);
+            kb.add_fact(Fact { triple, confidence: c.confidence.min(1.0), source: src, span });
+        }
+        // Surface forms from mention annotations (the anchor-text signal).
+        let en = kb.labels.lang("en");
+        for doc in &docs {
+            for m in &doc.mentions {
+                let term = kb.intern(canonical_of(m.entity));
+                kb.labels.add(term, en, &m.surface);
+            }
+        }
+
+        let stats = PipelineStats {
+            docs: docs.len(),
+            occurrences: occurrences.len(),
+            patterns_learned: model.len(),
+            candidates: candidates.len(),
+            accepted: accepted.len(),
+            instances: instances.len(),
+            collect_secs,
+            infer_secs,
+            quarantined,
+            retries,
+            downgrades,
+        };
+        Ok(HarvestOutput {
+            kb,
+            candidates,
+            accepted,
+            instances,
+            subclass_edges,
+            seeds,
+            stats,
+        })
+    })
+    .map_err(|detail| PipelineError::StagePanic { stage: "harvest", detail })?
 }
 
 /// Evaluates accepted facts against gold, excluding the seeds from both
@@ -344,12 +576,13 @@ pub fn evaluate_discovered(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kb_corpus::CorpusConfig;
+    use crate::resilience::RetryPolicy;
+    use kb_corpus::{CorpusConfig, EntityId, Mention};
 
     fn run(method: Method) -> (Corpus, HarvestOutput) {
         let corpus = Corpus::generate(&CorpusConfig::tiny());
         let cfg = HarvestConfig { method, workers: 2, ..Default::default() };
-        let out = harvest(&corpus, &cfg);
+        let out = harvest(&corpus, &cfg).expect("harvest");
         (corpus, out)
     }
 
@@ -362,6 +595,8 @@ mod tests {
         assert!(!out.kb.is_empty());
         assert!(out.kb.labels.label_count() > 0);
         assert!(out.kb.taxonomy.class_count() > 0);
+        assert!(out.stats.quarantined.is_empty());
+        assert!(!out.stats.downgraded());
     }
 
     #[test]
@@ -394,8 +629,10 @@ mod tests {
     #[test]
     fn worker_count_does_not_change_results() {
         let corpus = Corpus::generate(&CorpusConfig::tiny());
-        let out1 = harvest(&corpus, &HarvestConfig { workers: 1, ..Default::default() });
-        let out4 = harvest(&corpus, &HarvestConfig { workers: 4, ..Default::default() });
+        let out1 = harvest(&corpus, &HarvestConfig { workers: 1, ..Default::default() })
+            .expect("harvest x1");
+        let out4 = harvest(&corpus, &HarvestConfig { workers: 4, ..Default::default() })
+            .expect("harvest x4");
         assert_eq!(out1.stats.occurrences, out4.stats.occurrences);
         let keys1: Vec<_> = out1.accepted.iter().map(CandidateFact::key).collect();
         let keys4: Vec<_> = out4.accepted.iter().map(CandidateFact::key).collect();
@@ -419,5 +656,114 @@ mod tests {
             .filter(|f| f.span.is_some())
             .count();
         assert!(spanned > 0, "some harvested facts should carry time spans");
+    }
+
+    // ---- resilience -------------------------------------------------
+
+    #[test]
+    fn corrupt_docs_are_quarantined_not_fatal() {
+        let mut corpus = Corpus::generate(&CorpusConfig::tiny());
+        // Dangle a mention past the end of the first article's text.
+        let victim_id = corpus.articles[0].id;
+        let len = corpus.articles[0].text.len();
+        corpus.articles[0].mentions.push(Mention {
+            start: len + 10,
+            end: len + 20,
+            entity: EntityId(0),
+            surface: "ghost".into(),
+        });
+        let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest survives poison");
+        assert_eq!(out.stats.quarantined_count(), 1);
+        let dead = &out.stats.quarantined[0];
+        assert_eq!(dead.doc_id, victim_id);
+        assert!(matches!(dead.reason, QuarantineReason::Defect(_)), "{:?}", dead.reason);
+        assert_eq!(out.stats.docs, corpus.all_docs().len() - 1);
+        assert!(!out.kb.is_empty());
+    }
+
+    #[test]
+    fn extractor_panics_are_caught_retried_and_dead_lettered() {
+        // Point one article's mentions at a phantom entity and disable
+        // the validation bound, so the document reaches the extractor
+        // and panics there — exercising the catch_unwind + retry path.
+        let mut corpus = Corpus::generate(&CorpusConfig::tiny());
+        let poison_id = corpus.articles[0].id;
+        // Alternate two phantom ids: the extractor skips same-entity
+        // mention pairs, so a single shared phantom id would never be
+        // resolved (and never panic). The ids stay below the disabled
+        // validation bound so the document reaches the extractor.
+        for (i, m) in corpus.articles[0].mentions.iter_mut().enumerate() {
+            m.entity = EntityId(1_000_000 + (i as u32 % 2));
+        }
+        let docs = corpus.all_docs();
+        let total = docs.len();
+        let res = ResilienceConfig { retry: RetryPolicy::immediate(3), ..Default::default() };
+        let world = &corpus.world;
+        let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+        let outcome = collect_resilient(
+            &docs,
+            &canonical_of,
+            &CollectConfig::default(),
+            2,
+            &res,
+            u32::MAX, // validation cannot see the phantom: panic path
+        )
+        .expect("resilient collection");
+        assert_eq!(outcome.quarantined.len(), 1);
+        let dead = &outcome.quarantined[0];
+        assert_eq!(dead.doc_id, poison_id);
+        assert!(matches!(dead.reason, QuarantineReason::Panic(_)), "{:?}", dead.reason);
+        assert_eq!(dead.attempts, 3, "panic should be retried to exhaustion");
+        assert_eq!(outcome.retries, 2);
+        assert_eq!(outcome.survivors.len(), total - 1);
+    }
+
+    #[test]
+    fn zero_budget_downgrades_reasoning_to_statistical() {
+        let corpus = Corpus::generate(&CorpusConfig::tiny());
+        let statistical = harvest(
+            &corpus,
+            &HarvestConfig { method: Method::Statistical, ..Default::default() },
+        )
+        .expect("statistical harvest");
+        let mut cfg = HarvestConfig { method: Method::Reasoning, ..Default::default() };
+        cfg.resilience.refine_budget_secs = 0.0;
+        let degraded = harvest(&corpus, &cfg).expect("degraded harvest");
+        assert!(degraded.stats.downgraded());
+        let d = &degraded.stats.downgrades[0];
+        assert_eq!(d.from, Method::Reasoning);
+        assert_eq!(d.to, Method::Statistical);
+        assert!(matches!(d.reason, DowngradeReason::BudgetExceeded { .. }));
+        // Degraded output is exactly the statistical output.
+        let a: Vec<_> = degraded.accepted.iter().map(CandidateFact::key).collect();
+        let b: Vec<_> = statistical.accepted.iter().map(CandidateFact::key).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_refinement_panic_takes_the_ladder() {
+        let corpus = Corpus::generate(&CorpusConfig::tiny());
+        for method in [Method::Reasoning, Method::FactorGraph] {
+            let mut cfg = HarvestConfig { method, ..Default::default() };
+            cfg.resilience.inject_refine_panic = true;
+            let out = harvest(&corpus, &cfg).expect("harvest survives refinement panic");
+            assert!(out.stats.downgraded(), "{method:?} should downgrade");
+            let d = &out.stats.downgrades[0];
+            assert_eq!(d.from, method);
+            assert_eq!(d.to, Method::Statistical);
+            assert!(matches!(d.reason, DowngradeReason::Panicked(_)), "{:?}", d.reason);
+            assert!(!out.accepted.is_empty(), "degraded run still produces facts");
+        }
+    }
+
+    #[test]
+    fn statistical_and_patterns_only_never_downgrade() {
+        for method in [Method::PatternsOnly, Method::Statistical] {
+            let corpus = Corpus::generate(&CorpusConfig::tiny());
+            let mut cfg = HarvestConfig { method, ..Default::default() };
+            cfg.resilience.refine_budget_secs = 0.0;
+            let out = harvest(&corpus, &cfg).expect("harvest");
+            assert!(!out.stats.downgraded(), "{method:?} has no ladder to take");
+        }
     }
 }

@@ -13,7 +13,7 @@ use kb_harvest::reasoning::{solve, Lit, MaxSatProblem, SolverConfig};
 fn small_instance() -> impl Strategy<Value = MaxSatProblem> {
     let clause = (
         prop::collection::vec((0usize..6, any::<bool>()), 1..3),
-        prop_oneof![Just(f64::INFINITY), (0.1f64..2.0)],
+        prop_oneof![Just(f64::INFINITY), 0.1f64..2.0],
     );
     prop::collection::vec(clause, 1..8).prop_map(|clauses| {
         let mut p = MaxSatProblem::new(6);

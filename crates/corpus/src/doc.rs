@@ -1,5 +1,8 @@
 //! The document model shared by all renderers, plus the offset-tracking
-//! text builder.
+//! text builder and structural integrity validation (the harvest
+//! pipeline's pre-flight check for quarantining corrupt documents).
+
+use std::fmt;
 
 use crate::world::EntityId;
 
@@ -51,7 +54,85 @@ pub struct Doc {
     pub categories: Vec<String>,
 }
 
+/// A structural defect detected by [`Doc::integrity_error`] — the kind
+/// of corruption real-world crawls produce (truncated pages, encoding
+/// breakage, dangling annotation offsets) that would otherwise crash or
+/// silently poison downstream extractors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocDefect {
+    /// A mention's byte span reaches past the end of the text.
+    MentionOutOfBounds {
+        /// Index into [`Doc::mentions`].
+        index: usize,
+        /// The offending end offset.
+        end: usize,
+        /// The text length it exceeds.
+        len: usize,
+    },
+    /// A mention's span is empty or inverted (`start >= end`).
+    MentionInverted {
+        /// Index into [`Doc::mentions`].
+        index: usize,
+    },
+    /// A mention offset does not land on a UTF-8 character boundary
+    /// (classic symptom of byte-level corruption after annotation).
+    MentionNotCharBoundary {
+        /// Index into [`Doc::mentions`].
+        index: usize,
+    },
+    /// A mention refers to an entity id outside the world's entity
+    /// table.
+    EntityOutOfWorld {
+        /// Index into [`Doc::mentions`].
+        index: usize,
+        /// The phantom entity id.
+        entity: u32,
+    },
+}
+
+impl fmt::Display for DocDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocDefect::MentionOutOfBounds { index, end, len } => {
+                write!(f, "mention {index} ends at byte {end} past text length {len}")
+            }
+            DocDefect::MentionInverted { index } => {
+                write!(f, "mention {index} has an empty or inverted span")
+            }
+            DocDefect::MentionNotCharBoundary { index } => {
+                write!(f, "mention {index} offsets split a UTF-8 character")
+            }
+            DocDefect::EntityOutOfWorld { index, entity } => {
+                write!(f, "mention {index} names phantom entity id {entity}")
+            }
+        }
+    }
+}
+
 impl Doc {
+    /// Checks the document's gold annotations for structural corruption.
+    /// `entity_bound` is the world's entity count (mention entity ids
+    /// must be strictly below it; `u32::MAX` admits every id except
+    /// `u32::MAX` itself). Returns the
+    /// first defect found, or `None` for a well-formed document.
+    pub fn integrity_error(&self, entity_bound: u32) -> Option<DocDefect> {
+        for (index, m) in self.mentions.iter().enumerate() {
+            if m.start >= m.end {
+                return Some(DocDefect::MentionInverted { index });
+            }
+            if m.end > self.text.len() {
+                return Some(DocDefect::MentionOutOfBounds { index, end: m.end, len: self.text.len() });
+            }
+            if !self.text.is_char_boundary(m.start) || !self.text.is_char_boundary(m.end) {
+                return Some(DocDefect::MentionNotCharBoundary { index });
+            }
+            if m.entity.0 >= entity_bound {
+                return Some(DocDefect::EntityOutOfWorld { index, entity: m.entity.0 });
+            }
+        }
+        None
+    }
+
     /// The mention (if any) covering byte offset `pos`.
     pub fn mention_at(&self, pos: usize) -> Option<&Mention> {
         self.mentions.iter().find(|m| m.start <= pos && pos < m.end)
@@ -146,6 +227,68 @@ mod tests {
         b.space();
         let (text, _) = b.finish();
         assert_eq!(text, "x ");
+    }
+
+    fn doc_with_mentions(text: &str, mentions: Vec<Mention>) -> Doc {
+        Doc {
+            id: 0,
+            kind: DocKind::Article,
+            title: "t".into(),
+            subject: None,
+            text: text.into(),
+            mentions,
+            infobox: vec![],
+            categories: vec![],
+        }
+    }
+
+    #[test]
+    fn integrity_accepts_well_formed_docs() {
+        let mut b = TextBuilder::new();
+        b.push_mention("Varen", EntityId(1));
+        let (text, mentions) = b.finish();
+        let d = doc_with_mentions(&text, mentions);
+        assert_eq!(d.integrity_error(10), None);
+    }
+
+    #[test]
+    fn integrity_flags_out_of_bounds_and_inverted_mentions() {
+        let d = doc_with_mentions(
+            "short",
+            vec![Mention { start: 2, end: 99, entity: EntityId(0), surface: "x".into() }],
+        );
+        assert!(matches!(d.integrity_error(10), Some(DocDefect::MentionOutOfBounds { .. })));
+        let d = doc_with_mentions(
+            "short",
+            vec![Mention { start: 3, end: 3, entity: EntityId(0), surface: "".into() }],
+        );
+        assert!(matches!(d.integrity_error(10), Some(DocDefect::MentionInverted { index: 0 })));
+    }
+
+    #[test]
+    fn integrity_flags_split_utf8_characters() {
+        // 'é' is two bytes; offset 1 lands inside it.
+        let d = doc_with_mentions(
+            "é x",
+            vec![Mention { start: 0, end: 1, entity: EntityId(0), surface: "é".into() }],
+        );
+        assert!(matches!(
+            d.integrity_error(10),
+            Some(DocDefect::MentionNotCharBoundary { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn integrity_flags_phantom_entities_only_under_the_bound() {
+        let d = doc_with_mentions(
+            "abcdef",
+            vec![Mention { start: 0, end: 3, entity: EntityId(500), surface: "abc".into() }],
+        );
+        assert!(matches!(
+            d.integrity_error(10),
+            Some(DocDefect::EntityOutOfWorld { entity: 500, .. })
+        ));
+        assert_eq!(d.integrity_error(u32::MAX), None);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Deterministic fault injection — the chaos-testing counterpart of the
+//! corpus generator.
+//!
+//! Real harvesting pipelines meet truncated pages, broken encodings,
+//! annotation-tool bugs and adversarially bloated documents. This module
+//! injects exactly those corruptions into an already-generated
+//! [`Corpus`], under a seeded RNG, so that chaos behaviour is
+//! *reproducible*: the same `(corpus seed, fault seed)` pair always
+//! poisons the same documents in the same way, and the report returned
+//! by [`inject_faults`] is the ground truth a chaos test checks the
+//! pipeline's dead-letter queue against.
+//!
+//! Fault kinds split into **poison** (structurally corrupt documents a
+//! resilient pipeline must quarantine) and **benign stress** (valid but
+//! hostile documents it must simply survive).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+use crate::doc::{Doc, Mention};
+use crate::world::EntityId;
+use crate::Corpus;
+
+/// The kinds of controlled corruption [`inject_faults`] can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Poison: cut the text off mid-mention (a truncated crawl), leaving
+    /// gold mention spans dangling past the end of the text.
+    TruncateMidMention,
+    /// Poison: re-encode two bytes around a mention boundary into one
+    /// multi-byte character, so the recorded offset splits a UTF-8
+    /// character — the classic encoding-mixup corruption that makes
+    /// naive byte slicing panic.
+    GarbleMentionBoundary,
+    /// Poison: append a mention whose span lies entirely past the end of
+    /// the text (annotation-tool off-by-a-mile).
+    DanglingMention,
+    /// Poison: point an existing mention at an entity id no world ever
+    /// issued, tripping any extractor that indexes the entity table.
+    PhantomEntity,
+    /// Benign stress: append a large mention-free distractor tail that
+    /// bloats the document without adding extractable signal.
+    OversizedDistractor,
+}
+
+impl FaultKind {
+    /// Whether a document carrying this fault is structurally corrupt
+    /// and must be quarantined (as opposed to merely hostile).
+    pub fn is_poison(self) -> bool {
+        !matches!(self, FaultKind::OversizedDistractor)
+    }
+
+    /// All fault kinds, in the deterministic application order.
+    pub fn all() -> Vec<FaultKind> {
+        vec![
+            FaultKind::TruncateMidMention,
+            FaultKind::GarbleMentionBoundary,
+            FaultKind::DanglingMention,
+            FaultKind::PhantomEntity,
+            FaultKind::OversizedDistractor,
+        ]
+    }
+}
+
+/// Seeded fault-injection knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// RNG seed — same seed, same faults.
+    pub seed: u64,
+    /// Probability that any given document is faulted.
+    pub fault_rate: f64,
+    /// Enabled fault kinds, cycled deterministically across faulted
+    /// documents (a kind that does not apply to a document is skipped
+    /// in favour of the next applicable one).
+    pub kinds: Vec<FaultKind>,
+    /// Number of filler sentences an oversized distractor appends.
+    pub oversize_sentences: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self { seed: 0xFA_017, fault_rate: 0.1, kinds: FaultKind::all(), oversize_sentences: 200 }
+    }
+}
+
+/// One applied fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The document that was corrupted.
+    pub doc_id: u32,
+    /// How.
+    pub kind: FaultKind,
+}
+
+/// Ground truth about what [`inject_faults`] did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Every applied fault, in document order.
+    pub faults: Vec<InjectedFault>,
+}
+
+impl FaultReport {
+    /// Ids of documents carrying poison faults — exactly the set a
+    /// resilient pipeline must quarantine.
+    pub fn poison_ids(&self) -> BTreeSet<u32> {
+        self.faults.iter().filter(|f| f.kind.is_poison()).map(|f| f.doc_id).collect()
+    }
+
+    /// Ids of documents carrying benign stress faults.
+    pub fn benign_ids(&self) -> BTreeSet<u32> {
+        self.faults.iter().filter(|f| !f.kind.is_poison()).map(|f| f.doc_id).collect()
+    }
+
+    /// Total faults applied.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether no fault was applied.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Corrupts ~`fault_rate` of the corpus' prose documents in place,
+/// deterministically in `cfg.seed`. Returns the ground-truth report.
+/// The social stream is left untouched (it flows through a different
+/// pipeline).
+pub fn inject_faults(corpus: &mut Corpus, cfg: &FaultConfig) -> FaultReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBAD_D0C5);
+    let mut report = FaultReport::default();
+    if cfg.kinds.is_empty() || cfg.fault_rate <= 0.0 {
+        return report;
+    }
+    let mut next_kind = 0usize;
+    let docs = corpus
+        .articles
+        .iter_mut()
+        .chain(corpus.overviews.iter_mut())
+        .chain(corpus.web_pages.iter_mut())
+        .chain(corpus.essays.iter_mut());
+    for doc in docs {
+        if !rng.gen_bool(cfg.fault_rate.clamp(0.0, 1.0)) {
+            continue;
+        }
+        // Cycle through the enabled kinds; skip kinds this document is
+        // not eligible for (e.g. garbling needs an interior mention).
+        for offset in 0..cfg.kinds.len() {
+            let kind = cfg.kinds[(next_kind + offset) % cfg.kinds.len()];
+            if apply_fault(doc, kind, cfg) {
+                report.faults.push(InjectedFault { doc_id: doc.id, kind });
+                next_kind = (next_kind + offset + 1) % cfg.kinds.len();
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// Applies one fault kind to one document. Returns `false` when the
+/// document is not eligible (nothing was changed).
+fn apply_fault(doc: &mut Doc, kind: FaultKind, cfg: &FaultConfig) -> bool {
+    match kind {
+        FaultKind::TruncateMidMention => truncate_mid_mention(doc),
+        FaultKind::GarbleMentionBoundary => garble_mention_boundary(doc),
+        FaultKind::DanglingMention => dangling_mention(doc),
+        FaultKind::PhantomEntity => phantom_entity(doc),
+        FaultKind::OversizedDistractor => oversized_distractor(doc, cfg.oversize_sentences),
+    }
+}
+
+/// Cuts the text one character into some mention, leaving that mention's
+/// span (and every later one) dangling past the new end.
+fn truncate_mid_mention(doc: &mut Doc) -> bool {
+    let Some(m) = doc.mentions.iter().find(|m| m.start + 1 < m.end && m.end <= doc.text.len())
+    else {
+        return false;
+    };
+    let mut cut = m.start + 1;
+    while cut < doc.text.len() && !doc.text.is_char_boundary(cut) {
+        cut += 1;
+    }
+    if cut >= m.end {
+        return false;
+    }
+    doc.text.truncate(cut);
+    true
+}
+
+/// Rewrites the two ASCII bytes straddling a mention's end offset into a
+/// single two-byte character, so the offset now splits a UTF-8 char.
+fn garble_mention_boundary(doc: &mut Doc) -> bool {
+    let bytes = doc.text.as_bytes();
+    let Some(end) = doc
+        .mentions
+        .iter()
+        .map(|m| m.end)
+        .find(|&end| end >= 1 && end < bytes.len() && bytes[end - 1].is_ascii() && bytes[end].is_ascii())
+    else {
+        return false;
+    };
+    let mut garbled = String::with_capacity(doc.text.len());
+    garbled.push_str(&doc.text[..end - 1]);
+    garbled.push('é');
+    garbled.push_str(&doc.text[end + 1..]);
+    doc.text = garbled;
+    true
+}
+
+/// Appends a mention whose span lies wholly beyond the text.
+fn dangling_mention(doc: &mut Doc) -> bool {
+    let len = doc.text.len();
+    doc.mentions.push(Mention {
+        start: len + 4,
+        end: len + 9,
+        entity: doc.mentions.first().map_or(EntityId(0), |m| m.entity),
+        surface: "ghost".to_string(),
+    });
+    true
+}
+
+/// Points an existing mention at an entity id no world issued.
+fn phantom_entity(doc: &mut Doc) -> bool {
+    let Some(m) = doc.mentions.first_mut() else { return false };
+    m.entity = EntityId(u32::MAX);
+    true
+}
+
+/// Appends a digit-free, mention-free distractor tail. Digit-free so it
+/// cannot introduce spurious temporal hints; mention-free so it cannot
+/// introduce pattern occurrences — the document gets bigger and more
+/// hostile, not differently informative.
+fn oversized_distractor(doc: &mut Doc, sentences: usize) -> bool {
+    if sentences == 0 {
+        return false;
+    }
+    let filler = [
+        "The committee deliberated at considerable length about procedural minutiae.",
+        "Observers described the proceedings as thorough yet entirely inconclusive.",
+        "A spokesperson declined to elaborate beyond previously circulated remarks.",
+        "Several drafts of the memorandum were said to be circulating internally.",
+    ];
+    let mut tail = String::with_capacity(sentences * 60);
+    for i in 0..sentences {
+        tail.push(' ');
+        tail.push_str(filler[i % filler.len()]);
+    }
+    doc.text.push_str(&tail);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorpusConfig;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig::tiny())
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_seed() {
+        let cfg = FaultConfig { fault_rate: 0.3, ..Default::default() };
+        let mut a = corpus();
+        let mut b = corpus();
+        let ra = inject_faults(&mut a, &cfg);
+        let rb = inject_faults(&mut b, &cfg);
+        assert_eq!(ra, rb);
+        assert!(!ra.is_empty());
+        for (da, db) in a.all_docs().iter().zip(b.all_docs().iter()) {
+            assert_eq!(da.text, db.text);
+            assert_eq!(da.mentions, db.mentions);
+        }
+        let mut c = corpus();
+        let rc = inject_faults(&mut c, &FaultConfig { seed: cfg.seed + 1, ..cfg });
+        assert_ne!(ra, rc, "different seeds should fault differently");
+    }
+
+    #[test]
+    fn poison_faults_fail_integrity_validation() {
+        let mut c = corpus();
+        let bound = c.world.entities.len() as u32;
+        let report = inject_faults(
+            &mut c,
+            &FaultConfig {
+                fault_rate: 0.4,
+                kinds: FaultKind::all().into_iter().filter(|k| k.is_poison()).collect(),
+                ..Default::default()
+            },
+        );
+        assert!(!report.is_empty());
+        let poison = report.poison_ids();
+        for doc in c.all_docs() {
+            if poison.contains(&doc.id) {
+                assert!(doc.integrity_error(bound).is_some(), "doc {} should be defective", doc.id);
+            } else {
+                assert_eq!(doc.integrity_error(bound), None, "doc {} should be clean", doc.id);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_distractors_stay_structurally_valid() {
+        let mut c = corpus();
+        let bound = c.world.entities.len() as u32;
+        let report = inject_faults(
+            &mut c,
+            &FaultConfig {
+                fault_rate: 0.5,
+                kinds: vec![FaultKind::OversizedDistractor],
+                oversize_sentences: 50,
+                ..Default::default()
+            },
+        );
+        assert!(!report.is_empty());
+        assert!(report.poison_ids().is_empty());
+        for doc in c.all_docs() {
+            assert_eq!(doc.integrity_error(bound), None);
+            if report.benign_ids().contains(&doc.id) {
+                assert!(doc.text.len() > 1_000, "doc {} should have been bloated", doc.id);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rate_zero_is_a_no_op() {
+        let mut c = corpus();
+        let before: Vec<String> = c.all_docs().iter().map(|d| d.text.clone()).collect();
+        let report = inject_faults(&mut c, &FaultConfig { fault_rate: 0.0, ..Default::default() });
+        assert!(report.is_empty());
+        let after: Vec<String> = c.all_docs().iter().map(|d| d.text.clone()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn rate_controls_volume() {
+        let mut lo = corpus();
+        let mut hi = corpus();
+        let r_lo = inject_faults(&mut lo, &FaultConfig { fault_rate: 0.05, ..Default::default() });
+        let r_hi = inject_faults(&mut hi, &FaultConfig { fault_rate: 0.6, ..Default::default() });
+        assert!(r_hi.len() > r_lo.len());
+    }
+}

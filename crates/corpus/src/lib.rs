@@ -32,6 +32,7 @@ pub mod article;
 pub mod commonsense;
 pub mod config;
 pub mod doc;
+pub mod fault;
 pub mod gold;
 pub mod lexicon;
 pub mod names;
@@ -40,7 +41,8 @@ pub mod web;
 pub mod world;
 
 pub use config::{CorpusConfig, WorldConfig};
-pub use doc::{Doc, DocKind, Mention};
+pub use doc::{Doc, DocDefect, DocKind, Mention};
+pub use fault::{inject_faults, FaultConfig, FaultKind, FaultReport, InjectedFault};
 pub use world::{Entity, EntityId, EntityKind, GoldFact, Rel, World};
 
 use rand::rngs::StdRng;

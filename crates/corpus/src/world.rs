@@ -275,6 +275,7 @@ impl<'a> Generator<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push_entity(
         &mut self,
         kind: EntityKind,
@@ -448,7 +449,7 @@ impl<'a> Generator<'a> {
                     given.chars().next().expect("nonempty given name")
                 );
                 let birth = self.rng.gen_range(1900..1996);
-                let n_occ = self.rng.gen_range(1..=2);
+                let n_occ = self.rng.gen_range(1..=2usize);
                 let mut classes = vec!["person".to_string()];
                 while classes.len() < 1 + n_occ {
                     let occ = OCCUPATIONS[self.rng.gen_range(0..OCCUPATIONS.len())].to_string();

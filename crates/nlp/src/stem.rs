@@ -156,7 +156,7 @@ fn step1b(w: &mut Vec<u8>) {
     }
 }
 
-fn step1c(w: &mut Vec<u8>) {
+fn step1c(w: &mut [u8]) {
     if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
         let n = w.len();
         w[n - 1] = b'i';

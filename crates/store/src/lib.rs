@@ -58,6 +58,7 @@ pub use error::StoreError;
 pub use fact::{Fact, Triple};
 pub use ids::{FactId, TermId};
 pub use labels::LabelStore;
+pub use ntriples::LoadReport;
 pub use pattern::TriplePattern;
 pub use query::{Bindings, Query};
 pub use sameas::SameAsStore;

@@ -122,95 +122,143 @@ pub fn write_kb<W: Write>(kb: &KnowledgeBase, w: &mut W) -> Result<(), StoreErro
     Ok(())
 }
 
+/// Parses one non-comment, non-blank line into `kb`. Shared by the
+/// strict and lossy readers; a failed line leaves `kb` with at most
+/// interned terms (no partial facts, edges or labels are added).
+fn apply_line(kb: &mut KnowledgeBase, line: &str, lineno: usize) -> Result<(), StoreError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    match fields[0] {
+        "T" => {
+            if fields.len() != 7 {
+                return Err(StoreError::Parse {
+                    line: lineno,
+                    message: format!("fact record needs 7 fields, got {}", fields.len()),
+                });
+            }
+            let confidence: f64 = fields[4].parse().map_err(|_| StoreError::Parse {
+                line: lineno,
+                message: format!("bad confidence {:?}", fields[4]),
+            })?;
+            if !(0.0..=1.0).contains(&confidence) {
+                return Err(StoreError::Parse {
+                    line: lineno,
+                    message: format!("confidence {confidence} out of [0,1]"),
+                });
+            }
+            let span = if fields[5] == "-" {
+                None
+            } else {
+                Some(TimeSpan::parse(fields[5]).ok_or_else(|| StoreError::Parse {
+                    line: lineno,
+                    message: format!("bad time span {:?}", fields[5]),
+                })?)
+            };
+            let s = kb.intern(&unescape(fields[1], lineno)?);
+            let p = kb.intern(&unescape(fields[2], lineno)?);
+            let o = kb.intern(&unescape(fields[3], lineno)?);
+            let source = kb.register_source(&unescape(fields[6], lineno)?);
+            kb.add_fact(Fact { triple: Triple::new(s, p, o), confidence, source, span });
+        }
+        "C" => {
+            if fields.len() != 3 {
+                return Err(StoreError::Parse {
+                    line: lineno,
+                    message: "subclass record needs 3 fields".into(),
+                });
+            }
+            let sub = kb.intern(&unescape(fields[1], lineno)?);
+            let sup = kb.intern(&unescape(fields[2], lineno)?);
+            kb.taxonomy.add_subclass(sub, sup).map_err(|e| StoreError::Parse {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+        }
+        "S" => {
+            if fields.len() != 3 {
+                return Err(StoreError::Parse {
+                    line: lineno,
+                    message: "sameAs record needs 3 fields".into(),
+                });
+            }
+            let a = kb.intern(&unescape(fields[1], lineno)?);
+            let b = kb.intern(&unescape(fields[2], lineno)?);
+            kb.sameas.declare(a, b);
+        }
+        "L" => {
+            if fields.len() != 4 {
+                return Err(StoreError::Parse {
+                    line: lineno,
+                    message: "label record needs 4 fields".into(),
+                });
+            }
+            let term = kb.intern(&unescape(fields[1], lineno)?);
+            let form = unescape(fields[3], lineno)?;
+            let lang = kb.labels.lang(fields[2]);
+            kb.labels.add(term, lang, &form);
+        }
+        other => {
+            return Err(StoreError::Parse {
+                line: lineno,
+                message: format!("unknown record kind {other:?}"),
+            })
+        }
+    }
+    Ok(())
+}
+
 /// Reads a KB previously written by [`write_kb`]. Unknown record kinds
 /// and malformed lines produce a [`StoreError::Parse`] naming the line.
 pub fn read_kb<R: BufRead>(r: R) -> Result<KnowledgeBase, StoreError> {
     let mut kb = KnowledgeBase::new();
     for (i, line) in r.lines().enumerate() {
         let line = line?;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        apply_line(&mut kb, &line, i + 1)?;
+    }
+    Ok(kb)
+}
+
+/// What a lossy load recovered and what it dropped.
+///
+/// Produced by [`read_kb_lossy`] / [`from_str_lossy`] /
+/// [`KnowledgeBase::load_ntriples_lossy`]: the kind of accounting a
+/// fault-tolerant ingest needs when dumps arrive truncated or corrupted
+/// from a crawl or an interrupted writer.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Records successfully applied to the KB.
+    pub loaded: usize,
+    /// Malformed lines that were skipped: `(line number, error)`.
+    pub skipped: Vec<(usize, StoreError)>,
+}
+
+impl LoadReport {
+    /// Whether every record parsed cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// Reads a KB like [`read_kb`], but skips malformed lines instead of
+/// aborting, reporting each skip with its line number. I/O errors are
+/// still fatal — a broken reader is not a recoverable record.
+pub fn read_kb_lossy<R: BufRead>(r: R) -> Result<(KnowledgeBase, LoadReport), StoreError> {
+    let mut kb = KnowledgeBase::new();
+    let mut report = LoadReport::default();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
         let lineno = i + 1;
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = line.split('\t').collect();
-        match fields[0] {
-            "T" => {
-                if fields.len() != 7 {
-                    return Err(StoreError::Parse {
-                        line: lineno,
-                        message: format!("fact record needs 7 fields, got {}", fields.len()),
-                    });
-                }
-                let s = kb.intern(&unescape(fields[1], lineno)?);
-                let p = kb.intern(&unescape(fields[2], lineno)?);
-                let o = kb.intern(&unescape(fields[3], lineno)?);
-                let confidence: f64 = fields[4].parse().map_err(|_| StoreError::Parse {
-                    line: lineno,
-                    message: format!("bad confidence {:?}", fields[4]),
-                })?;
-                if !(0.0..=1.0).contains(&confidence) {
-                    return Err(StoreError::Parse {
-                        line: lineno,
-                        message: format!("confidence {confidence} out of [0,1]"),
-                    });
-                }
-                let span = if fields[5] == "-" {
-                    None
-                } else {
-                    Some(TimeSpan::parse(fields[5]).ok_or_else(|| StoreError::Parse {
-                        line: lineno,
-                        message: format!("bad time span {:?}", fields[5]),
-                    })?)
-                };
-                let source = kb.register_source(&unescape(fields[6], lineno)?);
-                kb.add_fact(Fact { triple: Triple::new(s, p, o), confidence, source, span });
-            }
-            "C" => {
-                if fields.len() != 3 {
-                    return Err(StoreError::Parse {
-                        line: lineno,
-                        message: "subclass record needs 3 fields".into(),
-                    });
-                }
-                let sub = kb.intern(&unescape(fields[1], lineno)?);
-                let sup = kb.intern(&unescape(fields[2], lineno)?);
-                kb.taxonomy.add_subclass(sub, sup).map_err(|e| StoreError::Parse {
-                    line: lineno,
-                    message: e.to_string(),
-                })?;
-            }
-            "S" => {
-                if fields.len() != 3 {
-                    return Err(StoreError::Parse {
-                        line: lineno,
-                        message: "sameAs record needs 3 fields".into(),
-                    });
-                }
-                let a = kb.intern(&unescape(fields[1], lineno)?);
-                let b = kb.intern(&unescape(fields[2], lineno)?);
-                kb.sameas.declare(a, b);
-            }
-            "L" => {
-                if fields.len() != 4 {
-                    return Err(StoreError::Parse {
-                        line: lineno,
-                        message: "label record needs 4 fields".into(),
-                    });
-                }
-                let term = kb.intern(&unescape(fields[1], lineno)?);
-                let lang = kb.labels.lang(fields[2]);
-                let form = unescape(fields[3], lineno)?;
-                kb.labels.add(term, lang, &form);
-            }
-            other => {
-                return Err(StoreError::Parse {
-                    line: lineno,
-                    message: format!("unknown record kind {other:?}"),
-                })
-            }
+        match apply_line(&mut kb, &line, lineno) {
+            Ok(()) => report.loaded += 1,
+            Err(e) => report.skipped.push((lineno, e)),
         }
     }
-    Ok(kb)
+    Ok((kb, report))
 }
 
 /// Serializes the KB to an in-memory string.
@@ -223,6 +271,21 @@ pub fn to_string(kb: &KnowledgeBase) -> Result<String, StoreError> {
 /// Parses a KB from a string.
 pub fn from_str(s: &str) -> Result<KnowledgeBase, StoreError> {
     read_kb(s.as_bytes())
+}
+
+/// Parses a KB from a string, skipping malformed lines. See
+/// [`read_kb_lossy`].
+pub fn from_str_lossy(s: &str) -> Result<(KnowledgeBase, LoadReport), StoreError> {
+    read_kb_lossy(s.as_bytes())
+}
+
+impl KnowledgeBase {
+    /// Loads an N-Triples-style dump, recovering everything that parses
+    /// and reporting what didn't. The strict counterpart is
+    /// [`from_str`] / [`read_kb`].
+    pub fn load_ntriples_lossy(s: &str) -> Result<(Self, LoadReport), StoreError> {
+        from_str_lossy(s)
+    }
 }
 
 #[cfg(test)]
@@ -332,5 +395,52 @@ mod tests {
         let kb = from_str("T\ta\tb\tc\t1\t-\tasserted\n").unwrap();
         let f = kb.iter().next().unwrap();
         assert_eq!(f.source, SourceId::DEFAULT);
+    }
+
+    #[test]
+    fn lossy_load_skips_bad_lines_and_keeps_good_ones() {
+        let text = "# header\n\
+                    T\ta\tb\tc\t1\t-\tsrc\n\
+                    T\ttruncated\trecord\n\
+                    X\tunknown\tkind\n\
+                    T\td\te\tf\t0.7\t-\tsrc\n\
+                    T\tg\th\ti\t2.5\t-\tsrc\n\
+                    L\ta\ten\tLabel A\n";
+        // The strict loader refuses the dump outright.
+        assert!(from_str(text).is_err());
+
+        let (kb, report) = from_str_lossy(text).unwrap();
+        assert_eq!(kb.len(), 2);
+        assert!(kb.term("a").is_some() && kb.term("f").is_some());
+        assert!(kb.term("g").is_none(), "fact with bad confidence must not load");
+        assert_eq!(report.loaded, 3); // two facts + one label
+        assert!(!report.is_clean());
+        let skipped_lines: Vec<usize> = report.skipped.iter().map(|(l, _)| *l).collect();
+        assert_eq!(skipped_lines, vec![3, 4, 6]);
+        for (line, err) in &report.skipped {
+            match err {
+                StoreError::Parse { line: l, .. } => assert_eq!(l, line),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_load_of_clean_dump_matches_strict() {
+        let kb = populated();
+        let text = to_string(&kb).unwrap();
+        let (lossy, report) = KnowledgeBase::load_ntriples_lossy(&text).unwrap();
+        assert!(report.is_clean());
+        let strict = from_str(&text).unwrap();
+        assert_eq!(lossy.len(), strict.len());
+        assert_eq!(to_string(&lossy).unwrap(), to_string(&strict).unwrap());
+    }
+
+    #[test]
+    fn lossy_load_of_garbage_recovers_nothing_but_survives() {
+        let (kb, report) = from_str_lossy("garbage\nmore garbage\tstill\n").unwrap();
+        assert_eq!(kb.len(), 0);
+        assert_eq!(report.loaded, 0);
+        assert_eq!(report.skipped.len(), 2);
     }
 }

@@ -17,7 +17,8 @@ fn main() {
     let world = &corpus.world;
 
     // Build the KB the tracker will resolve mentions against.
-    let out = harvest(&corpus, &HarvestConfig { method: Method::Reasoning, ..Default::default() });
+    let out = harvest(&corpus, &HarvestConfig { method: Method::Reasoning, ..Default::default() })
+        .expect("harvest");
     let kb = &out.kb;
 
     // NED engine with anchor statistics from the corpus articles.

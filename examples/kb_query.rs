@@ -11,7 +11,7 @@ use kbkit::kb_store::query::query;
 
 fn main() {
     let corpus = Corpus::generate(&CorpusConfig::tiny());
-    let out = harvest(&corpus, &HarvestConfig::default());
+    let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
     let kb = &out.kb;
     println!("harvested KB: {} facts\n", kb.len());
 

@@ -23,7 +23,7 @@ fn main() {
     // 2. Harvest: taxonomy induction + distant-supervised pattern
     //    extraction + MaxSat consistency reasoning.
     let cfg = HarvestConfig { method: Method::Reasoning, ..Default::default() };
-    let out = harvest(&corpus, &cfg);
+    let out = harvest(&corpus, &cfg).expect("harvest");
     println!("\nharvest: {}", "-".repeat(40));
     println!("{}", out.kb.stats());
 

@@ -12,7 +12,7 @@ use kbkit::kb_harvest::rules::{apply_rules, mine_rules, RuleConfig};
 
 fn main() {
     let corpus = Corpus::generate(&CorpusConfig::tiny());
-    let out = harvest(&corpus, &HarvestConfig::default());
+    let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
     let kb = &out.kb;
     println!("harvested KB: {} facts", kb.len());
 

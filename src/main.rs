@@ -116,11 +116,20 @@ fn cmd_harvest(args: &[String]) -> Result<(), String> {
         corpus.posts.len()
     );
     eprintln!("harvesting ({method:?})...");
-    let output = harvest(&corpus, &HarvestConfig { method, ..Default::default() });
+    let output = harvest(&corpus, &HarvestConfig { method, ..Default::default() })
+        .map_err(|e| format!("harvest failed: {e}"))?;
     eprintln!(
         "  {} occurrences → {} candidates → {} accepted facts",
         output.stats.occurrences, output.stats.candidates, output.stats.accepted
     );
+    if output.stats.quarantined_count() > 0 || output.stats.downgraded() {
+        eprintln!(
+            "  resilience: {} quarantined, {} retries, {} downgrades",
+            output.stats.quarantined_count(),
+            output.stats.retries,
+            output.stats.downgrades.len()
+        );
+    }
     let dump = ntriples::to_string(&output.kb).map_err(|e| e.to_string())?;
     fs::write(out_path, &dump).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     eprintln!("wrote {} bytes to {out_path}", dump.len());

@@ -15,7 +15,7 @@ struct Fixture {
 
 fn fixture() -> Fixture {
     let corpus = Corpus::generate(&CorpusConfig::tiny());
-    let out = harvest(&corpus, &HarvestConfig::default());
+    let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
     Fixture { corpus, out }
 }
 

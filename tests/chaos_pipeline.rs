@@ -1,0 +1,133 @@
+//! Chaos integration: deterministically corrupt a slice of the corpus
+//! and prove the pipeline (a) completes, (b) quarantines exactly the
+//! poison documents into the dead-letter queue, (c) loses at most two
+//! points of precision/recall versus harvesting the clean subset, and
+//! (d) does all of it reproducibly under a fixed `(corpus, fault)`
+//! seed pair.
+
+use std::collections::BTreeSet;
+
+use kbkit::kb_corpus::{
+    gold, inject_faults, Corpus, CorpusConfig, FaultConfig, FaultReport,
+};
+use kbkit::kb_harvest::pipeline::{evaluate_discovered, harvest, HarvestConfig, Method};
+use kbkit::kb_harvest::resilience::DowngradeReason;
+
+const FAULT_RATE: f64 = 0.2;
+
+fn chaos_config() -> FaultConfig {
+    FaultConfig { fault_rate: FAULT_RATE, ..Default::default() }
+}
+
+/// A tiny corpus with ~20% of its documents deterministically faulted.
+fn faulted_corpus() -> (Corpus, FaultReport) {
+    let mut corpus = Corpus::generate(&CorpusConfig::tiny());
+    let report = inject_faults(&mut corpus, &chaos_config());
+    (corpus, report)
+}
+
+#[test]
+fn chaotic_harvest_completes_with_exact_dead_letter_accounting() {
+    let (corpus, report) = faulted_corpus();
+    let total = corpus.all_docs().len();
+    assert!(
+        report.len() * 10 >= total,
+        "chaos premise broken: only {}/{} docs faulted (< 10%)",
+        report.len(),
+        total
+    );
+    let poison = report.poison_ids();
+    assert!(!poison.is_empty(), "fault mix should include poison kinds");
+    assert!(!report.benign_ids().is_empty(), "fault mix should include benign stress");
+
+    let out = harvest(&corpus, &HarvestConfig::default())
+        .expect("pipeline must survive a 20% faulty corpus");
+
+    // The dead-letter queue is exactly the injected poison set: every
+    // poison doc is quarantined, nothing else is.
+    let quarantined: BTreeSet<u32> = out.stats.quarantined.iter().map(|q| q.doc_id).collect();
+    assert_eq!(quarantined, poison, "dead letters must match injected poison exactly");
+    for id in report.benign_ids() {
+        assert!(!quarantined.contains(&id), "benign stressed doc {id} must survive");
+    }
+    assert_eq!(out.stats.docs, total - poison.len());
+    assert!(!out.accepted.is_empty(), "survivors should still yield accepted facts");
+}
+
+#[test]
+fn chaotic_harvest_quality_stays_within_two_points_of_clean_subset() {
+    let (chaotic, report) = faulted_corpus();
+    let poison = report.poison_ids();
+    assert!(!poison.is_empty());
+
+    // The baseline: the same faulted corpus (same seeds, same benign
+    // stress) with the poison documents removed up front, so the only
+    // difference is *who* discards them — us or the pipeline.
+    let (mut clean, report2) = faulted_corpus();
+    assert_eq!(report, report2, "fault injection must be seed-deterministic");
+    clean.articles.retain(|d| !poison.contains(&d.id));
+    clean.overviews.retain(|d| !poison.contains(&d.id));
+    clean.web_pages.retain(|d| !poison.contains(&d.id));
+    clean.essays.retain(|d| !poison.contains(&d.id));
+
+    let cfg = HarvestConfig::default();
+    let gold_facts = gold::gold_fact_strings(&chaotic.world);
+    let out_chaos = harvest(&chaotic, &cfg).expect("chaotic harvest");
+    let out_clean = harvest(&clean, &cfg).expect("clean-subset harvest");
+    assert_eq!(out_clean.stats.quarantined_count(), 0);
+
+    let m_chaos = evaluate_discovered(&out_chaos.accepted, &gold_facts, &out_chaos.seeds);
+    let m_clean = evaluate_discovered(&out_clean.accepted, &gold_facts, &out_clean.seeds);
+    assert!(
+        (m_chaos.precision - m_clean.precision).abs() <= 0.02,
+        "precision drifted: chaotic {} vs clean subset {}",
+        m_chaos.precision,
+        m_clean.precision
+    );
+    assert!(
+        (m_chaos.recall - m_clean.recall).abs() <= 0.02,
+        "recall drifted: chaotic {} vs clean subset {}",
+        m_chaos.recall,
+        m_clean.recall
+    );
+}
+
+#[test]
+fn chaotic_harvest_is_deterministic_end_to_end() {
+    let (c1, r1) = faulted_corpus();
+    let (c2, r2) = faulted_corpus();
+    assert_eq!(r1, r2);
+
+    let cfg = HarvestConfig::default();
+    let out1 = harvest(&c1, &cfg).expect("harvest");
+    let out2 = harvest(&c2, &cfg).expect("harvest");
+
+    let q1: Vec<u32> = out1.stats.quarantined.iter().map(|q| q.doc_id).collect();
+    let q2: Vec<u32> = out2.stats.quarantined.iter().map(|q| q.doc_id).collect();
+    assert_eq!(q1, q2, "dead-letter order and content must be reproducible");
+    assert_eq!(out1.stats.retries, out2.stats.retries);
+    assert_eq!(out1.stats.downgrades.len(), out2.stats.downgrades.len());
+
+    let keys1: Vec<_> = out1.accepted.iter().map(|c| c.key()).collect();
+    let keys2: Vec<_> = out2.accepted.iter().map(|c| c.key()).collect();
+    assert_eq!(keys1, keys2, "accepted facts must be reproducible under chaos");
+    assert_eq!(out1.kb.len(), out2.kb.len());
+}
+
+#[test]
+fn zero_refine_budget_on_chaotic_corpus_degrades_but_completes() {
+    let (corpus, report) = faulted_corpus();
+    let mut cfg = HarvestConfig { method: Method::Reasoning, ..Default::default() };
+    cfg.resilience.refine_budget_secs = 0.0;
+
+    let out = harvest(&corpus, &cfg).expect("budget exhaustion must degrade, not fail");
+    assert!(out.stats.downgraded(), "zero budget must take the degradation ladder");
+    let d = &out.stats.downgrades[0];
+    assert_eq!(d.from, Method::Reasoning);
+    assert_eq!(d.to, Method::Statistical);
+    assert!(matches!(d.reason, DowngradeReason::BudgetExceeded { .. }));
+    // Quarantine accounting still holds on the degraded path.
+    let quarantined: BTreeSet<u32> = out.stats.quarantined.iter().map(|q| q.doc_id).collect();
+    assert_eq!(quarantined, report.poison_ids());
+    assert!(!out.accepted.is_empty(), "statistical fallback still produces facts");
+}

@@ -55,7 +55,7 @@ fn world_gold_is_schema_consistent_for_every_seed() {
 fn harvest_precision_floor_holds_for_every_seed() {
     for seed in SEEDS {
         let corpus = corpus_for(seed);
-        let out = harvest(&corpus, &HarvestConfig::default());
+        let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
         let gold_facts = gold::gold_fact_strings(&corpus.world);
         let m = evaluate_discovered(&out.accepted, &gold_facts, &out.seeds);
         assert!(
@@ -71,7 +71,7 @@ fn harvest_precision_floor_holds_for_every_seed() {
 fn serialization_round_trips_for_every_seed() {
     for seed in SEEDS {
         let corpus = corpus_for(seed);
-        let out = harvest(&corpus, &HarvestConfig::default());
+        let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
         let text = ntriples::to_string(&out.kb).expect("serialize");
         let back = ntriples::from_str(&text).expect("parse");
         assert_eq!(back.len(), out.kb.len(), "seed {seed}");

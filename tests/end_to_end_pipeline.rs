@@ -12,7 +12,7 @@ fn corpus() -> Corpus {
 #[test]
 fn harvested_kb_is_internally_consistent() {
     let corpus = corpus();
-    let out = harvest(&corpus, &HarvestConfig::default());
+    let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
     let kb = &out.kb;
 
     // Every accepted candidate materialized as a live fact whose terms
@@ -47,8 +47,8 @@ fn harvested_kb_is_internally_consistent() {
 fn harvest_is_deterministic_across_runs() {
     let c1 = corpus();
     let c2 = corpus();
-    let out1 = harvest(&c1, &HarvestConfig::default());
-    let out2 = harvest(&c2, &HarvestConfig::default());
+    let out1 = harvest(&c1, &HarvestConfig::default()).expect("harvest");
+    let out2 = harvest(&c2, &HarvestConfig::default()).expect("harvest");
     let keys1: Vec<_> = out1.accepted.iter().map(|c| c.key()).collect();
     let keys2: Vec<_> = out2.accepted.iter().map(|c| c.key()).collect();
     assert_eq!(keys1, keys2);
@@ -58,7 +58,7 @@ fn harvest_is_deterministic_across_runs() {
 #[test]
 fn harvested_kb_survives_serialization() {
     let corpus = corpus();
-    let out = harvest(&corpus, &HarvestConfig::default());
+    let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
     let text = ntriples::to_string(&out.kb).expect("serialize");
     let reloaded = ntriples::from_str(&text).expect("reload");
     assert_eq!(reloaded.len(), out.kb.len());
@@ -82,7 +82,7 @@ fn every_method_clears_a_quality_floor() {
         Method::Reasoning,
         Method::FactorGraph,
     ] {
-        let out = harvest(&corpus, &HarvestConfig { method, ..Default::default() });
+        let out = harvest(&corpus, &HarvestConfig { method, ..Default::default() }).expect("harvest");
         let m = evaluate_discovered(&out.accepted, &gold_facts, &out.seeds);
         assert!(m.precision > 0.5, "{method:?} precision {}", m.precision);
         assert!(!out.accepted.is_empty(), "{method:?} accepted nothing");
@@ -98,8 +98,8 @@ fn noise_free_corpus_yields_higher_precision_than_noisy() {
     let gold_clean = gold::gold_fact_strings(&clean.world);
     let gold_noisy = gold::gold_fact_strings(&noisy.world);
     let cfg = HarvestConfig { method: Method::PatternsOnly, ..Default::default() };
-    let out_clean = harvest(&clean, &cfg);
-    let out_noisy = harvest(&noisy, &cfg);
+    let out_clean = harvest(&clean, &cfg).expect("harvest");
+    let out_noisy = harvest(&noisy, &cfg).expect("harvest");
     let m_clean = evaluate_discovered(&out_clean.accepted, &gold_clean, &out_clean.seeds);
     let m_noisy = evaluate_discovered(&out_noisy.accepted, &gold_noisy, &out_noisy.seeds);
     assert!(
@@ -118,7 +118,8 @@ fn seed_fraction_trades_recall() {
         let out = harvest(
             &corpus,
             &HarvestConfig { seed_fraction: fraction, ..Default::default() },
-        );
+        )
+        .expect("harvest");
         evaluate_discovered(&out.accepted, &gold_facts, &out.seeds)
     };
     let low = run(0.1);

@@ -7,7 +7,7 @@ use kbkit::kb_ned::{detect_mentions, evaluate, Ned, Strategy};
 
 fn setup() -> (Corpus, kbkit::kb_harvest::pipeline::HarvestOutput) {
     let corpus = Corpus::generate(&CorpusConfig::tiny());
-    let out = harvest(&corpus, &HarvestConfig::default());
+    let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
     (corpus, out)
 }
 

@@ -1,0 +1,193 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a plain wall-clock mean over
+//! `sample_size` samples — adequate for the relative comparisons the
+//! experiment tables make, without criterion's statistical machinery.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean wall-clock duration of one iteration, filled by [`iter`].
+    ///
+    /// [`iter`]: Bencher::iter
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration over the configured
+    /// number of samples (plus a small warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.sample_size as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { sample_size: self.criterion.sample_size, mean: Duration::ZERO };
+        f(&mut b);
+        println!("bench {:<40} {:>12.3?}", format!("{}/{}", self.name, id), b.mean);
+    }
+
+    /// Benchmarks `f` under `id` within this group. `id` may be a
+    /// `&str`, `String` or [`BenchmarkId`], as in criterion proper.
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        f: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under a parameterized id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Benchmarks a standalone function outside any group.
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { sample_size: self.sample_size, mean: Duration::ZERO };
+        f(&mut b);
+        println!("bench {:<40} {:>12.3?}", id, b.mean);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lookup", 10_000).to_string(), "lookup/10000");
+    }
+}

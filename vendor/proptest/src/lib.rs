@@ -1,0 +1,589 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest its test suites use: the [`proptest!`]
+//! macro with `proptest_config`, [`prop_assert!`] / [`prop_assert_eq!`],
+//! the [`Strategy`] trait with `prop_map`, [`prop_oneof!`], [`Just`],
+//! `any::<T>()`, numeric-range and regex-string strategies,
+//! `prop::collection::vec`, `prop::option::of` and
+//! `prop::sample::Index`.
+//!
+//! Semantics: each test runs `cases` deterministic inputs derived from
+//! the test's name (reproducible across runs and machines). Failing
+//! cases are reported with their case number; there is no shrinking.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod string;
+
+/// Mixing step of splitmix64.
+#[inline]
+fn splitmix64(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic generator driving value production.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test-identity hash and a case number.
+    pub fn for_case(seed: u64, case: u64) -> Self {
+        TestRng { state: splitmix64(seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    /// Next raw value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+/// FNV-1a hash of a test name, used to seed its deterministic cases.
+pub fn test_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a test case failed; produced by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed assertion with an explanatory message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// String literals are regex-subset strategies, as in proptest.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_matching(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A 0);
+tuple_strategy!(A 0, B 1);
+tuple_strategy!(A 0, B 1, C 2);
+tuple_strategy!(A 0, B 1, C 2, D 3);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10, L 11);
+
+/// Uniform choice among boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Wraps a non-empty list of alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Boxes a strategy for storage in a [`Union`]; the coercion helper
+/// behind [`prop_oneof!`].
+pub fn boxed_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// `any::<T>()` support: types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Yields the canonical strategy for the type.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// The strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+/// Canonical full-domain strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+    A::arbitrary()
+}
+
+macro_rules! arbitrary_via {
+    ($t:ty, $gen:expr) => {
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy(PhantomData)
+            }
+        }
+        impl Strategy for ArbitraryStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                #[allow(clippy::redundant_closure_call)]
+                ($gen)(rng)
+            }
+        }
+    };
+}
+
+arbitrary_via!(bool, |rng: &mut TestRng| rng.next_u64() & 1 == 1);
+arbitrary_via!(u8, |rng: &mut TestRng| rng.next_u64() as u8);
+arbitrary_via!(u16, |rng: &mut TestRng| rng.next_u64() as u16);
+arbitrary_via!(u32, |rng: &mut TestRng| rng.next_u64() as u32);
+arbitrary_via!(u64, |rng: &mut TestRng| rng.next_u64());
+arbitrary_via!(usize, |rng: &mut TestRng| rng.next_u64() as usize);
+arbitrary_via!(i8, |rng: &mut TestRng| rng.next_u64() as i8);
+arbitrary_via!(i16, |rng: &mut TestRng| rng.next_u64() as i16);
+arbitrary_via!(i32, |rng: &mut TestRng| rng.next_u64() as i32);
+arbitrary_via!(i64, |rng: &mut TestRng| rng.next_u64() as i64);
+arbitrary_via!(f64, |rng: &mut TestRng| rng.unit_f64());
+arbitrary_via!(f32, |rng: &mut TestRng| rng.unit_f64() as f32);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as the length argument of [`vec`].
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Vector strategy: `vec(elem, 0..40)` or `vec(elem, 3)`.
+    pub fn vec<S: Strategy, R: SizeRange>(elem: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { elem, size }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`, `Some` half the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.chance(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `prop::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, ArbitraryStrategy, Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// An index into a collection whose length is only known at use
+    /// time; obtained via `any::<prop::sample::Index>()`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects onto `[0, len)`; `len` must be nonzero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary() -> ArbitraryStrategy<Index> {
+            ArbitraryStrategy(PhantomData)
+        }
+    }
+
+    impl Strategy for ArbitraryStrategy<Index> {
+        type Value = Index;
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// The `prop::` namespace as test files spell it.
+pub mod prop {
+    pub use crate::{collection, option, sample};
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                left, right, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::test_seed(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..u64::from(config.cases) {
+                    let mut rng = $crate::TestRng::for_case(seed, case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest {} failed at case {}/{}:\n{}",
+                            stringify!($name), case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_unions_generate_in_domain() {
+        let mut rng = crate::TestRng::for_case(1, 0);
+        let s = prop_oneof![Just(0u32), 5u32..10];
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v == 0 || (5..10).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn vec_and_option_shapes() {
+        let mut rng = crate::TestRng::for_case(2, 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&prop::collection::vec(0i32..4, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..4).contains(x)));
+            let fixed = Strategy::generate(&prop::collection::vec(any::<bool>(), 3usize), &mut rng);
+            assert_eq!(fixed.len(), 3);
+        }
+        let somes = (0..400)
+            .filter(|_| Strategy::generate(&prop::option::of(0u8..9), &mut rng).is_some())
+            .count();
+        assert!((120..280).contains(&somes), "Some rate skewed: {somes}/400");
+    }
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let mut rng = crate::TestRng::for_case(3, 0);
+        for _ in 0..100 {
+            let ix = Strategy::generate(&any::<prop::sample::Index>(), &mut rng);
+            assert!(ix.index(7) < 7);
+            assert_eq!(ix.index(1), 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = ("[a-z]{1,8}", 0u64..50, any::<bool>());
+        let a = Strategy::generate(&s, &mut crate::TestRng::for_case(9, 4));
+        let b = Strategy::generate(&s, &mut crate::TestRng::for_case(9, 4));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires strategies to arguments and runs bodies.
+        #[test]
+        fn macro_generates_and_checks(x in 0u32..10, v in prop::collection::vec(0u8..3, 0..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 5);
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(v.iter().all(|&b| b < 3), "bad elem in {:?}", v);
+        }
+    }
+
+    proptest! {
+        /// Default-config form parses too.
+        #[test]
+        fn macro_default_config(flag in any::<bool>()) {
+            prop_assert_eq!(flag as u8 & 1, flag as u8);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Generation of strings matching the regex subset proptest-style
+//! string strategies use in this workspace: literals, escapes, character
+//! classes with ranges (`[A-Za-z0-9_.\-\\ -~]`), the `\PC` printable
+//! class, `.`, and groups/atoms with `?`, `*`, `+` or `{m,n}`
+//! repetition. Alternation (`|`) is intentionally unsupported — the test
+//! suites express it with `prop_oneof!`.
+
+use crate::TestRng;
+
+/// One parsed regex atom plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A literal character.
+    Lit(char),
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// `\PC` / `.`: any printable character (mostly ASCII, some
+    /// multi-byte to exercise UTF-8 boundary handling).
+    AnyPrintable,
+    /// A parenthesized sub-pattern.
+    Group(Vec<Piece>),
+}
+
+/// A few multi-byte printable characters mixed into `\PC` output so
+/// consumers see non-ASCII UTF-8.
+const WIDE: [char; 8] = ['é', 'ü', 'ß', 'Ω', 'ñ', '中', 'я', 'ç'];
+
+/// Generates one string matching `pattern`. Panics on syntax the subset
+/// does not cover, which is a bug in the calling test, not user input.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut rest: &[char] = &chars;
+    let pieces = parse(&mut rest);
+    assert!(rest.is_empty(), "unbalanced ')' in string strategy {pattern:?}");
+    let mut out = String::new();
+    emit_all(&pieces, rng, &mut out);
+    out
+}
+
+fn emit_all(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for p in pieces {
+        let span = p.max - p.min;
+        let n = p.min + if span == 0 { 0 } else { rng.below(u64::from(span) + 1) as u32 };
+        for _ in 0..n {
+            emit_atom(&p.atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|&(a, b)| (b as u64) - (a as u64) + 1).sum();
+            let mut pick = rng.below(total);
+            for &(a, b) in ranges {
+                let size = (b as u64) - (a as u64) + 1;
+                if pick < size {
+                    out.push(char::from_u32(a as u32 + pick as u32).unwrap_or(a));
+                    return;
+                }
+                pick -= size;
+            }
+        }
+        Atom::AnyPrintable => {
+            if rng.chance(0.9) {
+                out.push((b' ' + rng.below(95) as u8) as char);
+            } else {
+                out.push(WIDE[rng.below(WIDE.len() as u64) as usize]);
+            }
+        }
+        Atom::Group(pieces) => emit_all(pieces, rng, out),
+    }
+}
+
+/// Parses a sequence of pieces until end of input or a closing paren
+/// (which is consumed by the caller).
+fn parse(input: &mut &[char]) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    while let Some(&c) = input.first() {
+        if c == ')' {
+            break;
+        }
+        *input = &input[1..];
+        let atom = match c {
+            '(' => {
+                let inner = parse(input);
+                match input.first() {
+                    Some(')') => *input = &input[1..],
+                    _ => panic!("unclosed group in string strategy"),
+                }
+                Atom::Group(inner)
+            }
+            '[' => Atom::Class(parse_class(input)),
+            '.' => Atom::AnyPrintable,
+            '\\' => parse_escape(input),
+            c => Atom::Lit(c),
+        };
+        let (min, max) = parse_repetition(input);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parses the body of an escape sequence (after the backslash).
+fn parse_escape(input: &mut &[char]) -> Atom {
+    let c = *input.first().expect("dangling escape in string strategy");
+    *input = &input[1..];
+    match c {
+        'n' => Atom::Lit('\n'),
+        't' => Atom::Lit('\t'),
+        'r' => Atom::Lit('\r'),
+        'P' | 'p' => {
+            // `\PC` (not-control) or `\pL`-style classes: consume the
+            // category letter, emit printable characters.
+            if !input.is_empty() {
+                *input = &input[1..];
+            }
+            Atom::AnyPrintable
+        }
+        c => Atom::Lit(c),
+    }
+}
+
+/// Parses a character class body after `[`, consuming the closing `]`.
+fn parse_class(input: &mut &[char]) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = *input.first().expect("unclosed character class in string strategy");
+        *input = &input[1..];
+        let lo = match c {
+            ']' => break,
+            '\\' => {
+                let e = *input.first().expect("dangling escape in character class");
+                *input = &input[1..];
+                match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    e => e,
+                }
+            }
+            c => c,
+        };
+        // A `-` that is neither first ([-...]) nor last ([...-]) marks a
+        // range; otherwise it is a literal.
+        if input.first() == Some(&'-') && input.get(1).is_some_and(|&n| n != ']') {
+            *input = &input[1..];
+            let h = *input.first().unwrap();
+            *input = &input[1..];
+            let hi = if h == '\\' {
+                let e = *input.first().expect("dangling escape in character class");
+                *input = &input[1..];
+                e
+            } else {
+                h
+            };
+            assert!(lo <= hi, "inverted class range in string strategy");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class in string strategy");
+    ranges
+}
+
+/// Parses an optional repetition suffix; defaults to exactly one.
+fn parse_repetition(input: &mut &[char]) -> (u32, u32) {
+    match input.first() {
+        Some('?') => {
+            *input = &input[1..];
+            (0, 1)
+        }
+        Some('*') => {
+            *input = &input[1..];
+            (0, 8)
+        }
+        Some('+') => {
+            *input = &input[1..];
+            (1, 8)
+        }
+        Some('{') => {
+            *input = &input[1..];
+            let mut digits = String::new();
+            while input.first().is_some_and(|c| c.is_ascii_digit()) {
+                digits.push(input[0]);
+                *input = &input[1..];
+            }
+            let min: u32 = digits.parse().expect("malformed repetition");
+            let max = match input.first() {
+                Some(',') => {
+                    *input = &input[1..];
+                    let mut digits = String::new();
+                    while input.first().is_some_and(|c| c.is_ascii_digit()) {
+                        digits.push(input[0]);
+                        *input = &input[1..];
+                    }
+                    if digits.is_empty() { min + 8 } else { digits.parse().expect("malformed repetition") }
+                }
+                _ => min,
+            };
+            match input.first() {
+                Some('}') => *input = &input[1..],
+                _ => panic!("unclosed repetition in string strategy"),
+            }
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0xfeed, 0)
+    }
+
+    #[test]
+    fn literal_and_class_patterns() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate_matching("[TCSL#X]", &mut rng);
+            assert_eq!(s.chars().count(), 1);
+            assert!("TCSL#X".contains(&s));
+        }
+        for _ in 0..50 {
+            let s = generate_matching("[a-z]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range_and_escapes() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[ -~\\n\\t]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+        for _ in 0..50 {
+            let s = generate_matching("[a-z0-9.\\-\\\\]{0,10}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".-\\".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_class_is_printable_utf8() {
+        let mut rng = rng();
+        let mut saw_multibyte = false;
+        for _ in 0..60 {
+            let s = generate_matching("\\PC{0,100}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+            saw_multibyte |= s.bytes().any(|b| b >= 0x80);
+        }
+        assert!(saw_multibyte, "\\PC never produced multi-byte UTF-8");
+    }
+
+    #[test]
+    fn groups_with_repetition_and_option() {
+        let mut rng = rng();
+        for _ in 0..60 {
+            let s = generate_matching("[a-z]{1,8}( [a-z]{1,8}){0,6}", &mut rng);
+            for word in s.split(' ') {
+                assert!((1..=8).contains(&word.len()), "{s:?}");
+            }
+        }
+        for _ in 0..60 {
+            let s = generate_matching("[A-Z][a-z]{1,6}( [A-Z][a-z]{1,6})?", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!(words.len() <= 2);
+            for w in words {
+                assert!(w.chars().next().unwrap().is_ascii_uppercase());
+            }
+        }
+    }
+
+    #[test]
+    fn same_rng_state_reproduces() {
+        let a = generate_matching("[A-Za-z_][A-Za-z0-9_]{0,12}", &mut TestRng::for_case(5, 9));
+        let b = generate_matching("[A-Za-z_][A-Za-z0-9_]{0,12}", &mut TestRng::for_case(5, 9));
+        assert_eq!(a, b);
+    }
+}
