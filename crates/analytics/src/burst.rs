@@ -45,9 +45,8 @@ pub fn detect_bursts(series: &TimeSeries, cfg: &BurstConfig) -> Vec<Burst> {
     let Some((&last, _)) = series.buckets.last_key_value() else {
         return Vec::new();
     };
-    let counts: Vec<(u32, usize)> = (first..=last)
-        .map(|b| (b, series.buckets.get(&b).map_or(0, |s| s.mentions)))
-        .collect();
+    let counts: Vec<(u32, usize)> =
+        (first..=last).map(|b| (b, series.buckets.get(&b).map_or(0, |s| s.mentions))).collect();
     let mut bursts = Vec::new();
     for (i, &(bucket, mentions)) in counts.iter().enumerate() {
         if i < 2 {

@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use kb_store::TermId;
+use kb_store::{KbRead, TermId};
 
 use crate::aggregate::TimeSeries;
 use crate::stream::StreamPost;
@@ -12,10 +12,11 @@ use crate::track::Tracker;
 
 /// Aggregates a stream with `workers` threads. Results are identical to
 /// the serial [`Tracker::aggregate`] because per-entity series merge
-/// commutatively.
-pub fn aggregate_parallel(
-    tracker: &Tracker<'_, '_>,
-    kb: &kb_store::KnowledgeBase,
+/// commutatively. Works over any `Sync` KB view — in particular an
+/// `Arc`-shared `KbSnapshot`, which the workers read without locking.
+pub fn aggregate_parallel<K: KbRead + Sync + ?Sized>(
+    tracker: &Tracker<'_, '_, K>,
+    kb: &K,
     posts: &[StreamPost],
     workers: usize,
 ) -> HashMap<TermId, TimeSeries> {
@@ -29,17 +30,11 @@ pub fn aggregate_parallel(
             .chunks(chunk_size)
             .map(|chunk| scope.spawn(move |_| tracker.aggregate(kb, chunk)))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("analytics worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("analytics worker panicked")).collect()
     })
     .expect("scope failed");
-    let mut merged: HashMap<TermId, TimeSeries> = tracker
-        .tracked
-        .iter()
-        .map(|&e| (e, TimeSeries::new()))
-        .collect();
+    let mut merged: HashMap<TermId, TimeSeries> =
+        tracker.tracked.iter().map(|&e| (e, TimeSeries::new())).collect();
     for partial in partials {
         for (entity, series) in partial {
             merged.entry(entity).or_default().merge(&series);
@@ -68,11 +63,7 @@ mod tests {
             .map(|i| {
                 StreamPost::new(
                     i % 14,
-                    if i % 3 == 0 {
-                        "the Strato 3 is great"
-                    } else {
-                        "the Strato 3 is terrible"
-                    },
+                    if i % 3 == 0 { "the Strato 3 is great" } else { "the Strato 3 is terrible" },
                 )
             })
             .collect();

@@ -21,23 +21,13 @@ pub struct ComparisonReport {
 impl ComparisonReport {
     /// Builds a report.
     pub fn new(name_a: &str, series_a: TimeSeries, name_b: &str, series_b: TimeSeries) -> Self {
-        Self {
-            name_a: name_a.to_string(),
-            name_b: name_b.to_string(),
-            series_a,
-            series_b,
-        }
+        Self { name_a: name_a.to_string(), name_b: name_b.to_string(), series_a, series_b }
     }
 
     /// The first week where B's mentions overtake A's, if any.
     pub fn crossover_week(&self) -> Option<u32> {
-        let weeks: std::collections::BTreeSet<u32> = self
-            .series_a
-            .buckets
-            .keys()
-            .chain(self.series_b.buckets.keys())
-            .copied()
-            .collect();
+        let weeks: std::collections::BTreeSet<u32> =
+            self.series_a.buckets.keys().chain(self.series_b.buckets.keys()).copied().collect();
         for w in weeks {
             let a = self.series_a.buckets.get(&w).map_or(0, |b| b.mentions);
             let b = self.series_b.buckets.get(&w).map_or(0, |b| b.mentions);
@@ -50,13 +40,8 @@ impl ComparisonReport {
 
     /// Summary rows: `(week, mentions_a, net_a, mentions_b, net_b)`.
     pub fn rows(&self) -> Vec<(u32, usize, f64, usize, f64)> {
-        let weeks: std::collections::BTreeSet<u32> = self
-            .series_a
-            .buckets
-            .keys()
-            .chain(self.series_b.buckets.keys())
-            .copied()
-            .collect();
+        let weeks: std::collections::BTreeSet<u32> =
+            self.series_a.buckets.keys().chain(self.series_b.buckets.keys()).copied().collect();
         weeks
             .into_iter()
             .map(|w| {

@@ -3,14 +3,36 @@
 
 /// Positive opinion words.
 static POSITIVE: &[&str] = &[
-    "amazing", "awesome", "brilliant", "excellent", "fantastic", "fast",
-    "gorgeous", "great", "love", "loved", "nice", "superb", "wonderful",
+    "amazing",
+    "awesome",
+    "brilliant",
+    "excellent",
+    "fantastic",
+    "fast",
+    "gorgeous",
+    "great",
+    "love",
+    "loved",
+    "nice",
+    "superb",
+    "wonderful",
 ];
 
 /// Negative opinion words.
 static NEGATIVE: &[&str] = &[
-    "awful", "broken", "buggy", "disappointing", "flimsy", "hate",
-    "hated", "overpriced", "poor", "slow", "terrible", "ugly", "worst",
+    "awful",
+    "broken",
+    "buggy",
+    "disappointing",
+    "flimsy",
+    "hate",
+    "hated",
+    "overpriced",
+    "poor",
+    "slow",
+    "terrible",
+    "ugly",
+    "worst",
 ];
 
 /// Sentiment polarity of a text: `+1`, `-1` or `0`, by counting lexicon

@@ -4,31 +4,34 @@
 use std::collections::HashMap;
 
 use kb_ned::{detect_mentions, Ned, Strategy};
-use kb_store::TermId;
+use kb_store::{KbRead, KnowledgeBase, TermId};
 
 use crate::aggregate::TimeSeries;
 use crate::sentiment::polarity;
 use crate::stream::StreamPost;
 
 /// Tracks a fixed set of entities through a stream.
-pub struct Tracker<'a, 'kb> {
+///
+/// Generic over the KB view (`K`): the live [`KnowledgeBase`] façade or
+/// an immutable snapshot — anything implementing [`KbRead`].
+pub struct Tracker<'a, 'kb, K: ?Sized = KnowledgeBase> {
     /// The NED engine used for mention resolution.
-    pub ned: &'a Ned<'kb>,
+    pub ned: &'a Ned<'kb, K>,
     /// The entities being tracked.
     pub tracked: Vec<TermId>,
     /// Disambiguation strategy (Context by default).
     pub strategy: Strategy,
 }
 
-impl<'a, 'kb> Tracker<'a, 'kb> {
+impl<'a, 'kb, K: KbRead + ?Sized> Tracker<'a, 'kb, K> {
     /// Creates a tracker.
-    pub fn new(ned: &'a Ned<'kb>, tracked: Vec<TermId>) -> Self {
+    pub fn new(ned: &'a Ned<'kb, K>, tracked: Vec<TermId>) -> Self {
         Self { ned, tracked, strategy: Strategy::Context }
     }
 
     /// Processes one post: returns `(entity, sentiment)` for each
     /// resolved mention of a tracked entity.
-    pub fn process(&self, kb: &kb_store::KnowledgeBase, post: &StreamPost) -> Vec<(TermId, i8)> {
+    pub fn process(&self, kb: &K, post: &StreamPost) -> Vec<(TermId, i8)> {
         let mentions = detect_mentions(kb, &post.text);
         if mentions.is_empty() {
             return vec![];
@@ -49,7 +52,7 @@ impl<'a, 'kb> Tracker<'a, 'kb> {
     /// the "what is it discussed with?" view.
     pub fn co_mentions(
         &self,
-        kb: &kb_store::KnowledgeBase,
+        kb: &K,
         posts: &[StreamPost],
         entity: TermId,
         k: usize,
@@ -82,22 +85,12 @@ impl<'a, 'kb> Tracker<'a, 'kb> {
     }
 
     /// Aggregates a whole stream into per-entity weekly time series.
-    pub fn aggregate(
-        &self,
-        kb: &kb_store::KnowledgeBase,
-        posts: &[StreamPost],
-    ) -> HashMap<TermId, TimeSeries> {
-        let mut series: HashMap<TermId, TimeSeries> = self
-            .tracked
-            .iter()
-            .map(|&e| (e, TimeSeries::new()))
-            .collect();
+    pub fn aggregate(&self, kb: &K, posts: &[StreamPost]) -> HashMap<TermId, TimeSeries> {
+        let mut series: HashMap<TermId, TimeSeries> =
+            self.tracked.iter().map(|&e| (e, TimeSeries::new())).collect();
         for post in posts {
             for (entity, sentiment) in self.process(kb, post) {
-                series
-                    .entry(entity)
-                    .or_default()
-                    .record(post.week(), sentiment);
+                series.entry(entity).or_default().record(post.week(), sentiment);
             }
         }
         series
@@ -107,7 +100,6 @@ impl<'a, 'kb> Tracker<'a, 'kb> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kb_store::KnowledgeBase;
 
     fn setup() -> (KnowledgeBase, TermId, TermId) {
         let mut kb = KnowledgeBase::new();

@@ -7,6 +7,7 @@ use kb_analytics::stream::from_corpus;
 use kb_analytics::{StreamPost, Tracker};
 use kb_bench::setup::{build_ned, harvest_with, small_corpus};
 use kb_harvest::pipeline::Method;
+use kb_store::KbRead;
 
 fn bench_analytics(c: &mut Criterion) {
     let corpus = small_corpus(42);
@@ -15,10 +16,8 @@ fn bench_analytics(c: &mut Criterion) {
     let ned = build_ned(&corpus, kb);
     let world = &corpus.world;
     let (pa, pb) = world.rival_products;
-    let tracked: Vec<_> = [pa, pb]
-        .iter()
-        .filter_map(|p| kb.term(&world.entity(*p).canonical))
-        .collect();
+    let tracked: Vec<_> =
+        [pa, pb].iter().filter_map(|p| kb.term(&world.entity(*p).canonical)).collect();
     let tracker = Tracker::new(&ned, tracked);
     let posts: Vec<StreamPost> = corpus.posts.iter().map(from_corpus).collect();
 

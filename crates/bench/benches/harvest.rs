@@ -6,11 +6,11 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use kb_bench::setup::small_corpus;
 use kb_corpus::{gold, Doc};
+use kb_harvest::factorgraph::{infer_candidates, GibbsConfig};
 use kb_harvest::facts::distant::{stratified_seeds, train, TrainConfig};
 use kb_harvest::facts::extract::{extract_candidates, ExtractConfig};
 use kb_harvest::facts::patterns::CollectConfig;
 use kb_harvest::facts::scoring::TypeIndex;
-use kb_harvest::factorgraph::{infer_candidates, GibbsConfig};
 use kb_harvest::openie::{extract_open, OpenIeConfig};
 use kb_harvest::pipeline::{analyze_parallel, collect_parallel};
 use kb_harvest::reasoning::{reason_candidates, SolverConfig};
@@ -80,9 +80,7 @@ fn bench_harvest(c: &mut Criterion) {
     group.bench_function("maxsat_reasoning", |b| {
         b.iter(|| {
             black_box(
-                reason_candidates(&candidates, &types, &SolverConfig::default())
-                    .accepted
-                    .len(),
+                reason_candidates(&candidates, &types, &SolverConfig::default()).accepted.len(),
             )
         })
     });

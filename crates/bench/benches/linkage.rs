@@ -39,10 +39,8 @@ fn bench_linkage(c: &mut Criterion) {
         })
     });
 
-    let labeled: Vec<(&kb_link::Record, &kb_link::Record, bool)> = pairs
-        .iter()
-        .map(|&(x, y)| (by_id[&x], by_id[&y], fix.gold.contains(&(x, y))))
-        .collect();
+    let labeled: Vec<(&kb_link::Record, &kb_link::Record, bool)> =
+        pairs.iter().map(|&(x, y)| (by_id[&x], by_id[&y], fix.gold.contains(&(x, y)))).collect();
     group.bench_function("logreg_train", |b| {
         b.iter(|| black_box(LogRegMatcher::train(&labeled, &TrainConfig::default()).threshold))
     });
@@ -52,21 +50,13 @@ fn bench_linkage(c: &mut Criterion) {
     group.bench_function("match_all_pairs_rule", |b| {
         b.iter(|| {
             black_box(
-                pairs
-                    .iter()
-                    .filter(|&&(x, y)| rule_match(by_id[&x], by_id[&y], &rule_cfg))
-                    .count(),
+                pairs.iter().filter(|&&(x, y)| rule_match(by_id[&x], by_id[&y], &rule_cfg)).count(),
             )
         })
     });
     group.bench_function("match_all_pairs_logreg", |b| {
         b.iter(|| {
-            black_box(
-                pairs
-                    .iter()
-                    .filter(|&&(x, y)| model.matches(by_id[&x], by_id[&y]))
-                    .count(),
-            )
+            black_box(pairs.iter().filter(|&&(x, y)| model.matches(by_id[&x], by_id[&y])).count())
         })
     });
 

@@ -12,16 +12,16 @@
 use std::env;
 use std::time::Instant;
 
-use kb_bench::{exp_analytics, exp_facts, exp_kb, exp_link, exp_misc, exp_ned, exp_openie, exp_rules, exp_scale, exp_taxonomy, setup, HARNESS_SEED};
+use kb_bench::{
+    exp_analytics, exp_facts, exp_kb, exp_link, exp_misc, exp_ned, exp_openie, exp_rules,
+    exp_scale, exp_taxonomy, setup, HARNESS_SEED,
+};
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let corpus = if small {
         setup::small_corpus(HARNESS_SEED)
     } else {

@@ -13,7 +13,7 @@ use kb_analytics::stream::from_corpus;
 use kb_analytics::{ComparisonReport, StreamPost, Tracker};
 use kb_corpus::{Corpus, EntityId, Rel};
 use kb_harvest::pipeline::Method;
-use kb_store::TermId;
+use kb_store::{KbRead, TermId};
 
 use crate::setup::{build_ned, harvest_with};
 
@@ -41,12 +41,7 @@ fn line_members(corpus: &Corpus, flagship: EntityId) -> Vec<EntityId> {
         .find(|f| f.rel == Rel::Created && f.o == flagship)
         .map(|f| f.s)
         .expect("flagship has a creator");
-    world
-        .facts
-        .iter()
-        .filter(|f| f.rel == Rel::Created && f.s == creator)
-        .map(|f| f.o)
-        .collect()
+    world.facts.iter().filter(|f| f.rel == Rel::Created && f.s == creator).map(|f| f.o).collect()
 }
 
 /// Executes T10.

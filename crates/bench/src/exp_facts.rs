@@ -127,9 +127,7 @@ pub fn run_t7(corpus: &Corpus) -> temporal::TemporalAccuracy {
         .accepted
         .iter()
         .filter_map(|c| {
-            gold_spans.get(&c.key()).map(|&(gb, ge)| {
-                (temporal::infer_span(&c.hints), gb, ge)
-            })
+            gold_spans.get(&c.key()).map(|&(gb, ge)| (temporal::infer_span(&c.hints), gb, ge))
         })
         .collect();
     temporal::score_spans(&rows)
@@ -253,12 +251,8 @@ pub fn f6(corpus: &Corpus) -> String {
     for rounds in 1..=4usize {
         let cfg = BootstrapConfig { rounds, promote_threshold: 0.7, ..Default::default() };
         let out = bootstrap(&occurrences, &initial, &types, &cfg);
-        let accepted: Vec<kb_harvest::CandidateFact> = out
-            .candidates
-            .iter()
-            .filter(|c| c.confidence >= 0.5)
-            .cloned()
-            .collect();
+        let accepted: Vec<kb_harvest::CandidateFact> =
+            out.candidates.iter().filter(|c| c.confidence >= 0.5).cloned().collect();
         // Evaluate against gold minus the *initial* seeds only — the
         // promotions are the system's own discoveries.
         let m = evaluate_discovered(&accepted, &gold_facts, &initial);
@@ -272,11 +266,7 @@ pub fn f6(corpus: &Corpus) -> String {
             f3(m.recall),
         ]);
     }
-    format!(
-        "F6 — NELL-style bootstrapping from {} initial seeds\n{}",
-        initial.len(),
-        t.render()
-    )
+    format!("F6 — NELL-style bootstrapping from {} initial seeds\n{}", initial.len(), t.render())
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use kb_corpus::Corpus;
 use kb_harvest::pipeline::Method;
-use kb_store::{KnowledgeBase, TriplePattern};
+use kb_store::{KbRead, KnowledgeBase, TriplePattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -76,7 +76,7 @@ pub struct StoreProfile {
 }
 
 /// Measures store query throughput at one size.
-pub fn profile_store(kb: &KnowledgeBase, seed: u64) -> StoreProfile {
+pub fn profile_store<K: KbRead>(kb: &K, seed: u64) -> StoreProfile {
     let mut rng = StdRng::seed_from_u64(seed);
     let all: Vec<_> = kb.matching_triples(&TriplePattern::any());
     let size = all.len();
@@ -113,12 +113,7 @@ pub fn profile_store(kb: &KnowledgeBase, seed: u64) -> StoreProfile {
     }
     let joins = join_iters as f64 / t2.elapsed().as_secs_f64();
     let _ = join_rows;
-    StoreProfile {
-        size,
-        point_lookups_per_sec: point,
-        scans_per_sec: scans,
-        joins_per_sec: joins,
-    }
+    StoreProfile { size, point_lookups_per_sec: point, scans_per_sec: scans, joins_per_sec: joins }
 }
 
 /// F4: store throughput across sizes.

@@ -24,10 +24,7 @@ pub struct LinkFixture {
 /// Builds the fixture from a corpus world.
 pub fn fixture(corpus: &Corpus, seed: u64) -> LinkFixture {
     let LinkageDump { records, gold_pairs } = linkage_dump(&corpus.world, seed);
-    LinkFixture {
-        records: records.iter().map(from_corpus).collect(),
-        gold: gold_pairs,
-    }
+    LinkFixture { records: records.iter().map(from_corpus).collect(), gold: gold_pairs }
 }
 
 /// One blocking row of T6.
@@ -57,12 +54,7 @@ pub fn run_blocking(fix: &LinkFixture) -> Vec<BlockingRow> {
         let pairs = candidate_pairs(&fix.records, strategy);
         let millis = t0.elapsed().as_secs_f64() * 1e3;
         let q = blocking_quality(&pairs, &fix.gold);
-        BlockingRow {
-            strategy: label.to_string(),
-            pairs: q.pairs,
-            recall: q.pair_recall,
-            millis,
-        }
+        BlockingRow { strategy: label.to_string(), pairs: q.pairs, recall: q.pair_recall, millis }
     })
     .collect()
 }
@@ -94,24 +86,15 @@ pub fn run_matchers(fix: &LinkFixture) -> Vec<MatcherRow> {
             test.push((a, b));
         }
     }
-    let test_gold: HashSet<(u32, u32)> = test
-        .iter()
-        .copied()
-        .filter(|p| fix.gold.contains(p))
-        .collect();
+    let test_gold: HashSet<(u32, u32)> =
+        test.iter().copied().filter(|p| fix.gold.contains(p)).collect();
     let model = LogRegMatcher::train(&train, &TrainConfig::default());
     let rule_cfg = RuleConfig::default();
 
     let eval = |name: &str, decide: &dyn Fn(&Record, &Record) -> bool| -> MatcherRow {
-        let predicted: HashSet<(u32, u32)> = test
-            .iter()
-            .copied()
-            .filter(|&(a, b)| decide(by_id[&a], by_id[&b]))
-            .collect();
-        MatcherRow {
-            matcher: name.to_string(),
-            metrics: pr_f1(&predicted, &test_gold),
-        }
+        let predicted: HashSet<(u32, u32)> =
+            test.iter().copied().filter(|&(a, b)| decide(by_id[&a], by_id[&b])).collect();
+        MatcherRow { matcher: name.to_string(), metrics: pr_f1(&predicted, &test_gold) }
     };
     vec![
         eval("rule matcher", &|a, b| rule_match(a, b, &rule_cfg)),
@@ -128,12 +111,7 @@ pub fn t6(corpus: &Corpus) -> String {
     }
     let mut m = Table::new(&["matcher", "precision", "recall", "F1"]);
     for r in run_matchers(&fix) {
-        m.row(vec![
-            r.matcher,
-            f3(r.metrics.precision),
-            f3(r.metrics.recall),
-            f3(r.metrics.f1),
-        ]);
+        m.row(vec![r.matcher, f3(r.metrics.precision), f3(r.metrics.recall), f3(r.metrics.f1)]);
     }
     format!(
         "T6 — entity linkage: blocking ({} records, {} gold pairs)\n{}\nmatchers on held-out token-blocked pairs\n{}",
@@ -201,8 +179,12 @@ mod tests {
         let rows = run_matchers(&fix);
         let rule = rows.iter().find(|r| r.matcher.contains("rule")).unwrap();
         let learned = rows.iter().find(|r| r.matcher.contains("logistic")).unwrap();
-        assert!(learned.metrics.f1 >= rule.metrics.f1 - 0.05,
-            "learned {} vs rule {}", learned.metrics.f1, rule.metrics.f1);
+        assert!(
+            learned.metrics.f1 >= rule.metrics.f1 - 0.05,
+            "learned {} vs rule {}",
+            learned.metrics.f1,
+            rule.metrics.f1
+        );
         assert!(learned.metrics.f1 > 0.6, "learned F1 {}", learned.metrics.f1);
     }
 

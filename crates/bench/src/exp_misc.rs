@@ -4,22 +4,18 @@ use kb_corpus::lexicon::CONCEPTS;
 use kb_corpus::{Corpus, Doc};
 use kb_harvest::commonsense::{mine_commonsense, property_precision_at_k, CommonsenseConfig};
 use kb_harvest::multilingual::{harvest_labels, links_from_world, MultilingualConfig};
-use kb_store::KnowledgeBase;
+use kb_store::{KbRead, KnowledgeBase};
 
 use crate::table::{f3, Table};
 
 /// Gold check for a mined property.
 fn property_gold(concept: &str, prop: &str) -> bool {
-    CONCEPTS
-        .iter()
-        .any(|c| c.name == concept && c.properties.contains(&prop))
+    CONCEPTS.iter().any(|c| c.name == concept && c.properties.contains(&prop))
 }
 
 /// Gold check for a mined part.
 fn part_gold(part: &str, whole: &str) -> bool {
-    CONCEPTS
-        .iter()
-        .any(|c| c.name == whole && c.parts.contains(&part))
+    CONCEPTS.iter().any(|c| c.name == whole && c.parts.contains(&part))
 }
 
 /// Renders T8.
@@ -41,10 +37,7 @@ pub fn t8(corpus: &Corpus) -> String {
         "part precision".into(),
         f3(if parts.is_empty() { 0.0 } else { part_correct as f64 / parts.len() as f64 }),
     ]);
-    t.row(vec![
-        "part recall".into(),
-        f3(part_correct as f64 / gold_parts as f64),
-    ]);
+    t.row(vec!["part recall".into(), f3(part_correct as f64 / gold_parts as f64)]);
     format!("T8 — commonsense property and part-whole mining\n{}", t.render())
 }
 
@@ -65,10 +58,8 @@ pub struct MultilingualRow {
 pub fn run_t9(corpus: &Corpus) -> Vec<MultilingualRow> {
     let world = &corpus.world;
     let noisy = links_from_world(world, 4);
-    let gold: std::collections::HashSet<(String, String, String)> = links_from_world(world, 0)
-        .into_iter()
-        .map(|l| (l.entity, l.lang, l.label))
-        .collect();
+    let gold: std::collections::HashSet<(String, String, String)> =
+        links_from_world(world, 0).into_iter().map(|l| (l.entity, l.lang, l.label)).collect();
     [false, true]
         .into_iter()
         .map(|filtered| {

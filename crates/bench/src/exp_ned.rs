@@ -34,11 +34,9 @@ pub fn run_ned(corpus: &Corpus) -> NedResults {
 pub fn t5(corpus: &Corpus) -> String {
     let r = run_ned(corpus);
     let mut t = Table::new(&["strategy", "mentions", "accuracy", "ambiguous", "amb. accuracy"]);
-    for (name, acc) in [
-        ("prior", &r.prior),
-        ("+ context", &r.context),
-        ("+ coherence", &r.coherence),
-    ] {
+    for (name, acc) in
+        [("prior", &r.prior), ("+ context", &r.context), ("+ coherence", &r.coherence)]
+    {
         t.row(vec![
             name.to_string(),
             acc.total.to_string(),
@@ -55,12 +53,13 @@ pub fn f3(corpus: &Corpus) -> String {
     let r = run_ned(corpus);
     let mut t = Table::new(&["candidates", "mentions", "prior", "+context", "+coherence"]);
     let lookup = |acc: &NedAccuracy, bin: usize| -> Option<f64> {
-        acc.by_ambiguity
-            .iter()
-            .find(|&&(k, _, _)| k == bin)
-            .map(|&(_, total, correct)| {
-                if total == 0 { 0.0 } else { correct as f64 / total as f64 }
-            })
+        acc.by_ambiguity.iter().find(|&&(k, _, _)| k == bin).map(|&(_, total, correct)| {
+            if total == 0 {
+                0.0
+            } else {
+                correct as f64 / total as f64
+            }
+        })
     };
     for bin in 1..=5usize {
         let total = r
@@ -132,11 +131,7 @@ pub fn f7(corpus: &Corpus) -> String {
         ned.weights = ned_base.weights;
         ned.weights.coherence = w;
         let acc = evaluate(&ned, &gold, Strategy::Coherence);
-        t.row(vec![
-            format!("{w:.2}"),
-            fmt3(acc.accuracy()),
-            fmt3(acc.ambiguous_accuracy()),
-        ]);
+        t.row(vec![format!("{w:.2}"), fmt3(acc.accuracy()), fmt3(acc.ambiguous_accuracy())]);
     }
     format!("F7 — NED coherence-weight ablation (joint strategy)\n{}", t.render())
 }

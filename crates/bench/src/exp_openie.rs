@@ -25,14 +25,15 @@ fn alias_map(corpus: &Corpus) -> HashMap<String, EntityId> {
 /// Whether an open extraction corresponds to *some* gold fact between
 /// its two arguments (either direction, any relation) — the standard
 /// proxy for Open IE precision without per-phrase gold.
-pub fn is_supported(corpus: &Corpus, aliases: &HashMap<String, EntityId>, f: &OpenFact) -> Option<bool> {
+pub fn is_supported(
+    corpus: &Corpus,
+    aliases: &HashMap<String, EntityId>,
+    f: &OpenFact,
+) -> Option<bool> {
     let a = aliases.get(&f.arg1.to_lowercase())?;
     let b = aliases.get(&f.arg2.to_lowercase())?;
-    let supported = corpus
-        .world
-        .facts
-        .iter()
-        .any(|g| (g.s == *a && g.o == *b) || (g.s == *b && g.o == *a));
+    let supported =
+        corpus.world.facts.iter().any(|g| (g.s == *a && g.o == *b) || (g.s == *b && g.o == *a));
     Some(supported)
 }
 

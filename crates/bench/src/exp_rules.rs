@@ -23,7 +23,12 @@ pub struct RulesResult {
 /// Mines rules on the harvested KB and scores the completion step.
 pub fn run_t11(corpus: &Corpus) -> RulesResult {
     let out = harvest_with(corpus, Method::Reasoning, 4);
-    let cfg = RuleConfig { min_support: 5, min_pca_confidence: 0.6, min_std_confidence: 0.4, ..Default::default() };
+    let cfg = RuleConfig {
+        min_support: 5,
+        min_pca_confidence: 0.6,
+        min_std_confidence: 0.4,
+        ..Default::default()
+    };
     let rules = mine_rules(&out.kb, &cfg);
     let predictions = apply_rules(&out.kb, &rules, &cfg);
     let gold_facts = gold::gold_fact_strings(&corpus.world);

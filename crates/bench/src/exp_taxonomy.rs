@@ -41,11 +41,8 @@ pub fn run_t2(corpus: &Corpus) -> Vec<TaxonomyResult> {
         EntityKind::Product,
     ] {
         let class = kind.class_name().to_string();
-        let seeds: HashSet<String> = world
-            .of_kind(kind)
-            .take(3)
-            .map(|e| e.canonical.clone())
-            .collect();
+        let seeds: HashSet<String> =
+            world.of_kind(kind).take(3).map(|e| e.canonical.clone()).collect();
         if seeds.is_empty() {
             continue;
         }
@@ -59,7 +56,11 @@ pub fn run_t2(corpus: &Corpus) -> Vec<TaxonomyResult> {
         }
     }
 
-    let merged = induce::merge_instances(&[(&cat.instances, 0.9), (&hearst_found, 0.7), (&setexp_found, 0.5)]);
+    let merged = induce::merge_instances(&[
+        (&cat.instances, 0.9),
+        (&hearst_found, 0.7),
+        (&setexp_found, 0.5),
+    ]);
     let merged_assertions: Vec<InstanceAssertion> = merged
         .iter()
         .map(|m| InstanceAssertion { entity: m.entity.clone(), class: m.class.clone() })

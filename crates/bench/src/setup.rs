@@ -4,7 +4,7 @@ use kb_corpus::{Corpus, CorpusConfig, Doc};
 use kb_harvest::pipeline::{harvest, HarvestConfig, HarvestOutput, Method};
 use kb_ned::eval::GoldDoc;
 use kb_ned::Ned;
-use kb_store::KnowledgeBase;
+use kb_store::KbRead;
 
 /// The standard evaluation corpus for a seed.
 pub fn standard_corpus(seed: u64) -> Corpus {
@@ -26,7 +26,7 @@ pub fn harvest_with(corpus: &Corpus, method: Method, workers: usize) -> HarvestO
 
 /// Builds a NED engine over a harvested KB, using the corpus' article
 /// mentions as anchor statistics.
-pub fn build_ned<'kb>(corpus: &Corpus, kb: &'kb KnowledgeBase) -> Ned<'kb> {
+pub fn build_ned<'kb, K: KbRead + ?Sized>(corpus: &Corpus, kb: &'kb K) -> Ned<'kb, K> {
     let mut ned = Ned::new(kb);
     for doc in corpus.all_docs() {
         for m in &doc.mentions {
@@ -42,10 +42,10 @@ pub fn build_ned<'kb>(corpus: &Corpus, kb: &'kb KnowledgeBase) -> Ned<'kb> {
 
 /// Converts corpus articles into NED gold documents (mentions whose
 /// gold entity is unknown to the KB are skipped).
-pub fn ned_gold_docs<'a>(
+pub fn ned_gold_docs<'a, K: KbRead + ?Sized>(
     docs: &'a [Doc],
     corpus: &Corpus,
-    kb: &KnowledgeBase,
+    kb: &K,
 ) -> Vec<GoldDoc<'a>> {
     docs.iter()
         .map(|d| GoldDoc {
@@ -54,8 +54,7 @@ pub fn ned_gold_docs<'a>(
                 .mentions
                 .iter()
                 .filter_map(|m| {
-                    kb.term(&corpus.world.entity(m.entity).canonical)
-                        .map(|t| (m.start, m.end, t))
+                    kb.term(&corpus.world.entity(m.entity).canonical).map(|t| (m.start, m.end, t))
                 })
                 .collect(),
         })

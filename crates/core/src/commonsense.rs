@@ -48,7 +48,10 @@ impl Default for CommonsenseConfig {
 }
 
 /// Mines property and part-whole assertions from a document collection.
-pub fn mine_commonsense(docs: &[&Doc], cfg: &CommonsenseConfig) -> (Vec<PropertyFact>, Vec<PartFact>) {
+pub fn mine_commonsense(
+    docs: &[&Doc],
+    cfg: &CommonsenseConfig,
+) -> (Vec<PropertyFact>, Vec<PartFact>) {
     let mut prop_counts: HashMap<(String, String), usize> = HashMap::new();
     let mut part_counts: HashMap<(String, String), usize> = HashMap::new();
     for doc in docs {
@@ -63,13 +66,17 @@ pub fn mine_commonsense(docs: &[&Doc], cfg: &CommonsenseConfig) -> (Vec<Property
         .filter(|&(_, c)| c >= cfg.min_freq)
         .map(|((concept, property), freq)| PropertyFact { concept, property, freq })
         .collect();
-    props.sort_by(|a, b| b.freq.cmp(&a.freq).then_with(|| (&a.concept, &a.property).cmp(&(&b.concept, &b.property))));
+    props.sort_by(|a, b| {
+        b.freq.cmp(&a.freq).then_with(|| (&a.concept, &a.property).cmp(&(&b.concept, &b.property)))
+    });
     let mut parts: Vec<PartFact> = part_counts
         .into_iter()
         .filter(|&(_, c)| c >= cfg.min_freq)
         .map(|((part, whole), freq)| PartFact { part, whole, freq })
         .collect();
-    parts.sort_by(|a, b| b.freq.cmp(&a.freq).then_with(|| (&a.part, &a.whole).cmp(&(&b.part, &b.whole))));
+    parts.sort_by(|a, b| {
+        b.freq.cmp(&a.freq).then_with(|| (&a.part, &a.whole).cmp(&(&b.part, &b.whole)))
+    });
     (props, parts)
 }
 
@@ -107,11 +114,8 @@ fn mine_properties(sentence: &str, counts: &mut HashMap<(String, String), usize>
 /// "The P is part of a C." and "A C has a P." → `P partOf C`.
 fn mine_parts(sentence: &str, counts: &mut HashMap<(String, String), usize>) {
     let toks = tokenize(sentence);
-    let words: Vec<String> = toks
-        .iter()
-        .filter(|t| t.kind == TokenKind::Word)
-        .map(|t| t.lower())
-        .collect();
+    let words: Vec<String> =
+        toks.iter().filter(|t| t.kind == TokenKind::Word).map(|t| t.lower()).collect();
     // ... P is part of a C ...
     for i in 0..words.len() {
         if i >= 1
@@ -205,9 +209,7 @@ mod tests {
     fn precision_at_k_against_gold_table() {
         use kb_corpus::lexicon::CONCEPTS;
         let gold = |concept: &str, prop: &str| {
-            CONCEPTS
-                .iter()
-                .any(|c| c.name == concept && c.properties.contains(&prop))
+            CONCEPTS.iter().any(|c| c.name == concept && c.properties.contains(&prop))
         };
         let props = vec![
             PropertyFact { concept: "apple".into(), property: "red".into(), freq: 5 },
@@ -228,9 +230,7 @@ mod tests {
         assert!(!props.is_empty());
         assert!(!parts.is_empty());
         let gold = |concept: &str, prop: &str| {
-            CONCEPTS
-                .iter()
-                .any(|c| c.name == concept && c.properties.contains(&prop))
+            CONCEPTS.iter().any(|c| c.name == concept && c.properties.contains(&prop))
         };
         let p10 = property_precision_at_k(&props, 10, gold);
         assert!(p10 >= 0.8, "precision@10 = {p10}");

@@ -151,10 +151,7 @@ pub fn gibbs_marginals(graph: &FactorGraph, cfg: &GibbsConfig) -> Vec<f64> {
             }
         }
     }
-    true_counts
-        .into_iter()
-        .map(|c| c as f64 / cfg.samples.max(1) as f64)
-        .collect()
+    true_counts.into_iter().map(|c| c as f64 / cfg.samples.max(1) as f64).collect()
 }
 
 /// Converts a confidence in `(0,1)` to clamped log-odds.
@@ -290,10 +287,8 @@ mod tests {
 
     #[test]
     fn candidate_inference_resolves_functionality_conflicts() {
-        let cands = vec![
-            cand("Alan", "bornIn", "Lund", 0.95),
-            cand("Alan", "bornIn", "Torberg", 0.4),
-        ];
+        let cands =
+            vec![cand("Alan", "bornIn", "Lund", 0.95), cand("Alan", "bornIn", "Torberg", 0.4)];
         let m = infer_candidates(&cands, &TypeIndex::new(), &GibbsConfig::default());
         assert!(m[0] > 0.7, "strong candidate survives: {}", m[0]);
         assert!(m[1] < 0.45, "weak conflicting candidate suppressed: {}", m[1]);

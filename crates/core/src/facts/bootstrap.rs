@@ -146,9 +146,7 @@ mod tests {
 
     fn initial_seeds() -> HashSet<FactKey> {
         // Only the first two pairs are known.
-        (0..2)
-            .map(|i| (format!("P{i}"), "bornIn".to_string(), format!("C{i}")))
-            .collect()
+        (0..2).map(|i| (format!("P{i}"), "bornIn".to_string(), format!("C{i}"))).collect()
     }
 
     #[test]
@@ -177,10 +175,7 @@ mod tests {
         let out = bootstrap(&occs, &seeds, &types, &cfg);
         assert_eq!(out.rounds.len(), 1);
         // Round 1 cannot know "hails from"-only pairs.
-        assert!(!out
-            .candidates
-            .iter()
-            .any(|c| c.subject == "P7" && c.confidence >= 0.4));
+        assert!(!out.candidates.iter().any(|c| c.subject == "P7" && c.confidence >= 0.4));
     }
 
     #[test]

@@ -158,10 +158,7 @@ pub fn train(
 /// Draws a deterministic seed subset of the gold facts: every `k`-th
 /// fact per relation (a stratified sample, so every relation gets
 /// seeds).
-pub fn stratified_seeds(
-    gold: &HashSet<FactKey>,
-    fraction: f64,
-) -> HashSet<FactKey> {
+pub fn stratified_seeds(gold: &HashSet<FactKey>, fraction: f64) -> HashSet<FactKey> {
     let mut by_rel: HashMap<&str, Vec<&FactKey>> = HashMap::new();
     for f in gold {
         by_rel.entry(f.1.as_str()).or_default().push(f);
@@ -202,13 +199,10 @@ mod tests {
             occ("B", "was born in", "Y"),
             occ("C", "was born in", "Z"),
         ];
-        let seeds: HashSet<FactKey> = [
-            fact("A", "bornIn", "X"),
-            fact("B", "bornIn", "Y"),
-            fact("C", "bornIn", "Z"),
-        ]
-        .into_iter()
-        .collect();
+        let seeds: HashSet<FactKey> =
+            [fact("A", "bornIn", "X"), fact("B", "bornIn", "Y"), fact("C", "bornIn", "Z")]
+                .into_iter()
+                .collect();
         let model = train(&occs, &seeds, &TrainConfig::default());
         let stats = model
             .predictions(&PatternKey { infix: "was born in".into(), reversed: false }, false)
@@ -221,16 +215,12 @@ mod tests {
     #[test]
     fn passive_patterns_are_learned_reversed() {
         // Text order: Company ... founder. Logical: founder founded company.
-        let occs = vec![
-            occ("AppleCo", "was founded by", "Jobs"),
-            occ("BetaCo", "was founded by", "Ann"),
-        ];
-        let seeds: HashSet<FactKey> = [
-            fact("Jobs", "founded", "AppleCo"),
-            fact("Ann", "founded", "BetaCo"),
-        ]
-        .into_iter()
-        .collect();
+        let occs =
+            vec![occ("AppleCo", "was founded by", "Jobs"), occ("BetaCo", "was founded by", "Ann")];
+        let seeds: HashSet<FactKey> =
+            [fact("Jobs", "founded", "AppleCo"), fact("Ann", "founded", "BetaCo")]
+                .into_iter()
+                .collect();
         let model = train(&occs, &seeds, &TrainConfig::default());
         assert!(model
             .predictions(&PatternKey { infix: "was founded by".into(), reversed: false }, true)
@@ -274,10 +264,7 @@ mod tests {
 
     #[test]
     fn unknown_pairs_weaken_patterns() {
-        let mut occs = vec![
-            occ("A", "met", "X"),
-            occ("B", "met", "Y"),
-        ];
+        let mut occs = vec![occ("A", "met", "X"), occ("B", "met", "Y")];
         // Lots of unknown-pair occurrences for the same pattern.
         for i in 0..20 {
             occs.push(occ(&format!("U{i}"), "met", &format!("V{i}")));
@@ -285,9 +272,8 @@ mod tests {
         let seeds: HashSet<FactKey> =
             [fact("A", "bornIn", "X"), fact("B", "bornIn", "Y")].into_iter().collect();
         let model = train(&occs, &seeds, &TrainConfig::default());
-        let stats = model
-            .predictions(&PatternKey { infix: "met".into(), reversed: false }, false)
-            .unwrap();
+        let stats =
+            model.predictions(&PatternKey { infix: "met".into(), reversed: false }, false).unwrap();
         let (prec, _) = stats.relations["bornIn"];
         assert!(prec < 0.6, "noisy pattern should be discounted, got {prec}");
     }

@@ -63,10 +63,9 @@ pub fn extract_candidates(
     }
     let mut by_key: HashMap<FactKey, Agg> = HashMap::new();
     for occ in occurrences {
-        for (reversed, (s, o)) in [
-            (false, (&occ.first, &occ.second)),
-            (true, (&occ.second, &occ.first)),
-        ] {
+        for (reversed, (s, o)) in
+            [(false, (&occ.first, &occ.second)), (true, (&occ.second, &occ.first))]
+        {
             let Some(stats) = model.predictions(&occ.pattern, reversed) else { continue };
             for (rel, &(precision, _)) in &stats.relations {
                 if precision < cfg.min_pattern_precision {
@@ -114,11 +113,7 @@ pub fn extract_candidates(
 
 /// Thresholds candidates into a predicted fact set for evaluation.
 pub fn predicted_set(candidates: &[CandidateFact], min_confidence: f64) -> HashSet<FactKey> {
-    candidates
-        .iter()
-        .filter(|c| c.confidence >= min_confidence)
-        .map(CandidateFact::key)
-        .collect()
+    candidates.iter().filter(|c| c.confidence >= min_confidence).map(CandidateFact::key).collect()
 }
 
 #[cfg(test)]

@@ -13,8 +13,8 @@ use std::collections::HashMap;
 use kb_nlp::seqmine::prefix_span;
 
 use super::distant::PatternModel;
-use super::patterns::{PatternOccurrence, TimeHint};
 use super::extract::CandidateFact;
+use super::patterns::{PatternOccurrence, TimeHint};
 
 /// A generalized pattern: an ordered token skeleton that must appear
 /// (possibly with gaps) inside an occurrence's infix.
@@ -94,7 +94,9 @@ pub fn generalize(model: &PatternModel, cfg: &GeneralizeConfig) -> Vec<Generaliz
             .cmp(&(&b.relation, &b.skeleton, b.reversed))
             .then(b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal))
     });
-    out.dedup_by(|a, b| a.relation == b.relation && a.skeleton == b.skeleton && a.reversed == b.reversed);
+    out.dedup_by(|a, b| {
+        a.relation == b.relation && a.skeleton == b.skeleton && a.reversed == b.reversed
+    });
     out
 }
 
@@ -136,14 +138,12 @@ pub fn extract_generalized(
             } else {
                 (occ.first.clone(), occ.second.clone())
             };
-            let agg = by_key
-                .entry((s, g.relation.clone(), o))
-                .or_insert_with(|| Agg {
-                    confidence: 0.0,
-                    support: 0,
-                    docs: std::collections::HashSet::new(),
-                    hints: Vec::new(),
-                });
+            let agg = by_key.entry((s, g.relation.clone(), o)).or_insert_with(|| Agg {
+                confidence: 0.0,
+                support: 0,
+                docs: std::collections::HashSet::new(),
+                hints: Vec::new(),
+            });
             agg.confidence = 1.0 - (1.0 - agg.confidence) * (1.0 - g.confidence);
             agg.support += 1;
             agg.docs.insert(occ.doc_id);
@@ -195,12 +195,11 @@ mod tests {
             occ("C", "born in", "Z"),
             occ("D", "born in", "W"),
         ];
-        let seeds: HashSet<(String, String, String)> = [
-            ("A", "X"), ("B", "Y"), ("C", "Z"), ("D", "W"),
-        ]
-        .into_iter()
-        .map(|(s, o)| (s.to_string(), "bornIn".to_string(), o.to_string()))
-        .collect();
+        let seeds: HashSet<(String, String, String)> =
+            [("A", "X"), ("B", "Y"), ("C", "Z"), ("D", "W")]
+                .into_iter()
+                .map(|(s, o)| (s.to_string(), "bornIn".to_string(), o.to_string()))
+                .collect();
         train(&occs, &seeds, &TrainConfig::default())
     }
 

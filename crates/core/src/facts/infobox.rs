@@ -27,10 +27,7 @@ pub const INFOBOX_MAPPING: &[(&str, &str)] = &[
 
 /// Relation mapped to an infobox key, if any.
 pub fn relation_for_key(key: &str) -> Option<&'static str> {
-    INFOBOX_MAPPING
-        .iter()
-        .find(|(k, _)| *k == key)
-        .map(|&(_, r)| r)
+    INFOBOX_MAPPING.iter().find(|(k, _)| *k == key).map(|&(_, r)| r)
 }
 
 /// Harvests candidate facts from the infoboxes of entity articles.
@@ -106,10 +103,7 @@ mod tests {
             subject: Some(EntityId(subject)),
             text,
             mentions,
-            infobox: infobox
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-                .collect(),
+            infobox: infobox.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
             categories: vec![],
         }
     }
@@ -168,10 +162,7 @@ mod tests {
     #[test]
     fn mapping_covers_the_declared_schema() {
         for (_, rel) in INFOBOX_MAPPING {
-            assert!(
-                super::super::relation_spec(rel).is_some(),
-                "{rel} not in schema"
-            );
+            assert!(super::super::relation_spec(rel).is_some(), "{rel} not in schema");
         }
     }
 
@@ -183,19 +174,15 @@ mod tests {
         let world = &corpus.world;
         let docs: Vec<&Doc> = corpus.articles.iter().collect();
         // Display-name resolver from the world's alias table.
-        let display_map: HashMap<String, String> = world
-            .entities
-            .iter()
-            .map(|e| (e.display.clone(), e.canonical.clone()))
-            .collect();
+        let display_map: HashMap<String, String> =
+            world.entities.iter().map(|e| (e.display.clone(), e.canonical.clone())).collect();
         let facts = harvest_infoboxes(
             &docs,
             |id| world.entity(id).canonical.as_str(),
             |v| display_map.get(v).cloned(),
         );
         assert!(!facts.is_empty());
-        let predicted: std::collections::HashSet<_> =
-            facts.iter().map(|c| c.key()).collect();
+        let predicted: std::collections::HashSet<_> = facts.iter().map(|c| c.key()).collect();
         let gold_set = gold::gold_fact_strings(world);
         let m = gold::pr_f1(&predicted, &gold_set);
         assert!(m.precision > 0.99, "infobox precision {}", m.precision);

@@ -23,9 +23,9 @@
 
 pub mod bootstrap;
 pub mod distant;
-pub mod infobox;
 pub mod extract;
 pub mod generalize;
+pub mod infobox;
 pub mod patterns;
 pub mod scoring;
 
@@ -49,16 +49,76 @@ pub struct RelationSpec {
 /// experiments. Mirrors the corpus' relation vocabulary — this is the
 /// "pre-specified set of relations" of closed IE.
 pub const RELATION_SCHEMA: &[RelationSpec] = &[
-    RelationSpec { name: "bornIn", domain: "person", range: "city", functional: true, inverse_functional: false },
-    RelationSpec { name: "citizenOf", domain: "person", range: "country", functional: true, inverse_functional: false },
-    RelationSpec { name: "founded", domain: "person", range: "company", functional: false, inverse_functional: false },
-    RelationSpec { name: "worksAt", domain: "person", range: "company", functional: false, inverse_functional: false },
-    RelationSpec { name: "marriedTo", domain: "person", range: "person", functional: true, inverse_functional: true },
-    RelationSpec { name: "studiedAt", domain: "person", range: "university", functional: false, inverse_functional: false },
-    RelationSpec { name: "locatedIn", domain: "city", range: "country", functional: true, inverse_functional: false },
-    RelationSpec { name: "headquarteredIn", domain: "company", range: "city", functional: true, inverse_functional: false },
-    RelationSpec { name: "capitalOf", domain: "city", range: "country", functional: true, inverse_functional: true },
-    RelationSpec { name: "created", domain: "company", range: "product", functional: false, inverse_functional: true },
+    RelationSpec {
+        name: "bornIn",
+        domain: "person",
+        range: "city",
+        functional: true,
+        inverse_functional: false,
+    },
+    RelationSpec {
+        name: "citizenOf",
+        domain: "person",
+        range: "country",
+        functional: true,
+        inverse_functional: false,
+    },
+    RelationSpec {
+        name: "founded",
+        domain: "person",
+        range: "company",
+        functional: false,
+        inverse_functional: false,
+    },
+    RelationSpec {
+        name: "worksAt",
+        domain: "person",
+        range: "company",
+        functional: false,
+        inverse_functional: false,
+    },
+    RelationSpec {
+        name: "marriedTo",
+        domain: "person",
+        range: "person",
+        functional: true,
+        inverse_functional: true,
+    },
+    RelationSpec {
+        name: "studiedAt",
+        domain: "person",
+        range: "university",
+        functional: false,
+        inverse_functional: false,
+    },
+    RelationSpec {
+        name: "locatedIn",
+        domain: "city",
+        range: "country",
+        functional: true,
+        inverse_functional: false,
+    },
+    RelationSpec {
+        name: "headquarteredIn",
+        domain: "company",
+        range: "city",
+        functional: true,
+        inverse_functional: false,
+    },
+    RelationSpec {
+        name: "capitalOf",
+        domain: "city",
+        range: "country",
+        functional: true,
+        inverse_functional: true,
+    },
+    RelationSpec {
+        name: "created",
+        domain: "company",
+        range: "product",
+        functional: false,
+        inverse_functional: true,
+    },
 ];
 
 /// Looks up a relation's spec by name.

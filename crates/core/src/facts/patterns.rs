@@ -75,11 +75,8 @@ pub fn collect_occurrences<'a>(
     for sent in split_sentences(&doc.text) {
         let sentence = &doc.text[sent.start..sent.end];
         // Mentions inside this sentence, in text order.
-        let mentions: Vec<_> = doc
-            .mentions
-            .iter()
-            .filter(|m| m.start >= sent.start && m.end <= sent.end)
-            .collect();
+        let mentions: Vec<_> =
+            doc.mentions.iter().filter(|m| m.start >= sent.start && m.end <= sent.end).collect();
         if mentions.len() < 2 {
             continue;
         }
@@ -87,10 +84,7 @@ pub fn collect_occurrences<'a>(
         let mut pairs = 0;
         for i in 0..mentions.len() - 1 {
             let a = mentions[i];
-            let b = mentions[i + 1..]
-                .iter()
-                .find(|m| m.start >= a.end)
-                .copied();
+            let b = mentions[i + 1..].iter().find(|m| m.start >= a.end).copied();
             // Only adjacent mention pairs: the infix must not contain a
             // third mention, which would almost always break the pattern.
             let Some(b) = b else { continue };
@@ -192,7 +186,12 @@ mod tests {
 
     #[test]
     fn simple_svo_occurrence() {
-        let d = doc(&[("Jobs", Some(1)), (" founded ", None), ("Apple", Some(2)), (" in 1976. ", None)]);
+        let d = doc(&[
+            ("Jobs", Some(1)),
+            (" founded ", None),
+            ("Apple", Some(2)),
+            (" in 1976. ", None),
+        ]);
         let occ = collect_occurrences(&d, &|id| name(id), &CollectConfig::default());
         assert_eq!(occ.len(), 1);
         assert_eq!(occ[0].first, "E1");
@@ -203,7 +202,8 @@ mod tests {
 
     #[test]
     fn passive_pattern_is_collected_verbatim() {
-        let d = doc(&[("Apple", Some(2)), (" was founded by ", None), ("Jobs", Some(1)), (". ", None)]);
+        let d =
+            doc(&[("Apple", Some(2)), (" was founded by ", None), ("Jobs", Some(1)), (". ", None)]);
         let occ = collect_occurrences(&d, &|id| name(id), &CollectConfig::default());
         assert_eq!(occ[0].pattern.infix, "was founded by");
         assert_eq!(occ[0].first, "E2");
@@ -212,14 +212,20 @@ mod tests {
 
     #[test]
     fn from_to_hint_wins() {
-        let d = doc(&[("A", Some(1)), (" worked at ", None), ("B", Some(2)), (" from 1970 to 1985. ", None)]);
+        let d = doc(&[
+            ("A", Some(1)),
+            (" worked at ", None),
+            ("B", Some(2)),
+            (" from 1970 to 1985. ", None),
+        ]);
         let occ = collect_occurrences(&d, &|id| name(id), &CollectConfig::default());
         assert_eq!(occ[0].hint, Some(TimeHint { begin: Some(1970), end: Some(1985) }));
     }
 
     #[test]
     fn cross_sentence_pairs_are_not_collected() {
-        let d = doc(&[("Jobs", Some(1)), (" retired. ", None), ("Apple", Some(2)), (" grew. ", None)]);
+        let d =
+            doc(&[("Jobs", Some(1)), (" retired. ", None), ("Apple", Some(2)), (" grew. ", None)]);
         let occ = collect_occurrences(&d, &|id| name(id), &CollectConfig::default());
         assert!(occ.is_empty());
     }

@@ -75,9 +75,8 @@ pub fn type_verdict(c: &CandidateFact, types: &TypeIndex) -> TypeVerdict {
         if classes.contains(required) {
             return Some(true);
         }
-        let has_disjoint_kind = DISJOINT_KINDS
-            .iter()
-            .any(|k| *k != required && classes.contains(*k));
+        let has_disjoint_kind =
+            DISJOINT_KINDS.iter().any(|k| *k != required && classes.contains(*k));
         if has_disjoint_kind {
             Some(false)
         } else {
@@ -95,11 +94,7 @@ pub fn type_verdict(c: &CandidateFact, types: &TypeIndex) -> TypeVerdict {
 
 /// Rescales candidate confidences in place according to their type
 /// verdicts, then re-sorts by confidence.
-pub fn apply_type_scoring(
-    candidates: &mut [CandidateFact],
-    types: &TypeIndex,
-    cfg: &ScoreConfig,
-) {
+pub fn apply_type_scoring(candidates: &mut [CandidateFact], types: &TypeIndex, cfg: &ScoreConfig) {
     for c in candidates.iter_mut() {
         match type_verdict(c, types) {
             TypeVerdict::Match => {
@@ -183,10 +178,7 @@ mod tests {
             type_verdict(&cand("AcmeCo", "bornIn", "Lund", 0.5), &t),
             TypeVerdict::Violation
         );
-        assert_eq!(
-            type_verdict(&cand("Mystery", "bornIn", "Lund", 0.5), &t),
-            TypeVerdict::Unknown
-        );
+        assert_eq!(type_verdict(&cand("Mystery", "bornIn", "Lund", 0.5), &t), TypeVerdict::Unknown);
         assert_eq!(
             type_verdict(&cand("Alan", "unknownRel", "Lund", 0.5), &t),
             TypeVerdict::Unknown
@@ -231,16 +223,10 @@ mod tests {
 
     #[test]
     fn type_index_handles_cycles_gracefully() {
-        let instances = vec![MergedInstance {
-            entity: "X".into(),
-            class: "a".into(),
-            confidence: 1.0,
-        }];
+        let instances =
+            vec![MergedInstance { entity: "X".into(), class: "a".into(), confidence: 1.0 }];
         // Malformed (cyclic) edges must not hang.
-        let edges = vec![
-            ("a".to_string(), "b".to_string()),
-            ("b".to_string(), "a".to_string()),
-        ];
+        let edges = vec![("a".to_string(), "b".to_string()), ("b".to_string(), "a".to_string())];
         let index = build_type_index(&instances, &edges);
         assert!(index["X"].contains("a") && index["X"].contains("b"));
     }

@@ -51,6 +51,6 @@ pub mod temporal;
 pub use facts::extract::CandidateFact;
 pub use pipeline::{HarvestConfig, HarvestOutput};
 pub use resilience::{
-    Downgrade, DowngradeReason, PipelineError, Quarantined, QuarantineReason, ResilienceConfig,
+    Downgrade, DowngradeReason, PipelineError, QuarantineReason, Quarantined, ResilienceConfig,
     RetryPolicy,
 };

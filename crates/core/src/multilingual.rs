@@ -128,6 +128,7 @@ pub fn links_from_world(world: &kb_corpus::World, corrupt_every: usize) -> Vec<L
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kb_store::KbRead;
 
     fn link(entity: &str, lang: &str, label: &str, english: &str) -> LangLink {
         LangLink {
@@ -194,11 +195,7 @@ mod tests {
         let world = World::generate(&CorpusConfig::tiny().world);
         let clean = links_from_world(&world, 0);
         let noisy = links_from_world(&world, 4);
-        let differing = clean
-            .iter()
-            .zip(&noisy)
-            .filter(|(a, b)| a.label != b.label)
-            .count();
+        let differing = clean.iter().zip(&noisy).filter(|(a, b)| a.label != b.label).count();
         assert!(differing > 0);
         assert!(differing < clean.len() / 2);
     }
@@ -208,10 +205,8 @@ mod tests {
         use kb_corpus::{CorpusConfig, World};
         let world = World::generate(&CorpusConfig::tiny().world);
         let noisy = links_from_world(&world, 3);
-        let gold: std::collections::HashSet<(String, String, String)> = links_from_world(&world, 0)
-            .into_iter()
-            .map(|l| (l.entity, l.lang, l.label))
-            .collect();
+        let gold: std::collections::HashSet<(String, String, String)> =
+            links_from_world(&world, 0).into_iter().map(|l| (l.entity, l.lang, l.label)).collect();
         let accuracy = |filtered: bool| {
             let mut kb = KnowledgeBase::new();
             harvest_labels(&mut kb, &noisy, &MultilingualConfig::default(), filtered);

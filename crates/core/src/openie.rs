@@ -91,10 +91,8 @@ pub fn apply_lexical_constraint(raw: Vec<OpenFact>, cfg: &OpenIeConfig) -> Vec<O
             .or_default()
             .insert((f.arg1.as_str(), f.arg2.as_str()));
     }
-    let phrase_freq: HashMap<String, usize> = pairs_per_phrase
-        .iter()
-        .map(|(k, v)| (k.to_string(), v.len()))
-        .collect();
+    let phrase_freq: HashMap<String, usize> =
+        pairs_per_phrase.iter().map(|(k, v)| (k.to_string(), v.len())).collect();
     let mut out: Vec<OpenFact> = raw
         .into_iter()
         .filter(|f| phrase_freq.get(&f.relation).copied().unwrap_or(0) >= cfg.min_distinct_pairs)
@@ -138,19 +136,14 @@ fn extract_from_chunks(
             .rev()
             .find(|x| x.kind == ChunkKind::Np && tags[x.head] != PosTag::Pronoun);
         // arg2: nearest NP starting at or after rel_end.
-        let arg2 = chunks[ci + 1..]
-            .iter()
-            .find(|x| x.kind == ChunkKind::Np && x.start >= rel_end);
+        let arg2 = chunks[ci + 1..].iter().find(|x| x.kind == ChunkKind::Np && x.start >= rel_end);
         let (Some(a1), Some(a2)) = (arg1, arg2) else { continue };
         // arg2 must be adjacent to the relation phrase (no stray tokens).
         if a2.start != rel_end {
             continue;
         }
-        let surface: String = tokens[c.start..rel_end]
-            .iter()
-            .map(|t| t.text.as_str())
-            .collect::<Vec<_>>()
-            .join(" ");
+        let surface: String =
+            tokens[c.start..rel_end].iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ");
         let normalized = normalize_phrase(tokens, tags, c.start, rel_end);
         if normalized.is_empty() {
             continue;
@@ -173,11 +166,7 @@ fn np_surface(tokens: &[Token], tags: &[PosTag], np: &Chunk) -> String {
     while start < np.end && tags[start] == PosTag::Determiner {
         start += 1;
     }
-    tokens[start..np.end]
-        .iter()
-        .map(|t| t.text.as_str())
-        .collect::<Vec<_>>()
-        .join(" ")
+    tokens[start..np.end].iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ")
 }
 
 /// Normalizes a relation phrase: lowercase, stem the main verb, keep
@@ -214,15 +203,10 @@ fn confidence(f: &OpenFact, distinct_pairs: usize) -> f64 {
 pub fn relation_inventory(facts: &[OpenFact]) -> Vec<(String, usize)> {
     let mut pairs: HashMap<&str, HashSet<(&str, &str)>> = HashMap::new();
     for f in facts {
-        pairs
-            .entry(f.relation.as_str())
-            .or_default()
-            .insert((f.arg1.as_str(), f.arg2.as_str()));
+        pairs.entry(f.relation.as_str()).or_default().insert((f.arg1.as_str(), f.arg2.as_str()));
     }
-    let mut out: Vec<(String, usize)> = pairs
-        .into_iter()
-        .map(|(k, v)| (k.to_string(), v.len()))
-        .collect();
+    let mut out: Vec<(String, usize)> =
+        pairs.into_iter().map(|(k, v)| (k.to_string(), v.len())).collect();
     out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     out
 }
@@ -294,7 +278,10 @@ mod tests {
     fn adverbs_are_dropped_in_normalization() {
         let d1 = doc_from("Apple was originally based in Cupertino.");
         let d2 = doc_from("Nimbus was based in Lundholm.");
-        let facts = extract_open(&[&d1, &d2], &OpenIeConfig { min_distinct_pairs: 2, max_phrase_tokens: 5 });
+        let facts = extract_open(
+            &[&d1, &d2],
+            &OpenIeConfig { min_distinct_pairs: 2, max_phrase_tokens: 5 },
+        );
         // Both normalize to the same phrase, satisfying the constraint.
         assert_eq!(facts.len(), 2);
         assert!(facts.iter().all(|f| f.relation == "was base in"));
@@ -310,9 +297,8 @@ mod tests {
 
     #[test]
     fn confidence_rises_with_distinct_pairs() {
-        let docs: Vec<Doc> = (0..4)
-            .map(|i| doc_from(&format!("Alpha{i} employs Beta{i}.")))
-            .collect();
+        let docs: Vec<Doc> =
+            (0..4).map(|i| doc_from(&format!("Alpha{i} employs Beta{i}."))).collect();
         let refs: Vec<&Doc> = docs.iter().collect();
         let many = extract_open(&refs, &lax());
         let single = extract_open(&refs[..1], &lax());

@@ -22,17 +22,17 @@ use std::collections::HashSet;
 use std::time::Instant;
 
 use kb_corpus::{gold, Corpus, Doc};
-use kb_store::{Fact, KnowledgeBase, TimeSpan, Triple};
+use kb_store::{Fact, KbShard, KnowledgeBase, SourceId, TimeSpan, Triple};
 
+use crate::factorgraph::{self, GibbsConfig};
 use crate::facts::distant::{self, FactKey, TrainConfig};
 use crate::facts::extract::{self, CandidateFact, ExtractConfig};
 use crate::facts::patterns::{self, CollectConfig, PatternOccurrence};
 use crate::facts::scoring::{self, ScoreConfig, TypeIndex};
-use crate::factorgraph::{self, GibbsConfig};
 use crate::reasoning::{self, SolverConfig};
 use crate::resilience::{
     catch_panic, panic_payload_to_string, BudgetGuard, Downgrade, DowngradeReason, PipelineError,
-    Quarantined, QuarantineReason, ResilienceConfig,
+    QuarantineReason, Quarantined, ResilienceConfig,
 };
 use crate::taxonomy::induce::{self, MergedInstance};
 use crate::taxonomy::{category, hearst};
@@ -164,7 +164,12 @@ fn scoped_map_chunks<'env, T: Send>(
         let handles: Vec<_> = chunks
             .iter()
             .enumerate()
-            .map(|(idx, chunk)| scope.spawn({ let work = &work; move |_| work(idx, chunk) }))
+            .map(|(idx, chunk)| {
+                scope.spawn({
+                    let work = &work;
+                    move |_| work(idx, chunk)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -291,7 +296,9 @@ pub fn collect_resilient<'a>(
             // retrying cannot fix them.
             return (DocOutcome::Dead(QuarantineReason::Defect(defect.to_string())), 1);
         }
-        let outcome = res.retry.run(|_| catch_panic(|| patterns::collect_occurrences(doc, canonical_of, cfg)));
+        let outcome = res
+            .retry
+            .run(|_| catch_panic(|| patterns::collect_occurrences(doc, canonical_of, cfg)));
         match outcome.result {
             Ok(occs) => (DocOutcome::Survived(occs), outcome.attempts),
             Err(msg) => (DocOutcome::Dead(QuarantineReason::Panic(msg)), outcome.attempts),
@@ -431,6 +438,76 @@ fn refine_candidates(
     }
 }
 
+/// Below this many accepted facts per worker, sharded ingest costs more
+/// in thread setup than it saves; the loader stays serial.
+const MIN_FACTS_PER_SHARD: usize = 64;
+
+/// Loads accepted candidates into the KB. With several workers and
+/// enough facts, each worker builds a private [`KbShard`] (local
+/// dictionary, no contention on the global store) and the shards merge
+/// at a barrier in chunk order. The merge is bit-identical to a serial
+/// ingest — same dictionary ids, same noisy-or confidence combination —
+/// because each shard interns subject, relation, object in candidate
+/// order and [`KnowledgeBase::merge_shards`] replays shards in order.
+fn ingest_accepted(
+    kb: &mut KnowledgeBase,
+    accepted: &[CandidateFact],
+    src: SourceId,
+    workers: usize,
+) -> Result<(), PipelineError> {
+    let workers = workers.max(1);
+    if workers == 1 || accepted.len() < 2 * MIN_FACTS_PER_SHARD {
+        for c in accepted {
+            let triple =
+                Triple::new(kb.intern(&c.subject), kb.intern(&c.relation), kb.intern(&c.object));
+            let span: Option<TimeSpan> = temporal::infer_span(&c.hints);
+            kb.add_fact(Fact { triple, confidence: c.confidence.min(1.0), source: src, span });
+        }
+        return Ok(());
+    }
+    let chunk_size = accepted.len().div_ceil(workers);
+    let chunks: Vec<&[CandidateFact]> = accepted.chunks(chunk_size).collect();
+    let mut shards: Vec<(usize, KbShard)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(idx, chunk)| {
+                scope.spawn(move |_| {
+                    let mut shard = KbShard::new();
+                    for c in *chunk {
+                        let span: Option<TimeSpan> = temporal::infer_span(&c.hints);
+                        shard.add(
+                            &c.subject,
+                            &c.relation,
+                            &c.object,
+                            c.confidence.min(1.0),
+                            src,
+                            span,
+                        );
+                    }
+                    (idx, shard)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().map_err(|p| PipelineError::WorkerPanic {
+                    stage: "kb-load",
+                    detail: panic_payload_to_string(p),
+                })
+            })
+            .collect::<Result<Vec<_>, PipelineError>>()
+    })
+    .map_err(|p| PipelineError::WorkerPanic {
+        stage: "kb-load",
+        detail: panic_payload_to_string(p),
+    })??;
+    shards.sort_by_key(|&(idx, _)| idx);
+    kb.merge_shards(shards.into_iter().map(|(_, shard)| shard));
+    Ok(())
+}
+
 /// Runs the full pipeline over a corpus. Never panics on poisoned
 /// documents: structurally corrupt or extractor-crashing documents are
 /// quarantined into [`PipelineStats::quarantined`] and the harvest
@@ -485,11 +562,8 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
             // Merge: generalized candidates are new keys by construction
             // (they only cover occurrences the exact model missed), but a
             // fact can be seen both ways through different occurrences.
-            let mut by_key: std::collections::HashMap<_, usize> = candidates
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (c.key(), i))
-                .collect();
+            let mut by_key: std::collections::HashMap<_, usize> =
+                candidates.iter().enumerate().map(|(i, c)| (c.key(), i)).collect();
             for g in extra {
                 match by_key.get(&g.key()) {
                     Some(&i) => {
@@ -512,16 +586,11 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
             accepted_idx.iter().map(|&i| candidates[i].clone()).collect();
         let infer_secs = t1.elapsed().as_secs_f64();
 
-        // ---- Phase 5: load KB ---------------------------------------
+        // ---- Phase 5: load KB (sharded ingest + merge barrier) ------
         let mut kb = KnowledgeBase::new();
         let src = kb.register_source("harvest");
         induce::load_into_kb(&mut kb, &instances, &subclass_edges, "taxonomy")?;
-        for c in &accepted {
-            let triple =
-                Triple::new(kb.intern(&c.subject), kb.intern(&c.relation), kb.intern(&c.object));
-            let span: Option<TimeSpan> = temporal::infer_span(&c.hints);
-            kb.add_fact(Fact { triple, confidence: c.confidence.min(1.0), source: src, span });
-        }
+        ingest_accepted(&mut kb, &accepted, src, cfg.workers)?;
         // Surface forms from mention annotations (the anchor-text signal).
         let en = kb.labels.lang("en");
         for doc in &docs {
@@ -544,15 +613,7 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
             retries,
             downgrades,
         };
-        Ok(HarvestOutput {
-            kb,
-            candidates,
-            accepted,
-            instances,
-            subclass_edges,
-            seeds,
-            stats,
-        })
+        Ok(HarvestOutput { kb, candidates, accepted, instances, subclass_edges, seeds, stats })
     })
     .map_err(|detail| PipelineError::StagePanic { stage: "harvest", detail })?
 }
@@ -564,11 +625,8 @@ pub fn evaluate_discovered(
     gold_facts: &HashSet<FactKey>,
     seeds: &HashSet<FactKey>,
 ) -> gold::PrF1 {
-    let predicted: HashSet<FactKey> = accepted
-        .iter()
-        .map(CandidateFact::key)
-        .filter(|k| !seeds.contains(k))
-        .collect();
+    let predicted: HashSet<FactKey> =
+        accepted.iter().map(CandidateFact::key).filter(|k| !seeds.contains(k)).collect();
     let target: HashSet<FactKey> = gold_facts.difference(seeds).cloned().collect();
     gold::pr_f1(&predicted, &target)
 }
@@ -578,6 +636,7 @@ mod tests {
     use super::*;
     use crate::resilience::RetryPolicy;
     use kb_corpus::{CorpusConfig, EntityId, Mention};
+    use kb_store::KbRead;
 
     fn run(method: Method) -> (Corpus, HarvestOutput) {
         let corpus = Corpus::generate(&CorpusConfig::tiny());
@@ -637,6 +696,47 @@ mod tests {
         let keys1: Vec<_> = out1.accepted.iter().map(CandidateFact::key).collect();
         let keys4: Vec<_> = out4.accepted.iter().map(CandidateFact::key).collect();
         assert_eq!(keys1, keys4);
+        // The sharded KB load must be bit-identical to the serial one:
+        // same dictionary ids, same facts, same confidences.
+        assert_eq!(
+            kb_store::ntriples::to_string(&out1.kb),
+            kb_store::ntriples::to_string(&out4.kb),
+        );
+    }
+
+    #[test]
+    fn sharded_ingest_matches_serial_for_large_candidate_sets() {
+        // Enough synthetic candidates to force the parallel shard path
+        // (>= 2 * MIN_FACTS_PER_SHARD), with duplicate keys so the
+        // noisy-or merge order matters.
+        let candidates: Vec<CandidateFact> = (0..(4 * MIN_FACTS_PER_SHARD))
+            .map(|i| CandidateFact {
+                subject: format!("S{}", i % 97),
+                relation: format!("r{}", i % 7),
+                object: format!("O{}", i % 53),
+                confidence: 0.3 + 0.6 * ((i % 11) as f64 / 11.0),
+                support: 1,
+                docs: 1,
+                patterns: 1,
+                hints: Vec::new(),
+            })
+            .collect();
+        let build = |workers: usize| {
+            let mut kb = KnowledgeBase::new();
+            let src = kb.register_source("harvest");
+            ingest_accepted(&mut kb, &candidates, src, workers).expect("ingest");
+            kb
+        };
+        let serial = build(1);
+        for workers in [2, 3, 4, 7] {
+            let sharded = build(workers);
+            assert_eq!(serial.len(), sharded.len(), "workers={workers}");
+            assert_eq!(
+                kb_store::ntriples::to_string(&serial),
+                kb_store::ntriples::to_string(&sharded),
+                "workers={workers}",
+            );
+        }
     }
 
     #[test]
@@ -650,11 +750,7 @@ mod tests {
     #[test]
     fn accepted_facts_carry_temporal_spans_when_hinted() {
         let (_, out) = run(Method::Reasoning);
-        let spanned = out
-            .kb
-            .iter()
-            .filter(|f| f.span.is_some())
-            .count();
+        let spanned = out.kb.iter().filter(|f| f.span.is_some()).count();
         assert!(spanned > 0, "some harvested facts should carry time spans");
     }
 
@@ -721,11 +817,9 @@ mod tests {
     #[test]
     fn zero_budget_downgrades_reasoning_to_statistical() {
         let corpus = Corpus::generate(&CorpusConfig::tiny());
-        let statistical = harvest(
-            &corpus,
-            &HarvestConfig { method: Method::Statistical, ..Default::default() },
-        )
-        .expect("statistical harvest");
+        let statistical =
+            harvest(&corpus, &HarvestConfig { method: Method::Statistical, ..Default::default() })
+                .expect("statistical harvest");
         let mut cfg = HarvestConfig { method: Method::Reasoning, ..Default::default() };
         cfg.resilience.refine_budget_secs = 0.0;
         let degraded = harvest(&corpus, &cfg).expect("degraded harvest");

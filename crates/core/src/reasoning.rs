@@ -166,11 +166,8 @@ pub fn solve(problem: &MaxSatProblem, cfg: &SolverConfig) -> Solution {
 
     let mut best: Option<Solution> = None;
     for restart in 0..cfg.restarts.max(1) {
-        let mut assignment = if restart == 0 {
-            init.clone()
-        } else {
-            (0..n).map(|_| rng.gen_bool(0.5)).collect()
-        };
+        let mut assignment =
+            if restart == 0 { init.clone() } else { (0..n).map(|_| rng.gen_bool(0.5)).collect() };
         // sat_count[ci] = number of satisfied literals in clause ci.
         let mut sat_count: Vec<u32> = problem
             .clauses
@@ -243,12 +240,9 @@ pub fn solve(problem: &MaxSatProblem, cfg: &SolverConfig) -> Solution {
                 &mut viol_hard,
                 &mut viol_soft,
             );
-            current_cost = (
-                current_cost.0.saturating_add_signed(dh),
-                (current_cost.1 + ds).max(0.0),
-            );
-            if (current_cost.0, current_cost.1)
-                < (local_best.hard_violations, local_best.soft_cost)
+            current_cost =
+                (current_cost.0.saturating_add_signed(dh), (current_cost.1 + ds).max(0.0));
+            if (current_cost.0, current_cost.1) < (local_best.hard_violations, local_best.soft_cost)
             {
                 local_best = Solution {
                     assignment: assignment.clone(),
@@ -259,7 +253,10 @@ pub fn solve(problem: &MaxSatProblem, cfg: &SolverConfig) -> Solution {
         }
         let better = match &best {
             None => true,
-            Some(b) => (local_best.hard_violations, local_best.soft_cost) < (b.hard_violations, b.soft_cost),
+            Some(b) => {
+                (local_best.hard_violations, local_best.soft_cost)
+                    < (b.hard_violations, b.soft_cost)
+            }
         };
         if better {
             best = Some(local_best);
@@ -430,10 +427,8 @@ pub fn reason_candidates(
         by_sr.entry((c.subject.as_str(), c.relation.as_str())).or_default().push(i);
         by_ro.entry((c.relation.as_str(), c.object.as_str())).or_default().push(i);
     }
-    let mut hard_clauses = candidates
-        .iter()
-        .filter(|c| type_verdict(c, types) == TypeVerdict::Violation)
-        .count();
+    let mut hard_clauses =
+        candidates.iter().filter(|c| type_verdict(c, types) == TypeVerdict::Violation).count();
     for ((_, rel), group) in &by_sr {
         let Some(spec) = relation_spec(rel) else { continue };
         if !spec.functional || group.len() < 2 {
@@ -591,10 +586,8 @@ mod tests {
 
     #[test]
     fn non_functional_relations_allow_multiple_objects() {
-        let cands = vec![
-            cand("Alan", "founded", "AcmeCo", 0.9),
-            cand("Alan", "founded", "BetaCo", 0.9),
-        ];
+        let cands =
+            vec![cand("Alan", "founded", "AcmeCo", 0.9), cand("Alan", "founded", "BetaCo", 0.9)];
         let out = reason_candidates(&cands, &TypeIndex::new(), &SolverConfig::default());
         assert_eq!(out.accepted.len(), 2);
         assert_eq!(out.hard_clauses, 0);
@@ -602,10 +595,7 @@ mod tests {
 
     #[test]
     fn same_object_duplicates_do_not_conflict() {
-        let cands = vec![
-            cand("Alan", "bornIn", "Lund", 0.9),
-            cand("Alan", "bornIn", "Lund", 0.7),
-        ];
+        let cands = vec![cand("Alan", "bornIn", "Lund", 0.9), cand("Alan", "bornIn", "Lund", 0.7)];
         let out = reason_candidates(&cands, &TypeIndex::new(), &SolverConfig::default());
         assert_eq!(out.accepted.len(), 2);
     }

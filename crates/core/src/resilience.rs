@@ -194,9 +194,7 @@ impl RetryPolicy {
         if self.base_delay_ms == 0 {
             return Duration::ZERO;
         }
-        let raw = self
-            .base_delay_ms
-            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(20));
+        let raw = self.base_delay_ms.saturating_mul(1u64 << (attempt.saturating_sub(1)).min(20));
         let jitter_bits = splitmix64(self.jitter_seed ^ u64::from(attempt));
         let factor = 0.5 + (jitter_bits >> 11) as f64 / (1u64 << 53) as f64;
         let jittered = (raw as f64 * factor) as u64;
@@ -403,7 +401,12 @@ mod tests {
 
     #[test]
     fn backoff_is_deterministic_in_the_seed() {
-        let p = RetryPolicy { max_attempts: 5, base_delay_ms: 10, max_delay_ms: 10_000, jitter_seed: 9 };
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 10,
+            max_delay_ms: 10_000,
+            jitter_seed: 9,
+        };
         let a: Vec<_> = (1..=4).map(|i| p.delay_after(i)).collect();
         let b: Vec<_> = (1..=4).map(|i| p.delay_after(i)).collect();
         assert_eq!(a, b);
@@ -414,7 +417,8 @@ mod tests {
 
     #[test]
     fn backoff_grows_and_respects_the_cap() {
-        let p = RetryPolicy { max_attempts: 8, base_delay_ms: 10, max_delay_ms: 50, jitter_seed: 1 };
+        let p =
+            RetryPolicy { max_attempts: 8, base_delay_ms: 10, max_delay_ms: 50, jitter_seed: 1 };
         for i in 1..=8 {
             assert!(p.delay_after(i) <= Duration::from_millis(50));
         }

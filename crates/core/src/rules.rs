@@ -34,7 +34,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use kb_store::{KnowledgeBase, TermId};
+use kb_store::{KbRead, TermId};
 
 /// The shape of a mined rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,15 +69,11 @@ pub struct Rule {
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.shape {
-            RuleShape::Implication => {
-                write!(f, "{}(x,y) ⇒ {}(x,y)", self.body[0], self.head)?
-            }
+            RuleShape::Implication => write!(f, "{}(x,y) ⇒ {}(x,y)", self.body[0], self.head)?,
             RuleShape::Inverse => write!(f, "{}(x,y) ⇒ {}(y,x)", self.body[0], self.head)?,
-            RuleShape::Chain => write!(
-                f,
-                "{}(x,z) ∧ {}(z,y) ⇒ {}(x,y)",
-                self.body[0], self.body[1], self.head
-            )?,
+            RuleShape::Chain => {
+                write!(f, "{}(x,z) ∧ {}(z,y) ⇒ {}(x,y)", self.body[0], self.body[1], self.head)?
+            }
         }
         write!(
             f,
@@ -126,7 +122,7 @@ struct RelView {
     subjects: HashSet<TermId>,
 }
 
-fn build_views(kb: &KnowledgeBase, cfg: &RuleConfig) -> Vec<RelView> {
+fn build_views<K: KbRead + ?Sized>(kb: &K, cfg: &RuleConfig) -> Vec<RelView> {
     let mut by_rel: HashMap<TermId, Vec<(TermId, TermId)>> = HashMap::new();
     for fact in kb.iter() {
         by_rel.entry(fact.triple.p).or_default().push((fact.triple.s, fact.triple.o));
@@ -159,14 +155,8 @@ fn score(
     shape: RuleShape,
     body_names: Vec<String>,
 ) -> Rule {
-    let support = body_pairs
-        .iter()
-        .filter(|&&(x, y)| head.pair_set.contains(&(x, y)))
-        .count();
-    let pca_denominator = body_pairs
-        .iter()
-        .filter(|&&(x, _)| head.subjects.contains(&x))
-        .count();
+    let support = body_pairs.iter().filter(|&&(x, y)| head.pair_set.contains(&(x, y))).count();
+    let pca_denominator = body_pairs.iter().filter(|&&(x, _)| head.subjects.contains(&x)).count();
     let body_count = body_pairs.len();
     Rule {
         shape,
@@ -178,11 +168,7 @@ fn score(
         } else {
             support as f64 / head.pairs.len() as f64
         },
-        std_confidence: if body_count == 0 {
-            0.0
-        } else {
-            support as f64 / body_count as f64
-        },
+        std_confidence: if body_count == 0 { 0.0 } else { support as f64 / body_count as f64 },
         pca_confidence: if pca_denominator == 0 {
             0.0
         } else {
@@ -193,7 +179,7 @@ fn score(
 
 /// Mines all rules passing the thresholds, ranked by PCA confidence,
 /// then support.
-pub fn mine_rules(kb: &KnowledgeBase, cfg: &RuleConfig) -> Vec<Rule> {
+pub fn mine_rules<K: KbRead + ?Sized>(kb: &K, cfg: &RuleConfig) -> Vec<Rule> {
     let views = build_views(kb, cfg);
     let mut out: Vec<Rule> = Vec::new();
     let keep = |r: &Rule| {
@@ -206,12 +192,8 @@ pub fn mine_rules(kb: &KnowledgeBase, cfg: &RuleConfig) -> Vec<Rule> {
         for head in &views {
             // Implication r_body(x,y) ⇒ r_head(x,y); skip the tautology.
             if body.name != head.name {
-                let rule = score(
-                    &body.pair_set,
-                    head,
-                    RuleShape::Implication,
-                    vec![body.name.clone()],
-                );
+                let rule =
+                    score(&body.pair_set, head, RuleShape::Implication, vec![body.name.clone()]);
                 if keep(&rule) {
                     out.push(rule);
                 }
@@ -246,12 +228,8 @@ pub fn mine_rules(kb: &KnowledgeBase, cfg: &RuleConfig) -> Vec<Rule> {
                 if head.name == r1.name || head.name == r2.name {
                     continue;
                 }
-                let rule = score(
-                    &joined,
-                    head,
-                    RuleShape::Chain,
-                    vec![r1.name.clone(), r2.name.clone()],
-                );
+                let rule =
+                    score(&joined, head, RuleShape::Chain, vec![r1.name.clone(), r2.name.clone()]);
                 if keep(&rule) {
                     out.push(rule);
                 }
@@ -282,7 +260,11 @@ pub struct PredictedFact {
 
 /// Applies mined rules to the KB: returns facts the rules *predict* but
 /// the KB does not contain — rule-based KB completion.
-pub fn apply_rules(kb: &KnowledgeBase, rules: &[Rule], cfg: &RuleConfig) -> Vec<PredictedFact> {
+pub fn apply_rules<K: KbRead + ?Sized>(
+    kb: &K,
+    rules: &[Rule],
+    cfg: &RuleConfig,
+) -> Vec<PredictedFact> {
     let views = build_views(kb, cfg);
     let view_of = |name: &str| views.iter().find(|v| v.name == name);
     let mut predictions: HashSet<PredictedFact> = HashSet::new();
@@ -298,8 +280,7 @@ pub fn apply_rules(kb: &KnowledgeBase, rules: &[Rule], cfg: &RuleConfig) -> Vec<
                 None => continue,
             },
             RuleShape::Chain => {
-                let (Some(r1), Some(r2)) = (view_of(&rule.body[0]), view_of(&rule.body[1]))
-                else {
+                let (Some(r1), Some(r2)) = (view_of(&rule.body[0]), view_of(&rule.body[1])) else {
                     continue;
                 };
                 let mut joined = HashSet::new();
@@ -336,6 +317,7 @@ pub fn apply_rules(kb: &KnowledgeBase, rules: &[Rule], cfg: &RuleConfig) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kb_store::KnowledgeBase;
 
     /// A KB where capitalOf ⊑ locatedIn, marriedTo is symmetric, and
     /// bornIn ∘ locatedIn = citizenOf.
@@ -395,7 +377,9 @@ mod tests {
         let rule = rules
             .iter()
             .find(|r| {
-                r.shape == RuleShape::Inverse && r.body == vec!["marriedTo"] && r.head == "marriedTo"
+                r.shape == RuleShape::Inverse
+                    && r.body == vec!["marriedTo"]
+                    && r.head == "marriedTo"
             })
             .expect("marriedTo symmetry");
         assert_eq!(rule.std_confidence, 1.0);
@@ -425,9 +409,7 @@ mod tests {
             assert!(r.support >= 5, "{r}");
         }
         // bornIn ⇒ marriedTo must not survive.
-        assert!(!rules
-            .iter()
-            .any(|r| r.body == vec!["bornIn"] && r.head == "marriedTo"));
+        assert!(!rules.iter().any(|r| r.body == vec!["bornIn"] && r.head == "marriedTo"));
     }
 
     #[test]
@@ -463,9 +445,9 @@ mod tests {
         let rules = mine_rules(&kb, &lax());
         let predictions = apply_rules(&kb, &rules, &lax());
         assert!(
-            predictions.iter().any(|p| p.subject == "P0"
-                && p.relation == "citizenOf"
-                && p.object == "N1"),
+            predictions
+                .iter()
+                .any(|p| p.subject == "P0" && p.relation == "citizenOf" && p.object == "N1"),
             "missing citizenship not predicted: {predictions:?}"
         );
     }

@@ -55,22 +55,14 @@ pub fn parse_category(cat: &str) -> ParsedCategory {
     // "Companies headquartered in X", "Cities in X"). The head noun is
     // the token before the first verb/preposition — it still types the
     // instance.
-    if let Some(pos) = tokens
-        .iter()
-        .position(|t| matches!(*t, "in" | "of" | "by" | "from" | "born" | "headquartered" | "located"))
-    {
-        let head = if pos >= 1 {
-            Some(singularize_class(tokens[pos - 1]))
-        } else {
-            None
-        };
+    if let Some(pos) = tokens.iter().position(|t| {
+        matches!(*t, "in" | "of" | "by" | "from" | "born" | "headquartered" | "located")
+    }) {
+        let head = if pos >= 1 { Some(singularize_class(tokens[pos - 1])) } else { None };
         return ParsedCategory::Relational { head };
     }
     match tokens.len() {
-        1 => ParsedCategory::Class {
-            class: singularize_class(tokens[0]),
-            parent: None,
-        },
+        1 => ParsedCategory::Class { class: singularize_class(tokens[0]), parent: None },
         2 => {
             let (modifier, head) = (tokens[0], tokens[1]);
             let head_class = singularize_class(head);
@@ -79,10 +71,7 @@ pub fn parse_category(cat: &str) -> ParsedCategory {
                 ParsedCategory::Class { class: head_class, parent: None }
             } else {
                 let compound = format!("{}_{head_class}", modifier.to_lowercase());
-                ParsedCategory::Class {
-                    class: compound,
-                    parent: Some(head_class),
-                }
+                ParsedCategory::Class { class: compound, parent: Some(head_class) }
             }
         }
         // Longer prepositional-free categories are rare and ambiguous;
@@ -117,10 +106,8 @@ pub fn harvest_categories<'a>(
         for cat in &doc.categories {
             match parse_category(cat) {
                 ParsedCategory::Class { class, parent } => {
-                    out.instances.push(InstanceAssertion {
-                        entity: entity.clone(),
-                        class: class.clone(),
-                    });
+                    out.instances
+                        .push(InstanceAssertion { entity: entity.clone(), class: class.clone() });
                     if let Some(parent) = parent {
                         let edge = (class, parent);
                         if !out.subclass_edges.contains(&edge) {
@@ -172,10 +159,7 @@ mod tests {
     fn compound_categories_create_subclasses() {
         assert_eq!(
             parse_category("Phone companies"),
-            ParsedCategory::Class {
-                class: "phone_company".into(),
-                parent: Some("company".into())
-            }
+            ParsedCategory::Class { class: "phone_company".into(), parent: Some("company".into()) }
         );
     }
 

@@ -7,7 +7,8 @@ use kb_corpus::{Doc, Mention};
 use super::{singularize_class, InstanceAssertion};
 
 /// Words that terminate the class phrase after "and other".
-const PHRASE_TERMINATORS: [&str; 8] = ["appear", "are", "is", "were", "have", "can", "attract", "remain"];
+const PHRASE_TERMINATORS: [&str; 8] =
+    ["appear", "are", "is", "were", "have", "can", "attract", "remain"];
 
 /// Harvests instance assertions from both Hearst patterns over a
 /// document collection. Entity grounding uses the documents' mention
@@ -36,10 +37,8 @@ fn harvest_such_as<'a>(
     for cue in find_all(&doc.text, " such as ") {
         let Some(class) = class_phrase_before(&doc.text, cue) else { continue };
         let enum_start = cue + " such as ".len();
-        let enum_end = doc.text[enum_start..]
-            .find('.')
-            .map(|p| enum_start + p)
-            .unwrap_or(doc.text.len());
+        let enum_end =
+            doc.text[enum_start..].find('.').map(|p| enum_start + p).unwrap_or(doc.text.len());
         for m in mentions_in(doc, enum_start, enum_end) {
             out.push(InstanceAssertion {
                 entity: canonical_of(m.entity).to_string(),
@@ -83,9 +82,7 @@ fn find_all(hay: &str, needle: &str) -> Vec<usize> {
 
 /// Mentions fully inside `[start, end)`.
 fn mentions_in(doc: &Doc, start: usize, end: usize) -> impl Iterator<Item = &Mention> {
-    doc.mentions
-        .iter()
-        .filter(move |m| m.start >= start && m.end <= end)
+    doc.mentions.iter().filter(move |m| m.start >= start && m.end <= end)
 }
 
 /// Extracts the class phrase (up to two words) immediately before byte
@@ -235,7 +232,11 @@ mod tests {
 
     #[test]
     fn no_patterns_no_output() {
-        let doc = doc_with(&[("Just a plain sentence about ", None), ("Lundholm", Some(1)), (". ", None)]);
+        let doc = doc_with(&[
+            ("Just a plain sentence about ", None),
+            ("Lundholm", Some(1)),
+            (". ", None),
+        ]);
         assert!(harvest_hearst(&[&doc], |id| names(id)).is_empty());
     }
 

@@ -29,10 +29,8 @@ pub fn merge_instances(sources: &[(&[InstanceAssertion], f64)]) -> Vec<MergedIns
     let mut merged: HashMap<(String, String), f64> = HashMap::new();
     for (assertions, conf) in sources {
         // Within one source, a pair counts once.
-        let distinct: HashSet<(&str, &str)> = assertions
-            .iter()
-            .map(|a| (a.entity.as_str(), a.class.as_str()))
-            .collect();
+        let distinct: HashSet<(&str, &str)> =
+            assertions.iter().map(|a| (a.entity.as_str(), a.class.as_str())).collect();
         for (e, c) in distinct {
             let slot = merged.entry((e.to_string(), c.to_string())).or_insert(0.0);
             *slot = 1.0 - (1.0 - *slot) * (1.0 - conf);
@@ -89,9 +87,7 @@ pub fn induce_subclasses(
     // Transitive reduction: drop (a, c) when some (a, b) and (b, c) exist.
     let set: HashSet<(String, String)> = raw.iter().cloned().collect();
     raw.retain(|(a, c)| {
-        !set.iter().any(|(x, b)| {
-            x == a && b != c && set.contains(&(b.clone(), c.clone()))
-        })
+        !set.iter().any(|(x, b)| x == a && b != c && set.contains(&(b.clone(), c.clone())))
     });
     raw.sort();
     raw
@@ -137,6 +133,7 @@ pub fn load_into_kb(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kb_store::KbRead;
 
     fn ia(e: &str, c: &str) -> InstanceAssertion {
         InstanceAssertion { entity: e.into(), class: c.into() }
@@ -166,7 +163,11 @@ mod tests {
         // entrepreneurs {A, B} ⊂ people {A, B, C, D}
         let mut inst = Vec::new();
         for e in ["A", "B"] {
-            inst.push(MergedInstance { entity: e.into(), class: "entrepreneur".into(), confidence: 1.0 });
+            inst.push(MergedInstance {
+                entity: e.into(),
+                class: "entrepreneur".into(),
+                confidence: 1.0,
+            });
         }
         for e in ["A", "B", "C", "D"] {
             inst.push(MergedInstance { entity: e.into(), class: "person".into(), confidence: 1.0 });
@@ -228,10 +229,7 @@ mod tests {
     #[test]
     fn load_skips_cycle_inducing_edges() {
         let mut kb = KnowledgeBase::new();
-        let edges = vec![
-            ("a".to_string(), "b".to_string()),
-            ("b".to_string(), "a".to_string()),
-        ];
+        let edges = vec![("a".to_string(), "b".to_string()), ("b".to_string(), "a".to_string())];
         let applied = load_into_kb(&mut kb, &[], &edges, "t").unwrap();
         assert_eq!(applied, 1, "second edge closes a cycle and is skipped");
     }

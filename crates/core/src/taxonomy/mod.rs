@@ -31,10 +31,7 @@ pub struct InstanceAssertion {
 /// Converts a set of assertions to the `(entity, class)` string pairs
 /// used by the evaluation.
 pub fn to_eval_set(assertions: &[InstanceAssertion]) -> HashSet<(String, String)> {
-    assertions
-        .iter()
-        .map(|a| (a.entity.clone(), a.class.clone()))
-        .collect()
+    assertions.iter().map(|a| (a.entity.clone(), a.class.clone())).collect()
 }
 
 /// Normalizes a plural class head to the singular class identifier used

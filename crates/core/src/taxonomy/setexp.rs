@@ -75,11 +75,7 @@ pub fn expand_set<'a>(
         .into_iter()
         .map(|(entity, shared_lists)| {
             let t = total[&entity].max(1);
-            ExpansionCandidate {
-                score: shared_lists as f64 / t as f64,
-                entity,
-                shared_lists,
-            }
+            ExpansionCandidate { score: shared_lists as f64 / t as f64, entity, shared_lists }
         })
         .collect();
     out.sort_by(|a, b| {
@@ -134,9 +130,7 @@ mod tests {
     fn groups_split_on_non_glue_text() {
         let doc = list_doc(&[&[1, 2, 3], &[4, 5]]);
         let leak = name_of; // keep closure lifetime simple
-        let groups = enumeration_groups(&doc, &|id| {
-            Box::leak(leak(id).into_boxed_str()) as &str
-        });
+        let groups = enumeration_groups(&doc, &|id| Box::leak(leak(id).into_boxed_str()) as &str);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0], vec!["E1", "E2", "E3"]);
         assert_eq!(groups[1], vec!["E4", "E5"]);
@@ -146,7 +140,8 @@ mod tests {
     fn expansion_finds_co_listed_entities() {
         let doc = list_doc(&[&[1, 2, 3], &[1, 4], &[5, 6]]);
         let seeds: HashSet<String> = ["E1".to_string()].into_iter().collect();
-        let found = expand_set(&[&doc], |id| Box::leak(name_of(id).into_boxed_str()) as &str, &seeds);
+        let found =
+            expand_set(&[&doc], |id| Box::leak(name_of(id).into_boxed_str()) as &str, &seeds);
         let names: Vec<&str> = found.iter().map(|c| c.entity.as_str()).collect();
         assert!(names.contains(&"E2"));
         assert!(names.contains(&"E4"));
@@ -158,7 +153,8 @@ mod tests {
     fn candidates_are_ranked_by_shared_lists() {
         let doc = list_doc(&[&[1, 2], &[1, 2, 3], &[1, 3], &[2, 9]]);
         let seeds: HashSet<String> = ["E1".to_string()].into_iter().collect();
-        let found = expand_set(&[&doc], |id| Box::leak(name_of(id).into_boxed_str()) as &str, &seeds);
+        let found =
+            expand_set(&[&doc], |id| Box::leak(name_of(id).into_boxed_str()) as &str, &seeds);
         // E2 and E3 both share 2 lists with the seed; E3 wins the tie on
         // score (2/2 vs 2/3 of its lists shared).
         assert_eq!(found[0].entity, "E3");
@@ -176,11 +172,7 @@ mod tests {
         let docs: Vec<&Doc> = corpus.overviews.iter().collect();
         // Seed with two cities; expansion should surface mostly cities.
         let mut cities = world.of_kind(EntityKind::City);
-        let seeds: HashSet<String> = cities
-            .by_ref()
-            .take(2)
-            .map(|e| e.canonical.clone())
-            .collect();
+        let seeds: HashSet<String> = cities.by_ref().take(2).map(|e| e.canonical.clone()).collect();
         let found = expand_set(&docs, |id| world.entity(id).canonical.as_str(), &seeds);
         if found.is_empty() {
             // Tiny corpora may not co-list the seeds; acceptable.
@@ -189,11 +181,7 @@ mod tests {
         let top: Vec<_> = found.iter().take(5).collect();
         let city_hits = top
             .iter()
-            .filter(|c| {
-                world
-                    .by_canonical(&c.entity)
-                    .is_some_and(|e| e.kind == EntityKind::City)
-            })
+            .filter(|c| world.by_canonical(&c.entity).is_some_and(|e| e.kind == EntityKind::City))
             .count();
         assert!(city_hits * 2 >= top.len(), "top-5 should be mostly cities");
     }

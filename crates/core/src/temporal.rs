@@ -94,9 +94,8 @@ pub fn infer_span(hints: &[TimeHint]) -> Option<TimeSpan> {
             *interval_votes.entry((b, e)).or_insert(0) += 1;
         }
     }
-    if let Some(((b, e), _)) = interval_votes
-        .into_iter()
-        .max_by_key(|&(k, v)| (v, std::cmp::Reverse(k)))
+    if let Some(((b, e), _)) =
+        interval_votes.into_iter().max_by_key(|&(k, v)| (v, std::cmp::Reverse(k)))
     {
         return TimeSpan::between(TimePoint::year(b), TimePoint::year(e)).ok();
     }
@@ -148,9 +147,7 @@ impl TemporalAccuracy {
 }
 
 /// Scores inferred spans against gold years.
-pub fn score_spans(
-    inferred: &[(Option<TimeSpan>, Option<i32>, Option<i32>)],
-) -> TemporalAccuracy {
+pub fn score_spans(inferred: &[(Option<TimeSpan>, Option<i32>, Option<i32>)]) -> TemporalAccuracy {
     let mut acc = TemporalAccuracy { inferred: 0, begin_correct: 0, end_correct: 0, total: 0 };
     for (span, gold_begin, gold_end) in inferred {
         acc.total += 1;
@@ -202,7 +199,7 @@ mod tests {
     }
 
     #[test]
-    fn non_years_are_ignored()  {
+    fn non_years_are_ignored() {
         assert!(tag_temporal("in 12 days from 3 to 5").is_empty());
         assert!(tag_temporal("no numbers at all").is_empty());
     }

@@ -18,10 +18,8 @@ fn small_instance() -> impl Strategy<Value = MaxSatProblem> {
     prop::collection::vec(clause, 1..8).prop_map(|clauses| {
         let mut p = MaxSatProblem::new(6);
         for (lits, weight) in clauses {
-            let lits: Vec<Lit> = lits
-                .into_iter()
-                .map(|(var, positive)| Lit { var, positive })
-                .collect();
+            let lits: Vec<Lit> =
+                lits.into_iter().map(|(var, positive)| Lit { var, positive }).collect();
             if weight.is_infinite() {
                 p.hard(lits);
             } else {

@@ -52,7 +52,12 @@ pub fn infobox_key(rel: Rel) -> &'static str {
 }
 
 /// Chooses the subject surface form for a repeated mention.
-fn subject_surface<'a>(e: &'a Entity, cfg: &CorpusConfig, rng: &mut StdRng, first: bool) -> &'a str {
+fn subject_surface<'a>(
+    e: &'a Entity,
+    cfg: &CorpusConfig,
+    rng: &mut StdRng,
+    first: bool,
+) -> &'a str {
     if first || !rng.gen_bool(cfg.alias_mention_rate) {
         &e.display
     } else {
@@ -240,10 +245,8 @@ fn noise_sentence(b: &mut TextBuilder, world: &World, subject: &Entity, rng: &mu
     // ("Nimbus Systems was born in ..."). Otherwise a domain-compatible
     // relation, which for functional relations yields a functionality
     // violation the reasoner can catch.
-    let pool: Vec<Rel> = NOISE_RELS
-        .into_iter()
-        .filter(|r| (r.domain() != subject.kind) == type_violation)
-        .collect();
+    let pool: Vec<Rel> =
+        NOISE_RELS.into_iter().filter(|r| (r.domain() != subject.kind) == type_violation).collect();
     let rel = if pool.is_empty() {
         NOISE_RELS[rng.gen_range(0..NOISE_RELS.len())]
     } else {
@@ -276,11 +279,8 @@ fn distractor_sentence(
 ) {
     let template = DISTRACTOR_TEMPLATES[rng.gen_range(0..DISTRACTOR_TEMPLATES.len())];
     let other = &world.entities[rng.gen_range(0..world.entities.len())];
-    let surface = if rng.gen_bool(cfg.alias_mention_rate) {
-        &subject.short
-    } else {
-        &subject.display
-    };
+    let surface =
+        if rng.gen_bool(cfg.alias_mention_rate) { &subject.short } else { &subject.display };
     let mut rest = template;
     while let Some(pos) = rest.find('{') {
         b.push(&rest[..pos]);
@@ -382,11 +382,8 @@ fn intro_sentence(b: &mut TextBuilder, world: &World, e: &Entity) {
             }
         }
         EntityKind::Company => {
-            let industry = e
-                .classes
-                .iter()
-                .find_map(|c| c.strip_suffix("_company"))
-                .unwrap_or("large");
+            let industry =
+                e.classes.iter().find_map(|c| c.strip_suffix("_company")).unwrap_or("large");
             b.push(&format!(" is a {industry} company. "));
         }
         EntityKind::City => b.push(" is a city. "),
@@ -412,9 +409,7 @@ fn categories_for(world: &World, e: &Entity) -> Vec<String> {
     let mut cats = Vec::new();
     match e.kind {
         EntityKind::Person => {
-            let nat = e
-                .country
-                .map(|c| nationality_adjective(&world.entity(c).display));
+            let nat = e.country.map(|c| nationality_adjective(&world.entity(c).display));
             for occ in e.classes.iter().filter(|c| *c != "person") {
                 match &nat {
                     Some(adj) => cats.push(format!("{adj} {}", pluralize(occ))),
@@ -430,10 +425,7 @@ fn categories_for(world: &World, e: &Entity) -> Vec<String> {
                 cats.push(format!("{} companies", capitalize(c)));
             }
             if let Some(f) = world.facts_of(e.id).find(|f| f.rel == Rel::HeadquarteredIn) {
-                cats.push(format!(
-                    "Companies headquartered in {}",
-                    world.entity(f.o).display
-                ));
+                cats.push(format!("Companies headquartered in {}", world.entity(f.o).display));
             }
         }
         EntityKind::City => {
@@ -471,20 +463,12 @@ pub fn render_overviews(world: &World, _cfg: &CorpusConfig, rng: &mut StdRng) ->
     let mut docs = Vec::new();
     let mut next_id = 100_000u32;
     // One overview page per class that has at least 3 instances.
-    let mut classes: Vec<String> = world
-        .instance_of
-        .iter()
-        .map(|(_, c)| c.clone())
-        .collect();
+    let mut classes: Vec<String> = world.instance_of.iter().map(|(_, c)| c.clone()).collect();
     classes.sort();
     classes.dedup();
     for class in classes {
-        let members: Vec<EntityId> = world
-            .instance_of
-            .iter()
-            .filter(|(_, c)| *c == class)
-            .map(|(id, _)| *id)
-            .collect();
+        let members: Vec<EntityId> =
+            world.instance_of.iter().filter(|(_, c)| *c == class).map(|(id, _)| *id).collect();
         if members.len() < 3 {
             continue;
         }
@@ -637,9 +621,7 @@ mod tests {
         let docs = render_articles(&world, &cfg, &mut rng);
         let person_doc = docs
             .iter()
-            .find(|d| {
-                world.entity(d.subject.unwrap()).kind == EntityKind::Person
-            })
+            .find(|d| world.entity(d.subject.unwrap()).kind == EntityKind::Person)
             .unwrap();
         assert!(
             person_doc.categories.iter().any(|c| c.starts_with("People born in")),

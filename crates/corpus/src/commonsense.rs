@@ -42,10 +42,7 @@ pub fn render_essays(_world: &World, cfg: &CorpusConfig, rng: &mut StdRng) -> Ve
             for part in concept.parts {
                 if rng.gen_bool(0.7) {
                     if rng.gen_bool(0.5) {
-                        b.push(&format!(
-                            "The {part} is part of a {}. ",
-                            concept.name
-                        ));
+                        b.push(&format!("The {part} is part of a {}. ", concept.name));
                     } else {
                         b.push(&format!("A {} has a {part}. ", concept.name));
                     }

@@ -54,7 +54,12 @@ impl WorldConfig {
 
     /// Total entity count across all kinds.
     pub fn total_entities(&self) -> usize {
-        self.people + self.companies + self.cities + self.countries + self.universities + self.products
+        self.people
+            + self.companies
+            + self.cities
+            + self.countries
+            + self.universities
+            + self.products
     }
 }
 

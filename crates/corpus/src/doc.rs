@@ -121,7 +121,11 @@ impl Doc {
                 return Some(DocDefect::MentionInverted { index });
             }
             if m.end > self.text.len() {
-                return Some(DocDefect::MentionOutOfBounds { index, end: m.end, len: self.text.len() });
+                return Some(DocDefect::MentionOutOfBounds {
+                    index,
+                    end: m.end,
+                    len: self.text.len(),
+                });
             }
             if !self.text.is_char_boundary(m.start) || !self.text.is_char_boundary(m.end) {
                 return Some(DocDefect::MentionNotCharBoundary { index });

@@ -192,12 +192,9 @@ fn truncate_mid_mention(doc: &mut Doc) -> bool {
 /// single two-byte character, so the offset now splits a UTF-8 char.
 fn garble_mention_boundary(doc: &mut Doc) -> bool {
     let bytes = doc.text.as_bytes();
-    let Some(end) = doc
-        .mentions
-        .iter()
-        .map(|m| m.end)
-        .find(|&end| end >= 1 && end < bytes.len() && bytes[end - 1].is_ascii() && bytes[end].is_ascii())
-    else {
+    let Some(end) = doc.mentions.iter().map(|m| m.end).find(|&end| {
+        end >= 1 && end < bytes.len() && bytes[end - 1].is_ascii() && bytes[end].is_ascii()
+    }) else {
         return false;
     };
     let mut garbled = String::with_capacity(doc.text.len());

@@ -131,13 +131,7 @@ pub fn linkage_dump(world: &World, seed: u64) -> LinkageDump {
         let mut attrs = clean_attrs(world, e);
         // Drop each attribute with 30% probability.
         attrs.retain(|_| rng.gen_bool(0.7));
-        records.push(LinkRecord {
-            id,
-            source: 1,
-            name,
-            attrs,
-            gold_entity: e.id,
-        });
+        records.push(LinkRecord { id, source: 1, name, attrs, gold_entity: e.id });
         gold_pairs.insert((i as u32, id));
     }
     LinkageDump { records, gold_pairs }
@@ -179,7 +173,10 @@ fn perturb_name(name: &str, rng: &mut StdRng) -> String {
                 let candidates: Vec<usize> = (1..chars.len() - 2)
                     .filter(|&i| chars[i] != ' ' && chars[i + 1] != ' ')
                     .collect();
-                if let Some(&i) = candidates.get(rng.gen_range(0..candidates.len().max(1)).min(candidates.len().saturating_sub(1))) {
+                if let Some(&i) = candidates.get(
+                    rng.gen_range(0..candidates.len().max(1))
+                        .min(candidates.len().saturating_sub(1)),
+                ) {
                     chars.swap(i, i + 1);
                 }
             }

@@ -4,39 +4,39 @@
 
 /// Syllables for person given names.
 pub static GIVEN_SYLLABLES: &[&str] = &[
-    "Al", "Ber", "Cla", "Do", "El", "Fa", "Ga", "Hel", "Ir", "Jo", "Ka",
-    "Lu", "Mar", "Nor", "Ol", "Pe", "Ro", "Sa", "Te", "Vi",
+    "Al", "Ber", "Cla", "Do", "El", "Fa", "Ga", "Hel", "Ir", "Jo", "Ka", "Lu", "Mar", "Nor", "Ol",
+    "Pe", "Ro", "Sa", "Te", "Vi",
 ];
 
 /// Second syllables for given names.
 pub static GIVEN_ENDINGS: &[&str] = &[
-    "an", "bert", "dia", "fred", "gar", "la", "lena", "mar", "na", "ra",
-    "rik", "ron", "sha", "ta", "vin",
+    "an", "bert", "dia", "fred", "gar", "la", "lena", "mar", "na", "ra", "rik", "ron", "sha", "ta",
+    "vin",
 ];
 
 /// Syllables for family names.
 pub static FAMILY_SYLLABLES: &[&str] = &[
-    "Var", "Hol", "Kel", "Mor", "Nes", "Ostr", "Pell", "Quin", "Rav",
-    "Sel", "Thorn", "Ulm", "Wex", "Yar", "Zell", "Bran", "Crel", "Dunn",
+    "Var", "Hol", "Kel", "Mor", "Nes", "Ostr", "Pell", "Quin", "Rav", "Sel", "Thorn", "Ulm", "Wex",
+    "Yar", "Zell", "Bran", "Crel", "Dunn",
 ];
 
 /// Endings for family names.
 pub static FAMILY_ENDINGS: &[&str] = &[
-    "en", "er", "ford", "gate", "ham", "ley", "low", "man", "sen", "son",
-    "ström", "ton", "wick", "worth",
+    "en", "er", "ford", "gate", "ham", "ley", "low", "man", "sen", "son", "ström", "ton", "wick",
+    "worth",
 ];
 
 /// Syllables for place (city/country) names.
 pub static PLACE_SYLLABLES: &[&str] = &[
-    "Arb", "Bel", "Cor", "Dren", "Esk", "Fal", "Gren", "Hav", "Ister",
-    "Jut", "Kolm", "Lund", "Mar", "Nor", "Oster", "Pren", "Quell", "Ry",
-    "Stav", "Tor", "Ulv", "Vest", "Wim", "Yor", "Zeb",
+    "Arb", "Bel", "Cor", "Dren", "Esk", "Fal", "Gren", "Hav", "Ister", "Jut", "Kolm", "Lund",
+    "Mar", "Nor", "Oster", "Pren", "Quell", "Ry", "Stav", "Tor", "Ulv", "Vest", "Wim", "Yor",
+    "Zeb",
 ];
 
 /// Endings for city names.
 pub static CITY_ENDINGS: &[&str] = &[
-    "berg", "bridge", "burg", "by", "dale", "field", "ford", "gate",
-    "haven", "holm", "mouth", "port", "stad", "ton", "vale", "ville",
+    "berg", "bridge", "burg", "by", "dale", "field", "ford", "gate", "haven", "holm", "mouth",
+    "port", "stad", "ton", "vale", "ville",
 ];
 
 /// Endings for country names.
@@ -44,22 +44,51 @@ pub static COUNTRY_ENDINGS: &[&str] = &["ia", "land", "mark", "onia", "stan", "v
 
 /// Company name stems.
 pub static COMPANY_STEMS: &[&str] = &[
-    "Acro", "Bitwise", "Cobalt", "Delta", "Ember", "Fathom", "Gyro",
-    "Helix", "Ion", "Jetline", "Krypton", "Lumen", "Meridian", "Nimbus",
-    "Orbit", "Pinnacle", "Quanta", "Ridge", "Solstice", "Tundra",
-    "Umbra", "Vertex", "Wavecrest", "Xenon", "Zephyr",
+    "Acro",
+    "Bitwise",
+    "Cobalt",
+    "Delta",
+    "Ember",
+    "Fathom",
+    "Gyro",
+    "Helix",
+    "Ion",
+    "Jetline",
+    "Krypton",
+    "Lumen",
+    "Meridian",
+    "Nimbus",
+    "Orbit",
+    "Pinnacle",
+    "Quanta",
+    "Ridge",
+    "Solstice",
+    "Tundra",
+    "Umbra",
+    "Vertex",
+    "Wavecrest",
+    "Xenon",
+    "Zephyr",
 ];
 
 /// Company name suffixes.
 pub static COMPANY_SUFFIXES: &[&str] = &[
-    "Systems", "Industries", "Labs", "Works", "Dynamics", "Technologies",
-    "Group", "Corporation", "Motors", "Foods",
+    "Systems",
+    "Industries",
+    "Labs",
+    "Works",
+    "Dynamics",
+    "Technologies",
+    "Group",
+    "Corporation",
+    "Motors",
+    "Foods",
 ];
 
 /// Product name stems (versioned per line: "Strato 2").
 pub static PRODUCT_STEMS: &[&str] = &[
-    "Strato", "Nova", "Pulse", "Vanta", "Aero", "Corda", "Lyra", "Onda",
-    "Presto", "Ray", "Sable", "Tempo", "Vero", "Zeta",
+    "Strato", "Nova", "Pulse", "Vanta", "Aero", "Corda", "Lyra", "Onda", "Presto", "Ray", "Sable",
+    "Tempo", "Vero", "Zeta",
 ];
 
 /// Industries a company can belong to; each induces a company subclass
@@ -70,26 +99,47 @@ pub static INDUSTRIES: &[&str] = &["phone", "computer", "car", "food", "software
 pub static PRODUCT_KINDS: &[&str] = &["phone", "laptop", "car", "snack", "app"];
 
 /// Occupations for people; each induces a person subclass.
-pub static OCCUPATIONS: &[&str] = &[
-    "entrepreneur", "scientist", "musician", "writer", "athlete", "engineer",
-];
+pub static OCCUPATIONS: &[&str] =
+    &["entrepreneur", "scientist", "musician", "writer", "athlete", "engineer"];
 
 /// Positive sentiment words for the social stream.
 pub static POSITIVE_WORDS: &[&str] = &[
-    "love", "great", "amazing", "fantastic", "excellent", "superb",
-    "brilliant", "wonderful", "fast", "gorgeous",
+    "love",
+    "great",
+    "amazing",
+    "fantastic",
+    "excellent",
+    "superb",
+    "brilliant",
+    "wonderful",
+    "fast",
+    "gorgeous",
 ];
 
 /// Negative sentiment words for the social stream.
 pub static NEGATIVE_WORDS: &[&str] = &[
-    "hate", "terrible", "awful", "disappointing", "broken", "slow",
-    "ugly", "buggy", "overpriced", "flimsy",
+    "hate",
+    "terrible",
+    "awful",
+    "disappointing",
+    "broken",
+    "slow",
+    "ugly",
+    "buggy",
+    "overpriced",
+    "flimsy",
 ];
 
 /// Neutral filler fragments for posts.
 pub static POST_FILLERS: &[&str] = &[
-    "just got my hands on", "been using", "thoughts on", "review of",
-    "first impressions of", "one week with", "upgraded to", "comparing",
+    "just got my hands on",
+    "been using",
+    "thoughts on",
+    "review of",
+    "first impressions of",
+    "one week with",
+    "upgraded to",
+    "comparing",
 ];
 
 /// Distractor sentence templates for articles. `{S}` is replaced with
@@ -158,9 +208,8 @@ pub static CONCEPTS: &[ConceptSpec] = &[
 
 /// Adjectives that apply to *no* concept in [`CONCEPTS`] — used to
 /// generate implausible property noise ("apples can be punctual").
-pub static ABSURD_PROPERTIES: &[&str] = &[
-    "punctual", "jealous", "polite", "funny", "ambitious", "fluent",
-];
+pub static ABSURD_PROPERTIES: &[&str] =
+    &["punctual", "jealous", "polite", "funny", "ambitious", "fluent"];
 
 #[cfg(test)]
 mod tests {

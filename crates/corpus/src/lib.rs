@@ -119,12 +119,7 @@ mod tests {
         cfg2.world.seed += 1;
         let a = Corpus::generate(&CorpusConfig::tiny());
         let b = Corpus::generate(&cfg2);
-        let same = a
-            .articles
-            .iter()
-            .zip(&b.articles)
-            .filter(|(x, y)| x.text == y.text)
-            .count();
+        let same = a.articles.iter().zip(&b.articles).filter(|(x, y)| x.text == y.text).count();
         assert!(same < a.articles.len(), "seeds produced identical corpora");
     }
 

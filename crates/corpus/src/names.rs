@@ -21,11 +21,7 @@ impl NameGen {
         let mut used = HashSet::new();
         let mut surname_pool = Vec::with_capacity(pool_size.max(1));
         while surname_pool.len() < pool_size.max(1) {
-            let s = format!(
-                "{}{}",
-                pick(rng, FAMILY_SYLLABLES),
-                pick(rng, FAMILY_ENDINGS)
-            );
+            let s = format!("{}{}", pick(rng, FAMILY_SYLLABLES), pick(rng, FAMILY_ENDINGS));
             if !surname_pool.contains(&s) {
                 surname_pool.push(s);
             }
@@ -53,9 +49,7 @@ impl NameGen {
 
     /// A fresh city name.
     pub fn city(&mut self, rng: &mut StdRng) -> String {
-        self.unique(rng, |rng| {
-            format!("{}{}", pick(rng, PLACE_SYLLABLES), pick(rng, CITY_ENDINGS))
-        })
+        self.unique(rng, |rng| format!("{}{}", pick(rng, PLACE_SYLLABLES), pick(rng, CITY_ENDINGS)))
     }
 
     /// A fresh country name.
@@ -136,11 +130,7 @@ pub fn nationality_adjective(country: &str) -> String {
 pub fn multilingual_labels(display: &str) -> Vec<(&'static str, String)> {
     let de = format!("{display}haus");
     let fr = format!("Le {display}");
-    vec![
-        ("en", display.to_string()),
-        ("de", de),
-        ("fr", fr),
-    ]
+    vec![("en", display.to_string()), ("de", de), ("fr", fr)]
 }
 
 #[cfg(test)]

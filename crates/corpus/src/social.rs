@@ -37,10 +37,7 @@ pub struct StreamGold {
 impl StreamGold {
     /// Reads the rivals from the world.
     pub fn from_world(world: &World) -> Self {
-        Self {
-            product_a: world.rival_products.0,
-            product_b: world.rival_products.1,
-        }
+        Self { product_a: world.rival_products.0, product_b: world.rival_products.1 }
     }
 }
 
@@ -62,15 +59,11 @@ pub fn render_posts(world: &World, cfg: &CorpusConfig, rng: &mut StdRng) -> Vec<
         // Volume per product.
         let base = cfg.posts_per_day as f64 / 2.0;
         let volume_a = base;
-        let volume_b = if progress < 0.4 {
-            base * 0.3
-        } else {
-            base * (0.3 + 1.4 * (progress - 0.4) / 0.6)
-        };
-        for (product, volume, positive_rate) in [
-            (prod_a, volume_a, 0.8 - 0.4 * progress),
-            (prod_b, volume_b, 0.75),
-        ] {
+        let volume_b =
+            if progress < 0.4 { base * 0.3 } else { base * (0.3 + 1.4 * (progress - 0.4) / 0.6) };
+        for (product, volume, positive_rate) in
+            [(prod_a, volume_a, 0.8 - 0.4 * progress), (prod_b, volume_b, 0.75)]
+        {
             let n = poissonish(volume, rng);
             for _ in 0..n {
                 posts.push(render_post(world, product, day, positive_rate, rng));
@@ -182,14 +175,10 @@ mod tests {
         let (world, posts, _) = stream();
         let (a, _) = world.rival_products;
         let e = world.entity(a);
-        let display_used = posts
-            .iter()
-            .flat_map(|p| &p.mentions)
-            .any(|m| m.entity == a && m.surface == e.display);
-        let short_used = posts
-            .iter()
-            .flat_map(|p| &p.mentions)
-            .any(|m| m.entity == a && m.surface == e.short);
+        let display_used =
+            posts.iter().flat_map(|p| &p.mentions).any(|m| m.entity == a && m.surface == e.display);
+        let short_used =
+            posts.iter().flat_map(|p| &p.mentions).any(|m| m.entity == a && m.surface == e.short);
         assert!(display_used && short_used);
     }
 

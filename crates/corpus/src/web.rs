@@ -133,9 +133,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let docs = render_web_pages(&world, &cfg, &mut rng);
         assert!(docs.iter().any(|d| !d.mentions.is_empty()));
-        assert!(docs
-            .iter()
-            .any(|d| JUNK.iter().any(|j| d.text.contains(j.trim_end()))));
+        assert!(docs.iter().any(|d| JUNK.iter().any(|j| d.text.contains(j.trim_end()))));
     }
 
     #[test]

@@ -114,7 +114,12 @@ impl Rel {
     pub fn functional(self) -> bool {
         matches!(
             self,
-            Rel::BornIn | Rel::CitizenOf | Rel::LocatedIn | Rel::HeadquarteredIn | Rel::CapitalOf | Rel::MarriedTo
+            Rel::BornIn
+                | Rel::CitizenOf
+                | Rel::LocatedIn
+                | Rel::HeadquarteredIn
+                | Rel::CapitalOf
+                | Rel::MarriedTo
         )
     }
 
@@ -126,9 +131,12 @@ impl Rel {
     /// Required subject kind.
     pub fn domain(self) -> EntityKind {
         match self {
-            Rel::BornIn | Rel::CitizenOf | Rel::Founded | Rel::WorksAt | Rel::MarriedTo | Rel::StudiedAt => {
-                EntityKind::Person
-            }
+            Rel::BornIn
+            | Rel::CitizenOf
+            | Rel::Founded
+            | Rel::WorksAt
+            | Rel::MarriedTo
+            | Rel::StudiedAt => EntityKind::Person,
             Rel::LocatedIn | Rel::CapitalOf => EntityKind::City,
             Rel::HeadquarteredIn | Rel::Created => EntityKind::Company,
         }
@@ -150,10 +158,7 @@ impl Rel {
 
     /// Whether facts of this relation carry temporal scopes.
     pub fn temporal(self) -> bool {
-        matches!(
-            self,
-            Rel::Founded | Rel::WorksAt | Rel::MarriedTo | Rel::StudiedAt | Rel::Created
-        )
+        matches!(self, Rel::Founded | Rel::WorksAt | Rel::MarriedTo | Rel::StudiedAt | Rel::Created)
     }
 }
 
@@ -265,14 +270,7 @@ impl<'a> Generator<'a> {
         // person can have a unique surname.
         let pool = ((cfg.people as f64) * (1.0 - cfg.ambiguity)).ceil().max(1.0) as usize;
         let names = NameGen::new(&mut rng, pool);
-        Self {
-            cfg,
-            rng,
-            names,
-            entities: Vec::new(),
-            facts: Vec::new(),
-            instance_of: Vec::new(),
-        }
+        Self { cfg, rng, names, entities: Vec::new(), facts: Vec::new(), instance_of: Vec::new() }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -411,10 +409,7 @@ impl<'a> Generator<'a> {
             .map(|i| {
                 let name = self.names.company(&mut self.rng);
                 let short = name.split(' ').next().unwrap_or(&name).to_string();
-                let acronym: String = name
-                    .split(' ')
-                    .filter_map(|w| w.chars().next())
-                    .collect();
+                let acronym: String = name.split(' ').filter_map(|w| w.chars().next()).collect();
                 // Force the first two companies into the phone industry:
                 // they are the rivals of the analytics case study.
                 let industry = if i < 2 {
@@ -444,10 +439,8 @@ impl<'a> Generator<'a> {
             .map(|_| {
                 let (given, family) = self.names.person(&mut self.rng);
                 let display = format!("{given} {family}");
-                let initial = format!(
-                    "{}. {family}",
-                    given.chars().next().expect("nonempty given name")
-                );
+                let initial =
+                    format!("{}. {family}", given.chars().next().expect("nonempty given name"));
                 let birth = self.rng.gen_range(1900..1996);
                 let n_occ = self.rng.gen_range(1..=2usize);
                 let mut classes = vec!["person".to_string()];
@@ -496,7 +489,8 @@ impl<'a> Generator<'a> {
                 format!("{stem} {version}")
             } else {
                 let fresh = self.names.product(&mut self.rng, version);
-                let stem = fresh.rsplit_once(' ').map(|(s, _)| s.to_string()).unwrap_or(fresh.clone());
+                let stem =
+                    fresh.rsplit_once(' ').map(|(s, _)| s.to_string()).unwrap_or(fresh.clone());
                 line_stem[ci] = Some(stem);
                 fresh
             };
@@ -722,11 +716,8 @@ mod tests {
     fn each_country_has_exactly_one_capital() {
         let w = tiny_world();
         for c in w.of_kind(EntityKind::Country) {
-            let capitals = w
-                .facts
-                .iter()
-                .filter(|f| f.rel == Rel::CapitalOf && f.o == c.id)
-                .count();
+            let capitals =
+                w.facts.iter().filter(|f| f.rel == Rel::CapitalOf && f.o == c.id).count();
             assert_eq!(capitals, 1, "{} has {capitals} capitals", c.display);
         }
     }
@@ -805,10 +796,7 @@ mod tests {
     fn gold_taxonomy_contains_kind_classes() {
         let edges = gold_taxonomy_edges();
         for kind in ["person", "company", "city", "country", "university", "product"] {
-            assert!(
-                edges.iter().any(|(sub, _)| sub == kind),
-                "{kind} missing from taxonomy"
-            );
+            assert!(edges.iter().any(|(sub, _)| sub == kind), "{kind} missing from taxonomy");
         }
         // entrepreneur ⊂ person, phone ⊂ product
         assert!(edges.contains(&("entrepreneur".into(), "person".into())));

@@ -3,22 +3,32 @@
 
 use proptest::prelude::*;
 
-use kb_corpus::{Corpus, CorpusConfig, EntityKind, WorldConfig, World};
+use kb_corpus::{Corpus, CorpusConfig, EntityKind, World, WorldConfig};
 
 fn small_config() -> impl Strategy<Value = CorpusConfig> {
     (
         any::<u64>(),
-        2usize..20,  // people
-        1usize..5,   // companies
-        2usize..6,   // cities
-        1usize..3,   // countries
-        0usize..3,   // universities
-        0usize..6,   // products
+        2usize..20,   // people
+        1usize..5,    // companies
+        2usize..6,    // cities
+        1usize..3,    // countries
+        0usize..3,    // universities
+        0usize..6,    // products
         0.0f64..=1.0, // ambiguity
         0.0f64..=0.3, // noise
     )
         .prop_map(
-            |(seed, people, companies, cities, countries, universities, products, ambiguity, noise)| {
+            |(
+                seed,
+                people,
+                companies,
+                cities,
+                countries,
+                universities,
+                products,
+                ambiguity,
+                noise,
+            )| {
                 let mut cfg = CorpusConfig::tiny();
                 cfg.world = WorldConfig {
                     seed,

@@ -84,19 +84,12 @@ pub struct BlockingQuality {
 }
 
 /// Measures a strategy against gold duplicate pairs.
-pub fn blocking_quality(
-    candidates: &[(u32, u32)],
-    gold: &HashSet<(u32, u32)>,
-) -> BlockingQuality {
+pub fn blocking_quality(candidates: &[(u32, u32)], gold: &HashSet<(u32, u32)>) -> BlockingQuality {
     let set: HashSet<&(u32, u32)> = candidates.iter().collect();
     let covered = gold.iter().filter(|p| set.contains(p)).count();
     BlockingQuality {
         pairs: candidates.len(),
-        pair_recall: if gold.is_empty() {
-            1.0
-        } else {
-            covered as f64 / gold.len() as f64
-        },
+        pair_recall: if gold.is_empty() { 1.0 } else { covered as f64 / gold.len() as f64 },
     }
 }
 

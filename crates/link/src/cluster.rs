@@ -101,12 +101,11 @@ pub fn cluster_with_constraints(
         if check_constraints {
             let pa = profile.get(&ra).cloned().unwrap_or_default();
             let pb = profile.get(&rb).cloned().unwrap_or_default();
-            let conflict = DISTINGUISHING_ATTRS.iter().any(|key| {
-                match (pa.get(*key), pb.get(*key)) {
+            let conflict =
+                DISTINGUISHING_ATTRS.iter().any(|key| match (pa.get(*key), pb.get(*key)) {
                     (Some(va), Some(vb)) => va.is_disjoint(vb) && !va.is_empty() && !vb.is_empty(),
                     _ => false,
-                }
-            });
+                });
             if conflict {
                 refused += 1;
                 continue;

@@ -1,6 +1,8 @@
 //! Pair features for record matching.
 
-use kb_nlp::similarity::{dice_bigrams, jaccard_tokens, jaro_winkler, levenshtein_sim, monge_elkan};
+use kb_nlp::similarity::{
+    dice_bigrams, jaccard_tokens, jaro_winkler, levenshtein_sim, monge_elkan,
+};
 
 use crate::record::Record;
 

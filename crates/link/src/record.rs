@@ -20,19 +20,13 @@ impl Record {
             id,
             source,
             name: name.to_string(),
-            attrs: attrs
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-                .collect(),
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
         }
     }
 
     /// Value of an attribute, if present.
     pub fn attr(&self, key: &str) -> Option<&str> {
-        self.attrs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// Lowercased name tokens (blocking keys).
@@ -55,12 +49,7 @@ impl Record {
 
 /// Converts a corpus linkage record (used by tests and benches).
 pub fn from_corpus(r: &kb_corpus::gold::LinkRecord) -> Record {
-    Record {
-        id: r.id,
-        source: r.source,
-        name: r.name.clone(),
-        attrs: r.attrs.clone(),
-    }
+    Record { id: r.id, source: r.source, name: r.name.clone(), attrs: r.attrs.clone() }
 }
 
 #[cfg(test)]

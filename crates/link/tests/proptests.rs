@@ -9,38 +9,32 @@ use kb_link::features::{attr_agreement, pair_features, NUM_FEATURES};
 use kb_link::Record;
 
 fn record_strategy(id: u32, source: u8) -> impl Strategy<Value = Record> {
-    (
-        "[A-Z][a-z]{1,6}( [A-Z][a-z]{1,6})?",
-        prop::option::of(1900u32..2000),
-    )
-        .prop_map(move |(name, year)| {
-            let attrs: Vec<(&str, String)> = year
-                .map(|y| vec![("year", y.to_string())])
-                .unwrap_or_default();
+    ("[A-Z][a-z]{1,6}( [A-Z][a-z]{1,6})?", prop::option::of(1900u32..2000)).prop_map(
+        move |(name, year)| {
+            let attrs: Vec<(&str, String)> =
+                year.map(|y| vec![("year", y.to_string())]).unwrap_or_default();
             let attr_refs: Vec<(&str, &str)> =
                 attrs.iter().map(|(k, v)| (*k, v.as_str())).collect();
             Record::new(id, source, &name, &attr_refs)
-        })
+        },
+    )
 }
 
 fn records_strategy() -> impl Strategy<Value = Vec<Record>> {
-    prop::collection::vec(("[A-Z][a-z]{1,6}", any::<bool>(), prop::option::of(1900u32..1910)), 2..20)
-        .prop_map(|rows| {
-            rows.into_iter()
-                .enumerate()
-                .map(|(i, (name, second_source, year))| {
-                    let attrs: Vec<(String, String)> = year
-                        .map(|y| vec![("year".to_string(), y.to_string())])
-                        .unwrap_or_default();
-                    Record {
-                        id: i as u32,
-                        source: u8::from(second_source),
-                        name,
-                        attrs,
-                    }
-                })
-                .collect()
-        })
+    prop::collection::vec(
+        ("[A-Z][a-z]{1,6}", any::<bool>(), prop::option::of(1900u32..1910)),
+        2..20,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (name, second_source, year))| {
+                let attrs: Vec<(String, String)> =
+                    year.map(|y| vec![("year".to_string(), y.to_string())]).unwrap_or_default();
+                Record { id: i as u32, source: u8::from(second_source), name, attrs }
+            })
+            .collect()
+    })
 }
 
 proptest! {

@@ -4,7 +4,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use kb_store::{KnowledgeBase, TermId};
+use kb_store::{KbRead, TermId};
 
 /// Precomputed neighbor sets for fast pairwise relatedness.
 #[derive(Debug, Default, Clone)]
@@ -15,8 +15,9 @@ pub struct CoherenceIndex {
 }
 
 impl CoherenceIndex {
-    /// Builds the index for the given entities from the KB graph.
-    pub fn build(kb: &KnowledgeBase, entities: impl IntoIterator<Item = TermId>) -> Self {
+    /// Builds the index for the given entities from the KB graph (any
+    /// [`KbRead`] view).
+    pub fn build<K: KbRead + ?Sized>(kb: &K, entities: impl IntoIterator<Item = TermId>) -> Self {
         let mut neighbors = HashMap::new();
         let mut nodes: HashSet<TermId> = HashSet::new();
         for e in entities {
@@ -74,6 +75,7 @@ impl CoherenceIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kb_store::KnowledgeBase;
 
     /// Builds a KB where e1 and e2 share two neighbors, e3 is isolated.
     fn setup() -> (KnowledgeBase, TermId, TermId, TermId) {

@@ -10,10 +10,10 @@ use std::collections::HashMap;
 
 use kb_nlp::tfidf::{SparseVector, Vocabulary};
 use kb_nlp::token::{tokenize, word_texts, TokenKind};
-use kb_store::{KnowledgeBase, TermId, TriplePattern};
+use kb_store::{KbRead, TermId, TriplePattern};
 
-/// Profile words for one entity, drawn from the KB.
-pub fn profile_words(kb: &KnowledgeBase, entity: TermId) -> Vec<String> {
+/// Profile words for one entity, drawn from any [`KbRead`] view.
+pub fn profile_words<K: KbRead + ?Sized>(kb: &K, entity: TermId) -> Vec<String> {
     let mut words: Vec<String> = Vec::new();
     let add_term_words = |t: TermId, words: &mut Vec<String>| {
         if let Some(name) = kb.resolve(t) {
@@ -23,11 +23,11 @@ pub fn profile_words(kb: &KnowledgeBase, entity: TermId) -> Vec<String> {
         }
     };
     add_term_words(entity, &mut words);
-    for f in kb.matching(&TriplePattern::with_s(entity)) {
+    for f in kb.matching_iter(&TriplePattern::with_s(entity)) {
         add_term_words(f.triple.p, &mut words);
         add_term_words(f.triple.o, &mut words);
     }
-    for f in kb.matching(&TriplePattern::with_o(entity)) {
+    for f in kb.matching_iter(&TriplePattern::with_o(entity)) {
         add_term_words(f.triple.p, &mut words);
         add_term_words(f.triple.s, &mut words);
     }
@@ -43,7 +43,10 @@ pub struct ContextIndex {
 
 impl ContextIndex {
     /// Builds profiles for the given entities.
-    pub fn build(kb: &KnowledgeBase, entities: impl IntoIterator<Item = TermId> + Clone) -> Self {
+    pub fn build<K: KbRead + ?Sized>(
+        kb: &K,
+        entities: impl IntoIterator<Item = TermId> + Clone,
+    ) -> Self {
         let mut vocab = Vocabulary::new();
         let mut raw: HashMap<TermId, Vec<String>> = HashMap::new();
         for e in entities {
@@ -59,14 +62,18 @@ impl ContextIndex {
     }
 
     /// Vectorizes a mention context (word window around the mention).
-    pub fn context_vector(&self, text: &str, mention_start: usize, mention_end: usize, window: usize) -> SparseVector {
+    pub fn context_vector(
+        &self,
+        text: &str,
+        mention_start: usize,
+        mention_end: usize,
+        window: usize,
+    ) -> SparseVector {
         let tokens = tokenize(text);
         // Index of the first token at/after the mention.
         let mention_first = tokens.iter().position(|t| t.end > mention_start).unwrap_or(0);
-        let mention_last = tokens
-            .iter()
-            .rposition(|t| t.start < mention_end)
-            .unwrap_or(mention_first);
+        let mention_last =
+            tokens.iter().rposition(|t| t.start < mention_end).unwrap_or(mention_first);
         let lo = mention_first.saturating_sub(window);
         let hi = (mention_last + 1 + window).min(tokens.len());
         let words: Vec<String> = tokens[lo..hi]
@@ -84,9 +91,7 @@ impl ContextIndex {
     /// Cosine similarity between a context vector and an entity profile
     /// (0 when the entity has no profile).
     pub fn similarity(&self, context: &SparseVector, entity: TermId) -> f64 {
-        self.profiles
-            .get(&entity)
-            .map_or(0.0, |p| context.cosine(p))
+        self.profiles.get(&entity).map_or(0.0, |p| context.cosine(p))
     }
 
     /// Vectorizes arbitrary text against the profile vocabulary.
@@ -99,6 +104,7 @@ impl ContextIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kb_store::KnowledgeBase;
 
     /// Two "Jobs" candidates: the founder (linked to Apple/Cupertino)
     /// and a musician (linked to guitars).

@@ -1,7 +1,7 @@
 //! NED evaluation against gold-annotated documents: overall and
 //! per-ambiguity-bin accuracy (experiments T5 and F3).
 
-use kb_store::TermId;
+use kb_store::{KbRead, TermId};
 
 use crate::system::{Ned, Strategy};
 
@@ -52,9 +52,14 @@ pub struct GoldDoc<'a> {
 
 /// Evaluates a strategy over gold documents. Mentions whose gold entity
 /// has no candidates at all still count (as errors) — coverage matters.
-pub fn evaluate(ned: &Ned<'_>, docs: &[GoldDoc<'_>], strategy: Strategy) -> NedAccuracy {
+pub fn evaluate<K: KbRead + ?Sized>(
+    ned: &Ned<'_, K>,
+    docs: &[GoldDoc<'_>],
+    strategy: Strategy,
+) -> NedAccuracy {
     let mut acc = NedAccuracy::default();
-    let mut bins: std::collections::HashMap<usize, (usize, usize)> = std::collections::HashMap::new();
+    let mut bins: std::collections::HashMap<usize, (usize, usize)> =
+        std::collections::HashMap::new();
     for doc in docs {
         let spans: Vec<(usize, usize)> = doc.mentions.iter().map(|&(s, e, _)| (s, e)).collect();
         let out = ned.disambiguate(doc.text, &spans, strategy);
@@ -78,10 +83,8 @@ pub fn evaluate(ned: &Ned<'_>, docs: &[GoldDoc<'_>], strategy: Strategy) -> NedA
             }
         }
     }
-    let mut by_ambiguity: Vec<(usize, usize, usize)> = bins
-        .into_iter()
-        .map(|(k, (total, correct))| (k, total, correct))
-        .collect();
+    let mut by_ambiguity: Vec<(usize, usize, usize)> =
+        bins.into_iter().map(|(k, (total, correct))| (k, total, correct)).collect();
     by_ambiguity.sort_unstable();
     acc.by_ambiguity = by_ambiguity;
     acc

@@ -2,7 +2,7 @@
 //! surface forms over capitalized token spans.
 
 use kb_nlp::token::{tokenize, Token, TokenKind};
-use kb_store::KnowledgeBase;
+use kb_store::KbRead;
 
 /// A detected mention span (byte offsets into the input text).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,7 +21,7 @@ const MAX_MENTION_TOKENS: usize = 5;
 /// Detects entity mentions: the longest token spans (up to 5 tokens)
 /// starting at a capitalized word or number whose surface form is a
 /// known KB label. Greedy left-to-right, non-overlapping.
-pub fn detect_mentions(kb: &KnowledgeBase, text: &str) -> Vec<DetectedMention> {
+pub fn detect_mentions<K: KbRead + ?Sized>(kb: &K, text: &str) -> Vec<DetectedMention> {
     let tokens: Vec<Token> = tokenize(text);
     let mut out = Vec::new();
     let mut i = 0;
@@ -40,7 +40,7 @@ pub fn detect_mentions(kb: &KnowledgeBase, text: &str) -> Vec<DetectedMention> {
                 continue;
             }
             let surface = &text[tokens[i].start..tokens[j].end];
-            if !kb.labels.candidate_entities(surface).is_empty() {
+            if !kb.labels().candidate_entities(surface).is_empty() {
                 matched = Some(j);
                 break;
             }
@@ -63,6 +63,7 @@ pub fn detect_mentions(kb: &KnowledgeBase, text: &str) -> Vec<DetectedMention> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kb_store::KnowledgeBase;
 
     fn kb_with_labels(labels: &[(&str, &str)]) -> KnowledgeBase {
         let mut kb = KnowledgeBase::new();
@@ -76,7 +77,11 @@ mod tests {
 
     #[test]
     fn longest_match_wins() {
-        let kb = kb_with_labels(&[("Steve_Jobs", "Steve Jobs"), ("Steve_Jobs", "Jobs"), ("Steve_W", "Steve")]);
+        let kb = kb_with_labels(&[
+            ("Steve_Jobs", "Steve Jobs"),
+            ("Steve_Jobs", "Jobs"),
+            ("Steve_W", "Steve"),
+        ]);
         let m = detect_mentions(&kb, "I met Steve Jobs yesterday.");
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].surface, "Steve Jobs");

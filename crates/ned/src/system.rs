@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use kb_store::{KnowledgeBase, TermId};
+use kb_store::{KbRead, KnowledgeBase, TermId};
 
 use crate::coherence::CoherenceIndex;
 use crate::context::ContextIndex;
@@ -57,8 +57,11 @@ impl Default for NedWeights {
 
 /// The NED engine. Build with [`Ned::new`], feed anchor statistics with
 /// [`Ned::add_anchor`], then [`Ned::finalize`] before disambiguating.
-pub struct Ned<'kb> {
-    kb: &'kb KnowledgeBase,
+///
+/// Generic over the KB view: works against the live [`KnowledgeBase`]
+/// façade or a frozen snapshot — anything implementing [`KbRead`].
+pub struct Ned<'kb, K: ?Sized = KnowledgeBase> {
+    kb: &'kb K,
     /// (lowercased surface, entity) → anchor count.
     anchor_counts: HashMap<(String, TermId), usize>,
     /// lowercased surface → total anchor count.
@@ -69,10 +72,10 @@ pub struct Ned<'kb> {
     pub weights: NedWeights,
 }
 
-impl<'kb> Ned<'kb> {
-    /// Creates an engine over a KB (call [`finalize`](Self::finalize)
-    /// before use).
-    pub fn new(kb: &'kb KnowledgeBase) -> Self {
+impl<'kb, K: KbRead + ?Sized> Ned<'kb, K> {
+    /// Creates an engine over a KB view (call
+    /// [`finalize`](Self::finalize) before use).
+    pub fn new(kb: &'kb K) -> Self {
         Self {
             kb,
             anchor_counts: HashMap::new(),
@@ -96,7 +99,7 @@ impl<'kb> Ned<'kb> {
     pub fn finalize(&mut self) {
         let mut entities: Vec<TermId> = self
             .kb
-            .labels
+            .labels()
             .iter()
             .map(|(t, _, _)| t)
             .chain(self.anchor_counts.keys().map(|&(_, e)| e))
@@ -112,7 +115,7 @@ impl<'kb> Ned<'kb> {
     /// KB label store; entities never anchored get a degree-based prior.
     pub fn candidates(&self, surface: &str) -> Vec<(TermId, f64)> {
         let key = surface.to_lowercase();
-        let mut cands: Vec<TermId> = self.kb.labels.candidate_entities(surface);
+        let mut cands: Vec<TermId> = self.kb.labels().candidate_entities(surface);
         // Anchored entities not in the label store still qualify.
         for (s, e) in self.anchor_counts.keys() {
             if *s == key && !cands.contains(e) {
@@ -127,20 +130,14 @@ impl<'kb> Ned<'kb> {
             .into_iter()
             .map(|e| {
                 let anchors = self.anchor_counts.get(&(key.clone(), e)).copied().unwrap_or(0);
-                let prior = if total > 0 {
-                    anchors as f64 / total as f64
-                } else {
-                    0.0
-                };
+                let prior = if total > 0 { anchors as f64 / total as f64 } else { 0.0 };
                 // Degree smoothing keeps unanchored entities viable.
                 let degree_prior = (self.kb.degree(e) as f64 + 1.0).ln();
                 (e, prior + 0.01 * degree_prior)
             })
             .collect();
         scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
         });
         scored.truncate(self.weights.max_candidates);
         // Normalize.
@@ -169,10 +166,9 @@ impl<'kb> Ned<'kb> {
             let surface = &text[start..end];
             let cands = self.candidates(surface);
             let scored = match strategy {
-                Strategy::Prior => cands
-                    .into_iter()
-                    .map(|(e, p)| (e, self.weights.prior * p))
-                    .collect(),
+                Strategy::Prior => {
+                    cands.into_iter().map(|(e, p)| (e, self.weights.prior * p)).collect()
+                }
                 Strategy::Context | Strategy::Coherence => {
                     let ctx = ctx_index.context_vector(text, start, end, self.weights.window);
                     cands
@@ -190,9 +186,7 @@ impl<'kb> Ned<'kb> {
         let mut assignment: Vec<Option<TermId>> = local
             .iter()
             .map(|c| {
-                best_of(c)
-                    .filter(|&(_, score)| score >= self.weights.nil_threshold)
-                    .map(|(e, _)| e)
+                best_of(c).filter(|&(_, score)| score >= self.weights.nil_threshold).map(|(e, _)| e)
             })
             .collect();
         if strategy != Strategy::Coherence || mentions.len() < 2 {
@@ -221,9 +215,8 @@ impl<'kb> Ned<'kb> {
                         (e, s + self.weights.coherence * coh)
                     })
                     .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-                let new = best
-                    .filter(|&(_, score)| score >= self.weights.nil_threshold)
-                    .map(|(e, _)| e);
+                let new =
+                    best.filter(|&(_, score)| score >= self.weights.nil_threshold).map(|(e, _)| e);
                 if new != assignment[i] {
                     assignment[i] = new;
                     changed = true;
@@ -243,10 +236,7 @@ impl<'kb> Ned<'kb> {
 }
 
 fn best_of(cands: &[(TermId, f64)]) -> Option<(TermId, f64)> {
-    cands
-        .iter()
-        .copied()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    cands.iter().copied().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
 }
 
 #[cfg(test)]

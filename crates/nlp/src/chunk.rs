@@ -37,11 +37,7 @@ pub struct Chunk {
 impl Chunk {
     /// The chunk's surface text, reconstructed with single spaces.
     pub fn text(&self, tokens: &[Token]) -> String {
-        tokens[self.start..self.end]
-            .iter()
-            .map(|t| t.text.as_str())
-            .collect::<Vec<_>>()
-            .join(" ")
+        tokens[self.start..self.end].iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" ")
     }
 
     /// The head token's text.
@@ -124,12 +120,7 @@ fn scan_np(tags: &[PosTag], start: usize) -> Option<Chunk> {
         }
     }
     let head = last_nominal?;
-    Some(Chunk {
-        kind: ChunkKind::Np,
-        start,
-        end: i.max(head + 1),
-        head,
-    })
+    Some(Chunk { kind: ChunkKind::Np, start, end: i.max(head + 1), head })
 }
 
 /// Scans a VP starting at `i`: aux run, optional main verb, trailing
@@ -154,12 +145,7 @@ fn scan_vp(tags: &[PosTag], start: usize) -> Chunk {
     while i < n && tags[i] == PosTag::Adverb {
         i += 1;
     }
-    Chunk {
-        kind: ChunkKind::Vp,
-        start,
-        end: i,
-        head,
-    }
+    Chunk { kind: ChunkKind::Vp, start, end: i, head }
 }
 
 #[cfg(test)]
@@ -223,11 +209,8 @@ mod tests {
     #[test]
     fn prepositions_split_nps() {
         let (toks, cs) = chunks_of("the founder of Apple");
-        let nps: Vec<String> = cs
-            .iter()
-            .filter(|c| c.kind == ChunkKind::Np)
-            .map(|c| c.text(&toks))
-            .collect();
+        let nps: Vec<String> =
+            cs.iter().filter(|c| c.kind == ChunkKind::Np).map(|c| c.text(&toks)).collect();
         assert_eq!(nps, vec!["the founder", "Apple"]);
     }
 

@@ -67,109 +67,264 @@ impl Default for PosTagger {
 /// Closed-class words and common open-class words with fixed tags.
 static LEXICON: &[(&str, PosTag)] = &[
     // determiners
-    ("a", PosTag::Determiner), ("an", PosTag::Determiner), ("the", PosTag::Determiner),
-    ("this", PosTag::Determiner), ("that", PosTag::Determiner), ("these", PosTag::Determiner),
-    ("those", PosTag::Determiner), ("its", PosTag::Determiner), ("his", PosTag::Determiner),
-    ("her", PosTag::Determiner), ("their", PosTag::Determiner), ("every", PosTag::Determiner),
-    ("some", PosTag::Determiner), ("many", PosTag::Determiner), ("other", PosTag::Determiner),
-    ("several", PosTag::Determiner), ("such", PosTag::Determiner), ("both", PosTag::Determiner),
-    ("all", PosTag::Determiner), ("no", PosTag::Determiner), ("each", PosTag::Determiner),
+    ("a", PosTag::Determiner),
+    ("an", PosTag::Determiner),
+    ("the", PosTag::Determiner),
+    ("this", PosTag::Determiner),
+    ("that", PosTag::Determiner),
+    ("these", PosTag::Determiner),
+    ("those", PosTag::Determiner),
+    ("its", PosTag::Determiner),
+    ("his", PosTag::Determiner),
+    ("her", PosTag::Determiner),
+    ("their", PosTag::Determiner),
+    ("every", PosTag::Determiner),
+    ("some", PosTag::Determiner),
+    ("many", PosTag::Determiner),
+    ("other", PosTag::Determiner),
+    ("several", PosTag::Determiner),
+    ("such", PosTag::Determiner),
+    ("both", PosTag::Determiner),
+    ("all", PosTag::Determiner),
+    ("no", PosTag::Determiner),
+    ("each", PosTag::Determiner),
     // pronouns
-    ("he", PosTag::Pronoun), ("she", PosTag::Pronoun), ("it", PosTag::Pronoun),
-    ("they", PosTag::Pronoun), ("we", PosTag::Pronoun), ("i", PosTag::Pronoun),
-    ("you", PosTag::Pronoun), ("who", PosTag::Pronoun), ("him", PosTag::Pronoun),
-    ("them", PosTag::Pronoun), ("which", PosTag::Pronoun),
+    ("he", PosTag::Pronoun),
+    ("she", PosTag::Pronoun),
+    ("it", PosTag::Pronoun),
+    ("they", PosTag::Pronoun),
+    ("we", PosTag::Pronoun),
+    ("i", PosTag::Pronoun),
+    ("you", PosTag::Pronoun),
+    ("who", PosTag::Pronoun),
+    ("him", PosTag::Pronoun),
+    ("them", PosTag::Pronoun),
+    ("which", PosTag::Pronoun),
     // prepositions
-    ("in", PosTag::Preposition), ("on", PosTag::Preposition), ("at", PosTag::Preposition),
-    ("of", PosTag::Preposition), ("by", PosTag::Preposition), ("for", PosTag::Preposition),
-    ("with", PosTag::Preposition), ("from", PosTag::Preposition), ("to", PosTag::Preposition),
-    ("into", PosTag::Preposition), ("as", PosTag::Preposition), ("near", PosTag::Preposition),
-    ("after", PosTag::Preposition), ("before", PosTag::Preposition), ("until", PosTag::Preposition),
-    ("since", PosTag::Preposition), ("during", PosTag::Preposition), ("between", PosTag::Preposition),
-    ("through", PosTag::Preposition), ("under", PosTag::Preposition), ("over", PosTag::Preposition),
+    ("in", PosTag::Preposition),
+    ("on", PosTag::Preposition),
+    ("at", PosTag::Preposition),
+    ("of", PosTag::Preposition),
+    ("by", PosTag::Preposition),
+    ("for", PosTag::Preposition),
+    ("with", PosTag::Preposition),
+    ("from", PosTag::Preposition),
+    ("to", PosTag::Preposition),
+    ("into", PosTag::Preposition),
+    ("as", PosTag::Preposition),
+    ("near", PosTag::Preposition),
+    ("after", PosTag::Preposition),
+    ("before", PosTag::Preposition),
+    ("until", PosTag::Preposition),
+    ("since", PosTag::Preposition),
+    ("during", PosTag::Preposition),
+    ("between", PosTag::Preposition),
+    ("through", PosTag::Preposition),
+    ("under", PosTag::Preposition),
+    ("over", PosTag::Preposition),
     // conjunctions
-    ("and", PosTag::Conjunction), ("or", PosTag::Conjunction), ("but", PosTag::Conjunction),
-    ("nor", PosTag::Conjunction), ("yet", PosTag::Conjunction),
+    ("and", PosTag::Conjunction),
+    ("or", PosTag::Conjunction),
+    ("but", PosTag::Conjunction),
+    ("nor", PosTag::Conjunction),
+    ("yet", PosTag::Conjunction),
     // auxiliaries / modals
-    ("is", PosTag::Aux), ("are", PosTag::Aux), ("was", PosTag::Aux), ("were", PosTag::Aux),
-    ("be", PosTag::Aux), ("been", PosTag::Aux), ("being", PosTag::Aux),
-    ("has", PosTag::Aux), ("have", PosTag::Aux), ("had", PosTag::Aux),
-    ("do", PosTag::Aux), ("does", PosTag::Aux), ("did", PosTag::Aux),
-    ("can", PosTag::Aux), ("could", PosTag::Aux), ("will", PosTag::Aux),
-    ("would", PosTag::Aux), ("may", PosTag::Aux), ("might", PosTag::Aux),
-    ("shall", PosTag::Aux), ("should", PosTag::Aux), ("must", PosTag::Aux),
+    ("is", PosTag::Aux),
+    ("are", PosTag::Aux),
+    ("was", PosTag::Aux),
+    ("were", PosTag::Aux),
+    ("be", PosTag::Aux),
+    ("been", PosTag::Aux),
+    ("being", PosTag::Aux),
+    ("has", PosTag::Aux),
+    ("have", PosTag::Aux),
+    ("had", PosTag::Aux),
+    ("do", PosTag::Aux),
+    ("does", PosTag::Aux),
+    ("did", PosTag::Aux),
+    ("can", PosTag::Aux),
+    ("could", PosTag::Aux),
+    ("will", PosTag::Aux),
+    ("would", PosTag::Aux),
+    ("may", PosTag::Aux),
+    ("might", PosTag::Aux),
+    ("shall", PosTag::Aux),
+    ("should", PosTag::Aux),
+    ("must", PosTag::Aux),
     // frequent verbs (base + inflections the corpus uses)
-    ("founded", PosTag::Verb), ("found", PosTag::Verb), ("founds", PosTag::Verb),
-    ("born", PosTag::Verb), ("married", PosTag::Verb), ("marries", PosTag::Verb),
-    ("acquired", PosTag::Verb), ("acquires", PosTag::Verb), ("acquire", PosTag::Verb),
-    ("located", PosTag::Verb), ("headquartered", PosTag::Verb),
-    ("released", PosTag::Verb), ("releases", PosTag::Verb), ("release", PosTag::Verb),
-    ("wrote", PosTag::Verb), ("written", PosTag::Verb), ("writes", PosTag::Verb),
-    ("directed", PosTag::Verb), ("directs", PosTag::Verb),
-    ("won", PosTag::Verb), ("wins", PosTag::Verb), ("win", PosTag::Verb),
-    ("joined", PosTag::Verb), ("joins", PosTag::Verb), ("join", PosTag::Verb),
-    ("studied", PosTag::Verb), ("studies", PosTag::Verb),
-    ("works", PosTag::Verb), ("worked", PosTag::Verb), ("work", PosTag::Verb),
-    ("led", PosTag::Verb), ("leads", PosTag::Verb), ("lead", PosTag::Verb),
-    ("created", PosTag::Verb), ("creates", PosTag::Verb), ("create", PosTag::Verb),
-    ("developed", PosTag::Verb), ("develops", PosTag::Verb), ("develop", PosTag::Verb),
-    ("invented", PosTag::Verb), ("invents", PosTag::Verb),
-    ("produced", PosTag::Verb), ("produces", PosTag::Verb),
-    ("launched", PosTag::Verb), ("launches", PosTag::Verb),
-    ("moved", PosTag::Verb), ("moves", PosTag::Verb), ("move", PosTag::Verb),
-    ("became", PosTag::Verb), ("become", PosTag::Verb), ("becomes", PosTag::Verb),
-    ("served", PosTag::Verb), ("serves", PosTag::Verb), ("serve", PosTag::Verb),
-    ("died", PosTag::Verb), ("dies", PosTag::Verb), ("lives", PosTag::Verb),
-    ("lived", PosTag::Verb), ("grew", PosTag::Verb), ("made", PosTag::Verb),
-    ("makes", PosTag::Verb), ("make", PosTag::Verb), ("said", PosTag::Verb),
-    ("says", PosTag::Verb), ("knew", PosTag::Verb), ("knows", PosTag::Verb),
-    ("announced", PosTag::Verb), ("includes", PosTag::Verb), ("included", PosTag::Verb),
-    ("plays", PosTag::Verb), ("played", PosTag::Verb),
-    ("borders", PosTag::Verb), ("bordered", PosTag::Verb),
-    ("designed", PosTag::Verb), ("designs", PosTag::Verb),
-    ("employs", PosTag::Verb), ("employed", PosTag::Verb),
-    ("sells", PosTag::Verb), ("sold", PosTag::Verb),
+    ("founded", PosTag::Verb),
+    ("found", PosTag::Verb),
+    ("founds", PosTag::Verb),
+    ("born", PosTag::Verb),
+    ("married", PosTag::Verb),
+    ("marries", PosTag::Verb),
+    ("acquired", PosTag::Verb),
+    ("acquires", PosTag::Verb),
+    ("acquire", PosTag::Verb),
+    ("located", PosTag::Verb),
+    ("headquartered", PosTag::Verb),
+    ("released", PosTag::Verb),
+    ("releases", PosTag::Verb),
+    ("release", PosTag::Verb),
+    ("wrote", PosTag::Verb),
+    ("written", PosTag::Verb),
+    ("writes", PosTag::Verb),
+    ("directed", PosTag::Verb),
+    ("directs", PosTag::Verb),
+    ("won", PosTag::Verb),
+    ("wins", PosTag::Verb),
+    ("win", PosTag::Verb),
+    ("joined", PosTag::Verb),
+    ("joins", PosTag::Verb),
+    ("join", PosTag::Verb),
+    ("studied", PosTag::Verb),
+    ("studies", PosTag::Verb),
+    ("works", PosTag::Verb),
+    ("worked", PosTag::Verb),
+    ("work", PosTag::Verb),
+    ("led", PosTag::Verb),
+    ("leads", PosTag::Verb),
+    ("lead", PosTag::Verb),
+    ("created", PosTag::Verb),
+    ("creates", PosTag::Verb),
+    ("create", PosTag::Verb),
+    ("developed", PosTag::Verb),
+    ("develops", PosTag::Verb),
+    ("develop", PosTag::Verb),
+    ("invented", PosTag::Verb),
+    ("invents", PosTag::Verb),
+    ("produced", PosTag::Verb),
+    ("produces", PosTag::Verb),
+    ("launched", PosTag::Verb),
+    ("launches", PosTag::Verb),
+    ("moved", PosTag::Verb),
+    ("moves", PosTag::Verb),
+    ("move", PosTag::Verb),
+    ("became", PosTag::Verb),
+    ("become", PosTag::Verb),
+    ("becomes", PosTag::Verb),
+    ("served", PosTag::Verb),
+    ("serves", PosTag::Verb),
+    ("serve", PosTag::Verb),
+    ("died", PosTag::Verb),
+    ("dies", PosTag::Verb),
+    ("lives", PosTag::Verb),
+    ("lived", PosTag::Verb),
+    ("grew", PosTag::Verb),
+    ("made", PosTag::Verb),
+    ("makes", PosTag::Verb),
+    ("make", PosTag::Verb),
+    ("said", PosTag::Verb),
+    ("says", PosTag::Verb),
+    ("knew", PosTag::Verb),
+    ("knows", PosTag::Verb),
+    ("announced", PosTag::Verb),
+    ("includes", PosTag::Verb),
+    ("included", PosTag::Verb),
+    ("plays", PosTag::Verb),
+    ("played", PosTag::Verb),
+    ("borders", PosTag::Verb),
+    ("bordered", PosTag::Verb),
+    ("designed", PosTag::Verb),
+    ("designs", PosTag::Verb),
+    ("employs", PosTag::Verb),
+    ("employed", PosTag::Verb),
+    ("sells", PosTag::Verb),
+    ("sold", PosTag::Verb),
     // irregular pasts and other frequent verb forms
-    ("met", PosTag::Verb), ("meets", PosTag::Verb), ("meet", PosTag::Verb),
-    ("saw", PosTag::Verb), ("sees", PosTag::Verb), ("see", PosTag::Verb),
-    ("took", PosTag::Verb), ("takes", PosTag::Verb), ("take", PosTag::Verb),
-    ("gave", PosTag::Verb), ("gives", PosTag::Verb), ("give", PosTag::Verb),
-    ("got", PosTag::Verb), ("gets", PosTag::Verb), ("get", PosTag::Verb),
-    ("went", PosTag::Verb), ("goes", PosTag::Verb), ("go", PosTag::Verb),
-    ("came", PosTag::Verb), ("comes", PosTag::Verb), ("come", PosTag::Verb),
-    ("held", PosTag::Verb), ("holds", PosTag::Verb), ("hold", PosTag::Verb),
-    ("kept", PosTag::Verb), ("keeps", PosTag::Verb), ("keep", PosTag::Verb),
-    ("began", PosTag::Verb), ("begins", PosTag::Verb), ("begin", PosTag::Verb),
-    ("bought", PosTag::Verb), ("buys", PosTag::Verb), ("buy", PosTag::Verb),
-    ("built", PosTag::Verb), ("builds", PosTag::Verb), ("build", PosTag::Verb),
-    ("spent", PosTag::Verb), ("spends", PosTag::Verb),
-    ("brought", PosTag::Verb), ("brings", PosTag::Verb),
-    ("taught", PosTag::Verb), ("teaches", PosTag::Verb),
-    ("thought", PosTag::Verb), ("thinks", PosTag::Verb),
-    ("ran", PosTag::Verb), ("runs", PosTag::Verb), ("run", PosTag::Verb),
-    ("wore", PosTag::Verb), ("wears", PosTag::Verb),
-    ("owns", PosTag::Verb), ("owned", PosTag::Verb), ("own", PosTag::Verb),
+    ("met", PosTag::Verb),
+    ("meets", PosTag::Verb),
+    ("meet", PosTag::Verb),
+    ("saw", PosTag::Verb),
+    ("sees", PosTag::Verb),
+    ("see", PosTag::Verb),
+    ("took", PosTag::Verb),
+    ("takes", PosTag::Verb),
+    ("take", PosTag::Verb),
+    ("gave", PosTag::Verb),
+    ("gives", PosTag::Verb),
+    ("give", PosTag::Verb),
+    ("got", PosTag::Verb),
+    ("gets", PosTag::Verb),
+    ("get", PosTag::Verb),
+    ("went", PosTag::Verb),
+    ("goes", PosTag::Verb),
+    ("go", PosTag::Verb),
+    ("came", PosTag::Verb),
+    ("comes", PosTag::Verb),
+    ("come", PosTag::Verb),
+    ("held", PosTag::Verb),
+    ("holds", PosTag::Verb),
+    ("hold", PosTag::Verb),
+    ("kept", PosTag::Verb),
+    ("keeps", PosTag::Verb),
+    ("keep", PosTag::Verb),
+    ("began", PosTag::Verb),
+    ("begins", PosTag::Verb),
+    ("begin", PosTag::Verb),
+    ("bought", PosTag::Verb),
+    ("buys", PosTag::Verb),
+    ("buy", PosTag::Verb),
+    ("built", PosTag::Verb),
+    ("builds", PosTag::Verb),
+    ("build", PosTag::Verb),
+    ("spent", PosTag::Verb),
+    ("spends", PosTag::Verb),
+    ("brought", PosTag::Verb),
+    ("brings", PosTag::Verb),
+    ("taught", PosTag::Verb),
+    ("teaches", PosTag::Verb),
+    ("thought", PosTag::Verb),
+    ("thinks", PosTag::Verb),
+    ("ran", PosTag::Verb),
+    ("runs", PosTag::Verb),
+    ("run", PosTag::Verb),
+    ("wore", PosTag::Verb),
+    ("wears", PosTag::Verb),
+    ("owns", PosTag::Verb),
+    ("owned", PosTag::Verb),
+    ("own", PosTag::Verb),
     // adverbs
-    ("very", PosTag::Adverb), ("also", PosTag::Adverb), ("not", PosTag::Adverb),
-    ("never", PosTag::Adverb), ("often", PosTag::Adverb), ("later", PosTag::Adverb),
-    ("early", PosTag::Adverb), ("soon", PosTag::Adverb), ("again", PosTag::Adverb),
-    ("now", PosTag::Adverb), ("then", PosTag::Adverb), ("there", PosTag::Adverb),
-    ("here", PosTag::Adverb), ("still", PosTag::Adverb), ("already", PosTag::Adverb),
+    ("very", PosTag::Adverb),
+    ("also", PosTag::Adverb),
+    ("not", PosTag::Adverb),
+    ("never", PosTag::Adverb),
+    ("often", PosTag::Adverb),
+    ("later", PosTag::Adverb),
+    ("early", PosTag::Adverb),
+    ("soon", PosTag::Adverb),
+    ("again", PosTag::Adverb),
+    ("now", PosTag::Adverb),
+    ("then", PosTag::Adverb),
+    ("there", PosTag::Adverb),
+    ("here", PosTag::Adverb),
+    ("still", PosTag::Adverb),
+    ("already", PosTag::Adverb),
     // frequent adjectives
-    ("new", PosTag::Adjective), ("first", PosTag::Adjective), ("last", PosTag::Adjective),
-    ("great", PosTag::Adjective), ("small", PosTag::Adjective), ("large", PosTag::Adjective),
-    ("famous", PosTag::Adjective), ("young", PosTag::Adjective), ("old", PosTag::Adjective),
-    ("red", PosTag::Adjective), ("green", PosTag::Adjective), ("blue", PosTag::Adjective),
-    ("sweet", PosTag::Adjective), ("sour", PosTag::Adjective), ("juicy", PosTag::Adjective),
-    ("major", PosTag::Adjective), ("american", PosTag::Adjective), ("european", PosTag::Adjective),
+    ("new", PosTag::Adjective),
+    ("first", PosTag::Adjective),
+    ("last", PosTag::Adjective),
+    ("great", PosTag::Adjective),
+    ("small", PosTag::Adjective),
+    ("large", PosTag::Adjective),
+    ("famous", PosTag::Adjective),
+    ("young", PosTag::Adjective),
+    ("old", PosTag::Adjective),
+    ("red", PosTag::Adjective),
+    ("green", PosTag::Adjective),
+    ("blue", PosTag::Adjective),
+    ("sweet", PosTag::Adjective),
+    ("sour", PosTag::Adjective),
+    ("juicy", PosTag::Adjective),
+    ("major", PosTag::Adjective),
+    ("american", PosTag::Adjective),
+    ("european", PosTag::Adjective),
 ];
 
 impl PosTagger {
     /// Builds the tagger with its built-in lexicon.
     pub fn new() -> Self {
-        Self {
-            lexicon: LEXICON.iter().copied().collect(),
-        }
+        Self { lexicon: LEXICON.iter().copied().collect() }
     }
 
     /// Tags a single token in isolation (no context rules).
@@ -201,11 +356,8 @@ impl PosTagger {
     /// Tags a token sequence (one sentence) with lexicon, suffix rules
     /// and two contextual repairs.
     pub fn tag(&self, tokens: &[Token]) -> Vec<PosTag> {
-        let mut tags: Vec<PosTag> = tokens
-            .iter()
-            .enumerate()
-            .map(|(i, t)| self.tag_lexical(t, i == 0))
-            .collect();
+        let mut tags: Vec<PosTag> =
+            tokens.iter().enumerate().map(|(i, t)| self.tag_lexical(t, i == 0)).collect();
         // Contextual repair 1: Verb directly after a determiner is a noun
         // ("the founded company" never occurs; "the work" does).
         for i in 1..tags.len() {
@@ -251,10 +403,7 @@ mod tests {
         let toks = tokenize(s);
         let tagger = PosTagger::new();
         let tags = tagger.tag(&toks);
-        toks.into_iter()
-            .zip(tags)
-            .map(|(t, tag)| (t.text, tag))
-            .collect()
+        toks.into_iter().zip(tags).map(|(t, tag)| (t.text, tag)).collect()
     }
 
     #[test]

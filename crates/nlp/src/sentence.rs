@@ -15,8 +15,8 @@ pub struct SentenceSpan {
 
 /// Abbreviations whose trailing dot does not end a sentence.
 const ABBREVIATIONS: &[&str] = &[
-    "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "inc", "ltd", "co",
-    "corp", "vs", "etc", "e.g", "i.e", "fig", "no", "vol", "approx",
+    "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "inc", "ltd", "co", "corp", "vs", "etc",
+    "e.g", "i.e", "fig", "no", "vol", "approx",
 ];
 
 /// Splits `text` into sentence spans.
@@ -90,9 +90,7 @@ fn dot_ends_sentence(text: &str, chars: &[(usize, char)], i: usize) -> bool {
         Some(c) if c.is_whitespace() => {
             // ...and the next non-space char (if any) should not be
             // lowercase (mid-sentence dots in odd text).
-            let upcoming = text[chars[i].0 + 1..]
-                .chars()
-                .find(|c| !c.is_whitespace());
+            let upcoming = text[chars[i].0 + 1..].chars().find(|c| !c.is_whitespace());
             match upcoming {
                 None => true,
                 Some(c) => !c.is_lowercase(),
@@ -105,10 +103,7 @@ fn dot_ends_sentence(text: &str, chars: &[(usize, char)], i: usize) -> bool {
 
 /// Convenience: the sentence texts themselves.
 pub fn sentence_texts(text: &str) -> Vec<&str> {
-    split_sentences(text)
-        .into_iter()
-        .map(|s| text[s.start..s.end].trim())
-        .collect()
+    split_sentences(text).into_iter().map(|s| text[s.start..s.end].trim()).collect()
 }
 
 #[cfg(test)]

@@ -102,10 +102,8 @@ fn grow<T: Eq + Hash + Clone + Ord>(
             }
         }
     }
-    let mut candidates: Vec<(T, usize)> = support
-        .into_iter()
-        .filter(|&(_, c)| c >= min_support)
-        .collect();
+    let mut candidates: Vec<(T, usize)> =
+        support.into_iter().filter(|&(_, c)| c >= min_support).collect();
     candidates.sort_by(|a, b| a.0.cmp(&b.0));
     for (item, sup) in candidates {
         // Project: for each sequence, the position after the *first*
@@ -113,17 +111,11 @@ fn grow<T: Eq + Hash + Clone + Ord>(
         let new_projection: Vec<(usize, usize)> = projection
             .iter()
             .filter_map(|&(si, off)| {
-                sequences[si][off..]
-                    .iter()
-                    .position(|x| *x == item)
-                    .map(|p| (si, off + p + 1))
+                sequences[si][off..].iter().position(|x| *x == item).map(|p| (si, off + p + 1))
             })
             .collect();
         prefix.push(item);
-        results.push(MinedPattern {
-            items: prefix.clone(),
-            support: sup,
-        });
+        results.push(MinedPattern { items: prefix.clone(), support: sup });
         grow(sequences, &new_projection, prefix, min_support, max_len, results);
         prefix.pop();
     }
@@ -134,18 +126,12 @@ mod tests {
     use super::*;
 
     fn seqs(data: &[&str]) -> Vec<Vec<String>> {
-        data.iter()
-            .map(|s| s.split_whitespace().map(str::to_string).collect())
-            .collect()
+        data.iter().map(|s| s.split_whitespace().map(str::to_string).collect()).collect()
     }
 
     #[test]
     fn ngrams_count_distinct_sequences() {
-        let data = seqs(&[
-            "was born in",
-            "was born in",
-            "was raised in",
-        ]);
+        let data = seqs(&["was born in", "was born in", "was raised in"]);
         let mined = frequent_ngrams(&data, 2, 3);
         let find = |items: &[&str]| {
             mined
@@ -163,10 +149,7 @@ mod tests {
     fn repeated_ngram_in_one_sequence_counts_once() {
         let data = seqs(&["a b a b", "a b"]);
         let mined = frequent_ngrams(&data, 2, 2);
-        let ab = mined
-            .iter()
-            .find(|p| p.items == vec!["a".to_string(), "b".to_string()])
-            .unwrap();
+        let ab = mined.iter().find(|p| p.items == vec!["a".to_string(), "b".to_string()]).unwrap();
         assert_eq!(ab.support, 2);
     }
 
@@ -180,10 +163,7 @@ mod tests {
 
     #[test]
     fn prefix_span_finds_gapped_patterns() {
-        let data = seqs(&[
-            "was quickly born in",
-            "was born in",
-        ]);
+        let data = seqs(&["was quickly born in", "was born in"]);
         let mined = prefix_span(&data, 2, 3);
         // "was born in" appears gapped in the first sequence.
         assert!(mined.iter().any(|p| {
@@ -198,9 +178,7 @@ mod tests {
         let mined = prefix_span(&data, 2, 2);
         assert!(mined.iter().all(|p| p.items.len() <= 2));
         assert!(mined.iter().all(|p| p.support >= 2));
-        assert!(mined
-            .iter()
-            .any(|p| p.items == vec!["a".to_string(), "c".to_string()]));
+        assert!(mined.iter().any(|p| p.items == vec!["a".to_string(), "c".to_string()]));
     }
 
     #[test]
@@ -226,13 +204,9 @@ mod tests {
         let data = seqs(&["p q r", "p r"]);
         let mined = frequent_ngrams(&data, 2, 2);
         // "p r" is NOT contiguous in the first sequence -> support 1 -> excluded.
-        assert!(!mined
-            .iter()
-            .any(|p| p.items == vec!["p".to_string(), "r".to_string()]));
+        assert!(!mined.iter().any(|p| p.items == vec!["p".to_string(), "r".to_string()]));
         // But prefix_span finds it.
         let gapped = prefix_span(&data, 2, 2);
-        assert!(gapped
-            .iter()
-            .any(|p| p.items == vec!["p".to_string(), "r".to_string()]));
+        assert!(gapped.iter().any(|p| p.items == vec!["p".to_string(), "r".to_string()]));
     }
 }

@@ -72,11 +72,8 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     matches_b_order.sort_by_key(|&(j, _)| j);
-    let transpositions = a_matches
-        .iter()
-        .zip(matches_b_order.iter())
-        .filter(|(ca, (_, cb))| *ca != cb)
-        .count();
+    let transpositions =
+        a_matches.iter().zip(matches_b_order.iter()).filter(|(ca, (_, cb))| *ca != cb).count();
     let m = m as f64;
     let t = transpositions as f64 / 2.0;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
@@ -86,12 +83,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// prefix with scaling factor 0.1.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     j + prefix * 0.1 * (1.0 - j)
 }
 
@@ -136,11 +128,7 @@ pub fn dice_bigrams(a: &str, b: &str) -> f64 {
     let mut gb_used = vec![false; gb.len()];
     let mut matches = 0usize;
     for g in &ga {
-        if let Some(j) = gb
-            .iter()
-            .enumerate()
-            .position(|(j, h)| !gb_used[j] && h == g)
-        {
+        if let Some(j) = gb.iter().enumerate().position(|(j, h)| !gb_used[j] && h == g) {
             gb_used[j] = true;
             matches += 1;
         }
@@ -245,7 +233,9 @@ mod tests {
     fn all_measures_are_bounded_and_reflexive() {
         let pairs = [("apple inc", "aple inc."), ("x", "y"), ("", "z")];
         for (a, b) in pairs {
-            for f in [levenshtein_sim, jaro, jaro_winkler, jaccard_tokens, dice_bigrams, prefix_sim] as [fn(&str, &str) -> f64; 6] {
+            for f in [levenshtein_sim, jaro, jaro_winkler, jaccard_tokens, dice_bigrams, prefix_sim]
+                as [fn(&str, &str) -> f64; 6]
+            {
                 let v = f(a, b);
                 assert!((0.0..=1.0).contains(&v), "{v} out of bounds");
                 assert_eq!(f(a, a), 1.0, "not reflexive on {a:?}");

@@ -146,8 +146,7 @@ fn step1b(w: &mut Vec<u8>) {
     if fired {
         if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
             w.push(b'e');
-        } else if ends_double_consonant(w, w.len())
-            && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
+        } else if ends_double_consonant(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
         {
             w.truncate(w.len() - 1);
         } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
@@ -214,16 +213,13 @@ fn step3(w: &mut Vec<u8>) {
 
 fn step4(w: &mut Vec<u8>) {
     const SUFFIXES: &[&str] = &[
-        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
-        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
     ];
     // "ion" requires the stem to end in s or t.
     if ends_with(w, "ion") {
         let stem_len = w.len() - 3;
-        if stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;

@@ -84,10 +84,8 @@ impl Vocabulary {
                 *counts.entry(id).or_insert(0.0) += 1.0;
             }
         }
-        let mut entries: Vec<(u32, f64)> = counts
-            .into_iter()
-            .map(|(id, tf)| (id, (1.0 + tf.ln()) * self.idf(id)))
-            .collect();
+        let mut entries: Vec<(u32, f64)> =
+            counts.into_iter().map(|(id, tf)| (id, (1.0 + tf.ln()) * self.idf(id))).collect();
         entries.sort_unstable_by_key(|&(id, _)| id);
         SparseVector { entries }
     }
@@ -154,7 +152,8 @@ impl SparseVector {
     /// Adds `other` into `self` (vector sum), used to build entity
     /// profiles from multiple evidence snippets.
     pub fn add_assign(&mut self, other: &SparseVector) {
-        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut merged: Vec<(u32, f64)> =
+            Vec::with_capacity(self.entries.len() + other.entries.len());
         let (mut i, mut j) = (0, 0);
         while i < self.entries.len() || j < other.entries.len() {
             match (self.entries.get(i), other.entries.get(j)) {

@@ -144,11 +144,7 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 /// Lower-cased word texts only (numbers and punctuation dropped) — the
 /// bag-of-words view used by TF-IDF.
 pub fn word_texts(text: &str) -> Vec<String> {
-    tokenize(text)
-        .into_iter()
-        .filter(|t| t.kind == TokenKind::Word)
-        .map(|t| t.lower())
-        .collect()
+    tokenize(text).into_iter().filter(|t| t.kind == TokenKind::Word).map(|t| t.lower()).collect()
 }
 
 #[cfg(test)]

@@ -28,10 +28,7 @@ impl Dictionary {
 
     /// Creates a dictionary sized for roughly `n` distinct terms.
     pub fn with_capacity(n: usize) -> Self {
-        Self {
-            terms: Vec::with_capacity(n),
-            lookup: HashMap::with_capacity(n),
-        }
+        Self { terms: Vec::with_capacity(n), lookup: HashMap::with_capacity(n) }
     }
 
     /// Interns `term`, returning its id. Idempotent: the same string
@@ -40,7 +37,8 @@ impl Dictionary {
         if let Some(&id) = self.lookup.get(term) {
             return id;
         }
-        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: >u32::MAX terms"));
+        let id =
+            TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: >u32::MAX terms"));
         let shared: Arc<str> = Arc::from(term);
         self.terms.push(Arc::clone(&shared));
         self.lookup.insert(shared, id);
@@ -70,10 +68,7 @@ impl Dictionary {
 
     /// Iterates over all `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (TermId(i as u32), s.as_ref()))
+        self.terms.iter().enumerate().map(|(i, s)| (TermId(i as u32), s.as_ref()))
     }
 }
 

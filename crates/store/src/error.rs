@@ -64,10 +64,7 @@ mod tests {
 
     #[test]
     fn display_mentions_offending_ids() {
-        let e = StoreError::TaxonomyCycle {
-            sub: TermId(1),
-            sup: TermId(2),
-        };
+        let e = StoreError::TaxonomyCycle { sub: TermId(1), sup: TermId(2) };
         let s = e.to_string();
         assert!(s.contains("t1") && s.contains("t2"));
     }

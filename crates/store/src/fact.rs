@@ -64,12 +64,7 @@ impl Fact {
     /// A fully-confident fact with default provenance and no temporal
     /// scope.
     pub fn asserted(triple: Triple) -> Self {
-        Self {
-            triple,
-            confidence: 1.0,
-            source: SourceId::DEFAULT,
-            span: None,
-        }
+        Self { triple, confidence: 1.0, source: SourceId::DEFAULT, span: None }
     }
 
     /// Whether the fact has been retracted (confidence forced to zero).

@@ -3,15 +3,17 @@
 //! that turns entity-linkage output into one coherent KB.
 
 use crate::fact::{Fact, Triple};
+use crate::read::KbRead;
 use crate::store::KnowledgeBase;
 
 impl KnowledgeBase {
-    /// Merges everything from `other` into `self`: facts (re-interned,
+    /// Merges everything from `other` (any [`KbRead`] view — a live
+    /// store or a frozen snapshot) into `self`: facts (re-interned,
     /// evidence-combined on duplicates), provenance sources, taxonomy
     /// edges (cycle-rejected edges skipped), sameAs declarations and
     /// labels. Returns the number of *new* facts added (not merged into
     /// existing ones).
-    pub fn merge_from(&mut self, other: &KnowledgeBase) -> usize {
+    pub fn merge_from<K: KbRead + ?Sized>(&mut self, other: &K) -> usize {
         let mut new_facts = 0usize;
         // Facts.
         for fact in other.iter() {
@@ -19,10 +21,7 @@ impl KnowledgeBase {
             let p = other.resolve(fact.triple.p).expect("term resolves in source");
             let o = other.resolve(fact.triple.o).expect("term resolves in source");
             let (s, p, o) = (s.to_string(), p.to_string(), o.to_string());
-            let source_name = other
-                .source_name(fact.source)
-                .unwrap_or("asserted")
-                .to_string();
+            let source_name = other.source_name(fact.source).unwrap_or("asserted").to_string();
             let triple = Triple::new(self.intern(&s), self.intern(&p), self.intern(&o));
             let existed = self.contains(&triple);
             let source = self.register_source(&source_name);
@@ -33,7 +32,7 @@ impl KnowledgeBase {
         }
         // Taxonomy edges.
         let edges: Vec<(String, String)> = other
-            .taxonomy
+            .taxonomy()
             .edges()
             .map(|(sub, sup)| {
                 (
@@ -48,11 +47,9 @@ impl KnowledgeBase {
             let _ = self.taxonomy.add_subclass(sub, sup); // skip cycles
         }
         // sameAs classes.
-        for class in other.sameas.classes() {
-            let names: Vec<String> = class
-                .iter()
-                .filter_map(|&t| other.resolve(t).map(str::to_string))
-                .collect();
+        for class in other.sameas().classes() {
+            let names: Vec<String> =
+                class.iter().filter_map(|&t| other.resolve(t).map(str::to_string)).collect();
             for pair in names.windows(2) {
                 let a = self.intern(&pair[0]);
                 let b = self.intern(&pair[1]);
@@ -61,12 +58,12 @@ impl KnowledgeBase {
         }
         // Labels.
         let labels: Vec<(String, String, String)> = other
-            .labels
+            .labels()
             .iter()
             .map(|(t, l, form)| {
                 (
                     other.resolve(t).expect("term resolves").to_string(),
-                    other.labels.lang_tag(l).unwrap_or("und").to_string(),
+                    other.labels().lang_tag(l).unwrap_or("und").to_string(),
                     form.to_string(),
                 )
             })
@@ -219,8 +216,18 @@ mod tests {
         let b = kb.intern("B");
         let r = kb.intern("r");
         let x = kb.intern("X");
-        kb.add_fact(Fact { triple: Triple::new(a, r, x), confidence: 0.5, source: crate::store::SourceId::DEFAULT, span: None });
-        kb.add_fact(Fact { triple: Triple::new(b, r, x), confidence: 0.5, source: crate::store::SourceId::DEFAULT, span: None });
+        kb.add_fact(Fact {
+            triple: Triple::new(a, r, x),
+            confidence: 0.5,
+            source: crate::store::SourceId::DEFAULT,
+            span: None,
+        });
+        kb.add_fact(Fact {
+            triple: Triple::new(b, r, x),
+            confidence: 0.5,
+            source: crate::store::SourceId::DEFAULT,
+            span: None,
+        });
         kb.sameas.declare(a, b);
         kb.canonicalize();
         assert_eq!(kb.len(), 1, "the two facts collapse");

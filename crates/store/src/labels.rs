@@ -61,26 +61,19 @@ impl LabelStore {
             return false;
         }
         forms.push(form.to_string());
-        self.reverse
-            .entry(form.to_lowercase())
-            .or_default()
-            .push((term, lang));
+        self.reverse.entry(form.to_lowercase()).or_default().push((term, lang));
         self.count += 1;
         true
     }
 
     /// All labels of `term` in `lang`.
     pub fn labels(&self, term: TermId, lang: Lang) -> &[String] {
-        self.forward
-            .get(&(term, lang))
-            .map_or(&[], |v| v.as_slice())
+        self.forward.get(&(term, lang)).map_or(&[], |v| v.as_slice())
     }
 
     /// All `(term, lang)` pairs a surface form can mean, case-insensitive.
     pub fn meanings(&self, form: &str) -> &[(TermId, Lang)] {
-        self.reverse
-            .get(&form.to_lowercase())
-            .map_or(&[], |v| v.as_slice())
+        self.reverse.get(&form.to_lowercase()).map_or(&[], |v| v.as_slice())
     }
 
     /// Distinct terms the surface form can mean (any language), sorted.

@@ -1,0 +1,262 @@
+//! The pre-snapshot storage engine — incremental `BTreeSet` permutation
+//! indexes — preserved verbatim as [`LegacyKb`].
+//!
+//! It serves two purposes and is not part of the public read/write
+//! surface:
+//!
+//! 1. **Differential-testing oracle**: the property tests replay random
+//!    fact/retract/span sequences into both engines and assert every
+//!    pattern, count and time-travel query agrees.
+//! 2. **Benchmark baseline**: the Criterion store bench compares frozen
+//!    sorted-array range scans against this `BTreeSet` path.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::fact::{Fact, Triple};
+use crate::ids::{FactId, TermId};
+use crate::pattern::{IndexChoice, TriplePattern};
+use crate::time::{TimePoint, TimeSpan};
+use crate::Dictionary;
+
+type Key = (TermId, TermId, TermId);
+
+/// The original mutable triple store: `Vec<Fact>` + dedup map + three
+/// incrementally-maintained `BTreeSet` permutation indexes.
+#[derive(Debug, Default)]
+pub struct LegacyKb {
+    dict: Dictionary,
+    facts: Vec<Fact>,
+    by_triple: HashMap<Triple, FactId>,
+    spo: BTreeSet<Key>,
+    pos: BTreeSet<Key>,
+    osp: BTreeSet<Key>,
+}
+
+impl LegacyKb {
+    /// Creates an empty legacy store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term, returning its id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Looks up an already-interned term.
+    pub fn term(&self, term: &str) -> Option<TermId> {
+        self.dict.get(term)
+    }
+
+    /// Resolves a term id back to its string.
+    pub fn resolve(&self, id: TermId) -> Option<&str> {
+        self.dict.resolve(id)
+    }
+
+    /// Adds a fully-confident fact with default provenance.
+    pub fn add_triple(&mut self, s: TermId, p: TermId, o: TermId) -> FactId {
+        self.add_fact(Fact::asserted(Triple::new(s, p, o)))
+    }
+
+    /// Interns three strings and asserts the triple.
+    pub fn assert_str(&mut self, s: &str, p: &str, o: &str) -> FactId {
+        let t = Triple::new(self.intern(s), self.intern(p), self.intern(o));
+        self.add_fact(Fact::asserted(t))
+    }
+
+    /// Adds a fact with the original merge semantics (noisy-or
+    /// confidence, first-known span, resurrect on re-add).
+    pub fn add_fact(&mut self, fact: Fact) -> FactId {
+        debug_assert!((0.0..=1.0).contains(&fact.confidence));
+        if let Some(&id) = self.by_triple.get(&fact.triple) {
+            let existing = &mut self.facts[id.index()];
+            let was_retracted = existing.is_retracted();
+            existing.confidence = 1.0 - (1.0 - existing.confidence) * (1.0 - fact.confidence);
+            if existing.span.is_none() {
+                existing.span = fact.span;
+            }
+            if was_retracted && !existing.is_retracted() {
+                let t = existing.triple;
+                self.spo.insert(t.spo_key());
+                self.pos.insert(t.pos_key());
+                self.osp.insert(t.osp_key());
+            }
+            return id;
+        }
+        let id = FactId(self.facts.len() as u32);
+        let t = fact.triple;
+        self.facts.push(fact);
+        self.by_triple.insert(t, id);
+        self.spo.insert(t.spo_key());
+        self.pos.insert(t.pos_key());
+        self.osp.insert(t.osp_key());
+        id
+    }
+
+    /// Retracts a triple (confidence zeroed, removed from indexes).
+    pub fn retract(&mut self, t: Triple) -> bool {
+        let Some(&id) = self.by_triple.get(&t) else {
+            return false;
+        };
+        let fact = &mut self.facts[id.index()];
+        if fact.is_retracted() {
+            return false;
+        }
+        fact.confidence = 0.0;
+        self.spo.remove(&t.spo_key());
+        self.pos.remove(&t.pos_key());
+        self.osp.remove(&t.osp_key());
+        true
+    }
+
+    /// Sets the temporal scope of an existing triple.
+    pub fn set_span(&mut self, t: Triple, span: TimeSpan) -> bool {
+        match self.by_triple.get(&t) {
+            Some(&id) => {
+                self.facts[id.index()].span = Some(span);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up a live fact by triple.
+    pub fn fact_for(&self, t: &Triple) -> Option<&Fact> {
+        self.by_triple.get(t).map(|id| &self.facts[id.index()]).filter(|f| !f.is_retracted())
+    }
+
+    /// Whether the triple is present and live.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.spo.contains(&t.spo_key())
+    }
+
+    /// Number of live facts.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the store holds no live facts.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// All live facts in SPO order (the original per-fact hash-lookup
+    /// walk, kept as-is on purpose — it is part of what the satellite
+    /// fix is measured against).
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> + '_ {
+        self.spo.iter().map(move |&(s, p, o)| {
+            let id = self.by_triple[&Triple::new(s, p, o)];
+            &self.facts[id.index()]
+        })
+    }
+
+    /// All live facts matching the pattern.
+    pub fn matching(&self, pattern: &TriplePattern) -> Vec<&Fact> {
+        self.matching_triples(pattern)
+            .into_iter()
+            .map(|t| self.fact_for(&t).expect("indexed triple must be live"))
+            .collect()
+    }
+
+    /// Like [`matching`](Self::matching) but returns only the triples.
+    pub fn matching_triples(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        let choice = pattern.choose_index();
+        let (index, (lo, hi)) = match choice {
+            IndexChoice::Spo => (&self.spo, range_for(pattern.s, pattern.p, pattern.o)),
+            IndexChoice::Pos => (&self.pos, range_for(pattern.p, pattern.o, pattern.s)),
+            IndexChoice::Osp => (&self.osp, range_for(pattern.o, pattern.s, pattern.p)),
+        };
+        let reorder: fn(Key) -> Triple = match choice {
+            IndexChoice::Spo => |(s, p, o)| Triple::new(s, p, o),
+            IndexChoice::Pos => |(p, o, s)| Triple::new(s, p, o),
+            IndexChoice::Osp => |(o, s, p)| Triple::new(s, p, o),
+        };
+        index.range(lo..=hi).map(|&k| reorder(k)).filter(|t| pattern.matches(t)).collect()
+    }
+
+    /// Facts matching the pattern valid at `point`.
+    pub fn matching_at(&self, pattern: &TriplePattern, point: &TimePoint) -> Vec<&Fact> {
+        self.matching(pattern)
+            .into_iter()
+            .filter(|f| f.span.is_none_or(|sp| sp.contains(point)))
+            .collect()
+    }
+
+    /// Count of live facts matching the pattern.
+    pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
+        let (index, (lo, hi)) = match pattern.choose_index() {
+            IndexChoice::Spo => (&self.spo, range_for(pattern.s, pattern.p, pattern.o)),
+            IndexChoice::Pos => (&self.pos, range_for(pattern.p, pattern.o, pattern.s)),
+            IndexChoice::Osp => (&self.osp, range_for(pattern.o, pattern.s, pattern.p)),
+        };
+        if pattern.bound_count() == 2 && pattern.p.is_none() {
+            let reorder = |(o, s, p): Key| Triple::new(s, p, o);
+            index.range(lo..=hi).filter(|&&k| pattern.matches(&reorder(k))).count()
+        } else {
+            index.range(lo..=hi).count()
+        }
+    }
+
+    /// Path join with the original per-outer-row `Vec` materialization.
+    pub fn path_join(&self, p1: TermId, p2: TermId) -> Vec<(TermId, TermId)> {
+        let mut out = Vec::new();
+        for t1 in self.matching_triples(&TriplePattern::with_p(p1)) {
+            for t2 in self.matching_triples(&TriplePattern::with_sp(t1.o, p2)) {
+                out.push((t1.s, t2.o));
+            }
+        }
+        out
+    }
+
+    /// Degree of a term (subject facts + object facts).
+    pub fn degree(&self, t: TermId) -> usize {
+        self.count_matching(&TriplePattern::with_s(t))
+            + self.count_matching(&TriplePattern::with_o(t))
+    }
+
+    /// Neighboring entities of `t`, deduplicated.
+    pub fn neighbors(&self, t: TermId) -> Vec<TermId> {
+        let mut out: Vec<TermId> = Vec::new();
+        for tr in self.matching_triples(&TriplePattern::with_s(t)) {
+            out.push(tr.o);
+        }
+        for tr in self.matching_triples(&TriplePattern::with_o(t)) {
+            out.push(tr.s);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&x| x != t);
+        out
+    }
+}
+
+/// Builds the inclusive `(lo, hi)` range over a permutation index whose
+/// key order is `(a, b, c)`, for bound prefix values `a` and `b`.
+fn range_for(a: Option<TermId>, b: Option<TermId>, c: Option<TermId>) -> (Key, Key) {
+    const MIN: TermId = TermId(0);
+    const MAX: TermId = TermId(u32::MAX);
+    match (a, b, c) {
+        (None, _, _) => ((MIN, MIN, MIN), (MAX, MAX, MAX)),
+        (Some(a), None, _) => ((a, MIN, MIN), (a, MAX, MAX)),
+        (Some(a), Some(b), None) => ((a, b, MIN), (a, b, MAX)),
+        (Some(a), Some(b), Some(c)) => ((a, b, c), (a, b, c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_answers_basic_shapes() {
+        let mut kb = LegacyKb::new();
+        kb.assert_str("a", "r", "b");
+        kb.assert_str("a", "r", "c");
+        kb.assert_str("b", "r", "c");
+        let a = kb.term("a").unwrap();
+        let r = kb.term("r").unwrap();
+        assert_eq!(kb.matching(&TriplePattern::with_s(a)).len(), 2);
+        assert_eq!(kb.count_matching(&TriplePattern::with_p(r)), 3);
+        assert_eq!(kb.len(), 3);
+    }
+}

@@ -5,13 +5,29 @@
 //! Suchanek & Weikum, *Knowledge Bases in the Age of Big Data Analytics*
 //! (VLDB 2014), Section 2.
 //!
+//! The storage engine is split into a write side and a read side,
+//! mirroring the batch-curation vs read-serving architecture of the
+//! industrial KBs the paper surveys:
+//!
+//! * **Write side** — [`KbBuilder`] accepts batched ingest; parallel
+//!   producers fill per-worker [`KbShard`]s (local interning, no shared
+//!   lock) that merge deterministically at a barrier.
+//! * **Read side** — [`KbBuilder::freeze`] produces an immutable,
+//!   `Arc`-shareable [`KbSnapshot`] whose SPO/POS/OSP permutation
+//!   indexes are frozen sorted arrays answered by binary-search range
+//!   scans.
+//! * **Read trait** — every consumer queries through [`KbRead`]
+//!   (streaming [`matching_iter`](KbRead::matching_iter),
+//!   [`triples_iter`](KbRead::triples_iter), time-travel and path-join
+//!   iterators), never against a concrete index layout.
+//! * **Façade** — [`KnowledgeBase`] keeps the classic mutable API
+//!   (builder + lazily cached frozen indexes) for code that interleaves
+//!   reads and writes.
+//!
 //! The store provides:
 //!
 //! * a string [`Dictionary`] interning every term
 //!   (entity, class, relation, literal) to a dense [`TermId`];
-//! * a triple store ([`KnowledgeBase`]) with three
-//!   permutation indexes (SPO, POS, OSP) answering any
-//!   [`TriplePattern`] by range scan;
 //! * per-fact metadata: extraction [confidence](fact::Fact::confidence),
 //!   [provenance source](store::SourceId) and an optional
 //!   temporal scope ([`TimeSpan`]);
@@ -25,7 +41,7 @@
 //!   persistence.
 //!
 //! ```
-//! use kb_store::{KnowledgeBase, TriplePattern};
+//! use kb_store::{KbRead, KnowledgeBase, TriplePattern};
 //!
 //! let mut kb = KnowledgeBase::new();
 //! let jobs = kb.intern("Steve_Jobs");
@@ -36,32 +52,44 @@
 //! let hits = kb.matching(&TriplePattern::with_s(jobs));
 //! assert_eq!(hits.len(), 1);
 //! assert_eq!(kb.resolve(hits[0].triple.o), Some("Apple_Inc"));
+//!
+//! // Freeze an immutable snapshot for read-heavy sharing.
+//! let snap = kb.snapshot().into_shared();
+//! assert_eq!(snap.count_matching(&TriplePattern::any()), 1);
 //! ```
 
+pub mod builder;
 pub mod dict;
 pub mod error;
 pub mod fact;
 pub mod fuse;
 pub mod ids;
 pub mod labels;
+pub mod legacy;
 pub mod ntriples;
 pub mod pattern;
 pub mod query;
+pub mod read;
 pub mod sameas;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod taxonomy;
 pub mod time;
 
+pub use builder::{KbBuilder, KbShard};
 pub use dict::Dictionary;
 pub use error::StoreError;
 pub use fact::{Fact, Triple};
 pub use ids::{FactId, TermId};
 pub use labels::LabelStore;
+pub use legacy::LegacyKb;
 pub use ntriples::LoadReport;
 pub use pattern::TriplePattern;
 pub use query::{Bindings, Query};
+pub use read::{KbRead, PathJoinIter};
 pub use sameas::SameAsStore;
+pub use snapshot::{KbSnapshot, LiveFactsIter, MatchIter, MatchingAtIter, TriplesIter};
 pub use stats::KbStats;
 pub use store::{KnowledgeBase, SourceId};
 pub use taxonomy::Taxonomy;

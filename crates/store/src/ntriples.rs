@@ -19,6 +19,7 @@
 use std::io::{BufRead, Write};
 
 use crate::fact::{Fact, Triple};
+use crate::read::KbRead;
 use crate::store::KnowledgeBase;
 use crate::time::TimeSpan;
 use crate::StoreError;
@@ -55,7 +56,10 @@ fn unescape(s: &str, line: usize) -> Result<String, StoreError> {
             other => {
                 return Err(StoreError::Parse {
                     line,
-                    message: format!("bad escape sequence \\{}", other.map(String::from).unwrap_or_default()),
+                    message: format!(
+                        "bad escape sequence \\{}",
+                        other.map(String::from).unwrap_or_default()
+                    ),
                 })
             }
         }
@@ -63,9 +67,9 @@ fn unescape(s: &str, line: usize) -> Result<String, StoreError> {
     Ok(out)
 }
 
-/// Writes the full KB to `w` in the TSV format described in the module
-/// docs.
-pub fn write_kb<W: Write>(kb: &KnowledgeBase, w: &mut W) -> Result<(), StoreError> {
+/// Writes the full KB (any [`KbRead`] view — live store or frozen
+/// snapshot) to `w` in the TSV format described in the module docs.
+pub fn write_kb<K: KbRead + ?Sized, W: Write>(kb: &K, w: &mut W) -> Result<(), StoreError> {
     writeln!(w, "# kbkit knowledge base dump")?;
     // All sections are emitted in lexicographic *string* order so that a
     // dump is byte-stable across round trips (term ids are reassigned on
@@ -89,14 +93,14 @@ pub fn write_kb<W: Write>(kb: &KnowledgeBase, w: &mut W) -> Result<(), StoreErro
     }
     fact_lines.sort_unstable();
     let mut edge_lines: Vec<String> = Vec::new();
-    for (sub, sup) in kb.taxonomy.edges() {
+    for (sub, sup) in kb.taxonomy().edges() {
         let s = kb.resolve(sub).ok_or(StoreError::UnknownTerm(sub))?;
         let p = kb.resolve(sup).ok_or(StoreError::UnknownTerm(sup))?;
         edge_lines.push(format!("C\t{}\t{}", escape(s), escape(p)));
     }
     edge_lines.sort_unstable();
     let mut same_lines: Vec<String> = Vec::new();
-    for class in kb.sameas.classes() {
+    for class in kb.sameas().classes() {
         // Anchor each class on its lexicographically smallest member so
         // the emitted pairs do not depend on term-id assignment order.
         let mut names: Vec<&str> = Vec::with_capacity(class.len());
@@ -110,9 +114,9 @@ pub fn write_kb<W: Write>(kb: &KnowledgeBase, w: &mut W) -> Result<(), StoreErro
     }
     same_lines.sort_unstable();
     let mut label_lines: Vec<String> = Vec::new();
-    for (term, lang, form) in kb.labels.iter() {
+    for (term, lang, form) in kb.labels().iter() {
         let t = kb.resolve(term).ok_or(StoreError::UnknownTerm(term))?;
-        let tag = kb.labels.lang_tag(lang).unwrap_or("und");
+        let tag = kb.labels().lang_tag(lang).unwrap_or("und");
         label_lines.push(format!("L\t{}\t{}\t{}", escape(t), tag, escape(form)));
     }
     label_lines.sort_unstable();
@@ -168,10 +172,9 @@ fn apply_line(kb: &mut KnowledgeBase, line: &str, lineno: usize) -> Result<(), S
             }
             let sub = kb.intern(&unescape(fields[1], lineno)?);
             let sup = kb.intern(&unescape(fields[2], lineno)?);
-            kb.taxonomy.add_subclass(sub, sup).map_err(|e| StoreError::Parse {
-                line: lineno,
-                message: e.to_string(),
-            })?;
+            kb.taxonomy
+                .add_subclass(sub, sup)
+                .map_err(|e| StoreError::Parse { line: lineno, message: e.to_string() })?;
         }
         "S" => {
             if fields.len() != 3 {
@@ -261,8 +264,8 @@ pub fn read_kb_lossy<R: BufRead>(r: R) -> Result<(KnowledgeBase, LoadReport), St
     Ok((kb, report))
 }
 
-/// Serializes the KB to an in-memory string.
-pub fn to_string(kb: &KnowledgeBase) -> Result<String, StoreError> {
+/// Serializes the KB (any [`KbRead`] view) to an in-memory string.
+pub fn to_string<K: KbRead + ?Sized>(kb: &K) -> Result<String, StoreError> {
     let mut buf = Vec::new();
     write_kb(kb, &mut buf)?;
     String::from_utf8(buf).map_err(|e| StoreError::Io(e.to_string()))

@@ -15,7 +15,7 @@
 //! extends the bindings.
 //!
 //! ```
-//! use kb_store::KnowledgeBase;
+//! use kb_store::{KbRead, KnowledgeBase};
 //! use kb_store::query::query;
 //!
 //! let mut kb = KnowledgeBase::new();
@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::pattern::TriplePattern;
-use crate::store::KnowledgeBase;
+use crate::read::KbRead;
 use crate::{StoreError, TermId};
 
 /// A variable or constant in a query pattern.
@@ -102,11 +102,8 @@ impl Bindings {
 
 impl fmt::Display for Bindings {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> = self
-            .iter_sorted()
-            .into_iter()
-            .map(|(k, t)| format!("?{k}={t}"))
-            .collect();
+        let parts: Vec<String> =
+            self.iter_sorted().into_iter().map(|(k, t)| format!("?{k}={t}")).collect();
         write!(f, "{{{}}}", parts.join(", "))
     }
 }
@@ -116,7 +113,7 @@ impl Query {
     /// with three whitespace-separated components; `?name` denotes a
     /// variable, anything else a constant term that must already exist
     /// in the KB's dictionary.
-    pub fn parse(kb: &KnowledgeBase, text: &str) -> Result<Query, StoreError> {
+    pub fn parse<K: KbRead + ?Sized>(kb: &K, text: &str) -> Result<Query, StoreError> {
         let mut patterns = Vec::new();
         for (i, chunk) in text.split('.').enumerate() {
             let chunk = chunk.trim();
@@ -175,8 +172,9 @@ impl Query {
 }
 
 /// Executes a query, returning all solutions (deduplicated, in a
-/// deterministic order).
-pub fn execute(kb: &KnowledgeBase, query: &Query) -> Vec<Bindings> {
+/// deterministic order). Works on any [`KbRead`] view — the live store
+/// or a frozen snapshot.
+pub fn execute<K: KbRead + ?Sized>(kb: &K, query: &Query) -> Vec<Bindings> {
     let mut results = Vec::new();
     let mut used = vec![false; query.patterns.len()];
     let mut bindings = Bindings::default();
@@ -184,10 +182,7 @@ pub fn execute(kb: &KnowledgeBase, query: &Query) -> Vec<Bindings> {
     // Deterministic order + dedup (two patterns can yield the same
     // solution through different join orders).
     results.sort_by_key(|b| {
-        b.iter_sorted()
-            .into_iter()
-            .map(|(k, t)| (k.to_string(), t))
-            .collect::<Vec<_>>()
+        b.iter_sorted().into_iter().map(|(k, t)| (k.to_string(), t)).collect::<Vec<_>>()
     });
     results.dedup();
     results
@@ -195,10 +190,7 @@ pub fn execute(kb: &KnowledgeBase, query: &Query) -> Vec<Bindings> {
 
 /// Substitutes current bindings into a pattern, yielding the concrete
 /// [`TriplePattern`] and the variable names left free (by position).
-fn concretize(
-    pattern: &QueryPattern,
-    bindings: &Bindings,
-) -> (TriplePattern, [Option<String>; 3]) {
+fn concretize(pattern: &QueryPattern, bindings: &Bindings) -> (TriplePattern, [Option<String>; 3]) {
     let mut free: [Option<String>; 3] = [None, None, None];
     let resolve = |term: &QueryTerm, slot: usize, free: &mut [Option<String>; 3]| match term {
         QueryTerm::Const(id) => Some(*id),
@@ -216,8 +208,8 @@ fn concretize(
     (TriplePattern { s, p, o }, free)
 }
 
-fn solve(
-    kb: &KnowledgeBase,
+fn solve<K: KbRead + ?Sized>(
+    kb: &K,
     query: &Query,
     used: &mut Vec<bool>,
     bindings: &mut Bindings,
@@ -233,7 +225,8 @@ fn solve(
     };
     used[i] = true;
     let (concrete, free) = concretize(&query.patterns[i], bindings);
-    for triple in kb.matching_triples(&concrete) {
+    // Stream the range scan — no per-step Vec materialization.
+    for triple in kb.triples_iter(&concrete) {
         let values = [triple.s, triple.p, triple.o];
         // Bind the free variables; a variable occurring twice in one
         // pattern must take the same value in both positions.
@@ -264,7 +257,7 @@ fn solve(
 }
 
 /// Convenience: parse and execute in one call.
-pub fn query(kb: &KnowledgeBase, text: &str) -> Result<Vec<Bindings>, StoreError> {
+pub fn query<K: KbRead + ?Sized>(kb: &K, text: &str) -> Result<Vec<Bindings>, StoreError> {
     let q = Query::parse(kb, text)?;
     Ok(execute(kb, &q))
 }
@@ -272,6 +265,7 @@ pub fn query(kb: &KnowledgeBase, text: &str) -> Result<Vec<Bindings>, StoreError
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::KnowledgeBase;
 
     /// People born in cities located in two countries; employments.
     fn sample() -> KnowledgeBase {
@@ -296,10 +290,8 @@ mod tests {
         let kb = sample();
         let out = query(&kb, "?p bornIn Lund").unwrap();
         assert_eq!(out.len(), 2);
-        let names: Vec<&str> = out
-            .iter()
-            .map(|b| kb.resolve(b.get("p").unwrap()).unwrap())
-            .collect();
+        let names: Vec<&str> =
+            out.iter().map(|b| kb.resolve(b.get("p").unwrap()).unwrap()).collect();
         assert!(names.contains(&"Alan") && names.contains(&"Bea"));
     }
 
@@ -317,7 +309,8 @@ mod tests {
     fn three_way_join() {
         let kb = sample();
         // People who work at a company headquartered where someone was born.
-        let out = query(&kb, "?p worksAt ?co . ?co headquarteredIn ?city . ?q bornIn ?city").unwrap();
+        let out =
+            query(&kb, "?p worksAt ?co . ?co headquarteredIn ?city . ?q bornIn ?city").unwrap();
         assert_eq!(out.len(), 2); // Alan@Acme/Tor/Cyr and Cyr@Acme/Tor/Cyr
         for b in &out {
             assert_eq!(kb.resolve(b.get("city").unwrap()), Some("Tor"));
@@ -330,10 +323,8 @@ mod tests {
         let kb = sample();
         let out = query(&kb, "Alan ?r ?x").unwrap();
         assert_eq!(out.len(), 2);
-        let rels: Vec<&str> = out
-            .iter()
-            .map(|b| kb.resolve(b.get("r").unwrap()).unwrap())
-            .collect();
+        let rels: Vec<&str> =
+            out.iter().map(|b| kb.resolve(b.get("r").unwrap()).unwrap()).collect();
         assert!(rels.contains(&"bornIn") && rels.contains(&"worksAt"));
     }
 

@@ -1,0 +1,337 @@
+//! [`KbRead`]: the read surface shared by every view of a knowledge
+//! base — the mutable [`KnowledgeBase`](crate::KnowledgeBase) façade
+//! and the immutable [`KbSnapshot`](crate::KbSnapshot).
+//!
+//! Consumers (NED, analytics, query execution, serialization, the CLI)
+//! are written against this trait, never against a concrete index
+//! layout, so the storage engine can evolve — and callers can switch
+//! between the builder-backed façade and frozen snapshots — without
+//! touching them.
+//!
+//! The primitive is [`matching_iter`](KbRead::matching_iter): one
+//! contiguous index range scan streamed as `&Fact`s. Everything else
+//! (`matching`, counts, `objects`/`subjects`, `degree`, `neighbors`,
+//! time-travel, path joins, statistics) is a provided method built on
+//! it, so an implementor supplies only storage accessors.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::fact::{Fact, Triple};
+use crate::ids::{FactId, TermId};
+use crate::labels::LabelStore;
+use crate::pattern::TriplePattern;
+use crate::sameas::SameAsStore;
+use crate::snapshot::{LiveFactsIter, MatchIter, MatchingAtIter, TriplesIter};
+use crate::stats::KbStats;
+use crate::store::SourceId;
+use crate::taxonomy::Taxonomy;
+use crate::time::TimePoint;
+use crate::Dictionary;
+
+/// Read-only access to a knowledge base: dictionary, facts, pattern
+/// queries, taxonomy, sameAs, labels and statistics.
+///
+/// Object-safe except for [`path_join_iter`](Self::path_join_iter)
+/// (which must name `Self` in its return type and is therefore gated
+/// on `Self: Sized`); `&dyn KbRead` supports the full pattern-query
+/// surface.
+pub trait KbRead {
+    // -- required storage accessors -------------------------------------
+
+    /// The term dictionary.
+    fn dictionary(&self) -> &Dictionary;
+
+    /// Subclass-of DAG over class terms.
+    fn taxonomy(&self) -> &Taxonomy;
+
+    /// owl:sameAs equivalence classes.
+    fn sameas(&self) -> &SameAsStore;
+
+    /// Multilingual labels and the reverse surface-form index.
+    fn labels(&self) -> &LabelStore;
+
+    /// Resolves a provenance source id back to its name.
+    fn source_name(&self, id: SourceId) -> Option<&str>;
+
+    /// Looks up a fact by id (retracted facts remain addressable).
+    fn fact(&self, id: FactId) -> Option<&Fact>;
+
+    /// Looks up a live fact by triple — `O(1)` via the dedup map, so
+    /// bulk existence checks (e.g. KB fusion) never touch the indexes.
+    fn fact_for(&self, t: &Triple) -> Option<&Fact>;
+
+    /// The raw fact table in insertion order, *including* retracted
+    /// entries. Prefer [`facts`](Self::facts) unless provenance of
+    /// retracted facts is needed.
+    fn fact_table(&self) -> &[Fact];
+
+    /// Number of live (non-retracted) facts.
+    fn len(&self) -> usize;
+
+    /// Streams the live facts matching `pattern` in permutation-index
+    /// order — one binary-searched contiguous range scan, no
+    /// allocation.
+    fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_>;
+
+    // -- provided: terms ------------------------------------------------
+
+    /// Looks up an already-interned term.
+    fn term(&self, term: &str) -> Option<TermId> {
+        self.dictionary().get(term)
+    }
+
+    /// Resolves a term id back to its string.
+    fn resolve(&self, id: TermId) -> Option<&str> {
+        self.dictionary().resolve(id)
+    }
+
+    // -- provided: facts ------------------------------------------------
+
+    /// Whether the store holds no live facts.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the triple is present and live.
+    fn contains(&self, t: &Triple) -> bool {
+        self.fact_for(t).is_some()
+    }
+
+    /// Iterates over all live facts in SPO order (streaming).
+    fn iter(&self) -> MatchIter<'_> {
+        self.matching_iter(&TriplePattern::any())
+    }
+
+    /// Iterates over all live facts in fact-table (insertion) order —
+    /// the cheapest full scan, used by whole-KB aggregation that needs
+    /// no particular order.
+    fn facts(&self) -> LiveFactsIter<'_> {
+        LiveFactsIter(self.fact_table().iter())
+    }
+
+    // -- provided: queries ----------------------------------------------
+
+    /// All live facts matching the pattern, materialized. Prefer
+    /// [`matching_iter`](Self::matching_iter) in hot paths.
+    fn matching(&self, pattern: &TriplePattern) -> Vec<&Fact> {
+        self.matching_iter(pattern).collect()
+    }
+
+    /// Like [`matching`](Self::matching) but returns only the triples.
+    fn matching_triples(&self, pattern: &TriplePattern) -> Vec<Triple> {
+        self.triples_iter(pattern).collect()
+    }
+
+    /// Streams the triples matching `pattern`.
+    fn triples_iter(&self, pattern: &TriplePattern) -> TriplesIter<'_> {
+        TriplesIter(self.matching_iter(pattern))
+    }
+
+    /// Count of live facts matching the pattern — `O(log n)` for every
+    /// shape except `s?o`, with no result allocation.
+    fn count_matching(&self, pattern: &TriplePattern) -> usize {
+        self.matching_iter(pattern).exact_count()
+    }
+
+    /// Facts matching the pattern that are valid at `point`: facts with
+    /// no temporal scope always qualify (they are assumed timeless);
+    /// scoped facts qualify when their span contains the point — the
+    /// time-travel query of YAGO2-style temporal KBs.
+    fn matching_at(&self, pattern: &TriplePattern, point: &TimePoint) -> Vec<&Fact> {
+        self.matching_at_iter(pattern, point).collect()
+    }
+
+    /// Streaming form of [`matching_at`](Self::matching_at).
+    fn matching_at_iter(&self, pattern: &TriplePattern, point: &TimePoint) -> MatchingAtIter<'_> {
+        MatchingAtIter { inner: self.matching_iter(pattern), point: *point }
+    }
+
+    /// All objects `o` such that `(s, p, o)` is a live fact.
+    fn objects(&self, s: TermId, p: TermId) -> Vec<TermId> {
+        self.triples_iter(&TriplePattern::with_sp(s, p)).map(|t| t.o).collect()
+    }
+
+    /// All subjects `s` such that `(s, p, o)` is a live fact.
+    fn subjects(&self, p: TermId, o: TermId) -> Vec<TermId> {
+        self.triples_iter(&TriplePattern::with_po(p, o)).map(|t| t.s).collect()
+    }
+
+    /// Two-pattern join on a shared variable: all `(x, y)` pairs such
+    /// that `(x, p1, m)` and `(m, p2, y)` both hold for some `m` (a
+    /// path join, e.g. "people born in cities located in country Y").
+    fn path_join(&self, p1: TermId, p2: TermId) -> Vec<(TermId, TermId)>
+    where
+        Self: Sized,
+    {
+        self.path_join_iter(p1, p2).collect()
+    }
+
+    /// Streaming form of [`path_join`](Self::path_join): the inner
+    /// range scan is opened lazily per outer fact, so no intermediate
+    /// `Vec` is built. Pair order is identical to the materialized
+    /// form.
+    fn path_join_iter(&self, p1: TermId, p2: TermId) -> PathJoinIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        PathJoinIter {
+            kb: self,
+            outer: self.matching_iter(&TriplePattern::with_p(p1)),
+            p2,
+            inner: None,
+        }
+    }
+
+    /// Degree of a term: number of live facts where it appears as
+    /// subject plus those where it appears as object. Used by NED
+    /// coherence and popularity priors.
+    fn degree(&self, t: TermId) -> usize {
+        self.count_matching(&TriplePattern::with_s(t))
+            + self.count_matching(&TriplePattern::with_o(t))
+    }
+
+    /// Neighboring entities of `t` (subjects/objects of facts touching
+    /// it, excluding `t` itself), deduplicated.
+    fn neighbors(&self, t: TermId) -> Vec<TermId> {
+        let mut out: Vec<TermId> = Vec::new();
+        out.extend(self.triples_iter(&TriplePattern::with_s(t)).map(|tr| tr.o));
+        out.extend(self.triples_iter(&TriplePattern::with_o(t)).map(|tr| tr.s));
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&x| x != t);
+        out
+    }
+
+    // -- provided: statistics -------------------------------------------
+
+    /// Per-predicate fact counts, sorted by descending count then name —
+    /// the relation histogram reported alongside KB statistics. Walks
+    /// the fact table directly (no index or hash lookups).
+    fn predicate_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: HashMap<TermId, usize> = HashMap::new();
+        for f in self.facts() {
+            *counts.entry(f.triple.p).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter_map(|(p, n)| self.resolve(p).map(|s| (s.to_string(), n)))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Computes summary statistics over the current contents. A single
+    /// pass over the fact table — no per-fact index traffic.
+    fn stats(&self) -> KbStats {
+        let mut distinct_subjects: BTreeSet<TermId> = BTreeSet::new();
+        let mut distinct_predicates: BTreeSet<TermId> = BTreeSet::new();
+        let mut conf_sum = 0.0;
+        let mut temporal = 0usize;
+        for f in self.facts() {
+            distinct_subjects.insert(f.triple.s);
+            distinct_predicates.insert(f.triple.p);
+            conf_sum += f.confidence;
+            if f.span.is_some() {
+                temporal += 1;
+            }
+        }
+        let n = self.len();
+        KbStats {
+            terms: self.dictionary().len(),
+            facts: n,
+            subjects: distinct_subjects.len(),
+            predicates: distinct_predicates.len(),
+            classes: self.taxonomy().class_count(),
+            subclass_edges: self.taxonomy().edge_count(),
+            sameas_classes: self.sameas().class_count(),
+            labels: self.labels().label_count(),
+            temporal_facts: temporal,
+            mean_confidence: if n == 0 { 0.0 } else { conf_sum / n as f64 },
+        }
+    }
+}
+
+/// Streaming path join: for each outer fact `(x, p1, m)` an inner
+/// range scan `(m, p2, ?)` is opened lazily; yields `(x, y)` pairs in
+/// the same order the nested materialized loops would.
+#[derive(Debug)]
+pub struct PathJoinIter<'a, K: ?Sized> {
+    kb: &'a K,
+    outer: MatchIter<'a>,
+    p2: TermId,
+    inner: Option<(TermId, MatchIter<'a>)>,
+}
+
+impl<K: KbRead + ?Sized> Iterator for PathJoinIter<'_, K> {
+    type Item = (TermId, TermId);
+
+    fn next(&mut self) -> Option<(TermId, TermId)> {
+        loop {
+            if let Some((x, inner)) = &mut self.inner {
+                if let Some(f) = inner.next() {
+                    return Some((*x, f.triple.o));
+                }
+            }
+            let f1 = self.outer.next()?;
+            self.inner = Some((
+                f1.triple.s,
+                self.kb.matching_iter(&TriplePattern::with_sp(f1.triple.o, self.p2)),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KbBuilder, KbSnapshot};
+
+    fn snap() -> KbSnapshot {
+        let mut b = KbBuilder::new();
+        b.assert_str("Steve_Jobs", "founded", "Apple_Inc");
+        b.assert_str("Steve_Wozniak", "founded", "Apple_Inc");
+        b.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
+        b.assert_str("San_Francisco", "locatedIn", "United_States");
+        b.assert_str("Apple_Inc", "headquarteredIn", "Cupertino");
+        b.freeze()
+    }
+
+    #[test]
+    fn trait_is_object_safe_for_pattern_queries() {
+        let s = snap();
+        let dyn_kb: &dyn KbRead = &s;
+        let jobs = dyn_kb.term("Steve_Jobs").unwrap();
+        assert_eq!(dyn_kb.matching(&TriplePattern::with_s(jobs)).len(), 2);
+        assert_eq!(dyn_kb.degree(jobs), 2);
+        assert_eq!(dyn_kb.stats().facts, 5);
+    }
+
+    #[test]
+    fn path_join_streams_in_nested_loop_order() {
+        let s = snap();
+        let born = s.term("bornIn").unwrap();
+        let located = s.term("locatedIn").unwrap();
+        let streamed: Vec<_> = s.path_join_iter(born, located).collect();
+        assert_eq!(streamed, s.path_join(born, located));
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(s.resolve(streamed[0].0), Some("Steve_Jobs"));
+        assert_eq!(s.resolve(streamed[0].1), Some("United_States"));
+    }
+
+    #[test]
+    fn facts_table_scan_agrees_with_index_scan() {
+        let mut b = KbBuilder::new();
+        b.assert_str("c", "r", "d");
+        b.assert_str("a", "r", "b");
+        let t = Triple::new(b.term("c").unwrap(), b.term("r").unwrap(), b.term("d").unwrap());
+        b.retract(t);
+        let s = b.freeze();
+        let table: Vec<Triple> = s.facts().map(|f| f.triple).collect();
+        let mut indexed: Vec<Triple> = s.iter().map(|f| f.triple).collect();
+        assert_eq!(table.len(), 1);
+        indexed.sort();
+        let mut sorted_table = table.clone();
+        sorted_table.sort();
+        assert_eq!(indexed, sorted_table);
+    }
+}

@@ -1,0 +1,442 @@
+//! The read side of the storage engine: `FrozenIndexes` (sorted-array
+//! SPO/POS/OSP permutations answered by binary-search range scans), the
+//! zero-alloc query iterators, and the immutable, `Arc`-shareable
+//! [`KbSnapshot`].
+//!
+//! Index layout: each permutation is a `Vec<((TermId, TermId, TermId),
+//! FactId)>` sorted by the permuted key, paired with a per-leading-term
+//! offset array (`starts`). A [`TriplePattern`] with a bound leading
+//! term jumps straight to its bucket — `starts[t] .. starts[t + 1]` —
+//! in `O(1)`; any remaining bound components narrow the bucket with
+//! `partition_point` searches that touch only the (cache-resident)
+//! bucket instead of the whole array (see
+//! [`TriplePattern::choose_index`] for the shape→index mapping).
+//! Iteration then walks the slice and resolves each `FactId` straight
+//! into the fact table — no hash lookups, no per-call `Vec`.
+
+use std::sync::Arc;
+
+use crate::builder::KbCore;
+use crate::fact::{Fact, Triple};
+use crate::ids::{FactId, TermId};
+use crate::labels::LabelStore;
+use crate::pattern::{IndexChoice, TriplePattern};
+use crate::read::KbRead;
+use crate::sameas::SameAsStore;
+use crate::store::SourceId;
+use crate::taxonomy::Taxonomy;
+use crate::time::TimePoint;
+use crate::Dictionary;
+
+type Key = (TermId, TermId, TermId);
+
+/// The three sorted permutation arrays of a frozen store, each paired
+/// with a per-leading-term offset array.
+///
+/// Built once from the fact table in `O(n log n)`; answering a pattern
+/// with a bound leading term is an `O(1)` bucket lookup plus
+/// `O(log b + k)` for a bucket of size `b` and `k` results, with an
+/// exact count in the same bounds for every shape.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FrozenIndexes {
+    spo: Vec<(Key, FactId)>,
+    pos: Vec<(Key, FactId)>,
+    osp: Vec<(Key, FactId)>,
+    /// `spo[spo_starts[s] .. spo_starts[s + 1]]` is subject `s`'s bucket.
+    spo_starts: Vec<u32>,
+    /// `pos[pos_starts[p] .. pos_starts[p + 1]]` is predicate `p`'s bucket.
+    pos_starts: Vec<u32>,
+    /// `osp[osp_starts[o] .. osp_starts[o + 1]]` is object `o`'s bucket.
+    osp_starts: Vec<u32>,
+}
+
+/// Prefix-sum offsets over the leading term of a sorted permutation:
+/// `starts[t] .. starts[t + 1]` brackets term `t`'s entries. Terms past
+/// the largest seen leading id have no slot (callers treat out-of-range
+/// as empty).
+fn starts_of(entries: &[(Key, FactId)]) -> Vec<u32> {
+    let top = entries.last().map_or(0, |&((a, _, _), _)| a.index() + 1);
+    let mut starts = vec![0u32; top + 1];
+    for &((a, _, _), _) in entries {
+        starts[a.index() + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    starts
+}
+
+impl FrozenIndexes {
+    /// Indexes every live fact in `facts` (retracted entries are
+    /// skipped, so they never appear in query results).
+    pub(crate) fn build(facts: &[Fact]) -> Self {
+        let mut spo = Vec::with_capacity(facts.len());
+        let mut pos = Vec::with_capacity(facts.len());
+        let mut osp = Vec::with_capacity(facts.len());
+        for (i, f) in facts.iter().enumerate() {
+            if f.is_retracted() {
+                continue;
+            }
+            let id = FactId(i as u32);
+            let t = f.triple;
+            spo.push((t.spo_key(), id));
+            pos.push((t.pos_key(), id));
+            osp.push((t.osp_key(), id));
+        }
+        spo.sort_unstable();
+        pos.sort_unstable();
+        osp.sort_unstable();
+        let spo_starts = starts_of(&spo);
+        let pos_starts = starts_of(&pos);
+        let osp_starts = starts_of(&osp);
+        Self { spo, pos, osp, spo_starts, pos_starts, osp_starts }
+    }
+
+    /// Locates the contiguous slice answering `pattern` plus the
+    /// post-filter kept for the `s?o` shape (its slice is already
+    /// exact; the filter only preserves the conservative size hint).
+    pub(crate) fn select<'a>(
+        &'a self,
+        pattern: &TriplePattern,
+    ) -> (&'a [(Key, FactId)], Option<TriplePattern>) {
+        let choice = pattern.choose_index();
+        let (index, starts, (a, b, c)) = match choice {
+            IndexChoice::Spo => (&self.spo, &self.spo_starts, (pattern.s, pattern.p, pattern.o)),
+            IndexChoice::Pos => (&self.pos, &self.pos_starts, (pattern.p, pattern.o, pattern.s)),
+            IndexChoice::Osp => (&self.osp, &self.osp_starts, (pattern.o, pattern.s, pattern.p)),
+        };
+        let filter = (pattern.bound_count() == 2 && pattern.p.is_none()).then_some(*pattern);
+        // Leading term bound → O(1) bucket lookup via the offset array.
+        // (`choose_index` only leaves the leading term unbound for the
+        // all-wildcard pattern, which scans the whole index.)
+        let slice: &[(Key, FactId)] = match a {
+            None => index,
+            Some(a) => {
+                let i = a.index();
+                if i + 1 >= starts.len() {
+                    return (&index[0..0], filter);
+                }
+                &index[starts[i] as usize..starts[i + 1] as usize]
+            }
+        };
+        // Remaining bound components narrow within the bucket.
+        let slice = match (b, c) {
+            (None, _) => slice,
+            (Some(b), None) => {
+                let start = slice.partition_point(|&((_, kb, _), _)| kb < b);
+                let end = start + slice[start..].partition_point(|&((_, kb, _), _)| kb <= b);
+                &slice[start..end]
+            }
+            (Some(b), Some(c)) => {
+                let start = slice.partition_point(|&((_, kb, kc), _)| (kb, kc) < (b, c));
+                let end =
+                    start + slice[start..].partition_point(|&((_, kb, kc), _)| (kb, kc) <= (b, c));
+                &slice[start..end]
+            }
+        };
+        (slice, filter)
+    }
+}
+
+/// Streaming cursor over the live facts matching one [`TriplePattern`],
+/// in permutation-index order. Yields `&Fact` without allocating.
+///
+/// Returned by [`KbRead::matching_iter`].
+#[derive(Debug, Clone)]
+pub struct MatchIter<'a> {
+    entries: std::slice::Iter<'a, (Key, FactId)>,
+    facts: &'a [Fact],
+    filter: Option<TriplePattern>,
+    /// Which permutation the keys come from (lets [`TriplesIter`]
+    /// reconstruct triples from keys without touching the fact table).
+    choice: IndexChoice,
+}
+
+impl<'a> MatchIter<'a> {
+    pub(crate) fn new(
+        entries: &'a [(Key, FactId)],
+        facts: &'a [Fact],
+        filter: Option<TriplePattern>,
+        choice: IndexChoice,
+    ) -> Self {
+        Self { entries: entries.iter(), facts, filter, choice }
+    }
+
+    /// Consumes the cursor and returns the exact number of remaining
+    /// matches — `O(1)` for every shape except `s?o`, which must walk
+    /// its post-filtered range.
+    pub fn exact_count(self) -> usize {
+        match self.filter {
+            None => self.entries.len(),
+            Some(_) => self.count(),
+        }
+    }
+}
+
+impl<'a> Iterator for MatchIter<'a> {
+    type Item = &'a Fact;
+
+    fn next(&mut self) -> Option<&'a Fact> {
+        for &(_, id) in self.entries.by_ref() {
+            let fact = &self.facts[id.index()];
+            match self.filter {
+                None => return Some(fact),
+                Some(p) if p.matches(&fact.triple) => return Some(fact),
+                Some(_) => {}
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.entries.len();
+        if self.filter.is_none() {
+            (n, Some(n))
+        } else {
+            (0, Some(n))
+        }
+    }
+}
+
+/// Streaming cursor over matching triples (projection of
+/// [`MatchIter`]). Returned by [`KbRead::triples_iter`].
+///
+/// Reconstructs each triple by un-permuting the index key — the fact
+/// table is never touched, so a triple projection stays inside the
+/// contiguous index slice.
+#[derive(Debug, Clone)]
+pub struct TriplesIter<'a>(pub(crate) MatchIter<'a>);
+
+/// Inverts a permuted index key back into the `(s, p, o)` triple.
+fn unpermute(choice: IndexChoice, k: Key) -> Triple {
+    match choice {
+        IndexChoice::Spo => Triple::new(k.0, k.1, k.2),
+        IndexChoice::Pos => Triple::new(k.2, k.0, k.1),
+        IndexChoice::Osp => Triple::new(k.1, k.2, k.0),
+    }
+}
+
+impl Iterator for TriplesIter<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        let it = &mut self.0;
+        for &(k, _) in it.entries.by_ref() {
+            let t = unpermute(it.choice, k);
+            match it.filter {
+                None => return Some(t),
+                Some(p) if p.matches(&t) => return Some(t),
+                Some(_) => {}
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+/// Streaming time-travel cursor: matching facts valid at a given
+/// [`TimePoint`] (timeless facts always qualify). Returned by
+/// [`KbRead::matching_at_iter`].
+#[derive(Debug, Clone)]
+pub struct MatchingAtIter<'a> {
+    pub(crate) inner: MatchIter<'a>,
+    pub(crate) point: TimePoint,
+}
+
+impl<'a> Iterator for MatchingAtIter<'a> {
+    type Item = &'a Fact;
+
+    fn next(&mut self) -> Option<&'a Fact> {
+        let point = self.point;
+        self.inner.by_ref().find(|f| f.span.is_none_or(|sp| sp.contains(&point)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, self.inner.size_hint().1)
+    }
+}
+
+/// Streaming cursor over the live facts of the fact table in insertion
+/// order (retracted entries skipped). Returned by [`KbRead::facts`];
+/// this is the cheap path for whole-KB aggregation (`stats`,
+/// `predicate_histogram`) that needs no particular order.
+#[derive(Debug, Clone)]
+pub struct LiveFactsIter<'a>(pub(crate) std::slice::Iter<'a, Fact>);
+
+impl<'a> Iterator for LiveFactsIter<'a> {
+    type Item = &'a Fact;
+
+    fn next(&mut self) -> Option<&'a Fact> {
+        self.0.by_ref().find(|f| !f.is_retracted())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.0.len()))
+    }
+}
+
+/// An immutable, query-optimized view of a knowledge base.
+///
+/// Produced by [`KbBuilder::freeze`](crate::KbBuilder::freeze) (moves
+/// the builder's data, sorts the permutation arrays once) or
+/// [`KnowledgeBase::snapshot`](crate::KnowledgeBase::snapshot)
+/// (clones). A snapshot is `Send + Sync` and cheap to share:
+/// [`into_shared`](Self::into_shared) wraps it in an [`Arc`] so
+/// read-heavy consumers (NED, analytics, serving) can query it from
+/// many threads with zero coordination.
+///
+/// All queries go through the [`KbRead`] trait.
+#[derive(Debug, Clone)]
+pub struct KbSnapshot {
+    core: KbCore,
+    taxonomy: Taxonomy,
+    sameas: SameAsStore,
+    labels: LabelStore,
+    indexes: FrozenIndexes,
+    live: usize,
+}
+
+impl KbSnapshot {
+    pub(crate) fn from_parts(
+        core: KbCore,
+        taxonomy: Taxonomy,
+        sameas: SameAsStore,
+        labels: LabelStore,
+        indexes: FrozenIndexes,
+    ) -> Self {
+        let live = core.live;
+        Self { core, taxonomy, sameas, labels, indexes, live }
+    }
+
+    /// Wraps the snapshot in an [`Arc`] for sharing across threads.
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// All registered sources in id order.
+    pub fn sources(&self) -> impl Iterator<Item = (SourceId, &str)> {
+        self.core.sources.iter().enumerate().map(|(i, s)| (SourceId(i as u32), s.as_str()))
+    }
+}
+
+impl KbRead for KbSnapshot {
+    fn dictionary(&self) -> &Dictionary {
+        &self.core.dict
+    }
+
+    fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    fn sameas(&self) -> &SameAsStore {
+        &self.sameas
+    }
+
+    fn labels(&self) -> &LabelStore {
+        &self.labels
+    }
+
+    fn source_name(&self, id: SourceId) -> Option<&str> {
+        self.core.source_name(id)
+    }
+
+    fn fact(&self, id: FactId) -> Option<&Fact> {
+        self.core.facts.get(id.index())
+    }
+
+    fn fact_for(&self, t: &Triple) -> Option<&Fact> {
+        self.core.fact_for(t)
+    }
+
+    fn fact_table(&self) -> &[Fact] {
+        &self.core.facts
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {
+        let (entries, filter) = self.indexes.select(pattern);
+        MatchIter::new(entries, &self.core.facts, filter, pattern.choose_index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KbBuilder;
+
+    fn snap() -> KbSnapshot {
+        let mut b = KbBuilder::new();
+        b.assert_str("Steve_Jobs", "founded", "Apple_Inc");
+        b.assert_str("Steve_Wozniak", "founded", "Apple_Inc");
+        b.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
+        b.assert_str("San_Francisco", "locatedIn", "United_States");
+        b.freeze()
+    }
+
+    #[test]
+    fn every_shape_scans_one_contiguous_range() {
+        let s = snap();
+        let jobs = s.term("Steve_Jobs").unwrap();
+        let founded = s.term("founded").unwrap();
+        let apple = s.term("Apple_Inc").unwrap();
+        assert_eq!(s.matching_iter(&TriplePattern::with_s(jobs)).count(), 2);
+        assert_eq!(s.matching_iter(&TriplePattern::with_p(founded)).count(), 2);
+        assert_eq!(s.matching_iter(&TriplePattern::with_o(apple)).count(), 2);
+        assert_eq!(s.matching_iter(&TriplePattern::with_sp(jobs, founded)).count(), 1);
+        assert_eq!(s.matching_iter(&TriplePattern::with_po(founded, apple)).count(), 2);
+        assert_eq!(s.matching_iter(&TriplePattern::with_so(jobs, apple)).count(), 1);
+        assert_eq!(s.matching_iter(&TriplePattern::any()).count(), 4);
+    }
+
+    #[test]
+    fn exact_count_is_constant_time_for_prefix_shapes() {
+        let s = snap();
+        let founded = s.term("founded").unwrap();
+        let it = s.matching_iter(&TriplePattern::with_p(founded));
+        assert_eq!(it.size_hint(), (2, Some(2)));
+        assert_eq!(it.exact_count(), 2);
+        // s?o post-filters, so its lower bound is zero.
+        let jobs = s.term("Steve_Jobs").unwrap();
+        let apple = s.term("Apple_Inc").unwrap();
+        let it = s.matching_iter(&TriplePattern::with_so(jobs, apple));
+        assert_eq!(it.size_hint().0, 0);
+        assert_eq!(it.exact_count(), 1);
+    }
+
+    #[test]
+    fn retracted_facts_never_enter_the_indexes() {
+        let mut b = KbBuilder::new();
+        b.assert_str("a", "r", "b");
+        b.assert_str("c", "r", "d");
+        let t = Triple::new(b.term("a").unwrap(), b.term("r").unwrap(), b.term("b").unwrap());
+        b.retract(t);
+        let s = b.freeze();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.matching_iter(&TriplePattern::any()).count(), 1);
+        assert!(!s.contains(&t));
+        // The retracted fact is still addressable by id (provenance).
+        assert!(s.fact(FactId(0)).unwrap().is_retracted());
+    }
+
+    #[test]
+    fn snapshot_is_send_sync_and_arc_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KbSnapshot>();
+        let shared = snap().into_shared();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || s.matching_iter(&TriplePattern::any()).count())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 4);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Snapshot statistics produced by
-/// [`KnowledgeBase::stats`](crate::KnowledgeBase::stats).
+/// [`KbRead::stats`](crate::KbRead::stats).
 #[derive(Debug, Clone, PartialEq)]
 pub struct KbStats {
     /// Distinct interned terms.

@@ -1,28 +1,38 @@
-//! The [`KnowledgeBase`]: dictionary + fact table + permutation indexes +
-//! taxonomy + sameAs + labels, behind one façade.
+//! The [`KnowledgeBase`]: the mutable compatibility façade over the
+//! split storage engine — a [`KbBuilder`](crate::KbBuilder)-style write side
+//! ([`KbCore`](crate::builder) dictionary + fact table) plus a lazily
+//! frozen, cached read side (`FrozenIndexes`).
 //!
 //! Design notes:
 //!
 //! * Facts live in an append-only `Vec<Fact>`; a `HashMap<Triple, FactId>`
 //!   deduplicates statements, so re-adding a triple *merges* evidence
 //!   (noisy-or on confidence) instead of duplicating it.
-//! * Three `BTreeSet<(TermId, TermId, TermId)>` permutation indexes (SPO,
-//!   POS, OSP) are maintained incrementally; any [`TriplePattern`] is
-//!   answered by one contiguous range scan (see
-//!   [`TriplePattern::choose_index`]).
-//! * Queries take `&self`; the store has no interior mutability and is
-//!   `Sync`, so read-heavy consumers (NED, analytics) can share it across
-//!   threads.
+//! * Reads go through the [`KbRead`] trait. The three sorted-array
+//!   permutation indexes (SPO, POS, OSP) are built on first read after a
+//!   structural mutation and cached in a `OnceLock`; any
+//!   [`TriplePattern`] is answered by one binary-searched contiguous
+//!   range scan (see [`TriplePattern::choose_index`]).
+//! * Confidence merges and span updates do not change the index key
+//!   set, so they keep the cache; new facts, retractions and
+//!   resurrections invalidate it.
+//! * Queries take `&self` and the cache is a `OnceLock`, so the store
+//!   stays `Sync`: read-heavy consumers (NED, analytics) can share it
+//!   across threads. For long-lived read sharing prefer
+//!   [`snapshot`](KnowledgeBase::snapshot), which detaches an immutable
+//!   [`KbSnapshot`].
 
-use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::OnceLock;
 
+use crate::builder::{AddOutcome, KbCore, KbShard};
 use crate::fact::{Fact, Triple};
 use crate::ids::{FactId, TermId};
 use crate::labels::LabelStore;
-use crate::pattern::{IndexChoice, TriplePattern};
+use crate::pattern::TriplePattern;
+use crate::read::KbRead;
 use crate::sameas::SameAsStore;
-use crate::stats::KbStats;
+use crate::snapshot::{FrozenIndexes, KbSnapshot, MatchIter};
 use crate::taxonomy::Taxonomy;
 use crate::time::TimeSpan;
 
@@ -42,26 +52,21 @@ impl fmt::Display for SourceId {
     }
 }
 
-type Key = (TermId, TermId, TermId);
-
 /// An in-memory SPO knowledge base with metadata, taxonomy, sameAs and
 /// multilingual labels. See the [crate docs](crate) for an overview.
+///
+/// Reads are provided by the [`KbRead`] impl; bring the trait into
+/// scope (`use kb_store::KbRead;`) to query.
 #[derive(Debug, Default)]
 pub struct KnowledgeBase {
-    dict: crate::Dictionary,
-    facts: Vec<Fact>,
-    by_triple: HashMap<Triple, FactId>,
-    spo: BTreeSet<Key>,
-    pos: BTreeSet<Key>,
-    osp: BTreeSet<Key>,
+    core: KbCore,
     /// Subclass-of DAG over class terms.
     pub taxonomy: Taxonomy,
     /// owl:sameAs equivalence classes over entity terms.
     pub sameas: SameAsStore,
     /// Multilingual labels and the reverse surface-form (`means`) index.
     pub labels: LabelStore,
-    sources: Vec<String>,
-    source_lookup: HashMap<String, SourceId>,
+    frozen: OnceLock<FrozenIndexes>,
 }
 
 impl KnowledgeBase {
@@ -73,28 +78,23 @@ impl KnowledgeBase {
         kb
     }
 
+    /// The cached frozen indexes, built on first use.
+    fn frozen(&self) -> &FrozenIndexes {
+        self.frozen.get_or_init(|| FrozenIndexes::build(&self.core.facts))
+    }
+
+    /// Drops the cached indexes after a structural mutation.
+    fn invalidate(&mut self) {
+        self.frozen.take();
+    }
+
     // ---------------------------------------------------------------
     // Terms
     // ---------------------------------------------------------------
 
     /// Interns a term, returning its id.
     pub fn intern(&mut self, term: &str) -> TermId {
-        self.dict.intern(term)
-    }
-
-    /// Looks up an already-interned term.
-    pub fn term(&self, term: &str) -> Option<TermId> {
-        self.dict.get(term)
-    }
-
-    /// Resolves a term id back to its string.
-    pub fn resolve(&self, id: TermId) -> Option<&str> {
-        self.dict.resolve(id)
-    }
-
-    /// The underlying dictionary (read access).
-    pub fn dictionary(&self) -> &crate::Dictionary {
-        &self.dict
+        self.core.dict.intern(term)
     }
 
     // ---------------------------------------------------------------
@@ -103,30 +103,16 @@ impl KnowledgeBase {
 
     /// Registers (or retrieves) a provenance source by name.
     pub fn register_source(&mut self, name: &str) -> SourceId {
-        if let Some(&id) = self.source_lookup.get(name) {
-            return id;
-        }
-        let id = SourceId(self.sources.len() as u32);
-        self.sources.push(name.to_string());
-        self.source_lookup.insert(name.to_string(), id);
-        id
-    }
-
-    /// Resolves a source id back to its name.
-    pub fn source_name(&self, id: SourceId) -> Option<&str> {
-        self.sources.get(id.0 as usize).map(|s| s.as_str())
+        self.core.register_source(name)
     }
 
     /// All registered sources in id order.
     pub fn sources(&self) -> impl Iterator<Item = (SourceId, &str)> {
-        self.sources
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (SourceId(i as u32), s.as_str()))
+        self.core.sources.iter().enumerate().map(|(i, s)| (SourceId(i as u32), s.as_str()))
     }
 
     // ---------------------------------------------------------------
-    // Facts
+    // Facts (write path)
     // ---------------------------------------------------------------
 
     /// Adds a fully-confident fact with default provenance; returns its id.
@@ -147,30 +133,12 @@ impl KnowledgeBase {
     /// unknown, and provenance keeps the earlier source. Returns the id
     /// of the (new or merged) fact.
     pub fn add_fact(&mut self, fact: Fact) -> FactId {
-        debug_assert!((0.0..=1.0).contains(&fact.confidence));
-        if let Some(&id) = self.by_triple.get(&fact.triple) {
-            let existing = &mut self.facts[id.index()];
-            let was_retracted = existing.is_retracted();
-            existing.confidence = 1.0 - (1.0 - existing.confidence) * (1.0 - fact.confidence);
-            if existing.span.is_none() {
-                existing.span = fact.span;
-            }
-            // Re-adding a retracted fact resurrects it in the indexes.
-            if was_retracted && !existing.is_retracted() {
-                let t = existing.triple;
-                self.spo.insert(t.spo_key());
-                self.pos.insert(t.pos_key());
-                self.osp.insert(t.osp_key());
-            }
-            return id;
+        let (id, outcome) = self.core.add_fact(fact);
+        // Evidence merges touch no index keys; only structural changes
+        // (new triple, resurrection) invalidate the cached indexes.
+        if outcome != AddOutcome::Merged {
+            self.invalidate();
         }
-        let id = FactId(self.facts.len() as u32);
-        let t = fact.triple;
-        self.facts.push(fact);
-        self.by_triple.insert(t, id);
-        self.spo.insert(t.spo_key());
-        self.pos.insert(t.pos_key());
-        self.osp.insert(t.osp_key());
         id
     }
 
@@ -178,243 +146,107 @@ impl KnowledgeBase {
     /// matching queries. The fact id remains valid. Returns whether the
     /// triple was present and live.
     pub fn retract(&mut self, t: Triple) -> bool {
-        let Some(&id) = self.by_triple.get(&t) else {
-            return false;
-        };
-        let fact = &mut self.facts[id.index()];
-        if fact.is_retracted() {
-            return false;
+        let changed = self.core.retract(t);
+        if changed {
+            self.invalidate();
         }
-        fact.confidence = 0.0;
-        self.spo.remove(&t.spo_key());
-        self.pos.remove(&t.pos_key());
-        self.osp.remove(&t.osp_key());
-        true
+        changed
     }
 
     /// Sets the temporal scope of an existing triple. Returns `false` if
     /// the triple is absent.
     pub fn set_span(&mut self, t: Triple, span: TimeSpan) -> bool {
-        match self.by_triple.get(&t) {
-            Some(&id) => {
-                self.facts[id.index()].span = Some(span);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Looks up a fact by id.
-    pub fn fact(&self, id: FactId) -> Option<&Fact> {
-        self.facts.get(id.index())
-    }
-
-    /// Looks up a live fact by triple.
-    pub fn fact_for(&self, t: &Triple) -> Option<&Fact> {
-        self.by_triple
-            .get(t)
-            .map(|id| &self.facts[id.index()])
-            .filter(|f| !f.is_retracted())
-    }
-
-    /// Whether the triple is present and live.
-    pub fn contains(&self, t: &Triple) -> bool {
-        self.spo.contains(&t.spo_key())
-    }
-
-    /// Number of live (non-retracted) facts.
-    pub fn len(&self) -> usize {
-        self.spo.len()
-    }
-
-    /// Whether the store holds no live facts.
-    pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
-    }
-
-    /// Iterates over all live facts in SPO order.
-    pub fn iter(&self) -> impl Iterator<Item = &Fact> + '_ {
-        self.spo.iter().map(move |&(s, p, o)| {
-            let id = self.by_triple[&Triple::new(s, p, o)];
-            &self.facts[id.index()]
-        })
+        // Spans are read from the fact table at query time, never from
+        // the index keys — no invalidation needed.
+        self.core.set_span(t, span)
     }
 
     // ---------------------------------------------------------------
-    // Queries
+    // Sharded ingest and snapshots
     // ---------------------------------------------------------------
 
-    /// Returns all live facts matching the pattern, using the best
-    /// permutation index (one contiguous range scan; the `s?o` shape
-    /// post-filters inside the `o` range).
-    pub fn matching(&self, pattern: &TriplePattern) -> Vec<&Fact> {
-        self.matching_triples(pattern)
-            .into_iter()
-            .map(|t| self.fact_for(&t).expect("indexed triple must be live"))
-            .collect()
+    /// Merges one ingest shard (see [`KbShard`]); returns the number of
+    /// new facts.
+    pub fn merge_shard(&mut self, shard: &KbShard) -> usize {
+        let added = self.core.merge_shard(shard);
+        self.invalidate();
+        added
     }
 
-    /// Like [`matching`](Self::matching) but returns only the triples.
-    pub fn matching_triples(&self, pattern: &TriplePattern) -> Vec<Triple> {
-        let choice = pattern.choose_index();
-        let (index, (lo, hi)) = match choice {
-            IndexChoice::Spo => (&self.spo, range_for(pattern.s, pattern.p, pattern.o)),
-            IndexChoice::Pos => (&self.pos, range_for(pattern.p, pattern.o, pattern.s)),
-            IndexChoice::Osp => (&self.osp, range_for(pattern.o, pattern.s, pattern.p)),
-        };
-        let reorder: fn(Key) -> Triple = match choice {
-            IndexChoice::Spo => |(s, p, o)| Triple::new(s, p, o),
-            IndexChoice::Pos => |(p, o, s)| Triple::new(s, p, o),
-            IndexChoice::Osp => |(o, s, p)| Triple::new(s, p, o),
-        };
-        index
-            .range(lo..=hi)
-            .map(|&k| reorder(k))
-            .filter(|t| pattern.matches(t))
-            .collect()
+    /// The merge barrier for parallel ingest: replays `shards` in
+    /// iteration order, reproducing the exact dictionary ids and merge
+    /// semantics of a serial ingest of the concatenated shards.
+    pub fn merge_shards<I>(&mut self, shards: I) -> usize
+    where
+        I: IntoIterator<Item = KbShard>,
+    {
+        let added = shards.into_iter().map(|s| self.core.merge_shard(&s)).sum();
+        self.invalidate();
+        added
     }
 
-    /// Facts matching the pattern that are valid at `point`: facts with
-    /// no temporal scope always qualify (they are assumed timeless);
-    /// scoped facts qualify when their span contains the point — the
-    /// time-travel query of YAGO2-style temporal KBs.
-    pub fn matching_at(&self, pattern: &TriplePattern, point: &crate::TimePoint) -> Vec<&Fact> {
-        self.matching(pattern)
-            .into_iter()
-            .filter(|f| f.span.is_none_or(|sp| sp.contains(point)))
-            .collect()
+    /// Detaches an immutable, `Arc`-shareable [`KbSnapshot`] of the
+    /// current contents (clones the data; reuses the cached indexes
+    /// when warm).
+    pub fn snapshot(&self) -> KbSnapshot {
+        KbSnapshot::from_parts(
+            self.core.clone(),
+            self.taxonomy.clone(),
+            self.sameas.clone(),
+            self.labels.clone(),
+            self.frozen().clone(),
+        )
     }
 
-    /// Count of live facts matching the pattern (no allocation of results).
-    pub fn count_matching(&self, pattern: &TriplePattern) -> usize {
-        let (index, (lo, hi)) = match pattern.choose_index() {
-            IndexChoice::Spo => (&self.spo, range_for(pattern.s, pattern.p, pattern.o)),
-            IndexChoice::Pos => (&self.pos, range_for(pattern.p, pattern.o, pattern.s)),
-            IndexChoice::Osp => (&self.osp, range_for(pattern.o, pattern.s, pattern.p)),
-        };
-        if pattern.bound_count() == 2 && pattern.p.is_none() {
-            // s?o goes through the OSP range of o and must post-filter on s.
-            let reorder = |(o, s, p): Key| Triple::new(s, p, o);
-            index
-                .range(lo..=hi)
-                .filter(|&&k| pattern.matches(&reorder(k)))
-                .count()
-        } else {
-            index.range(lo..=hi).count()
-        }
-    }
-
-    /// All objects `o` such that `(s, p, o)` is a live fact.
-    pub fn objects(&self, s: TermId, p: TermId) -> Vec<TermId> {
-        self.matching_triples(&TriplePattern::with_sp(s, p))
-            .into_iter()
-            .map(|t| t.o)
-            .collect()
-    }
-
-    /// All subjects `s` such that `(s, p, o)` is a live fact.
-    pub fn subjects(&self, p: TermId, o: TermId) -> Vec<TermId> {
-        self.matching_triples(&TriplePattern::with_po(p, o))
-            .into_iter()
-            .map(|t| t.s)
-            .collect()
-    }
-
-    /// Two-pattern join on a shared variable: returns all `(x, y)` pairs
-    /// such that `(x, p1, m)` and `(m, p2, y)` both hold for some `m`
-    /// (a path join, e.g. "people born in cities located in country Y").
-    pub fn path_join(&self, p1: TermId, p2: TermId) -> Vec<(TermId, TermId)> {
-        let mut out = Vec::new();
-        for t1 in self.matching_triples(&TriplePattern::with_p(p1)) {
-            for t2 in self.matching_triples(&TriplePattern::with_sp(t1.o, p2)) {
-                out.push((t1.s, t2.o));
-            }
-        }
-        out
-    }
-
-    /// Degree of a term: number of live facts where it appears as subject
-    /// plus those where it appears as object. Used by NED coherence and
-    /// popularity priors.
-    pub fn degree(&self, t: TermId) -> usize {
-        self.count_matching(&TriplePattern::with_s(t)) + self.count_matching(&TriplePattern::with_o(t))
-    }
-
-    /// Neighboring entities of `t` (subjects/objects of facts touching it,
-    /// excluding `t` itself), deduplicated.
-    pub fn neighbors(&self, t: TermId) -> Vec<TermId> {
-        let mut out: Vec<TermId> = Vec::new();
-        for tr in self.matching_triples(&TriplePattern::with_s(t)) {
-            out.push(tr.o);
-        }
-        for tr in self.matching_triples(&TriplePattern::with_o(t)) {
-            out.push(tr.s);
-        }
-        out.sort_unstable();
-        out.dedup();
-        out.retain(|&x| x != t);
-        out
-    }
-
-    // ---------------------------------------------------------------
-    // Statistics
-    // ---------------------------------------------------------------
-
-    /// Per-predicate fact counts, sorted by descending count then name —
-    /// the relation histogram reported alongside KB statistics.
-    pub fn predicate_histogram(&self) -> Vec<(String, usize)> {
-        let mut counts: HashMap<TermId, usize> = HashMap::new();
-        for f in self.iter() {
-            *counts.entry(f.triple.p).or_insert(0) += 1;
-        }
-        let mut out: Vec<(String, usize)> = counts
-            .into_iter()
-            .filter_map(|(p, n)| self.resolve(p).map(|s| (s.to_string(), n)))
-            .collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        out
-    }
-
-    /// Computes summary statistics over the current contents.
-    pub fn stats(&self) -> KbStats {
-        let mut distinct_subjects: BTreeSet<TermId> = BTreeSet::new();
-        let mut distinct_predicates: BTreeSet<TermId> = BTreeSet::new();
-        let mut conf_sum = 0.0;
-        let mut temporal = 0usize;
-        for f in self.iter() {
-            distinct_subjects.insert(f.triple.s);
-            distinct_predicates.insert(f.triple.p);
-            conf_sum += f.confidence;
-            if f.span.is_some() {
-                temporal += 1;
-            }
-        }
-        let n = self.len();
-        KbStats {
-            terms: self.dict.len(),
-            facts: n,
-            subjects: distinct_subjects.len(),
-            predicates: distinct_predicates.len(),
-            classes: self.taxonomy.class_count(),
-            subclass_edges: self.taxonomy.edge_count(),
-            sameas_classes: self.sameas.class_count(),
-            labels: self.labels.label_count(),
-            temporal_facts: temporal,
-            mean_confidence: if n == 0 { 0.0 } else { conf_sum / n as f64 },
-        }
+    /// Consumes the store into an immutable [`KbSnapshot`] without
+    /// cloning the fact table.
+    pub fn into_snapshot(self) -> KbSnapshot {
+        let KnowledgeBase { core, taxonomy, sameas, labels, frozen } = self;
+        let indexes = frozen.into_inner().unwrap_or_else(|| FrozenIndexes::build(&core.facts));
+        KbSnapshot::from_parts(core, taxonomy, sameas, labels, indexes)
     }
 }
 
-/// Builds the inclusive `(lo, hi)` range over a permutation index whose
-/// key order is `(a, b, c)`, for bound prefix values `a` and `b`.
-fn range_for(a: Option<TermId>, b: Option<TermId>, c: Option<TermId>) -> (Key, Key) {
-    const MIN: TermId = TermId(0);
-    const MAX: TermId = TermId(u32::MAX);
-    match (a, b, c) {
-        (None, _, _) => ((MIN, MIN, MIN), (MAX, MAX, MAX)),
-        (Some(a), None, _) => ((a, MIN, MIN), (a, MAX, MAX)),
-        (Some(a), Some(b), None) => ((a, b, MIN), (a, b, MAX)),
-        (Some(a), Some(b), Some(c)) => ((a, b, c), (a, b, c)),
+impl KbRead for KnowledgeBase {
+    fn dictionary(&self) -> &crate::Dictionary {
+        &self.core.dict
+    }
+
+    fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    fn sameas(&self) -> &SameAsStore {
+        &self.sameas
+    }
+
+    fn labels(&self) -> &LabelStore {
+        &self.labels
+    }
+
+    fn source_name(&self, id: SourceId) -> Option<&str> {
+        self.core.source_name(id)
+    }
+
+    fn fact(&self, id: FactId) -> Option<&Fact> {
+        self.core.facts.get(id.index())
+    }
+
+    fn fact_for(&self, t: &Triple) -> Option<&Fact> {
+        self.core.fact_for(t)
+    }
+
+    fn fact_table(&self) -> &[Fact] {
+        &self.core.facts
+    }
+
+    fn len(&self) -> usize {
+        self.core.live
+    }
+
+    fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {
+        let (entries, filter) = self.frozen().select(pattern);
+        MatchIter::new(entries, &self.core.facts, filter, pattern.choose_index())
     }
 }
 
@@ -471,7 +303,12 @@ mod tests {
         let t = Triple::new(kb.intern("a"), kb.intern("r"), kb.intern("b"));
         let span = TimeSpan::at(TimePoint::year(1976));
         kb.add_fact(Fact { triple: t, confidence: 0.4, source: SourceId::DEFAULT, span: None });
-        kb.add_fact(Fact { triple: t, confidence: 0.4, source: SourceId::DEFAULT, span: Some(span) });
+        kb.add_fact(Fact {
+            triple: t,
+            confidence: 0.4,
+            source: SourceId::DEFAULT,
+            span: Some(span),
+        });
         assert_eq!(kb.fact_for(&t).unwrap().span, Some(span));
     }
 
@@ -496,6 +333,24 @@ mod tests {
     }
 
     #[test]
+    fn merge_after_read_keeps_cached_indexes_correct() {
+        let mut kb = sample_kb();
+        let jobs = kb.term("Steve_Jobs").unwrap();
+        let founded = kb.term("founded").unwrap();
+        let apple = kb.term("Apple_Inc").unwrap();
+        let t = Triple::new(jobs, founded, apple);
+        // Warm the cache, then merge evidence into an existing fact:
+        // the cache survives, and queries see the merged confidence.
+        assert_eq!(kb.matching(&TriplePattern::any()).len(), 5);
+        kb.add_fact(Fact { triple: t, confidence: 0.5, source: SourceId::DEFAULT, span: None });
+        assert_eq!(kb.matching(&TriplePattern::any()).len(), 5);
+        assert!(kb.fact_for(&t).unwrap().confidence > 0.999);
+        // A structural add after a warm read shows up too.
+        kb.assert_str("Tim_Cook", "worksAt", "Apple_Inc");
+        assert_eq!(kb.matching(&TriplePattern::any()).len(), 6);
+    }
+
+    #[test]
     fn path_join_composes_relations() {
         let kb = sample_kb();
         let born = kb.term("bornIn").unwrap();
@@ -512,11 +367,8 @@ mod tests {
         let kb = sample_kb();
         let apple = kb.term("Apple_Inc").unwrap();
         assert_eq!(kb.degree(apple), 3);
-        let names: Vec<_> = kb
-            .neighbors(apple)
-            .into_iter()
-            .map(|t| kb.resolve(t).unwrap().to_string())
-            .collect();
+        let names: Vec<_> =
+            kb.neighbors(apple).into_iter().map(|t| kb.resolve(t).unwrap().to_string()).collect();
         assert_eq!(names.len(), 3);
         assert!(names.contains(&"Steve_Jobs".to_string()));
         assert!(names.contains(&"Cupertino".to_string()));
@@ -601,5 +453,47 @@ mod tests {
         assert_eq!(all, sorted);
         kb.retract(all[0]);
         assert_eq!(kb.iter().count(), 4);
+    }
+
+    #[test]
+    fn snapshot_answers_like_the_live_store() {
+        let kb = sample_kb();
+        let snap = kb.snapshot();
+        let jobs = kb.term("Steve_Jobs").unwrap();
+        assert_eq!(snap.len(), kb.len());
+        assert_eq!(
+            snap.matching_triples(&TriplePattern::with_s(jobs)),
+            kb.matching_triples(&TriplePattern::with_s(jobs)),
+        );
+        // into_snapshot gives the same view without cloning.
+        let frozen = kb.into_snapshot();
+        assert_eq!(frozen.len(), snap.len());
+        assert_eq!(frozen.stats(), snap.stats());
+    }
+
+    #[test]
+    fn sharded_ingest_matches_serial_ingest() {
+        let mut serial = KnowledgeBase::new();
+        let src = serial.register_source("harvest");
+        let rows = [("a", "r", "b", 0.9), ("b", "r", "c", 0.8), ("a", "q", "c", 0.7)];
+        for &(s, p, o, c) in &rows {
+            let t = Triple::new(serial.intern(s), serial.intern(p), serial.intern(o));
+            serial.add_fact(Fact { triple: t, confidence: c, source: src, span: None });
+        }
+        let mut sharded = KnowledgeBase::new();
+        let src2 = sharded.register_source("harvest");
+        assert_eq!(src, src2);
+        let mut shards = vec![KbShard::new(), KbShard::new()];
+        for (i, &(s, p, o, c)) in rows.iter().enumerate() {
+            shards[i / 2].add(s, p, o, c, src2, None);
+        }
+        assert_eq!(sharded.merge_shards(shards), 3);
+        assert_eq!(
+            serial.matching_triples(&TriplePattern::any()),
+            sharded.matching_triples(&TriplePattern::any()),
+        );
+        for (id, term) in serial.dictionary().iter() {
+            assert_eq!(sharded.resolve(id), Some(term));
+        }
     }
 }

@@ -113,24 +113,16 @@ impl Taxonomy {
 
     /// Root classes: classes with no superclass.
     pub fn roots(&self) -> Vec<TermId> {
-        let mut roots: Vec<TermId> = self
-            .classes
-            .iter()
-            .copied()
-            .filter(|c| self.superclasses(*c).is_empty())
-            .collect();
+        let mut roots: Vec<TermId> =
+            self.classes.iter().copied().filter(|c| self.superclasses(*c).is_empty()).collect();
         roots.sort_unstable();
         roots
     }
 
     /// Leaf classes: classes with no subclass.
     pub fn leaves(&self) -> Vec<TermId> {
-        let mut leaves: Vec<TermId> = self
-            .classes
-            .iter()
-            .copied()
-            .filter(|c| self.subclasses(*c).is_empty())
-            .collect();
+        let mut leaves: Vec<TermId> =
+            self.classes.iter().copied().filter(|c| self.subclasses(*c).is_empty()).collect();
         leaves.sort_unstable();
         leaves
     }
@@ -190,9 +182,7 @@ impl Taxonomy {
 
     /// Iterates over all `(sub, sup)` edges in unspecified order.
     pub fn edges(&self) -> impl Iterator<Item = (TermId, TermId)> + '_ {
-        self.up
-            .iter()
-            .flat_map(|(&sub, sups)| sups.iter().map(move |&sup| (sub, sup)))
+        self.up.iter().flat_map(|(&sub, sups)| sups.iter().map(move |&sup| (sub, sup)))
     }
 }
 
@@ -229,14 +219,8 @@ mod tests {
     #[test]
     fn cycles_are_rejected() {
         let mut t = sample();
-        assert!(matches!(
-            t.add_subclass(c(9), c(2)),
-            Err(StoreError::TaxonomyCycle { .. })
-        ));
-        assert!(matches!(
-            t.add_subclass(c(0), c(0)),
-            Err(StoreError::TaxonomyCycle { .. })
-        ));
+        assert!(matches!(t.add_subclass(c(9), c(2)), Err(StoreError::TaxonomyCycle { .. })));
+        assert!(matches!(t.add_subclass(c(0), c(0)), Err(StoreError::TaxonomyCycle { .. })));
         // Failed inserts leave the structure untouched.
         assert_eq!(t.edge_count(), 5);
     }

@@ -2,8 +2,11 @@
 
 use proptest::prelude::*;
 
-use kb_store::{Fact, KnowledgeBase, SameAsStore, TermId, TimePoint, TimeSpan, Triple, TriplePattern};
 use kb_store::store::SourceId;
+use kb_store::{
+    Fact, KbBuilder, KbRead, KbShard, KnowledgeBase, LegacyKb, SameAsStore, TermId, TimePoint,
+    TimeSpan, Triple, TriplePattern,
+};
 
 fn term_strategy() -> impl Strategy<Value = String> {
     // Mix of plain identifiers and nasty strings with escapes/unicode.
@@ -272,6 +275,149 @@ proptest! {
         got.sort();
         expected.sort();
         prop_assert_eq!(got, expected);
+    }
+
+    /// Differential test against the legacy BTreeSet engine: after an
+    /// arbitrary interleaving of adds (with confidence/span), retracts
+    /// and span updates, the snapshot engine — both the lazily-frozen
+    /// `KnowledgeBase` façade and an explicitly `KbBuilder`-built
+    /// `KbSnapshot` — answers every pattern shape, count and
+    /// time-travel query identically to `LegacyKb`, *including result
+    /// order and bit-identical merged confidences*.
+    #[test]
+    fn snapshot_engine_matches_legacy_store(
+        ops in prop::collection::vec(
+            (0u32..10, 0u32..4, 0u32..10, 0.05f64..=1.0, prop::option::of(1950i32..2030), 0u8..8),
+            1..60
+        ),
+        qs in 0u32..10, qp in 0u32..4, qo in 0u32..10,
+        probe_year in 1950i32..2030,
+    ) {
+        let mut legacy = LegacyKb::new();
+        let mut facade = KnowledgeBase::new();
+        let mut builder = KbBuilder::new();
+        for &(s, p, o, conf, year, kind) in &ops {
+            let (ss, ps, os) = (format!("e{s}"), format!("r{p}"), format!("e{o}"));
+            let tl = Triple::new(legacy.intern(&ss), legacy.intern(&ps), legacy.intern(&os));
+            let tf = Triple::new(facade.intern(&ss), facade.intern(&ps), facade.intern(&os));
+            let tb = Triple::new(builder.intern(&ss), builder.intern(&ps), builder.intern(&os));
+            prop_assert_eq!(tl, tf);
+            prop_assert_eq!(tl, tb);
+            match kind {
+                6 => {
+                    prop_assert_eq!(legacy.retract(tl), facade.retract(tf));
+                    builder.retract(tb);
+                }
+                7 => {
+                    let span = TimeSpan::at(TimePoint::year(year.unwrap_or(2000)));
+                    prop_assert_eq!(legacy.set_span(tl, span), facade.set_span(tf, span));
+                    builder.set_span(tb, span);
+                }
+                _ => {
+                    let span = year.map(|y| TimeSpan::at(TimePoint::year(y)));
+                    let f = |t| Fact { triple: t, confidence: conf, source: SourceId::DEFAULT, span };
+                    legacy.add_fact(f(tl));
+                    facade.add_fact(f(tf));
+                    builder.add_fact(f(tb));
+                    // Interleave reads so the façade's cached indexes
+                    // get exercised across invalidations.
+                    prop_assert_eq!(legacy.len(), facade.len());
+                }
+            }
+        }
+        let snapshot = builder.freeze();
+        prop_assert_eq!(legacy.len(), facade.len());
+        prop_assert_eq!(legacy.len(), snapshot.len());
+        // Full scans agree in SPO order with bit-identical confidence.
+        let dump = |facts: Vec<&Fact>| -> Vec<(Triple, u64, Option<TimeSpan>)> {
+            facts.into_iter().map(|f| (f.triple, f.confidence.to_bits(), f.span)).collect()
+        };
+        let legacy_all = dump(legacy.iter().collect());
+        prop_assert_eq!(&legacy_all, &dump(facade.iter().collect()));
+        prop_assert_eq!(&legacy_all, &dump(snapshot.iter().collect()));
+        // Every binding shape agrees, including result order.
+        let (s, p, o) = (TermId(qs), TermId(qp + 16), TermId(qo));
+        let shapes = [
+            TriplePattern::any(),
+            TriplePattern::with_s(s),
+            TriplePattern::with_p(p),
+            TriplePattern::with_o(o),
+            TriplePattern::with_sp(s, p),
+            TriplePattern::with_po(p, o),
+            TriplePattern::with_so(s, o),
+            TriplePattern::exact(Triple::new(s, p, o)),
+        ];
+        let point = TimePoint::year(probe_year);
+        for pat in &shapes {
+            let expect = legacy.matching_triples(pat);
+            prop_assert_eq!(&expect, &facade.matching_triples(pat));
+            prop_assert_eq!(&expect, &snapshot.matching_triples(pat));
+            prop_assert_eq!(legacy.count_matching(pat), facade.count_matching(pat));
+            prop_assert_eq!(legacy.count_matching(pat), snapshot.count_matching(pat));
+            let at = dump(legacy.matching_at(pat, &point));
+            prop_assert_eq!(&at, &dump(facade.matching_at(pat, &point)));
+            prop_assert_eq!(&at, &dump(snapshot.matching_at(pat, &point)));
+        }
+        // Streaming joins and scans preserve the legacy output order.
+        for (p1, p2) in [(TermId(16), TermId(17)), (p, TermId(16))] {
+            let expect = legacy.path_join(p1, p2);
+            prop_assert_eq!(&expect, &facade.path_join(p1, p2));
+            prop_assert_eq!(&expect, &snapshot.path_join_iter(p1, p2).collect::<Vec<_>>());
+        }
+        for t in [s, o] {
+            prop_assert_eq!(legacy.degree(t), snapshot.degree(t));
+            prop_assert_eq!(legacy.neighbors(t), snapshot.neighbors(t));
+        }
+    }
+
+    /// Sharded parallel-style ingest is indistinguishable from serial
+    /// ingest: any chunking of the fact stream into `KbShard`s, merged
+    /// in order, yields the same dictionary, dump and confidences.
+    #[test]
+    fn shard_merge_is_bit_identical_to_serial(
+        rows in prop::collection::vec(
+            (0u32..8, 0u32..3, 0u32..8, 0.1f64..=1.0),
+            1..40
+        ),
+        workers in 1usize..5,
+    ) {
+        let mut serial = KnowledgeBase::new();
+        let src = serial.register_source("harvest");
+        for &(s, p, o, conf) in &rows {
+            let t = Triple::new(
+                serial.intern(&format!("e{s}")),
+                serial.intern(&format!("r{p}")),
+                serial.intern(&format!("e{o}")),
+            );
+            serial.add_fact(Fact { triple: t, confidence: conf, source: src, span: None });
+        }
+        let mut sharded = KnowledgeBase::new();
+        let src2 = sharded.register_source("harvest");
+        let chunk = rows.len().div_ceil(workers);
+        let shards: Vec<KbShard> = rows
+            .chunks(chunk)
+            .map(|chunk| {
+                let mut shard = KbShard::new();
+                for &(s, p, o, conf) in chunk {
+                    shard.add(&format!("e{s}"), &format!("r{p}"), &format!("e{o}"), conf, src2, None);
+                }
+                shard
+            })
+            .collect();
+        sharded.merge_shards(shards);
+        // Same dictionary ids in the same order…
+        prop_assert_eq!(serial.dictionary().len(), sharded.dictionary().len());
+        for (id, term) in serial.dictionary().iter() {
+            prop_assert_eq!(sharded.resolve(id), Some(term));
+        }
+        // …and the same facts with bit-identical merged confidences.
+        let dump = |kb: &KnowledgeBase| -> Vec<(Triple, u64)> {
+            kb.iter().map(|f| (f.triple, f.confidence.to_bits())).collect()
+        };
+        prop_assert_eq!(dump(&serial), dump(&sharded));
+        let a = kb_store::ntriples::to_string(&serial).unwrap();
+        let b = kb_store::ntriples::to_string(&sharded).unwrap();
+        prop_assert_eq!(a, b);
     }
 
     /// merge_from + canonicalize preserve the fact *content* modulo

@@ -11,6 +11,7 @@ use kbkit::kb_analytics::{ComparisonReport, StreamPost, Tracker};
 use kbkit::kb_corpus::{Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, Method};
 use kbkit::kb_ned::Ned;
+use kbkit::kb_store::KbRead;
 
 fn main() {
     let corpus = Corpus::generate(&CorpusConfig::tiny());
@@ -44,11 +45,7 @@ fn main() {
     let posts: Vec<StreamPost> = corpus.posts.iter().map(from_corpus).collect();
     let series = aggregate_parallel(&tracker, kb, &posts, 4);
 
-    let report = ComparisonReport::new(
-        name_a,
-        series[&term_a].clone(),
-        name_b,
-        series[&term_b].clone(),
-    );
+    let report =
+        ComparisonReport::new(name_a, series[&term_a].clone(), name_b, series[&term_b].clone());
     println!("\n{report}");
 }

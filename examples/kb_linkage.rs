@@ -11,7 +11,7 @@ use kbkit::kb_link::blocking::{blocking_quality, candidate_pairs, Blocking};
 use kbkit::kb_link::cluster::cluster_with_constraints;
 use kbkit::kb_link::logreg::{LogRegMatcher, TrainConfig};
 use kbkit::kb_link::record::from_corpus;
-use kbkit::kb_store::KnowledgeBase;
+use kbkit::kb_store::{KbRead, KnowledgeBase};
 
 fn main() {
     let world = World::generate(&CorpusConfig::tiny().world);
@@ -42,26 +42,18 @@ fn main() {
         .map(|&(a, b)| (by_id[&a], by_id[&b], dump.gold_pairs.contains(&(a, b))))
         .collect();
     let model = LogRegMatcher::train(&labeled, &TrainConfig::default());
-    let matched: Vec<(u32, u32)> = pairs
-        .iter()
-        .copied()
-        .filter(|&(a, b)| model.matches(by_id[&a], by_id[&b]))
-        .collect();
+    let matched: Vec<(u32, u32)> =
+        pairs.iter().copied().filter(|&(a, b)| model.matches(by_id[&a], by_id[&b])).collect();
     println!("learned matcher accepted {} pairs", matched.len());
 
     // 3. Constrained transitive closure.
     let clusters = cluster_with_constraints(&records, &matched, true);
-    println!(
-        "clustering refused {} constraint-violating merges",
-        clusters.refused_merges
-    );
+    println!("clustering refused {} constraint-violating merges", clusters.refused_merges);
 
     // 4. Materialize sameAs in a KB.
     let mut kb = KnowledgeBase::new();
-    let terms: Vec<_> = records
-        .iter()
-        .map(|r| kb.intern(&format!("src{}:{}", r.source, r.name)))
-        .collect();
+    let terms: Vec<_> =
+        records.iter().map(|r| kb.intern(&format!("src{}:{}", r.source, r.name))).collect();
     for (i, a) in records.iter().enumerate() {
         for (j, b) in records.iter().enumerate().skip(i + 1) {
             if clusters.same(a.id, b.id) {

@@ -8,6 +8,7 @@
 use kbkit::kb_corpus::{Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig};
 use kbkit::kb_store::query::query;
+use kbkit::kb_store::KbRead;
 
 fn main() {
     let corpus = Corpus::generate(&CorpusConfig::tiny());
@@ -52,9 +53,7 @@ fn main() {
                     let rendered: Vec<String> = b
                         .iter_sorted()
                         .into_iter()
-                        .map(|(var, term)| {
-                            format!("?{var} = {}", kb.resolve(term).unwrap_or("?"))
-                        })
+                        .map(|(var, term)| format!("?{var} = {}", kb.resolve(term).unwrap_or("?")))
                         .collect();
                     println!("    {}", rendered.join(", "));
                 }

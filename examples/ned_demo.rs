@@ -6,7 +6,7 @@
 //! ```
 
 use kbkit::kb_ned::{Ned, Strategy};
-use kbkit::kb_store::KnowledgeBase;
+use kbkit::kb_store::{KbRead, KnowledgeBase};
 
 fn main() {
     // A miniature KB with two people called "Varen":
@@ -54,9 +54,7 @@ fn main() {
         ("joint + coherence ", Strategy::Coherence, &all_mentions[..]),
     ] {
         let out = ned.disambiguate(text, mentions, strategy);
-        let resolved = out[0]
-            .and_then(|t| kb.resolve(t))
-            .unwrap_or("<none>");
+        let resolved = out[0].and_then(|t| kb.resolve(t)).unwrap_or("<none>");
         println!("{label} -> \"Varen\" resolves to {resolved}");
     }
     let _ = mention;

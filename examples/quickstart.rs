@@ -7,7 +7,7 @@
 
 use kbkit::kb_corpus::{Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, Method};
-use kbkit::kb_store::{ntriples, TriplePattern};
+use kbkit::kb_store::{ntriples, KbRead, TriplePattern};
 
 fn main() {
     // 1. Generate a deterministic synthetic world + corpus (the stand-in
@@ -45,10 +45,7 @@ fn main() {
 
     // 4. Taxonomy queries.
     if let (Some(ent), Some(person)) = (kb.term("entrepreneur"), kb.term("person")) {
-        println!(
-            "\nentrepreneur ⊑ person: {}",
-            kb.taxonomy.is_subclass_of(ent, person)
-        );
+        println!("\nentrepreneur ⊑ person: {}", kb.taxonomy.is_subclass_of(ent, person));
     }
 
     // 5. Serialize and reload.

@@ -9,6 +9,7 @@
 use kbkit::kb_corpus::{gold, Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig};
 use kbkit::kb_harvest::rules::{apply_rules, mine_rules, RuleConfig};
+use kbkit::kb_store::KbRead;
 
 fn main() {
     let corpus = Corpus::generate(&CorpusConfig::tiny());
@@ -16,7 +17,12 @@ fn main() {
     let kb = &out.kb;
     println!("harvested KB: {} facts", kb.len());
 
-    let cfg = RuleConfig { min_support: 4, min_pca_confidence: 0.6, min_std_confidence: 0.4, ..Default::default() };
+    let cfg = RuleConfig {
+        min_support: 4,
+        min_pca_confidence: 0.6,
+        min_std_confidence: 0.4,
+        ..Default::default()
+    };
     let rules = mine_rules(kb, &cfg);
     println!("\nmined {} rules:", rules.len());
     for rule in rules.iter().take(10) {
@@ -27,23 +33,25 @@ fn main() {
     let gold_facts = gold::gold_fact_strings(&corpus.world);
     let correct = predictions
         .iter()
-        .filter(|p| {
-            gold_facts.contains(&(p.subject.clone(), p.relation.clone(), p.object.clone()))
-        })
+        .filter(|p| gold_facts.contains(&(p.subject.clone(), p.relation.clone(), p.object.clone())))
         .count();
     println!(
         "\nrule-based completion: {} predicted facts, {} verified against gold ({:.0}%)",
         predictions.len(),
         correct,
-        if predictions.is_empty() { 0.0 } else { 100.0 * correct as f64 / predictions.len() as f64 }
+        if predictions.is_empty() {
+            0.0
+        } else {
+            100.0 * correct as f64 / predictions.len() as f64
+        }
     );
     for p in predictions.iter().take(6) {
-        let mark = if gold_facts.contains(&(p.subject.clone(), p.relation.clone(), p.object.clone()))
-        {
-            "✓"
-        } else {
-            "✗"
-        };
+        let mark =
+            if gold_facts.contains(&(p.subject.clone(), p.relation.clone(), p.object.clone())) {
+                "✓"
+            } else {
+                "✗"
+            };
         println!("  {mark} {} {} {}", p.subject, p.relation, p.object);
     }
 }

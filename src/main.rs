@@ -17,7 +17,7 @@ use kbkit::kb_corpus::{Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, Method};
 use kbkit::kb_harvest::rules::{mine_rules, RuleConfig};
 use kbkit::kb_ned::{detect_mentions, Ned, Strategy};
-use kbkit::kb_store::{ntriples, query::query, KnowledgeBase};
+use kbkit::kb_store::{ntriples, query::query, KbRead, KnowledgeBase};
 
 const USAGE: &str = "\
 kbkit — knowledge-base construction and analytics toolkit
@@ -61,10 +61,7 @@ fn main() -> ExitCode {
 
 /// Reads `--flag value` style options from an argument list.
 fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 /// First argument that is not a flag or a flag value.
@@ -146,11 +143,8 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let path = positional(args).ok_or("query needs a KB file and a query")?;
-    let q = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .nth(1)
-        .ok_or("query needs a query string")?;
+    let q =
+        args.iter().filter(|a| !a.starts_with("--")).nth(1).ok_or("query needs a query string")?;
     let kb = load_kb(path)?;
     let solutions = query(&kb, q).map_err(|e| e.to_string())?;
     println!("{} solutions", solutions.len());
@@ -167,10 +161,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
 fn cmd_rules(args: &[String]) -> Result<(), String> {
     let path = positional(args).ok_or("rules needs a KB file")?;
-    let min_support: usize = opt(args, "--min-support")
-        .unwrap_or("5")
-        .parse()
-        .map_err(|_| "bad --min-support")?;
+    let min_support: usize =
+        opt(args, "--min-support").unwrap_or("5").parse().map_err(|_| "bad --min-support")?;
     let kb = load_kb(path)?;
     let cfg = RuleConfig { min_support, ..Default::default() };
     let rules = mine_rules(&kb, &cfg);
@@ -183,11 +175,8 @@ fn cmd_rules(args: &[String]) -> Result<(), String> {
 
 fn cmd_ned(args: &[String]) -> Result<(), String> {
     let path = positional(args).ok_or("ned needs a KB file and text")?;
-    let text = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .nth(1)
-        .ok_or("ned needs a text argument")?;
+    let text =
+        args.iter().filter(|a| !a.starts_with("--")).nth(1).ok_or("ned needs a text argument")?;
     let kb = load_kb(path)?;
     let mut ned = Ned::new(&kb);
     ned.finalize();

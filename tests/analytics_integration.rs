@@ -7,6 +7,7 @@ use kbkit::kb_analytics::{ComparisonReport, StreamPost, Tracker};
 use kbkit::kb_corpus::{Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig};
 use kbkit::kb_ned::Ned;
+use kbkit::kb_store::KbRead;
 
 struct Fixture {
     corpus: Corpus,

@@ -7,11 +7,10 @@
 
 use std::collections::BTreeSet;
 
-use kbkit::kb_corpus::{
-    gold, inject_faults, Corpus, CorpusConfig, FaultConfig, FaultReport,
-};
+use kbkit::kb_corpus::{gold, inject_faults, Corpus, CorpusConfig, FaultConfig, FaultReport};
 use kbkit::kb_harvest::pipeline::{evaluate_discovered, harvest, HarvestConfig, Method};
 use kbkit::kb_harvest::resilience::DowngradeReason;
+use kbkit::kb_store::KbRead;
 
 const FAULT_RATE: f64 = 0.2;
 

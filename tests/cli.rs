@@ -8,15 +8,7 @@ fn kbkit() -> Command {
 
 fn harvest_to(path: &std::path::Path) {
     let status = kbkit()
-        .args([
-            "harvest",
-            "--scale",
-            "tiny",
-            "--seed",
-            "42",
-            "--out",
-            path.to_str().unwrap(),
-        ])
+        .args(["harvest", "--scale", "tiny", "--seed", "42", "--out", path.to_str().unwrap()])
         .status()
         .expect("spawn kbkit");
     assert!(status.success());
@@ -31,21 +23,14 @@ fn harvest_stats_query_rules_ned_round_trip() {
     harvest_to(&kb_path);
 
     // stats
-    let out = kbkit()
-        .args(["stats", kb_path.to_str().unwrap()])
-        .output()
-        .expect("stats");
+    let out = kbkit().args(["stats", kb_path.to_str().unwrap()]).output().expect("stats");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("facts:"), "{stdout}");
 
     // query
     let out = kbkit()
-        .args([
-            "query",
-            kb_path.to_str().unwrap(),
-            "?p bornIn ?c . ?c locatedIn ?n",
-        ])
+        .args(["query", kb_path.to_str().unwrap(), "?p bornIn ?c . ?c locatedIn ?n"])
         .output()
         .expect("query");
     assert!(out.status.success());
@@ -63,16 +48,10 @@ fn harvest_stats_query_rules_ned_round_trip() {
 
     // ned: pick an entity name straight from the KB dump.
     let dump = std::fs::read_to_string(&kb_path).unwrap();
-    let label_line = dump
-        .lines()
-        .find(|l| l.starts_with("L\t"))
-        .expect("dump has labels");
+    let label_line = dump.lines().find(|l| l.starts_with("L\t")).expect("dump has labels");
     let surface = label_line.split('\t').nth(3).unwrap();
     let text = format!("I read about {surface} yesterday.");
-    let out = kbkit()
-        .args(["ned", kb_path.to_str().unwrap(), &text])
-        .output()
-        .expect("ned");
+    let out = kbkit().args(["ned", kb_path.to_str().unwrap(), &text]).output().expect("ned");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains('→'), "{stdout}");
@@ -88,10 +67,7 @@ fn help_and_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    let out = kbkit()
-        .args(["stats", "/nonexistent/kb.tsv"])
-        .output()
-        .expect("bad file");
+    let out = kbkit().args(["stats", "/nonexistent/kb.tsv"]).output().expect("bad file");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

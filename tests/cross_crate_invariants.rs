@@ -4,7 +4,7 @@
 
 use kbkit::kb_corpus::{gold, Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{evaluate_discovered, harvest, HarvestConfig};
-use kbkit::kb_store::ntriples;
+use kbkit::kb_store::{ntriples, KbRead};
 
 fn corpus_for(seed: u64) -> Corpus {
     let mut cfg = CorpusConfig::tiny();
@@ -58,11 +58,7 @@ fn harvest_precision_floor_holds_for_every_seed() {
         let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
         let gold_facts = gold::gold_fact_strings(&corpus.world);
         let m = evaluate_discovered(&out.accepted, &gold_facts, &out.seeds);
-        assert!(
-            m.precision > 0.5,
-            "seed {seed}: precision {} below floor",
-            m.precision
-        );
+        assert!(m.precision > 0.5, "seed {seed}: precision {} below floor", m.precision);
         assert!(!out.kb.is_empty(), "seed {seed}: empty KB");
     }
 }
@@ -75,10 +71,6 @@ fn serialization_round_trips_for_every_seed() {
         let text = ntriples::to_string(&out.kb).expect("serialize");
         let back = ntriples::from_str(&text).expect("parse");
         assert_eq!(back.len(), out.kb.len(), "seed {seed}");
-        assert_eq!(
-            ntriples::to_string(&back).unwrap(),
-            text,
-            "seed {seed}: unstable round trip"
-        );
+        assert_eq!(ntriples::to_string(&back).unwrap(), text, "seed {seed}: unstable round trip");
     }
 }

@@ -3,7 +3,7 @@
 
 use kbkit::kb_corpus::{gold, Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{evaluate_discovered, harvest, HarvestConfig, Method};
-use kbkit::kb_store::{ntriples, TriplePattern};
+use kbkit::kb_store::{ntriples, KbRead, TriplePattern};
 
 fn corpus() -> Corpus {
     Corpus::generate(&CorpusConfig::tiny())
@@ -63,26 +63,59 @@ fn harvested_kb_survives_serialization() {
     let reloaded = ntriples::from_str(&text).expect("reload");
     assert_eq!(reloaded.len(), out.kb.len());
     assert_eq!(reloaded.labels.label_count(), out.kb.labels.label_count());
-    assert_eq!(
-        reloaded.taxonomy.edge_count(),
-        out.kb.taxonomy.edge_count()
-    );
+    assert_eq!(reloaded.taxonomy.edge_count(), out.kb.taxonomy.edge_count());
     // Double round-trip is byte-stable.
     let text2 = ntriples::to_string(&reloaded).expect("serialize again");
     assert_eq!(text, text2);
 }
 
 #[test]
+fn sharded_harvest_matches_serial_harvest_byte_for_byte() {
+    let corpus = corpus();
+    let serial = harvest(&corpus, &HarvestConfig { workers: 1, ..Default::default() })
+        .expect("serial harvest");
+    let sharded = harvest(&corpus, &HarvestConfig { workers: 4, ..Default::default() })
+        .expect("sharded harvest");
+    assert_eq!(serial.kb.len(), sharded.kb.len());
+    assert_eq!(
+        ntriples::to_string(&serial.kb).expect("serialize serial"),
+        ntriples::to_string(&sharded.kb).expect("serialize sharded"),
+        "worker count must not change the harvested KB"
+    );
+}
+
+#[test]
+fn snapshot_of_harvested_kb_serves_parallel_readers() {
+    let corpus = corpus();
+    let out = harvest(&corpus, &HarvestConfig::default()).expect("harvest");
+    let live_dump = ntriples::to_string(&out.kb).expect("serialize live");
+    let snap = out.kb.snapshot().into_shared();
+    // The frozen snapshot serializes identically to the live store...
+    assert_eq!(live_dump, ntriples::to_string(snap.as_ref()).expect("serialize snapshot"));
+    // ...and concurrent readers over the same Arc agree on every
+    // pattern shape without any locking.
+    let instance_of = snap.term("instanceOf").expect("instanceOf predicate");
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let snap = std::sync::Arc::clone(&snap);
+            scope.spawn(move || {
+                let by_p = snap.count_matching(&TriplePattern::with_p(instance_of));
+                assert!(by_p > 0, "instanceOf facts visible from snapshot");
+                assert_eq!(snap.matching(&TriplePattern::any()).len(), snap.len());
+            });
+        }
+    });
+}
+
+#[test]
 fn every_method_clears_a_quality_floor() {
     let corpus = corpus();
     let gold_facts = gold::gold_fact_strings(&corpus.world);
-    for method in [
-        Method::PatternsOnly,
-        Method::Statistical,
-        Method::Reasoning,
-        Method::FactorGraph,
-    ] {
-        let out = harvest(&corpus, &HarvestConfig { method, ..Default::default() }).expect("harvest");
+    for method in
+        [Method::PatternsOnly, Method::Statistical, Method::Reasoning, Method::FactorGraph]
+    {
+        let out =
+            harvest(&corpus, &HarvestConfig { method, ..Default::default() }).expect("harvest");
         let m = evaluate_discovered(&out.accepted, &gold_facts, &out.seeds);
         assert!(m.precision > 0.5, "{method:?} precision {}", m.precision);
         assert!(!out.accepted.is_empty(), "{method:?} accepted nothing");
@@ -115,11 +148,9 @@ fn seed_fraction_trades_recall() {
     let corpus = corpus();
     let gold_facts = gold::gold_fact_strings(&corpus.world);
     let run = |fraction: f64| {
-        let out = harvest(
-            &corpus,
-            &HarvestConfig { seed_fraction: fraction, ..Default::default() },
-        )
-        .expect("harvest");
+        let out =
+            harvest(&corpus, &HarvestConfig { seed_fraction: fraction, ..Default::default() })
+                .expect("harvest");
         evaluate_discovered(&out.accepted, &gold_facts, &out.seeds)
     };
     let low = run(0.1);

@@ -69,10 +69,8 @@ fn constraints_only_remove_wrong_merges() {
     let pairs = candidate_pairs(&records, Blocking::Token);
     let by_id: HashMap<u32, &Record> = records.iter().map(|r| (r.id, r)).collect();
     let rule_cfg = RuleConfig::default();
-    let matched: Vec<(u32, u32)> = pairs
-        .into_iter()
-        .filter(|&(a, b)| rule_match(by_id[&a], by_id[&b], &rule_cfg))
-        .collect();
+    let matched: Vec<(u32, u32)> =
+        pairs.into_iter().filter(|&(a, b)| rule_match(by_id[&a], by_id[&b], &rule_cfg)).collect();
     let eval = |constrained: bool| {
         let clusters = cluster_with_constraints(&records, &matched, constrained);
         let implied: HashSet<(u32, u32)> = clusters
@@ -94,17 +92,13 @@ fn clusters_materialize_as_sameas_in_the_store() {
     let pairs = candidate_pairs(&records, Blocking::Token);
     let by_id: HashMap<u32, &Record> = records.iter().map(|r| (r.id, r)).collect();
     let rule_cfg = RuleConfig::default();
-    let matched: Vec<(u32, u32)> = pairs
-        .into_iter()
-        .filter(|&(a, b)| rule_match(by_id[&a], by_id[&b], &rule_cfg))
-        .collect();
+    let matched: Vec<(u32, u32)> =
+        pairs.into_iter().filter(|&(a, b)| rule_match(by_id[&a], by_id[&b], &rule_cfg)).collect();
     let clusters = cluster_with_constraints(&records, &matched, true);
 
     let mut kb = KnowledgeBase::new();
-    let terms: HashMap<u32, _> = records
-        .iter()
-        .map(|r| (r.id, kb.intern(&format!("src{}:{}", r.source, r.id))))
-        .collect();
+    let terms: HashMap<u32, _> =
+        records.iter().map(|r| (r.id, kb.intern(&format!("src{}:{}", r.source, r.id)))).collect();
     for &(a, b) in &matched {
         if clusters.same(a, b) {
             kb.sameas.declare(terms[&a], terms[&b]);

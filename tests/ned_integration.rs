@@ -4,6 +4,7 @@ use kbkit::kb_corpus::{Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig};
 use kbkit::kb_ned::eval::GoldDoc;
 use kbkit::kb_ned::{detect_mentions, evaluate, Ned, Strategy};
+use kbkit::kb_store::KbRead;
 
 fn setup() -> (Corpus, kbkit::kb_harvest::pipeline::HarvestOutput) {
     let corpus = Corpus::generate(&CorpusConfig::tiny());
@@ -11,10 +12,7 @@ fn setup() -> (Corpus, kbkit::kb_harvest::pipeline::HarvestOutput) {
     (corpus, out)
 }
 
-fn build_ned<'kb>(
-    corpus: &Corpus,
-    kb: &'kb kbkit::kb_store::KnowledgeBase,
-) -> Ned<'kb> {
+fn build_ned<'kb>(corpus: &Corpus, kb: &'kb kbkit::kb_store::KnowledgeBase) -> Ned<'kb> {
     let mut ned = Ned::new(kb);
     for doc in corpus.all_docs() {
         for m in &doc.mentions {
@@ -27,10 +25,7 @@ fn build_ned<'kb>(
     ned
 }
 
-fn gold_docs<'a>(
-    corpus: &'a Corpus,
-    kb: &kbkit::kb_store::KnowledgeBase,
-) -> Vec<GoldDoc<'a>> {
+fn gold_docs<'a>(corpus: &'a Corpus, kb: &kbkit::kb_store::KnowledgeBase) -> Vec<GoldDoc<'a>> {
     corpus
         .articles
         .iter()
@@ -40,8 +35,7 @@ fn gold_docs<'a>(
                 .mentions
                 .iter()
                 .filter_map(|m| {
-                    kb.term(&corpus.world.entity(m.entity).canonical)
-                        .map(|t| (m.start, m.end, t))
+                    kb.term(&corpus.world.entity(m.entity).canonical).map(|t| (m.start, m.end, t))
                 })
                 .collect(),
         })
@@ -73,10 +67,7 @@ fn mention_detection_recovers_most_gold_spans() {
         let detected = detect_mentions(kb, &doc.text);
         for gold in &doc.mentions {
             total += 1;
-            if detected
-                .iter()
-                .any(|d| d.start == gold.start && d.end == gold.end)
-            {
+            if detected.iter().any(|d| d.start == gold.start && d.end == gold.end) {
                 found += 1;
             }
         }

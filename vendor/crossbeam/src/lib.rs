@@ -38,9 +38,7 @@ pub mod thread {
             T: Send + 'scope,
         {
             let inner = self.inner;
-            ScopedJoinHandle {
-                inner: inner.spawn(move || f(&Scope { inner })),
-            }
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
         }
     }
 
@@ -51,9 +49,7 @@ pub mod thread {
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        catch_unwind(AssertUnwindSafe(|| {
-            std::thread::scope(|s| f(&Scope { inner: s }))
-        }))
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
     }
 }
 
@@ -65,10 +61,8 @@ mod tests {
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
         let total = thread::scope(|s| {
-            let handles: Vec<_> = data
-                .chunks(2)
-                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
-                .collect();
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         })
         .unwrap();
@@ -88,10 +82,9 @@ mod tests {
 
     #[test]
     fn nested_spawn_through_scope_argument() {
-        let v = thread::scope(|s| {
-            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
-        })
-        .unwrap();
+        let v =
+            thread::scope(|s| s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap())
+                .unwrap();
         assert_eq!(v, 42);
     }
 }

@@ -316,7 +316,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything usable as the length argument of [`vec`].
+    /// Anything usable as the length argument of [`vec()`].
     pub trait SizeRange {
         /// Picks a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;

@@ -203,7 +203,11 @@ fn parse_repetition(input: &mut &[char]) -> (u32, u32) {
                         digits.push(input[0]);
                         *input = &input[1..];
                     }
-                    if digits.is_empty() { min + 8 } else { digits.parse().expect("malformed repetition") }
+                    if digits.is_empty() {
+                        min + 8
+                    } else {
+                        digits.parse().expect("malformed repetition")
+                    }
                 }
                 _ => min,
             };
