@@ -1,9 +1,13 @@
 //! Parallel stream aggregation: a worker pool over post chunks with
 //! commutative merge — the map-reduce shape of big-data analytics on a
-//! single machine.
+//! single machine. Tracked-entity sets are selected declaratively with
+//! `kb-query` (see [`tracked_by_query`]) instead of hand-rolled pattern
+//! scans.
 
 use std::collections::HashMap;
 
+use kb_ned::Ned;
+use kb_query::{Cell, QueryError};
 use kb_store::{KbRead, TermId};
 
 use crate::aggregate::TimeSeries;
@@ -43,6 +47,39 @@ pub fn aggregate_parallel<K: KbRead + Sync + ?Sized>(
     merged
 }
 
+/// Builds a [`Tracker`] whose tracked set is selected by a `kb-query`
+/// query instead of a hand-assembled entity list — e.g. track everyone
+/// a query like `SELECT ?p WHERE { ?p worksAt Nimbus_Systems }` binds.
+///
+/// The query must project exactly one column, and every row must bind
+/// it to a term (aggregate columns are rejected). The tracked set is
+/// deduplicated and sorted for deterministic downstream iteration.
+pub fn tracked_by_query<'a, 'kb, K: KbRead + ?Sized>(
+    ned: &'a Ned<'kb, K>,
+    kb: &K,
+    query_text: &str,
+) -> Result<Tracker<'a, 'kb, K>, QueryError> {
+    let out = kb_query::query(kb, query_text)?;
+    if out.cols.len() != 1 {
+        return Err(QueryError::Plan(format!(
+            "tracking query must project exactly one column, got {}: {:?}",
+            out.cols.len(),
+            out.cols
+        )));
+    }
+    let mut tracked: Vec<TermId> = out
+        .rows
+        .iter()
+        .filter_map(|row| match row[0] {
+            Cell::Term(id) => Some(id),
+            Cell::Count(_) | Cell::Unbound => None,
+        })
+        .collect();
+    tracked.sort_unstable();
+    tracked.dedup();
+    Ok(Tracker::new(ned, tracked))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +109,22 @@ mod tests {
             let parallel = aggregate_parallel(&tracker, &kb, &posts, w);
             assert_eq!(serial, parallel, "workers = {w}");
         }
+    }
+
+    #[test]
+    fn tracked_by_query_selects_entities() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_str("Alan", "worksAt", "Acme");
+        kb.assert_str("Bea", "worksAt", "Acme");
+        kb.assert_str("Cyr", "worksAt", "Globex");
+        let mut ned = Ned::new(&kb);
+        ned.finalize();
+        let tracker = tracked_by_query(&ned, &kb, "SELECT ?p WHERE { ?p worksAt Acme }").unwrap();
+        let names: Vec<&str> = tracker.tracked.iter().map(|&t| kb.resolve(t).unwrap()).collect();
+        assert_eq!(names, vec!["Alan", "Bea"]);
+
+        // A two-column projection is rejected.
+        assert!(tracked_by_query(&ned, &kb, "?p worksAt ?co").is_err());
     }
 
     #[test]

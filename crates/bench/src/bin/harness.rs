@@ -13,8 +13,8 @@ use std::env;
 use std::time::Instant;
 
 use kb_bench::{
-    exp_analytics, exp_facts, exp_kb, exp_link, exp_misc, exp_ned, exp_openie, exp_rules,
-    exp_scale, exp_taxonomy, setup, HARNESS_SEED,
+    exp_analytics, exp_facts, exp_kb, exp_link, exp_misc, exp_ned, exp_openie, exp_query,
+    exp_rules, exp_scale, exp_taxonomy, setup, HARNESS_SEED,
 };
 
 fn main() {
@@ -57,6 +57,8 @@ fn main() {
         ("t12", Box::new(|| exp_facts::t12(&corpus))),
         ("f6", Box::new(|| exp_facts::f6(&corpus))),
         ("t10", Box::new(|| exp_analytics::t10(&corpus))),
+        ("t13", Box::new(exp_query::t13)),
+        ("f8", Box::new(exp_query::f8)),
     ];
     for (id, run) in experiments {
         if !want(id) {

@@ -13,6 +13,7 @@ pub mod exp_link;
 pub mod exp_misc;
 pub mod exp_ned;
 pub mod exp_openie;
+pub mod exp_query;
 pub mod exp_rules;
 pub mod exp_scale;
 pub mod exp_taxonomy;

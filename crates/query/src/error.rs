@@ -1,0 +1,38 @@
+//! Error type shared by parsing, planning and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the query subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text could not be parsed.
+    Parse {
+        /// 0-based token index where the problem was detected.
+        token: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parsed query is well-formed but cannot be planned (e.g. an
+    /// `ORDER BY` key that is not a projected column).
+    Plan(String),
+}
+
+impl QueryError {
+    pub(crate) fn parse(token: usize, message: impl Into<String>) -> Self {
+        QueryError::Parse { token, message: message.into() }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { token, message } => {
+                write!(f, "parse error at token {token}: {message}")
+            }
+            QueryError::Plan(message) => write!(f, "planning error: {message}"),
+        }
+    }
+}
+
+impl Error for QueryError {}

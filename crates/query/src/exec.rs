@@ -1,0 +1,532 @@
+//! Push-based executor for physical [`Plan`]s.
+//!
+//! Execution walks the operator tree with a single mutable binding
+//! array (`Vec<Option<TermId>>`) and an emit callback — no intermediate
+//! materialization. Scans bind their free slots, recurse, and restore
+//! the slots on the way out; only the final projected rows are
+//! allocated. The executor is generic over any [`KbRead`] view, so the
+//! same compiled plan runs against the builder-backed façade or an
+//! immutable snapshot.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashSet};
+
+use kb_store::{KbRead, TermId, TimePoint, TriplePattern};
+
+use crate::ast::CmpOp;
+use crate::plan::{Col, CondC, CondOperand, PhysOp, Plan, Slot, Step};
+
+/// One projected value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Cell {
+    /// A bound term.
+    Term(TermId),
+    /// An aggregate count.
+    Count(u64),
+    /// An unbound variable (possible under `OPTIONAL` and `UNION`).
+    Unbound,
+}
+
+/// The materialized result of executing a plan: column names plus rows
+/// of [`Cell`]s, already deduplicated/aggregated/ordered/sliced per the
+/// plan's modifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// Output column names, in projection order (no `?` prefix).
+    pub cols: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl QueryOutput {
+    /// Renders one row as `?col=value` pairs joined by two spaces — the
+    /// same shape the legacy engine's `Bindings` display used, so CLI
+    /// output stays familiar.
+    pub fn render_row<K: KbRead + ?Sized>(&self, row: &[Cell], kb: &K) -> String {
+        self.cols
+            .iter()
+            .zip(row)
+            .map(|(c, v)| format!("?{}={}", c, cell_str(v, kb)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+
+    /// Renders the whole result deterministically, one row per line.
+    pub fn render<K: KbRead + ?Sized>(&self, kb: &K) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&self.render_row(row, kb));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Resolves a cell to display text.
+pub fn cell_str<'k, K: KbRead + ?Sized>(cell: &Cell, kb: &'k K) -> std::borrow::Cow<'k, str> {
+    match cell {
+        Cell::Term(id) => std::borrow::Cow::Borrowed(kb.resolve(*id).unwrap_or("?")),
+        Cell::Count(n) => std::borrow::Cow::Owned(n.to_string()),
+        Cell::Unbound => std::borrow::Cow::Borrowed("_"),
+    }
+}
+
+/// Value comparison used by `FILTER` orderings and `ORDER BY`:
+/// temporal if both sides parse as [`TimePoint`]s, then numeric if both
+/// parse as integers, then lexicographic.
+pub(crate) fn cmp_values(a: &str, b: &str) -> Ordering {
+    match (TimePoint::parse(a), TimePoint::parse(b)) {
+        (Some(x), Some(y)) => x.cmp(&y),
+        _ => match (a.parse::<i64>(), b.parse::<i64>()) {
+            (Ok(x), Ok(y)) => x.cmp(&y),
+            _ => a.cmp(b),
+        },
+    }
+}
+
+fn cmp_cells<K: KbRead + ?Sized>(a: &Cell, b: &Cell, kb: &K) -> Ordering {
+    match (a, b) {
+        (Cell::Term(x), Cell::Term(y)) => {
+            cmp_values(kb.resolve(*x).unwrap_or("?"), kb.resolve(*y).unwrap_or("?"))
+        }
+        (Cell::Count(x), Cell::Count(y)) => x.cmp(y),
+        // Heterogeneous cells only happen in hand-crafted plans; order
+        // them deterministically: counts < terms < unbound.
+        (Cell::Count(_), Cell::Term(_)) => Ordering::Less,
+        (Cell::Term(_), Cell::Count(_)) => Ordering::Greater,
+        (Cell::Unbound, Cell::Unbound) => Ordering::Equal,
+        (Cell::Unbound, _) => Ordering::Greater,
+        (_, Cell::Unbound) => Ordering::Less,
+    }
+}
+
+/// Executes a compiled plan against a KB view.
+pub fn execute<K: KbRead + ?Sized>(plan: &Plan, kb: &K) -> QueryOutput {
+    let cols: Vec<String> = plan.cols.iter().map(|c| c.name().to_string()).collect();
+    let mut binding: Vec<Option<TermId>> = vec![None; plan.nvars];
+
+    let mut rows: Vec<Vec<Cell>> = Vec::new();
+    if plan.aggregate {
+        // Group key → (representative projected-var values, one counter
+        // per COUNT column). BTreeMap keeps group order deterministic.
+        type GroupVal = (Vec<Option<TermId>>, Vec<u64>);
+        let mut groups: BTreeMap<Vec<Option<TermId>>, GroupVal> = BTreeMap::new();
+        let n_counts = plan.cols.iter().filter(|c| matches!(c, Col::Count { .. })).count();
+        run(&plan.root, kb, &mut binding, &mut |b| {
+            let key: Vec<Option<TermId>> = plan.group_by.iter().map(|&s| b[s]).collect();
+            let entry = groups.entry(key).or_insert_with(|| {
+                let rep = plan
+                    .cols
+                    .iter()
+                    .map(|c| match c {
+                        Col::Var { slot, .. } => b[*slot],
+                        Col::Count { .. } => None,
+                    })
+                    .collect();
+                (rep, vec![0u64; n_counts])
+            });
+            let mut ci = 0;
+            for c in &plan.cols {
+                if let Col::Count { arg, .. } = c {
+                    let counted = match arg {
+                        None => true,
+                        Some(slot) => b[*slot].is_some(),
+                    };
+                    if counted {
+                        entry.1[ci] += 1;
+                    }
+                    ci += 1;
+                }
+            }
+        });
+        for (_, (rep, counts)) in groups {
+            let mut row = Vec::with_capacity(plan.cols.len());
+            let mut ci = 0;
+            for (c, repv) in plan.cols.iter().zip(&rep) {
+                match c {
+                    Col::Var { .. } => {
+                        row.push(repv.map(Cell::Term).unwrap_or(Cell::Unbound));
+                    }
+                    Col::Count { .. } => {
+                        row.push(Cell::Count(counts[ci]));
+                        ci += 1;
+                    }
+                }
+            }
+            rows.push(row);
+        }
+    } else {
+        run(&plan.root, kb, &mut binding, &mut |b| {
+            let row: Vec<Cell> = plan
+                .cols
+                .iter()
+                .map(|c| match c {
+                    Col::Var { slot, .. } => b[*slot].map(Cell::Term).unwrap_or(Cell::Unbound),
+                    Col::Count { .. } => Cell::Unbound,
+                })
+                .collect();
+            rows.push(row);
+        });
+    }
+
+    if plan.distinct {
+        let mut seen: HashSet<Vec<Cell>> = HashSet::with_capacity(rows.len());
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    if !plan.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for &(idx, desc) in &plan.order_by {
+                let ord = cmp_cells(&a[idx], &b[idx], kb);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    if plan.offset > 0 {
+        rows.drain(..plan.offset.min(rows.len()));
+    }
+    if let Some(limit) = plan.limit {
+        rows.truncate(limit);
+    }
+
+    QueryOutput { cols, rows }
+}
+
+/// Walks an operator, emitting every solution binding.
+fn run<K: KbRead + ?Sized>(
+    op: &PhysOp,
+    kb: &K,
+    b: &mut Vec<Option<TermId>>,
+    emit: &mut dyn FnMut(&mut Vec<Option<TermId>>),
+) {
+    match op {
+        PhysOp::Steps(steps) => run_steps(steps, 0, kb, b, emit),
+        PhysOp::Join(l, r) => {
+            run(l, kb, b, &mut |b| run(r, kb, b, emit));
+        }
+        PhysOp::LeftJoin(l, r) => {
+            run(l, kb, b, &mut |b| {
+                let mut any = false;
+                run(r, kb, b, &mut |b2| {
+                    any = true;
+                    emit(b2);
+                });
+                if !any {
+                    emit(b);
+                }
+            });
+        }
+        PhysOp::Union(l, r) => {
+            run(l, kb, b, emit);
+            run(r, kb, b, emit);
+        }
+        PhysOp::Filter(inner, conds) => {
+            run(inner, kb, b, &mut |b| {
+                if conds.iter().all(|c| eval_cond(c, b, kb)) {
+                    emit(b);
+                }
+            });
+        }
+        PhysOp::Empty => {}
+    }
+}
+
+fn slot_value(slot: Slot, b: &[Option<TermId>]) -> Option<TermId> {
+    match slot {
+        Slot::Const(id) => Some(id),
+        Slot::Var(v) => b[v],
+    }
+}
+
+/// Binds `slot` to `value` if it is an unbound variable; returns
+/// `Err(())` on an inconsistent repeated variable, `Ok(Some(v))` when
+/// the slot was newly bound (and must be restored), `Ok(None)` when
+/// nothing changed.
+fn bind(slot: Slot, value: TermId, b: &mut [Option<TermId>]) -> Result<Option<usize>, ()> {
+    match slot {
+        Slot::Const(id) => {
+            if id == value {
+                Ok(None)
+            } else {
+                Err(())
+            }
+        }
+        Slot::Var(v) => match b[v] {
+            Some(existing) if existing == value => Ok(None),
+            Some(_) => Err(()),
+            None => {
+                b[v] = Some(value);
+                Ok(Some(v))
+            }
+        },
+    }
+}
+
+fn run_steps<K: KbRead + ?Sized>(
+    steps: &[Step],
+    i: usize,
+    kb: &K,
+    b: &mut Vec<Option<TermId>>,
+    emit: &mut dyn FnMut(&mut Vec<Option<TermId>>),
+) {
+    let Some(step) = steps.get(i) else {
+        emit(b);
+        return;
+    };
+    match step {
+        Step::Scan { s, p, o, at } => {
+            let pattern =
+                TriplePattern { s: slot_value(*s, b), p: slot_value(*p, b), o: slot_value(*o, b) };
+            // Two iterator shapes (facts when a temporal restriction
+            // needs spans, raw triples otherwise); process each triple
+            // identically.
+            let mut handle = |triple: kb_store::Triple, b: &mut Vec<Option<TermId>>| {
+                let mut undo: [Option<usize>; 3] = [None; 3];
+                let mut ok = true;
+                for (k, (slot, value)) in
+                    [(s, triple.s), (p, triple.p), (o, triple.o)].into_iter().enumerate()
+                {
+                    match bind(*slot, value, b) {
+                        Ok(u) => undo[k] = u,
+                        Err(()) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    run_steps(steps, i + 1, kb, b, emit);
+                }
+                for u in undo.into_iter().flatten() {
+                    b[u] = None;
+                }
+            };
+            match at {
+                Some(point) => {
+                    let facts: Vec<kb_store::Triple> =
+                        kb.matching_at_iter(&pattern, point).map(|f| f.triple).collect();
+                    for t in facts {
+                        handle(t, b);
+                    }
+                }
+                None => {
+                    let triples: Vec<kb_store::Triple> = kb.triples_iter(&pattern).collect();
+                    for t in triples {
+                        handle(t, b);
+                    }
+                }
+            }
+        }
+        Step::MergeRange { p1, s1, p2, s2, o } => {
+            let mut it1 = kb.triples_iter(&TriplePattern::with_p(*p1)).peekable();
+            let mut it2 = kb.triples_iter(&TriplePattern::with_p(*p2)).peekable();
+            // POS buckets stream sorted by (o, s): merge on o, cross the
+            // matching subject runs.
+            let mut run1: Vec<TermId> = Vec::new();
+            let mut run2: Vec<TermId> = Vec::new();
+            while let (Some(t1), Some(t2)) = (it1.peek(), it2.peek()) {
+                match t1.o.cmp(&t2.o) {
+                    Ordering::Less => {
+                        it1.next();
+                    }
+                    Ordering::Greater => {
+                        it2.next();
+                    }
+                    Ordering::Equal => {
+                        let obj = t1.o;
+                        run1.clear();
+                        run2.clear();
+                        while it1.peek().is_some_and(|t| t.o == obj) {
+                            run1.push(it1.next().expect("peeked").s);
+                        }
+                        while it2.peek().is_some_and(|t| t.o == obj) {
+                            run2.push(it2.next().expect("peeked").s);
+                        }
+                        b[*o] = Some(obj);
+                        for &sv1 in &run1 {
+                            b[*s1] = Some(sv1);
+                            for &sv2 in &run2 {
+                                b[*s2] = Some(sv2);
+                                run_steps(steps, i + 1, kb, b, emit);
+                            }
+                        }
+                        b[*o] = None;
+                        b[*s1] = None;
+                        b[*s2] = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn eval_cond<K: KbRead + ?Sized>(c: &CondC, b: &[Option<TermId>], kb: &K) -> bool {
+    // Identity comparisons work on term ids; ordered comparisons
+    // resolve to strings (constants keep their raw text so literals the
+    // dictionary never interned still compare).
+    let id_of = |op: &CondOperand| match op {
+        CondOperand::Slot(s) => b[*s],
+        CondOperand::Const { id, .. } => *id,
+    };
+    match c.op {
+        CmpOp::Eq | CmpOp::Ne => {
+            // An unbound variable satisfies no filter (SPARQL error →
+            // row dropped). A constant unknown to the dictionary can
+            // equal nothing and differ from everything bound.
+            let lhs_bound = match &c.lhs {
+                CondOperand::Slot(s) => b[*s].is_some(),
+                CondOperand::Const { .. } => true,
+            };
+            let rhs_bound = match &c.rhs {
+                CondOperand::Slot(s) => b[*s].is_some(),
+                CondOperand::Const { .. } => true,
+            };
+            if !lhs_bound || !rhs_bound {
+                return false;
+            }
+            let eq = match (id_of(&c.lhs), id_of(&c.rhs)) {
+                (Some(x), Some(y)) => x == y,
+                // At least one side is a never-interned constant: it
+                // cannot equal any term.
+                _ => false,
+            };
+            if c.op == CmpOp::Eq {
+                eq
+            } else {
+                !eq
+            }
+        }
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let text = |op: &CondOperand| -> Option<String> {
+                match op {
+                    CondOperand::Slot(s) => b[*s].and_then(|id| kb.resolve(id)).map(str::to_string),
+                    CondOperand::Const { text, .. } => Some(text.clone()),
+                }
+            };
+            let (Some(l), Some(r)) = (text(&c.lhs), text(&c.rhs)) else { return false };
+            let ord = cmp_values(&l, &r);
+            match c.op {
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+                CmpOp::Eq | CmpOp::Ne => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::plan::plan;
+    use crate::stats::StatsCatalog;
+    use kb_store::{KbBuilder, KbSnapshot, TimeSpan};
+
+    fn city_snap() -> KbSnapshot {
+        let mut b = KbBuilder::new();
+        b.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
+        b.assert_str("Steve_Wozniak", "bornIn", "San_Jose");
+        b.assert_str("San_Francisco", "locatedIn", "California");
+        b.assert_str("San_Jose", "locatedIn", "California");
+        b.assert_str("Steve_Jobs", "founded", "Apple_Inc");
+        b.assert_str("Steve_Jobs", "worksAt", "Apple_Inc");
+        let t = kb_store::Triple::new(
+            b.term("Steve_Jobs").unwrap(),
+            b.term("worksAt").unwrap(),
+            b.term("Apple_Inc").unwrap(),
+        );
+        let span = TimeSpan { begin: TimePoint::parse("1976"), end: TimePoint::parse("1985") };
+        b.set_span(t, span);
+        b.freeze()
+    }
+
+    fn solve(snap: &KbSnapshot, text: &str) -> QueryOutput {
+        let q = parse(text).unwrap();
+        let stats = StatsCatalog::build(snap);
+        let p = plan(&q, snap, &stats).unwrap();
+        execute(&p, snap)
+    }
+
+    #[test]
+    fn conjunctive_join_binds_all_vars() {
+        let s = city_snap();
+        let out = solve(&s, "?p bornIn ?c . ?c locatedIn California");
+        assert_eq!(out.cols, vec!["c", "p"]);
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn optional_keeps_unmatched_rows() {
+        let s = city_snap();
+        let out = solve(&s, "SELECT ?p ?co WHERE { ?p bornIn ?c OPTIONAL { ?p founded ?co } }");
+        assert_eq!(out.rows.len(), 2);
+        let unbound = out.rows.iter().filter(|r| r[1] == Cell::Unbound).count();
+        assert_eq!(unbound, 1, "Wozniak founded nothing here: {:?}", out.rows);
+    }
+
+    #[test]
+    fn union_merges_branches() {
+        let s = city_snap();
+        let out = solve(
+            &s,
+            "SELECT ?x WHERE { { ?x bornIn San_Francisco } UNION { ?x bornIn San_Jose } }",
+        );
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn filter_ne_and_temporal_restriction() {
+        let s = city_snap();
+        let out = solve(&s, "?a bornIn ?c . ?b bornIn ?c . FILTER(?a != ?b)");
+        assert_eq!(out.rows.len(), 0, "different people, different cities here");
+        let during = solve(&s, "?p worksAt ?e @1980");
+        assert_eq!(during.rows.len(), 1);
+        let after = solve(&s, "?p worksAt ?e @1999");
+        assert_eq!(after.rows.len(), 0);
+    }
+
+    #[test]
+    fn count_group_by_orders_deterministically() {
+        let s = city_snap();
+        let out = solve(
+            &s,
+            "SELECT ?c COUNT(?p) AS ?n WHERE { ?p bornIn ?c } GROUP BY ?c ORDER BY DESC(?n) ?c",
+        );
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0][1], Cell::Count(1));
+    }
+
+    #[test]
+    fn distinct_limit_offset() {
+        let s = city_snap();
+        let out = solve(&s, "SELECT DISTINCT ?c WHERE { ?p bornIn ?c . ?c locatedIn ?st }");
+        assert_eq!(out.rows.len(), 2);
+        let out = solve(
+            &s,
+            "SELECT DISTINCT ?c WHERE { ?p bornIn ?c . ?c locatedIn ?st } ORDER BY ?c LIMIT 1 OFFSET 1",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(cell_str(&out.rows[0][0], &s), "San_Jose");
+    }
+
+    #[test]
+    fn temporal_filter_compares_years() {
+        let mut b = KbBuilder::new();
+        b.assert_str("e1", "happenedIn", "1969");
+        b.assert_str("e2", "happenedIn", "1991");
+        b.assert_str("e3", "happenedIn", "2004");
+        let s = b.freeze();
+        let out = solve(&s, "SELECT ?e WHERE { ?e happenedIn ?y . FILTER(?y < 2000) } ORDER BY ?e");
+        assert_eq!(out.rows.len(), 2);
+        // `2000` is not in the dictionary — ordered comparison still
+        // works through the raw literal text.
+        assert!(s.term("2000").is_none());
+    }
+}

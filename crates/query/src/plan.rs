@@ -1,0 +1,747 @@
+//! The cost-based planner: lowers a parsed [`SelectQuery`] into a
+//! physical [`Plan`] of index-nested-loop and merge-range operators.
+//!
+//! ## Cost model
+//!
+//! Every triple pattern's cardinality is estimated from the
+//! [`StatsCatalog`] under the classic uniformity assumption (fixing a
+//! component divides the predicate's range cardinality by its distinct
+//! count). The cost of a join order is the sum of intermediate result
+//! sizes — the number of index probes the nested-loop execution will
+//! actually perform.
+//!
+//! ## Join ordering
+//!
+//! Basic graph patterns of up to [`DP_CUTOFF`] patterns are ordered by
+//! Selinger-style dynamic programming over pattern subsets (optimal
+//! left-deep order under the cost model); larger BGPs fall back to a
+//! greedy ordering that repeatedly picks the cheapest remaining
+//! pattern. Both leave execution *correct* under any order — the order
+//! only decides how much work the scans do.
+//!
+//! ## Merge-range operator
+//!
+//! Two patterns with constant predicates that share an unbound object
+//! variable (`?a bornIn ?c . ?b diedIn ?c`) can skip the nested loop
+//! entirely: the POS index streams each predicate's bucket sorted by
+//! `(o, s)`, so both ranges merge on `o` in a single co-scan. The
+//! planner emits a `Step::MergeRange` when its scan cost undercuts
+//! the best nested-loop order.
+
+use std::collections::HashMap;
+
+use kb_store::{KbRead, TermId, TimePoint};
+
+use crate::ast::{CmpOp, Condition, Group, ProjItem, SelectQuery, Term};
+use crate::error::QueryError;
+use crate::stats::StatsCatalog;
+
+/// BGPs up to this size are join-ordered by exact subset DP; larger
+/// ones greedily.
+pub const DP_CUTOFF: usize = 10;
+
+/// A pattern component in a physical scan: a resolved constant or a
+/// variable slot in the binding array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// A constant already resolved against the dictionary.
+    Const(TermId),
+    /// Variable slot index.
+    Var(usize),
+}
+
+/// One step of a basic-graph-pattern pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// Index-nested-loop step: one range scan per row of the prefix.
+    Scan { s: Slot, p: Slot, o: Slot, at: Option<TimePoint> },
+    /// Merge-range step (always first in its pipeline): co-scan the POS
+    /// buckets of `p1` and `p2`, merging on the shared object variable.
+    MergeRange { p1: TermId, s1: usize, p2: TermId, s2: usize, o: usize },
+}
+
+/// A compiled filter operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CondOperand {
+    /// Variable slot.
+    Slot(usize),
+    /// Constant: interned id if the dictionary knows it, plus the raw
+    /// text (ordered comparisons work even for never-interned literals
+    /// like a year that appears in no fact).
+    Const { id: Option<TermId>, text: String },
+}
+
+/// A compiled filter condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CondC {
+    pub lhs: CondOperand,
+    pub op: CmpOp,
+    pub rhs: CondOperand,
+}
+
+/// A physical operator tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PhysOp {
+    /// An ordered BGP pipeline.
+    Steps(Vec<Step>),
+    /// Sequential join: for each row of the left, run the right.
+    Join(Box<PhysOp>, Box<PhysOp>),
+    /// SPARQL `OPTIONAL`: rows of the left survive even when the right
+    /// finds nothing.
+    LeftJoin(Box<PhysOp>, Box<PhysOp>),
+    /// SPARQL `UNION`: both branches run against the same prefix row.
+    Union(Box<PhysOp>, Box<PhysOp>),
+    /// Filter over the inner operator's rows.
+    Filter(Box<PhysOp>, Vec<CondC>),
+    /// Provably empty (a pattern constant the dictionary has never
+    /// seen).
+    Empty,
+}
+
+/// One output column of a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Col {
+    /// A projected variable.
+    Var { name: String, slot: usize },
+    /// A `COUNT` aggregate (`arg` is the counted slot; `None` = `*`).
+    Count { name: String, arg: Option<usize> },
+}
+
+impl Col {
+    pub(crate) fn name(&self) -> &str {
+        match self {
+            Col::Var { name, .. } | Col::Count { name, .. } => name,
+        }
+    }
+}
+
+/// An executable physical plan. Produced by [`plan()`]; run with
+/// [`crate::exec::execute`]. Plans borrow nothing — they are cheap to
+/// cache and share across threads for a given snapshot generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Number of variable slots in the binding array.
+    pub(crate) nvars: usize,
+    /// Root operator.
+    pub(crate) root: PhysOp,
+    /// Output columns, in projection order.
+    pub(crate) cols: Vec<Col>,
+    /// Deduplicate output rows.
+    pub(crate) distinct: bool,
+    /// Aggregation keys (slots); meaningful when `aggregate` is set.
+    pub(crate) group_by: Vec<usize>,
+    /// Whether the plan aggregates.
+    pub(crate) aggregate: bool,
+    /// `ORDER BY` keys as (column index, descending).
+    pub(crate) order_by: Vec<(usize, bool)>,
+    /// Row limit.
+    pub(crate) limit: Option<usize>,
+    /// Rows skipped.
+    pub(crate) offset: usize,
+    /// Total estimated cost (index probes) of the chosen join orders.
+    pub(crate) est_cost: f64,
+    /// Human-readable description of the chosen physical operators.
+    pub(crate) explain: Vec<String>,
+}
+
+impl Plan {
+    /// Output column names, in projection order.
+    pub fn columns(&self) -> Vec<&str> {
+        self.cols.iter().map(Col::name).collect()
+    }
+
+    /// The planner's total cost estimate (expected index probes).
+    pub fn estimated_cost(&self) -> f64 {
+        self.est_cost
+    }
+
+    /// One line per physical operator, in execution order.
+    pub fn explain(&self) -> &[String] {
+        &self.explain
+    }
+}
+
+/// Variable-slot interner.
+struct Slots {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Slots {
+    fn new() -> Self {
+        Slots { names: Vec::new(), index: HashMap::new() }
+    }
+
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        i
+    }
+}
+
+/// A pattern with terms resolved to slots/ids (`None` in a position
+/// means the constant is unknown to the dictionary).
+#[derive(Clone, Copy)]
+struct RPattern {
+    s: Option<Slot>,
+    p: Option<Slot>,
+    o: Option<Slot>,
+    at: Option<TimePoint>,
+}
+
+impl RPattern {
+    fn slots(&self) -> impl Iterator<Item = usize> + '_ {
+        [self.s, self.p, self.o].into_iter().flatten().filter_map(|sl| match sl {
+            Slot::Var(v) => Some(v),
+            Slot::Const(_) => None,
+        })
+    }
+
+    /// Estimated matches given the set of bound slots.
+    fn estimate(&self, bound: &[bool], stats: &StatsCatalog) -> f64 {
+        let fixed = |sl: Option<Slot>| match sl {
+            Some(Slot::Const(_)) => true,
+            Some(Slot::Var(v)) => bound[v],
+            None => true, // unknown constant: fixed (and unmatchable)
+        };
+        if self.s.is_none() || self.p.is_none() || self.o.is_none() {
+            return 0.0;
+        }
+        let pred = match self.p {
+            Some(Slot::Const(id)) => Some(id),
+            _ => None,
+        };
+        stats.estimate(pred, fixed(self.s), fixed(self.o))
+    }
+}
+
+/// Compiles and cost-orders one BGP, returning the operator, its
+/// estimated cost and output rows, and explain lines.
+struct BgpPlan {
+    op: PhysOp,
+    cost: f64,
+    rows: f64,
+    explain: Vec<String>,
+}
+
+/// Internal planning context.
+struct Ctx<'a, K: KbRead + ?Sized> {
+    kb: &'a K,
+    stats: &'a StatsCatalog,
+    slots: Slots,
+}
+
+impl<K: KbRead + ?Sized> Ctx<'_, K> {
+    fn resolve_term(&mut self, t: &Term) -> Option<Slot> {
+        match t {
+            Term::Var(v) => Some(Slot::Var(self.slots.slot(v))),
+            Term::Const(c) => self.kb.term(c).map(Slot::Const),
+        }
+    }
+
+    /// Orders the BGP with subset DP (≤ [`DP_CUTOFF`] patterns) or
+    /// greedily, then considers a merge-range fusion; returns the
+    /// cheaper plan.
+    fn plan_bgp(&mut self, patterns: &[crate::ast::Pattern], bound: &[bool]) -> BgpPlan {
+        let rp: Vec<RPattern> = patterns
+            .iter()
+            .map(|p| RPattern {
+                s: self.resolve_term(&p.s),
+                p: self.resolve_term(&p.p),
+                o: self.resolve_term(&p.o),
+                at: p.at,
+            })
+            .collect();
+        // `resolve_term` may have grown the slot table; re-pad `bound`.
+        let mut bound = bound.to_vec();
+        bound.resize(self.slots.names.len(), false);
+
+        if rp.iter().any(|p| p.s.is_none() || p.p.is_none() || p.o.is_none()) {
+            let which = rp
+                .iter()
+                .zip(patterns)
+                .find(|(r, _)| r.s.is_none() || r.p.is_none() || r.o.is_none())
+                .map(|(_, p)| p.to_string())
+                .unwrap_or_default();
+            return BgpPlan {
+                op: PhysOp::Empty,
+                cost: 0.0,
+                rows: 0.0,
+                explain: vec![format!("empty (unknown constant in `{which}`)")],
+            };
+        }
+        if rp.is_empty() {
+            return BgpPlan {
+                op: PhysOp::Steps(Vec::new()),
+                cost: 0.0,
+                rows: 1.0,
+                explain: vec![],
+            };
+        }
+
+        let order = if rp.len() <= DP_CUTOFF {
+            self.dp_order(&rp, &bound)
+        } else {
+            self.greedy_order(&rp, &bound, &(0..rp.len()).collect::<Vec<_>>())
+        };
+        let (nested_cost, nested_rows) = self.sequence_cost(&rp, &order, &bound);
+        let nested = (order, nested_cost, nested_rows);
+
+        let best = self
+            .best_merge(&rp, &bound)
+            .filter(|m| m.cost < nested.1)
+            .map(|m| (m, true))
+            .unwrap_or_else(|| {
+                (
+                    MergeCandidate {
+                        steps: nested
+                            .0
+                            .iter()
+                            .map(|&i| Step::Scan {
+                                s: rp[i].s.unwrap(),
+                                p: rp[i].p.unwrap(),
+                                o: rp[i].o.unwrap(),
+                                at: rp[i].at,
+                            })
+                            .collect(),
+                        pattern_order: nested.0.clone(),
+                        cost: nested.1,
+                        rows: nested.2,
+                        merged: None,
+                    },
+                    false,
+                )
+            });
+        let (cand, fused) = best;
+        let mut explain = Vec::new();
+        let mut step_iter = cand.steps.iter();
+        if let (Some(Step::MergeRange { p1, p2, .. }), Some((i, j))) =
+            (step_iter.next(), cand.merged)
+        {
+            explain.push(format!(
+                "merge-range `{}` ⋈o `{}` (|{}|={}, |{}|={})",
+                patterns[i],
+                patterns[j],
+                self.kb.resolve(*p1).unwrap_or("?"),
+                self.stats.per_pred.get(p1).map_or(0, |s| s.count),
+                self.kb.resolve(*p2).unwrap_or("?"),
+                self.stats.per_pred.get(p2).map_or(0, |s| s.count),
+            ));
+        } else {
+            step_iter = cand.steps.iter();
+        }
+        let skip = usize::from(fused);
+        for (&pi, step) in cand.pattern_order.iter().skip(skip * 2).zip(step_iter) {
+            if let Step::Scan { s, p, o, .. } = step {
+                let _ = (s, p, o);
+                explain.push(format!("index-nested-loop scan `{}`", patterns[pi]));
+            }
+        }
+        BgpPlan { op: PhysOp::Steps(cand.steps), cost: cand.cost, rows: cand.rows, explain }
+    }
+
+    /// Exact left-deep join ordering by DP over pattern subsets.
+    fn dp_order(&self, rp: &[RPattern], entry_bound: &[bool]) -> Vec<usize> {
+        let k = rp.len();
+        let full = (1usize << k) - 1;
+        // (cost, rows, last pattern chosen)
+        let mut best: Vec<Option<(f64, f64, usize)>> = vec![None; full + 1];
+        best[0] = Some((0.0, 1.0, usize::MAX));
+        let mut bound = entry_bound.to_vec();
+        for mask in 0..=full {
+            let Some((cost, rows, _)) = best[mask] else { continue };
+            // Recompute the bound set for this subset.
+            for b in bound.iter_mut() {
+                *b = false;
+            }
+            bound.copy_from_slice(entry_bound);
+            for (i, p) in rp.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    for v in p.slots() {
+                        bound[v] = true;
+                    }
+                }
+            }
+            for (j, p) in rp.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    continue;
+                }
+                let sel = p.estimate(&bound, self.stats);
+                let nrows = rows * sel;
+                // Each prefix row pays for its probe plus the results
+                // it streams out.
+                let ncost = cost + rows.max(1.0) + nrows;
+                let nm = mask | (1 << j);
+                if best[nm].is_none_or(|(c, _, _)| ncost < c) {
+                    best[nm] = Some((ncost, nrows, j));
+                }
+            }
+        }
+        // Reconstruct the order back from the full mask.
+        let mut order = Vec::with_capacity(k);
+        let mut mask = full;
+        while mask != 0 {
+            let (_, _, last) = best[mask].expect("DP table is dense");
+            order.push(last);
+            mask &= !(1 << last);
+        }
+        order.reverse();
+        order
+    }
+
+    /// Greedy ordering: repeatedly take the cheapest remaining pattern.
+    fn greedy_order(&self, rp: &[RPattern], entry_bound: &[bool], todo: &[usize]) -> Vec<usize> {
+        let mut bound = entry_bound.to_vec();
+        let mut remaining: Vec<usize> = todo.to_vec();
+        let mut order = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let (pos, &pick) = remaining
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    let ea = rp[a].estimate(&bound, self.stats);
+                    let eb = rp[b].estimate(&bound, self.stats);
+                    ea.total_cmp(&eb).then(a.cmp(&b))
+                })
+                .expect("non-empty remaining");
+            order.push(pick);
+            for v in rp[pick].slots() {
+                bound[v] = true;
+            }
+            remaining.remove(pos);
+        }
+        order
+    }
+
+    /// Cost and output rows of executing `rp` in `order`.
+    fn sequence_cost(&self, rp: &[RPattern], order: &[usize], entry_bound: &[bool]) -> (f64, f64) {
+        let mut bound = entry_bound.to_vec();
+        let mut cost = 0.0;
+        let mut rows = 1.0;
+        for &i in order {
+            let sel = rp[i].estimate(&bound, self.stats);
+            let nrows = rows * sel;
+            cost += rows.max(1.0) + nrows;
+            rows = nrows;
+            for v in rp[i].slots() {
+                bound[v] = true;
+            }
+        }
+        (cost, rows)
+    }
+
+    /// The cheapest merge-range fusion over any eligible pattern pair,
+    /// if one exists.
+    fn best_merge(&self, rp: &[RPattern], entry_bound: &[bool]) -> Option<MergeCandidate> {
+        let mut best: Option<MergeCandidate> = None;
+        for i in 0..rp.len() {
+            for j in (i + 1)..rp.len() {
+                let Some(cand) = self.merge_pair(rp, i, j, entry_bound) else { continue };
+                if best.as_ref().is_none_or(|b| cand.cost < b.cost) {
+                    best = Some(cand);
+                }
+            }
+        }
+        best
+    }
+
+    fn merge_pair(
+        &self,
+        rp: &[RPattern],
+        i: usize,
+        j: usize,
+        entry_bound: &[bool],
+    ) -> Option<MergeCandidate> {
+        let (a, b) = (&rp[i], &rp[j]);
+        if a.at.is_some() || b.at.is_some() {
+            return None;
+        }
+        let (Some(Slot::Const(p1)), Some(Slot::Const(p2))) = (a.p, b.p) else { return None };
+        let (Some(Slot::Var(o1)), Some(Slot::Var(o2))) = (a.o, b.o) else { return None };
+        let (Some(Slot::Var(s1)), Some(Slot::Var(s2))) = (a.s, b.s) else { return None };
+        if o1 != o2 || s1 == s2 || s1 == o1 || s2 == o2 {
+            return None;
+        }
+        if entry_bound[o1] || entry_bound[s1] || entry_bound[s2] {
+            return None;
+        }
+        let st1 = self.stats.per_pred.get(&p1)?;
+        let st2 = self.stats.per_pred.get(&p2)?;
+        let (c1, c2) = (st1.count as f64, st2.count as f64);
+        let rows_pair = (c1 * c2) / (st1.distinct_o.max(st2.distinct_o).max(1) as f64);
+        let mut cost = c1 + c2 + rows_pair;
+        // Order the remaining patterns greedily with the merged trio
+        // bound.
+        let mut bound = entry_bound.to_vec();
+        for v in [s1, s2, o1] {
+            bound[v] = true;
+        }
+        let rest: Vec<usize> = (0..rp.len()).filter(|&x| x != i && x != j).collect();
+        let rest_order = self.greedy_order(rp, &bound, &rest);
+        let mut rows = rows_pair;
+        for &r in &rest_order {
+            let sel = rp[r].estimate(&bound, self.stats);
+            let nrows = rows * sel;
+            cost += rows.max(1.0) + nrows;
+            rows = nrows;
+            for v in rp[r].slots() {
+                bound[v] = true;
+            }
+        }
+        let mut steps = vec![Step::MergeRange { p1, s1, p2, s2, o: o1 }];
+        let mut pattern_order = vec![i, j];
+        for &r in &rest_order {
+            steps.push(Step::Scan {
+                s: rp[r].s.unwrap(),
+                p: rp[r].p.unwrap(),
+                o: rp[r].o.unwrap(),
+                at: rp[r].at,
+            });
+            pattern_order.push(r);
+        }
+        Some(MergeCandidate { steps, pattern_order, cost, rows, merged: Some((i, j)) })
+    }
+
+    /// Lowers a group: BGP ⋈ unions ⟕ optionals, filtered.
+    fn lower_group(&mut self, g: &Group, bound: &[bool]) -> BgpPlan {
+        let mut plan = self.plan_bgp(&g.patterns, bound);
+        let mut bound = bound.to_vec();
+        bound.resize(self.slots.names.len(), false);
+        for p in &g.patterns {
+            for t in [&p.s, &p.p, &p.o] {
+                if let Term::Var(v) = t {
+                    let s = self.slots.slot(v);
+                    if s < bound.len() {
+                        bound[s] = true;
+                    }
+                }
+            }
+        }
+        for (a, b) in &g.unions {
+            let pa = self.lower_group(a, &bound);
+            let pb = self.lower_group(b, &bound);
+            bound.resize(self.slots.names.len(), false);
+            plan.explain.push("union {".into());
+            plan.explain.extend(pa.explain.iter().map(|l| format!("  {l}")));
+            plan.explain.push("} ∪ {".into());
+            plan.explain.extend(pb.explain.iter().map(|l| format!("  {l}")));
+            plan.explain.push("}".into());
+            let cost = plan.cost + plan.rows.max(1.0) * (pa.cost + pb.cost);
+            let rows = plan.rows * (pa.rows + pb.rows);
+            plan = BgpPlan {
+                op: PhysOp::Join(
+                    Box::new(plan.op),
+                    Box::new(PhysOp::Union(Box::new(pa.op), Box::new(pb.op))),
+                ),
+                cost,
+                rows,
+                explain: plan.explain,
+            };
+        }
+        for opt in &g.optionals {
+            let po = self.lower_group(opt, &bound);
+            bound.resize(self.slots.names.len(), false);
+            plan.explain.push("optional {".into());
+            plan.explain.extend(po.explain.iter().map(|l| format!("  {l}")));
+            plan.explain.push("}".into());
+            let cost = plan.cost + plan.rows.max(1.0) * po.cost;
+            let rows = plan.rows * po.rows.max(1.0);
+            plan = BgpPlan {
+                op: PhysOp::LeftJoin(Box::new(plan.op), Box::new(po.op)),
+                cost,
+                rows,
+                explain: plan.explain,
+            };
+        }
+        if !g.filters.is_empty() {
+            let conds: Vec<CondC> = g.filters.iter().map(|c| self.compile_cond(c)).collect();
+            plan.explain.push(format!(
+                "filter {}",
+                g.filters.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" ∧ ")
+            ));
+            plan = BgpPlan {
+                op: PhysOp::Filter(Box::new(plan.op), conds),
+                cost: plan.cost,
+                rows: plan.rows * 0.5f64.powi(g.filters.len() as i32),
+                explain: plan.explain,
+            };
+        }
+        plan
+    }
+
+    fn compile_cond(&mut self, c: &Condition) -> CondC {
+        let mut operand = |t: &Term| match t {
+            Term::Var(v) => CondOperand::Slot(self.slots.slot(v)),
+            Term::Const(s) => CondOperand::Const { id: self.kb.term(s), text: s.clone() },
+        };
+        CondC { lhs: operand(&c.lhs), op: c.op, rhs: operand(&c.rhs) }
+    }
+}
+
+struct MergeCandidate {
+    steps: Vec<Step>,
+    pattern_order: Vec<usize>,
+    cost: f64,
+    rows: f64,
+    merged: Option<(usize, usize)>,
+}
+
+/// Plans a parsed query against a KB view and its statistics catalog.
+pub fn plan<K: KbRead + ?Sized>(
+    query: &SelectQuery,
+    kb: &K,
+    stats: &StatsCatalog,
+) -> Result<Plan, QueryError> {
+    let mut ctx = Ctx { kb, stats, slots: Slots::new() };
+    // Intern the group's variables first, in sorted order, so `SELECT *`
+    // column order is independent of pattern order.
+    for v in query.group.variables() {
+        ctx.slots.slot(v);
+    }
+    let lowered = ctx.lower_group(&query.group, &vec![false; ctx.slots.names.len()]);
+
+    // Projection.
+    let aggregate = query.is_aggregate();
+    let cols: Vec<Col> = match &query.projection {
+        None => {
+            if aggregate {
+                return Err(QueryError::Plan("GROUP BY requires an explicit projection".into()));
+            }
+            query
+                .group
+                .variables()
+                .into_iter()
+                .map(|v| Col::Var { name: v.to_string(), slot: ctx.slots.slot(v) })
+                .collect()
+        }
+        Some(items) => items
+            .iter()
+            .map(|item| match item {
+                ProjItem::Var(v) => Col::Var { name: v.clone(), slot: ctx.slots.slot(v) },
+                ProjItem::Count { arg, alias } => {
+                    Col::Count { name: alias.clone(), arg: arg.as_ref().map(|v| ctx.slots.slot(v)) }
+                }
+            })
+            .collect(),
+    };
+    if aggregate {
+        for col in &cols {
+            if let Col::Var { name, .. } = col {
+                if !query.group_by.iter().any(|g| g == name) {
+                    return Err(QueryError::Plan(format!(
+                        "projected variable ?{name} must appear in GROUP BY"
+                    )));
+                }
+            }
+        }
+    }
+    let group_by: Vec<usize> = query.group_by.iter().map(|v| ctx.slots.slot(v)).collect();
+
+    // ORDER BY keys must reference projected columns.
+    let mut order_by = Vec::with_capacity(query.order_by.len());
+    for key in &query.order_by {
+        let idx = cols.iter().position(|c| c.name() == key.var).ok_or_else(|| {
+            QueryError::Plan(format!("ORDER BY key ?{} is not a projected column", key.var))
+        })?;
+        order_by.push((idx, key.desc));
+    }
+
+    let mut explain = lowered.explain;
+    if aggregate {
+        explain.push(format!(
+            "aggregate ({} group key{})",
+            group_by.len(),
+            if group_by.len() == 1 { "" } else { "s" }
+        ));
+    }
+    Ok(Plan {
+        nvars: ctx.slots.names.len(),
+        root: lowered.op,
+        cols,
+        distinct: query.distinct,
+        group_by,
+        aggregate,
+        order_by,
+        limit: query.limit,
+        offset: query.offset,
+        est_cost: lowered.cost,
+        explain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use kb_store::KbBuilder;
+
+    fn skewed_snap() -> kb_store::KbSnapshot {
+        let mut b = KbBuilder::new();
+        // rel_big: 600 facts; rel_rare: 3 facts.
+        for i in 0..600 {
+            b.assert_str(&format!("s{}", i % 100), "rel_big", &format!("o{}", i % 50));
+        }
+        for i in 0..3 {
+            b.assert_str(&format!("s{i}"), "rel_rare", &format!("s{}", i + 1));
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn planner_starts_with_the_selective_pattern() {
+        let snap = skewed_snap();
+        let stats = StatsCatalog::build(&snap);
+        // Text order puts the big relation first; the planner must not.
+        let q = parse("?x rel_big ?y . ?a rel_rare ?x").unwrap();
+        let p = plan(&q, &snap, &stats).unwrap();
+        let PhysOp::Steps(steps) = &p.root else { panic!("expected steps") };
+        let rare = snap.term("rel_rare").unwrap();
+        assert!(
+            matches!(&steps[0], Step::Scan { p: Slot::Const(pid), .. } if *pid == rare),
+            "first step should scan rel_rare: {steps:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_constants_plan_to_empty() {
+        let snap = skewed_snap();
+        let stats = StatsCatalog::build(&snap);
+        let q = parse("?x rel_big Atlantis").unwrap();
+        let p = plan(&q, &snap, &stats).unwrap();
+        assert_eq!(p.root, PhysOp::Empty);
+        assert_eq!(p.estimated_cost(), 0.0);
+    }
+
+    #[test]
+    fn shared_object_pair_uses_merge_range() {
+        let snap = skewed_snap();
+        let stats = StatsCatalog::build(&snap);
+        let q = parse("?a rel_big ?c . ?b rel_big ?c").unwrap();
+        let p = plan(&q, &snap, &stats).unwrap();
+        let PhysOp::Steps(steps) = &p.root else { panic!("expected steps") };
+        assert!(
+            matches!(steps[0], Step::MergeRange { .. }),
+            "expected a merge-range first step: {steps:?}"
+        );
+    }
+
+    #[test]
+    fn order_by_must_be_projected() {
+        let snap = skewed_snap();
+        let stats = StatsCatalog::build(&snap);
+        let q = parse("SELECT ?a WHERE { ?a rel_big ?b } ORDER BY ?zzz").unwrap();
+        assert!(matches!(plan(&q, &snap, &stats), Err(QueryError::Plan(_))));
+    }
+
+    #[test]
+    fn aggregate_projection_is_validated() {
+        let snap = skewed_snap();
+        let stats = StatsCatalog::build(&snap);
+        let q = parse("SELECT ?b COUNT(?a) AS ?n WHERE { ?a rel_big ?b } GROUP BY ?a").unwrap();
+        assert!(matches!(plan(&q, &snap, &stats), Err(QueryError::Plan(_))));
+    }
+}

@@ -1,0 +1,410 @@
+//! Concurrent serving layer: an `Arc<KbSnapshot>`-backed service with a
+//! bounded plan cache and a generation-invalidated result cache.
+//!
+//! ## Caching discipline
+//!
+//! Two cache levels sit in front of the parse → plan → execute
+//! pipeline:
+//!
+//! 1. **Raw-text probe** — an exact match on the query string skips
+//!    parsing entirely (the hot path for repeated identical queries).
+//! 2. **Normalized probe** — on a raw miss the text is parsed and its
+//!    canonical [`Display`](std::fmt::Display) form becomes the cache
+//!    key, so formatting variants (case of keywords, whitespace,
+//!    redundant dots) share one plan and one result entry. The raw
+//!    text is then recorded as an alias for future level-1 hits.
+//!
+//! **Invalidation rule:** every cached plan and result is stamped with
+//! the snapshot *generation* it was computed against. Installing a new
+//! snapshot bumps the generation; stale entries fail the stamp check on
+//! their next probe and are recomputed. Plans are generation-scoped
+//! because resolved [`TermId`](kb_store::TermId)s are dictionary-
+//! specific, not just because facts changed.
+//!
+//! Batches run on a crossbeam scoped worker pool (the same shape as
+//! `kb-analytics`' `aggregate_parallel`): workers share the service and
+//! the immutable snapshot, so no locking happens on the read path
+//! beyond brief cache probes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use kb_store::KbSnapshot;
+
+use crate::error::QueryError;
+use crate::exec::{execute, QueryOutput};
+use crate::parse::parse;
+use crate::plan::{plan, Plan};
+use crate::stats::StatsCatalog;
+
+/// Default bound on each cache (plans and results separately).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Cache hit/miss counters, cheap to read at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered straight from the result cache.
+    pub result_hits: u64,
+    /// Queries that had to execute.
+    pub result_misses: u64,
+    /// Executions that reused a cached plan (raw or normalized hit).
+    pub plan_hits: u64,
+    /// Executions that parsed and planned from scratch.
+    pub plan_misses: u64,
+}
+
+/// A bounded LRU keyed by `String`, stamped with the snapshot
+/// generation. Recency is a monotone counter; eviction scans for the
+/// minimum — `O(capacity)`, fine for the few hundred entries a plan
+/// cache holds.
+struct LruCache<V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (u64, u64, V)>, // (generation, last_used, value)
+}
+
+impl<V: Clone> LruCache<V> {
+    fn new(capacity: usize) -> Self {
+        LruCache { capacity: capacity.max(1), tick: 0, map: HashMap::new() }
+    }
+
+    fn get(&mut self, key: &str, generation: u64) -> Option<V> {
+        match self.map.get_mut(key) {
+            Some((gen, used, v)) if *gen == generation => {
+                self.tick += 1;
+                *used = self.tick;
+                Some(v.clone())
+            }
+            Some(_) => {
+                // Stale generation: drop eagerly.
+                self.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn put(&mut self, key: String, generation: u64, value: V) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(evict) =
+                self.map.iter().min_by_key(|(_, (_, used, _))| *used).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&evict);
+            }
+        }
+        self.map.insert(key, (generation, self.tick, value));
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// The current snapshot and its planner statistics, swapped atomically
+/// under one lock.
+struct Generation {
+    snapshot: Arc<KbSnapshot>,
+    stats: Arc<StatsCatalog>,
+    number: u64,
+}
+
+/// A concurrent query service over an immutable KB snapshot.
+///
+/// Shared by reference (or `Arc`) across client threads; all methods
+/// take `&self`. See the module docs for the caching discipline.
+pub struct QueryService {
+    current: Mutex<Generation>,
+    plans: Mutex<LruCache<Arc<Plan>>>,
+    results: Mutex<LruCache<Arc<QueryOutput>>>,
+    /// raw query text → normalized cache key.
+    aliases: Mutex<LruCache<String>>,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+impl QueryService {
+    /// Creates a service over `snapshot` with
+    /// [`DEFAULT_CACHE_CAPACITY`] for both caches. Builds the
+    /// statistics catalog once, up front.
+    pub fn new(snapshot: Arc<KbSnapshot>) -> Self {
+        Self::with_capacity(snapshot, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Like [`new`](Self::new) with an explicit per-cache bound.
+    pub fn with_capacity(snapshot: Arc<KbSnapshot>, capacity: usize) -> Self {
+        let stats = Arc::new(StatsCatalog::build(snapshot.as_ref()));
+        QueryService {
+            current: Mutex::new(Generation { snapshot, stats, number: 0 }),
+            plans: Mutex::new(LruCache::new(capacity)),
+            results: Mutex::new(LruCache::new(capacity)),
+            aliases: Mutex::new(LruCache::new(capacity * 4)),
+            result_hits: AtomicU64::new(0),
+            result_misses: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs a new snapshot, bumping the generation. Cached plans and
+    /// results from older generations die lazily on their next probe
+    /// (the generation stamp no longer matches); the alias map is
+    /// generation-independent and survives.
+    pub fn install(&self, snapshot: Arc<KbSnapshot>) {
+        let stats = Arc::new(StatsCatalog::build(snapshot.as_ref()));
+        let mut cur = self.current.lock().expect("service lock poisoned");
+        cur.number += 1;
+        cur.snapshot = snapshot;
+        cur.stats = stats;
+        drop(cur);
+        // Eagerly drop stale entries so a long-lived service does not
+        // pin dead snapshots' plans in the LRU.
+        self.plans.lock().expect("plan cache poisoned").clear();
+        self.results.lock().expect("result cache poisoned").clear();
+    }
+
+    /// The current snapshot generation (starts at 0, bumps on
+    /// [`install`](Self::install)).
+    pub fn generation(&self) -> u64 {
+        self.current.lock().expect("service lock poisoned").number
+    }
+
+    /// The currently served snapshot.
+    pub fn snapshot(&self) -> Arc<KbSnapshot> {
+        self.current.lock().expect("service lock poisoned").snapshot.clone()
+    }
+
+    /// Cache counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live entries in (plan cache, result cache).
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        (
+            self.plans.lock().expect("plan cache poisoned").len(),
+            self.results.lock().expect("result cache poisoned").len(),
+        )
+    }
+
+    fn generation_handles(&self) -> (Arc<KbSnapshot>, Arc<StatsCatalog>, u64) {
+        let cur = self.current.lock().expect("service lock poisoned");
+        (cur.snapshot.clone(), cur.stats.clone(), cur.number)
+    }
+
+    /// Looks up or compiles the plan for `text`. Public so callers can
+    /// inspect [`Plan::explain`] (the CLI's `--explain` does).
+    pub fn plan_for(&self, text: &str) -> Result<Arc<Plan>, QueryError> {
+        let (snapshot, stats, generation) = self.generation_handles();
+        self.plan_for_generation(text, &snapshot, &stats, generation).map(|(p, _)| p)
+    }
+
+    /// Returns the plan plus the normalized cache key.
+    fn plan_for_generation(
+        &self,
+        text: &str,
+        snapshot: &KbSnapshot,
+        stats: &StatsCatalog,
+        generation: u64,
+    ) -> Result<(Arc<Plan>, String), QueryError> {
+        // Level 1: exact raw text (skips parsing).
+        let alias = self.aliases.lock().expect("alias cache poisoned").get(text, 0);
+        if let Some(key) = &alias {
+            if let Some(p) = self.plans.lock().expect("plan cache poisoned").get(key, generation) {
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((p, key.clone()));
+            }
+        }
+        // Level 2: parse, normalize, probe under the canonical key.
+        let parsed = parse(text)?;
+        let key = parsed.to_string();
+        if let Some(p) = self.plans.lock().expect("plan cache poisoned").get(&key, generation) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            self.remember_alias(text, &key);
+            return Ok((p, key));
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(plan(&parsed, snapshot, stats)?);
+        self.plans.lock().expect("plan cache poisoned").put(
+            key.clone(),
+            generation,
+            compiled.clone(),
+        );
+        self.remember_alias(text, &key);
+        Ok((compiled, key))
+    }
+
+    fn remember_alias(&self, raw: &str, key: &str) {
+        if raw != key {
+            self.aliases.lock().expect("alias cache poisoned").put(
+                raw.to_string(),
+                0,
+                key.to_string(),
+            );
+        } else {
+            self.aliases.lock().expect("alias cache poisoned").put(
+                raw.to_string(),
+                0,
+                raw.to_string(),
+            );
+        }
+    }
+
+    /// Parses (or reuses), plans (or reuses) and executes `text`
+    /// against the current snapshot, consulting the result cache first.
+    pub fn query(&self, text: &str) -> Result<Arc<QueryOutput>, QueryError> {
+        let (snapshot, stats, generation) = self.generation_handles();
+        // Result probe under the raw text first, then normalized.
+        if let Some(key) = self.aliases.lock().expect("alias cache poisoned").get(text, 0) {
+            if let Some(r) =
+                self.results.lock().expect("result cache poisoned").get(&key, generation)
+            {
+                self.result_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(r);
+            }
+        }
+        let (compiled, key) = self.plan_for_generation(text, &snapshot, &stats, generation)?;
+        if let Some(r) = self.results.lock().expect("result cache poisoned").get(&key, generation) {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(r);
+        }
+        self.result_misses.fetch_add(1, Ordering::Relaxed);
+        let out = Arc::new(execute(compiled.as_ref(), snapshot.as_ref()));
+        self.results.lock().expect("result cache poisoned").put(key, generation, out.clone());
+        Ok(out)
+    }
+
+    /// Serves a batch of queries on `workers` threads, returning results
+    /// in input order. With one worker (or a single query) the batch
+    /// runs inline. Worker chunking mirrors `kb-analytics`'
+    /// `aggregate_parallel`.
+    pub fn serve_batch(
+        &self,
+        queries: &[&str],
+        workers: usize,
+    ) -> Vec<Result<Arc<QueryOutput>, QueryError>> {
+        let workers = workers.max(1);
+        if workers == 1 || queries.len() < 2 {
+            return queries.iter().map(|q| self.query(q)).collect();
+        }
+        let chunk_size = queries.len().div_ceil(workers);
+        let chunks: Vec<Vec<Result<Arc<QueryOutput>, QueryError>>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = queries
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope
+                            .spawn(move |_| chunk.iter().map(|q| self.query(q)).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+            })
+            .expect("scope failed");
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kb_store::KbBuilder;
+
+    fn service() -> QueryService {
+        let mut b = KbBuilder::new();
+        b.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
+        b.assert_str("Steve_Wozniak", "bornIn", "San_Jose");
+        b.assert_str("San_Francisco", "locatedIn", "California");
+        b.assert_str("San_Jose", "locatedIn", "California");
+        QueryService::new(b.freeze().into_shared())
+    }
+
+    #[test]
+    fn repeated_query_hits_both_caches() {
+        let svc = service();
+        let q = "?p bornIn ?c . ?c locatedIn California";
+        let a = svc.query(q).unwrap();
+        let b = svc.query(q).unwrap();
+        assert_eq!(a, b);
+        let stats = svc.cache_stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.result_misses, 1);
+        assert_eq!(stats.result_hits, 1);
+    }
+
+    #[test]
+    fn formatting_variants_share_a_plan() {
+        let svc = service();
+        svc.query("SELECT ?p WHERE { ?p bornIn San_Jose }").unwrap();
+        svc.query("select  ?p  where { ?p bornIn San_Jose . }").unwrap();
+        let stats = svc.cache_stats();
+        assert_eq!(stats.plan_misses, 1, "normalization should merge the variants");
+        assert_eq!(stats.result_hits, 1);
+    }
+
+    #[test]
+    fn install_invalidates_results() {
+        let svc = service();
+        let q = "SELECT ?p WHERE { ?p bornIn San_Jose }";
+        let before = svc.query(q).unwrap();
+        assert_eq!(before.rows.len(), 1);
+
+        let mut b = KbBuilder::new();
+        b.assert_str("Steve_Wozniak", "bornIn", "San_Jose");
+        b.assert_str("Another_Person", "bornIn", "San_Jose");
+        svc.install(b.freeze().into_shared());
+        assert_eq!(svc.generation(), 1);
+
+        let after = svc.query(q).unwrap();
+        assert_eq!(after.rows.len(), 2, "stale cached result must not survive install");
+    }
+
+    #[test]
+    fn batch_matches_serial_for_any_worker_count() {
+        let svc = service();
+        let queries: Vec<String> = (0..12)
+            .map(|i| {
+                if i % 2 == 0 {
+                    "?p bornIn ?c".to_string()
+                } else {
+                    format!("SELECT ?c WHERE {{ ?c locatedIn California }} LIMIT {}", i)
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        let serial = svc.serve_batch(&refs, 1);
+        for w in [2, 4, 8] {
+            let parallel = svc.serve_batch(&refs, w);
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.as_ref().unwrap(), p.as_ref().unwrap(), "workers = {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: LruCache<u32> = LruCache::new(2);
+        lru.put("a".into(), 0, 1);
+        lru.put("b".into(), 0, 2);
+        assert_eq!(lru.get("a", 0), Some(1));
+        lru.put("c".into(), 0, 3); // evicts "b"
+        assert_eq!(lru.get("b", 0), None);
+        assert_eq!(lru.get("a", 0), Some(1));
+        assert_eq!(lru.get("c", 0), Some(3));
+        // Generation mismatch is a miss and drops the entry.
+        assert_eq!(lru.get("a", 1), None);
+        assert_eq!(lru.len(), 1);
+    }
+}

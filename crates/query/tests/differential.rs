@@ -1,0 +1,233 @@
+//! Differential tests: the new engine against the legacy
+//! `kb_store::query` oracle, plus parser round-trip properties.
+//!
+//! The legacy engine stays in-tree precisely so these tests can compare
+//! binding sets on random KBs and random conjunctive queries — any
+//! divergence is a bug in exactly one of the two engines.
+
+use proptest::prelude::*;
+
+use kb_query::exec::{cell_str, QueryOutput};
+use kb_store::{KbRead, KnowledgeBase};
+
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+/// Decodes one pattern component: kinds 0..4 pick a shared variable,
+/// anything else a constant entity.
+fn entity_term(kind: u8, idx: u32) -> String {
+    if kind < 4 {
+        format!("?{}", VARS[kind as usize])
+    } else {
+        format!("e{}", idx % 6)
+    }
+}
+
+/// Predicate position: kind 0 is a variable, else a constant relation.
+fn pred_term(kind: u8, idx: u32) -> String {
+    if kind == 0 {
+        "?r".to_string()
+    } else {
+        format!("r{}", idx % 3)
+    }
+}
+
+/// Resolves the new engine's rows to sorted, deduplicated string rows.
+fn new_rows<K: KbRead + ?Sized>(out: &QueryOutput, kb: &K) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> =
+        out.rows.iter().map(|r| r.iter().map(|c| cell_str(c, kb).into_owned()).collect()).collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random conjunctive queries over random small KBs: the new engine
+    /// and the legacy oracle produce identical binding sets.
+    #[test]
+    fn new_engine_matches_legacy_oracle(
+        triples in prop::collection::vec((0u32..6, 0u32..3, 0u32..6), 1..30),
+        patterns in prop::collection::vec(
+            ((0u8..6, 0u32..6), (0u8..3, 0u32..3), (0u8..6, 0u32..6)),
+            1..4
+        ),
+    ) {
+        let mut kb = KnowledgeBase::new();
+        for &(s, p, o) in &triples {
+            kb.assert_str(&format!("e{s}"), &format!("r{p}"), &format!("e{o}"));
+        }
+        let text = patterns
+            .iter()
+            .map(|((sk, si), (pk, pi), (ok, oi))| {
+                format!(
+                    "{} {} {}",
+                    entity_term(*sk, *si),
+                    pred_term(*pk, *pi),
+                    entity_term(*ok, *oi)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" . ");
+
+        // The legacy parser rejects constants absent from the
+        // dictionary; the new planner answers them with an empty result.
+        let legacy = match kb_store::query::query(&kb, &text) {
+            Ok(solutions) => solutions,
+            Err(_) => {
+                let out = kb_query::query(&kb, &text).unwrap();
+                prop_assert_eq!(
+                    out.rows.len(), 0,
+                    "constants unknown to the dictionary can match nothing: {}", text
+                );
+                return Ok(());
+            }
+        };
+
+        let out = kb_query::query(&kb, &text).unwrap();
+
+        // Column names agree (both engines project all variables,
+        // sorted by name).
+        let legacy_q = kb_store::query::Query::parse(&kb, &text).unwrap();
+        prop_assert_eq!(
+            out.cols.iter().map(String::as_str).collect::<Vec<_>>(),
+            legacy_q.variables()
+        );
+
+        // Binding sets agree.
+        let got = new_rows(&out, &kb);
+        let mut expect: Vec<Vec<String>> = legacy
+            .iter()
+            .map(|b| {
+                b.iter_sorted()
+                    .into_iter()
+                    .map(|(_, t)| kb.resolve(t).unwrap().to_string())
+                    .collect()
+            })
+            .collect();
+        expect.sort();
+        expect.dedup();
+        prop_assert_eq!(got, expect, "query: {}", text);
+    }
+
+    /// Both engines agree when run over a frozen snapshot as well as the
+    /// live façade (same query, same KB content, different view).
+    #[test]
+    fn snapshot_and_facade_agree(
+        triples in prop::collection::vec((0u32..5, 0u32..2, 0u32..5), 1..20),
+        p1 in 0u32..2, p2 in 0u32..2,
+    ) {
+        let mut kb = KnowledgeBase::new();
+        let mut builder = kb_store::KbBuilder::new();
+        for &(s, p, o) in &triples {
+            kb.assert_str(&format!("e{s}"), &format!("r{p}"), &format!("e{o}"));
+            builder.assert_str(&format!("e{s}"), &format!("r{p}"), &format!("e{o}"));
+        }
+        let snap = builder.freeze();
+        let text = format!("?x r{p1} ?y . ?y r{p2} ?z");
+        let a = kb_query::query(&kb, &text).unwrap();
+        let b = kb_query::query(&snap, &text).unwrap();
+        prop_assert_eq!(new_rows(&a, &kb), new_rows(&b, &snap));
+    }
+
+    /// Parser round-trip: `parse ∘ display` is the identity on the
+    /// algebra, and the canonical display form is a fixpoint.
+    #[test]
+    fn display_then_parse_is_identity(
+        patterns in prop::collection::vec(
+            ((0u8..6, 0u32..6), (1u8..3, 0u32..3), (0u8..6, 0u32..6), prop::option::of(1900i32..2030)),
+            1..4
+        ),
+        distinct in any::<bool>(),
+        project in prop::option::of(prop::collection::vec(0usize..4, 1..3)),
+        filter in prop::option::of((0u8..4, 0u8..6, 1900i32..2030)),
+        optional in prop::option::of(((0u8..6, 0u32..6), (1u8..3, 0u32..3), (0u8..6, 0u32..6))),
+        union in any::<bool>(),
+        limit in prop::option::of(0usize..50),
+        offset in prop::option::of(1usize..10),
+        order in prop::option::of((0usize..4, any::<bool>())),
+    ) {
+        let fmt_pattern = |(sk, si): (u8, u32), (pk, pi): (u8, u32), (ok, oi): (u8, u32), at: Option<i32>| {
+            let mut s = format!(
+                "{} {} {}",
+                entity_term(sk, si),
+                pred_term(pk, pi),
+                entity_term(ok, oi)
+            );
+            if let Some(year) = at {
+                s.push_str(&format!(" @{year}"));
+            }
+            s
+        };
+        let mut body: Vec<String> = patterns
+            .iter()
+            .map(|&(s, p, o, at)| fmt_pattern(s, p, o, at))
+            .collect();
+        if union {
+            body.push("{ ?x r0 ?y } UNION { ?x r1 ?y }".to_string());
+        }
+        if let Some((s, p, o)) = optional {
+            body.push(format!("OPTIONAL {{ {} }}", fmt_pattern(s, p, o, None)));
+        }
+        if let Some((v, op, year)) = filter {
+            let sym = ["<", "<=", ">", ">="][op as usize % 4];
+            body.push(format!("FILTER(?{} {} {})", VARS[v as usize % 4], sym, year));
+        }
+        let mut text = String::new();
+        if project.is_some() || distinct || limit.is_some() || offset.is_some() || order.is_some() {
+            text.push_str("SELECT ");
+            if distinct {
+                text.push_str("DISTINCT ");
+            }
+            match &project {
+                None => text.push('*'),
+                Some(vars) => {
+                    let items: Vec<String> =
+                        vars.iter().map(|&v| format!("?{}", VARS[v])).collect();
+                    text.push_str(&items.join(" "));
+                }
+            }
+            text.push_str(&format!(" WHERE {{ {} }}", body.join(" . ")));
+            if let Some((v, desc)) = order {
+                if desc {
+                    text.push_str(&format!(" ORDER BY DESC(?{})", VARS[v]));
+                } else {
+                    text.push_str(&format!(" ORDER BY ?{}", VARS[v]));
+                }
+            }
+            if let Some(n) = limit {
+                text.push_str(&format!(" LIMIT {n}"));
+            }
+            if let Some(n) = offset {
+                text.push_str(&format!(" OFFSET {n}"));
+            }
+        } else {
+            text.push_str(&body.join(" . "));
+        }
+
+        let q1 = kb_query::parse(&text).unwrap_or_else(|e| panic!("generated query failed to parse: {text:?}: {e}"));
+        let canonical = q1.to_string();
+        let q2 = kb_query::parse(&canonical)
+            .unwrap_or_else(|e| panic!("canonical form failed to re-parse: {canonical:?}: {e}"));
+        prop_assert_eq!(&q1, &q2, "display → parse changed the algebra for {:?}", text);
+        prop_assert_eq!(q2.to_string(), canonical, "canonical display is not a fixpoint");
+    }
+
+    /// Normalization maps formatting variants of the same query to one
+    /// canonical string.
+    #[test]
+    fn normalize_merges_formatting_variants(
+        p in 0u32..3,
+        spaces in 1usize..4,
+        upper in any::<bool>(),
+    ) {
+        let pad = " ".repeat(spaces);
+        let kw = if upper { "SELECT" } else { "select" };
+        let variant = format!("{kw}{pad}?x{pad}WHERE {{ ?x r{p} ?y .{pad}}}");
+        let reference = format!("SELECT ?x WHERE {{ ?x r{p} ?y }}");
+        prop_assert_eq!(
+            kb_query::normalize(&variant).unwrap(),
+            kb_query::normalize(&reference).unwrap()
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Concurrent serving stress test: many client threads hammering one
+//! `QueryService` must see byte-identical results to a serial run.
+
+use std::sync::Arc;
+use std::thread;
+
+use kb_query::QueryService;
+use kb_store::{KbBuilder, KbSnapshot};
+
+/// A deterministic synthetic KB with skewed relation sizes, shared
+/// entities and a temporal column rendered as year literals.
+fn build_kb() -> KbSnapshot {
+    let mut b = KbBuilder::new();
+    for i in 0..2000u32 {
+        b.assert_str(&format!("p{}", i % 400), "bornIn", &format!("c{}", i % 40));
+    }
+    for i in 0..40u32 {
+        b.assert_str(&format!("c{i}"), "locatedIn", &format!("s{}", i % 5));
+    }
+    for i in 0..300u32 {
+        b.assert_str(&format!("p{}", i % 400), "worksAt", &format!("co{}", i % 20));
+    }
+    for i in 0..20u32 {
+        b.assert_str(&format!("co{i}"), "headquarteredIn", &format!("c{}", i % 40));
+    }
+    for i in 0..100u32 {
+        b.assert_str(&format!("p{i}"), "bornOn", &format!("{}", 1900 + (i % 100)));
+    }
+    b.freeze()
+}
+
+/// A workload of distinct query shapes: joins, filters, optionals,
+/// unions, aggregates, modifiers.
+fn workload() -> Vec<String> {
+    let mut qs = vec![
+        "?p bornIn ?c . ?c locatedIn s0".to_string(),
+        "SELECT DISTINCT ?c WHERE { ?p bornIn ?c . ?p worksAt ?co }".to_string(),
+        "SELECT ?p ?co WHERE { ?p bornIn c1 OPTIONAL { ?p worksAt ?co } } ORDER BY ?p LIMIT 25"
+            .to_string(),
+        "SELECT ?x WHERE { { ?x locatedIn s1 } UNION { ?x headquarteredIn c1 } }".to_string(),
+        "SELECT ?c COUNT(?p) AS ?n WHERE { ?p bornIn ?c } GROUP BY ?c ORDER BY DESC(?n) ?c LIMIT 10"
+            .to_string(),
+        "SELECT ?p ?y WHERE { ?p bornOn ?y . FILTER(?y < 1930) } ORDER BY ?y ?p".to_string(),
+        "?a bornIn ?c . ?b bornIn ?c . FILTER(?a != ?b)".to_string(),
+        "?p worksAt ?co . ?co headquarteredIn ?c . ?c locatedIn ?s".to_string(),
+    ];
+    for i in 0..12 {
+        qs.push(format!("SELECT ?p WHERE {{ ?p bornIn c{i} }} ORDER BY ?p"));
+    }
+    qs
+}
+
+/// Renders every query result (or error) as one deterministic string.
+fn run_serial(svc: &QueryService, queries: &[String]) -> Vec<String> {
+    let snap = svc.snapshot();
+    queries
+        .iter()
+        .map(|q| match svc.query(q) {
+            Ok(out) => out.render(snap.as_ref()),
+            Err(e) => format!("error: {e}"),
+        })
+        .collect()
+}
+
+#[test]
+fn client_threads_match_serial_byte_for_byte() {
+    let snap = build_kb().into_shared();
+    let queries: Vec<String> = {
+        // Repeat the workload so cache hits and misses interleave.
+        let base = workload();
+        (0..6).flat_map(|_| base.clone()).collect()
+    };
+
+    let serial_svc = QueryService::new(snap.clone());
+    let expected = run_serial(&serial_svc, &queries);
+
+    for clients in [2usize, 4, 8] {
+        let svc = Arc::new(QueryService::new(snap.clone()));
+        let mut slots: Vec<Option<String>> = vec![None; queries.len()];
+        let answers: Vec<(usize, String)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let svc = Arc::clone(&svc);
+                    let queries = &queries;
+                    let snap = snap.clone();
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        // Strided assignment: every client touches every
+                        // query shape eventually.
+                        for i in (c..queries.len()).step_by(clients) {
+                            let rendered = match svc.query(&queries[i]) {
+                                Ok(out) => out.render(snap.as_ref()),
+                                Err(e) => format!("error: {e}"),
+                            };
+                            mine.push((i, rendered));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("client panicked")).collect()
+        });
+        for (i, rendered) in answers {
+            slots[i] = Some(rendered);
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(
+                slot.as_deref(),
+                Some(expected[i].as_str()),
+                "{clients} clients diverged from serial on query #{i}: {}",
+                queries[i]
+            );
+        }
+        let stats = svc.cache_stats();
+        assert!(stats.result_hits > 0, "repeated workload should hit the result cache: {stats:?}");
+    }
+}
+
+#[test]
+fn serve_batch_matches_serial_for_every_worker_count() {
+    let snap = build_kb().into_shared();
+    let queries = workload();
+    let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+
+    let svc = QueryService::new(snap.clone());
+    let serial = svc.serve_batch(&refs, 1);
+    for workers in [2usize, 3, 4, 8] {
+        let fresh = QueryService::new(snap.clone());
+        let parallel = fresh.serve_batch(&refs, workers);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            let s = s.as_ref().expect("serial query failed");
+            let p = p.as_ref().expect("parallel query failed");
+            assert_eq!(
+                s.render(snap.as_ref()),
+                p.render(snap.as_ref()),
+                "workers={workers} diverged on query #{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn install_under_concurrent_load_is_safe() {
+    let snap = build_kb().into_shared();
+    let svc = Arc::new(QueryService::new(snap.clone()));
+    let queries = workload();
+
+    thread::scope(|scope| {
+        for c in 0..4usize {
+            let svc = Arc::clone(&svc);
+            let queries = &queries;
+            scope.spawn(move || {
+                for i in 0..100 {
+                    let q = &queries[(c + i) % queries.len()];
+                    // Results vary across generations; the invariant is
+                    // no panic, no poisoned lock, always a well-formed
+                    // answer.
+                    let _ = svc.query(q);
+                }
+            });
+        }
+        let svc = Arc::clone(&svc);
+        scope.spawn(move || {
+            for gen in 0..5u32 {
+                let mut b = KbBuilder::new();
+                for i in 0..(100 * (gen + 1)) {
+                    b.assert_str(&format!("p{}", i % 50), "bornIn", &format!("c{}", i % 10));
+                }
+                svc.install(b.freeze().into_shared());
+            }
+        });
+    });
+    assert_eq!(svc.generation(), 5);
+    let out = svc.query("?p bornIn c1").unwrap();
+    assert!(!out.rows.is_empty());
+}

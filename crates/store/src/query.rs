@@ -1,6 +1,15 @@
 //! Conjunctive queries over the triple store — the "semantic search and
 //! analytics over entities and relations" the tutorial motivates (§1).
 //!
+//! **Legacy oracle.** This module is superseded by the `kb-query` crate
+//! (`crates/query`), which adds a SPARQL-style surface (`SELECT`,
+//! `FILTER`, `OPTIONAL`, `UNION`, aggregates, modifiers), a cost-based
+//! join-order planner and a concurrent serving layer. It is kept
+//! deliberately simple and unchanged as a *differential testing
+//! oracle*: `crates/query/tests/differential.rs` checks both engines
+//! produce identical binding sets on randomized KBs and queries. New
+//! call sites should use `kb_query`.
+//!
 //! A [`Query`] is a conjunction of triple patterns whose components are
 //! constants or shared variables, in a compact SPARQL-like text form:
 //!

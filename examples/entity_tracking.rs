@@ -5,7 +5,7 @@
 //! cargo run --release --example entity_tracking
 //! ```
 
-use kbkit::kb_analytics::exec::aggregate_parallel;
+use kbkit::kb_analytics::exec::{aggregate_parallel, tracked_by_query};
 use kbkit::kb_analytics::stream::from_corpus;
 use kbkit::kb_analytics::{ComparisonReport, StreamPost, Tracker};
 use kbkit::kb_corpus::{Corpus, CorpusConfig};
@@ -41,7 +41,16 @@ fn main() {
     let term_b = kb.term(&world.entity(pb).canonical).expect("B in KB");
     println!("tracking {name_a} vs {name_b} over {} posts...", corpus.posts.len());
 
-    let tracker = Tracker::new(&ned, vec![term_a, term_b]);
+    // Select the tracked set declaratively: every product some company
+    // created. Falls back to the explicit pair if the tiny harvest
+    // missed the `created` facts for either rival.
+    let mut tracker = tracked_by_query(&ned, kb, "SELECT DISTINCT ?p WHERE { ?co created ?p }")
+        .unwrap_or_else(|_| Tracker::new(&ned, vec![]));
+    for t in [term_a, term_b] {
+        if !tracker.tracked.contains(&t) {
+            tracker.tracked.push(t);
+        }
+    }
     let posts: Vec<StreamPost> = corpus.posts.iter().map(from_corpus).collect();
     let series = aggregate_parallel(&tracker, kb, &posts, 4);
 

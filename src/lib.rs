@@ -14,6 +14,7 @@
 //! | [`kb_ned`] | named entity disambiguation: priors, context, coherence |
 //! | [`kb_link`] | entity linkage: blocking, matchers, constrained clustering |
 //! | [`kb_analytics`] | entity-centric stream analytics |
+//! | [`kb_query`] | SPARQL-style query engine: parser, cost-based planner, concurrent serving layer |
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -23,4 +24,5 @@ pub use kb_harvest;
 pub use kb_link;
 pub use kb_ned;
 pub use kb_nlp;
+pub use kb_query;
 pub use kb_store;

@@ -17,7 +17,8 @@ use kbkit::kb_corpus::{Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, Method};
 use kbkit::kb_harvest::rules::{mine_rules, RuleConfig};
 use kbkit::kb_ned::{detect_mentions, Ned, Strategy};
-use kbkit::kb_store::{ntriples, query::query, KbRead, KnowledgeBase};
+use kbkit::kb_query::QueryService;
+use kbkit::kb_store::{ntriples, KbRead, KnowledgeBase};
 
 const USAGE: &str = "\
 kbkit — knowledge-base construction and analytics toolkit
@@ -28,8 +29,10 @@ USAGE:
       Methods: patterns | statistical | reasoning (default) | factorgraph
   kbkit stats <kb.tsv>
       Print knowledge-base statistics.
-  kbkit query <kb.tsv> <query>
-      Run a conjunctive query, e.g. '?p bornIn ?c . ?c locatedIn ?n'.
+  kbkit query <kb.tsv> <query> [--explain]
+      Run a SPARQL-style query, e.g. '?p bornIn ?c . ?c locatedIn ?n'
+      or 'SELECT ?c COUNT(?p) AS ?n WHERE { ?p bornIn ?c } GROUP BY ?c'.
+      --explain also prints the chosen physical plan.
   kbkit rules <kb.tsv> [--min-support N]
       Mine AMIE-style Horn rules from the KB.
   kbkit ned <kb.tsv> <text>
@@ -145,16 +148,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let path = positional(args).ok_or("query needs a KB file and a query")?;
     let q =
         args.iter().filter(|a| !a.starts_with("--")).nth(1).ok_or("query needs a query string")?;
-    let kb = load_kb(path)?;
-    let solutions = query(&kb, q).map_err(|e| e.to_string())?;
-    println!("{} solutions", solutions.len());
-    for b in solutions.iter().take(50) {
-        let rendered: Vec<String> = b
-            .iter_sorted()
-            .into_iter()
-            .map(|(var, term)| format!("?{var}={}", kb.resolve(term).unwrap_or("?")))
-            .collect();
-        println!("  {}", rendered.join("  "));
+    let explain = args.iter().any(|a| a == "--explain");
+    let snap = load_kb(path)?.into_snapshot().into_shared();
+    let service = QueryService::new(snap.clone());
+    if explain {
+        let plan = service.plan_for(q).map_err(|e| e.to_string())?;
+        eprintln!("plan (estimated cost {:.1}):", plan.estimated_cost());
+        for line in plan.explain() {
+            eprintln!("  {line}");
+        }
+    }
+    let out = service.query(q).map_err(|e| e.to_string())?;
+    println!("{} solutions", out.rows.len());
+    for row in out.rows.iter().take(50) {
+        println!("  {}", out.render_row(row, snap.as_ref()));
     }
     Ok(())
 }

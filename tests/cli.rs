@@ -37,6 +37,23 @@ fn harvest_stats_query_rules_ned_round_trip() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("solutions"), "{stdout}");
 
+    // query, full SELECT form with aggregation and --explain
+    let out = kbkit()
+        .args([
+            "query",
+            kb_path.to_str().unwrap(),
+            "SELECT ?n COUNT(?p) AS ?k WHERE { ?p bornIn ?c . ?c locatedIn ?n } \
+             GROUP BY ?n ORDER BY DESC(?k) ?n LIMIT 5",
+            "--explain",
+        ])
+        .output()
+        .expect("select query");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("solutions"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("estimated cost"), "{stderr}");
+
     // rules
     let out = kbkit()
         .args(["rules", kb_path.to_str().unwrap(), "--min-support", "3"])
