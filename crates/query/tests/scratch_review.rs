@@ -1,0 +1,43 @@
+//! Scratch test (review only, not part of the PR).
+
+use kb_query::exec::cell_str;
+use kb_store::KbBuilder;
+
+#[test]
+fn optional_after_union_merge_range_correlation() {
+    let mut b = KbBuilder::new();
+    // Union binds ?a.
+    b.assert_str("alice", "knows", "bob");
+    b.assert_str("carol", "likes", "bob");
+    // Merge-eligible pair inside the OPTIONAL: ?a bornIn ?c . ?d diedIn ?c
+    b.assert_str("alice", "bornIn", "town1");
+    b.assert_str("carol", "bornIn", "town2");
+    b.assert_str("dave", "diedIn", "town1");
+    b.assert_str("erin", "diedIn", "town2");
+    let snap = b.freeze();
+
+    let q = "SELECT ?a ?c ?d WHERE { { ?a knows bob } UNION { ?a likes bob } OPTIONAL { ?a bornIn ?c . ?d diedIn ?c } }";
+    let parsed = kb_query::parse(q).unwrap();
+    let stats = kb_query::StatsCatalog::build(&snap);
+    let plan = kb_query::plan(&parsed, &snap, &stats).unwrap();
+    eprintln!("EXPLAIN:");
+    for l in plan.explain() {
+        eprintln!("  {l}");
+    }
+    let out = kb_query::execute(&plan, &snap);
+    eprintln!("ROWS:");
+    for r in &out.rows {
+        eprintln!("  {}", out.render_row(r, &snap));
+    }
+    // Expected: alice correlates only with town1/dave; carol only with town2/erin.
+    for r in &out.rows {
+        let a = cell_str(&r[0], &snap).into_owned();
+        let c = cell_str(&r[1], &snap).into_owned();
+        if a == "alice" {
+            assert_eq!(c, "town1", "alice must correlate with her own bornIn: {r:?}");
+        }
+        if a == "carol" {
+            assert_eq!(c, "town2", "carol must correlate with her own bornIn: {r:?}");
+        }
+    }
+}
