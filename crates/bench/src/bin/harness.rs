@@ -59,14 +59,19 @@ fn main() {
         ("t10", Box::new(|| exp_analytics::t10(&corpus))),
         ("t13", Box::new(exp_query::t13)),
         ("f8", Box::new(exp_query::f8)),
+        ("t14", Box::new(exp_query::t14)),
     ];
     for (id, run) in experiments {
         if !want(id) {
             continue;
         }
+        // Each experiment gets a clean global registry, so the blob
+        // below holds exactly the metrics that experiment produced.
+        kb_obs::global().reset();
         let t0 = Instant::now();
         let output = run();
         println!("{output}");
+        println!("[{id} metrics] {}", kb_obs::global().render_json());
         println!("[{id} took {:.1}s]\n", t0.elapsed().as_secs_f64());
     }
 }

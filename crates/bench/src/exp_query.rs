@@ -1,7 +1,8 @@
-//! F8 (cost-based planner vs legacy greedy join order) and T13 (query
+//! F8 (cost-based planner vs legacy greedy join order), T13 (query
 //! serving layer: plan-cache behaviour and batch throughput vs worker
-//! count).
+//! count), and T14 (single-flight dedup of cold-query bursts).
 
+use std::sync::Barrier;
 use std::time::Instant;
 
 use kb_query::{execute, parse, plan, QueryService, StatsCatalog};
@@ -190,6 +191,84 @@ pub fn t13() -> String {
     )
 }
 
+/// One cold-query burst: `threads` workers hit the same never-seen
+/// query through one barrier. Returns the service's cache stats and
+/// the burst wall time in milliseconds.
+fn cold_burst(
+    snap: &std::sync::Arc<kb_store::KbSnapshot>,
+    text: &str,
+    threads: usize,
+    single_flight: bool,
+) -> (kb_query::CacheStats, f64) {
+    let svc = QueryService::with_instrumentation(snap.clone(), 32, &kb_obs::Registry::new());
+    svc.set_single_flight(single_flight);
+    let barrier = Barrier::new(threads);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                svc.query(text).expect("burst query");
+            });
+        }
+    });
+    (svc.cache_stats(), t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// T14: the thundering-herd fix. A burst of workers all miss on the
+/// same cold query; without single-flight each racer may execute the
+/// full plan redundantly, with it exactly one leader executes while
+/// the rest wait and are counted as `result_dedup`. Averaged over
+/// several bursts because the unprotected race is nondeterministic.
+pub fn t14() -> String {
+    const BURSTS: usize = 16;
+    // The merge-range join over the two mid-sized relations is the
+    // most expensive cold path in the workload (several ms at this
+    // scale) — long enough for every burst thread to probe-miss before
+    // the first finisher populates the cache.
+    let kb = synthetic_kb_skewed(150_000, 7);
+    let snap = kb.into_snapshot().into_shared();
+    let text = "?a rel_mid ?c . ?b rel_mid2 ?c";
+    let mut t = Table::new(&[
+        "threads",
+        "single-flight",
+        "cold executions/burst",
+        "deduped/burst",
+        "burst ms",
+    ]);
+    for &threads in &[2usize, 4, 8] {
+        for single_flight in [false, true] {
+            let (mut misses, mut dedup, mut ms) = (0u64, 0u64, 0.0f64);
+            for _ in 0..BURSTS {
+                let (stats, burst_ms) = cold_burst(&snap, text, threads, single_flight);
+                assert_eq!(
+                    stats.result_hits + stats.result_misses + stats.result_dedup,
+                    threads as u64,
+                    "counter conservation"
+                );
+                if single_flight {
+                    assert_eq!(stats.result_misses, 1, "single-flight must execute exactly once");
+                }
+                misses += stats.result_misses;
+                dedup += stats.result_dedup;
+                ms += burst_ms;
+            }
+            let per = |v: u64| format!("{:.2}", v as f64 / BURSTS as f64);
+            t.row(vec![
+                threads.to_string(),
+                if single_flight { "on" } else { "off" }.to_string(),
+                per(misses),
+                per(dedup),
+                format!("{:.2}", ms / BURSTS as f64),
+            ]);
+        }
+    }
+    format!(
+        "T14 — single-flight dedup of cold-query bursts ({BURSTS} bursts/row, fresh cache per burst)\n{}",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +293,20 @@ mod tests {
             let new = kb_query::query(&snap, text).expect("new");
             assert_eq!(legacy.len(), new.rows.len(), "cardinality mismatch on {label}");
         }
+    }
+
+    #[test]
+    fn t14_single_flight_burst_is_deduped() {
+        // Smoke-scale: one 4-thread burst per mode on a small KB.
+        let kb = synthetic_kb_skewed(2_000, 3);
+        let snap = kb.into_snapshot().into_shared();
+        let text = "?a rel_mid ?c . ?b rel_mid2 ?c";
+        let (off, _) = cold_burst(&snap, text, 4, false);
+        assert_eq!(off.result_hits + off.result_misses + off.result_dedup, 4);
+        assert_eq!(off.result_dedup, 0, "dedup counter must stay 0 with single-flight off");
+        let (on, _) = cold_burst(&snap, text, 4, true);
+        assert_eq!(on.result_misses, 1);
+        assert_eq!(on.result_hits + on.result_dedup, 3);
     }
 
     #[test]

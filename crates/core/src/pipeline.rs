@@ -519,7 +519,9 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
     let entity_bound = world.entities.len() as u32;
 
     // ---- Phase 1: quarantine + occurrence collection (parallel) -----
+    let obs = kb_obs::global();
     let t0 = Instant::now();
+    let collect_span = obs.span("harvest.phase.collect_us");
     let collected = collect_resilient(
         &all_docs,
         &canonical_of,
@@ -528,6 +530,7 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
         &cfg.resilience,
         entity_bound,
     )?;
+    collect_span.stop();
     let collect_secs = t0.elapsed().as_secs_f64();
     let docs: Vec<&Doc> = collected.survivors.iter().map(|&i| all_docs[i]).collect();
     let occurrences = collected.occurrences;
@@ -538,6 +541,7 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
     // them anyway so no unexpected panic crosses the public API.
     catch_panic(|| -> Result<HarvestOutput, PipelineError> {
         // ---- Phase 2: entities & classes ----------------------------
+        let taxonomy_span = obs.span("harvest.phase.taxonomy_us");
         let cat = category::harvest_categories(&docs, canonical_of);
         let hearst_inst = hearst::harvest_hearst(&docs, canonical_of);
         let instances = induce::merge_instances(&[(&cat.instances, 0.9), (&hearst_inst, 0.7)]);
@@ -548,9 +552,11 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
             }
         }
         let types = scoring::build_type_index(&instances, &subclass_edges);
+        taxonomy_span.stop();
 
         // ---- Phase 3: distant supervision + extraction --------------
         let t1 = Instant::now();
+        let extract_span = obs.span("harvest.phase.extract_us");
         let gold_facts = gold::gold_fact_strings(world);
         let seeds = distant::stratified_seeds(&gold_facts, cfg.seed_fraction);
         let model = distant::train(&occurrences, &seeds, &cfg.train);
@@ -580,13 +586,18 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
             }
         }
 
+        extract_span.stop();
+
         // ---- Phase 4: refinement (with degradation ladder) ----------
+        let refine_span = obs.span("harvest.phase.refine_us");
         let (accepted_idx, downgrades) = refine_candidates(&mut candidates, &types, cfg);
         let accepted: Vec<CandidateFact> =
             accepted_idx.iter().map(|&i| candidates[i].clone()).collect();
+        refine_span.stop();
         let infer_secs = t1.elapsed().as_secs_f64();
 
         // ---- Phase 5: load KB (sharded ingest + merge barrier) ------
+        let load_span = obs.span("harvest.phase.load_us");
         let mut kb = KnowledgeBase::new();
         let src = kb.register_source("harvest");
         induce::load_into_kb(&mut kb, &instances, &subclass_edges, "taxonomy")?;
@@ -599,6 +610,8 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
                 kb.labels.add(term, en, &m.surface);
             }
         }
+
+        load_span.stop();
 
         let stats = PipelineStats {
             docs: docs.len(),
@@ -613,9 +626,25 @@ pub fn harvest(corpus: &Corpus, cfg: &HarvestConfig) -> Result<HarvestOutput, Pi
             retries,
             downgrades,
         };
+        record_pipeline_metrics(&stats);
         Ok(HarvestOutput { kb, candidates, accepted, instances, subclass_edges, seeds, stats })
     })
     .map_err(|detail| PipelineError::StagePanic { stage: "harvest", detail })?
+}
+
+/// Publishes one harvest run's volume and resilience ledger as
+/// `harvest.*` counters in the global [`kb_obs`] registry (counters
+/// accumulate across runs; `kbkit metrics` resets between phases).
+fn record_pipeline_metrics(stats: &PipelineStats) {
+    let obs = kb_obs::global();
+    obs.counter("harvest.docs.processed").add(stats.docs as u64);
+    obs.counter("harvest.docs.quarantined").add(stats.quarantined.len() as u64);
+    obs.counter("harvest.facts.candidates").add(stats.candidates as u64);
+    obs.counter("harvest.facts.accepted").add(stats.accepted as u64);
+    obs.counter("harvest.facts.rejected")
+        .add(stats.candidates.saturating_sub(stats.accepted) as u64);
+    obs.counter("harvest.resilience.retries").add(stats.retries as u64);
+    obs.counter("harvest.resilience.downgrades").add(stats.downgrades.len() as u64);
 }
 
 /// Evaluates accepted facts against gold, excluding the seeds from both

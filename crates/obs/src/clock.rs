@@ -1,0 +1,105 @@
+//! Time sources for span timing.
+//!
+//! Every duration recorded through `kb-obs` flows through the [`Clock`]
+//! trait, so tests can substitute a [`ManualClock`] and assert exact
+//! histogram contents without ever touching the wall clock. Production
+//! code uses the process-wide [`WallClock`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A monotone microsecond clock. Implementations must be cheap to read
+/// and safe to share across threads.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Microseconds since an arbitrary (per-clock) epoch. Monotone
+    /// non-decreasing.
+    fn now_micros(&self) -> u64;
+}
+
+/// The process epoch for [`WallClock`]: fixed on first use so readings
+/// are comparable across threads.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The real monotone clock ([`Instant`]-backed). Use only outside
+/// tests; timing *tests* inject a [`ManualClock`] instead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WallClock;
+
+impl WallClock {
+    /// A shareable handle, for APIs taking `Arc<dyn Clock>`.
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(WallClock)
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        epoch().elapsed().as_micros() as u64
+    }
+}
+
+/// A deterministic clock that only moves when told to. The test-side
+/// implementation of [`Clock`]: advance it between the start and end of
+/// a span to fabricate any duration, reproducibly.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at `start_micros`.
+    pub fn new(start_micros: u64) -> Self {
+        Self { micros: AtomicU64::new(start_micros) }
+    }
+
+    /// A shareable handle, keeping a typed reference for `advance`.
+    pub fn shared(start_micros: u64) -> Arc<ManualClock> {
+        Arc::new(Self::new(start_micros))
+    }
+
+    /// Moves the clock forward by `delta` microseconds.
+    pub fn advance(&self, delta_micros: u64) {
+        self.micros.fetch_add(delta_micros, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to an absolute reading. Panics in debug builds if
+    /// that would move time backwards.
+    pub fn set(&self, micros: u64) {
+        let prev = self.micros.swap(micros, Ordering::SeqCst);
+        debug_assert!(micros >= prev, "ManualClock must not move backwards ({prev} -> {micros})");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let c = ManualClock::new(100);
+        assert_eq!(c.now_micros(), 100);
+        c.advance(50);
+        assert_eq!(c.now_micros(), 150);
+        c.set(200);
+        assert_eq!(c.now_micros(), 200);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock;
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+}

@@ -16,10 +16,37 @@
 //!
 //! **Invalidation rule:** every cached plan and result is stamped with
 //! the snapshot *generation* it was computed against. Installing a new
-//! snapshot bumps the generation; stale entries fail the stamp check on
-//! their next probe and are recomputed. Plans are generation-scoped
-//! because resolved [`TermId`](kb_store::TermId)s are dictionary-
-//! specific, not just because facts changed.
+//! snapshot bumps the generation and raises each cache's *generation
+//! floor*: stale entries are cleared eagerly, entries probed with a
+//! mismatched stamp die lazily, and — crucially — an in-flight query
+//! that captured the old generation can no longer re-insert a dead
+//! generation's plan or result after the clear (the floor rejects the
+//! `put`), so a dead `Arc<KbSnapshot>`'s plans cannot be pinned until
+//! LRU eviction. Plans are generation-scoped because resolved
+//! [`TermId`](kb_store::TermId)s are dictionary-specific, not just
+//! because facts changed.
+//!
+//! **Single flight:** concurrent identical queries that miss a cache do
+//! the work once. Both plan compilation and execution are deduplicated
+//! through an in-flight table keyed by `(generation, normalized key)`:
+//! the first thread becomes the *leader* and computes; later arrivals
+//! block until the leader publishes, and are counted in the
+//! `*_dedup` counters instead of the miss counters. This fixes the
+//! thundering-herd cold-start where N threads issuing one cold query
+//! all parsed, planned and executed it independently.
+//!
+//! ## Observability
+//!
+//! The service owns its counters and latency histograms (`kb-obs`
+//! primitives) and publishes them in a [`Registry`] under
+//! `query.cache.*` / `query.{parse,plan,exec}_us`; [`cache_stats`]
+//! (CacheStats) reads the same counters. Span durations come from the
+//! registry's injectable clock, so timing tests never touch the wall
+//! clock. By default metrics land in [`kb_obs::global()`]; tests pass a
+//! private registry via [`QueryService::with_instrumentation`].
+//!
+//! [`cache_stats`]: QueryService::cache_stats
+//! [`Registry`]: kb_obs::Registry
 //!
 //! Batches run on a crossbeam scoped worker pool (the same shape as
 //! `kb-analytics`' `aggregate_parallel`): workers share the service and
@@ -27,9 +54,10 @@
 //! beyond brief cache probes.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
+use kb_obs::{Clock, Counter, Histogram, Registry, SpanTimer};
 use kb_store::KbSnapshot;
 
 use crate::error::QueryError;
@@ -41,32 +69,68 @@ use crate::stats::StatsCatalog;
 /// Default bound on each cache (plans and results separately).
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
-/// Cache hit/miss counters, cheap to read at any time.
+/// Cache hit/miss/dedup counters, cheap to read at any time.
+///
+/// Conservation law: every [`query`](QueryService::query) call
+/// increments exactly one of `result_hits` / `result_misses` /
+/// `result_dedup`, so their sum equals the number of queries served —
+/// exactly, even under concurrency (the stress tests pin this).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered straight from the result cache.
     pub result_hits: u64,
     /// Queries that had to execute.
     pub result_misses: u64,
-    /// Executions that reused a cached plan (raw or normalized hit).
+    /// Queries that joined another thread's in-flight execution instead
+    /// of executing themselves (single-flight dedup).
+    pub result_dedup: u64,
+    /// Plan lookups that reused a cached plan (raw or normalized hit).
     pub plan_hits: u64,
-    /// Executions that parsed and planned from scratch.
+    /// Plan lookups that parsed and planned from scratch.
     pub plan_misses: u64,
+    /// Plan lookups that joined another thread's in-flight compilation.
+    pub plan_dedup: u64,
+    /// Entries evicted from the plan cache by capacity pressure.
+    pub plan_evictions: u64,
+    /// Entries evicted from the result cache by capacity pressure.
+    pub result_evictions: u64,
+    /// Inserts rejected because their generation stamp predated the
+    /// cache's floor (an install raced the computation).
+    pub stale_put_rejects: u64,
+}
+
+/// What [`LruCache::put`] did with the offered entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PutOutcome {
+    /// Entry stored, nothing displaced.
+    Inserted,
+    /// Entry stored after evicting the least-recently-used one.
+    Evicted,
+    /// Entry rejected: its generation stamp predates the cache floor.
+    StaleRejected,
 }
 
 /// A bounded LRU keyed by `String`, stamped with the snapshot
 /// generation. Recency is a monotone counter; eviction scans for the
 /// minimum — `O(capacity)`, fine for the few hundred entries a plan
 /// cache holds.
+///
+/// The *generation floor* is the teeth of the invalidation rule:
+/// [`set_floor`](LruCache::set_floor) (called under the cache lock by
+/// `install`) clears the map and rejects any later `put` stamped below
+/// the floor, closing the race where an in-flight computation against a
+/// dead snapshot re-inserts after the clear.
 struct LruCache<V> {
     capacity: usize,
     tick: u64,
+    /// Minimum generation stamp accepted by `put`.
+    floor: u64,
     map: HashMap<String, (u64, u64, V)>, // (generation, last_used, value)
 }
 
 impl<V: Clone> LruCache<V> {
     fn new(capacity: usize) -> Self {
-        LruCache { capacity: capacity.max(1), tick: 0, map: HashMap::new() }
+        LruCache { capacity: capacity.max(1), tick: 0, floor: 0, map: HashMap::new() }
     }
 
     fn get(&mut self, key: &str, generation: u64) -> Option<V> {
@@ -85,24 +149,216 @@ impl<V: Clone> LruCache<V> {
         }
     }
 
-    fn put(&mut self, key: String, generation: u64, value: V) {
+    fn put(&mut self, key: String, generation: u64, value: V) -> PutOutcome {
+        if generation < self.floor {
+            return PutOutcome::StaleRejected;
+        }
         self.tick += 1;
+        let mut outcome = PutOutcome::Inserted;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             if let Some(evict) =
                 self.map.iter().min_by_key(|(_, (_, used, _))| *used).map(|(k, _)| k.clone())
             {
                 self.map.remove(&evict);
+                outcome = PutOutcome::Evicted;
             }
         }
         self.map.insert(key, (generation, self.tick, value));
+        outcome
     }
 
-    fn clear(&mut self) {
+    /// Raises the floor to `generation` and drops everything cached:
+    /// entries below the floor can neither be read (stamp mismatch) nor
+    /// re-inserted (floor check) afterwards.
+    fn set_floor(&mut self, generation: u64) {
+        debug_assert!(generation >= self.floor, "generation floor must be monotone");
+        self.floor = generation;
         self.map.clear();
+    }
+
+    /// Entries stamped with a generation older than `current`.
+    fn stale_count(&self, current: u64) -> usize {
+        self.map.values().filter(|(gen, _, _)| *gen < current).count()
     }
 
     fn len(&self) -> usize {
         self.map.len()
+    }
+}
+
+/// State of one in-flight computation.
+enum FlightState<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader published a value; followers clone it.
+    Done(V),
+    /// The leader died (panicked) without publishing; followers retry.
+    Abandoned,
+}
+
+/// One in-flight computation slot: a state cell plus the condvar the
+/// followers sleep on.
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+/// Flight-table key: the snapshot generation plus the normalized query
+/// key, so a flight can never dedup across an `install`.
+type FlightKey = (u64, String);
+
+/// A single-flight table: at most one thread computes the value for a
+/// given `(generation, key)` at a time; the rest wait for its answer.
+struct SingleFlight<V> {
+    inflight: Mutex<HashMap<FlightKey, Arc<Flight<V>>>>,
+}
+
+/// The outcome of [`SingleFlight::enter`].
+enum FlightEntry<'a, V> {
+    /// This thread owns the computation; it must call
+    /// [`FlightGuard::publish`] (dropping the guard un-published wakes
+    /// the followers to retry).
+    Leader(FlightGuard<'a, V>),
+    /// Another thread computed the value; here is its clone.
+    Joined(V),
+}
+
+/// Leadership token for one in-flight key. Publishing (or dropping)
+/// wakes every follower and retires the flight.
+struct FlightGuard<'a, V> {
+    table: &'a SingleFlight<V>,
+    key: FlightKey,
+    flight: Arc<Flight<V>>,
+    published: bool,
+}
+
+impl<V: Clone> SingleFlight<V> {
+    fn new() -> Self {
+        SingleFlight { inflight: Mutex::new(HashMap::new()) }
+    }
+
+    /// Joins (blocking) or leads the computation for `(generation, key)`.
+    fn enter(&self, generation: u64, key: &str) -> FlightEntry<'_, V> {
+        loop {
+            let flight = {
+                let mut map = self.inflight.lock().expect("single-flight table poisoned");
+                match map.get(&(generation, key.to_string())) {
+                    Some(f) => Arc::clone(f),
+                    None => {
+                        let flight = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        map.insert((generation, key.to_string()), Arc::clone(&flight));
+                        return FlightEntry::Leader(FlightGuard {
+                            table: self,
+                            key: (generation, key.to_string()),
+                            flight,
+                            published: false,
+                        });
+                    }
+                }
+            };
+            let mut state = flight.state.lock().expect("flight poisoned");
+            while matches!(*state, FlightState::Pending) {
+                state = flight.cv.wait(state).expect("flight poisoned");
+            }
+            match &*state {
+                FlightState::Done(v) => return FlightEntry::Joined(v.clone()),
+                // Leader abandoned (panicked): take over on a fresh slot.
+                FlightState::Abandoned => continue,
+                FlightState::Pending => unreachable!("left the wait loop while pending"),
+            }
+        }
+    }
+}
+
+impl<V> FlightGuard<'_, V> {
+    /// Publishes `value` to every follower and retires the flight. The
+    /// caller must make the value visible in the cache *before* this,
+    /// so a thread arriving after retirement finds the cached entry.
+    fn publish(mut self, value: V) {
+        *self.flight.state.lock().expect("flight poisoned") = FlightState::Done(value);
+        self.flight.cv.notify_all();
+        self.published = true;
+        self.table.inflight.lock().expect("single-flight table poisoned").remove(&self.key);
+    }
+}
+
+impl<V> Drop for FlightGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.published {
+            // Leader died without an answer: wake followers to retry.
+            *self.flight.state.lock().expect("flight poisoned") = FlightState::Abandoned;
+            self.flight.cv.notify_all();
+            self.table.inflight.lock().expect("single-flight table poisoned").remove(&self.key);
+        }
+    }
+}
+
+/// The service's owned metric instances, published by name in a
+/// [`Registry`]. Owning (rather than sharing get-or-create handles)
+/// keeps per-service readouts exact even when several services coexist
+/// in one process, as they do under `cargo test`.
+struct ServiceMetrics {
+    result_hits: Arc<Counter>,
+    result_misses: Arc<Counter>,
+    result_dedup: Arc<Counter>,
+    plan_hits: Arc<Counter>,
+    plan_misses: Arc<Counter>,
+    plan_dedup: Arc<Counter>,
+    plan_evictions: Arc<Counter>,
+    result_evictions: Arc<Counter>,
+    stale_put_rejects: Arc<Counter>,
+    installs: Arc<Counter>,
+    parse_us: Arc<Histogram>,
+    plan_us: Arc<Histogram>,
+    exec_us: Arc<Histogram>,
+    clock: Arc<dyn Clock>,
+}
+
+impl ServiceMetrics {
+    /// Fresh instances, registered (replacing same-named predecessors)
+    /// in `registry`.
+    fn publish(registry: &Registry) -> Self {
+        let counter = |name: &str| {
+            let c = Arc::new(Counter::new());
+            registry.register_counter(name, Arc::clone(&c));
+            c
+        };
+        let histogram = |name: &str| {
+            let h = Arc::new(Histogram::latency());
+            registry.register_histogram(name, Arc::clone(&h));
+            h
+        };
+        ServiceMetrics {
+            result_hits: counter("query.cache.result_hits"),
+            result_misses: counter("query.cache.result_misses"),
+            result_dedup: counter("query.cache.result_dedup"),
+            plan_hits: counter("query.cache.plan_hits"),
+            plan_misses: counter("query.cache.plan_misses"),
+            plan_dedup: counter("query.cache.plan_dedup"),
+            plan_evictions: counter("query.cache.plan_evictions"),
+            result_evictions: counter("query.cache.result_evictions"),
+            stale_put_rejects: counter("query.cache.stale_put_rejects"),
+            installs: counter("query.service.installs"),
+            parse_us: histogram("query.parse_us"),
+            plan_us: histogram("query.plan_us"),
+            exec_us: histogram("query.exec_us"),
+            clock: registry.clock(),
+        }
+    }
+
+    fn span(&self, hist: &Arc<Histogram>) -> SpanTimer {
+        SpanTimer::start(Arc::clone(&self.clock), Arc::clone(hist))
+    }
+
+    fn count_put(&self, which: &Arc<Counter>, outcome: PutOutcome) {
+        match outcome {
+            PutOutcome::Inserted => {}
+            PutOutcome::Evicted => which.inc(),
+            PutOutcome::StaleRejected => self.stale_put_rejects.inc(),
+        }
     }
 }
 
@@ -117,57 +373,84 @@ struct Generation {
 /// A concurrent query service over an immutable KB snapshot.
 ///
 /// Shared by reference (or `Arc`) across client threads; all methods
-/// take `&self`. See the module docs for the caching discipline.
+/// take `&self`. See the module docs for the caching discipline, the
+/// single-flight dedup and the metrics it publishes.
 pub struct QueryService {
     current: Mutex<Generation>,
     plans: Mutex<LruCache<Arc<Plan>>>,
     results: Mutex<LruCache<Arc<QueryOutput>>>,
     /// raw query text → normalized cache key.
     aliases: Mutex<LruCache<String>>,
-    result_hits: AtomicU64,
-    result_misses: AtomicU64,
-    plan_hits: AtomicU64,
-    plan_misses: AtomicU64,
+    plan_flight: SingleFlight<Result<Arc<Plan>, QueryError>>,
+    result_flight: SingleFlight<Arc<QueryOutput>>,
+    single_flight: AtomicBool,
+    metrics: ServiceMetrics,
 }
 
 impl QueryService {
     /// Creates a service over `snapshot` with
     /// [`DEFAULT_CACHE_CAPACITY`] for both caches. Builds the
-    /// statistics catalog once, up front.
+    /// statistics catalog once, up front. Metrics are published in the
+    /// process-global [`kb_obs::global()`] registry.
     pub fn new(snapshot: Arc<KbSnapshot>) -> Self {
         Self::with_capacity(snapshot, DEFAULT_CACHE_CAPACITY)
     }
 
     /// Like [`new`](Self::new) with an explicit per-cache bound.
     pub fn with_capacity(snapshot: Arc<KbSnapshot>, capacity: usize) -> Self {
+        Self::with_instrumentation(snapshot, capacity, kb_obs::global())
+    }
+
+    /// Like [`with_capacity`](Self::with_capacity), publishing metrics
+    /// in `registry` and timing spans with its clock. Tests pass a
+    /// private registry (usually on a
+    /// [`ManualClock`](kb_obs::ManualClock)) for exact, isolated
+    /// readouts.
+    pub fn with_instrumentation(
+        snapshot: Arc<KbSnapshot>,
+        capacity: usize,
+        registry: &Registry,
+    ) -> Self {
         let stats = Arc::new(StatsCatalog::build(snapshot.as_ref()));
         QueryService {
             current: Mutex::new(Generation { snapshot, stats, number: 0 }),
             plans: Mutex::new(LruCache::new(capacity)),
             results: Mutex::new(LruCache::new(capacity)),
             aliases: Mutex::new(LruCache::new(capacity * 4)),
-            result_hits: AtomicU64::new(0),
-            result_misses: AtomicU64::new(0),
-            plan_hits: AtomicU64::new(0),
-            plan_misses: AtomicU64::new(0),
+            plan_flight: SingleFlight::new(),
+            result_flight: SingleFlight::new(),
+            single_flight: AtomicBool::new(true),
+            metrics: ServiceMetrics::publish(registry),
         }
     }
 
-    /// Installs a new snapshot, bumping the generation. Cached plans and
-    /// results from older generations die lazily on their next probe
-    /// (the generation stamp no longer matches); the alias map is
+    /// Enables or disables single-flight dedup (on by default). Only
+    /// meant for benchmarking the thundering-herd effect the dedup
+    /// exists to prevent — see EXPERIMENTS.md T14.
+    pub fn set_single_flight(&self, enabled: bool) {
+        self.single_flight.store(enabled, Ordering::Relaxed);
+    }
+
+    fn single_flight_enabled(&self) -> bool {
+        self.single_flight.load(Ordering::Relaxed)
+    }
+
+    /// Installs a new snapshot, bumping the generation. The caches are
+    /// cleared and their generation floor raised, so entries computed
+    /// against older generations can neither be probed nor re-inserted
+    /// afterwards (see the module docs); the alias map is
     /// generation-independent and survives.
     pub fn install(&self, snapshot: Arc<KbSnapshot>) {
         let stats = Arc::new(StatsCatalog::build(snapshot.as_ref()));
         let mut cur = self.current.lock().expect("service lock poisoned");
         cur.number += 1;
+        let generation = cur.number;
         cur.snapshot = snapshot;
         cur.stats = stats;
         drop(cur);
-        // Eagerly drop stale entries so a long-lived service does not
-        // pin dead snapshots' plans in the LRU.
-        self.plans.lock().expect("plan cache poisoned").clear();
-        self.results.lock().expect("result cache poisoned").clear();
+        self.plans.lock().expect("plan cache poisoned").set_floor(generation);
+        self.results.lock().expect("result cache poisoned").set_floor(generation);
+        self.metrics.installs.inc();
     }
 
     /// The current snapshot generation (starts at 0, bumps on
@@ -184,10 +467,15 @@ impl QueryService {
     /// Cache counters since construction.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            result_hits: self.result_hits.load(Ordering::Relaxed),
-            result_misses: self.result_misses.load(Ordering::Relaxed),
-            plan_hits: self.plan_hits.load(Ordering::Relaxed),
-            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            result_hits: self.metrics.result_hits.get(),
+            result_misses: self.metrics.result_misses.get(),
+            result_dedup: self.metrics.result_dedup.get(),
+            plan_hits: self.metrics.plan_hits.get(),
+            plan_misses: self.metrics.plan_misses.get(),
+            plan_dedup: self.metrics.plan_dedup.get(),
+            plan_evictions: self.metrics.plan_evictions.get(),
+            result_evictions: self.metrics.result_evictions.get(),
+            stale_put_rejects: self.metrics.stale_put_rejects.get(),
         }
     }
 
@@ -197,6 +485,17 @@ impl QueryService {
             self.plans.lock().expect("plan cache poisoned").len(),
             self.results.lock().expect("result cache poisoned").len(),
         )
+    }
+
+    /// Diagnostic: cached plan/result entries stamped with a generation
+    /// older than the current one. The generation-floor invariant keeps
+    /// this at zero from the moment [`install`](Self::install) returns —
+    /// a dead snapshot's entries can never reappear (regression guard
+    /// for the dead-snapshot pinning bug).
+    pub fn stale_entries(&self) -> usize {
+        let current = self.generation();
+        self.plans.lock().expect("plan cache poisoned").stale_count(current)
+            + self.results.lock().expect("result cache poisoned").stale_count(current)
     }
 
     fn generation_handles(&self) -> (Arc<KbSnapshot>, Arc<StatsCatalog>, u64) {
@@ -223,67 +522,147 @@ impl QueryService {
         let alias = self.aliases.lock().expect("alias cache poisoned").get(text, 0);
         if let Some(key) = &alias {
             if let Some(p) = self.plans.lock().expect("plan cache poisoned").get(key, generation) {
-                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.plan_hits.inc();
                 return Ok((p, key.clone()));
             }
         }
         // Level 2: parse, normalize, probe under the canonical key.
-        let parsed = parse(text)?;
+        let parse_span = self.metrics.span(&self.metrics.parse_us);
+        let parsed = parse(text);
+        parse_span.stop();
+        let parsed = parsed?;
         let key = parsed.to_string();
         if let Some(p) = self.plans.lock().expect("plan cache poisoned").get(&key, generation) {
-            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.plan_hits.inc();
             self.remember_alias(text, &key);
             return Ok((p, key));
         }
-        self.plan_misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = Arc::new(plan(&parsed, snapshot, stats)?);
-        self.plans.lock().expect("plan cache poisoned").put(
-            key.clone(),
-            generation,
-            compiled.clone(),
-        );
-        self.remember_alias(text, &key);
-        Ok((compiled, key))
-    }
-
-    fn remember_alias(&self, raw: &str, key: &str) {
-        if raw != key {
-            self.aliases.lock().expect("alias cache poisoned").put(
-                raw.to_string(),
-                0,
-                key.to_string(),
-            );
-        } else {
-            self.aliases.lock().expect("alias cache poisoned").put(
-                raw.to_string(),
-                0,
-                raw.to_string(),
-            );
+        if !self.single_flight_enabled() {
+            let compiled = self.compile_and_cache(&parsed, &key, snapshot, stats, generation)?;
+            self.remember_alias(text, &key);
+            return Ok((compiled, key));
+        }
+        match self.plan_flight.enter(generation, &key) {
+            FlightEntry::Joined(result) => {
+                self.metrics.plan_dedup.inc();
+                self.remember_alias(text, &key);
+                result.map(|p| (p, key))
+            }
+            FlightEntry::Leader(guard) => {
+                // Double check: the previous leader may have cached the
+                // plan after our probe but before our leadership.
+                if let Some(p) =
+                    self.plans.lock().expect("plan cache poisoned").get(&key, generation)
+                {
+                    self.metrics.plan_hits.inc();
+                    guard.publish(Ok(Arc::clone(&p)));
+                    self.remember_alias(text, &key);
+                    return Ok((p, key));
+                }
+                let compiled = self.compile_and_cache(&parsed, &key, snapshot, stats, generation);
+                guard.publish(compiled.clone());
+                self.remember_alias(text, &key);
+                compiled.map(|p| (p, key))
+            }
         }
     }
 
+    /// The plan-miss path: compiles `parsed` (timed) and stores the
+    /// plan under `key`, subject to the generation floor.
+    fn compile_and_cache(
+        &self,
+        parsed: &crate::ast::SelectQuery,
+        key: &str,
+        snapshot: &KbSnapshot,
+        stats: &StatsCatalog,
+        generation: u64,
+    ) -> Result<Arc<Plan>, QueryError> {
+        self.metrics.plan_misses.inc();
+        let plan_span = self.metrics.span(&self.metrics.plan_us);
+        let compiled = plan(parsed, snapshot, stats);
+        plan_span.stop();
+        let compiled = Arc::new(compiled?);
+        let outcome = self.plans.lock().expect("plan cache poisoned").put(
+            key.to_string(),
+            generation,
+            Arc::clone(&compiled),
+        );
+        self.metrics.count_put(&self.metrics.plan_evictions, outcome);
+        Ok(compiled)
+    }
+
+    fn remember_alias(&self, raw: &str, key: &str) {
+        self.aliases.lock().expect("alias cache poisoned").put(raw.to_string(), 0, key.to_string());
+    }
+
+    /// Probes the result cache; on a hit, counts it and returns it.
+    fn result_probe(&self, key: &str, generation: u64) -> Option<Arc<QueryOutput>> {
+        let hit = self.results.lock().expect("result cache poisoned").get(key, generation);
+        if hit.is_some() {
+            self.metrics.result_hits.inc();
+        }
+        hit
+    }
+
+    /// The result-miss path: executes (timed) and stores the output
+    /// under `key`, subject to the generation floor.
+    fn execute_and_cache(
+        &self,
+        compiled: &Plan,
+        key: &str,
+        snapshot: &KbSnapshot,
+        generation: u64,
+    ) -> Arc<QueryOutput> {
+        self.metrics.result_misses.inc();
+        let exec_span = self.metrics.span(&self.metrics.exec_us);
+        let out = Arc::new(execute(compiled, snapshot));
+        exec_span.stop();
+        let outcome = self.results.lock().expect("result cache poisoned").put(
+            key.to_string(),
+            generation,
+            Arc::clone(&out),
+        );
+        self.metrics.count_put(&self.metrics.result_evictions, outcome);
+        out
+    }
+
     /// Parses (or reuses), plans (or reuses) and executes `text`
-    /// against the current snapshot, consulting the result cache first.
+    /// against the current snapshot, consulting the result cache first
+    /// and deduplicating concurrent identical executions (single
+    /// flight).
     pub fn query(&self, text: &str) -> Result<Arc<QueryOutput>, QueryError> {
         let (snapshot, stats, generation) = self.generation_handles();
         // Result probe under the raw text first, then normalized.
         if let Some(key) = self.aliases.lock().expect("alias cache poisoned").get(text, 0) {
-            if let Some(r) =
-                self.results.lock().expect("result cache poisoned").get(&key, generation)
-            {
-                self.result_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(r) = self.result_probe(&key, generation) {
                 return Ok(r);
             }
         }
         let (compiled, key) = self.plan_for_generation(text, &snapshot, &stats, generation)?;
-        if let Some(r) = self.results.lock().expect("result cache poisoned").get(&key, generation) {
-            self.result_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = self.result_probe(&key, generation) {
             return Ok(r);
         }
-        self.result_misses.fetch_add(1, Ordering::Relaxed);
-        let out = Arc::new(execute(compiled.as_ref(), snapshot.as_ref()));
-        self.results.lock().expect("result cache poisoned").put(key, generation, out.clone());
-        Ok(out)
+        if !self.single_flight_enabled() {
+            return Ok(self.execute_and_cache(compiled.as_ref(), &key, &snapshot, generation));
+        }
+        match self.result_flight.enter(generation, &key) {
+            FlightEntry::Joined(out) => {
+                self.metrics.result_dedup.inc();
+                Ok(out)
+            }
+            FlightEntry::Leader(guard) => {
+                // Double check: the previous leader may have cached the
+                // result between our probe and our leadership; without
+                // this, a second burst thread could re-execute.
+                if let Some(r) = self.result_probe(&key, generation) {
+                    guard.publish(Arc::clone(&r));
+                    return Ok(r);
+                }
+                let out = self.execute_and_cache(compiled.as_ref(), &key, &snapshot, generation);
+                guard.publish(Arc::clone(&out));
+                Ok(out)
+            }
+        }
     }
 
     /// Serves a batch of queries on `workers` threads, returning results
@@ -320,14 +699,22 @@ impl QueryService {
 mod tests {
     use super::*;
     use kb_store::KbBuilder;
+    use std::sync::Barrier;
+    use std::thread;
 
-    fn service() -> QueryService {
+    fn snapshot() -> Arc<KbSnapshot> {
         let mut b = KbBuilder::new();
         b.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
         b.assert_str("Steve_Wozniak", "bornIn", "San_Jose");
         b.assert_str("San_Francisco", "locatedIn", "California");
         b.assert_str("San_Jose", "locatedIn", "California");
-        QueryService::new(b.freeze().into_shared())
+        b.freeze().into_shared()
+    }
+
+    fn service() -> QueryService {
+        // A private registry keeps counter readouts isolated from any
+        // other service living in this (parallel) test process.
+        QueryService::with_instrumentation(snapshot(), DEFAULT_CACHE_CAPACITY, &Registry::new())
     }
 
     #[test]
@@ -353,6 +740,67 @@ mod tests {
         assert_eq!(stats.result_hits, 1);
     }
 
+    /// Pins every counter transition on the two probe paths: the
+    /// raw-alias fast path (no parse) vs the normalized path (parse,
+    /// then canonical-key probes).
+    #[test]
+    fn counter_transitions_raw_alias_vs_normalized_path() {
+        let svc = service();
+        let raw = "select ?p where { ?p bornIn San_Jose }"; // non-canonical spelling
+
+        // 1. Cold: alias miss → parse → plan miss → result miss.
+        svc.query(raw).unwrap();
+        assert_eq!(
+            svc.cache_stats(),
+            CacheStats { plan_misses: 1, result_misses: 1, ..Default::default() }
+        );
+
+        // 2. Same raw text: alias hit → result hit. No parse, no plan
+        //    counter moves.
+        svc.query(raw).unwrap();
+        assert_eq!(
+            svc.cache_stats(),
+            CacheStats { plan_misses: 1, result_misses: 1, result_hits: 1, ..Default::default() }
+        );
+
+        // 3. A formatting variant (alias miss, same canonical form):
+        //    parse → plan HIT under the canonical key → result hit.
+        svc.query("SELECT ?p WHERE { ?p bornIn San_Jose . }").unwrap();
+        assert_eq!(
+            svc.cache_stats(),
+            CacheStats {
+                plan_misses: 1,
+                plan_hits: 1,
+                result_misses: 1,
+                result_hits: 2,
+                ..Default::default()
+            }
+        );
+
+        // 4. The variant again: its alias is now remembered → pure
+        //    result hit on the fast path.
+        svc.query("SELECT ?p WHERE { ?p bornIn San_Jose . }").unwrap();
+        assert_eq!(
+            svc.cache_stats(),
+            CacheStats {
+                plan_misses: 1,
+                plan_hits: 1,
+                result_misses: 1,
+                result_hits: 3,
+                ..Default::default()
+            }
+        );
+
+        // 5. plan_for alone on a fresh text: plan miss, result counters
+        //    untouched.
+        svc.plan_for("?c locatedIn California").unwrap();
+        let s = svc.cache_stats();
+        assert_eq!((s.plan_misses, s.result_misses, s.result_hits), (2, 1, 3));
+
+        // Conservation: one result counter per query() call.
+        assert_eq!(s.result_hits + s.result_misses + s.result_dedup, 4);
+    }
+
     #[test]
     fn install_invalidates_results() {
         let svc = service();
@@ -368,6 +816,102 @@ mod tests {
 
         let after = svc.query(q).unwrap();
         assert_eq!(after.rows.len(), 2, "stale cached result must not survive install");
+    }
+
+    /// The thundering-herd fix: N threads issuing the same cold query
+    /// must produce exactly one execution (one `result_miss`); everyone
+    /// else is a cache hit or a single-flight join.
+    #[test]
+    fn single_flight_dedups_concurrent_cold_queries() {
+        const THREADS: usize = 8;
+        let svc = Arc::new(service());
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let q = "?p bornIn ?c . ?c locatedIn California";
+        let outputs: Vec<Arc<QueryOutput>> = thread::scope(|scope| {
+            (0..THREADS)
+                .map(|_| {
+                    let svc = Arc::clone(&svc);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        svc.query(q).unwrap()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for out in &outputs[1..] {
+            assert_eq!(out, &outputs[0], "all threads must see the same answer");
+        }
+        let stats = svc.cache_stats();
+        assert_eq!(stats.result_misses, 1, "exactly one execution: {stats:?}");
+        assert_eq!(stats.plan_misses, 1, "exactly one compilation: {stats:?}");
+        assert_eq!(
+            stats.result_hits + stats.result_dedup,
+            (THREADS - 1) as u64,
+            "everyone else reused the leader's work: {stats:?}"
+        );
+    }
+
+    /// Regression for the dead-snapshot pinning bug, at the cache
+    /// level: the deterministic interleave is `put(gen 0)` →
+    /// `install` (floor raised to 1, map cleared) → a straggler
+    /// re-inserting its generation-0 entry. The straggler must bounce.
+    #[test]
+    fn stale_put_after_install_is_rejected() {
+        let mut lru: LruCache<u32> = LruCache::new(8);
+        assert_eq!(lru.put("q".into(), 0, 1), PutOutcome::Inserted);
+        // install(): bump generation, raise the floor, clear.
+        lru.set_floor(1);
+        assert_eq!(lru.len(), 0);
+        // The in-flight straggler stamped with the dead generation.
+        assert_eq!(lru.put("q".into(), 0, 1), PutOutcome::StaleRejected);
+        assert_eq!(lru.len(), 0, "dead-generation entry must not be pinned");
+        assert_eq!(lru.stale_count(1), 0);
+        // Current-generation inserts still land.
+        assert_eq!(lru.put("q".into(), 1, 2), PutOutcome::Inserted);
+        assert_eq!(lru.get("q", 1), Some(2));
+    }
+
+    /// Service-level version of the same regression: queries racing
+    /// installs must never leave an entry stamped with an older
+    /// generation once `install` has returned — and the stale puts are
+    /// visible in the counters.
+    #[test]
+    fn install_racing_queries_leaves_no_stale_entries() {
+        let svc = Arc::new(service());
+        let queries = [
+            "?p bornIn ?c",
+            "SELECT ?c WHERE { ?c locatedIn California }",
+            "?p bornIn ?c . ?c locatedIn California",
+        ];
+        thread::scope(|scope| {
+            for t in 0..4usize {
+                let svc = Arc::clone(&svc);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let _ = svc.query(queries[(t + i) % queries.len()]);
+                    }
+                });
+            }
+            let svc = Arc::clone(&svc);
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let mut b = KbBuilder::new();
+                    b.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
+                    b.assert_str("San_Francisco", "locatedIn", "California");
+                    svc.install(b.freeze().into_shared());
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert_eq!(svc.generation(), 20);
+        assert_eq!(svc.stale_entries(), 0, "no dead generation may stay cached");
+        // And the invariant persists for later traffic.
+        svc.query("?p bornIn ?c").unwrap();
+        assert_eq!(svc.stale_entries(), 0);
     }
 
     #[test]
@@ -399,12 +943,47 @@ mod tests {
         lru.put("a".into(), 0, 1);
         lru.put("b".into(), 0, 2);
         assert_eq!(lru.get("a", 0), Some(1));
-        lru.put("c".into(), 0, 3); // evicts "b"
+        assert_eq!(lru.put("c".into(), 0, 3), PutOutcome::Evicted); // evicts "b"
         assert_eq!(lru.get("b", 0), None);
         assert_eq!(lru.get("a", 0), Some(1));
         assert_eq!(lru.get("c", 0), Some(3));
         // Generation mismatch is a miss and drops the entry.
         assert_eq!(lru.get("a", 1), None);
         assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn eviction_and_error_counters_are_exposed() {
+        let reg = Registry::new();
+        let svc = QueryService::with_instrumentation(snapshot(), 1, &reg);
+        svc.query("?p bornIn ?c").unwrap();
+        svc.query("?c locatedIn ?s").unwrap(); // evicts the first plan+result
+        let stats = svc.cache_stats();
+        assert_eq!(stats.plan_evictions, 1);
+        assert_eq!(stats.result_evictions, 1);
+        // A parse error increments nothing but leaves the service sane.
+        assert!(svc.query("SELECT WHERE {").is_err());
+        assert_eq!(svc.cache_stats().result_misses, 2);
+        // The metrics are visible in the registry the service published
+        // into.
+        assert!(reg.render_json().contains("\"query.cache.plan_evictions\":1"));
+    }
+
+    /// Timing histograms record one sample per timed step, with
+    /// durations from the injected clock — never the wall clock.
+    #[test]
+    fn latency_histograms_use_the_injected_clock() {
+        let clock = kb_obs::ManualClock::shared(0);
+        let reg = Registry::with_clock(clock);
+        let svc = QueryService::with_instrumentation(snapshot(), DEFAULT_CACHE_CAPACITY, &reg);
+        svc.query("?p bornIn ?c").unwrap(); // cold: parse + plan + exec
+        svc.query("?p bornIn ?c").unwrap(); // alias fast path: no timing
+        let parse = reg.histogram("query.parse_us").snapshot();
+        let plan = reg.histogram("query.plan_us").snapshot();
+        let exec = reg.histogram("query.exec_us").snapshot();
+        assert_eq!((parse.count, plan.count, exec.count), (1, 1, 1));
+        // The manual clock never advanced, so every duration is exactly
+        // zero — deterministically.
+        assert_eq!((parse.sum, plan.sum, exec.sum), (0, 0, 0));
     }
 }

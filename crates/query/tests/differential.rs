@@ -231,3 +231,46 @@ proptest! {
         );
     }
 }
+
+/// Regression (PR 3 review finding, promoted from a scratch test): an
+/// OPTIONAL block after a UNION must correlate its merge-range join
+/// with the bindings produced by the union branches — the merge-range
+/// physical operator must not cross-join uncorrelated `bornIn`/`diedIn`
+/// rows onto every union binding.
+#[test]
+fn optional_after_union_keeps_merge_range_correlated() {
+    use kb_store::KbBuilder;
+
+    let mut b = KbBuilder::new();
+    // Union binds ?a.
+    b.assert_str("alice", "knows", "bob");
+    b.assert_str("carol", "likes", "bob");
+    // Merge-eligible pair inside the OPTIONAL: ?a bornIn ?c . ?d diedIn ?c
+    b.assert_str("alice", "bornIn", "town1");
+    b.assert_str("carol", "bornIn", "town2");
+    b.assert_str("dave", "diedIn", "town1");
+    b.assert_str("erin", "diedIn", "town2");
+    let snap = b.freeze();
+
+    let q = "SELECT ?a ?c ?d WHERE { { ?a knows bob } UNION { ?a likes bob } \
+             OPTIONAL { ?a bornIn ?c . ?d diedIn ?c } }";
+    let parsed = kb_query::parse(q).unwrap();
+    let stats = kb_query::StatsCatalog::build(&snap);
+    let plan = kb_query::plan(&parsed, &snap, &stats).unwrap();
+    let out = kb_query::execute(&plan, &snap);
+
+    // Each union branch correlates with its own bornIn town and that
+    // town's diedIn counterpart — never a cross-joined mix. (The engine
+    // uses bag semantics and may emit duplicate rows; the correlation
+    // invariant is about the distinct bindings.)
+    let distinct = new_rows(&out, &snap);
+    assert_eq!(
+        distinct,
+        vec![
+            vec!["alice".to_string(), "town1".to_string(), "dave".to_string()],
+            vec!["carol".to_string(), "town2".to_string(), "erin".to_string()],
+        ],
+        "rows: {:?}",
+        out.rows
+    );
+}

@@ -1,11 +1,20 @@
 //! Concurrent serving stress test: many client threads hammering one
-//! `QueryService` must see byte-identical results to a serial run.
+//! `QueryService` must see byte-identical results to a serial run —
+//! and, with single-flight dedup, *exact* (not merely plausible) cache
+//! counters.
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::thread;
 
+use kb_obs::Registry;
 use kb_query::QueryService;
 use kb_store::{KbBuilder, KbSnapshot};
+
+/// A service with isolated metrics, so counter assertions cannot be
+/// perturbed by other tests running in the same process.
+fn isolated_service(snap: Arc<KbSnapshot>) -> QueryService {
+    QueryService::with_instrumentation(snap, kb_query::DEFAULT_CACHE_CAPACITY, &Registry::new())
+}
 
 /// A deterministic synthetic KB with skewed relation sizes, shared
 /// entities and a temporal column rendered as year literals.
@@ -71,11 +80,19 @@ fn client_threads_match_serial_byte_for_byte() {
         (0..6).flat_map(|_| base.clone()).collect()
     };
 
-    let serial_svc = QueryService::new(snap.clone());
+    let serial_svc = isolated_service(snap.clone());
     let expected = run_serial(&serial_svc, &queries);
+    let serial_stats = serial_svc.cache_stats();
+    // Serial ground truth: each distinct normalized query misses
+    // exactly once; everything else hits.
+    assert_eq!(
+        serial_stats.result_hits + serial_stats.result_misses,
+        queries.len() as u64,
+        "serial conservation: {serial_stats:?}"
+    );
 
     for clients in [2usize, 4, 8] {
-        let svc = Arc::new(QueryService::new(snap.clone()));
+        let svc = Arc::new(isolated_service(snap.clone()));
         let mut slots: Vec<Option<String>> = vec![None; queries.len()];
         let answers: Vec<(usize, String)> = thread::scope(|scope| {
             let handles: Vec<_> = (0..clients)
@@ -111,9 +128,64 @@ fn client_threads_match_serial_byte_for_byte() {
                 queries[i]
             );
         }
+        // Counters are exact under concurrency, not merely racy
+        // approximations: every query() increments exactly one of
+        // hits/misses/dedup, and single-flight guarantees each distinct
+        // query executes exactly once — the same miss counts as the
+        // serial run.
         let stats = svc.cache_stats();
+        assert_eq!(
+            stats.result_hits + stats.result_misses + stats.result_dedup,
+            queries.len() as u64,
+            "{clients} clients: result-counter conservation violated: {stats:?}"
+        );
+        assert_eq!(
+            stats.result_misses, serial_stats.result_misses,
+            "{clients} clients: each distinct query must execute exactly once: {stats:?}"
+        );
+        assert_eq!(
+            stats.plan_misses, serial_stats.plan_misses,
+            "{clients} clients: each distinct query must be planned exactly once: {stats:?}"
+        );
         assert!(stats.result_hits > 0, "repeated workload should hit the result cache: {stats:?}");
     }
+}
+
+/// The thundering-herd regression at integration scale: for every query
+/// shape in the workload, 8 threads hitting the same *cold* query
+/// through one barrier must produce exactly one execution.
+#[test]
+fn cold_query_bursts_execute_exactly_once() {
+    const THREADS: usize = 8;
+    let snap = build_kb().into_shared();
+    let svc = Arc::new(isolated_service(snap.clone()));
+    for (i, q) in workload().iter().enumerate() {
+        let misses_before = svc.cache_stats().result_misses;
+        let barrier = Arc::new(Barrier::new(THREADS));
+        thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let svc = Arc::clone(&svc);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    svc.query(q).expect("workload query must parse");
+                });
+            }
+        });
+        let stats = svc.cache_stats();
+        assert_eq!(
+            stats.result_misses,
+            misses_before + 1,
+            "burst #{i} ({q}) must execute exactly once: {stats:?}"
+        );
+    }
+    let stats = svc.cache_stats();
+    let issued = (workload().len() * THREADS) as u64;
+    assert_eq!(
+        stats.result_hits + stats.result_misses + stats.result_dedup,
+        issued,
+        "conservation across all bursts: {stats:?}"
+    );
 }
 
 #[test]
@@ -172,6 +244,10 @@ fn install_under_concurrent_load_is_safe() {
         });
     });
     assert_eq!(svc.generation(), 5);
+    // Dead-snapshot pinning regression: once the last install returned,
+    // no cache entry may be stamped with an older generation — the
+    // generation floor rejects stragglers' re-inserts.
+    assert_eq!(svc.stale_entries(), 0, "stale entries pin dead snapshots");
     let out = svc.query("?p bornIn c1").unwrap();
     assert!(!out.rows.is_empty());
 }

@@ -348,7 +348,20 @@ impl KbBuilder {
     where
         I: IntoIterator<Item = KbShard>,
     {
-        shards.into_iter().map(|s| self.core.merge_shard(&s)).sum()
+        let obs = kb_obs::global();
+        let span = obs.span("store.shard.merge_us");
+        let mut merges = 0u64;
+        let added = shards
+            .into_iter()
+            .map(|s| {
+                merges += 1;
+                self.core.merge_shard(&s)
+            })
+            .sum();
+        span.stop();
+        obs.counter("store.shard.merges").add(merges);
+        obs.counter("store.shard.merged_facts").add(added as u64);
+        added
     }
 
     /// Freezes the builder into an immutable snapshot: sorts the three

@@ -70,6 +70,8 @@ impl FrozenIndexes {
     /// Indexes every live fact in `facts` (retracted entries are
     /// skipped, so they never appear in query results).
     pub(crate) fn build(facts: &[Fact]) -> Self {
+        let obs = kb_obs::global();
+        let span = obs.span("store.snapshot.freeze_us");
         let mut spo = Vec::with_capacity(facts.len());
         let mut pos = Vec::with_capacity(facts.len());
         let mut osp = Vec::with_capacity(facts.len());
@@ -89,6 +91,11 @@ impl FrozenIndexes {
         let spo_starts = starts_of(&spo);
         let pos_starts = starts_of(&pos);
         let osp_starts = starts_of(&osp);
+        span.stop();
+        obs.counter("store.snapshot.freezes").inc();
+        // Three permutation arrays plus their offset buckets.
+        obs.gauge("store.index.entries").set((3 * spo.len()) as i64);
+        obs.gauge("store.index.bucket_slots").set((3 * spo_starts.len()) as i64);
         Self { spo, pos, osp, spo_starts, pos_starts, osp_starts }
     }
 
@@ -308,6 +315,9 @@ impl KbSnapshot {
         indexes: FrozenIndexes,
     ) -> Self {
         let live = core.live;
+        let obs = kb_obs::global();
+        obs.gauge("store.snapshot.facts").set(live as i64);
+        obs.gauge("store.snapshot.terms").set(core.dict.len() as i64);
         Self { core, taxonomy, sameas, labels, indexes, live }
     }
 

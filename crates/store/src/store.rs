@@ -180,7 +180,19 @@ impl KnowledgeBase {
     where
         I: IntoIterator<Item = KbShard>,
     {
-        let added = shards.into_iter().map(|s| self.core.merge_shard(&s)).sum();
+        let obs = kb_obs::global();
+        let span = obs.span("store.shard.merge_us");
+        let mut merges = 0u64;
+        let added = shards
+            .into_iter()
+            .map(|s| {
+                merges += 1;
+                self.core.merge_shard(&s)
+            })
+            .sum();
+        span.stop();
+        obs.counter("store.shard.merges").add(merges);
+        obs.counter("store.shard.merged_facts").add(added as u64);
         self.invalidate();
         added
     }

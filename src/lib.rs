@@ -15,6 +15,7 @@
 //! | [`kb_link`] | entity linkage: blocking, matchers, constrained clustering |
 //! | [`kb_analytics`] | entity-centric stream analytics |
 //! | [`kb_query`] | SPARQL-style query engine: parser, cost-based planner, concurrent serving layer |
+//! | [`kb_obs`] | observability substrate: counters, gauges, histograms, span timers, metric registry |
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -24,5 +25,6 @@ pub use kb_harvest;
 pub use kb_link;
 pub use kb_ned;
 pub use kb_nlp;
+pub use kb_obs;
 pub use kb_query;
 pub use kb_store;

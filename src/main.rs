@@ -17,6 +17,7 @@ use kbkit::kb_corpus::{Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, Method};
 use kbkit::kb_harvest::rules::{mine_rules, RuleConfig};
 use kbkit::kb_ned::{detect_mentions, Ned, Strategy};
+use kbkit::kb_obs;
 use kbkit::kb_query::QueryService;
 use kbkit::kb_store::{ntriples, KbRead, KnowledgeBase};
 
@@ -37,7 +38,17 @@ USAGE:
       Mine AMIE-style Horn rules from the KB.
   kbkit ned <kb.tsv> <text>
       Detect and disambiguate entity mentions in the text.
+  kbkit metrics [--json] [--seed N]
+      Harvest the quickstart (tiny) corpus, freeze a snapshot and serve
+      a few queries, then print the collected metrics as an aligned
+      text table plus a JSON blob (--json: JSON only, for piping).
+
+Any subcommand also accepts --metrics to dump the metrics table to
+stderr after it finishes.
 ";
+
+/// Flags that take no value (everything else is `--flag VALUE`).
+const BOOL_FLAGS: &[&str] = &["--explain", "--metrics", "--json"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,12 +58,19 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("rules") => cmd_rules(&args[1..]),
         Some("ned") => cmd_ned(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     };
+    if result.is_ok()
+        && args.first().map(String::as_str) != Some("metrics")
+        && args.iter().any(|a| a == "--metrics")
+    {
+        eprint!("{}", kb_obs::global().render_text());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -76,7 +94,7 @@ fn positional(args: &[String]) -> Option<&str> {
             continue;
         }
         if a.starts_with("--") {
-            skip_next = true;
+            skip_next = !BOOL_FLAGS.contains(&a.as_str());
             continue;
         }
         return Some(a);
@@ -176,6 +194,48 @@ fn cmd_rules(args: &[String]) -> Result<(), String> {
     println!("{} rules", rules.len());
     for r in &rules {
         println!("  {r}");
+    }
+    Ok(())
+}
+
+/// Exercises every instrumented layer once — harvest the quickstart
+/// (tiny) corpus, freeze a snapshot, serve a handful of queries — and
+/// prints the collected metrics. This is the schema the CI step
+/// validates, so all three layers' families are always present.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let json_only = args.iter().any(|a| a == "--json");
+    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+
+    let mut cfg = CorpusConfig::tiny();
+    cfg.world.seed = seed;
+    let corpus = Corpus::generate(&cfg);
+    // Pipeline layer: per-phase spans + fact/resilience counters.
+    let output =
+        harvest(&corpus, &HarvestConfig::default()).map_err(|e| format!("harvest failed: {e}"))?;
+    // Storage layer: snapshot freeze span + index/fact gauges.
+    let snap = output.kb.into_snapshot().into_shared();
+    // Query layer: cache counters + parse/plan/exec histograms.
+    let service = QueryService::new(snap);
+    let queries = [
+        "?p bornIn ?c",
+        "?p bornIn ?c . ?c locatedIn ?n",
+        "SELECT DISTINCT ?c WHERE { ?p bornIn ?c }",
+    ];
+    for q in queries {
+        let _ = service.query(q).map_err(|e| format!("metrics query {q:?} failed: {e}"))?;
+    }
+    // Once more for result-cache hits.
+    for q in queries {
+        let _ = service.query(q).map_err(|e| e.to_string())?;
+    }
+
+    let registry = kb_obs::global();
+    if json_only {
+        println!("{}", registry.render_json());
+    } else {
+        print!("{}", registry.render_text());
+        println!();
+        println!("{}", registry.render_json());
     }
     Ok(())
 }

@@ -75,6 +75,52 @@ fn harvest_stats_query_rules_ned_round_trip() {
 }
 
 #[test]
+fn metrics_subcommand_emits_all_layers() {
+    // Text-table + JSON form.
+    let out = kbkit().arg("metrics").output().expect("metrics");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for family in ["harvest.facts.accepted", "store.snapshot.freeze_us", "query.cache.result_hits"]
+    {
+        assert!(stdout.contains(family), "missing {family} in:\n{stdout}");
+    }
+
+    // --json must print exactly one JSON object with all three layers.
+    let out = kbkit().args(["metrics", "--json"]).output().expect("metrics --json");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert_eq!(json.lines().count(), 1, "--json should emit a single line");
+    for key in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    for prefix in ["\"harvest.", "\"store.", "\"query."] {
+        assert!(json.contains(prefix), "missing layer {prefix} in:\n{json}");
+    }
+}
+
+#[test]
+fn metrics_flag_dumps_table_to_stderr() {
+    let dir = std::env::temp_dir().join("kbkit-cli-metrics-flag");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kb_path = dir.join("kb.tsv");
+    harvest_to(&kb_path);
+
+    let out = kbkit()
+        .args(["query", kb_path.to_str().unwrap(), "?p bornIn ?c", "--metrics"])
+        .output()
+        .expect("query --metrics");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("query.cache.result_misses"), "{stderr}");
+    assert!(stderr.contains("query.parse_us"), "{stderr}");
+    // The boolean flag must not swallow the positional KB path.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("solutions"), "{stdout}");
+}
+
+#[test]
 fn help_and_errors() {
     let out = kbkit().arg("--help").output().expect("help");
     assert!(out.status.success());

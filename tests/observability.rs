@@ -1,0 +1,50 @@
+//! End-to-end observability test: run one tiny harvest → freeze →
+//! serve cycle and check that every instrumented layer reported into
+//! the process-global registry, in both render formats.
+
+use kbkit::kb_corpus::{Corpus, CorpusConfig};
+use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig};
+use kbkit::kb_obs;
+use kbkit::kb_query::QueryService;
+
+/// Metric families each layer must publish (three per layer, matching
+/// the acceptance bar for `kbkit metrics`).
+const EXPECTED_FAMILIES: &[&str] = &[
+    // kb-harvest pipeline
+    "harvest.phase.extract_us",
+    "harvest.facts.accepted",
+    "harvest.docs.processed",
+    // kb-store snapshot/index
+    "store.snapshot.freeze_us",
+    "store.snapshot.facts",
+    "store.index.entries",
+    // kb-query serving layer
+    "query.cache.result_hits",
+    "query.cache.result_misses",
+    "query.parse_us",
+];
+
+#[test]
+fn one_pipeline_run_populates_all_three_layers() {
+    let corpus = Corpus::generate(&CorpusConfig::tiny());
+    let output = harvest(&corpus, &HarvestConfig::default()).expect("tiny harvest succeeds");
+    let snap = output.kb.into_snapshot().into_shared();
+    let service = QueryService::new(snap);
+    for _ in 0..2 {
+        service.query("?p bornIn ?c").expect("query succeeds");
+    }
+
+    let registry = kb_obs::global();
+    let text = registry.render_text();
+    let json = registry.render_json();
+    for family in EXPECTED_FAMILIES {
+        assert!(text.contains(family), "text table is missing {family}:\n{text}");
+        assert!(json.contains(&format!("\"{family}\"")), "JSON is missing {family}:\n{json}");
+    }
+
+    // The query ran twice, so the serving layer saw at least one hit
+    // and one miss; the harvest accepted at least one fact.
+    assert!(registry.counter("query.cache.result_hits").get() >= 1);
+    assert!(registry.counter("query.cache.result_misses").get() >= 1);
+    assert!(registry.counter("harvest.facts.accepted").get() >= 1);
+}
