@@ -1,18 +1,24 @@
 //! The analytics input: timestamped text posts.
 
+use std::sync::Arc;
+
 /// One post of a social-media-like stream.
+///
+/// The body is an `Arc<str>`: cloning a post (windowing, per-worker
+/// chunking, re-bucketing) bumps a refcount instead of copying the
+/// text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamPost {
     /// Day index from stream start.
     pub day: u32,
     /// Post text.
-    pub text: String,
+    pub text: Arc<str>,
 }
 
 impl StreamPost {
     /// Creates a post.
     pub fn new(day: u32, text: &str) -> Self {
-        Self { day, text: text.to_string() }
+        Self { day, text: Arc::from(text) }
     }
 
     /// The week bucket this post falls into.
@@ -22,9 +28,10 @@ impl StreamPost {
 }
 
 /// Converts a corpus post (drops gold annotations — analytics must
-/// resolve mentions itself).
+/// resolve mentions itself). Shares the body with the corpus post
+/// rather than cloning it.
 pub fn from_corpus(post: &kb_corpus::social::Post) -> StreamPost {
-    StreamPost { day: post.day, text: post.text.clone() }
+    StreamPost { day: post.day, text: Arc::clone(&post.text) }
 }
 
 #[cfg(test)]
@@ -37,5 +44,20 @@ mod tests {
         assert_eq!(StreamPost::new(6, "x").week(), 0);
         assert_eq!(StreamPost::new(7, "x").week(), 1);
         assert_eq!(StreamPost::new(20, "x").week(), 2);
+    }
+
+    #[test]
+    fn from_corpus_shares_the_body() {
+        let post = kb_corpus::social::Post {
+            day: 3,
+            text: "shared body".into(),
+            mentions: Vec::new(),
+            gold_sentiment: 0,
+        };
+        let sp = from_corpus(&post);
+        assert_eq!(sp.day, 3);
+        assert!(Arc::ptr_eq(&sp.text, &post.text), "body must be shared, not copied");
+        let sp2 = sp.clone();
+        assert!(Arc::ptr_eq(&sp.text, &sp2.text), "clones must share too");
     }
 }

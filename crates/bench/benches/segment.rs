@@ -1,0 +1,100 @@
+//! Criterion benches for the segmented read path (experiment T15's
+//! precise timing counterpart): delta freeze + install vs full
+//! rebuild, merged-view scans vs monolithic scans at varying stack
+//! depths, and compaction cost.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kb_bench::exp_query::synthetic_kb_skewed;
+use kb_query::{QueryService, StatsCatalog};
+use kb_store::{KbBuilder, KbRead, SegmentedSnapshot, TriplePattern};
+
+/// A segmented view of the skewed KB with `depth` stacked deltas of
+/// `delta_facts` fresh triples each.
+fn stacked_view(n: usize, depth: usize, delta_facts: usize) -> SegmentedSnapshot {
+    let base = synthetic_kb_skewed(n, 7);
+    let mut view = SegmentedSnapshot::from_base(base.snapshot().into_shared());
+    for d in 0..depth {
+        let mut b = KbBuilder::new();
+        for j in 0..delta_facts {
+            b.assert_str(&format!("dx_{d}_{j}"), "rel_rare", &format!("dy_{d}_{j}"));
+        }
+        view = view.with_delta(Arc::new(b.freeze_delta(&view)));
+    }
+    view
+}
+
+/// Delta install vs full rebuild: the T15 comparison under Criterion's
+/// measurement discipline.
+fn bench_install(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment/install");
+    let n = 50_000usize;
+    let delta_facts = 500usize;
+
+    group.bench_function("full_rebuild", |b| {
+        let kb = synthetic_kb_skewed(n, 7);
+        let svc = QueryService::new(kb.snapshot().into_shared());
+        b.iter(|| {
+            let snap = kb.snapshot();
+            black_box(StatsCatalog::build(&snap).estimate(None, false, false));
+            svc.install(snap.into_shared());
+        })
+    });
+    group.bench_function("delta_install", |b| {
+        let base = synthetic_kb_skewed(n, 7);
+        let svc = QueryService::new(base.snapshot().into_shared());
+        let mut round = 0usize;
+        b.iter(|| {
+            let view = svc.snapshot();
+            let mut builder = KbBuilder::new();
+            for j in 0..delta_facts {
+                builder.assert_str(
+                    &format!("dx_{round}_{j}"),
+                    "rel_rare",
+                    &format!("dy_{round}_{j}"),
+                );
+            }
+            svc.apply_delta(Arc::new(builder.freeze_delta(&view)));
+            round += 1;
+        })
+    });
+    group.finish();
+}
+
+/// Read amplification of the merged view: pattern scans and counts at
+/// stack depths 0 (pure base), 2, and 8.
+fn bench_merged_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment/scan");
+    let n = 50_000usize;
+    for &depth in &[0usize, 2, 8] {
+        let view = stacked_view(n, depth, 200);
+        let mid = view.term("rel_mid").unwrap();
+        group.bench_with_input(BenchmarkId::new("predicate_scan", depth), &depth, |b, _| {
+            b.iter(|| black_box(view.matching_iter(&TriplePattern::with_p(mid)).count()))
+        });
+        group.bench_with_input(BenchmarkId::new("count_matching", depth), &depth, |b, _| {
+            b.iter(|| black_box(view.count_matching(&TriplePattern::with_p(mid))))
+        });
+        let (r1, r2) = (view.term("rel_mid").unwrap(), view.term("rel_mid2").unwrap());
+        group.bench_with_input(BenchmarkId::new("path_join", depth), &depth, |b, _| {
+            b.iter(|| black_box(view.path_join_iter(r1, r2).count()))
+        });
+    }
+    group.finish();
+}
+
+/// Folding an 8-deep stack back into one monolithic snapshot.
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment/compact");
+    let view = stacked_view(50_000, 8, 200);
+    group.bench_function("compact_8_deltas", |b| b.iter(|| black_box(view.compact().len())));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_install, bench_merged_scans, bench_compaction
+}
+criterion_main!(benches);

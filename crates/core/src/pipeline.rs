@@ -647,6 +647,130 @@ fn record_pipeline_metrics(stats: &PipelineStats) {
     obs.counter("harvest.resilience.downgrades").add(stats.downgrades.len() as u64);
 }
 
+/// What one incremental batch produced: the frozen delta (ready for
+/// [`SegmentedSnapshot::with_delta`] or
+/// `QueryService::apply_delta`) plus the batch's volume and
+/// dead-letter ledger.
+///
+/// [`SegmentedSnapshot::with_delta`]: kb_store::SegmentedSnapshot::with_delta
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The batch's accepted facts as a delta segment, frozen against
+    /// the view passed to [`IncrementalHarvester::harvest_batch`].
+    pub delta: kb_store::DeltaSegment,
+    /// Candidates extracted from the batch.
+    pub candidates: usize,
+    /// Candidates accepted into the delta.
+    pub accepted: usize,
+    /// Pattern occurrences collected from the batch.
+    pub occurrences: usize,
+    /// Documents quarantined within the batch.
+    pub quarantined: Vec<Quarantined>,
+}
+
+/// Incremental harvesting: freeze the *models* once, then turn each
+/// later document batch into a [`kb_store::DeltaSegment`] instead of
+/// rebuilding the knowledge base from scratch.
+///
+/// [`bootstrap`](Self::bootstrap) runs the full pipeline over an
+/// initial document set — learning the pattern model, the type index
+/// and the distant-supervision seeds — and returns the populated base
+/// KB. [`harvest_batch`](Self::harvest_batch) then processes a batch
+/// with the frozen models: resilient collection → extraction →
+/// statistical type scoring → threshold, loading the survivors into a
+/// throwaway [`KbBuilder`](kb_store::KbBuilder) that freezes as a
+/// delta against the currently-served view. Batches use the
+/// statistical refinement rung (not the global reasoner, whose
+/// consistency constraints need the whole fact set) so per-batch
+/// install cost stays proportional to the batch, not the base — the
+/// periodic compaction or full rebuild restores the stronger
+/// refinement.
+pub struct IncrementalHarvester {
+    cfg: HarvestConfig,
+    model: distant::PatternModel,
+    types: TypeIndex,
+}
+
+impl IncrementalHarvester {
+    /// Runs the full pipeline over `corpus` (the bootstrap corpus),
+    /// freezing the learned pattern model and type index for later
+    /// batches. Returns the harvester plus the bootstrap output (whose
+    /// `kb` becomes the segmented base).
+    pub fn bootstrap(
+        corpus: &Corpus,
+        cfg: &HarvestConfig,
+    ) -> Result<(Self, HarvestOutput), PipelineError> {
+        let out = harvest(corpus, cfg)?;
+        let gold_facts = gold::gold_fact_strings(&corpus.world);
+        let seeds = distant::stratified_seeds(&gold_facts, cfg.seed_fraction);
+        // Re-derive the frozen models from the bootstrap artifacts: the
+        // occurrences are not kept in HarvestOutput, so retrain on the
+        // bootstrap corpus once (same inputs → same model).
+        let all_docs = corpus.all_docs();
+        let world = &corpus.world;
+        let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+        let collected = collect_resilient(
+            &all_docs,
+            &canonical_of,
+            &cfg.collect,
+            cfg.workers,
+            &cfg.resilience,
+            world.entities.len() as u32,
+        )?;
+        let model = distant::train(&collected.occurrences, &seeds, &cfg.train);
+        let types = scoring::build_type_index(&out.instances, &out.subclass_edges);
+        Ok((Self { cfg: cfg.clone(), model, types }, out))
+    }
+
+    /// Harvests one document batch with the frozen models and freezes
+    /// the accepted facts as a delta against `view` (which must be the
+    /// currently-served [`SegmentedSnapshot`] — the sequential-stacking
+    /// contract).
+    ///
+    /// [`SegmentedSnapshot`]: kb_store::SegmentedSnapshot
+    pub fn harvest_batch(
+        &self,
+        world: &kb_corpus::World,
+        docs: &[&Doc],
+        view: &kb_store::SegmentedSnapshot,
+    ) -> Result<BatchOutcome, PipelineError> {
+        let canonical_of = |id: kb_corpus::EntityId| world.entity(id).canonical.as_str();
+        let collected = collect_resilient(
+            docs,
+            &canonical_of,
+            &self.cfg.collect,
+            self.cfg.workers,
+            &self.cfg.resilience,
+            world.entities.len() as u32,
+        )?;
+        catch_panic(|| -> Result<BatchOutcome, PipelineError> {
+            let mut candidates =
+                extract::extract_candidates(&collected.occurrences, &self.model, &self.cfg.extract);
+            scoring::apply_type_scoring(&mut candidates, &self.types, &ScoreConfig::default());
+            let accepted_idx = threshold_filter(&candidates, self.cfg.min_confidence);
+
+            let mut b = kb_store::KbBuilder::new();
+            let src = b.register_source("harvest");
+            for &i in &accepted_idx {
+                let c = &candidates[i];
+                let triple =
+                    Triple::new(b.intern(&c.subject), b.intern(&c.relation), b.intern(&c.object));
+                let span: Option<TimeSpan> = temporal::infer_span(&c.hints);
+                b.add_fact(Fact { triple, confidence: c.confidence.min(1.0), source: src, span });
+            }
+            let delta = b.freeze_delta(view);
+            Ok(BatchOutcome {
+                delta,
+                candidates: candidates.len(),
+                accepted: accepted_idx.len(),
+                occurrences: collected.occurrences.len(),
+                quarantined: collected.quarantined,
+            })
+        })
+        .map_err(|detail| PipelineError::StagePanic { stage: "harvest-batch", detail })?
+    }
+}
+
 /// Evaluates accepted facts against gold, excluding the seeds from both
 /// sides (we score what the system *discovered*, not what it was told).
 pub fn evaluate_discovered(
@@ -781,6 +905,55 @@ mod tests {
         let (_, out) = run(Method::Reasoning);
         let spanned = out.kb.iter().filter(|f| f.span.is_some()).count();
         assert!(spanned > 0, "some harvested facts should carry time spans");
+    }
+
+    // ---- incremental ------------------------------------------------
+
+    /// Incremental mode end to end: bootstrap over a corpus prefix,
+    /// stream the held-out documents as delta batches, and verify the
+    /// segmented view grows without touching the base.
+    #[test]
+    fn incremental_batches_stack_deltas_on_the_bootstrap_base() {
+        use kb_store::{KbRead, SegmentedSnapshot};
+        use std::sync::Arc;
+
+        let corpus = Corpus::generate(&CorpusConfig::tiny());
+        let holdout = (corpus.articles.len() / 3).max(2);
+        let split = corpus.articles.len() - holdout;
+        let boot = Corpus {
+            world: corpus.world.clone(),
+            articles: corpus.articles[..split].to_vec(),
+            overviews: corpus.overviews.clone(),
+            web_pages: corpus.web_pages.clone(),
+            essays: corpus.essays.clone(),
+            posts: Vec::new(),
+        };
+        let cfg = HarvestConfig { method: Method::Statistical, workers: 2, ..Default::default() };
+        let (inc, out) = IncrementalHarvester::bootstrap(&boot, &cfg).expect("bootstrap");
+        let base = out.kb.snapshot().into_shared();
+        let base_len = base.len();
+        let mut view = SegmentedSnapshot::from_base(base);
+
+        let held: Vec<&Doc> = corpus.articles[split..].iter().collect();
+        let mut accepted_total = 0usize;
+        for chunk in held.chunks(2) {
+            let outcome = inc.harvest_batch(&corpus.world, chunk, &view).expect("batch");
+            assert!(outcome.occurrences > 0, "held-out articles must yield occurrences");
+            assert!(outcome.quarantined.is_empty());
+            accepted_total += outcome.accepted;
+            view = view.with_delta(Arc::new(outcome.delta));
+        }
+        assert!(view.delta_count() >= 1);
+        assert!(accepted_total > 0, "frozen model should accept facts from held-out docs");
+        assert!(
+            view.len() > base_len,
+            "deltas must add net-new facts: base {base_len}, view {}",
+            view.len()
+        );
+        // The stack compacts back to a monolithic snapshot with the
+        // same answers.
+        let compacted = view.compact();
+        assert_eq!(compacted.len(), view.len());
     }
 
     // ---- resilience -------------------------------------------------

@@ -3,6 +3,8 @@
 //! "track and compare two entities in social media over an extended
 //! timespan" example of tutorial §4.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -16,8 +18,9 @@ use crate::world::{EntityId, World};
 pub struct Post {
     /// Day index from stream start (0-based).
     pub day: u32,
-    /// Post text.
-    pub text: String,
+    /// Post text. `Arc<str>` so downstream stream analytics can share
+    /// the body without re-copying it per consumer.
+    pub text: Arc<str>,
     /// Gold entity mentions.
     pub mentions: Vec<Mention>,
     /// Gold sentiment: +1 positive, -1 negative, 0 neutral.
@@ -114,7 +117,7 @@ fn render_post(
         _ => b.push(". no strong opinion yet."),
     }
     let (text, mentions) = b.finish();
-    Post { day, text, mentions, gold_sentiment: sentiment }
+    Post { day, text: text.into(), mentions, gold_sentiment: sentiment }
 }
 
 #[cfg(test)]

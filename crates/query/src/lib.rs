@@ -54,7 +54,7 @@ pub use ast::SelectQuery;
 pub use error::QueryError;
 pub use exec::{cell_str, execute, Cell, QueryOutput};
 pub use parse::{normalize, parse};
-pub use plan::{plan, Plan};
+pub use plan::{plan, Footprint, Plan};
 pub use service::{CacheStats, QueryService, DEFAULT_CACHE_CAPACITY};
 pub use stats::{PredStat, StatsCatalog};
 

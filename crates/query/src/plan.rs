@@ -115,6 +115,85 @@ impl Col {
     }
 }
 
+/// The set of predicates a plan's answer can depend on — the unit of
+/// *partial* cache invalidation in the serving layer: a delta install
+/// only kills cached entries whose footprint intersects the delta's
+/// touched predicates.
+///
+/// `wildcard` is the conservative escape hatch: a variable in predicate
+/// position depends on every predicate, and a constant the dictionary
+/// has never seen (anywhere in the query — pattern or filter) can be
+/// interned by a future delta, turning an `Empty` sub-plan non-empty or
+/// changing a filter comparison. Wildcard entries are invalidated by
+/// every delta.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Footprint {
+    /// Sorted, deduplicated predicate ids the query scans.
+    pub(crate) preds: Vec<TermId>,
+    /// Depends on predicates (or terms) beyond `preds`.
+    pub(crate) wildcard: bool,
+}
+
+impl Footprint {
+    /// Whether a delta touching `touched` (sorted) can change this
+    /// plan's answer.
+    pub fn is_touched_by(&self, touched: &[TermId]) -> bool {
+        if self.wildcard {
+            return true;
+        }
+        let (mut i, mut j) = (0, 0);
+        while i < self.preds.len() && j < touched.len() {
+            match self.preds[i].cmp(&touched[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Whether the footprint depends on every predicate.
+    pub fn is_wildcard(&self) -> bool {
+        self.wildcard
+    }
+}
+
+/// Walks the query group collecting its predicate footprint.
+fn collect_footprint<K: KbRead + ?Sized>(g: &Group, kb: &K, fp: &mut Footprint) {
+    for pat in &g.patterns {
+        match &pat.p {
+            Term::Var(_) => fp.wildcard = true,
+            Term::Const(c) => match kb.term(c) {
+                Some(id) => fp.preds.push(id),
+                None => fp.wildcard = true,
+            },
+        }
+        for t in [&pat.s, &pat.o] {
+            if let Term::Const(c) = t {
+                if kb.term(c).is_none() {
+                    fp.wildcard = true;
+                }
+            }
+        }
+    }
+    for c in &g.filters {
+        for t in [&c.lhs, &c.rhs] {
+            if let Term::Const(s) = t {
+                if kb.term(s).is_none() {
+                    fp.wildcard = true;
+                }
+            }
+        }
+    }
+    for (a, b) in &g.unions {
+        collect_footprint(a, kb, fp);
+        collect_footprint(b, kb, fp);
+    }
+    for o in &g.optionals {
+        collect_footprint(o, kb, fp);
+    }
+}
+
 /// An executable physical plan. Produced by [`plan()`]; run with
 /// [`crate::exec::execute`]. Plans borrow nothing — they are cheap to
 /// cache and share across threads for a given snapshot generation.
@@ -142,12 +221,19 @@ pub struct Plan {
     pub(crate) est_cost: f64,
     /// Human-readable description of the chosen physical operators.
     pub(crate) explain: Vec<String>,
+    /// Predicates the answer depends on (partial-invalidation key).
+    pub(crate) footprint: Footprint,
 }
 
 impl Plan {
     /// Output column names, in projection order.
     pub fn columns(&self) -> Vec<&str> {
         self.cols.iter().map(Col::name).collect()
+    }
+
+    /// The predicates this plan's answer depends on.
+    pub fn footprint(&self) -> &Footprint {
+        &self.footprint
     }
 
     /// The planner's total cost estimate (expected index probes).
@@ -658,6 +744,10 @@ pub fn plan<K: KbRead + ?Sized>(
             if group_by.len() == 1 { "" } else { "s" }
         ));
     }
+    let mut footprint = Footprint::default();
+    collect_footprint(&query.group, kb, &mut footprint);
+    footprint.preds.sort_unstable();
+    footprint.preds.dedup();
     Ok(Plan {
         nvars: ctx.slots.names.len(),
         root: lowered.op,
@@ -670,6 +760,7 @@ pub fn plan<K: KbRead + ?Sized>(
         offset: query.offset,
         est_cost: lowered.cost,
         explain,
+        footprint,
     })
 }
 
@@ -743,5 +834,33 @@ mod tests {
         let stats = StatsCatalog::build(&snap);
         let q = parse("SELECT ?b COUNT(?a) AS ?n WHERE { ?a rel_big ?b } GROUP BY ?a").unwrap();
         assert!(matches!(plan(&q, &snap, &stats), Err(QueryError::Plan(_))));
+    }
+
+    #[test]
+    fn footprint_scopes_invalidation_to_touched_predicates() {
+        let snap = skewed_snap();
+        let stats = StatsCatalog::build(&snap);
+        let big = snap.term("rel_big").unwrap();
+        let rare = snap.term("rel_rare").unwrap();
+
+        let q = parse("?x rel_big ?y . ?a rel_rare ?x").unwrap();
+        let p = plan(&q, &snap, &stats).unwrap();
+        assert!(!p.footprint().is_wildcard());
+        assert!(p.footprint().is_touched_by(&[big]));
+        assert!(p.footprint().is_touched_by(&[rare]));
+        let other = TermId(9999);
+        assert!(!p.footprint().is_touched_by(&[other]));
+
+        // A variable in predicate position depends on everything.
+        let q = parse("?x ?r ?y").unwrap();
+        let p = plan(&q, &snap, &stats).unwrap();
+        assert!(p.footprint().is_wildcard());
+        assert!(p.footprint().is_touched_by(&[other]));
+
+        // An unknown constant anywhere makes the plan wildcard: a delta
+        // interning `Atlantis` could turn this Empty plan non-empty.
+        let q = parse("?x rel_big Atlantis").unwrap();
+        let p = plan(&q, &snap, &stats).unwrap();
+        assert!(p.footprint().is_wildcard());
     }
 }

@@ -1,5 +1,5 @@
-//! Concurrent serving layer: an `Arc<KbSnapshot>`-backed service with a
-//! bounded plan cache and a generation-invalidated result cache.
+//! Concurrent serving layer: a segmented-snapshot-backed service with a
+//! bounded plan cache and a generation/epoch-invalidated result cache.
 //!
 //! ## Caching discipline
 //!
@@ -14,26 +14,44 @@
 //!    redundant dots) share one plan and one result entry. The raw
 //!    text is then recorded as an alias for future level-1 hits.
 //!
-//! **Invalidation rule:** every cached plan and result is stamped with
-//! the snapshot *generation* it was computed against. Installing a new
-//! snapshot bumps the generation and raises each cache's *generation
-//! floor*: stale entries are cleared eagerly, entries probed with a
-//! mismatched stamp die lazily, and — crucially — an in-flight query
-//! that captured the old generation can no longer re-insert a dead
-//! generation's plan or result after the clear (the floor rejects the
-//! `put`), so a dead `Arc<KbSnapshot>`'s plans cannot be pinned until
-//! LRU eviction. Plans are generation-scoped because resolved
-//! [`TermId`](kb_store::TermId)s are dictionary-specific, not just
-//! because facts changed.
+//! **Full-install invalidation:** every cached plan and result is
+//! stamped with the snapshot *generation* it was computed against.
+//! Installing a new base snapshot bumps the generation and raises each
+//! cache's *generation floor*: stale entries are cleared eagerly,
+//! entries probed with a mismatched stamp die lazily, and — crucially —
+//! an in-flight query that captured the old generation can no longer
+//! re-insert a dead generation's plan or result after the clear (the
+//! floor rejects the `put`), so a dead snapshot's plans cannot be
+//! pinned until LRU eviction. Plans are generation-scoped because
+//! resolved [`TermId`]s are dictionary-specific, not just because facts
+//! changed.
+//!
+//! **Partial (delta) invalidation:** [`apply_delta`] stacks a
+//! [`DeltaSegment`] onto the current view *without* bumping the
+//! generation. Instead it bumps an *epoch* counter and records, per
+//! predicate the delta touches, the epoch at which that predicate last
+//! changed. Every cached entry carries its plan's [`Footprint`] — the
+//! set of predicate ids its answer can depend on — and is served only
+//! while no footprint predicate has changed since the entry's epoch.
+//! Entries whose predicates are untouched by a delta *survive the
+//! install*; this is the cache-retention win the segmented store
+//! exists for. Footprints that cannot be predicate-scoped (variable
+//! predicates, or constants the view had never interned — a delta
+//! could make them real) are *wildcard* and die on every delta.
+//! The same epoch rule guards `put`: an execution that raced a delta
+//! install is rejected exactly like a stale-generation put, so the
+//! single-flight/floor machinery needs no special cases. Plans survive
+//! deltas unless wildcard (TermIds are append-only across deltas; a
+//! stale join order is a performance, not correctness, issue);
+//! results are additionally swept by touched predicate.
 //!
 //! **Single flight:** concurrent identical queries that miss a cache do
 //! the work once. Both plan compilation and execution are deduplicated
-//! through an in-flight table keyed by `(generation, normalized key)`:
-//! the first thread becomes the *leader* and computes; later arrivals
-//! block until the leader publishes, and are counted in the
-//! `*_dedup` counters instead of the miss counters. This fixes the
-//! thundering-herd cold-start where N threads issuing one cold query
-//! all parsed, planned and executed it independently.
+//! through an in-flight table keyed by `(generation, epoch, normalized
+//! key)`: the first thread becomes the *leader* and computes; later
+//! arrivals block until the leader publishes, and are counted in the
+//! `*_dedup` counters instead of the miss counters. Keying on the epoch
+//! too means a flight can never dedup across a delta install.
 //!
 //! ## Observability
 //!
@@ -45,25 +63,29 @@
 //! clock. By default metrics land in [`kb_obs::global()`]; tests pass a
 //! private registry via [`QueryService::with_instrumentation`].
 //!
+//! [`apply_delta`]: QueryService::apply_delta
 //! [`cache_stats`]: QueryService::cache_stats
+//! [`DeltaSegment`]: kb_store::DeltaSegment
+//! [`Footprint`]: crate::plan::Footprint
 //! [`Registry`]: kb_obs::Registry
+//! [`TermId`]: kb_store::TermId
 //!
 //! Batches run on a crossbeam scoped worker pool (the same shape as
 //! `kb-analytics`' `aggregate_parallel`): workers share the service and
-//! the immutable snapshot, so no locking happens on the read path
-//! beyond brief cache probes.
+//! the immutable view, so no locking happens on the read path beyond
+//! brief cache probes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use kb_obs::{Clock, Counter, Histogram, Registry, SpanTimer};
-use kb_store::KbSnapshot;
+use kb_store::{DeltaSegment, KbSnapshot, SegmentedSnapshot, TermId};
 
 use crate::error::QueryError;
 use crate::exec::{execute, QueryOutput};
 use crate::parse::parse;
-use crate::plan::{plan, Plan};
+use crate::plan::{plan, Footprint, Plan};
 use crate::stats::StatsCatalog;
 
 /// Default bound on each cache (plans and results separately).
@@ -95,8 +117,19 @@ pub struct CacheStats {
     /// Entries evicted from the result cache by capacity pressure.
     pub result_evictions: u64,
     /// Inserts rejected because their generation stamp predated the
-    /// cache's floor (an install raced the computation).
+    /// cache's floor, or their epoch stamp predated a delta touching
+    /// their footprint (an install raced the computation).
     pub stale_put_rejects: u64,
+    /// Delta segments stacked onto the serving view by
+    /// [`apply_delta`](QueryService::apply_delta).
+    pub delta_installs: u64,
+    /// Result-cache entries that *survived* a delta install because
+    /// their footprint was disjoint from the delta's touched
+    /// predicates — the partial-invalidation win.
+    pub result_retained: u64,
+    /// Result-cache entries swept by a delta install (wildcard
+    /// footprint or touched predicate).
+    pub result_invalidated: u64,
 }
 
 /// What [`LruCache::put`] did with the offered entry.
@@ -106,79 +139,158 @@ enum PutOutcome {
     Inserted,
     /// Entry stored after evicting the least-recently-used one.
     Evicted,
-    /// Entry rejected: its generation stamp predates the cache floor.
+    /// Entry rejected: its generation stamp predates the cache floor,
+    /// or a delta touching its footprint landed after its epoch stamp.
     StaleRejected,
 }
 
-/// A bounded LRU keyed by `String`, stamped with the snapshot
-/// generation. Recency is a monotone counter; eviction scans for the
+/// One cached value with its validity stamps.
+struct Entry<V> {
+    /// Base-snapshot generation the value was computed against.
+    generation: u64,
+    /// Delta epoch (within the generation) the value was computed
+    /// against.
+    epoch: u64,
+    /// LRU recency tick.
+    used: u64,
+    /// Predicates the value can depend on; the unit of partial
+    /// invalidation.
+    footprint: Footprint,
+    value: V,
+}
+
+/// A bounded LRU keyed by `String`, stamped with `(generation, epoch,
+/// footprint)`. Recency is a monotone counter; eviction scans for the
 /// minimum — `O(capacity)`, fine for the few hundred entries a plan
 /// cache holds.
 ///
-/// The *generation floor* is the teeth of the invalidation rule:
-/// [`set_floor`](LruCache::set_floor) (called under the cache lock by
-/// `install`) clears the map and rejects any later `put` stamped below
-/// the floor, closing the race where an in-flight computation against a
-/// dead snapshot re-inserts after the clear.
+/// Invalidation has two teeth:
+///
+/// * The *generation floor* — [`set_floor`](LruCache::set_floor)
+///   (called by `install`) clears the map and rejects any later `put`
+///   stamped below the floor, closing the race where an in-flight
+///   computation against a dead snapshot re-inserts after the clear.
+/// * The *predicate epoch map* — [`apply_delta`](LruCache::apply_delta)
+///   records the epoch at which each touched predicate last changed
+///   and sweeps affected entries; `get` and `put` both re-check an
+///   entry's footprint against the map, so a computation that raced a
+///   delta install can neither be served nor re-inserted. This is the
+///   same floor discipline, scoped per predicate.
 struct LruCache<V> {
     capacity: usize,
     tick: u64,
     /// Minimum generation stamp accepted by `put`.
     floor: u64,
-    map: HashMap<String, (u64, u64, V)>, // (generation, last_used, value)
+    /// Epoch at which each predicate last changed (missing = never,
+    /// i.e. epoch 0 — the base snapshot).
+    pred_epoch: HashMap<TermId, u64>,
+    /// Epoch of the most recent delta install; the freshness bar for
+    /// wildcard footprints.
+    last_delta_epoch: u64,
+    map: HashMap<String, Entry<V>>,
 }
 
 impl<V: Clone> LruCache<V> {
     fn new(capacity: usize) -> Self {
-        LruCache { capacity: capacity.max(1), tick: 0, floor: 0, map: HashMap::new() }
-    }
-
-    fn get(&mut self, key: &str, generation: u64) -> Option<V> {
-        match self.map.get_mut(key) {
-            Some((gen, used, v)) if *gen == generation => {
-                self.tick += 1;
-                *used = self.tick;
-                Some(v.clone())
-            }
-            Some(_) => {
-                // Stale generation: drop eagerly.
-                self.map.remove(key);
-                None
-            }
-            None => None,
+        LruCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            floor: 0,
+            pred_epoch: HashMap::new(),
+            last_delta_epoch: 0,
+            map: HashMap::new(),
         }
     }
 
-    fn put(&mut self, key: String, generation: u64, value: V) -> PutOutcome {
-        if generation < self.floor {
+    /// Whether a value stamped `epoch` with this `footprint` is still
+    /// current: no footprint predicate changed after the stamp, and a
+    /// wildcard footprint has seen every delta.
+    fn delta_fresh(&self, footprint: &Footprint, epoch: u64) -> bool {
+        if footprint.is_wildcard() {
+            return self.last_delta_epoch <= epoch;
+        }
+        footprint.preds.iter().all(|p| self.pred_epoch.get(p).copied().unwrap_or(0) <= epoch)
+    }
+
+    fn get(&mut self, key: &str, generation: u64, epoch: u64) -> Option<V> {
+        let fresh = match self.map.get(key) {
+            None => return None,
+            Some(e) => {
+                e.generation == generation
+                    && e.epoch <= epoch
+                    && self.delta_fresh(&e.footprint, e.epoch)
+            }
+        };
+        if !fresh {
+            // Stale generation or delta-outdated: drop eagerly.
+            self.map.remove(key);
+            return None;
+        }
+        self.tick += 1;
+        let e = self.map.get_mut(key).expect("probed above");
+        e.used = self.tick;
+        Some(e.value.clone())
+    }
+
+    fn put(
+        &mut self,
+        key: String,
+        generation: u64,
+        epoch: u64,
+        footprint: Footprint,
+        value: V,
+    ) -> PutOutcome {
+        if generation < self.floor || !self.delta_fresh(&footprint, epoch) {
             return PutOutcome::StaleRejected;
         }
         self.tick += 1;
         let mut outcome = PutOutcome::Inserted;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(evict) =
-                self.map.iter().min_by_key(|(_, (_, used, _))| *used).map(|(k, _)| k.clone())
+            if let Some(evict) = self.map.iter().min_by_key(|(_, e)| e.used).map(|(k, _)| k.clone())
             {
                 self.map.remove(&evict);
                 outcome = PutOutcome::Evicted;
             }
         }
-        self.map.insert(key, (generation, self.tick, value));
+        self.map.insert(key, Entry { generation, epoch, used: self.tick, footprint, value });
         outcome
     }
 
     /// Raises the floor to `generation` and drops everything cached:
     /// entries below the floor can neither be read (stamp mismatch) nor
-    /// re-inserted (floor check) afterwards.
+    /// re-inserted (floor check) afterwards. A full install starts a
+    /// fresh epoch timeline, so the predicate epochs reset too.
     fn set_floor(&mut self, generation: u64) {
         debug_assert!(generation >= self.floor, "generation floor must be monotone");
         self.floor = generation;
+        self.pred_epoch.clear();
+        self.last_delta_epoch = 0;
         self.map.clear();
+    }
+
+    /// Records a delta install at `epoch` touching `touched` and sweeps
+    /// the entries it outdates: wildcard footprints always die; with
+    /// `wildcard_only = false`, entries whose footprint intersects
+    /// `touched` die too. Returns `(retained, invalidated)` counts.
+    fn apply_delta(&mut self, epoch: u64, touched: &[TermId], wildcard_only: bool) -> (u64, u64) {
+        for p in touched {
+            self.pred_epoch.insert(*p, epoch);
+        }
+        self.last_delta_epoch = epoch;
+        let before = self.map.len();
+        self.map.retain(|_, e| {
+            if e.footprint.is_wildcard() {
+                return false;
+            }
+            wildcard_only || !e.footprint.is_touched_by(touched)
+        });
+        let after = self.map.len();
+        (after as u64, (before - after) as u64)
     }
 
     /// Entries stamped with a generation older than `current`.
     fn stale_count(&self, current: u64) -> usize {
-        self.map.values().filter(|(gen, _, _)| *gen < current).count()
+        self.map.values().filter(|e| e.generation < current).count()
     }
 
     fn len(&self) -> usize {
@@ -203,12 +315,14 @@ struct Flight<V> {
     cv: Condvar,
 }
 
-/// Flight-table key: the snapshot generation plus the normalized query
-/// key, so a flight can never dedup across an `install`.
-type FlightKey = (u64, String);
+/// Flight-table key: the snapshot generation, the delta epoch and the
+/// normalized query key, so a flight can never dedup across an
+/// `install` *or* an `apply_delta`.
+type FlightKey = (u64, u64, String);
 
 /// A single-flight table: at most one thread computes the value for a
-/// given `(generation, key)` at a time; the rest wait for its answer.
+/// given `(generation, epoch, key)` at a time; the rest wait for its
+/// answer.
 struct SingleFlight<V> {
     inflight: Mutex<HashMap<FlightKey, Arc<Flight<V>>>>,
 }
@@ -237,22 +351,23 @@ impl<V: Clone> SingleFlight<V> {
         SingleFlight { inflight: Mutex::new(HashMap::new()) }
     }
 
-    /// Joins (blocking) or leads the computation for `(generation, key)`.
-    fn enter(&self, generation: u64, key: &str) -> FlightEntry<'_, V> {
+    /// Joins (blocking) or leads the computation for `(generation,
+    /// epoch, key)`.
+    fn enter(&self, generation: u64, epoch: u64, key: &str) -> FlightEntry<'_, V> {
         loop {
             let flight = {
                 let mut map = self.inflight.lock().expect("single-flight table poisoned");
-                match map.get(&(generation, key.to_string())) {
+                match map.get(&(generation, epoch, key.to_string())) {
                     Some(f) => Arc::clone(f),
                     None => {
                         let flight = Arc::new(Flight {
                             state: Mutex::new(FlightState::Pending),
                             cv: Condvar::new(),
                         });
-                        map.insert((generation, key.to_string()), Arc::clone(&flight));
+                        map.insert((generation, epoch, key.to_string()), Arc::clone(&flight));
                         return FlightEntry::Leader(FlightGuard {
                             table: self,
-                            key: (generation, key.to_string()),
+                            key: (generation, epoch, key.to_string()),
                             flight,
                             published: false,
                         });
@@ -311,6 +426,9 @@ struct ServiceMetrics {
     result_evictions: Arc<Counter>,
     stale_put_rejects: Arc<Counter>,
     installs: Arc<Counter>,
+    delta_installs: Arc<Counter>,
+    result_retained: Arc<Counter>,
+    result_invalidated: Arc<Counter>,
     parse_us: Arc<Histogram>,
     plan_us: Arc<Histogram>,
     exec_us: Arc<Histogram>,
@@ -342,6 +460,9 @@ impl ServiceMetrics {
             result_evictions: counter("query.cache.result_evictions"),
             stale_put_rejects: counter("query.cache.stale_put_rejects"),
             installs: counter("query.service.installs"),
+            delta_installs: counter("query.service.delta_installs"),
+            result_retained: counter("query.cache.result_retained"),
+            result_invalidated: counter("query.cache.result_invalidated"),
             parse_us: histogram("query.parse_us"),
             plan_us: histogram("query.plan_us"),
             exec_us: histogram("query.exec_us"),
@@ -362,15 +483,19 @@ impl ServiceMetrics {
     }
 }
 
-/// The current snapshot and its planner statistics, swapped atomically
-/// under one lock.
+/// The current serving view (base + delta stack) and its planner
+/// statistics, swapped atomically under one lock. `number` bumps on
+/// full installs and scopes plan validity; `epoch` bumps on delta
+/// installs (resetting on full installs) and scopes result freshness
+/// per predicate.
 struct Generation {
-    snapshot: Arc<KbSnapshot>,
+    view: Arc<SegmentedSnapshot>,
     stats: Arc<StatsCatalog>,
     number: u64,
+    epoch: u64,
 }
 
-/// A concurrent query service over an immutable KB snapshot.
+/// A concurrent query service over an immutable, segmentable KB view.
 ///
 /// Shared by reference (or `Arc`) across client threads; all methods
 /// take `&self`. See the module docs for the caching discipline, the
@@ -411,9 +536,10 @@ impl QueryService {
         capacity: usize,
         registry: &Registry,
     ) -> Self {
-        let stats = Arc::new(StatsCatalog::build(snapshot.as_ref()));
+        let view = Arc::new(SegmentedSnapshot::from_base(snapshot));
+        let stats = Arc::new(StatsCatalog::build(view.as_ref()));
         QueryService {
-            current: Mutex::new(Generation { snapshot, stats, number: 0 }),
+            current: Mutex::new(Generation { view, stats, number: 0, epoch: 0 }),
             plans: Mutex::new(LruCache::new(capacity)),
             results: Mutex::new(LruCache::new(capacity)),
             aliases: Mutex::new(LruCache::new(capacity * 4)),
@@ -435,22 +561,64 @@ impl QueryService {
         self.single_flight.load(Ordering::Relaxed)
     }
 
-    /// Installs a new snapshot, bumping the generation. The caches are
-    /// cleared and their generation floor raised, so entries computed
-    /// against older generations can neither be probed nor re-inserted
-    /// afterwards (see the module docs); the alias map is
-    /// generation-independent and survives.
+    /// Installs a new base snapshot, bumping the generation and
+    /// starting a fresh (empty) delta stack. The caches are cleared and
+    /// their generation floor raised, so entries computed against older
+    /// generations can neither be probed nor re-inserted afterwards
+    /// (see the module docs); the alias map is generation-independent
+    /// and survives.
+    ///
+    /// The cache sweeps happen while the generation lock is held, so an
+    /// `apply_delta` racing this install cannot interleave between the
+    /// swap and the floor raise. (Lock order is always `current` →
+    /// cache, never the reverse, so this cannot deadlock.)
     pub fn install(&self, snapshot: Arc<KbSnapshot>) {
-        let stats = Arc::new(StatsCatalog::build(snapshot.as_ref()));
+        let view = Arc::new(SegmentedSnapshot::from_base(snapshot));
+        let stats = Arc::new(StatsCatalog::build(view.as_ref()));
         let mut cur = self.current.lock().expect("service lock poisoned");
         cur.number += 1;
+        cur.epoch = 0;
         let generation = cur.number;
-        cur.snapshot = snapshot;
+        cur.view = view;
         cur.stats = stats;
-        drop(cur);
         self.plans.lock().expect("plan cache poisoned").set_floor(generation);
         self.results.lock().expect("result cache poisoned").set_floor(generation);
+        drop(cur);
         self.metrics.installs.inc();
+    }
+
+    /// Stacks `delta` onto the current view *without* a full
+    /// invalidation: the epoch bumps, the delta's statistics fold into
+    /// the planner catalog incrementally, and only cached results whose
+    /// footprint intersects the delta's
+    /// [`touched_predicates`](DeltaSegment::touched_predicates) (plus
+    /// all wildcard entries) are swept — everything else keeps serving.
+    /// Plans survive unless wildcard: term ids are append-only across
+    /// deltas, so a cached plan stays *correct*, merely possibly
+    /// mis-costed until the next full install.
+    ///
+    /// The delta must have been frozen (via
+    /// [`KbBuilder::freeze_delta`](kb_store::KbBuilder::freeze_delta))
+    /// against the currently-served view — the sequential-stacking
+    /// contract; a mismatch panics. The sweep runs while the generation
+    /// lock is held so no query can observe the new view with the old
+    /// cache epoch.
+    pub fn apply_delta(&self, delta: Arc<DeltaSegment>) {
+        let mut cur = self.current.lock().expect("service lock poisoned");
+        let view = Arc::new(cur.view.with_delta(Arc::clone(&delta)));
+        let stats = Arc::new(cur.stats.merged_with_delta(&delta));
+        cur.epoch += 1;
+        let epoch = cur.epoch;
+        cur.view = view;
+        cur.stats = stats;
+        let touched = delta.touched_predicates();
+        self.plans.lock().expect("plan cache poisoned").apply_delta(epoch, touched, true);
+        let (retained, invalidated) =
+            self.results.lock().expect("result cache poisoned").apply_delta(epoch, touched, false);
+        drop(cur);
+        self.metrics.delta_installs.inc();
+        self.metrics.result_retained.add(retained);
+        self.metrics.result_invalidated.add(invalidated);
     }
 
     /// The current snapshot generation (starts at 0, bumps on
@@ -459,9 +627,17 @@ impl QueryService {
         self.current.lock().expect("service lock poisoned").number
     }
 
-    /// The currently served snapshot.
-    pub fn snapshot(&self) -> Arc<KbSnapshot> {
-        self.current.lock().expect("service lock poisoned").snapshot.clone()
+    /// The delta epoch within the current generation (starts at 0,
+    /// bumps on [`apply_delta`](Self::apply_delta), resets on
+    /// [`install`](Self::install)).
+    pub fn epoch(&self) -> u64 {
+        self.current.lock().expect("service lock poisoned").epoch
+    }
+
+    /// The currently served view: the base snapshot plus any stacked
+    /// deltas. Freeze incremental batches against this.
+    pub fn snapshot(&self) -> Arc<SegmentedSnapshot> {
+        self.current.lock().expect("service lock poisoned").view.clone()
     }
 
     /// Cache counters since construction.
@@ -476,6 +652,9 @@ impl QueryService {
             plan_evictions: self.metrics.plan_evictions.get(),
             result_evictions: self.metrics.result_evictions.get(),
             stale_put_rejects: self.metrics.stale_put_rejects.get(),
+            delta_installs: self.metrics.delta_installs.get(),
+            result_retained: self.metrics.result_retained.get(),
+            result_invalidated: self.metrics.result_invalidated.get(),
         }
     }
 
@@ -498,30 +677,33 @@ impl QueryService {
             + self.results.lock().expect("result cache poisoned").stale_count(current)
     }
 
-    fn generation_handles(&self) -> (Arc<KbSnapshot>, Arc<StatsCatalog>, u64) {
+    fn generation_handles(&self) -> (Arc<SegmentedSnapshot>, Arc<StatsCatalog>, u64, u64) {
         let cur = self.current.lock().expect("service lock poisoned");
-        (cur.snapshot.clone(), cur.stats.clone(), cur.number)
+        (cur.view.clone(), cur.stats.clone(), cur.number, cur.epoch)
     }
 
     /// Looks up or compiles the plan for `text`. Public so callers can
     /// inspect [`Plan::explain`] (the CLI's `--explain` does).
     pub fn plan_for(&self, text: &str) -> Result<Arc<Plan>, QueryError> {
-        let (snapshot, stats, generation) = self.generation_handles();
-        self.plan_for_generation(text, &snapshot, &stats, generation).map(|(p, _)| p)
+        let (view, stats, generation, epoch) = self.generation_handles();
+        self.plan_for_generation(text, &view, &stats, generation, epoch).map(|(p, _)| p)
     }
 
     /// Returns the plan plus the normalized cache key.
     fn plan_for_generation(
         &self,
         text: &str,
-        snapshot: &KbSnapshot,
+        view: &SegmentedSnapshot,
         stats: &StatsCatalog,
         generation: u64,
+        epoch: u64,
     ) -> Result<(Arc<Plan>, String), QueryError> {
         // Level 1: exact raw text (skips parsing).
-        let alias = self.aliases.lock().expect("alias cache poisoned").get(text, 0);
+        let alias = self.aliases.lock().expect("alias cache poisoned").get(text, 0, 0);
         if let Some(key) = &alias {
-            if let Some(p) = self.plans.lock().expect("plan cache poisoned").get(key, generation) {
+            if let Some(p) =
+                self.plans.lock().expect("plan cache poisoned").get(key, generation, epoch)
+            {
                 self.metrics.plan_hits.inc();
                 return Ok((p, key.clone()));
             }
@@ -532,17 +714,19 @@ impl QueryService {
         parse_span.stop();
         let parsed = parsed?;
         let key = parsed.to_string();
-        if let Some(p) = self.plans.lock().expect("plan cache poisoned").get(&key, generation) {
+        if let Some(p) =
+            self.plans.lock().expect("plan cache poisoned").get(&key, generation, epoch)
+        {
             self.metrics.plan_hits.inc();
             self.remember_alias(text, &key);
             return Ok((p, key));
         }
         if !self.single_flight_enabled() {
-            let compiled = self.compile_and_cache(&parsed, &key, snapshot, stats, generation)?;
+            let compiled = self.compile_and_cache(&parsed, &key, view, stats, generation, epoch)?;
             self.remember_alias(text, &key);
             return Ok((compiled, key));
         }
-        match self.plan_flight.enter(generation, &key) {
+        match self.plan_flight.enter(generation, epoch, &key) {
             FlightEntry::Joined(result) => {
                 self.metrics.plan_dedup.inc();
                 self.remember_alias(text, &key);
@@ -552,14 +736,15 @@ impl QueryService {
                 // Double check: the previous leader may have cached the
                 // plan after our probe but before our leadership.
                 if let Some(p) =
-                    self.plans.lock().expect("plan cache poisoned").get(&key, generation)
+                    self.plans.lock().expect("plan cache poisoned").get(&key, generation, epoch)
                 {
                     self.metrics.plan_hits.inc();
                     guard.publish(Ok(Arc::clone(&p)));
                     self.remember_alias(text, &key);
                     return Ok((p, key));
                 }
-                let compiled = self.compile_and_cache(&parsed, &key, snapshot, stats, generation);
+                let compiled =
+                    self.compile_and_cache(&parsed, &key, view, stats, generation, epoch);
                 guard.publish(compiled.clone());
                 self.remember_alias(text, &key);
                 compiled.map(|p| (p, key))
@@ -568,23 +753,27 @@ impl QueryService {
     }
 
     /// The plan-miss path: compiles `parsed` (timed) and stores the
-    /// plan under `key`, subject to the generation floor.
+    /// plan under `key`, subject to the generation floor and the delta
+    /// epoch freshness rule.
     fn compile_and_cache(
         &self,
         parsed: &crate::ast::SelectQuery,
         key: &str,
-        snapshot: &KbSnapshot,
+        view: &SegmentedSnapshot,
         stats: &StatsCatalog,
         generation: u64,
+        epoch: u64,
     ) -> Result<Arc<Plan>, QueryError> {
         self.metrics.plan_misses.inc();
         let plan_span = self.metrics.span(&self.metrics.plan_us);
-        let compiled = plan(parsed, snapshot, stats);
+        let compiled = plan(parsed, view, stats);
         plan_span.stop();
         let compiled = Arc::new(compiled?);
         let outcome = self.plans.lock().expect("plan cache poisoned").put(
             key.to_string(),
             generation,
+            epoch,
+            compiled.footprint().clone(),
             Arc::clone(&compiled),
         );
         self.metrics.count_put(&self.metrics.plan_evictions, outcome);
@@ -592,12 +781,20 @@ impl QueryService {
     }
 
     fn remember_alias(&self, raw: &str, key: &str) {
-        self.aliases.lock().expect("alias cache poisoned").put(raw.to_string(), 0, key.to_string());
+        // Aliases map text to text — generation- and delta-independent,
+        // so they carry the empty footprint and never go stale.
+        self.aliases.lock().expect("alias cache poisoned").put(
+            raw.to_string(),
+            0,
+            0,
+            Footprint::default(),
+            key.to_string(),
+        );
     }
 
     /// Probes the result cache; on a hit, counts it and returns it.
-    fn result_probe(&self, key: &str, generation: u64) -> Option<Arc<QueryOutput>> {
-        let hit = self.results.lock().expect("result cache poisoned").get(key, generation);
+    fn result_probe(&self, key: &str, generation: u64, epoch: u64) -> Option<Arc<QueryOutput>> {
+        let hit = self.results.lock().expect("result cache poisoned").get(key, generation, epoch);
         if hit.is_some() {
             self.metrics.result_hits.inc();
         }
@@ -605,21 +802,25 @@ impl QueryService {
     }
 
     /// The result-miss path: executes (timed) and stores the output
-    /// under `key`, subject to the generation floor.
+    /// under `key`, subject to the generation floor and the delta epoch
+    /// freshness rule.
     fn execute_and_cache(
         &self,
         compiled: &Plan,
         key: &str,
-        snapshot: &KbSnapshot,
+        view: &SegmentedSnapshot,
         generation: u64,
+        epoch: u64,
     ) -> Arc<QueryOutput> {
         self.metrics.result_misses.inc();
         let exec_span = self.metrics.span(&self.metrics.exec_us);
-        let out = Arc::new(execute(compiled, snapshot));
+        let out = Arc::new(execute(compiled, view));
         exec_span.stop();
         let outcome = self.results.lock().expect("result cache poisoned").put(
             key.to_string(),
             generation,
+            epoch,
+            compiled.footprint().clone(),
             Arc::clone(&out),
         );
         self.metrics.count_put(&self.metrics.result_evictions, outcome);
@@ -627,25 +828,25 @@ impl QueryService {
     }
 
     /// Parses (or reuses), plans (or reuses) and executes `text`
-    /// against the current snapshot, consulting the result cache first
+    /// against the current view, consulting the result cache first
     /// and deduplicating concurrent identical executions (single
     /// flight).
     pub fn query(&self, text: &str) -> Result<Arc<QueryOutput>, QueryError> {
-        let (snapshot, stats, generation) = self.generation_handles();
+        let (view, stats, generation, epoch) = self.generation_handles();
         // Result probe under the raw text first, then normalized.
-        if let Some(key) = self.aliases.lock().expect("alias cache poisoned").get(text, 0) {
-            if let Some(r) = self.result_probe(&key, generation) {
+        if let Some(key) = self.aliases.lock().expect("alias cache poisoned").get(text, 0, 0) {
+            if let Some(r) = self.result_probe(&key, generation, epoch) {
                 return Ok(r);
             }
         }
-        let (compiled, key) = self.plan_for_generation(text, &snapshot, &stats, generation)?;
-        if let Some(r) = self.result_probe(&key, generation) {
+        let (compiled, key) = self.plan_for_generation(text, &view, &stats, generation, epoch)?;
+        if let Some(r) = self.result_probe(&key, generation, epoch) {
             return Ok(r);
         }
         if !self.single_flight_enabled() {
-            return Ok(self.execute_and_cache(compiled.as_ref(), &key, &snapshot, generation));
+            return Ok(self.execute_and_cache(compiled.as_ref(), &key, &view, generation, epoch));
         }
-        match self.result_flight.enter(generation, &key) {
+        match self.result_flight.enter(generation, epoch, &key) {
             FlightEntry::Joined(out) => {
                 self.metrics.result_dedup.inc();
                 Ok(out)
@@ -654,11 +855,11 @@ impl QueryService {
                 // Double check: the previous leader may have cached the
                 // result between our probe and our leadership; without
                 // this, a second burst thread could re-execute.
-                if let Some(r) = self.result_probe(&key, generation) {
+                if let Some(r) = self.result_probe(&key, generation, epoch) {
                     guard.publish(Arc::clone(&r));
                     return Ok(r);
                 }
-                let out = self.execute_and_cache(compiled.as_ref(), &key, &snapshot, generation);
+                let out = self.execute_and_cache(compiled.as_ref(), &key, &view, generation, epoch);
                 guard.publish(Arc::clone(&out));
                 Ok(out)
             }
@@ -818,6 +1019,98 @@ mod tests {
         assert_eq!(after.rows.len(), 2, "stale cached result must not survive install");
     }
 
+    /// The partial-invalidation win: a delta that touches only a
+    /// disjoint predicate leaves warm results serving, bumps the
+    /// retention counter and never re-executes.
+    #[test]
+    fn delta_install_retains_untouched_results() {
+        let svc = service();
+        let qa = "SELECT ?p WHERE { ?p bornIn San_Jose }";
+        let qb = "SELECT ?c WHERE { ?c locatedIn California }";
+        svc.query(qa).unwrap();
+        svc.query(qb).unwrap();
+
+        // A delta touching only a brand-new predicate.
+        let view = svc.snapshot();
+        let mut b = KbBuilder::new();
+        b.assert_str("Steve_Jobs", "worksAt", "Apple_Inc");
+        svc.apply_delta(Arc::new(b.freeze_delta(&view)));
+        assert_eq!(svc.epoch(), 1);
+        assert_eq!(svc.generation(), 0, "a delta install is not a generation bump");
+
+        // Both warm results survive: pure cache hits, no re-execution.
+        svc.query(qa).unwrap();
+        svc.query(qb).unwrap();
+        let stats = svc.cache_stats();
+        assert_eq!(stats.delta_installs, 1);
+        assert_eq!(stats.result_retained, 2, "disjoint-footprint entries must survive");
+        assert_eq!(stats.result_invalidated, 0);
+        assert_eq!(stats.result_misses, 2, "no re-execution after the delta");
+        assert_eq!(stats.result_hits, 2);
+
+        // The new fact is still queryable (fresh execution).
+        let out = svc.query("SELECT ?x WHERE { Steve_Jobs worksAt ?x }").unwrap();
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    /// The flip side: a delta touching a cached query's predicate
+    /// sweeps exactly that entry, and the re-execution sees the delta.
+    #[test]
+    fn delta_install_invalidates_touched_predicates_only() {
+        let svc = service();
+        let qa = "SELECT ?p WHERE { ?p bornIn San_Jose }";
+        let qb = "SELECT ?c WHERE { ?c locatedIn California }";
+        assert_eq!(svc.query(qa).unwrap().rows.len(), 1);
+        svc.query(qb).unwrap();
+
+        let view = svc.snapshot();
+        let mut b = KbBuilder::new();
+        b.assert_str("Another_Person", "bornIn", "San_Jose");
+        svc.apply_delta(Arc::new(b.freeze_delta(&view)));
+
+        let after = svc.query(qa).unwrap();
+        assert_eq!(after.rows.len(), 2, "swept entry must re-execute over the delta");
+        let stats = svc.cache_stats();
+        assert_eq!(stats.result_invalidated, 1, "only the bornIn entry dies");
+        assert_eq!(stats.result_retained, 1, "the locatedIn entry survives");
+        assert_eq!(stats.result_misses, 3, "qa cold, qb cold, qa after the delta");
+    }
+
+    /// Epoch scoping at the cache level: entries probed or re-inserted
+    /// after a delta touching their footprint bounce exactly like
+    /// stale-generation entries.
+    #[test]
+    fn delta_epoch_rejects_raced_puts_and_probes() {
+        let mut lru: LruCache<u32> = LruCache::new(8);
+        let p = TermId(7);
+        let fp = Footprint { preds: vec![p], wildcard: false };
+        assert_eq!(lru.put("q".into(), 0, 0, fp.clone(), 1), PutOutcome::Inserted);
+
+        // A delta touching p at epoch 1 sweeps and raises the bar.
+        let (retained, invalidated) = lru.apply_delta(1, &[p], false);
+        assert_eq!((retained, invalidated), (0, 1));
+
+        // A straggler stamped with the pre-delta epoch bounces.
+        assert_eq!(lru.put("q".into(), 0, 0, fp.clone(), 1), PutOutcome::StaleRejected);
+        // Stamped at the new epoch it lands and serves.
+        assert_eq!(lru.put("q".into(), 0, 1, fp.clone(), 2), PutOutcome::Inserted);
+        assert_eq!(lru.get("q", 0, 1), Some(2));
+
+        // An untouched-predicate entry sails through regardless.
+        let other = Footprint { preds: vec![TermId(9)], wildcard: false };
+        assert_eq!(lru.put("r".into(), 0, 0, other, 3), PutOutcome::Inserted);
+        let (retained, invalidated) = lru.apply_delta(2, &[p], false);
+        assert_eq!((retained, invalidated), (1, 1), "only the p-footprint entry dies");
+        assert_eq!(lru.get("r", 0, 0), Some(3));
+
+        // Wildcard footprints die on every delta, even a disjoint one.
+        let wild = Footprint { preds: vec![], wildcard: true };
+        assert_eq!(lru.put("w".into(), 0, 2, wild.clone(), 4), PutOutcome::Inserted);
+        lru.apply_delta(3, &[TermId(1000)], false);
+        assert_eq!(lru.get("w", 0, 3), None);
+        assert_eq!(lru.put("w".into(), 0, 2, wild, 4), PutOutcome::StaleRejected);
+    }
+
     /// The thundering-herd fix: N threads issuing the same cold query
     /// must produce exactly one execution (one `result_miss`); everyone
     /// else is a cache hit or a single-flight join.
@@ -862,17 +1155,18 @@ mod tests {
     #[test]
     fn stale_put_after_install_is_rejected() {
         let mut lru: LruCache<u32> = LruCache::new(8);
-        assert_eq!(lru.put("q".into(), 0, 1), PutOutcome::Inserted);
+        let fp = Footprint::default;
+        assert_eq!(lru.put("q".into(), 0, 0, fp(), 1), PutOutcome::Inserted);
         // install(): bump generation, raise the floor, clear.
         lru.set_floor(1);
         assert_eq!(lru.len(), 0);
         // The in-flight straggler stamped with the dead generation.
-        assert_eq!(lru.put("q".into(), 0, 1), PutOutcome::StaleRejected);
+        assert_eq!(lru.put("q".into(), 0, 0, fp(), 1), PutOutcome::StaleRejected);
         assert_eq!(lru.len(), 0, "dead-generation entry must not be pinned");
         assert_eq!(lru.stale_count(1), 0);
         // Current-generation inserts still land.
-        assert_eq!(lru.put("q".into(), 1, 2), PutOutcome::Inserted);
-        assert_eq!(lru.get("q", 1), Some(2));
+        assert_eq!(lru.put("q".into(), 1, 0, fp(), 2), PutOutcome::Inserted);
+        assert_eq!(lru.get("q", 1, 0), Some(2));
     }
 
     /// Service-level version of the same regression: queries racing
@@ -940,15 +1234,16 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut lru: LruCache<u32> = LruCache::new(2);
-        lru.put("a".into(), 0, 1);
-        lru.put("b".into(), 0, 2);
-        assert_eq!(lru.get("a", 0), Some(1));
-        assert_eq!(lru.put("c".into(), 0, 3), PutOutcome::Evicted); // evicts "b"
-        assert_eq!(lru.get("b", 0), None);
-        assert_eq!(lru.get("a", 0), Some(1));
-        assert_eq!(lru.get("c", 0), Some(3));
+        let fp = Footprint::default;
+        lru.put("a".into(), 0, 0, fp(), 1);
+        lru.put("b".into(), 0, 0, fp(), 2);
+        assert_eq!(lru.get("a", 0, 0), Some(1));
+        assert_eq!(lru.put("c".into(), 0, 0, fp(), 3), PutOutcome::Evicted); // evicts "b"
+        assert_eq!(lru.get("b", 0, 0), None);
+        assert_eq!(lru.get("a", 0, 0), Some(1));
+        assert_eq!(lru.get("c", 0, 0), Some(3));
         // Generation mismatch is a miss and drops the entry.
-        assert_eq!(lru.get("a", 1), None);
+        assert_eq!(lru.get("a", 1, 0), None);
         assert_eq!(lru.len(), 1);
     }
 

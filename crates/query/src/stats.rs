@@ -88,6 +88,66 @@ impl StatsCatalog {
         }
     }
 
+    /// Folds one [`DeltaSegment`] into the catalog without rescanning
+    /// the base: net-new facts bump the per-predicate and total counts
+    /// exactly; tombstones subtract exactly; shadow entries change no
+    /// cardinality. Distinct-value counts are maintained as *sums of
+    /// per-segment distincts* — an upper bound (a delta may repeat a
+    /// subject the base already knows), which only skews the uniformity
+    /// division slightly and keeps the merge `O(delta)` instead of
+    /// `O(base)`. The next full rebuild/compaction restores exactness.
+    ///
+    /// [`DeltaSegment`]: kb_store::DeltaSegment
+    pub fn merged_with_delta(&self, delta: &kb_store::DeltaSegment) -> Self {
+        let mut cat = self.clone();
+        // Group the net-new facts per predicate; count delta-local
+        // distincts in one sort each.
+        let mut per_new: HashMap<TermId, (usize, Vec<TermId>, Vec<TermId>)> = HashMap::new();
+        let mut new_s: Vec<TermId> = Vec::new();
+        let mut new_o: Vec<TermId> = Vec::new();
+        for f in delta.new_facts_iter() {
+            let e = per_new.entry(f.triple.p).or_default();
+            e.0 += 1;
+            e.1.push(f.triple.s);
+            e.2.push(f.triple.o);
+            new_s.push(f.triple.s);
+            new_o.push(f.triple.o);
+            cat.total += 1;
+        }
+        for (p, (count, mut ss, mut oo)) in per_new {
+            ss.sort_unstable();
+            ss.dedup();
+            oo.sort_unstable();
+            oo.dedup();
+            let st = cat.per_pred.entry(p).or_insert(PredStat {
+                count: 0,
+                distinct_s: 0,
+                distinct_o: 0,
+            });
+            st.count += count;
+            st.distinct_s += ss.len();
+            st.distinct_o += oo.len();
+        }
+        for f in delta.tombstones_iter() {
+            cat.total = cat.total.saturating_sub(1);
+            if let Some(st) = cat.per_pred.get_mut(&f.triple.p) {
+                st.count = st.count.saturating_sub(1);
+            }
+        }
+        // Global distincts: only terms allocated by this delta are
+        // provably unseen; older ids may already be counted, so they
+        // are skipped (keeps the bound tight-ish in both directions).
+        let first = delta.first_term();
+        for terms in [&mut new_s, &mut new_o] {
+            terms.retain(|t| *t >= first);
+            terms.sort_unstable();
+            terms.dedup();
+        }
+        cat.distinct_s += new_s.len();
+        cat.distinct_o += new_o.len();
+        cat
+    }
+
     /// Estimated matches for a scan of `pred` (a constant predicate id,
     /// or `None` for an unbound/variable predicate position) given
     /// whether the subject/object positions are fixed (a constant or an

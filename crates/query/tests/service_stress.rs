@@ -212,6 +212,63 @@ fn serve_batch_matches_serial_for_every_worker_count() {
     }
 }
 
+/// Delta installs racing live queries: answers stay well-formed, no
+/// stale-generation entry survives, and — the point of segmenting —
+/// warm results whose predicates the deltas never touch keep serving
+/// (the retention counter must move).
+#[test]
+fn delta_installs_under_load_retain_untouched_results() {
+    const DELTAS: u64 = 8;
+    let snap = build_kb().into_shared();
+    let svc = Arc::new(isolated_service(snap));
+    // Queries whose footprints the deltas never touch...
+    let untouched = ["?c locatedIn ?s", "?co headquarteredIn ?c"];
+    // ...and one footprint every delta hits.
+    let touched = "SELECT ?p ?y WHERE { ?p bornOn ?y } ORDER BY ?y ?p LIMIT 5";
+    for q in untouched {
+        svc.query(q).unwrap();
+    }
+    svc.query(touched).unwrap();
+
+    thread::scope(|scope| {
+        for c in 0..4usize {
+            let svc = Arc::clone(&svc);
+            scope.spawn(move || {
+                for i in 0..150 {
+                    let q = if (c + i) % 3 == 0 { touched } else { untouched[(c + i) % 2] };
+                    svc.query(q).expect("query must stay well-formed under delta installs");
+                }
+            });
+        }
+        // One installer thread owns the delta stack, so the
+        // sequential-stacking contract holds by construction.
+        let svc = Arc::clone(&svc);
+        scope.spawn(move || {
+            for d in 0..DELTAS {
+                let view = svc.snapshot();
+                let mut b = KbBuilder::new();
+                b.assert_str(&format!("px{d}"), "bornOn", &format!("{}", 1850 + d));
+                svc.apply_delta(Arc::new(b.freeze_delta(&view)));
+                thread::yield_now();
+            }
+        });
+    });
+
+    let stats = svc.cache_stats();
+    assert_eq!(stats.delta_installs, DELTAS);
+    assert!(
+        stats.result_retained > 0,
+        "untouched-footprint entries must survive delta installs: {stats:?}"
+    );
+    assert_eq!(svc.generation(), 0, "deltas must not bump the generation");
+    assert_eq!(svc.epoch(), DELTAS);
+    assert_eq!(svc.stale_entries(), 0);
+    // Every delta's fact is visible in the final view.
+    let out =
+        svc.query("SELECT ?p ?y WHERE { ?p bornOn ?y . FILTER(?y < 1900) } ORDER BY ?y").unwrap();
+    assert_eq!(out.rows.len(), DELTAS as usize);
+}
+
 #[test]
 fn install_under_concurrent_load_is_safe() {
     let snap = build_kb().into_shared();

@@ -122,6 +122,20 @@ impl KbCore {
         true
     }
 
+    /// Retracts a triple even when it is not present locally: an absent
+    /// triple gets a confidence-zero *tombstone* entry (never counted
+    /// live). Delta builders use this to retract facts that live in an
+    /// older segment — the tombstone shadows them at merge time.
+    pub(crate) fn retract_or_tombstone(&mut self, t: Triple) -> bool {
+        if self.by_triple.contains_key(&t) {
+            return self.retract(t);
+        }
+        let id = FactId(self.facts.len() as u32);
+        self.facts.push(Fact { triple: t, confidence: 0.0, source: SourceId::DEFAULT, span: None });
+        self.by_triple.insert(t, id);
+        true
+    }
+
     /// Sets the temporal scope of an existing triple. Does not change
     /// the index key set, so callers need not invalidate caches.
     pub(crate) fn set_span(&mut self, t: Triple, span: TimeSpan) -> bool {
@@ -320,6 +334,16 @@ impl KbBuilder {
         self.core.retract(t)
     }
 
+    /// Retracts by strings, recording a tombstone even when the triple
+    /// was never added to *this* builder. In a delta build
+    /// ([`freeze_delta`](Self::freeze_delta)) the tombstone shadows the
+    /// base segment's assertion; in a plain [`freeze`](Self::freeze) a
+    /// tombstone for an absent triple is inert.
+    pub fn retract_str(&mut self, s: &str, p: &str, o: &str) -> bool {
+        let t = Triple::new(self.intern(s), self.intern(p), self.intern(o));
+        self.core.retract_or_tombstone(t)
+    }
+
     /// Sets the temporal scope of an existing triple.
     pub fn set_span(&mut self, t: Triple, span: TimeSpan) -> bool {
         self.core.set_span(t, span)
@@ -370,6 +394,22 @@ impl KbBuilder {
     pub fn freeze(self) -> KbSnapshot {
         let indexes = FrozenIndexes::build(&self.core.facts);
         KbSnapshot::from_parts(self.core, self.taxonomy, self.sameas, self.labels, indexes)
+    }
+
+    /// Freezes the builder into a [`DeltaSegment`](crate::DeltaSegment)
+    /// layered on top of `view`: terms are re-interned against the
+    /// view's dictionary (unknown terms get fresh ids continuing the
+    /// view's id space), facts whose triple already exists in the view
+    /// become *shadow* entries carrying the evidence-merged confidence,
+    /// and retractions of view-visible triples become tombstones. The
+    /// resulting segment is installed with
+    /// [`SegmentedSnapshot::with_delta`](crate::SegmentedSnapshot::with_delta).
+    ///
+    /// The builder's taxonomy, sameAs and label stores are *not* carried
+    /// into the delta — segmented views serve those from the base
+    /// segment until the next compaction.
+    pub fn freeze_delta(self, view: &crate::SegmentedSnapshot) -> crate::DeltaSegment {
+        crate::DeltaSegment::from_builder(self, view)
     }
 }
 

@@ -71,6 +71,7 @@ pub mod pattern;
 pub mod query;
 pub mod read;
 pub mod sameas;
+pub mod segment;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -89,6 +90,7 @@ pub use pattern::TriplePattern;
 pub use query::{Bindings, Query};
 pub use read::{KbRead, PathJoinIter};
 pub use sameas::SameAsStore;
+pub use segment::{Compactor, DeltaSegment, SegmentStats, SegmentedSnapshot};
 pub use snapshot::{KbSnapshot, LiveFactsIter, MatchIter, MatchingAtIter, TriplesIter};
 pub use stats::KbStats;
 pub use store::{KnowledgeBase, SourceId};

@@ -26,10 +26,16 @@ use crate::stats::KbStats;
 use crate::store::SourceId;
 use crate::taxonomy::Taxonomy;
 use crate::time::TimePoint;
-use crate::Dictionary;
 
-/// Read-only access to a knowledge base: dictionary, facts, pattern
+/// Read-only access to a knowledge base: terms, facts, pattern
 /// queries, taxonomy, sameAs, labels and statistics.
+///
+/// Term access is exposed as [`term`](Self::term) /
+/// [`resolve`](Self::resolve) / [`term_count`](Self::term_count) rather
+/// than a concrete dictionary handle, so layered views (a
+/// [`SegmentedSnapshot`](crate::SegmentedSnapshot) whose terms span a
+/// base dictionary plus per-delta extensions) can implement the trait
+/// without materializing one merged dictionary.
 ///
 /// Object-safe except for [`path_join_iter`](Self::path_join_iter)
 /// (which must name `Self` in its return type and is therefore gated
@@ -38,8 +44,14 @@ use crate::Dictionary;
 pub trait KbRead {
     // -- required storage accessors -------------------------------------
 
-    /// The term dictionary.
-    fn dictionary(&self) -> &Dictionary;
+    /// Looks up an already-interned term.
+    fn term(&self, term: &str) -> Option<TermId>;
+
+    /// Resolves a term id back to its string.
+    fn resolve(&self, id: TermId) -> Option<&str>;
+
+    /// Number of distinct terms interned in this view.
+    fn term_count(&self) -> usize;
 
     /// Subclass-of DAG over class terms.
     fn taxonomy(&self) -> &Taxonomy;
@@ -60,30 +72,20 @@ pub trait KbRead {
     /// bulk existence checks (e.g. KB fusion) never touch the indexes.
     fn fact_for(&self, t: &Triple) -> Option<&Fact>;
 
-    /// The raw fact table in insertion order, *including* retracted
-    /// entries. Prefer [`facts`](Self::facts) unless provenance of
-    /// retracted facts is needed.
-    fn fact_table(&self) -> &[Fact];
-
     /// Number of live (non-retracted) facts.
     fn len(&self) -> usize;
+
+    /// Iterates over all live facts in fact-table (insertion) order —
+    /// the cheapest full scan, used by whole-KB aggregation that needs
+    /// no particular order. On a segmented view the base facts stream
+    /// first, then each delta's, with shadowed and retracted entries
+    /// skipped.
+    fn facts(&self) -> LiveFactsIter<'_>;
 
     /// Streams the live facts matching `pattern` in permutation-index
     /// order — one binary-searched contiguous range scan, no
     /// allocation.
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_>;
-
-    // -- provided: terms ------------------------------------------------
-
-    /// Looks up an already-interned term.
-    fn term(&self, term: &str) -> Option<TermId> {
-        self.dictionary().get(term)
-    }
-
-    /// Resolves a term id back to its string.
-    fn resolve(&self, id: TermId) -> Option<&str> {
-        self.dictionary().resolve(id)
-    }
 
     // -- provided: facts ------------------------------------------------
 
@@ -100,13 +102,6 @@ pub trait KbRead {
     /// Iterates over all live facts in SPO order (streaming).
     fn iter(&self) -> MatchIter<'_> {
         self.matching_iter(&TriplePattern::any())
-    }
-
-    /// Iterates over all live facts in fact-table (insertion) order —
-    /// the cheapest full scan, used by whole-KB aggregation that needs
-    /// no particular order.
-    fn facts(&self) -> LiveFactsIter<'_> {
-        LiveFactsIter(self.fact_table().iter())
     }
 
     // -- provided: queries ----------------------------------------------
@@ -237,7 +232,7 @@ pub trait KbRead {
         }
         let n = self.len();
         KbStats {
-            terms: self.dictionary().len(),
+            terms: self.term_count(),
             facts: n,
             subjects: distinct_subjects.len(),
             predicates: distinct_predicates.len(),

@@ -1,0 +1,878 @@
+//! Layered snapshots: an immutable base [`KbSnapshot`] plus an ordered
+//! stack of small [`DeltaSegment`]s, served as one coherent view by
+//! [`SegmentedSnapshot`] — the LSM-style answer to the curation-vs-
+//! freshness tension of continuously maintained KBs (NELL's 24/7 loop,
+//! Wikidata's live edits): a hundred-fact update must not cost a
+//! hundred-thousand-fact index rebuild.
+//!
+//! Design:
+//!
+//! * Every segment keeps its own frozen SPO/POS/OSP permutation arrays.
+//!   A delta's arrays cover only *its* facts, so freezing one is
+//!   `O(d log d)` in the delta size — independent of the base.
+//! * Term and source ids are **global**: a delta's builder re-interns
+//!   against the view it stacks on
+//!   ([`KbBuilder::freeze_delta`](crate::KbBuilder::freeze_delta)), so
+//!   unknown terms continue the view's dense id space and every segment
+//!   speaks the same [`TermId`] language. `with_delta` enforces the
+//!   sequential-stacking contract.
+//! * Queries k-way merge the per-segment index slices (see
+//!   [`MatchIter`]): at each key the *newest* holding
+//!   segment wins, which implements both evidence shadowing (a delta's
+//!   noisy-or-merged fact replaces the base's) and retraction
+//!   (tombstones — confidence-zero facts indexed only in deltas —
+//!   suppress the key).
+//! * The [`Compactor`] folds the delta stack back into a monolithic
+//!   base off the serving path once the stack grows past a size ratio,
+//!   bounding merge fan-in.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::builder::{KbBuilder, KbCore};
+use crate::fact::{Fact, Triple};
+use crate::ids::{FactId, TermId};
+use crate::labels::LabelStore;
+use crate::pattern::TriplePattern;
+use crate::read::KbRead;
+use crate::sameas::SameAsStore;
+use crate::snapshot::{FrozenIndexes, KbSnapshot, LiveFactsIter, MatchIter, SegCursor};
+use crate::store::SourceId;
+use crate::taxonomy::Taxonomy;
+
+/// How a delta fact relates to the view it was frozen against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactKind {
+    /// Triple not visible in the underlying view: a net-new fact.
+    New,
+    /// Triple already visible: this entry carries the evidence-merged
+    /// (noisy-or) fact and shadows the older segment's copy.
+    Shadow,
+    /// Retraction of a view-visible triple (confidence zero).
+    Tombstone,
+}
+
+/// One immutable increment of a segmented view: facts over *global*
+/// term/source ids, the extension of the dictionary and source table
+/// those facts needed, and the delta's own frozen permutation indexes
+/// (tombstones included, so the merge sees their keys).
+///
+/// Built by [`KbBuilder::freeze_delta`](crate::KbBuilder::freeze_delta);
+/// installed by [`SegmentedSnapshot::with_delta`].
+#[derive(Debug)]
+pub struct DeltaSegment {
+    /// Terms unknown to the underlying view, in allocation order; term
+    /// id `first_term + i` resolves to `ext_terms[i]`.
+    pub(crate) ext_terms: Vec<Arc<str>>,
+    pub(crate) ext_lookup: HashMap<Arc<str>, TermId>,
+    /// First term id this segment allocates (== the view's term count
+    /// at freeze time — the sequential-stacking contract).
+    pub(crate) first_term: u32,
+    /// Provenance sources unknown to the underlying view.
+    pub(crate) ext_sources: Vec<String>,
+    pub(crate) first_source: u32,
+    /// The delta's facts (new, shadow and tombstone entries alike),
+    /// over global ids.
+    pub(crate) facts: Vec<Fact>,
+    /// Parallel to `facts`.
+    pub(crate) kinds: Vec<FactKind>,
+    pub(crate) by_triple: HashMap<Triple, FactId>,
+    /// Frozen permutation arrays over `facts`, tombstones included.
+    pub(crate) indexes: FrozenIndexes,
+    /// Distinct predicates this delta touches (including tombstones),
+    /// sorted — the unit of cache invalidation upstream.
+    touched: Vec<TermId>,
+    new_facts: usize,
+    shadowed: usize,
+    tombstones: usize,
+    /// Net change to the view's live-fact count (`new - tombstoned`).
+    net_live: isize,
+}
+
+impl DeltaSegment {
+    /// See [`KbBuilder::freeze_delta`](crate::KbBuilder::freeze_delta).
+    pub(crate) fn from_builder(builder: KbBuilder, view: &SegmentedSnapshot) -> Self {
+        let obs = kb_obs::global();
+        let span = obs.span("store.delta.build_us");
+        let core = builder.core;
+
+        // Re-intern the builder's dictionary against the view; unknown
+        // terms continue the view's dense id space in first-seen order.
+        let first_term = view.term_count() as u32;
+        let mut ext_terms: Vec<Arc<str>> = Vec::new();
+        let mut ext_lookup: HashMap<Arc<str>, TermId> = HashMap::new();
+        let remap: Vec<TermId> = core
+            .dict
+            .iter()
+            .map(|(_, term)| {
+                view.term(term).unwrap_or_else(|| {
+                    let id = TermId(first_term + ext_terms.len() as u32);
+                    let arc: Arc<str> = Arc::from(term);
+                    ext_terms.push(Arc::clone(&arc));
+                    ext_lookup.insert(arc, id);
+                    id
+                })
+            })
+            .collect();
+
+        let first_source = view.source_total as u32;
+        let mut ext_sources: Vec<String> = Vec::new();
+        let source_remap: Vec<SourceId> = core
+            .sources
+            .iter()
+            .map(|name| {
+                view.source_id(name).unwrap_or_else(|| {
+                    let id = SourceId(first_source + ext_sources.len() as u32);
+                    ext_sources.push(name.clone());
+                    id
+                })
+            })
+            .collect();
+
+        let mut facts = Vec::with_capacity(core.facts.len());
+        let mut kinds = Vec::with_capacity(core.facts.len());
+        let mut by_triple = HashMap::with_capacity(core.facts.len());
+        let (mut new_facts, mut shadowed, mut tombstones) = (0usize, 0usize, 0usize);
+        let mut net_live = 0isize;
+        for f in &core.facts {
+            let t = Triple::new(
+                remap[f.triple.s.index()],
+                remap[f.triple.p.index()],
+                remap[f.triple.o.index()],
+            );
+            let id = FactId(facts.len() as u32);
+            if f.is_retracted() {
+                // Only meaningful as a tombstone over a visible fact;
+                // retracting something nobody can see is a no-op.
+                if view.fact_for(&t).is_none() {
+                    continue;
+                }
+                facts.push(Fact {
+                    triple: t,
+                    confidence: 0.0,
+                    source: source_remap[f.source.0 as usize],
+                    span: None,
+                });
+                kinds.push(FactKind::Tombstone);
+                by_triple.insert(t, id);
+                tombstones += 1;
+                net_live -= 1;
+                continue;
+            }
+            match view.fact_for(&t) {
+                Some(seen) => {
+                    // Same merge semantics as KbCore::add_fact, applied
+                    // across the segment boundary: noisy-or confidence,
+                    // first-known span, earliest source.
+                    let confidence = 1.0 - (1.0 - seen.confidence) * (1.0 - f.confidence);
+                    facts.push(Fact {
+                        triple: t,
+                        confidence,
+                        source: seen.source,
+                        span: seen.span.or(f.span),
+                    });
+                    kinds.push(FactKind::Shadow);
+                    shadowed += 1;
+                }
+                None => {
+                    facts.push(Fact {
+                        triple: t,
+                        confidence: f.confidence,
+                        source: source_remap[f.source.0 as usize],
+                        span: f.span,
+                    });
+                    kinds.push(FactKind::New);
+                    new_facts += 1;
+                    net_live += 1;
+                }
+            }
+            by_triple.insert(t, id);
+        }
+
+        let mut touched: Vec<TermId> = facts.iter().map(|f| f.triple.p).collect();
+        touched.sort_unstable();
+        touched.dedup();
+
+        let indexes = FrozenIndexes::build_with_tombstones(&facts);
+        span.stop();
+        obs.counter("store.delta.facts").add(facts.len() as u64);
+
+        Self {
+            ext_terms,
+            ext_lookup,
+            first_term,
+            ext_sources,
+            first_source,
+            facts,
+            kinds,
+            by_triple,
+            indexes,
+            touched,
+            new_facts,
+            shadowed,
+            tombstones,
+            net_live,
+        }
+    }
+
+    /// Total entries in this delta (new + shadow + tombstone).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the delta carries no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Net-new facts (triples invisible in the underlying view).
+    pub fn new_facts(&self) -> usize {
+        self.new_facts
+    }
+
+    /// Evidence-merge entries shadowing an older segment's fact.
+    pub fn shadowed(&self) -> usize {
+        self.shadowed
+    }
+
+    /// Retractions of view-visible triples.
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Net change to the live-fact count when this delta is installed.
+    pub fn net_live(&self) -> isize {
+        self.net_live
+    }
+
+    /// Distinct predicates this delta touches (sorted) — shadow and
+    /// tombstone predicates included, since both change query results.
+    /// This is the unit of partial cache invalidation in the serving
+    /// layer.
+    pub fn touched_predicates(&self) -> &[TermId] {
+        &self.touched
+    }
+
+    /// The net-new live facts, for incremental statistics maintenance
+    /// (shadows only adjust confidence; tombstones subtract, which
+    /// cost-model consumers may approximate away).
+    pub fn new_facts_iter(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter().zip(&self.kinds).filter(|(_, k)| **k == FactKind::New).map(|(f, _)| f)
+    }
+
+    /// The retraction entries (view-visible triples this delta hides),
+    /// for incremental statistics maintenance.
+    pub fn tombstones_iter(&self) -> impl Iterator<Item = &Fact> {
+        self.facts
+            .iter()
+            .zip(&self.kinds)
+            .filter(|(_, k)| **k == FactKind::Tombstone)
+            .map(|(f, _)| f)
+    }
+
+    /// First term id this segment allocates; every id at or above it
+    /// names a term the underlying view had never seen.
+    pub fn first_term(&self) -> TermId {
+        TermId(self.first_term)
+    }
+
+    /// Whether this delta has an entry (of any kind) for the triple.
+    pub(crate) fn contains_triple(&self, t: &Triple) -> bool {
+        self.by_triple.contains_key(t)
+    }
+
+    /// The delta's entry for a triple, tombstones included.
+    pub(crate) fn fact_local(&self, t: &Triple) -> Option<&Fact> {
+        self.by_triple.get(t).map(|id| &self.facts[id.index()])
+    }
+
+    pub(crate) fn fact_table(&self) -> &[Fact] {
+        &self.facts
+    }
+}
+
+/// Shape of a layered view: how many segments, and where its facts
+/// live. Returned by [`SegmentedSnapshot::segment_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Total segments (base + deltas).
+    pub segments: usize,
+    /// Live facts in the base segment.
+    pub base_facts: usize,
+    /// Total entries across all delta segments.
+    pub delta_facts: usize,
+    /// Net-new facts across deltas.
+    pub new_facts: usize,
+    /// Shadow (evidence-merge) entries across deltas.
+    pub shadowed: usize,
+    /// Tombstones across deltas.
+    pub tombstones: usize,
+    /// Live facts visible through the merged view.
+    pub live: usize,
+}
+
+/// A layered, immutable view: one base [`KbSnapshot`] plus zero or more
+/// [`DeltaSegment`]s, served through [`KbRead`] exactly like a
+/// monolithic snapshot — consumers (NED, linkage, analytics, rules, the
+/// query engine) cannot tell the difference.
+///
+/// Installing a delta is `O(1)` sharing: [`with_delta`] clones the
+/// `Arc` stack and pushes one more segment. With an empty stack every
+/// query takes the monolithic fast path, so wrapping a snapshot via
+/// [`from_base`] costs nothing on the read path.
+///
+/// ```
+/// use std::sync::Arc;
+/// use kb_store::{KbBuilder, KbRead, SegmentedSnapshot, TriplePattern};
+///
+/// let mut b = KbBuilder::new();
+/// b.assert_str("Steve_Jobs", "founded", "Apple_Inc");
+/// let view = SegmentedSnapshot::from_base(b.freeze().into_shared());
+///
+/// let mut d = KbBuilder::new();
+/// d.assert_str("Tim_Cook", "worksAt", "Apple_Inc");
+/// let view = view.with_delta(Arc::new(d.freeze_delta(&view)));
+///
+/// assert_eq!(view.len(), 2);
+/// let apple = view.term("Apple_Inc").unwrap();
+/// assert_eq!(view.count_matching(&TriplePattern::with_o(apple)), 2);
+/// ```
+///
+/// [`with_delta`]: Self::with_delta
+/// [`from_base`]: Self::from_base
+#[derive(Debug, Clone)]
+pub struct SegmentedSnapshot {
+    base: Arc<KbSnapshot>,
+    /// Delta stack, oldest → newest.
+    deltas: Vec<Arc<DeltaSegment>>,
+    live: usize,
+    term_total: usize,
+    source_total: usize,
+}
+
+impl SegmentedSnapshot {
+    /// Wraps a monolithic snapshot as a single-segment view.
+    pub fn from_base(base: Arc<KbSnapshot>) -> Self {
+        let live = base.len();
+        let term_total = base.term_count();
+        let source_total = base.source_count();
+        Self { base, deltas: Vec::new(), live, term_total, source_total }
+    }
+
+    /// Returns a new view with `delta` stacked on top (the receiver is
+    /// untouched — readers holding it keep their consistent view).
+    ///
+    /// # Panics
+    ///
+    /// If the delta was not frozen against exactly this view's term and
+    /// source id space (the sequential-stacking contract: freeze each
+    /// delta against the view it will be installed on).
+    pub fn with_delta(&self, delta: Arc<DeltaSegment>) -> Self {
+        assert_eq!(
+            delta.first_term as usize, self.term_total,
+            "delta was frozen against a different view (term space mismatch)"
+        );
+        assert_eq!(
+            delta.first_source as usize, self.source_total,
+            "delta was frozen against a different view (source space mismatch)"
+        );
+        let mut deltas = self.deltas.clone();
+        let live = (self.live as isize + delta.net_live()) as usize;
+        let term_total = self.term_total + delta.ext_terms.len();
+        let source_total = self.source_total + delta.ext_sources.len();
+        deltas.push(delta);
+        Self { base: Arc::clone(&self.base), deltas, live, term_total, source_total }
+    }
+
+    /// The base segment.
+    pub fn base(&self) -> &Arc<KbSnapshot> {
+        &self.base
+    }
+
+    /// Number of delta segments stacked on the base.
+    pub fn delta_count(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// The delta stack, oldest → newest.
+    pub fn deltas(&self) -> &[Arc<DeltaSegment>] {
+        &self.deltas
+    }
+
+    /// Delta-aware shape statistics for the view.
+    pub fn segment_stats(&self) -> SegmentStats {
+        SegmentStats {
+            segments: 1 + self.deltas.len(),
+            base_facts: self.base.len(),
+            delta_facts: self.deltas.iter().map(|d| d.len()).sum(),
+            new_facts: self.deltas.iter().map(|d| d.new_facts()).sum(),
+            shadowed: self.deltas.iter().map(|d| d.shadowed()).sum(),
+            tombstones: self.deltas.iter().map(|d| d.tombstones()).sum(),
+            live: self.live,
+        }
+    }
+
+    /// Looks up a provenance source by name across all segments.
+    pub(crate) fn source_id(&self, name: &str) -> Option<SourceId> {
+        if let Some(&id) = self.base.core.source_lookup.get(name) {
+            return Some(id);
+        }
+        for d in &self.deltas {
+            if let Some(pos) = d.ext_sources.iter().position(|s| s == name) {
+                return Some(SourceId(d.first_source + pos as u32));
+            }
+        }
+        None
+    }
+
+    /// Folds the delta stack into a fresh monolithic [`KbSnapshot`]
+    /// (replaying each delta's entries over a clone of the base, then
+    /// rebuilding the permutation indexes once). Runs off the serving
+    /// path — readers keep using the layered view until the compacted
+    /// snapshot is installed.
+    pub fn compact(&self) -> KbSnapshot {
+        let obs = kb_obs::global();
+        let span = obs.span("store.compact_us");
+        let mut core: KbCore = self.base.core.clone();
+        for d in &self.deltas {
+            for term in &d.ext_terms {
+                let id = core.dict.intern(term);
+                debug_assert_eq!(id.index() + 1, core.dict.len());
+            }
+            for name in &d.ext_sources {
+                core.register_source(name);
+            }
+            for f in &d.facts {
+                // Shadow entries already carry the view-merged
+                // confidence/span and tombstones carry zero, so the
+                // replay *overwrites* rather than re-merges.
+                match core.by_triple.get(&f.triple) {
+                    Some(&id) => core.facts[id.index()] = f.clone(),
+                    None => {
+                        let id = FactId(core.facts.len() as u32);
+                        core.by_triple.insert(f.triple, id);
+                        core.facts.push(f.clone());
+                    }
+                }
+            }
+        }
+        core.live = core.facts.iter().filter(|f| !f.is_retracted()).count();
+        debug_assert_eq!(core.live, self.live);
+        let indexes = FrozenIndexes::build(&core.facts);
+        span.stop();
+        obs.counter("store.compactions").inc();
+        KbSnapshot::from_parts(
+            core,
+            self.base.taxonomy.clone(),
+            self.base.sameas.clone(),
+            self.base.labels.clone(),
+            indexes,
+        )
+    }
+}
+
+impl KbRead for SegmentedSnapshot {
+    fn term(&self, term: &str) -> Option<TermId> {
+        if let Some(id) = self.base.core.dict.get(term) {
+            return Some(id);
+        }
+        self.deltas.iter().find_map(|d| d.ext_lookup.get(term).copied())
+    }
+
+    fn resolve(&self, id: TermId) -> Option<&str> {
+        if id.index() < self.base.term_count() {
+            return self.base.core.dict.resolve(id);
+        }
+        for d in &self.deltas {
+            let first = d.first_term as usize;
+            if id.index() < first + d.ext_terms.len() {
+                return Some(&d.ext_terms[id.index() - first]);
+            }
+        }
+        None
+    }
+
+    fn term_count(&self) -> usize {
+        self.term_total
+    }
+
+    // Taxonomy, sameAs and labels are served from the base segment:
+    // deltas carry facts and provenance only, so ontology-level changes
+    // ride the next compaction/rebuild.
+    fn taxonomy(&self) -> &Taxonomy {
+        &self.base.taxonomy
+    }
+
+    fn sameas(&self) -> &SameAsStore {
+        &self.base.sameas
+    }
+
+    fn labels(&self) -> &LabelStore {
+        &self.base.labels
+    }
+
+    fn source_name(&self, id: SourceId) -> Option<&str> {
+        let idx = id.0 as usize;
+        if idx < self.base.source_count() {
+            return self.base.core.source_name(id);
+        }
+        for d in &self.deltas {
+            let first = d.first_source as usize;
+            if idx < first + d.ext_sources.len() {
+                return Some(&d.ext_sources[idx - first]);
+            }
+        }
+        None
+    }
+
+    /// Fact ids address the concatenated fact tables: base first, then
+    /// each delta in stack order.
+    fn fact(&self, id: FactId) -> Option<&Fact> {
+        let mut idx = id.index();
+        let base_len = self.base.core.facts.len();
+        if idx < base_len {
+            return self.base.core.facts.get(idx);
+        }
+        idx -= base_len;
+        for d in &self.deltas {
+            if idx < d.facts.len() {
+                return d.facts.get(idx);
+            }
+            idx -= d.facts.len();
+        }
+        None
+    }
+
+    fn fact_for(&self, t: &Triple) -> Option<&Fact> {
+        // Newest segment holding the triple is authoritative.
+        for d in self.deltas.iter().rev() {
+            if let Some(f) = d.fact_local(t) {
+                return (!f.is_retracted()).then_some(f);
+            }
+        }
+        self.base.core.fact_for(t)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn facts(&self) -> LiveFactsIter<'_> {
+        LiveFactsIter::segmented(&self.base.core.facts, &self.deltas)
+    }
+
+    fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {
+        let (entries, filter) = self.base.indexes.select(pattern);
+        let head = SegCursor::new(entries, &self.base.core.facts);
+        let deltas = self
+            .deltas
+            .iter()
+            .map(|d| {
+                let (e, _) = d.indexes.select(pattern);
+                SegCursor::new(e, &d.facts)
+            })
+            .collect();
+        MatchIter::with_deltas(head, deltas, filter, pattern.choose_index())
+    }
+}
+
+/// Size-ratio compaction policy: fold the delta stack into the base
+/// once it grows past `max_deltas` segments or `max_ratio` of the base
+/// size in entries — the classic LSM trade between install latency
+/// (deltas stay cheap) and read amplification (merge fan-in stays
+/// bounded).
+#[derive(Debug, Clone, Copy)]
+pub struct Compactor {
+    /// Compact when more than this many deltas are stacked.
+    pub max_deltas: usize,
+    /// Compact when total delta entries exceed this fraction of the
+    /// base's live facts.
+    pub max_ratio: f64,
+}
+
+impl Default for Compactor {
+    fn default() -> Self {
+        Self { max_deltas: 4, max_ratio: 0.2 }
+    }
+}
+
+impl Compactor {
+    /// Whether the view's delta stack has outgrown the policy.
+    pub fn should_compact(&self, view: &SegmentedSnapshot) -> bool {
+        if view.delta_count() == 0 {
+            return false;
+        }
+        if view.delta_count() > self.max_deltas {
+            return true;
+        }
+        let delta_entries: usize = view.deltas().iter().map(|d| d.len()).sum();
+        delta_entries as f64 > self.max_ratio * view.base().len().max(1) as f64
+    }
+
+    /// Folds the stack into a fresh monolithic snapshot (see
+    /// [`SegmentedSnapshot::compact`]).
+    pub fn compact(&self, view: &SegmentedSnapshot) -> KbSnapshot {
+        view.compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{TimePoint, TimeSpan};
+    use crate::KbBuilder;
+
+    fn base_view() -> SegmentedSnapshot {
+        let mut b = KbBuilder::new();
+        b.assert_str("Steve_Jobs", "founded", "Apple_Inc");
+        b.assert_str("Steve_Wozniak", "founded", "Apple_Inc");
+        b.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
+        b.assert_str("San_Francisco", "locatedIn", "United_States");
+        SegmentedSnapshot::from_base(b.freeze().into_shared())
+    }
+
+    #[test]
+    fn empty_stack_answers_like_the_base() {
+        let view = base_view();
+        let base = Arc::clone(view.base());
+        assert_eq!(view.len(), base.len());
+        assert_eq!(view.term_count(), base.term_count());
+        let founded = view.term("founded").unwrap();
+        assert_eq!(
+            view.matching_triples(&TriplePattern::with_p(founded)),
+            base.matching_triples(&TriplePattern::with_p(founded)),
+        );
+        assert_eq!(view.facts().count(), base.facts().count());
+    }
+
+    #[test]
+    fn delta_adds_new_facts_and_terms() {
+        let view = base_view();
+        let mut d = KbBuilder::new();
+        d.assert_str("Tim_Cook", "worksAt", "Apple_Inc");
+        d.assert_str("Steve_Jobs", "founded", "NeXT");
+        let delta = d.freeze_delta(&view);
+        assert_eq!(delta.new_facts(), 2);
+        assert_eq!(delta.shadowed(), 0);
+        let view = view.with_delta(Arc::new(delta));
+
+        assert_eq!(view.len(), 6);
+        // New terms continue the base id space and resolve both ways.
+        let cook = view.term("Tim_Cook").unwrap();
+        assert!(cook.index() >= view.base().term_count());
+        assert_eq!(view.resolve(cook), Some("Tim_Cook"));
+        // Merged scans see base + delta facts in key order.
+        let founded = view.term("founded").unwrap();
+        let apple = view.term("Apple_Inc").unwrap();
+        assert_eq!(view.count_matching(&TriplePattern::with_p(founded)), 3);
+        assert_eq!(view.count_matching(&TriplePattern::with_o(apple)), 3);
+        // A ?p scan walks the POS index, so the merge must preserve
+        // global (o, s) order within the predicate bucket.
+        let keys: Vec<_> = view
+            .matching_triples(&TriplePattern::with_p(founded))
+            .iter()
+            .map(|t| (t.o, t.s))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "merge preserves index key order");
+    }
+
+    #[test]
+    fn shadow_entry_wins_over_the_base() {
+        let view = base_view();
+        let jobs = view.term("Steve_Jobs").unwrap();
+        let founded = view.term("founded").unwrap();
+        let apple = view.term("Apple_Inc").unwrap();
+        let t = Triple::new(jobs, founded, apple);
+        let base_conf = view.fact_for(&t).unwrap().confidence;
+
+        let mut d = KbBuilder::new();
+        let f = Fact {
+            triple: Triple::new(d.intern("Steve_Jobs"), d.intern("founded"), d.intern("Apple_Inc")),
+            confidence: 0.5,
+            source: SourceId::DEFAULT,
+            span: Some(TimeSpan::at(TimePoint::year(1976))),
+        };
+        d.add_fact(f);
+        let delta = d.freeze_delta(&view);
+        assert_eq!(delta.shadowed(), 1);
+        assert_eq!(delta.net_live(), 0);
+        let view = view.with_delta(Arc::new(delta));
+
+        // Live count unchanged; confidence noisy-or merged; the span
+        // arrives because the base fact had none.
+        assert_eq!(view.len(), 4);
+        let merged = view.fact_for(&t).unwrap();
+        let expect = 1.0 - (1.0 - base_conf) * 0.5;
+        assert!((merged.confidence - expect).abs() < 1e-12);
+        assert!(merged.span.is_some());
+        // The triple surfaces exactly once through every read path.
+        assert_eq!(view.count_matching(&TriplePattern::exact(t)), 1);
+        assert_eq!(view.facts().filter(|f| f.triple == t).count(), 1);
+        assert!(view
+            .facts()
+            .find(|f| f.triple == t)
+            .is_some_and(|f| (f.confidence - expect).abs() < 1e-12));
+    }
+
+    #[test]
+    fn tombstone_hides_a_base_fact_until_resurrected() {
+        let view = base_view();
+        let jobs = view.term("Steve_Jobs").unwrap();
+        let born = view.term("bornIn").unwrap();
+        let sf = view.term("San_Francisco").unwrap();
+        let t = Triple::new(jobs, born, sf);
+
+        let mut d = KbBuilder::new();
+        d.retract_str("Steve_Jobs", "bornIn", "San_Francisco");
+        let delta = d.freeze_delta(&view);
+        assert_eq!(delta.tombstones(), 1);
+        assert_eq!(delta.net_live(), -1);
+        let view2 = view.with_delta(Arc::new(delta));
+
+        assert_eq!(view2.len(), 3);
+        assert!(!view2.contains(&t));
+        assert!(view2.fact_for(&t).is_none());
+        assert_eq!(view2.count_matching(&TriplePattern::with_p(born)), 0);
+        assert!(view2.facts().all(|f| f.triple != t));
+        // The original view is untouched (readers keep their version).
+        assert!(view.contains(&t));
+
+        // A later delta resurrects the triple as a net-new fact.
+        let mut d2 = KbBuilder::new();
+        d2.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
+        let delta2 = d2.freeze_delta(&view2);
+        assert_eq!(delta2.new_facts(), 1);
+        let view3 = view2.with_delta(Arc::new(delta2));
+        assert_eq!(view3.len(), 4);
+        assert!(view3.contains(&t));
+        assert_eq!(view3.count_matching(&TriplePattern::with_p(born)), 1);
+    }
+
+    #[test]
+    fn retracting_an_invisible_triple_is_dropped_from_the_delta() {
+        let view = base_view();
+        let mut d = KbBuilder::new();
+        d.retract_str("Nobody", "knows", "This");
+        let delta = d.freeze_delta(&view);
+        assert!(delta.is_empty());
+        assert_eq!(delta.net_live(), 0);
+        // The phantom terms were still interned as extension terms —
+        // harmless, they just resolve.
+        let view = view.with_delta(Arc::new(delta));
+        assert_eq!(view.len(), 4);
+    }
+
+    #[test]
+    fn touched_predicates_cover_all_entry_kinds() {
+        let view = base_view();
+        let mut d = KbBuilder::new();
+        d.assert_str("Tim_Cook", "worksAt", "Apple_Inc"); // new
+        d.assert_str("Steve_Jobs", "founded", "Apple_Inc"); // shadow
+        d.retract_str("Steve_Jobs", "bornIn", "San_Francisco"); // tombstone
+        let delta = d.freeze_delta(&view);
+        let touched = delta.touched_predicates();
+        assert_eq!(touched.len(), 3);
+        for p in ["worksAt", "founded", "bornIn"] {
+            let id = view.term(p).or_else(|| delta.ext_lookup.get(p).copied()).unwrap();
+            assert!(touched.contains(&id), "{p} missing from touched set");
+        }
+        assert!(touched.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+    }
+
+    #[test]
+    fn stacking_contract_is_enforced() {
+        let view = base_view();
+        let mut d = KbBuilder::new();
+        d.assert_str("Tim_Cook", "worksAt", "Apple_Inc");
+        let delta = Arc::new(d.freeze_delta(&view));
+        let stacked = view.with_delta(Arc::clone(&delta));
+        // Installing the same delta again would collide with the term
+        // space it already extended.
+        let err = std::panic::catch_unwind(|| stacked.with_delta(delta));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn compaction_preserves_the_merged_view() {
+        let view = base_view();
+        let mut d1 = KbBuilder::new();
+        d1.assert_str("Tim_Cook", "worksAt", "Apple_Inc");
+        d1.assert_str("Steve_Jobs", "founded", "Apple_Inc"); // shadow
+        let view = view.with_delta(Arc::new(d1.freeze_delta(&view)));
+        let mut d2 = KbBuilder::new();
+        d2.retract_str("San_Francisco", "locatedIn", "United_States");
+        d2.assert_str("Tim_Cook", "bornIn", "Mobile_Alabama");
+        let view = view.with_delta(Arc::new(d2.freeze_delta(&view)));
+
+        let compacted = view.compact();
+        assert_eq!(compacted.len(), view.len());
+        assert_eq!(compacted.term_count(), view.term_count());
+        // Identical answers, shape by shape.
+        assert_eq!(
+            compacted.matching_triples(&TriplePattern::any()),
+            view.matching_triples(&TriplePattern::any()),
+        );
+        for f in view.facts() {
+            let c = compacted.fact_for(&f.triple).expect("fact survives compaction");
+            assert!((c.confidence - f.confidence).abs() < 1e-12);
+            assert_eq!(c.span, f.span);
+        }
+        // Term ids are preserved exactly, so downstream TermId holders
+        // stay valid across the swap.
+        for id in 0..view.term_count() as u32 {
+            assert_eq!(compacted.resolve(TermId(id)), view.resolve(TermId(id)));
+        }
+    }
+
+    #[test]
+    fn compactor_policy_triggers_on_ratio_and_count() {
+        let c = Compactor::default();
+        let mut view = base_view();
+        assert!(!c.should_compact(&view));
+        // 4 base facts → one 1-entry delta already exceeds 20%.
+        let mut d = KbBuilder::new();
+        d.assert_str("Tim_Cook", "worksAt", "Apple_Inc");
+        view = view.with_delta(Arc::new(d.freeze_delta(&view)));
+        assert!(c.should_compact(&view));
+        let strict = Compactor { max_deltas: 0, max_ratio: 1.0 };
+        assert!(strict.should_compact(&view));
+        let loose = Compactor { max_deltas: 8, max_ratio: 1.0 };
+        assert!(!loose.should_compact(&view));
+    }
+
+    #[test]
+    fn segment_stats_reflect_the_stack() {
+        let view = base_view();
+        let mut d = KbBuilder::new();
+        d.assert_str("Tim_Cook", "worksAt", "Apple_Inc");
+        d.assert_str("Steve_Jobs", "founded", "Apple_Inc");
+        d.retract_str("Steve_Jobs", "bornIn", "San_Francisco");
+        let view = view.with_delta(Arc::new(d.freeze_delta(&view)));
+        let st = view.segment_stats();
+        assert_eq!(st.segments, 2);
+        assert_eq!(st.base_facts, 4);
+        assert_eq!(st.delta_facts, 3);
+        assert_eq!(st.new_facts, 1);
+        assert_eq!(st.shadowed, 1);
+        assert_eq!(st.tombstones, 1);
+        assert_eq!(st.live, 4);
+    }
+
+    #[test]
+    fn path_join_works_across_segments() {
+        // bornIn lives in the base, locatedIn arrives via a delta.
+        let mut b = KbBuilder::new();
+        b.assert_str("Steve_Jobs", "bornIn", "San_Francisco");
+        let view = SegmentedSnapshot::from_base(b.freeze().into_shared());
+        let mut d = KbBuilder::new();
+        d.assert_str("San_Francisco", "locatedIn", "United_States");
+        let view = view.with_delta(Arc::new(d.freeze_delta(&view)));
+        let born = view.term("bornIn").unwrap();
+        let located = view.term("locatedIn").unwrap();
+        let pairs = view.path_join(born, located);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(view.resolve(pairs[0].1), Some("United_States"));
+    }
+}

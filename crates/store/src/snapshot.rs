@@ -13,6 +13,14 @@
 //! [`TriplePattern::choose_index`] for the shape→index mapping).
 //! Iteration then walks the slice and resolves each `FactId` straight
 //! into the fact table — no hash lookups, no per-call `Vec`.
+//!
+//! The same iterators also serve layered views: a
+//! [`SegmentedSnapshot`](crate::SegmentedSnapshot) opens one
+//! cursor per segment and [`MatchIter`] k-way merges them by
+//! minimum key, with the *newest* segment holding a key winning
+//! (shadowing) and delta tombstones suppressing older assertions.
+//! Monolithic views keep an empty delta stack and take the original
+//! single-slice fast path — no merge overhead, no per-row allocation.
 
 use std::sync::Arc;
 
@@ -23,12 +31,13 @@ use crate::labels::LabelStore;
 use crate::pattern::{IndexChoice, TriplePattern};
 use crate::read::KbRead;
 use crate::sameas::SameAsStore;
+use crate::segment::DeltaSegment;
 use crate::store::SourceId;
 use crate::taxonomy::Taxonomy;
 use crate::time::TimePoint;
 use crate::Dictionary;
 
-type Key = (TermId, TermId, TermId);
+pub(crate) type Key = (TermId, TermId, TermId);
 
 /// The three sorted permutation arrays of a frozen store, each paired
 /// with a per-leading-term offset array.
@@ -67,16 +76,12 @@ fn starts_of(entries: &[(Key, FactId)]) -> Vec<u32> {
 }
 
 impl FrozenIndexes {
-    /// Indexes every live fact in `facts` (retracted entries are
-    /// skipped, so they never appear in query results).
-    pub(crate) fn build(facts: &[Fact]) -> Self {
-        let obs = kb_obs::global();
-        let span = obs.span("store.snapshot.freeze_us");
+    fn build_impl(facts: &[Fact], include_retracted: bool) -> Self {
         let mut spo = Vec::with_capacity(facts.len());
         let mut pos = Vec::with_capacity(facts.len());
         let mut osp = Vec::with_capacity(facts.len());
         for (i, f) in facts.iter().enumerate() {
-            if f.is_retracted() {
+            if f.is_retracted() && !include_retracted {
                 continue;
             }
             let id = FactId(i as u32);
@@ -91,12 +96,34 @@ impl FrozenIndexes {
         let spo_starts = starts_of(&spo);
         let pos_starts = starts_of(&pos);
         let osp_starts = starts_of(&osp);
+        Self { spo, pos, osp, spo_starts, pos_starts, osp_starts }
+    }
+
+    /// Indexes every live fact in `facts` (retracted entries are
+    /// skipped, so they never appear in query results).
+    pub(crate) fn build(facts: &[Fact]) -> Self {
+        let obs = kb_obs::global();
+        let span = obs.span("store.snapshot.freeze_us");
+        let built = Self::build_impl(facts, false);
         span.stop();
         obs.counter("store.snapshot.freezes").inc();
         // Three permutation arrays plus their offset buckets.
-        obs.gauge("store.index.entries").set((3 * spo.len()) as i64);
-        obs.gauge("store.index.bucket_slots").set((3 * spo_starts.len()) as i64);
-        Self { spo, pos, osp, spo_starts, pos_starts, osp_starts }
+        obs.gauge("store.index.entries").set((3 * built.spo.len()) as i64);
+        obs.gauge("store.index.bucket_slots").set((3 * built.spo_starts.len()) as i64);
+        built
+    }
+
+    /// Indexes every fact *including* retracted ones — the delta-segment
+    /// build. A delta's tombstones must be present in its permutation
+    /// arrays so the k-way merge sees their keys and lets them shadow
+    /// (suppress) the base segment's assertions.
+    pub(crate) fn build_with_tombstones(facts: &[Fact]) -> Self {
+        let obs = kb_obs::global();
+        let span = obs.span("store.delta.freeze_us");
+        let built = Self::build_impl(facts, true);
+        span.stop();
+        obs.counter("store.delta.freezes").inc();
+        built
     }
 
     /// Locates the contiguous slice answering `pattern` plus the
@@ -145,14 +172,41 @@ impl FrozenIndexes {
     }
 }
 
+/// One segment's contribution to a merged scan: the selected index
+/// slice plus the segment's fact table to resolve ids against. Advanced
+/// by re-slicing — no allocation per row.
+#[derive(Debug, Clone)]
+pub(crate) struct SegCursor<'a> {
+    entries: &'a [(Key, FactId)],
+    facts: &'a [Fact],
+}
+
+impl<'a> SegCursor<'a> {
+    pub(crate) fn new(entries: &'a [(Key, FactId)], facts: &'a [Fact]) -> Self {
+        Self { entries, facts }
+    }
+}
+
 /// Streaming cursor over the live facts matching one [`TriplePattern`],
 /// in permutation-index order. Yields `&Fact` without allocating.
+///
+/// For a monolithic view this walks one contiguous index slice. For a
+/// [`SegmentedSnapshot`](crate::SegmentedSnapshot) it k-way merges the
+/// base cursor with one cursor per delta segment: at each step the
+/// minimum key across cursor heads is taken, every cursor sitting on
+/// that key is advanced (dedup), and the *newest* holder's fact wins —
+/// so a delta's evidence-merge shadows the base and a delta tombstone
+/// (retracted fact, indexed only in deltas) suppresses the key
+/// entirely.
 ///
 /// Returned by [`KbRead::matching_iter`].
 #[derive(Debug, Clone)]
 pub struct MatchIter<'a> {
-    entries: std::slice::Iter<'a, (Key, FactId)>,
-    facts: &'a [Fact],
+    /// Base (oldest) segment cursor.
+    head: SegCursor<'a>,
+    /// Delta cursors, oldest → newest. Empty for monolithic views,
+    /// which keep the single-slice fast path.
+    deltas: Vec<SegCursor<'a>>,
     filter: Option<TriplePattern>,
     /// Which permutation the keys come from (lets [`TriplesIter`]
     /// reconstruct triples from keys without touching the fact table).
@@ -166,16 +220,65 @@ impl<'a> MatchIter<'a> {
         filter: Option<TriplePattern>,
         choice: IndexChoice,
     ) -> Self {
-        Self { entries: entries.iter(), facts, filter, choice }
+        Self { head: SegCursor::new(entries, facts), deltas: Vec::new(), filter, choice }
+    }
+
+    pub(crate) fn with_deltas(
+        head: SegCursor<'a>,
+        deltas: Vec<SegCursor<'a>>,
+        filter: Option<TriplePattern>,
+        choice: IndexChoice,
+    ) -> Self {
+        Self { head, deltas, filter, choice }
     }
 
     /// Consumes the cursor and returns the exact number of remaining
-    /// matches — `O(1)` for every shape except `s?o`, which must walk
-    /// its post-filtered range.
+    /// matches — `O(1)` for every monolithic shape except `s?o`;
+    /// segmented views must walk the merge (shadowing and tombstones
+    /// make the count data-dependent).
     pub fn exact_count(self) -> usize {
-        match self.filter {
-            None => self.entries.len(),
-            Some(_) => self.count(),
+        if self.deltas.is_empty() && self.filter.is_none() {
+            return self.head.entries.len();
+        }
+        self.count()
+    }
+
+    /// The k-way merge step: yields the authoritative fact for the next
+    /// smallest key across all segment cursors, skipping tombstones.
+    /// Only called on segmented views (`deltas` non-empty).
+    fn merge_next(&mut self) -> Option<&'a Fact> {
+        loop {
+            let mut min: Option<Key> = self.head.entries.first().map(|&(k, _)| k);
+            for c in &self.deltas {
+                if let Some(&(k, _)) = c.entries.first() {
+                    if min.is_none_or(|m| k < m) {
+                        min = Some(k);
+                    }
+                }
+            }
+            let min = min?;
+            // Advance every cursor sitting on the key; cursors run
+            // oldest → newest, so the last holder is authoritative.
+            let mut winner: Option<&'a Fact> = None;
+            if let Some((&(k, id), rest)) = self.head.entries.split_first() {
+                if k == min {
+                    winner = Some(&self.head.facts[id.index()]);
+                    self.head.entries = rest;
+                }
+            }
+            for c in self.deltas.iter_mut() {
+                if let Some((&(k, id), rest)) = c.entries.split_first() {
+                    if k == min {
+                        winner = Some(&c.facts[id.index()]);
+                        c.entries = rest;
+                    }
+                }
+            }
+            let fact = winner.expect("the min key has at least one holder");
+            // A retracted winner is a tombstone: the key is suppressed.
+            if !fact.is_retracted() {
+                return Some(fact);
+            }
         }
     }
 }
@@ -184,8 +287,19 @@ impl<'a> Iterator for MatchIter<'a> {
     type Item = &'a Fact;
 
     fn next(&mut self) -> Option<&'a Fact> {
-        for &(_, id) in self.entries.by_ref() {
-            let fact = &self.facts[id.index()];
+        if self.deltas.is_empty() {
+            while let Some((&(_, id), rest)) = self.head.entries.split_first() {
+                self.head.entries = rest;
+                let fact = &self.head.facts[id.index()];
+                match self.filter {
+                    None => return Some(fact),
+                    Some(p) if p.matches(&fact.triple) => return Some(fact),
+                    Some(_) => {}
+                }
+            }
+            return None;
+        }
+        while let Some(fact) = self.merge_next() {
             match self.filter {
                 None => return Some(fact),
                 Some(p) if p.matches(&fact.triple) => return Some(fact),
@@ -196,10 +310,12 @@ impl<'a> Iterator for MatchIter<'a> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.entries.len();
-        if self.filter.is_none() {
+        let n =
+            self.head.entries.len() + self.deltas.iter().map(|c| c.entries.len()).sum::<usize>();
+        if self.deltas.is_empty() && self.filter.is_none() {
             (n, Some(n))
         } else {
+            // Post-filtering, shadowing and tombstones can only shrink.
             (0, Some(n))
         }
     }
@@ -208,9 +324,11 @@ impl<'a> Iterator for MatchIter<'a> {
 /// Streaming cursor over matching triples (projection of
 /// [`MatchIter`]). Returned by [`KbRead::triples_iter`].
 ///
-/// Reconstructs each triple by un-permuting the index key — the fact
-/// table is never touched, so a triple projection stays inside the
-/// contiguous index slice.
+/// On a monolithic view each triple is reconstructed by un-permuting
+/// the index key — the fact table is never touched, so a triple
+/// projection stays inside the contiguous index slice. A segmented view
+/// must consult the winning fact anyway (tombstone check), so it
+/// projects the merged fact's triple.
 #[derive(Debug, Clone)]
 pub struct TriplesIter<'a>(pub(crate) MatchIter<'a>);
 
@@ -228,11 +346,22 @@ impl Iterator for TriplesIter<'_> {
 
     fn next(&mut self) -> Option<Triple> {
         let it = &mut self.0;
-        for &(k, _) in it.entries.by_ref() {
-            let t = unpermute(it.choice, k);
+        if it.deltas.is_empty() {
+            while let Some((&(k, _), rest)) = it.head.entries.split_first() {
+                it.head.entries = rest;
+                let t = unpermute(it.choice, k);
+                match it.filter {
+                    None => return Some(t),
+                    Some(p) if p.matches(&t) => return Some(t),
+                    Some(_) => {}
+                }
+            }
+            return None;
+        }
+        while let Some(fact) = it.merge_next() {
             match it.filter {
-                None => return Some(t),
-                Some(p) if p.matches(&t) => return Some(t),
+                None => return Some(fact.triple),
+                Some(p) if p.matches(&fact.triple) => return Some(fact.triple),
                 Some(_) => {}
             }
         }
@@ -266,22 +395,57 @@ impl<'a> Iterator for MatchingAtIter<'a> {
     }
 }
 
-/// Streaming cursor over the live facts of the fact table in insertion
-/// order (retracted entries skipped). Returned by [`KbRead::facts`];
-/// this is the cheap path for whole-KB aggregation (`stats`,
-/// `predicate_histogram`) that needs no particular order.
+/// Streaming cursor over the live facts of a view in fact-table
+/// (insertion) order — base segment first, then each delta in stack
+/// order. Returned by [`KbRead::facts`]; this is the cheap path for
+/// whole-KB aggregation (`stats`, `predicate_histogram`) that needs no
+/// particular order.
+///
+/// Retracted facts are skipped, and a fact whose triple reappears in a
+/// *newer* overlay segment is skipped too — the newer segment re-yields
+/// its merged (or tombstoned) version, so each triple surfaces exactly
+/// once.
 #[derive(Debug, Clone)]
-pub struct LiveFactsIter<'a>(pub(crate) std::slice::Iter<'a, Fact>);
+pub struct LiveFactsIter<'a> {
+    cur: std::slice::Iter<'a, Fact>,
+    /// Segments stacked above `cur`, oldest → newest: each shadows the
+    /// current slice and then streams its own facts in turn.
+    overlay: &'a [Arc<DeltaSegment>],
+}
+
+impl<'a> LiveFactsIter<'a> {
+    pub(crate) fn new(facts: &'a [Fact]) -> Self {
+        Self { cur: facts.iter(), overlay: &[] }
+    }
+
+    pub(crate) fn segmented(base: &'a [Fact], overlay: &'a [Arc<DeltaSegment>]) -> Self {
+        Self { cur: base.iter(), overlay }
+    }
+}
 
 impl<'a> Iterator for LiveFactsIter<'a> {
     type Item = &'a Fact;
 
     fn next(&mut self) -> Option<&'a Fact> {
-        self.0.by_ref().find(|f| !f.is_retracted())
+        loop {
+            for f in self.cur.by_ref() {
+                if f.is_retracted() {
+                    continue;
+                }
+                if self.overlay.iter().any(|d| d.contains_triple(&f.triple)) {
+                    continue;
+                }
+                return Some(f);
+            }
+            let (next_seg, rest) = self.overlay.split_first()?;
+            self.cur = next_seg.fact_table().iter();
+            self.overlay = rest;
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (0, Some(self.0.len()))
+        let pending: usize = self.overlay.iter().map(|d| d.fact_table().len()).sum();
+        (0, Some(self.cur.len() + pending))
     }
 }
 
@@ -298,11 +462,11 @@ impl<'a> Iterator for LiveFactsIter<'a> {
 /// All queries go through the [`KbRead`] trait.
 #[derive(Debug, Clone)]
 pub struct KbSnapshot {
-    core: KbCore,
-    taxonomy: Taxonomy,
-    sameas: SameAsStore,
-    labels: LabelStore,
-    indexes: FrozenIndexes,
+    pub(crate) core: KbCore,
+    pub(crate) taxonomy: Taxonomy,
+    pub(crate) sameas: SameAsStore,
+    pub(crate) labels: LabelStore,
+    pub(crate) indexes: FrozenIndexes,
     live: usize,
 }
 
@@ -326,15 +490,35 @@ impl KbSnapshot {
         Arc::new(self)
     }
 
+    /// The term dictionary (a snapshot holds exactly one; segmented
+    /// views don't, which is why [`KbRead`] exposes term access as
+    /// methods instead).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.core.dict
+    }
+
     /// All registered sources in id order.
     pub fn sources(&self) -> impl Iterator<Item = (SourceId, &str)> {
         self.core.sources.iter().enumerate().map(|(i, s)| (SourceId(i as u32), s.as_str()))
     }
+
+    /// Number of registered provenance sources.
+    pub(crate) fn source_count(&self) -> usize {
+        self.core.sources.len()
+    }
 }
 
 impl KbRead for KbSnapshot {
-    fn dictionary(&self) -> &Dictionary {
-        &self.core.dict
+    fn term(&self, term: &str) -> Option<TermId> {
+        self.core.dict.get(term)
+    }
+
+    fn resolve(&self, id: TermId) -> Option<&str> {
+        self.core.dict.resolve(id)
+    }
+
+    fn term_count(&self) -> usize {
+        self.core.dict.len()
     }
 
     fn taxonomy(&self) -> &Taxonomy {
@@ -361,12 +545,12 @@ impl KbRead for KbSnapshot {
         self.core.fact_for(t)
     }
 
-    fn fact_table(&self) -> &[Fact] {
-        &self.core.facts
-    }
-
     fn len(&self) -> usize {
         self.live
+    }
+
+    fn facts(&self) -> LiveFactsIter<'_> {
+        LiveFactsIter::new(&self.core.facts)
     }
 
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {

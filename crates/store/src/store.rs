@@ -217,11 +217,24 @@ impl KnowledgeBase {
         let indexes = frozen.into_inner().unwrap_or_else(|| FrozenIndexes::build(&core.facts));
         KbSnapshot::from_parts(core, taxonomy, sameas, labels, indexes)
     }
+
+    /// The term dictionary (the mutable façade holds exactly one).
+    pub fn dictionary(&self) -> &crate::Dictionary {
+        &self.core.dict
+    }
 }
 
 impl KbRead for KnowledgeBase {
-    fn dictionary(&self) -> &crate::Dictionary {
-        &self.core.dict
+    fn term(&self, term: &str) -> Option<TermId> {
+        self.core.dict.get(term)
+    }
+
+    fn resolve(&self, id: TermId) -> Option<&str> {
+        self.core.dict.resolve(id)
+    }
+
+    fn term_count(&self) -> usize {
+        self.core.dict.len()
     }
 
     fn taxonomy(&self) -> &Taxonomy {
@@ -248,12 +261,12 @@ impl KbRead for KnowledgeBase {
         self.core.fact_for(t)
     }
 
-    fn fact_table(&self) -> &[Fact] {
-        &self.core.facts
-    }
-
     fn len(&self) -> usize {
         self.core.live
+    }
+
+    fn facts(&self) -> crate::LiveFactsIter<'_> {
+        crate::snapshot::LiveFactsIter::new(&self.core.facts)
     }
 
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {

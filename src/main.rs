@@ -12,9 +12,11 @@
 
 use std::fs;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 use kbkit::kb_corpus::{Corpus, CorpusConfig};
-use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, Method};
+use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, IncrementalHarvester, Method};
 use kbkit::kb_harvest::rules::{mine_rules, RuleConfig};
 use kbkit::kb_ned::{detect_mentions, Ned, Strategy};
 use kbkit::kb_obs;
@@ -26,8 +28,11 @@ kbkit — knowledge-base construction and analytics toolkit
 
 USAGE:
   kbkit harvest [--scale tiny|standard] [--seed N] [--method M] [--out FILE]
+               [--incremental]
       Build a KB from a generated corpus and write it as TSV.
       Methods: patterns | statistical | reasoning (default) | factorgraph
+      --incremental bootstraps from ~70% of the corpus, then installs
+      the rest as delta segments, printing per-delta install latency.
   kbkit stats <kb.tsv>
       Print knowledge-base statistics.
   kbkit query <kb.tsv> <query> [--explain]
@@ -48,7 +53,7 @@ stderr after it finishes.
 ";
 
 /// Flags that take no value (everything else is `--flag VALUE`).
-const BOOL_FLAGS: &[&str] = &["--explain", "--metrics", "--json"];
+const BOOL_FLAGS: &[&str] = &["--explain", "--metrics", "--json", "--incremental"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -133,6 +138,9 @@ fn cmd_harvest(args: &[String]) -> Result<(), String> {
         corpus.all_docs().len(),
         corpus.posts.len()
     );
+    if args.iter().any(|a| a == "--incremental") {
+        return harvest_incremental(&corpus, method, out_path);
+    }
     eprintln!("harvesting ({method:?})...");
     let output = harvest(&corpus, &HarvestConfig { method, ..Default::default() })
         .map_err(|e| format!("harvest failed: {e}"))?;
@@ -152,6 +160,65 @@ fn cmd_harvest(args: &[String]) -> Result<(), String> {
     fs::write(out_path, &dump).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     eprintln!("wrote {} bytes to {out_path}", dump.len());
     println!("{}", output.kb.stats());
+    Ok(())
+}
+
+/// Incremental harvest: bootstrap a base snapshot from ~70% of the
+/// articles, then harvest the held-out articles in small batches and
+/// install each as a delta segment on a live `QueryService`, printing
+/// per-delta install latency. The final KB written to `--out` is the
+/// compacted view, so downstream commands see one monolithic snapshot.
+fn harvest_incremental(corpus: &Corpus, method: Method, out_path: &str) -> Result<(), String> {
+    let split = (corpus.articles.len() * 7 / 10).max(1);
+    let boot = Corpus {
+        world: corpus.world.clone(),
+        articles: corpus.articles[..split].to_vec(),
+        overviews: corpus.overviews.clone(),
+        web_pages: corpus.web_pages.clone(),
+        essays: corpus.essays.clone(),
+        posts: Vec::new(),
+    };
+    let cfg = HarvestConfig { method, ..Default::default() };
+    eprintln!("bootstrap harvest on {split}/{} articles ({method:?})...", corpus.articles.len());
+    let (inc, out) = IncrementalHarvester::bootstrap(&boot, &cfg)
+        .map_err(|e| format!("bootstrap failed: {e}"))?;
+    let base = out.kb.snapshot().into_shared();
+    eprintln!("  base snapshot: {} facts", base.len());
+    let service = QueryService::new(base);
+
+    for (i, chunk) in corpus.articles[split..].chunks(4).enumerate() {
+        let refs: Vec<_> = chunk.iter().collect();
+        let view = service.snapshot();
+        let outcome = inc
+            .harvest_batch(&corpus.world, &refs, &view)
+            .map_err(|e| format!("batch {i} failed: {e}"))?;
+        let accepted = outcome.accepted;
+        let t = Instant::now();
+        service.apply_delta(Arc::new(outcome.delta));
+        eprintln!(
+            "  delta {i}: {} docs, {} candidates → {accepted} facts, installed in {:.2?}",
+            chunk.len(),
+            outcome.candidates,
+            t.elapsed()
+        );
+    }
+
+    let view = service.snapshot();
+    let stats = service.cache_stats();
+    eprintln!(
+        "  {} deltas installed, {} live facts; compacting...",
+        stats.delta_installs,
+        view.len()
+    );
+    let compacted = view.compact();
+    let dump = ntriples::to_string(&compacted).map_err(|e| e.to_string())?;
+    fs::write(out_path, &dump).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!("wrote {} bytes to {out_path}", dump.len());
+    println!(
+        "{} facts after {} incremental installs (base + deltas compacted)",
+        compacted.len(),
+        stats.delta_installs
+    );
     Ok(())
 }
 
@@ -256,7 +323,18 @@ fn cmd_ned(args: &[String]) -> Result<(), String> {
     let resolved = ned.disambiguate(text, &spans, Strategy::Coherence);
     for (m, r) in mentions.iter().zip(resolved) {
         match r {
-            Some(t) => println!("  {:>20}  →  {}", m.surface, kb.resolve(t).unwrap_or("?")),
+            Some(t) => {
+                // A resolved term may live only in the label store (no
+                // dictionary string of its own) — fall back through any
+                // of its labels before giving up.
+                let name = kb
+                    .resolve(t)
+                    .or_else(|| {
+                        kb.labels.iter().find(|(term, _, _)| *term == t).map(|(_, _, form)| form)
+                    })
+                    .unwrap_or("?");
+                println!("  {:>20}  →  {}", m.surface, name);
+            }
             None => println!("  {:>20}  →  NIL", m.surface),
         }
     }
