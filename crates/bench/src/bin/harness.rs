@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use kb_bench::{
     exp_analytics, exp_facts, exp_kb, exp_link, exp_misc, exp_ned, exp_openie, exp_query,
-    exp_rules, exp_scale, exp_segment, exp_taxonomy, setup, HARNESS_SEED,
+    exp_rules, exp_scale, exp_segment, exp_store, exp_taxonomy, setup, HARNESS_SEED,
 };
 
 fn main() {
@@ -61,6 +61,7 @@ fn main() {
         ("f8", Box::new(exp_query::f8)),
         ("t14", Box::new(exp_query::t14)),
         ("t15", Box::new(exp_segment::t15)),
+        ("t16", Box::new(|| exp_store::t16(&corpus))),
     ];
     for (id, run) in experiments {
         if !want(id) {

@@ -550,6 +550,20 @@ impl QueryService {
         }
     }
 
+    /// Builds a service that serves an already-layered view — the
+    /// cold-start path for a durable
+    /// [`SegmentStore`](kb_store::SegmentStore): the recovered base
+    /// installs first, then each delta stacks in order, leaving caches
+    /// and planner statistics exactly as if the deltas had been applied
+    /// live.
+    pub fn from_view(view: &SegmentedSnapshot) -> Self {
+        let service = Self::new(Arc::clone(view.base()));
+        for delta in view.deltas() {
+            service.apply_delta(Arc::clone(delta));
+        }
+        service
+    }
+
     /// Enables or disables single-flight dedup (on by default). Only
     /// meant for benchmarking the thundering-herd effect the dedup
     /// exists to prevent — see EXPERIMENTS.md T14.

@@ -54,10 +54,17 @@ impl StatsCatalog {
             subjects.push(f.triple.s);
             objects.push(f.triple.o);
         }
-        subjects.sort_unstable();
-        subjects.dedup();
-        objects.sort_unstable();
-        objects.dedup();
+        // The two global sorts are independent and sized by the whole
+        // KB; overlapping them shaves a visible slice off cold start.
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                objects.sort_unstable();
+                objects.dedup();
+            });
+            subjects.sort_unstable();
+            subjects.dedup();
+            h.join().expect("object sort");
+        });
 
         // Per predicate: the POS bucket is one contiguous range sorted
         // by (o, s) — count is O(1), distinct objects are run

@@ -13,9 +13,8 @@
 //! ingest that processed the same facts in the same order. This is what
 //! keeps parallel harvest output bit-identical to the serial path.
 
-use std::collections::HashMap;
-
 use crate::fact::{Fact, Triple};
+use crate::fx::FxHashMap;
 use crate::ids::{FactId, TermId};
 use crate::labels::LabelStore;
 use crate::sameas::SameAsStore;
@@ -46,9 +45,9 @@ pub(crate) enum AddOutcome {
 pub(crate) struct KbCore {
     pub(crate) dict: Dictionary,
     pub(crate) facts: Vec<Fact>,
-    pub(crate) by_triple: HashMap<Triple, FactId>,
+    pub(crate) by_triple: FxHashMap<Triple, FactId>,
     pub(crate) sources: Vec<String>,
-    pub(crate) source_lookup: HashMap<String, SourceId>,
+    pub(crate) source_lookup: FxHashMap<String, SourceId>,
     /// Number of live (non-retracted) facts, maintained incrementally
     /// so `len()` stays O(1) without any index.
     pub(crate) live: usize,

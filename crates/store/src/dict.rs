@@ -5,9 +5,9 @@
 //! and its reverse map (str → id) via `Arc<str>`, so memory is paid once
 //! per distinct term.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::fx::FxHashMap;
 use crate::TermId;
 
 /// A bidirectional string ↔ [`TermId`] map.
@@ -17,7 +17,7 @@ use crate::TermId;
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
     terms: Vec<Arc<str>>,
-    lookup: HashMap<Arc<str>, TermId>,
+    lookup: FxHashMap<Arc<str>, TermId>,
 }
 
 impl Dictionary {
@@ -28,7 +28,10 @@ impl Dictionary {
 
     /// Creates a dictionary sized for roughly `n` distinct terms.
     pub fn with_capacity(n: usize) -> Self {
-        Self { terms: Vec::with_capacity(n), lookup: HashMap::with_capacity(n) }
+        Self {
+            terms: Vec::with_capacity(n),
+            lookup: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+        }
     }
 
     /// Interns `term`, returning its id. Idempotent: the same string
@@ -43,6 +46,19 @@ impl Dictionary {
         self.terms.push(Arc::clone(&shared));
         self.lookup.insert(shared, id);
         id
+    }
+
+    /// Rebuilds a dictionary from its forward table (id order). Returns
+    /// `None` if the table holds a duplicate term — a loader-side
+    /// validation, since a live dictionary can never contain one.
+    pub(crate) fn from_terms(terms: Vec<Arc<str>>) -> Option<Self> {
+        let mut lookup = FxHashMap::with_capacity_and_hasher(terms.len(), Default::default());
+        for (i, term) in terms.iter().enumerate() {
+            if lookup.insert(Arc::clone(term), TermId(i as u32)).is_some() {
+                return None;
+            }
+        }
+        Some(Self { terms, lookup })
     }
 
     /// Looks up an already-interned term without inserting.

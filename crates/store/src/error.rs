@@ -5,12 +5,80 @@ use std::fmt;
 
 use crate::TermId;
 
+/// Which part of a durable store artifact a corruption was detected in.
+///
+/// Carried by [`StoreError::Corrupt`] so callers (and tests) can tell a
+/// damaged dictionary block from a damaged WAL record without string
+/// matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentRegion {
+    /// File magic, format version, or the checksummed region table.
+    Header,
+    /// The term dictionary block.
+    Dictionary,
+    /// The provenance source table.
+    Sources,
+    /// The fact table (triples + confidence/source/span).
+    Facts,
+    /// The per-fact kind column of a delta segment.
+    Kinds,
+    /// An SPO/POS/OSP permutation column.
+    Permutations,
+    /// A per-leading-term offset-bucket array.
+    Buckets,
+    /// The taxonomy (subclass DAG) block.
+    Taxonomy,
+    /// The sameAs equivalence-class block.
+    SameAs,
+    /// The multilingual label block.
+    Labels,
+    /// Delta stacking metadata (first term/source ids).
+    DeltaMeta,
+    /// The write-ahead log's file header.
+    WalHeader,
+    /// A CRC-framed record inside the write-ahead log.
+    WalRecord,
+    /// The manifest file tracking the base+delta stack.
+    Manifest,
+}
+
+impl fmt::Display for SegmentRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SegmentRegion::Header => "header",
+            SegmentRegion::Dictionary => "dictionary",
+            SegmentRegion::Sources => "sources",
+            SegmentRegion::Facts => "facts",
+            SegmentRegion::Kinds => "kinds",
+            SegmentRegion::Permutations => "permutations",
+            SegmentRegion::Buckets => "buckets",
+            SegmentRegion::Taxonomy => "taxonomy",
+            SegmentRegion::SameAs => "sameAs",
+            SegmentRegion::Labels => "labels",
+            SegmentRegion::DeltaMeta => "delta metadata",
+            SegmentRegion::WalHeader => "WAL header",
+            SegmentRegion::WalRecord => "WAL record",
+            SegmentRegion::Manifest => "manifest",
+        };
+        f.write_str(name)
+    }
+}
+
 /// Errors raised by [`KnowledgeBase`](crate::KnowledgeBase) and its
 /// sub-stores.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     /// A `TermId` was used that this dictionary never issued.
     UnknownTerm(TermId),
+    /// A durable store artifact failed checksum or structural
+    /// validation. Never a panic, never a silently wrong KB: readers
+    /// report the damaged region and refuse the data.
+    Corrupt {
+        /// Which region of the artifact failed validation.
+        region: SegmentRegion,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
     /// Adding the subclass edge would create a cycle in the taxonomy.
     TaxonomyCycle {
         /// The would-be subclass.
@@ -38,6 +106,9 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::UnknownTerm(t) => write!(f, "unknown term id {t}"),
+            StoreError::Corrupt { region, detail } => {
+                write!(f, "corrupt segment data in {region}: {detail}")
+            }
             StoreError::TaxonomyCycle { sub, sup } => {
                 write!(f, "subclass edge {sub} -> {sup} would create a cycle")
             }

@@ -63,36 +63,45 @@ pub mod dict;
 pub mod error;
 pub mod fact;
 pub mod fuse;
+pub mod fx;
 pub mod ids;
 pub mod labels;
 pub mod legacy;
+pub mod manifest;
 pub mod ntriples;
 pub mod pattern;
 pub mod query;
 pub mod read;
 pub mod sameas;
 pub mod segment;
+pub mod segment_io;
+pub mod segment_store;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod taxonomy;
 pub mod time;
+pub mod wal;
 
 pub use builder::{KbBuilder, KbShard};
 pub use dict::Dictionary;
-pub use error::StoreError;
+pub use error::{SegmentRegion, StoreError};
 pub use fact::{Fact, Triple};
+pub use fx::{FxHashMap, FxHashSet};
 pub use ids::{FactId, TermId};
 pub use labels::LabelStore;
 pub use legacy::LegacyKb;
+pub use manifest::Manifest;
 pub use ntriples::LoadReport;
 pub use pattern::TriplePattern;
 pub use query::{Bindings, Query};
 pub use read::{KbRead, PathJoinIter};
 pub use sameas::SameAsStore;
 pub use segment::{Compactor, DeltaSegment, SegmentStats, SegmentedSnapshot};
+pub use segment_store::{RecoveryReport, SegmentStore, StoreOptions};
 pub use snapshot::{KbSnapshot, LiveFactsIter, MatchIter, MatchingAtIter, TriplesIter};
 pub use stats::KbStats;
 pub use store::{KnowledgeBase, SourceId};
 pub use taxonomy::Taxonomy;
 pub use time::{TimePoint, TimeSpan};
+pub use wal::{DurabilityCost, Wal, WalReplay};

@@ -215,6 +215,64 @@ impl DeltaSegment {
         }
     }
 
+    /// Rebuilds a delta segment from its serialized parts (see
+    /// [`segment_io`](crate::segment_io)): extension tables, the fact
+    /// table with its parallel kind column, and the frozen permutation
+    /// indexes. Every derived structure — lookup maps, touched
+    /// predicates, entry counters — is recomputed here, so the on-disk
+    /// format never stores anything a reader could disagree with.
+    pub(crate) fn from_parts(
+        ext_terms: Vec<Arc<str>>,
+        first_term: u32,
+        ext_sources: Vec<String>,
+        first_source: u32,
+        facts: Vec<Fact>,
+        kinds: Vec<FactKind>,
+        indexes: FrozenIndexes,
+    ) -> Self {
+        debug_assert_eq!(facts.len(), kinds.len());
+        let ext_lookup = ext_terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Arc::clone(t), TermId(first_term + i as u32)))
+            .collect();
+        let by_triple =
+            facts.iter().enumerate().map(|(i, f)| (f.triple, FactId(i as u32))).collect();
+        let (mut new_facts, mut shadowed, mut tombstones) = (0usize, 0usize, 0usize);
+        for k in &kinds {
+            match k {
+                FactKind::New => new_facts += 1,
+                FactKind::Shadow => shadowed += 1,
+                FactKind::Tombstone => tombstones += 1,
+            }
+        }
+        let net_live = new_facts as isize - tombstones as isize;
+        let mut touched: Vec<TermId> = facts.iter().map(|f| f.triple.p).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        Self {
+            ext_terms,
+            ext_lookup,
+            first_term,
+            ext_sources,
+            first_source,
+            facts,
+            kinds,
+            by_triple,
+            indexes,
+            touched,
+            new_facts,
+            shadowed,
+            tombstones,
+            net_live,
+        }
+    }
+
+    /// First provenance source id this segment allocates.
+    pub(crate) fn first_source_id(&self) -> u32 {
+        self.first_source
+    }
+
     /// Total entries in this delta (new + shadow + tombstone).
     pub fn len(&self) -> usize {
         self.facts.len()
@@ -368,20 +426,33 @@ impl SegmentedSnapshot {
     /// source id space (the sequential-stacking contract: freeze each
     /// delta against the view it will be installed on).
     pub fn with_delta(&self, delta: Arc<DeltaSegment>) -> Self {
-        assert_eq!(
-            delta.first_term as usize, self.term_total,
-            "delta was frozen against a different view (term space mismatch)"
-        );
-        assert_eq!(
-            delta.first_source as usize, self.source_total,
-            "delta was frozen against a different view (source space mismatch)"
-        );
+        self.try_with_delta(delta).expect("delta was frozen against a different view")
+    }
+
+    /// Non-panicking [`with_delta`](Self::with_delta): a delta that
+    /// violates the sequential-stacking contract is rejected as a typed
+    /// [`StoreError::Corrupt`](crate::StoreError::Corrupt) instead of a panic. This is the install
+    /// path recovery uses — a damaged or out-of-order on-disk delta must
+    /// degrade gracefully, never crash the reopening process.
+    pub fn try_with_delta(&self, delta: Arc<DeltaSegment>) -> Result<Self, crate::StoreError> {
+        use crate::error::SegmentRegion;
+        if delta.first_term as usize != self.term_total
+            || delta.first_source as usize != self.source_total
+        {
+            return Err(crate::StoreError::Corrupt {
+                region: SegmentRegion::DeltaMeta,
+                detail: format!(
+                    "delta stacks at term {}/source {} but the view has {} terms/{} sources",
+                    delta.first_term, delta.first_source, self.term_total, self.source_total
+                ),
+            });
+        }
         let mut deltas = self.deltas.clone();
         let live = (self.live as isize + delta.net_live()) as usize;
         let term_total = self.term_total + delta.ext_terms.len();
         let source_total = self.source_total + delta.ext_sources.len();
         deltas.push(delta);
-        Self { base: Arc::clone(&self.base), deltas, live, term_total, source_total }
+        Ok(Self { base: Arc::clone(&self.base), deltas, live, term_total, source_total })
     }
 
     /// The base segment.

@@ -126,6 +126,80 @@ impl FrozenIndexes {
         built
     }
 
+    /// The three permutation columns as fact-id arrays (SPO, POS, OSP
+    /// order) — the serialized form: keys are redundant with the fact
+    /// table, so the segment writer stores only the ids.
+    pub(crate) fn perm_fact_ids(&self) -> [Vec<u32>; 3] {
+        let ids = |v: &[(Key, FactId)]| v.iter().map(|&(_, id)| id.0).collect();
+        [ids(&self.spo), ids(&self.pos), ids(&self.osp)]
+    }
+
+    /// The three offset-bucket arrays (SPO, POS, OSP order).
+    pub(crate) fn bucket_starts(&self) -> [&[u32]; 3] {
+        [&self.spo_starts, &self.pos_starts, &self.osp_starts]
+    }
+
+    /// Reassembles frozen indexes from serialized fact-id permutations
+    /// and offset buckets, re-deriving each key from the fact table in
+    /// one linear pass (no sort — this is what makes cold-start cheap).
+    ///
+    /// Validates everything a checksum cannot: ids in range, keys
+    /// non-decreasing in each permutation, buckets exactly the prefix
+    /// sums of the entries. Any violation is a [`StoreError::Corrupt`].
+    pub(crate) fn from_fact_perms(
+        facts: &[Fact],
+        perms: [Vec<u32>; 3],
+        starts: [Vec<u32>; 3],
+    ) -> Result<Self, crate::StoreError> {
+        use crate::error::SegmentRegion;
+        let corrupt =
+            |region: SegmentRegion, detail: String| crate::StoreError::Corrupt { region, detail };
+        let [spo_ids, pos_ids, osp_ids] = perms;
+        let [spo_starts, pos_starts, osp_starts] = starts;
+        let build = |ids: &[u32],
+                     key_of: fn(&Triple) -> Key,
+                     starts: &[u32]|
+         -> Result<Vec<(Key, FactId)>, crate::StoreError> {
+            let mut out = Vec::with_capacity(ids.len());
+            let mut prev: Option<Key> = None;
+            for &id in ids {
+                let fact = facts.get(id as usize).ok_or_else(|| {
+                    corrupt(
+                        SegmentRegion::Permutations,
+                        format!("fact id {id} out of range ({} facts)", facts.len()),
+                    )
+                })?;
+                let key = key_of(&fact.triple);
+                if prev.is_some_and(|p| p > key) {
+                    return Err(corrupt(
+                        SegmentRegion::Permutations,
+                        "permutation column is not sorted".into(),
+                    ));
+                }
+                prev = Some(key);
+                out.push((key, FactId(id)));
+            }
+            if starts_of(&out) != starts {
+                return Err(corrupt(
+                    SegmentRegion::Buckets,
+                    "offset buckets disagree with the permutation entries".into(),
+                ));
+            }
+            Ok(out)
+        };
+        // The three permutations are independent reads over the shared
+        // fact table; validating them is the most expensive step of a
+        // cold open, so fan out across threads.
+        let (spo, pos, osp) = std::thread::scope(|s| {
+            let pos = s.spawn(|| build(&pos_ids, |t| t.pos_key(), &pos_starts));
+            let osp = s.spawn(|| build(&osp_ids, |t| t.osp_key(), &osp_starts));
+            let spo = build(&spo_ids, |t| t.spo_key(), &spo_starts);
+            (spo, pos.join().expect("pos build"), osp.join().expect("osp build"))
+        });
+        let (spo, pos, osp) = (spo?, pos?, osp?);
+        Ok(Self { spo, pos, osp, spo_starts, pos_starts, osp_starts })
+    }
+
     /// Locates the contiguous slice answering `pattern` plus the
     /// post-filter kept for the `s?o` shape (its slice is already
     /// exact; the filter only preserves the conservative size hint).

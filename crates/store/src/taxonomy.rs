@@ -55,6 +55,15 @@ impl Taxonomy {
         Ok(true)
     }
 
+    /// Every class the taxonomy knows about (including isolated ones
+    /// registered via [`add_class`](Self::add_class)), sorted — the
+    /// deterministic order the segment writer serializes.
+    pub(crate) fn all_classes(&self) -> Vec<TermId> {
+        let mut out: Vec<TermId> = self.classes.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Direct superclasses of `class`.
     pub fn superclasses(&self, class: TermId) -> &[TermId] {
         self.up.get(&class).map_or(&[], |v| v.as_slice())

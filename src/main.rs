@@ -21,24 +21,35 @@ use kbkit::kb_harvest::rules::{mine_rules, RuleConfig};
 use kbkit::kb_ned::{detect_mentions, Ned, Strategy};
 use kbkit::kb_obs;
 use kbkit::kb_query::QueryService;
-use kbkit::kb_store::{ntriples, KbRead, KnowledgeBase};
+use kbkit::kb_store::{
+    ntriples, Compactor, KbBuilder, KbRead, KnowledgeBase, SegmentStore, StoreOptions,
+};
 
 const USAGE: &str = "\
 kbkit — knowledge-base construction and analytics toolkit
 
 USAGE:
   kbkit harvest [--scale tiny|standard] [--seed N] [--method M] [--out FILE]
-               [--incremental]
+               [--incremental] [--data-dir DIR] [--no-fsync]
       Build a KB from a generated corpus and write it as TSV.
       Methods: patterns | statistical | reasoning (default) | factorgraph
       --incremental bootstraps from ~70% of the corpus, then installs
       the rest as delta segments, printing per-delta install latency.
+      --data-dir DIR (with --incremental) makes every install durable:
+      the base segment and a delta WAL live in DIR, each install is
+      fsynced, and the per-delta line also reports the durability cost
+      (WAL write + fsync time). A kill -9 at any point loses at most
+      the delta being written. --no-fsync skips the fsync barrier
+      (faster, but a crash may lose recent installs).
   kbkit stats <kb.tsv>
       Print knowledge-base statistics.
   kbkit query <kb.tsv> <query> [--explain]
+  kbkit query --data-dir DIR <query> [--explain]
       Run a SPARQL-style query, e.g. '?p bornIn ?c . ?c locatedIn ?n'
       or 'SELECT ?c COUNT(?p) AS ?n WHERE { ?p bornIn ?c } GROUP BY ?c'.
-      --explain also prints the chosen physical plan.
+      --explain also prints the chosen physical plan. With --data-dir,
+      cold-starts from a durable segment store (validating checksums
+      and replaying the WAL) instead of parsing a TSV dump.
   kbkit rules <kb.tsv> [--min-support N]
       Mine AMIE-style Horn rules from the KB.
   kbkit ned <kb.tsv> <text>
@@ -53,7 +64,7 @@ stderr after it finishes.
 ";
 
 /// Flags that take no value (everything else is `--flag VALUE`).
-const BOOL_FLAGS: &[&str] = &["--explain", "--metrics", "--json", "--incremental"];
+const BOOL_FLAGS: &[&str] = &["--explain", "--metrics", "--json", "--incremental", "--no-fsync"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -139,7 +150,13 @@ fn cmd_harvest(args: &[String]) -> Result<(), String> {
         corpus.posts.len()
     );
     if args.iter().any(|a| a == "--incremental") {
-        return harvest_incremental(&corpus, method, out_path);
+        let durability = opt(args, "--data-dir").map(|dir| {
+            (dir, StoreOptions { fsync: !args.iter().any(|a| a == "--no-fsync"), seal_every: 8 })
+        });
+        return harvest_incremental(&corpus, method, out_path, durability);
+    }
+    if opt(args, "--data-dir").is_some() {
+        return Err("--data-dir requires --incremental".into());
     }
     eprintln!("harvesting ({method:?})...");
     let output = harvest(&corpus, &HarvestConfig { method, ..Default::default() })
@@ -168,7 +185,17 @@ fn cmd_harvest(args: &[String]) -> Result<(), String> {
 /// install each as a delta segment on a live `QueryService`, printing
 /// per-delta install latency. The final KB written to `--out` is the
 /// compacted view, so downstream commands see one monolithic snapshot.
-fn harvest_incremental(corpus: &Corpus, method: Method, out_path: &str) -> Result<(), String> {
+///
+/// With `durability` set, every install is also logged to a durable
+/// [`SegmentStore`] WAL in the given directory (behind an fsync barrier
+/// unless disabled), and the per-delta line reports what durability
+/// cost on top of the in-memory install.
+fn harvest_incremental(
+    corpus: &Corpus,
+    method: Method,
+    out_path: &str,
+    durability: Option<(&str, StoreOptions)>,
+) -> Result<(), String> {
     let split = (corpus.articles.len() * 7 / 10).max(1);
     let boot = Corpus {
         world: corpus.world.clone(),
@@ -184,6 +211,18 @@ fn harvest_incremental(corpus: &Corpus, method: Method, out_path: &str) -> Resul
         .map_err(|e| format!("bootstrap failed: {e}"))?;
     let base = out.kb.snapshot().into_shared();
     eprintln!("  base snapshot: {} facts", base.len());
+    let mut store = match durability {
+        Some((dir, options)) => {
+            let s = SegmentStore::create(dir, Arc::clone(&base), options)
+                .map_err(|e| format!("cannot create segment store in {dir}: {e}"))?;
+            eprintln!(
+                "  durable store at {dir} (fsync {})",
+                if options.fsync { "on" } else { "off" }
+            );
+            Some(s)
+        }
+        None => None,
+    };
     let service = QueryService::new(base);
 
     for (i, chunk) in corpus.articles[split..].chunks(4).enumerate() {
@@ -193,13 +232,41 @@ fn harvest_incremental(corpus: &Corpus, method: Method, out_path: &str) -> Resul
             .harvest_batch(&corpus.world, &refs, &view)
             .map_err(|e| format!("batch {i} failed: {e}"))?;
         let accepted = outcome.accepted;
+        let delta = Arc::new(outcome.delta);
         let t = Instant::now();
-        service.apply_delta(Arc::new(outcome.delta));
+        let cost = match store.as_mut() {
+            Some(s) => Some(
+                s.install_delta(Arc::clone(&delta))
+                    .map_err(|e| format!("durable install of delta {i} failed: {e}"))?,
+            ),
+            None => None,
+        };
+        service.apply_delta(delta);
+        let durability_note = match cost {
+            Some(c) => format!(
+                ", durable: {} B logged, write {} µs + fsync {} µs",
+                c.bytes, c.write_micros, c.fsync_micros
+            ),
+            None => String::new(),
+        };
         eprintln!(
-            "  delta {i}: {} docs, {} candidates → {accepted} facts, installed in {:.2?}",
+            "  delta {i}: {} docs, {} candidates → {accepted} facts, installed in {:.2?}{durability_note}",
             chunk.len(),
             outcome.candidates,
             t.elapsed()
+        );
+    }
+
+    if let Some(s) = store.as_mut() {
+        let cost = s.seal().map_err(|e| format!("sealing the WAL failed: {e}"))?;
+        let compacted = s
+            .compact(&Compactor::default(), false)
+            .map_err(|e| format!("compaction failed: {e}"))?;
+        eprintln!(
+            "  sealed {} B into delta segments (generation {}{})",
+            cost.bytes,
+            s.generation(),
+            if compacted { ", compacted" } else { "" }
         );
     }
 
@@ -230,10 +297,51 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
+    let explain = args.iter().any(|a| a == "--explain");
+
+    // Durable path: cold-start straight from a segment store directory
+    // (checksum validation + WAL replay), no TSV parse, no re-indexing.
+    if let Some(dir) = opt(args, "--data-dir") {
+        let q = positional(args).ok_or("query needs a query string")?;
+        let t = Instant::now();
+        let store =
+            SegmentStore::open(dir).map_err(|e| format!("cannot open store at {dir}: {e}"))?;
+        let view = store.view();
+        let service = QueryService::from_view(&view);
+        let report = store.recovery_report();
+        eprintln!(
+            "cold start from {dir}: {} facts in {:.2?} (gen {}, {} sealed deltas, {} WAL records replayed)",
+            view.len(),
+            t.elapsed(),
+            store.generation(),
+            report.sealed_deltas,
+            report.wal_replayed,
+        );
+        if report.degraded() {
+            eprintln!(
+                "warning: recovery quarantined {} corrupt file(s): {}",
+                report.quarantined.len(),
+                report.quarantined.join(", ")
+            );
+        }
+        if explain {
+            let plan = service.plan_for(q).map_err(|e| e.to_string())?;
+            eprintln!("plan (estimated cost {:.1}):", plan.estimated_cost());
+            for line in plan.explain() {
+                eprintln!("  {line}");
+            }
+        }
+        let out = service.query(q).map_err(|e| e.to_string())?;
+        println!("{} solutions", out.rows.len());
+        for row in out.rows.iter().take(50) {
+            println!("  {}", out.render_row(row, &view));
+        }
+        return Ok(());
+    }
+
     let path = positional(args).ok_or("query needs a KB file and a query")?;
     let q =
         args.iter().filter(|a| !a.starts_with("--")).nth(1).ok_or("query needs a query string")?;
-    let explain = args.iter().any(|a| a == "--explain");
     let snap = load_kb(path)?.into_snapshot().into_shared();
     let service = QueryService::new(snap.clone());
     if explain {
@@ -295,6 +403,23 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     for q in queries {
         let _ = service.query(q).map_err(|e| e.to_string())?;
     }
+
+    // Durable-store layer: one create → install → reopen round trip in
+    // a scratch directory, so the WAL/recovery families are present.
+    let scratch = std::env::temp_dir().join(format!("kbkit-metrics-{}-{seed}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    let durable = (|| -> Result<(), kbkit::kb_store::StoreError> {
+        let base = service.snapshot().base().clone();
+        let options = StoreOptions { fsync: false, seal_every: 0 };
+        let mut store = SegmentStore::create(&scratch, Arc::clone(&base), options)?;
+        let mut b = KbBuilder::new();
+        b.assert_str("metrics_probe", "type", "probe");
+        store.install_delta(Arc::new(b.freeze_delta(&store.view())))?;
+        drop(store);
+        SegmentStore::open_with(&scratch, options).map(drop)
+    })();
+    let _ = fs::remove_dir_all(&scratch);
+    durable.map_err(|e| format!("metrics store round-trip failed: {e}"))?;
 
     let registry = kb_obs::global();
     if json_only {

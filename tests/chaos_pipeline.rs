@@ -6,11 +6,17 @@
 //! seed pair.
 
 use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
 
 use kbkit::kb_corpus::{gold, inject_faults, Corpus, CorpusConfig, FaultConfig, FaultReport};
-use kbkit::kb_harvest::pipeline::{evaluate_discovered, harvest, HarvestConfig, Method};
+use kbkit::kb_harvest::pipeline::{
+    evaluate_discovered, harvest, HarvestConfig, IncrementalHarvester, Method,
+};
 use kbkit::kb_harvest::resilience::DowngradeReason;
-use kbkit::kb_store::KbRead;
+use kbkit::kb_store::{ntriples, KbRead, SegmentStore, StoreOptions, Wal};
 
 const FAULT_RATE: f64 = 0.2;
 
@@ -111,6 +117,191 @@ fn chaotic_harvest_is_deterministic_end_to_end() {
     let keys2: Vec<_> = out2.accepted.iter().map(|c| c.key()).collect();
     assert_eq!(keys1, keys2, "accepted facts must be reproducible under chaos");
     assert_eq!(out1.kb.len(), out2.kb.len());
+}
+
+// ---------------------------------------------------------------------
+// Crash-recovery chaos: a durable incremental harvest killed (-9) at an
+// arbitrary instant must recover byte-identically to the last completed
+// install barrier — never to a torn or invented state.
+
+const NO_FSYNC: StoreOptions = StoreOptions { fsync: false, seal_every: 0 };
+
+/// A durable incremental harvest on the chaotic corpus, captured as the
+/// raw files it left behind plus the N-Triples oracle dump after every
+/// install barrier. Built once; crash scenarios restore these files
+/// into fresh directories and mutilate them.
+struct DurableRun {
+    /// `(file name, contents)` for every file in the store directory.
+    files: Vec<(String, Vec<u8>)>,
+    /// `oracles[k]` = dump of the view after `k` installed deltas.
+    oracles: Vec<String>,
+    /// WAL file name and, for each record, the file offset one past its
+    /// last byte (so `boundaries[k]` = prefix length holding `k+1`
+    /// complete records).
+    wal_name: String,
+    boundaries: Vec<usize>,
+}
+
+fn durable_run() -> &'static DurableRun {
+    static RUN: OnceLock<DurableRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let (corpus, _) = faulted_corpus();
+        let split = (corpus.articles.len() * 7 / 10).max(1);
+        let boot = Corpus {
+            world: corpus.world.clone(),
+            articles: corpus.articles[..split].to_vec(),
+            overviews: corpus.overviews.clone(),
+            web_pages: corpus.web_pages.clone(),
+            essays: corpus.essays.clone(),
+            posts: Vec::new(),
+        };
+        let cfg = HarvestConfig::default();
+        let (inc, out) = IncrementalHarvester::bootstrap(&boot, &cfg).expect("bootstrap");
+        let base = out.kb.snapshot().into_shared();
+
+        let dir = chaos_dir("fixture");
+        let mut store = SegmentStore::create(&dir, base, NO_FSYNC).expect("create store");
+        let mut oracles = vec![ntriples::to_string(&store.view()).expect("dump")];
+        for chunk in corpus.articles[split..].chunks(3) {
+            let refs: Vec<_> = chunk.iter().collect();
+            let view = store.view();
+            let outcome = inc.harvest_batch(&corpus.world, &refs, &view).expect("batch");
+            store.install_delta(Arc::new(outcome.delta)).expect("install");
+            oracles.push(ntriples::to_string(&store.view()).expect("dump"));
+        }
+        assert!(oracles.len() >= 3, "need at least two installs to crash between");
+        drop(store); // the simulated kill -9: no seal, no compaction
+
+        let mut files = Vec::new();
+        let mut wal_name = String::new();
+        for entry in std::fs::read_dir(&dir).expect("read dir") {
+            let entry = entry.expect("entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("wal-") {
+                wal_name = name.clone();
+            }
+            files.push((name, std::fs::read(entry.path()).expect("read file")));
+        }
+        assert!(!wal_name.is_empty(), "store must have a WAL");
+
+        let wal_path = dir.join(&wal_name);
+        let replay = Wal::replay(&wal_path).expect("replay");
+        assert_eq!(replay.records.len(), oracles.len() - 1);
+        let mut boundaries = Vec::new();
+        let mut pos = kbkit::kb_store::wal::WAL_HEADER_LEN as usize;
+        for (_, payload) in &replay.records {
+            pos += 16 + payload.len();
+            boundaries.push(pos);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        DurableRun { files, oracles, wal_name, boundaries }
+    })
+}
+
+fn chaos_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kbkit-chaos-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Restores the fixture's files into `dir`, truncating the WAL to
+/// `wal_len` bytes — the crash instant.
+fn restore_with_wal_cut(run: &DurableRun, dir: &PathBuf, wal_len: usize) {
+    std::fs::create_dir_all(dir).expect("mkdir");
+    for (name, bytes) in &run.files {
+        let data = if name == &run.wal_name { &bytes[..wal_len.min(bytes.len())] } else { bytes };
+        std::fs::write(dir.join(name), data).expect("write");
+    }
+}
+
+/// Which oracle a crash at WAL length `len` must recover to: one entry
+/// per *complete* record in the surviving prefix.
+fn expected_oracle(run: &DurableRun, len: usize) -> &str {
+    let complete = run.boundaries.iter().filter(|&&b| b <= len).count();
+    &run.oracles[complete]
+}
+
+#[test]
+fn kill_nine_after_install_recovers_byte_identically() {
+    let run = durable_run();
+    let dir = chaos_dir("clean-kill");
+    let wal_full = run.files.iter().find(|(n, _)| n == &run.wal_name).unwrap().1.len();
+    restore_with_wal_cut(run, &dir, wal_full);
+
+    let store = SegmentStore::open_with(&dir, NO_FSYNC).expect("recovery");
+    let report = store.recovery_report();
+    assert_eq!(report.wal_replayed, run.oracles.len() - 1, "every install replays");
+    assert!(!report.degraded(), "a clean kill -9 quarantines nothing");
+    assert_eq!(report.wal_truncated_bytes, 0);
+    let recovered = ntriples::to_string(&store.view()).expect("dump");
+    assert_eq!(recovered, *run.oracles.last().unwrap(), "recovered view must be byte-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_nine_mid_record_recovers_to_the_previous_barrier_at_every_byte() {
+    let run = durable_run();
+    let dir = chaos_dir("torn-sweep");
+    // Sweep every byte boundary inside the *last* record: from the end
+    // of the second-to-last record to one byte short of the full WAL.
+    let last_start = run.boundaries[run.boundaries.len() - 2];
+    let last_end = *run.boundaries.last().unwrap();
+    for cut in last_start..last_end {
+        restore_with_wal_cut(run, &dir, cut);
+        let store = SegmentStore::open_with(&dir, NO_FSYNC)
+            .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        assert_eq!(store.recovery_report().wal_replayed, run.oracles.len() - 2, "cut at {cut}");
+        assert!(!store.recovery_report().degraded(), "a torn tail is not corruption");
+        let recovered = ntriples::to_string(&store.view()).expect("dump");
+        assert_eq!(recovered, expected_oracle(run, cut), "cut at {cut}");
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A kill -9 at *any* WAL offset — not just inside the last record —
+    /// recovers to exactly the barrier of the last complete record.
+    #[test]
+    fn kill_nine_at_any_wal_offset_recovers_to_a_barrier(frac in 0.0f64..1.0) {
+        let run = durable_run();
+        let header = kbkit::kb_store::wal::WAL_HEADER_LEN as usize;
+        let full = *run.boundaries.last().unwrap();
+        let cut = header + ((full - header) as f64 * frac) as usize;
+        let dir = chaos_dir(&format!("prop-{cut}"));
+        restore_with_wal_cut(run, &dir, cut);
+        let store = SegmentStore::open_with(&dir, NO_FSYNC).expect("recovery");
+        prop_assert!(!store.recovery_report().degraded());
+        let recovered = ntriples::to_string(&store.view()).expect("dump");
+        prop_assert_eq!(&recovered, expected_oracle(run, cut), "cut at {}", cut);
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn recovered_store_keeps_accepting_installs() {
+    // Crash mid-record, recover, then continue harvesting on top of the
+    // recovered store: the WAL sequence must continue seamlessly.
+    let run = durable_run();
+    let dir = chaos_dir("continue");
+    let cut = *run.boundaries.last().unwrap() - 7; // tear the last record
+    restore_with_wal_cut(run, &dir, cut);
+
+    let mut store = SegmentStore::open_with(&dir, NO_FSYNC).expect("recovery");
+    let before = store.view().len();
+    let mut b = kbkit::kb_store::KbBuilder::new();
+    b.assert_str("post_crash_entity", "type", "survivor");
+    store.install_delta(Arc::new(b.freeze_delta(&store.view()))).expect("install after crash");
+    assert_eq!(store.view().len(), before + 1);
+    let oracle = ntriples::to_string(&store.view()).expect("dump");
+    drop(store); // kill again
+
+    let store = SegmentStore::open_with(&dir, NO_FSYNC).expect("second recovery");
+    assert_eq!(ntriples::to_string(&store.view()).expect("dump"), oracle);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -98,6 +98,16 @@ fn metrics_subcommand_emits_all_layers() {
     for prefix in ["\"harvest.", "\"store.", "\"query."] {
         assert!(json.contains(prefix), "missing layer {prefix} in:\n{json}");
     }
+    // The durable-store round trip inside `kbkit metrics` must surface
+    // the WAL and recovery families.
+    for family in [
+        "\"store.wal.appends\"",
+        "\"store.wal.replayed\"",
+        "\"store.fsync_micros\"",
+        "\"store.recovery.quarantined_segments\"",
+    ] {
+        assert!(json.contains(family), "missing durable family {family} in:\n{json}");
+    }
 }
 
 #[test]
@@ -118,6 +128,88 @@ fn metrics_flag_dumps_table_to_stderr() {
     // The boolean flag must not swallow the positional KB path.
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("solutions"), "{stdout}");
+}
+
+#[test]
+fn durable_harvest_then_cold_start_query_round_trip() {
+    let dir = std::env::temp_dir().join("kbkit-cli-durable");
+    std::fs::remove_dir_all(&dir).ok();
+    let store_dir = dir.join("store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kb_path = dir.join("kb.tsv");
+
+    // Durable incremental harvest: per-delta lines must report the
+    // durability cost next to install latency.
+    let out = kbkit()
+        .args([
+            "harvest",
+            "--incremental",
+            "--data-dir",
+            store_dir.to_str().unwrap(),
+            "--no-fsync",
+            "--out",
+            kb_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("durable harvest");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("durable store at"), "{stderr}");
+    assert!(stderr.contains("durable:"), "per-delta durability cost missing:\n{stderr}");
+    assert!(stderr.contains("fsync"), "{stderr}");
+    assert!(store_dir.join("MANIFEST").exists());
+
+    // Cold start straight from the store directory.
+    let out = kbkit()
+        .args(["query", "--data-dir", store_dir.to_str().unwrap(), "?p bornIn ?c"])
+        .output()
+        .expect("cold-start query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cold start"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("solutions"), "{stdout}");
+
+    // The durable view and the TSV dump agree on the query answer.
+    // (Row *order* follows internal term ids, which differ between the
+    // store's original interning and a TSV re-load, so compare as sets.)
+    let out_tsv = kbkit()
+        .args(["query", kb_path.to_str().unwrap(), "?p bornIn ?c"])
+        .output()
+        .expect("tsv query");
+    assert!(out_tsv.status.success());
+    let sorted = |s: &str| {
+        let mut rows: Vec<&str> = s.lines().collect();
+        rows.sort_unstable();
+        rows.join("\n")
+    };
+    assert_eq!(
+        sorted(&String::from_utf8_lossy(&out_tsv.stdout)),
+        sorted(&stdout),
+        "durable vs TSV answers"
+    );
+
+    // Corrupt one byte of the base segment: the CLI must exit non-zero
+    // with a clear, typed message — never serve a wrong KB.
+    let base = std::fs::read_dir(&store_dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().starts_with("base-"))
+        .expect("base segment exists")
+        .path();
+    let mut bytes = std::fs::read(&base).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(&base, &bytes).unwrap();
+    let out = kbkit()
+        .args(["query", "--data-dir", store_dir.to_str().unwrap(), "?p bornIn ?c"])
+        .output()
+        .expect("query against corrupt store");
+    assert!(!out.status.success(), "corrupt store must fail the command");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt segment data"), "untyped error:\n{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

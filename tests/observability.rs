@@ -2,13 +2,16 @@
 //! serve cycle and check that every instrumented layer reported into
 //! the process-global registry, in both render formats.
 
+use std::sync::Arc;
+
 use kbkit::kb_corpus::{Corpus, CorpusConfig};
 use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig};
 use kbkit::kb_obs;
 use kbkit::kb_query::QueryService;
+use kbkit::kb_store::{KbBuilder, SegmentStore, StoreOptions};
 
-/// Metric families each layer must publish (three per layer, matching
-/// the acceptance bar for `kbkit metrics`).
+/// Metric families each layer must publish (matching the acceptance
+/// bar for `kbkit metrics`).
 const EXPECTED_FAMILIES: &[&str] = &[
     // kb-harvest pipeline
     "harvest.phase.extract_us",
@@ -18,6 +21,11 @@ const EXPECTED_FAMILIES: &[&str] = &[
     "store.snapshot.freeze_us",
     "store.snapshot.facts",
     "store.index.entries",
+    // kb-store durable layer (WAL + recovery)
+    "store.wal.appends",
+    "store.wal.replayed",
+    "store.fsync_micros",
+    "store.recovery.quarantined_segments",
     // kb-query serving layer
     "query.cache.result_hits",
     "query.cache.result_misses",
@@ -34,6 +42,22 @@ fn one_pipeline_run_populates_all_three_layers() {
         service.query("?p bornIn ?c").expect("query succeeds");
     }
 
+    // Durable layer: one create → install → kill → reopen round trip in
+    // a scratch directory populates the WAL and recovery families.
+    let scratch = std::env::temp_dir().join(format!("kbkit-obs-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let options = StoreOptions { fsync: false, seal_every: 0 };
+    let base = service.snapshot().base().clone();
+    let mut store = SegmentStore::create(&scratch, Arc::clone(&base), options).expect("create");
+    let mut b = KbBuilder::new();
+    b.assert_str("obs_probe", "type", "probe");
+    store.install_delta(Arc::new(b.freeze_delta(&store.view()))).expect("install");
+    drop(store); // kill: no seal — the WAL is the only durable copy
+    let store = SegmentStore::open_with(&scratch, options).expect("reopen");
+    assert_eq!(store.recovery_report().wal_replayed, 1);
+    drop(store);
+    std::fs::remove_dir_all(&scratch).ok();
+
     let registry = kb_obs::global();
     let text = registry.render_text();
     let json = registry.render_json();
@@ -43,8 +67,12 @@ fn one_pipeline_run_populates_all_three_layers() {
     }
 
     // The query ran twice, so the serving layer saw at least one hit
-    // and one miss; the harvest accepted at least one fact.
+    // and one miss; the harvest accepted at least one fact; the durable
+    // round trip logged and replayed at least one WAL record.
     assert!(registry.counter("query.cache.result_hits").get() >= 1);
     assert!(registry.counter("query.cache.result_misses").get() >= 1);
     assert!(registry.counter("harvest.facts.accepted").get() >= 1);
+    assert!(registry.counter("store.wal.appends").get() >= 1);
+    assert!(registry.counter("store.wal.replayed").get() >= 1);
+    assert_eq!(registry.counter("store.recovery.quarantined_segments").get(), 0);
 }
