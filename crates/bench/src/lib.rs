@@ -19,6 +19,7 @@ pub mod exp_scale;
 pub mod exp_segment;
 pub mod exp_store;
 pub mod exp_taxonomy;
+pub mod exp_vector;
 pub mod setup;
 pub mod table;
 

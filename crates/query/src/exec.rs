@@ -1,20 +1,34 @@
-//! Push-based executor for physical [`Plan`]s.
+//! Vectorized push-based executor for physical [`Plan`]s.
 //!
-//! Execution walks the operator tree with a single mutable binding
-//! array (`Vec<Option<TermId>>`) and an emit callback — no intermediate
-//! materialization. Scans bind their free slots, recurse, and restore
-//! the slots on the way out; only the final projected rows are
-//! allocated. The executor is generic over any [`KbRead`] view, so the
-//! same compiled plan runs against the builder-backed façade or an
-//! immutable snapshot.
+//! Execution walks the operator tree batch-at-a-time: operators consume
+//! and produce columnar `Batch`es of up to [`BATCH_ROWS`] bindings
+//! (one `u32` column per variable slot, a sentinel marking unbound
+//! slots), and scans splice the store's own [`TripleBatch`] columns
+//! straight into the output — no per-row iterator step on the hot path.
+//! Filters evaluate into a bitmap and compact the batch in place.
+//! Emission order is exactly the depth-first order of the tuple
+//! executor, so results are byte-identical to [`execute_tuple`], which
+//! is kept as the reference oracle (and for the differential tests).
+//!
+//! The executor is generic over any [`KbRead`] view, so the same
+//! compiled plan runs against the builder-backed façade, an immutable
+//! snapshot, or a segmented stack; only the monolithic unfiltered scan
+//! path is specially vectorized by the store, the rest degrade to a
+//! tuple merge inside [`kb_store::MatchBatches`] without changing
+//! results.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
 
-use kb_store::{KbRead, TermId, TimePoint, TriplePattern};
+use kb_store::{KbRead, KbReadBatch, TermId, TimePoint, Triple, TripleBatch, TriplePattern};
 
 use crate::ast::CmpOp;
-use crate::plan::{Col, CondC, CondOperand, PhysOp, Plan, Slot, Step};
+use crate::plan::{op_slots, Col, CondC, CondOperand, PhysOp, Plan, Slot, Step};
+
+/// Batch granularity of the executor, re-exported from the store so the
+/// two layers stay in lock-step.
+pub use kb_store::BATCH_ROWS;
 
 /// One projected value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -43,19 +57,36 @@ impl QueryOutput {
     /// same shape the legacy engine's `Bindings` display used, so CLI
     /// output stays familiar.
     pub fn render_row<K: KbRead + ?Sized>(&self, row: &[Cell], kb: &K) -> String {
-        self.cols
-            .iter()
-            .zip(row)
-            .map(|(c, v)| format!("?{}={}", c, cell_str(v, kb)))
-            .collect::<Vec<_>>()
-            .join("  ")
+        let mut out = String::new();
+        self.render_row_into(row, kb, &mut out);
+        out
+    }
+
+    /// Appends one rendered row to `out` without intermediate per-cell
+    /// allocations.
+    fn render_row_into<K: KbRead + ?Sized>(&self, row: &[Cell], kb: &K, out: &mut String) {
+        for (i, (c, v)) in self.cols.iter().zip(row).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push('?');
+            out.push_str(c);
+            out.push('=');
+            match v {
+                Cell::Term(id) => out.push_str(kb.resolve(*id).unwrap_or("?")),
+                Cell::Count(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Cell::Unbound => out.push('_'),
+            }
+        }
     }
 
     /// Renders the whole result deterministically, one row per line.
     pub fn render<K: KbRead + ?Sized>(&self, kb: &K) -> String {
         let mut out = String::new();
         for row in &self.rows {
-            out.push_str(&self.render_row(row, kb));
+            self.render_row_into(row, kb, &mut out);
             out.push('\n');
         }
         out
@@ -100,75 +131,170 @@ fn cmp_cells<K: KbRead + ?Sized>(a: &Cell, b: &Cell, kb: &K) -> Ordering {
     }
 }
 
-/// Executes a compiled plan against a KB view.
-pub fn execute<K: KbRead + ?Sized>(plan: &Plan, kb: &K) -> QueryOutput {
-    let cols: Vec<String> = plan.cols.iter().map(|c| c.name().to_string()).collect();
-    let mut binding: Vec<Option<TermId>> = vec![None; plan.nvars];
+// ---------------------------------------------------------------------
+// Columnar binding batches
+// ---------------------------------------------------------------------
 
-    let mut rows: Vec<Vec<Cell>> = Vec::new();
-    if plan.aggregate {
-        // Group key → (representative projected-var values, one counter
-        // per COUNT column). BTreeMap keeps group order deterministic.
-        type GroupVal = (Vec<Option<TermId>>, Vec<u64>);
-        let mut groups: BTreeMap<Vec<Option<TermId>>, GroupVal> = BTreeMap::new();
-        let n_counts = plan.cols.iter().filter(|c| matches!(c, Col::Count { .. })).count();
-        run(&plan.root, kb, &mut binding, &mut |b| {
-            let key: Vec<Option<TermId>> = plan.group_by.iter().map(|&s| b[s]).collect();
-            let entry = groups.entry(key).or_insert_with(|| {
-                let rep = plan
-                    .cols
-                    .iter()
-                    .map(|c| match c {
-                        Col::Var { slot, .. } => b[*slot],
-                        Col::Count { .. } => None,
-                    })
-                    .collect();
-                (rep, vec![0u64; n_counts])
-            });
-            let mut ci = 0;
-            for c in &plan.cols {
-                if let Col::Count { arg, .. } = c {
-                    let counted = match arg {
-                        None => true,
-                        Some(slot) => b[*slot].is_some(),
-                    };
-                    if counted {
-                        entry.1[ci] += 1;
-                    }
+/// Sentinel marking an unbound variable slot inside a [`Batch`] column.
+/// Term ids are dense dictionary indexes, so `u32::MAX` can never name
+/// a real term at any scale this store supports.
+const UNBOUND: u32 = u32::MAX;
+
+/// A columnar batch of candidate bindings: one `u32` column per
+/// variable slot, all columns the same length. The unit of work between
+/// batch operators. `len` is tracked explicitly so zero-variable plans
+/// (all-constant patterns) still carry a row count.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Batch {
+    cols: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl Batch {
+    fn new(nvars: usize) -> Self {
+        Self { cols: vec![Vec::new(); nvars], len: 0 }
+    }
+
+    /// The single all-unbound row every plan starts from.
+    fn unit(nvars: usize) -> Self {
+        Self { cols: vec![vec![UNBOUND]; nvars], len: 1 }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        for c in &mut self.cols {
+            c.clear();
+        }
+        self.len = 0;
+    }
+
+    fn get(&self, row: usize, slot: usize) -> Option<TermId> {
+        match self.cols[slot][row] {
+            UNBOUND => None,
+            v => Some(TermId(v)),
+        }
+    }
+
+    fn push_row_from(&mut self, src: &Batch, row: usize) {
+        for (c, sc) in self.cols.iter_mut().zip(&src.cols) {
+            c.push(sc[row]);
+        }
+        self.len += 1;
+    }
+
+    /// Keeps only the rows whose bit is set in `keep`, in place.
+    fn compact(&mut self, keep: &[u64]) {
+        let n = self.len;
+        let kept = (0..n).filter(|r| keep[r / 64] >> (r % 64) & 1 == 1).count();
+        for col in &mut self.cols {
+            let mut w = 0;
+            for r in 0..n {
+                if keep[r / 64] >> (r % 64) & 1 == 1 {
+                    col[w] = col[r];
+                    w += 1;
+                }
+            }
+            col.truncate(w);
+        }
+        self.len = kept;
+    }
+}
+
+/// Per-run execution statistics collected by [`execute_traced`]:
+/// actual rows out of every operator (aligned index-for-index with
+/// [`Plan::ops`]), total batches flushed through BGP steps, and rows
+/// reaching the root.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecTrace {
+    /// Actual output rows per operator slot, in [`Plan::ops`] order.
+    pub op_rows: Vec<u64>,
+    /// Columnar batches flushed through BGP pipeline steps.
+    pub batches: u64,
+    /// Rows emitted by the root operator (before DISTINCT/ORDER/LIMIT).
+    pub rows: u64,
+}
+
+// ---------------------------------------------------------------------
+// Shared projection / aggregation / finishing
+// ---------------------------------------------------------------------
+
+/// Group key → (representative projected-var values, one counter per
+/// COUNT column). `BTreeMap` keeps group order deterministic.
+type Groups = BTreeMap<Vec<Option<TermId>>, (Vec<Option<TermId>>, Vec<u64>)>;
+
+fn count_cols(plan: &Plan) -> usize {
+    plan.cols.iter().filter(|c| matches!(c, Col::Count { .. })).count()
+}
+
+fn agg_update(
+    plan: &Plan,
+    n_counts: usize,
+    groups: &mut Groups,
+    get: &dyn Fn(usize) -> Option<TermId>,
+) {
+    let key: Vec<Option<TermId>> = plan.group_by.iter().map(|&s| get(s)).collect();
+    let entry = groups.entry(key).or_insert_with(|| {
+        let rep = plan
+            .cols
+            .iter()
+            .map(|c| match c {
+                Col::Var { slot, .. } => get(*slot),
+                Col::Count { .. } => None,
+            })
+            .collect();
+        (rep, vec![0u64; n_counts])
+    });
+    let mut ci = 0;
+    for c in &plan.cols {
+        if let Col::Count { arg, .. } = c {
+            let counted = match arg {
+                None => true,
+                Some(slot) => get(*slot).is_some(),
+            };
+            if counted {
+                entry.1[ci] += 1;
+            }
+            ci += 1;
+        }
+    }
+}
+
+fn groups_to_rows(plan: &Plan, groups: Groups) -> Vec<Vec<Cell>> {
+    let mut rows = Vec::with_capacity(groups.len());
+    for (_, (rep, counts)) in groups {
+        let mut row = Vec::with_capacity(plan.cols.len());
+        let mut ci = 0;
+        for (c, repv) in plan.cols.iter().zip(&rep) {
+            match c {
+                Col::Var { .. } => {
+                    row.push(repv.map(Cell::Term).unwrap_or(Cell::Unbound));
+                }
+                Col::Count { .. } => {
+                    row.push(Cell::Count(counts[ci]));
                     ci += 1;
                 }
             }
-        });
-        for (_, (rep, counts)) in groups {
-            let mut row = Vec::with_capacity(plan.cols.len());
-            let mut ci = 0;
-            for (c, repv) in plan.cols.iter().zip(&rep) {
-                match c {
-                    Col::Var { .. } => {
-                        row.push(repv.map(Cell::Term).unwrap_or(Cell::Unbound));
-                    }
-                    Col::Count { .. } => {
-                        row.push(Cell::Count(counts[ci]));
-                        ci += 1;
-                    }
-                }
-            }
-            rows.push(row);
         }
-    } else {
-        run(&plan.root, kb, &mut binding, &mut |b| {
-            let row: Vec<Cell> = plan
-                .cols
-                .iter()
-                .map(|c| match c {
-                    Col::Var { slot, .. } => b[*slot].map(Cell::Term).unwrap_or(Cell::Unbound),
-                    Col::Count { .. } => Cell::Unbound,
-                })
-                .collect();
-            rows.push(row);
-        });
+        rows.push(row);
     }
+    rows
+}
 
+fn project_row(plan: &Plan, get: &dyn Fn(usize) -> Option<TermId>) -> Vec<Cell> {
+    plan.cols
+        .iter()
+        .map(|c| match c {
+            Col::Var { slot, .. } => get(*slot).map(Cell::Term).unwrap_or(Cell::Unbound),
+            Col::Count { .. } => Cell::Unbound,
+        })
+        .collect()
+}
+
+/// DISTINCT → ORDER BY → OFFSET → LIMIT, shared by both executors.
+fn finish_rows<K: KbRead + ?Sized>(plan: &Plan, rows: &mut Vec<Vec<Cell>>, kb: &K) {
     if plan.distinct {
         let mut seen: HashSet<Vec<Cell>> = HashSet::with_capacity(rows.len());
         rows.retain(|r| seen.insert(r.clone()));
@@ -193,7 +319,445 @@ pub fn execute<K: KbRead + ?Sized>(plan: &Plan, kb: &K) -> QueryOutput {
     if let Some(limit) = plan.limit {
         rows.truncate(limit);
     }
+}
 
+// ---------------------------------------------------------------------
+// Batch executor (the default path)
+// ---------------------------------------------------------------------
+
+/// Executes a compiled plan against a KB view.
+pub fn execute<K: KbRead + ?Sized>(plan: &Plan, kb: &K) -> QueryOutput {
+    execute_traced(plan, kb).0
+}
+
+/// Executes a compiled plan, also returning per-operator actual row
+/// counts and batch statistics for `--explain`.
+pub fn execute_traced<K: KbRead + ?Sized>(plan: &Plan, kb: &K) -> (QueryOutput, ExecTrace) {
+    let cols: Vec<String> = plan.cols.iter().map(|c| c.name().to_string()).collect();
+    let mut trace = ExecTrace { op_rows: vec![0; op_slots(&plan.root)], batches: 0, rows: 0 };
+    let mut input = Batch::unit(plan.nvars);
+
+    let mut rows: Vec<Vec<Cell>>;
+    if plan.aggregate {
+        let n_counts = count_cols(plan);
+        let mut groups = Groups::new();
+        run_batch(&plan.root, 0, kb, &mut input, &mut trace, &mut |tr, b| {
+            tr.rows += b.len() as u64;
+            for row in 0..b.len() {
+                agg_update(plan, n_counts, &mut groups, &|s| b.get(row, s));
+            }
+        });
+        rows = groups_to_rows(plan, groups);
+    } else {
+        let mut out_rows: Vec<Vec<Cell>> = Vec::new();
+        run_batch(&plan.root, 0, kb, &mut input, &mut trace, &mut |tr, b| {
+            tr.rows += b.len() as u64;
+            for row in 0..b.len() {
+                out_rows.push(project_row(plan, &|s| b.get(row, s)));
+            }
+        });
+        rows = out_rows;
+    }
+
+    finish_rows(plan, &mut rows, kb);
+    (QueryOutput { cols, rows }, trace)
+}
+
+/// Walks an operator batch-at-a-time. `base` is the operator's first
+/// trace slot (layout per [`op_slots`]). The callee may mutate `input`
+/// freely — callers rebuild what they still need.
+fn run_batch<K: KbRead + ?Sized>(
+    op: &PhysOp,
+    base: usize,
+    kb: &K,
+    input: &mut Batch,
+    trace: &mut ExecTrace,
+    sink: &mut dyn FnMut(&mut ExecTrace, &mut Batch),
+) {
+    if input.len() == 0 {
+        return;
+    }
+    match op {
+        PhysOp::Steps(steps) => run_steps_batch(steps, 0, base, kb, input, trace, sink),
+        PhysOp::Join(l, r) => {
+            let rbase = base + op_slots(l);
+            run_batch(l, base, kb, input, trace, &mut |tr, lb| {
+                run_batch(r, rbase, kb, lb, tr, sink);
+            });
+        }
+        PhysOp::LeftJoin(l, r) => {
+            let lbase = base + 1;
+            let rbase = lbase + op_slots(l);
+            // Row-at-a-time over the left's output: the tuple oracle
+            // interleaves right matches with left fallbacks per left
+            // row, and order must match byte-for-byte.
+            run_batch(l, lbase, kb, input, trace, &mut |tr, lb| {
+                let nvars = lb.cols.len();
+                for row in 0..lb.len() {
+                    let mut any = false;
+                    let mut one = Batch::new(nvars);
+                    one.push_row_from(lb, row);
+                    run_batch(r, rbase, kb, &mut one, tr, &mut |tr, b| {
+                        any = true;
+                        tr.op_rows[base] += b.len() as u64;
+                        sink(tr, b);
+                    });
+                    if !any {
+                        let mut one = Batch::new(nvars);
+                        one.push_row_from(lb, row);
+                        tr.op_rows[base] += 1;
+                        sink(tr, &mut one);
+                    }
+                }
+            });
+        }
+        PhysOp::Union(l, r) => {
+            let lbase = base + 1;
+            let rbase = lbase + op_slots(l);
+            let nvars = input.cols.len();
+            let mut count = |tr: &mut ExecTrace, b: &mut Batch| {
+                tr.op_rows[base] += b.len() as u64;
+                sink(tr, b);
+            };
+            // Per input row so both branches see the same prefix in the
+            // tuple oracle's order.
+            for row in 0..input.len() {
+                let mut one = Batch::new(nvars);
+                one.push_row_from(input, row);
+                run_batch(l, lbase, kb, &mut one, trace, &mut count);
+                let mut one = Batch::new(nvars);
+                one.push_row_from(input, row);
+                run_batch(r, rbase, kb, &mut one, trace, &mut count);
+            }
+        }
+        PhysOp::Filter(inner, conds) => {
+            run_batch(inner, base + 1, kb, input, trace, &mut |tr, b| {
+                let n = b.len();
+                let mut keep = vec![0u64; n.div_ceil(64)];
+                let mut kept = 0usize;
+                for row in 0..n {
+                    if conds.iter().all(|c| eval_cond_with(c, &|s| b.get(row, s), kb)) {
+                        keep[row / 64] |= 1 << (row % 64);
+                        kept += 1;
+                    }
+                }
+                if kept == 0 {
+                    return;
+                }
+                if kept < n {
+                    b.compact(&keep);
+                }
+                tr.op_rows[base] += kept as u64;
+                sink(tr, b);
+            });
+        }
+        PhysOp::Empty => {}
+    }
+}
+
+/// Flushes the accumulated output of step `i` into the rest of the
+/// pipeline, recording its trace slot, then clears the batch for reuse.
+fn flush_steps<K: KbRead + ?Sized>(
+    steps: &[Step],
+    i: usize,
+    base: usize,
+    kb: &K,
+    out: &mut Batch,
+    trace: &mut ExecTrace,
+    sink: &mut dyn FnMut(&mut ExecTrace, &mut Batch),
+) {
+    if out.len() == 0 {
+        return;
+    }
+    trace.op_rows[base + i] += out.len() as u64;
+    trace.batches += 1;
+    run_steps_batch(steps, i + 1, base, kb, out, trace, sink);
+    out.clear();
+}
+
+fn comp_of(t: Triple, c: u8) -> TermId {
+    match c {
+        0 => t.s,
+        1 => t.p,
+        _ => t.o,
+    }
+}
+
+/// Appends one matching triple to `out`: copies the input row, binds
+/// the target slots from the triple, and enforces repeated-variable
+/// equality (`dups`).
+fn append_triple(
+    out: &mut Batch,
+    input: &Batch,
+    row: usize,
+    targets: &[(usize, u8)],
+    dups: &[(u8, u8)],
+    t: Triple,
+) {
+    for &(c0, c1) in dups {
+        if comp_of(t, c0) != comp_of(t, c1) {
+            return;
+        }
+    }
+    for (slot, col) in out.cols.iter_mut().enumerate() {
+        let v = match targets.iter().find(|tg| tg.0 == slot) {
+            Some(&(_, c)) => comp_of(t, c).0,
+            None => input.cols[slot][row],
+        };
+        col.push(v);
+    }
+    out.len += 1;
+}
+
+/// Appends a whole store batch to `out`. When the pattern has no
+/// repeated unbound variable the copy is columnar: target columns are
+/// spliced from the [`TripleBatch`], every other column repeats the
+/// input row's value.
+fn append_matches(
+    out: &mut Batch,
+    input: &Batch,
+    row: usize,
+    targets: &[(usize, u8)],
+    dups: &[(u8, u8)],
+    tb: &TripleBatch,
+) {
+    let n = tb.len();
+    if n == 0 {
+        return;
+    }
+    if dups.is_empty() {
+        for (slot, col) in out.cols.iter_mut().enumerate() {
+            match targets.iter().find(|tg| tg.0 == slot) {
+                Some(&(_, c)) => {
+                    let src = match c {
+                        0 => &tb.s,
+                        1 => &tb.p,
+                        _ => &tb.o,
+                    };
+                    col.extend(src.iter().map(|id| id.0));
+                }
+                None => {
+                    let v = input.cols[slot][row];
+                    col.resize(col.len() + n, v);
+                }
+            }
+        }
+        out.len += n;
+    } else {
+        for r in 0..n {
+            append_triple(out, input, row, targets, dups, tb.row(r));
+        }
+    }
+}
+
+/// Appends the cross product of one left subject against a run of
+/// right subjects for a merge-range object, columnar.
+#[allow(clippy::too_many_arguments)]
+fn append_merge(
+    out: &mut Batch,
+    input: &Batch,
+    row: usize,
+    s1: usize,
+    s2: usize,
+    o: usize,
+    sv1: u32,
+    ov: u32,
+    run2: &[u32],
+) {
+    let n = run2.len();
+    for (slot, col) in out.cols.iter_mut().enumerate() {
+        // Alias order matters when slots coincide: the tuple oracle
+        // assigns o, then s1, then s2 — later assignments win.
+        if slot == s2 {
+            col.extend_from_slice(run2);
+        } else if slot == s1 {
+            col.resize(col.len() + n, sv1);
+        } else if slot == o {
+            col.resize(col.len() + n, ov);
+        } else {
+            let v = input.cols[slot][row];
+            col.resize(col.len() + n, v);
+        }
+    }
+    out.len += n;
+}
+
+/// Buffered reader over [`MatchBatches`] for the merge-range co-scan:
+/// peek the current object, consume one row, or take the whole run of
+/// subjects sharing an object.
+struct TripleStream<'a> {
+    mb: kb_store::MatchBatches<'a>,
+    buf: TripleBatch,
+    pos: usize,
+}
+
+impl<'a> TripleStream<'a> {
+    fn new(mb: kb_store::MatchBatches<'a>) -> Self {
+        Self { mb, buf: TripleBatch::new(), pos: 0 }
+    }
+
+    /// Ensures at least one unread row is buffered.
+    fn fill(&mut self) -> bool {
+        while self.pos >= self.buf.len() {
+            self.pos = 0;
+            if !self.mb.next_batch(&mut self.buf) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn peek_o(&mut self) -> Option<TermId> {
+        if self.fill() {
+            Some(self.buf.o[self.pos])
+        } else {
+            None
+        }
+    }
+
+    fn skip_one(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Consumes the maximal run of rows whose object equals `obj`,
+    /// collecting their raw subject ids.
+    fn take_run(&mut self, obj: TermId, out: &mut Vec<u32>) {
+        out.clear();
+        loop {
+            if !self.fill() {
+                return;
+            }
+            while self.pos < self.buf.len() && self.buf.o[self.pos] == obj {
+                out.push(self.buf.s[self.pos].0);
+                self.pos += 1;
+            }
+            if self.pos < self.buf.len() {
+                return;
+            }
+        }
+    }
+}
+
+fn run_steps_batch<K: KbRead + ?Sized>(
+    steps: &[Step],
+    i: usize,
+    base: usize,
+    kb: &K,
+    input: &mut Batch,
+    trace: &mut ExecTrace,
+    sink: &mut dyn FnMut(&mut ExecTrace, &mut Batch),
+) {
+    let Some(step) = steps.get(i) else {
+        if input.len() > 0 {
+            sink(trace, input);
+        }
+        return;
+    };
+    let nvars = input.cols.len();
+    let mut out = Batch::new(nvars);
+    match step {
+        Step::Scan { s, p, o, at } => {
+            let mut targets: Vec<(usize, u8)> = Vec::new();
+            let mut dups: Vec<(u8, u8)> = Vec::new();
+            let mut tb = TripleBatch::new();
+            for row in 0..input.len() {
+                targets.clear();
+                dups.clear();
+                let mut pat: [Option<TermId>; 3] = [None; 3];
+                for (c, slot) in [s, p, o].into_iter().enumerate() {
+                    match *slot {
+                        Slot::Const(id) => pat[c] = Some(id),
+                        Slot::Var(v) => match input.get(row, v) {
+                            Some(id) => pat[c] = Some(id),
+                            None => match targets.iter().find(|tg| tg.0 == v) {
+                                Some(&(_, c0)) => dups.push((c0, c as u8)),
+                                None => targets.push((v, c as u8)),
+                            },
+                        },
+                    }
+                }
+                let pattern = TriplePattern { s: pat[0], p: pat[1], o: pat[2] };
+                match at {
+                    Some(point) => {
+                        for f in kb.matching_at_iter(&pattern, point) {
+                            append_triple(&mut out, input, row, &targets, &dups, f.triple);
+                            if out.len() >= BATCH_ROWS {
+                                flush_steps(steps, i, base, kb, &mut out, trace, sink);
+                            }
+                        }
+                    }
+                    None => {
+                        let mut mb = kb.matching_batches(&pattern);
+                        while mb.next_batch(&mut tb) {
+                            append_matches(&mut out, input, row, &targets, &dups, &tb);
+                            if out.len() >= BATCH_ROWS {
+                                flush_steps(steps, i, base, kb, &mut out, trace, sink);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Step::MergeRange { p1, s1, p2, s2, o } => {
+            let mut run1: Vec<u32> = Vec::new();
+            let mut run2: Vec<u32> = Vec::new();
+            for row in 0..input.len() {
+                let mut st1 = TripleStream::new(kb.matching_batches(&TriplePattern::with_p(*p1)));
+                let mut st2 = TripleStream::new(kb.matching_batches(&TriplePattern::with_p(*p2)));
+                // POS buckets stream sorted by (o, s): merge on o, cross
+                // the matching subject runs.
+                while let (Some(o1), Some(o2)) = (st1.peek_o(), st2.peek_o()) {
+                    match o1.cmp(&o2) {
+                        Ordering::Less => st1.skip_one(),
+                        Ordering::Greater => st2.skip_one(),
+                        Ordering::Equal => {
+                            let obj = o1;
+                            st1.take_run(obj, &mut run1);
+                            st2.take_run(obj, &mut run2);
+                            for &sv1 in &run1 {
+                                append_merge(&mut out, input, row, *s1, *s2, *o, sv1, obj.0, &run2);
+                                if out.len() >= BATCH_ROWS {
+                                    flush_steps(steps, i, base, kb, &mut out, trace, sink);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flush_steps(steps, i, base, kb, &mut out, trace, sink);
+}
+
+// ---------------------------------------------------------------------
+// Tuple executor (reference oracle)
+// ---------------------------------------------------------------------
+
+/// Executes a compiled plan tuple-at-a-time with a single mutable
+/// binding array — the original executor, kept as the reference oracle
+/// for the batch path. Results are byte-identical to [`execute`],
+/// including row order.
+pub fn execute_tuple<K: KbRead + ?Sized>(plan: &Plan, kb: &K) -> QueryOutput {
+    let cols: Vec<String> = plan.cols.iter().map(|c| c.name().to_string()).collect();
+    let mut binding: Vec<Option<TermId>> = vec![None; plan.nvars];
+
+    let mut rows: Vec<Vec<Cell>>;
+    if plan.aggregate {
+        let n_counts = count_cols(plan);
+        let mut groups = Groups::new();
+        run(&plan.root, kb, &mut binding, &mut |b| {
+            agg_update(plan, n_counts, &mut groups, &|s| b[s]);
+        });
+        rows = groups_to_rows(plan, groups);
+    } else {
+        let mut out_rows: Vec<Vec<Cell>> = Vec::new();
+        run(&plan.root, kb, &mut binding, &mut |b| {
+            out_rows.push(project_row(plan, &|s| b[s]));
+        });
+        rows = out_rows;
+    }
+
+    finish_rows(plan, &mut rows, kb);
     QueryOutput { cols, rows }
 }
 
@@ -365,12 +929,18 @@ fn run_steps<K: KbRead + ?Sized>(
     }
 }
 
-fn eval_cond<K: KbRead + ?Sized>(c: &CondC, b: &[Option<TermId>], kb: &K) -> bool {
+/// [`eval_cond`] generalized over the binding lookup, so the batch
+/// executor can evaluate straight out of a columnar batch row.
+fn eval_cond_with<K: KbRead + ?Sized>(
+    c: &CondC,
+    get: &dyn Fn(usize) -> Option<TermId>,
+    kb: &K,
+) -> bool {
     // Identity comparisons work on term ids; ordered comparisons
     // resolve to strings (constants keep their raw text so literals the
     // dictionary never interned still compare).
     let id_of = |op: &CondOperand| match op {
-        CondOperand::Slot(s) => b[*s],
+        CondOperand::Slot(s) => get(*s),
         CondOperand::Const { id, .. } => *id,
     };
     match c.op {
@@ -379,11 +949,11 @@ fn eval_cond<K: KbRead + ?Sized>(c: &CondC, b: &[Option<TermId>], kb: &K) -> boo
             // row dropped). A constant unknown to the dictionary can
             // equal nothing and differ from everything bound.
             let lhs_bound = match &c.lhs {
-                CondOperand::Slot(s) => b[*s].is_some(),
+                CondOperand::Slot(s) => get(*s).is_some(),
                 CondOperand::Const { .. } => true,
             };
             let rhs_bound = match &c.rhs {
-                CondOperand::Slot(s) => b[*s].is_some(),
+                CondOperand::Slot(s) => get(*s).is_some(),
                 CondOperand::Const { .. } => true,
             };
             if !lhs_bound || !rhs_bound {
@@ -404,7 +974,9 @@ fn eval_cond<K: KbRead + ?Sized>(c: &CondC, b: &[Option<TermId>], kb: &K) -> boo
         CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
             let text = |op: &CondOperand| -> Option<String> {
                 match op {
-                    CondOperand::Slot(s) => b[*s].and_then(|id| kb.resolve(id)).map(str::to_string),
+                    CondOperand::Slot(s) => {
+                        get(*s).and_then(|id| kb.resolve(id)).map(str::to_string)
+                    }
                     CondOperand::Const { text, .. } => Some(text.clone()),
                 }
             };
@@ -419,6 +991,10 @@ fn eval_cond<K: KbRead + ?Sized>(c: &CondC, b: &[Option<TermId>], kb: &K) -> boo
             }
         }
     }
+}
+
+fn eval_cond<K: KbRead + ?Sized>(c: &CondC, b: &[Option<TermId>], kb: &K) -> bool {
+    eval_cond_with(c, &|s| b[s], kb)
 }
 
 #[cfg(test)]
@@ -451,7 +1027,11 @@ mod tests {
         let q = parse(text).unwrap();
         let stats = StatsCatalog::build(snap);
         let p = plan(&q, snap, &stats).unwrap();
-        execute(&p, snap)
+        let out = execute(&p, snap);
+        // Every test doubles as a differential check against the tuple
+        // oracle, including row order.
+        assert_eq!(out, execute_tuple(&p, snap), "batch/tuple divergence on {text:?}");
+        out
     }
 
     #[test]
@@ -528,5 +1108,49 @@ mod tests {
         // `2000` is not in the dictionary — ordered comparison still
         // works through the raw literal text.
         assert!(s.term("2000").is_none());
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern_matches_reflexive_triples() {
+        let mut b = KbBuilder::new();
+        b.assert_str("a", "knows", "a");
+        b.assert_str("a", "knows", "b");
+        b.assert_str("b", "knows", "b");
+        let s = b.freeze();
+        let out = solve(&s, "SELECT ?x WHERE { ?x knows ?x } ORDER BY ?x");
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(cell_str(&out.rows[0][0], &s), "a");
+    }
+
+    #[test]
+    fn trace_rows_align_with_plan_ops() {
+        let s = city_snap();
+        let q = parse("?p bornIn ?c . ?c locatedIn ?st . FILTER(?st = California)").unwrap();
+        let stats = StatsCatalog::build(&s);
+        let p = plan(&q, &s, &stats).unwrap();
+        let (out, trace) = execute_traced(&p, &s);
+        assert_eq!(p.ops().len(), trace.op_rows.len());
+        assert!(trace.batches > 0);
+        assert_eq!(trace.rows as usize, out.rows.len());
+        // The root FILTER sits at slot 0; its output is the emitted
+        // total.
+        assert!(p.ops()[0].label.starts_with("filter"), "{:?}", p.ops());
+        assert_eq!(trace.op_rows[0], trace.rows);
+    }
+
+    #[test]
+    fn batch_flushes_split_large_scans_without_changing_results() {
+        let mut b = KbBuilder::new();
+        for i in 0..(BATCH_ROWS * 3 + 17) {
+            b.assert_str(&format!("s{i}"), "rel", &format!("o{}", i % 50));
+        }
+        let s = b.freeze();
+        let q = parse("?x rel ?y").unwrap();
+        let stats = StatsCatalog::build(&s);
+        let p = plan(&q, &s, &stats).unwrap();
+        let (out, trace) = execute_traced(&p, &s);
+        assert_eq!(out.rows.len(), BATCH_ROWS * 3 + 17);
+        assert!(trace.batches >= 4, "expected ≥4 flushed batches: {trace:?}");
+        assert_eq!(out, execute_tuple(&p, &s));
     }
 }

@@ -52,9 +52,9 @@ pub mod stats;
 
 pub use ast::SelectQuery;
 pub use error::QueryError;
-pub use exec::{cell_str, execute, Cell, QueryOutput};
+pub use exec::{cell_str, execute, execute_traced, execute_tuple, Cell, ExecTrace, QueryOutput};
 pub use parse::{normalize, parse};
-pub use plan::{plan, Footprint, Plan};
+pub use plan::{plan, Footprint, OpInfo, Plan};
 pub use service::{CacheStats, QueryService, DEFAULT_CACHE_CAPACITY};
 pub use stats::{PredStat, StatsCatalog};
 

@@ -115,6 +115,36 @@ impl Col {
     }
 }
 
+/// Planner-side description of one physical operator instance: a human
+/// label plus the cost model's output-row estimate. The list in
+/// [`Plan::ops`] is aligned index-for-index with the actual row counts
+/// the executor collects in
+/// [`ExecTrace::op_rows`](crate::exec::ExecTrace::op_rows), which is
+/// what lets `--explain` print estimated vs actual rows per operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpInfo {
+    /// Short operator description (resolved constants, `?var` slots).
+    pub label: String,
+    /// Estimated output rows under the planner's cost model.
+    pub est_rows: f64,
+}
+
+/// Number of [`OpInfo`]/trace slots an operator tree occupies. The
+/// annotator ([`Ctx::annotate`]) and the batch executor walk the tree
+/// in the same order with the same slot layout: every BGP step gets a
+/// slot, `Join` is pure composition (no slot of its own), and
+/// `Union`/`LeftJoin`/`Filter` each claim one slot before their
+/// children.
+pub(crate) fn op_slots(op: &PhysOp) -> usize {
+    match op {
+        PhysOp::Steps(steps) => steps.len(),
+        PhysOp::Join(l, r) => op_slots(l) + op_slots(r),
+        PhysOp::LeftJoin(l, r) | PhysOp::Union(l, r) => 1 + op_slots(l) + op_slots(r),
+        PhysOp::Filter(inner, _) => 1 + op_slots(inner),
+        PhysOp::Empty => 0,
+    }
+}
+
 /// The set of predicates a plan's answer can depend on — the unit of
 /// *partial* cache invalidation in the serving layer: a delta install
 /// only kills cached entries whose footprint intersects the delta's
@@ -221,6 +251,8 @@ pub struct Plan {
     pub(crate) est_cost: f64,
     /// Human-readable description of the chosen physical operators.
     pub(crate) explain: Vec<String>,
+    /// Per-operator labels + row estimates, in executor slot order.
+    pub(crate) ops: Vec<OpInfo>,
     /// Predicates the answer depends on (partial-invalidation key).
     pub(crate) footprint: Footprint,
 }
@@ -244,6 +276,12 @@ impl Plan {
     /// One line per physical operator, in execution order.
     pub fn explain(&self) -> &[String] {
         &self.explain
+    }
+
+    /// Per-operator labels and row estimates, aligned index-for-index
+    /// with [`ExecTrace::op_rows`](crate::exec::ExecTrace::op_rows).
+    pub fn ops(&self) -> &[OpInfo] {
+        &self.ops
     }
 }
 
@@ -666,6 +704,135 @@ impl<K: KbRead + ?Sized> Ctx<'_, K> {
         };
         CondC { lhs: operand(&c.lhs), op: c.op, rhs: operand(&c.rhs) }
     }
+
+    fn slot_label(&self, sl: Slot) -> String {
+        match sl {
+            Slot::Const(id) => self.kb.resolve(id).unwrap_or("?").to_string(),
+            Slot::Var(v) => format!("?{}", self.slots.names[v]),
+        }
+    }
+
+    /// Walks the finished operator tree producing one [`OpInfo`] per
+    /// executor trace slot (same layout as [`op_slots`]), re-deriving
+    /// row estimates with the bound-variable state each operator sees
+    /// at runtime. Returns the estimated rows flowing out of `op`.
+    fn annotate(
+        &self,
+        op: &PhysOp,
+        bound: &mut Vec<bool>,
+        rows_in: f64,
+        out: &mut Vec<OpInfo>,
+    ) -> f64 {
+        match op {
+            PhysOp::Steps(steps) => {
+                let mut rows = rows_in;
+                for step in steps {
+                    match step {
+                        Step::Scan { s, p, o, at } => {
+                            let fixed = |sl: &Slot| match sl {
+                                Slot::Const(_) => true,
+                                Slot::Var(v) => bound[*v],
+                            };
+                            let pred = match p {
+                                Slot::Const(id) => Some(*id),
+                                Slot::Var(_) => None,
+                            };
+                            let per = self.stats.estimate(pred, fixed(s), fixed(o));
+                            rows *= per;
+                            let mut label = format!(
+                                "scan `{} {} {}`",
+                                self.slot_label(*s),
+                                self.slot_label(*p),
+                                self.slot_label(*o)
+                            );
+                            if at.is_some() {
+                                label.push_str(" @t");
+                            }
+                            out.push(OpInfo { label, est_rows: rows });
+                            for sl in [s, o] {
+                                if let Slot::Var(v) = sl {
+                                    bound[*v] = true;
+                                }
+                            }
+                        }
+                        Step::MergeRange { p1, s1, p2, s2, o } => {
+                            let stat = |p: &TermId| {
+                                self.stats.per_pred.get(p).cloned().unwrap_or_default()
+                            };
+                            let (st1, st2) = (stat(p1), stat(p2));
+                            let per = (st1.count as f64 * st2.count as f64)
+                                / (st1.distinct_o.max(st2.distinct_o).max(1) as f64);
+                            rows *= per;
+                            out.push(OpInfo {
+                                label: format!(
+                                    "merge-range `?{} {} ?{}` ⋈o `?{} {} ?{}`",
+                                    self.slots.names[*s1],
+                                    self.kb.resolve(*p1).unwrap_or("?"),
+                                    self.slots.names[*o],
+                                    self.slots.names[*s2],
+                                    self.kb.resolve(*p2).unwrap_or("?"),
+                                    self.slots.names[*o],
+                                ),
+                                est_rows: rows,
+                            });
+                            for v in [s1, s2, o] {
+                                bound[*v] = true;
+                            }
+                        }
+                    }
+                }
+                rows
+            }
+            PhysOp::Join(l, r) => {
+                let lr = self.annotate(l, bound, rows_in, out);
+                self.annotate(r, bound, lr, out)
+            }
+            PhysOp::Union(l, r) => {
+                let idx = out.len();
+                out.push(OpInfo { label: "union".into(), est_rows: 0.0 });
+                let old = bound.clone();
+                let mut bl = old.clone();
+                let lo = self.annotate(l, &mut bl, rows_in, out);
+                let mut br = old.clone();
+                let ro = self.annotate(r, &mut br, rows_in, out);
+                // A variable is bound after the union only if both
+                // branches bind it (or it already was).
+                for (i, b) in bound.iter_mut().enumerate() {
+                    *b = old[i] || (bl[i] && br[i]);
+                }
+                let est = lo + ro;
+                out[idx].est_rows = est;
+                est
+            }
+            PhysOp::LeftJoin(l, r) => {
+                let idx = out.len();
+                out.push(OpInfo { label: "optional".into(), est_rows: 0.0 });
+                let lo = self.annotate(l, bound, rows_in, out);
+                // Optional bindings don't survive as bound downstream.
+                let mut br = bound.clone();
+                let ro = self.annotate(r, &mut br, lo, out);
+                let est = ro.max(lo);
+                out[idx].est_rows = est;
+                est
+            }
+            PhysOp::Filter(inner, conds) => {
+                let idx = out.len();
+                out.push(OpInfo {
+                    label: format!(
+                        "filter ({} cond{})",
+                        conds.len(),
+                        if conds.len() == 1 { "" } else { "s" }
+                    ),
+                    est_rows: 0.0,
+                });
+                let io = self.annotate(inner, bound, rows_in, out);
+                let est = io * 0.5f64.powi(conds.len() as i32);
+                out[idx].est_rows = est;
+                est
+            }
+            PhysOp::Empty => 0.0,
+        }
+    }
 }
 
 struct MergeCandidate {
@@ -748,6 +915,9 @@ pub fn plan<K: KbRead + ?Sized>(
     collect_footprint(&query.group, kb, &mut footprint);
     footprint.preds.sort_unstable();
     footprint.preds.dedup();
+    let mut ops = Vec::new();
+    let mut annotate_bound = vec![false; ctx.slots.names.len()];
+    ctx.annotate(&lowered.op, &mut annotate_bound, 1.0, &mut ops);
     Ok(Plan {
         nvars: ctx.slots.names.len(),
         root: lowered.op,
@@ -760,6 +930,7 @@ pub fn plan<K: KbRead + ?Sized>(
         offset: query.offset,
         est_cost: lowered.cost,
         explain,
+        ops,
         footprint,
     })
 }

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use kb_store::{KbRead, TermId, TriplePattern};
 
 /// Statistics for one predicate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PredStat {
     /// Live facts with this predicate.
     pub count: usize,

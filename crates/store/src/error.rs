@@ -26,6 +26,9 @@ pub enum SegmentRegion {
     Permutations,
     /// A per-leading-term offset-bucket array.
     Buckets,
+    /// A compressed-frame column block (format v2 permutations and
+    /// buckets).
+    Frames,
     /// The taxonomy (subclass DAG) block.
     Taxonomy,
     /// The sameAs equivalence-class block.
@@ -52,6 +55,7 @@ impl fmt::Display for SegmentRegion {
             SegmentRegion::Kinds => "kinds",
             SegmentRegion::Permutations => "permutations",
             SegmentRegion::Buckets => "buckets",
+            SegmentRegion::Frames => "frames",
             SegmentRegion::Taxonomy => "taxonomy",
             SegmentRegion::SameAs => "sameAs",
             SegmentRegion::Labels => "labels",

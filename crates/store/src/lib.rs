@@ -62,6 +62,7 @@ pub mod builder;
 pub mod dict;
 pub mod error;
 pub mod fact;
+pub mod frames;
 pub mod fuse;
 pub mod fx;
 pub mod ids;
@@ -87,6 +88,7 @@ pub use builder::{KbBuilder, KbShard};
 pub use dict::Dictionary;
 pub use error::{SegmentRegion, StoreError};
 pub use fact::{Fact, Triple};
+pub use frames::{ColFrames, FrameCursor, FrameMeta, FRAME_ROWS};
 pub use fx::{FxHashMap, FxHashSet};
 pub use ids::{FactId, TermId};
 pub use labels::LabelStore;
@@ -95,11 +97,14 @@ pub use manifest::Manifest;
 pub use ntriples::LoadReport;
 pub use pattern::TriplePattern;
 pub use query::{Bindings, Query};
-pub use read::{KbRead, PathJoinIter};
+pub use read::{KbRead, KbReadBatch, PairBatch, PathJoinBatches, PathJoinIter};
 pub use sameas::SameAsStore;
 pub use segment::{Compactor, DeltaSegment, SegmentStats, SegmentedSnapshot};
 pub use segment_store::{RecoveryReport, SegmentStore, StoreOptions};
-pub use snapshot::{KbSnapshot, LiveFactsIter, MatchIter, MatchingAtIter, TriplesIter};
+pub use snapshot::{
+    IndexStats, KbSnapshot, LiveFactsIter, MatchBatches, MatchIter, MatchingAtIter, TripleBatch,
+    TriplesIter, BATCH_ROWS,
+};
 pub use stats::KbStats;
 pub use store::{KnowledgeBase, SourceId};
 pub use taxonomy::Taxonomy;

@@ -21,7 +21,9 @@ use crate::ids::{FactId, TermId};
 use crate::labels::LabelStore;
 use crate::pattern::TriplePattern;
 use crate::sameas::SameAsStore;
-use crate::snapshot::{LiveFactsIter, MatchIter, MatchingAtIter, TriplesIter};
+use crate::snapshot::{
+    LiveFactsIter, MatchBatches, MatchIter, MatchingAtIter, TriplesIter, BATCH_ROWS,
+};
 use crate::stats::KbStats;
 use crate::store::SourceId;
 use crate::taxonomy::Taxonomy;
@@ -246,6 +248,92 @@ pub trait KbRead {
     }
 }
 
+/// Vectorized extension of [`KbRead`]: the same pattern queries, but
+/// emitting columnar batches of ~[`BATCH_ROWS`] rows instead of single
+/// tuples. Blanket-implemented for every `KbRead`, so any view —
+/// monolithic snapshot, segmented stack, mutable façade — serves
+/// batches; only the monolithic unfiltered path is specially
+/// vectorized (decoded frame windows spliced straight into the output
+/// columns), the rest fall back to the tuple merge internally.
+pub trait KbReadBatch: KbRead {
+    /// Batch form of [`KbRead::matching_iter`]: columnar
+    /// [`TripleBatch`](crate::snapshot::TripleBatch)es of matching
+    /// triples, in the same order the tuple iterator yields them.
+    fn matching_batches(&self, pattern: &TriplePattern) -> MatchBatches<'_> {
+        MatchBatches::new(self.matching_iter(pattern))
+    }
+
+    /// Batch form of [`KbRead::path_join_iter`]: `(x, y)` pair columns
+    /// in the same order the tuple iterator yields them.
+    fn path_join_batches(&self, p1: TermId, p2: TermId) -> PathJoinBatches<'_, Self>
+    where
+        Self: Sized,
+    {
+        PathJoinBatches { inner: self.path_join_iter(p1, p2) }
+    }
+}
+
+impl<K: KbRead + ?Sized> KbReadBatch for K {}
+
+/// A columnar batch of join pairs: two parallel `TermId` columns, at
+/// most [`BATCH_ROWS`] rows.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PairBatch {
+    /// Left (outer) column.
+    pub a: Vec<TermId>,
+    /// Right (inner) column.
+    pub b: Vec<TermId>,
+}
+
+impl PairBatch {
+    /// An empty batch with [`BATCH_ROWS`] capacity per column.
+    pub fn new() -> Self {
+        Self { a: Vec::with_capacity(BATCH_ROWS), b: Vec::with_capacity(BATCH_ROWS) }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// Drops all rows, keeping capacity.
+    pub fn clear(&mut self) {
+        self.a.clear();
+        self.b.clear();
+    }
+}
+
+/// Batch form of [`PathJoinIter`]: chunks the streaming path join into
+/// columnar [`PairBatch`]es. Returned by
+/// [`KbReadBatch::path_join_batches`].
+#[derive(Debug)]
+pub struct PathJoinBatches<'a, K: ?Sized> {
+    inner: PathJoinIter<'a, K>,
+}
+
+impl<K: KbRead> PathJoinBatches<'_, K> {
+    /// Fills `out` (cleared first) with the next batch. Returns `false`
+    /// when the join is exhausted and no rows were produced.
+    pub fn next_batch(&mut self, out: &mut PairBatch) -> bool {
+        out.clear();
+        while out.len() < BATCH_ROWS {
+            match self.inner.next() {
+                Some((x, y)) => {
+                    out.a.push(x);
+                    out.b.push(y);
+                }
+                None => break,
+            }
+        }
+        !out.is_empty()
+    }
+}
+
 /// Streaming path join: for each outer fact `(x, p1, m)` an inner
 /// range scan `(m, p2, ?)` is opened lazily; yields `(x, y)` pairs in
 /// the same order the nested materialized loops would.
@@ -311,6 +399,21 @@ mod tests {
         assert_eq!(streamed.len(), 1);
         assert_eq!(s.resolve(streamed[0].0), Some("Steve_Jobs"));
         assert_eq!(s.resolve(streamed[0].1), Some("United_States"));
+    }
+
+    #[test]
+    fn path_join_batches_agree_with_tuple_pairs() {
+        let s = snap();
+        let born = s.term("bornIn").unwrap();
+        let located = s.term("locatedIn").unwrap();
+        let tuple = s.path_join(born, located);
+        let mut pairs = Vec::new();
+        let mut batches = s.path_join_batches(born, located);
+        let mut buf = PairBatch::new();
+        while batches.next_batch(&mut buf) {
+            pairs.extend(buf.a.iter().copied().zip(buf.b.iter().copied()));
+        }
+        assert_eq!(pairs, tuple);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::labels::LabelStore;
 use crate::pattern::TriplePattern;
 use crate::read::KbRead;
 use crate::sameas::SameAsStore;
-use crate::snapshot::{FrozenIndexes, KbSnapshot, LiveFactsIter, MatchIter, SegCursor};
+use crate::snapshot::{FrozenIndexes, IndexStats, KbSnapshot, LiveFactsIter, MatchIter};
 use crate::store::SourceId;
 use crate::taxonomy::Taxonomy;
 
@@ -347,6 +347,12 @@ impl DeltaSegment {
     pub(crate) fn fact_table(&self) -> &[Fact] {
         &self.facts
     }
+
+    /// Size and compression accounting for this delta's permutation
+    /// indexes.
+    pub fn index_stats(&self) -> IndexStats {
+        self.indexes.stats()
+    }
 }
 
 /// Shape of a layered view: how many segments, and where its facts
@@ -481,6 +487,16 @@ impl SegmentedSnapshot {
             tombstones: self.deltas.iter().map(|d| d.tombstones()).sum(),
             live: self.live,
         }
+    }
+
+    /// Size and compression accounting for every segment's permutation
+    /// indexes (base plus deltas).
+    pub fn index_stats(&self) -> IndexStats {
+        let mut st = self.base.index_stats();
+        for d in &self.deltas {
+            st.absorb(&d.index_stats());
+        }
+        st
     }
 
     /// Looks up a provenance source by name across all segments.
@@ -633,17 +649,16 @@ impl KbRead for SegmentedSnapshot {
     }
 
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {
-        let (entries, filter) = self.base.indexes.select(pattern);
-        let head = SegCursor::new(entries, &self.base.core.facts);
+        let (head, filter) = self.base.indexes.cursor(pattern, &self.base.core.facts);
         let deltas = self
             .deltas
             .iter()
             .map(|d| {
-                let (e, _) = d.indexes.select(pattern);
-                SegCursor::new(e, &d.facts)
+                let (cur, _) = d.indexes.cursor(pattern, &d.facts);
+                cur
             })
             .collect();
-        MatchIter::with_deltas(head, deltas, filter, pattern.choose_index())
+        MatchIter::with_deltas(head, deltas, filter)
     }
 }
 

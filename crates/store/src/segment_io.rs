@@ -12,25 +12,33 @@
 //! │         tag u8 · offset u64 · len u64 · crc u32              │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ regions, contiguous, each independently CRC-32 checksummed:  │
-//! │   base:  dictionary · sources · facts · permutations ·       │
-//! │          buckets · taxonomy · sameAs · labels                │
+//! │   base:  dictionary · sources · facts · frames ·             │
+//! │          taxonomy · sameAs · labels                          │
 //! │   delta: delta-meta · dictionary · sources · facts · kinds · │
-//! │          permutations · buckets                              │
+//! │          frames                                              │
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! Version 2 (current) serializes the permutation indexes as the
+//! **frames** region: the fifteen delta/bitpacked [`ColFrames`] columns
+//! exactly as they live in memory, so opening a segment installs the
+//! compressed index without re-encoding. Version 1 stored raw fact-id
+//! permutations plus offset buckets; the reader still accepts v1 images
+//! (re-deriving and compressing the columns on open), and hidden `_v1`
+//! writers are retained so compatibility is testable forever.
 //!
 //! Two deliberate format choices keep cold-start cheap and recovery
 //! honest:
 //!
-//! * **Permutations store fact ids only.** The sort keys are redundant
-//!   with the fact table, so the reader re-derives them in one linear
-//!   pass and *validates* sortedness instead of re-sorting — opening a
-//!   segment is `O(n)`, not `O(n log n)`.
-//! * **Nothing derivable is trusted.** Lookup maps, offset buckets,
-//!   live counts and delta counters are recomputed (or checked against
-//!   a recomputation) on load, so a reader can never be bit-flipped
-//!   into a silently wrong KB: every failure is a typed
-//!   [`StoreError::Corrupt`] naming the damaged [`SegmentRegion`].
+//! * **Redundant data is validated, never trusted.** v2 key columns are
+//!   checked against the fact table, sortedness is verified, and offset
+//!   buckets must equal a recomputed prefix sum — all in `O(n)`, with
+//!   no sorting or re-compression on the open path.
+//! * **Nothing derivable is trusted.** Lookup maps, live counts and
+//!   delta counters are recomputed (or checked against a recomputation)
+//!   on load, so a reader can never be bit-flipped into a silently
+//!   wrong KB: every failure is a typed [`StoreError::Corrupt`] naming
+//!   the damaged [`SegmentRegion`].
 
 use std::io::Write as _;
 use std::ops::Range;
@@ -40,12 +48,13 @@ use std::sync::Arc;
 use crate::builder::KbCore;
 use crate::error::SegmentRegion;
 use crate::fact::{Fact, Triple};
+use crate::frames::{ColFrames, FrameMeta};
 use crate::fx::FxHashMap;
 use crate::ids::{FactId, TermId};
 use crate::labels::LabelStore;
 use crate::sameas::SameAsStore;
 use crate::segment::{DeltaSegment, FactKind};
-use crate::snapshot::{FrozenIndexes, KbSnapshot};
+use crate::snapshot::{FrozenIndexes, KbSnapshot, PermFrames};
 use crate::store::SourceId;
 use crate::taxonomy::Taxonomy;
 use crate::time::TimeSpan;
@@ -55,8 +64,11 @@ use crate::{Dictionary, StoreError};
 pub const MAGIC_BASE: [u8; 4] = *b"KBSG";
 /// Magic for a delta segment file.
 pub const MAGIC_DELTA: [u8; 4] = *b"KBDS";
-/// Current format version. Readers reject anything else.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (compressed frames region). Readers accept
+/// this and [`FORMAT_VERSION_V1`]; anything else is rejected.
+pub const FORMAT_VERSION: u32 = 2;
+/// The original format version: raw permutations + offset buckets.
+pub const FORMAT_VERSION_V1: u32 = 1;
 
 const PREAMBLE_LEN: usize = 16;
 const REGION_ENTRY_LEN: usize = 1 + 8 + 8 + 4;
@@ -138,6 +150,7 @@ fn region_tag(region: SegmentRegion) -> u8 {
         SegmentRegion::SameAs => 8,
         SegmentRegion::Labels => 9,
         SegmentRegion::DeltaMeta => 10,
+        SegmentRegion::Frames => 11,
         // Never serialized as a segment region.
         SegmentRegion::Header
         | SegmentRegion::WalHeader
@@ -158,6 +171,7 @@ fn region_of_tag(tag: u8) -> Option<SegmentRegion> {
         8 => SegmentRegion::SameAs,
         9 => SegmentRegion::Labels,
         10 => SegmentRegion::DeltaMeta,
+        11 => SegmentRegion::Frames,
         _ => return None,
     })
 }
@@ -303,7 +317,7 @@ fn encode_perms(perms: &[Vec<u32>; 3]) -> Vec<u8> {
     out
 }
 
-fn encode_buckets(starts: [&[u32]; 3]) -> Vec<u8> {
+fn encode_buckets(starts: &[Vec<u32>; 3]) -> Vec<u8> {
     let mut out = Vec::new();
     for s in starts {
         put_u32(&mut out, s.len() as u32);
@@ -312,6 +326,73 @@ fn encode_buckets(starts: [&[u32]; 3]) -> Vec<u8> {
         }
     }
     out
+}
+
+/// Bytes per serialized frame descriptor: base u32 · enc u8 · width u8
+/// · end u32.
+const FRAME_META_LEN: usize = 4 + 1 + 1 + 4;
+
+/// Serializes the fifteen compressed index columns (v2 frames region).
+/// Per column: row count, frame descriptors, then the raw payload —
+/// exactly the in-memory representation, so a reader installs it
+/// without re-encoding.
+fn encode_frames(cols: [&ColFrames; 15]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for col in cols {
+        put_u32(&mut out, col.len() as u32);
+        put_u32(&mut out, col.n_frames() as u32);
+        for m in col.metas() {
+            put_u32(&mut out, m.base);
+            out.push(m.enc);
+            out.push(m.width);
+            put_u32(&mut out, m.end);
+        }
+        let payload = col.payload();
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Decodes the v2 frames region back into the three permutations and
+/// three starts columns. Structural damage a checksum cannot catch
+/// (frame counts, offsets, encodings) is rejected by
+/// [`ColFrames::from_raw`]; cross-column consistency with the fact
+/// table is the caller's job via [`FrozenIndexes::from_frames`].
+fn decode_frames(buf: &[u8]) -> Result<([PermFrames; 3], [ColFrames; 3]), StoreError> {
+    let region = SegmentRegion::Frames;
+    let mut cur = Cur::new(buf, region);
+    let mut cols = Vec::with_capacity(15);
+    for i in 0..15 {
+        let len = cur.u32()? as usize;
+        let n_frames = cur.count(FRAME_META_LEN)?;
+        let mut metas = Vec::with_capacity(n_frames);
+        for _ in 0..n_frames {
+            let base = cur.u32()?;
+            let enc = cur.u8()?;
+            let width = cur.u8()?;
+            let end = cur.u32()?;
+            metas.push(FrameMeta { base, enc, width, end });
+        }
+        let payload_len = cur.u32()? as usize;
+        let payload = cur.take(payload_len)?.to_vec();
+        let col = ColFrames::from_raw(len, metas, payload)
+            .map_err(|e| corrupt(region, format!("column {i}: {e}")))?;
+        cols.push(col);
+    }
+    cur.finish()?;
+    let mut it = cols.into_iter();
+    let mut perm = || {
+        PermFrames::from_cols(
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+        )
+    };
+    let perms = [perm(), perm(), perm()];
+    let starts = [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()];
+    Ok((perms, starts))
 }
 
 fn encode_taxonomy(tax: &Taxonomy) -> Vec<u8> {
@@ -545,7 +626,7 @@ fn decode_labels(buf: &[u8], term_count: usize) -> Result<LabelStore, StoreError
 // ---------------------------------------------------------------------
 // File assembly: preamble + checksummed region table + region payloads.
 
-fn assemble(magic: [u8; 4], regions: Vec<(SegmentRegion, Vec<u8>)>) -> Vec<u8> {
+fn assemble(magic: [u8; 4], version: u32, regions: Vec<(SegmentRegion, Vec<u8>)>) -> Vec<u8> {
     let header_len = 4 + regions.len() * REGION_ENTRY_LEN;
     let mut header = Vec::with_capacity(header_len);
     put_u32(&mut header, regions.len() as u32);
@@ -559,7 +640,7 @@ fn assemble(magic: [u8; 4], regions: Vec<(SegmentRegion, Vec<u8>)>) -> Vec<u8> {
     }
     let mut out = Vec::with_capacity(offset as usize);
     out.extend_from_slice(&magic);
-    put_u32(&mut out, FORMAT_VERSION);
+    put_u32(&mut out, version);
     put_u32(&mut out, header.len() as u32);
     put_u32(&mut out, crc32(&header));
     out.extend_from_slice(&header);
@@ -577,7 +658,7 @@ fn assemble(magic: [u8; 4], regions: Vec<(SegmentRegion, Vec<u8>)>) -> Vec<u8> {
 /// tooling use it to locate regions; the real readers re-do all of this
 /// plus per-region CRC and structural validation.
 pub fn region_map(buf: &[u8]) -> Result<Vec<(SegmentRegion, Range<usize>)>, StoreError> {
-    let (_, entries) = parse_header(buf, None)?;
+    let (_, _, entries) = parse_header(buf, None)?;
     let header_end = PREAMBLE_LEN + header_len_of(buf)?;
     let mut out = vec![(SegmentRegion::Header, 0..header_end)];
     for e in entries {
@@ -601,10 +682,12 @@ fn header_len_of(buf: &[u8]) -> Result<usize, StoreError> {
 
 /// Validates preamble magic/version and the header CRC, then decodes
 /// the region table. `expect_magic: None` accepts either segment kind.
+/// Both format versions parse identically at this level; the returned
+/// version tells the reader which index regions to expect.
 fn parse_header(
     buf: &[u8],
     expect_magic: Option<[u8; 4]>,
-) -> Result<([u8; 4], Vec<RegionEntry>), StoreError> {
+) -> Result<([u8; 4], u32, Vec<RegionEntry>), StoreError> {
     let region = SegmentRegion::Header;
     if buf.len() < PREAMBLE_LEN {
         return Err(corrupt(region, "file shorter than the 16-byte preamble"));
@@ -626,10 +709,13 @@ fn parse_header(
         }
     }
     let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
         return Err(corrupt(
             region,
-            format!("unsupported format version {version} (reader supports {FORMAT_VERSION})"),
+            format!(
+                "unsupported format version {version} \
+                 (reader supports {FORMAT_VERSION_V1} and {FORMAT_VERSION})"
+            ),
         ));
     }
     let header_len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
@@ -659,7 +745,7 @@ fn parse_header(
         entries.push(RegionEntry { region: r, range: offset..end, crc });
     }
     cur.finish()?;
-    Ok((magic, entries))
+    Ok((magic, version, entries))
 }
 
 /// Locates a region, verifies its CRC, and hands back its payload.
@@ -682,7 +768,8 @@ fn region<'a>(
 // ---------------------------------------------------------------------
 // Base snapshot image.
 
-/// Serializes a base snapshot to its segment image.
+/// Serializes a base snapshot to its segment image (current format:
+/// the compressed frames region carries the indexes verbatim).
 pub(crate) fn snapshot_to_bytes(snap: &KbSnapshot) -> Vec<u8> {
     let core = &snap.core;
     let regions = vec![
@@ -692,18 +779,84 @@ pub(crate) fn snapshot_to_bytes(snap: &KbSnapshot) -> Vec<u8> {
         ),
         (SegmentRegion::Sources, encode_terms(core.sources.iter(), core.sources.len())),
         (SegmentRegion::Facts, encode_facts(&core.facts)),
-        (SegmentRegion::Permutations, encode_perms(&snap.indexes.perm_fact_ids())),
-        (SegmentRegion::Buckets, encode_buckets(snap.indexes.bucket_starts())),
+        (SegmentRegion::Frames, encode_frames(snap.indexes.frame_cols())),
         (SegmentRegion::Taxonomy, encode_taxonomy(&snap.taxonomy)),
         (SegmentRegion::SameAs, encode_sameas(&snap.sameas)),
         (SegmentRegion::Labels, encode_labels(&snap.labels)),
     ];
-    assemble(MAGIC_BASE, regions)
+    assemble(MAGIC_BASE, FORMAT_VERSION, regions)
 }
 
-/// Deserializes and fully validates a base snapshot image.
+/// Serializes a base snapshot in the legacy v1 layout (raw fact-id
+/// permutations + offset buckets). Kept so backward-compatibility of
+/// the reader stays under test; not used by the write path.
+pub(crate) fn snapshot_to_bytes_v1(snap: &KbSnapshot) -> Vec<u8> {
+    let core = &snap.core;
+    let regions = vec![
+        (
+            SegmentRegion::Dictionary,
+            encode_terms(core.dict.iter().map(|(_, t)| t), core.dict.len()),
+        ),
+        (SegmentRegion::Sources, encode_terms(core.sources.iter(), core.sources.len())),
+        (SegmentRegion::Facts, encode_facts(&core.facts)),
+        (SegmentRegion::Permutations, encode_perms(&snap.indexes.perm_fact_ids())),
+        (SegmentRegion::Buckets, encode_buckets(&snap.indexes.bucket_starts_vec())),
+        (SegmentRegion::Taxonomy, encode_taxonomy(&snap.taxonomy)),
+        (SegmentRegion::SameAs, encode_sameas(&snap.sameas)),
+        (SegmentRegion::Labels, encode_labels(&snap.labels)),
+    ];
+    assemble(MAGIC_BASE, FORMAT_VERSION_V1, regions)
+}
+
+/// Decodes and validates the index regions of a base or delta image,
+/// dispatching on the format version. `expected_len` / `is_base` carry
+/// the segment-kind invariants down to the validators.
+fn decode_indexes(
+    buf: &[u8],
+    entries: &[RegionEntry],
+    version: u32,
+    facts: &[Fact],
+    expected_len: usize,
+    is_base: bool,
+) -> Result<FrozenIndexes, StoreError> {
+    if version == FORMAT_VERSION_V1 {
+        let perms = decode_u32_arrays::<3>(
+            region(buf, entries, SegmentRegion::Permutations)?,
+            SegmentRegion::Permutations,
+        )?;
+        for p in &perms {
+            if p.len() != expected_len {
+                return Err(corrupt(
+                    SegmentRegion::Permutations,
+                    format!("permutation has {} entries, expected {expected_len}", p.len()),
+                ));
+            }
+        }
+        if is_base {
+            if let Some(&id) =
+                perms[0].iter().find(|&&id| facts.get(id as usize).is_none_or(|f| f.is_retracted()))
+            {
+                return Err(corrupt(
+                    SegmentRegion::Permutations,
+                    format!("permutation indexes retracted or missing fact {id}"),
+                ));
+            }
+        }
+        let starts = decode_u32_arrays::<3>(
+            region(buf, entries, SegmentRegion::Buckets)?,
+            SegmentRegion::Buckets,
+        )?;
+        FrozenIndexes::from_fact_perms(facts, perms, starts)
+    } else {
+        let (perms, starts) = decode_frames(region(buf, entries, SegmentRegion::Frames)?)?;
+        FrozenIndexes::from_frames(facts, expected_len, is_base, perms, starts)
+    }
+}
+
+/// Deserializes and fully validates a base snapshot image (either
+/// format version).
 pub(crate) fn snapshot_from_bytes(buf: &[u8]) -> Result<KbSnapshot, StoreError> {
-    let (_, entries) = parse_header(buf, Some(MAGIC_BASE))?;
+    let (_, version, entries) = parse_header(buf, Some(MAGIC_BASE))?;
 
     // The fact table comes first: the triple-dedup map and the
     // permutation validation both read it, while the dictionary decode
@@ -746,34 +899,8 @@ pub(crate) fn snapshot_from_bytes(buf: &[u8]) -> Result<KbSnapshot, StoreError> 
             }
             Ok(by_triple)
         });
-        let indexes = (|| -> Result<FrozenIndexes, StoreError> {
-            let perms = decode_u32_arrays::<3>(
-                region(buf, &entries, SegmentRegion::Permutations)?,
-                SegmentRegion::Permutations,
-            )?;
-            // A base segment indexes exactly its live facts.
-            for p in &perms {
-                if p.len() != live {
-                    return Err(corrupt(
-                        SegmentRegion::Permutations,
-                        format!("permutation has {} entries, expected {live} live facts", p.len()),
-                    ));
-                }
-            }
-            if let Some(&id) =
-                perms[0].iter().find(|&&id| facts.get(id as usize).is_none_or(|f| f.is_retracted()))
-            {
-                return Err(corrupt(
-                    SegmentRegion::Permutations,
-                    format!("permutation indexes retracted or missing fact {id}"),
-                ));
-            }
-            let starts = decode_u32_arrays::<3>(
-                region(buf, &entries, SegmentRegion::Buckets)?,
-                SegmentRegion::Buckets,
-            )?;
-            FrozenIndexes::from_fact_perms(&facts, perms, starts)
-        })();
+        // A base segment indexes exactly its live facts, none retracted.
+        let indexes = decode_indexes(buf, &entries, version, &facts, live, true);
         (
             dict_handle.join().expect("dictionary decode"),
             triple_handle.join().expect("triple map build"),
@@ -798,8 +925,7 @@ pub(crate) fn snapshot_from_bytes(buf: &[u8]) -> Result<KbSnapshot, StoreError> 
 // ---------------------------------------------------------------------
 // Delta segment image.
 
-/// Serializes a delta segment to its image (also the WAL payload).
-pub(crate) fn delta_to_bytes(delta: &DeltaSegment) -> Vec<u8> {
+fn delta_common_regions(delta: &DeltaSegment) -> Vec<(SegmentRegion, Vec<u8>)> {
     let mut meta = Vec::with_capacity(8);
     put_u32(&mut meta, delta.first_term().0);
     put_u32(&mut meta, delta.first_source_id());
@@ -810,16 +936,30 @@ pub(crate) fn delta_to_bytes(delta: &DeltaSegment) -> Vec<u8> {
         FactKind::Shadow => 1,
         FactKind::Tombstone => 2,
     }));
-    let regions = vec![
+    vec![
         (SegmentRegion::DeltaMeta, meta),
         (SegmentRegion::Dictionary, encode_terms(delta.ext_terms.iter(), delta.ext_terms.len())),
         (SegmentRegion::Sources, encode_terms(delta.ext_sources.iter(), delta.ext_sources.len())),
         (SegmentRegion::Facts, encode_facts(&delta.facts)),
         (SegmentRegion::Kinds, kinds),
-        (SegmentRegion::Permutations, encode_perms(&delta.indexes.perm_fact_ids())),
-        (SegmentRegion::Buckets, encode_buckets(delta.indexes.bucket_starts())),
-    ];
-    assemble(MAGIC_DELTA, regions)
+    ]
+}
+
+/// Serializes a delta segment to its image (also the WAL payload).
+pub(crate) fn delta_to_bytes(delta: &DeltaSegment) -> Vec<u8> {
+    let mut regions = delta_common_regions(delta);
+    regions.push((SegmentRegion::Frames, encode_frames(delta.indexes.frame_cols())));
+    assemble(MAGIC_DELTA, FORMAT_VERSION, regions)
+}
+
+/// Serializes a delta segment in the legacy v1 layout. Retained for
+/// compatibility tests only (old WAL records and delta files carry v1
+/// images that must keep replaying).
+pub(crate) fn delta_to_bytes_v1(delta: &DeltaSegment) -> Vec<u8> {
+    let mut regions = delta_common_regions(delta);
+    regions.push((SegmentRegion::Permutations, encode_perms(&delta.indexes.perm_fact_ids())));
+    regions.push((SegmentRegion::Buckets, encode_buckets(&delta.indexes.bucket_starts_vec())));
+    assemble(MAGIC_DELTA, FORMAT_VERSION_V1, regions)
 }
 
 /// Deserializes and fully validates a delta segment image. Whether the
@@ -828,7 +968,7 @@ pub(crate) fn delta_to_bytes(delta: &DeltaSegment) -> Vec<u8> {
 /// here ids are validated against the universe the delta itself declares
 /// (`first_term + ext_terms`, `first_source + ext_sources`).
 pub(crate) fn delta_from_bytes(buf: &[u8]) -> Result<DeltaSegment, StoreError> {
-    let (_, entries) = parse_header(buf, Some(MAGIC_DELTA))?;
+    let (_, version, entries) = parse_header(buf, Some(MAGIC_DELTA))?;
 
     let meta = region(buf, &entries, SegmentRegion::DeltaMeta)?;
     let mut cur = Cur::new(meta, SegmentRegion::DeltaMeta);
@@ -886,24 +1026,8 @@ pub(crate) fn delta_from_bytes(buf: &[u8]) -> Result<DeltaSegment, StoreError> {
     }
     cur.finish()?;
 
-    let perms = decode_u32_arrays::<3>(
-        region(buf, &entries, SegmentRegion::Permutations)?,
-        SegmentRegion::Permutations,
-    )?;
     // A delta indexes *all* its entries, tombstones included.
-    for p in &perms {
-        if p.len() != facts.len() {
-            return Err(corrupt(
-                SegmentRegion::Permutations,
-                format!("permutation has {} entries, expected {}", p.len(), facts.len()),
-            ));
-        }
-    }
-    let starts = decode_u32_arrays::<3>(
-        region(buf, &entries, SegmentRegion::Buckets)?,
-        SegmentRegion::Buckets,
-    )?;
-    let indexes = FrozenIndexes::from_fact_perms(&facts, perms, starts)?;
+    let indexes = decode_indexes(buf, &entries, version, &facts, facts.len(), false)?;
 
     Ok(DeltaSegment::from_parts(
         ext_terms,
@@ -965,6 +1089,16 @@ impl KbSnapshot {
         Ok(bytes.len() as u64)
     }
 
+    /// Writes this snapshot in the legacy v1 segment layout. Exists so
+    /// compatibility tests and tooling can produce old-format files;
+    /// normal code should use [`KbSnapshot::write_segment`].
+    #[doc(hidden)]
+    pub fn write_segment_v1(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
+        let bytes = snapshot_to_bytes_v1(self);
+        write_file_atomic(path.as_ref(), &bytes, true)?;
+        Ok(bytes.len() as u64)
+    }
+
     /// Opens a base segment file, validating every checksum and
     /// structural invariant. `O(n)` — no sorting, no re-indexing.
     pub fn open_segment(path: impl AsRef<Path>) -> Result<Self, StoreError> {
@@ -983,6 +1117,16 @@ impl DeltaSegment {
     /// (atomically; fsynced). Returns the number of bytes written.
     pub fn write_segment(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
         let bytes = delta_to_bytes(self);
+        write_file_atomic(path.as_ref(), &bytes, true)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Writes this delta in the legacy v1 segment layout. Exists so
+    /// compatibility tests can produce old-format files; normal code
+    /// should use [`DeltaSegment::write_segment`].
+    #[doc(hidden)]
+    pub fn write_segment_v1(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
+        let bytes = delta_to_bytes_v1(self);
         write_file_atomic(path.as_ref(), &bytes, true)?;
         Ok(bytes.len() as u64)
     }
@@ -1102,8 +1246,7 @@ mod tests {
             SegmentRegion::Dictionary,
             SegmentRegion::Sources,
             SegmentRegion::Facts,
-            SegmentRegion::Permutations,
-            SegmentRegion::Buckets,
+            SegmentRegion::Frames,
             SegmentRegion::Taxonomy,
             SegmentRegion::SameAs,
             SegmentRegion::Labels,
@@ -1117,6 +1260,53 @@ mod tests {
         assert_eq!(ranges.last().unwrap().end, bytes.len());
         for w in ranges.windows(2) {
             assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn v1_images_still_open_identically() {
+        // The reader must keep accepting the legacy layout: same dump,
+        // same query results, and the reopened snapshot re-serializes
+        // into a byte-identical *v2* image (proving the index rebuild
+        // is exact, not merely equivalent).
+        let snap = sample_snapshot();
+        let v1 = snapshot_to_bytes_v1(&snap);
+        assert_eq!(v1[4], FORMAT_VERSION_V1 as u8);
+        let reopened = snapshot_from_bytes(&v1).unwrap();
+        assert_eq!(
+            crate::ntriples::to_string(&snap).unwrap(),
+            crate::ntriples::to_string(&reopened).unwrap()
+        );
+        assert_eq!(snapshot_to_bytes(&snap), snapshot_to_bytes(&reopened));
+
+        let view = SegmentedSnapshot::from_base(sample_snapshot().into_shared());
+        let mut d = KbBuilder::new();
+        d.assert_str("Tim_Cook", "worksAt", "Apple_Inc");
+        d.retract_str("Steve_Jobs", "bornIn", "SF");
+        let delta = d.freeze_delta(&view);
+        let v1 = delta_to_bytes_v1(&delta);
+        assert_eq!(v1[4], FORMAT_VERSION_V1 as u8);
+        let reopened = delta_from_bytes(&v1).unwrap();
+        assert_eq!(delta_to_bytes(&delta), delta_to_bytes(&reopened));
+        let a = view.with_delta(Arc::new(delta));
+        let b = view.try_with_delta(Arc::new(reopened)).unwrap();
+        assert_eq!(
+            crate::ntriples::to_string(&a).unwrap(),
+            crate::ntriples::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn every_flipped_byte_in_a_v1_image_is_caught() {
+        let bytes = snapshot_to_bytes_v1(&sample_snapshot());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xA5;
+            match snapshot_from_bytes(&bad) {
+                Err(StoreError::Corrupt { .. }) => {}
+                Err(other) => panic!("byte {i}: unexpected error kind {other:?}"),
+                Ok(_) => panic!("byte {i}: corruption accepted silently"),
+            }
         }
     }
 

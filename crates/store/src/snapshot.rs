@@ -1,31 +1,39 @@
-//! The read side of the storage engine: `FrozenIndexes` (sorted-array
-//! SPO/POS/OSP permutations answered by binary-search range scans), the
-//! zero-alloc query iterators, and the immutable, `Arc`-shareable
-//! [`KbSnapshot`].
+//! The read side of the storage engine: `FrozenIndexes` (compressed
+//! frame-backed SPO/POS/OSP permutations answered by binary-search
+//! range scans), the zero-alloc query iterators, the columnar batch
+//! cursors, and the immutable, `Arc`-shareable [`KbSnapshot`].
 //!
-//! Index layout: each permutation is a `Vec<((TermId, TermId, TermId),
-//! FactId)>` sorted by the permuted key, paired with a per-leading-term
-//! offset array (`starts`). A [`TriplePattern`] with a bound leading
-//! term jumps straight to its bucket — `starts[t] .. starts[t + 1]` —
-//! in `O(1)`; any remaining bound components narrow the bucket with
-//! `partition_point` searches that touch only the (cache-resident)
-//! bucket instead of the whole array (see
-//! [`TriplePattern::choose_index`] for the shape→index mapping).
-//! Iteration then walks the slice and resolves each `FactId` straight
-//! into the fact table — no hash lookups, no per-call `Vec`.
+//! Index layout: each permutation stores four compressed
+//! [`ColFrames`] columns — the three key components in permuted order
+//! plus the fact id — alongside a per-leading-term offset column
+//! (`starts`). A [`TriplePattern`] with a bound leading term jumps
+//! straight to its bucket — `starts[t] .. starts[t + 1]` — in `O(1)`;
+//! any remaining bound components narrow the bucket with binary
+//! searches whose probes go through the *bitpacked* fact-id column
+//! (constant-time random access) into the fact table, so point lookups
+//! never pay a sequential frame decode. Scans then stream the bucket
+//! through a `SegCursor`, which decodes one frame-sized window at a
+//! time (or takes a constant-time fid path for small ranges).
 //!
-//! The same iterators also serve layered views: a
-//! [`SegmentedSnapshot`](crate::SegmentedSnapshot) opens one
-//! cursor per segment and [`MatchIter`] k-way merges them by
-//! minimum key, with the *newest* segment holding a key winning
-//! (shadowing) and delta tombstones suppressing older assertions.
-//! Monolithic views keep an empty delta stack and take the original
-//! single-slice fast path — no merge overhead, no per-row allocation.
+//! The same cursors also serve layered views: a
+//! [`SegmentedSnapshot`](crate::SegmentedSnapshot) opens one cursor
+//! per segment and [`MatchIter`] k-way merges them by minimum key,
+//! with the *newest* segment holding a key winning (shadowing) and
+//! delta tombstones suppressing older assertions. Monolithic views
+//! keep an empty delta stack and take the single-cursor fast path —
+//! no merge overhead, no per-row allocation.
+//!
+//! [`MatchBatches`] is the vectorized face of the same machinery: it
+//! emits ~[`BATCH_ROWS`]-row columnar [`TripleBatch`]es, splicing the
+//! decoded key windows directly into the output columns on the
+//! monolithic unfiltered path (no per-row iterator step, no fact-table
+//! deref).
 
 use std::sync::Arc;
 
 use crate::builder::KbCore;
 use crate::fact::{Fact, Triple};
+use crate::frames::{ColFrames, FRAME_ROWS};
 use crate::ids::{FactId, TermId};
 use crate::labels::LabelStore;
 use crate::pattern::{IndexChoice, TriplePattern};
@@ -39,30 +47,103 @@ use crate::Dictionary;
 
 pub(crate) type Key = (TermId, TermId, TermId);
 
-/// The three sorted permutation arrays of a frozen store, each paired
-/// with a per-leading-term offset array.
-///
-/// Built once from the fact table in `O(n log n)`; answering a pattern
-/// with a bound leading term is an `O(1)` bucket lookup plus
-/// `O(log b + k)` for a bucket of size `b` and `k` results, with an
-/// exact count in the same bounds for every shape.
-#[derive(Debug, Default, Clone)]
-pub(crate) struct FrozenIndexes {
-    spo: Vec<(Key, FactId)>,
-    pos: Vec<(Key, FactId)>,
-    osp: Vec<(Key, FactId)>,
-    /// `spo[spo_starts[s] .. spo_starts[s + 1]]` is subject `s`'s bucket.
-    spo_starts: Vec<u32>,
-    /// `pos[pos_starts[p] .. pos_starts[p + 1]]` is predicate `p`'s bucket.
-    pos_starts: Vec<u32>,
-    /// `osp[osp_starts[o] .. osp_starts[o + 1]]` is object `o`'s bucket.
-    osp_starts: Vec<u32>,
+/// Rows per columnar batch emitted by [`MatchBatches`] (and the query
+/// engine's binding batches). Matches the frame size so the monolithic
+/// fast path can splice whole decoded windows.
+pub const BATCH_ROWS: usize = 1024;
+
+/// Ranges at or below this size fill their cursor window through the
+/// `O(1)` bitpacked fact-id column instead of decoding key frames —
+/// point lookups and narrow joins never pay a varint prefix decode.
+const SMALL_SCAN: usize = 64;
+
+/// Permutes a triple into one index's key order.
+fn permute(choice: IndexChoice, t: &Triple) -> Key {
+    match choice {
+        IndexChoice::Spo => t.spo_key(),
+        IndexChoice::Pos => t.pos_key(),
+        IndexChoice::Osp => t.osp_key(),
+    }
 }
 
-/// Prefix-sum offsets over the leading term of a sorted permutation:
+/// Inverts a permuted index key back into the `(s, p, o)` triple.
+fn unpermute(choice: IndexChoice, k: Key) -> Triple {
+    match choice {
+        IndexChoice::Spo => Triple::new(k.0, k.1, k.2),
+        IndexChoice::Pos => Triple::new(k.2, k.0, k.1),
+        IndexChoice::Osp => Triple::new(k.1, k.2, k.0),
+    }
+}
+
+/// One compressed permutation: the three key columns in permuted order
+/// plus the fact-id column. Key columns may use any frame encoding;
+/// the fact-id column is always bitpacked so random probes are `O(1)`.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PermFrames {
+    k0: ColFrames,
+    k1: ColFrames,
+    k2: ColFrames,
+    fid: ColFrames,
+}
+
+impl PermFrames {
+    fn from_entries(entries: &[(Key, FactId)]) -> Self {
+        let n = entries.len();
+        let (mut k0, mut k1, mut k2, mut fid) = (
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+            Vec::with_capacity(n),
+        );
+        for &((a, b, c), id) in entries {
+            k0.push(a.0);
+            k1.push(b.0);
+            k2.push(c.0);
+            fid.push(id.0);
+        }
+        Self {
+            k0: ColFrames::from_values(&k0),
+            k1: ColFrames::from_values(&k1),
+            k2: ColFrames::from_values(&k2),
+            fid: ColFrames::from_values_packed(&fid),
+        }
+    }
+
+    pub(crate) fn from_cols(k0: ColFrames, k1: ColFrames, k2: ColFrames, fid: ColFrames) -> Self {
+        Self { k0, k1, k2, fid }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.fid.len()
+    }
+
+    pub(crate) fn cols(&self) -> [&ColFrames; 4] {
+        [&self.k0, &self.k1, &self.k2, &self.fid]
+    }
+
+    /// The key at row `i`, probed through the `O(1)` fact-id column
+    /// and the fact table (never the possibly-varint key columns).
+    fn key_at(&self, facts: &[Fact], choice: IndexChoice, i: usize) -> Key {
+        permute(choice, &facts[self.fid.get(i) as usize].triple)
+    }
+}
+
+/// Prefix-sum offsets over a sorted leading-key column:
 /// `starts[t] .. starts[t + 1]` brackets term `t`'s entries. Terms past
 /// the largest seen leading id have no slot (callers treat out-of-range
 /// as empty).
+pub(crate) fn starts_from_leading(leading: &[u32]) -> Vec<u32> {
+    let top = leading.last().map_or(0, |&a| a as usize + 1);
+    let mut starts = vec![0u32; top + 1];
+    for &a in leading {
+        starts[a as usize + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    starts
+}
+
 fn starts_of(entries: &[(Key, FactId)]) -> Vec<u32> {
     let top = entries.last().map_or(0, |&((a, _, _), _)| a.index() + 1);
     let mut starts = vec![0u32; top + 1];
@@ -73,6 +154,72 @@ fn starts_of(entries: &[(Key, FactId)]) -> Vec<u32> {
         starts[i] += starts[i - 1];
     }
     starts
+}
+
+/// Binary search: the first `i` in `[lo, hi)` with `!below(i)`.
+fn partition(mut lo: usize, mut hi: usize, mut below: impl FnMut(usize) -> bool) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if below(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Size and compression accounting for a set of frozen indexes.
+/// `raw_bytes` is what the pre-compression layout (16-byte
+/// key+fact-id entries plus 4-byte bucket slots) would occupy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Permutation entries across the three indexes.
+    pub entries: usize,
+    /// Offset-bucket slots across the three indexes.
+    pub bucket_slots: usize,
+    /// Compression frames across all columns.
+    pub frames: usize,
+    /// Resident bytes of the compressed columns.
+    pub compressed_bytes: usize,
+    /// Bytes the uncompressed sorted-array layout would use.
+    pub raw_bytes: usize,
+}
+
+impl IndexStats {
+    /// Accumulates another segment's stats (for segmented views).
+    pub fn absorb(&mut self, other: &IndexStats) {
+        self.entries += other.entries;
+        self.bucket_slots += other.bucket_slots;
+        self.frames += other.frames;
+        self.compressed_bytes += other.compressed_bytes;
+        self.raw_bytes += other.raw_bytes;
+    }
+
+    /// Fraction of the raw layout saved by compression, in `[0, 1]`.
+    pub fn saved_ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.compressed_bytes as f64 / self.raw_bytes as f64
+    }
+}
+
+/// The three compressed permutation indexes of a frozen store, each
+/// paired with a per-leading-term offset column.
+///
+/// Built once from the fact table in `O(n log n)`; answering a pattern
+/// with a bound leading term is an `O(1)` bucket lookup plus
+/// `O(log b)` fid-probe narrowing for a bucket of size `b`, with an
+/// exact count in the same bounds for every shape.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FrozenIndexes {
+    spo: PermFrames,
+    pos: PermFrames,
+    osp: PermFrames,
+    spo_starts: ColFrames,
+    pos_starts: ColFrames,
+    osp_starts: ColFrames,
 }
 
 impl FrozenIndexes {
@@ -93,10 +240,17 @@ impl FrozenIndexes {
         spo.sort_unstable();
         pos.sort_unstable();
         osp.sort_unstable();
-        let spo_starts = starts_of(&spo);
-        let pos_starts = starts_of(&pos);
-        let osp_starts = starts_of(&osp);
-        Self { spo, pos, osp, spo_starts, pos_starts, osp_starts }
+        let spo_starts = ColFrames::from_values_packed(&starts_of(&spo));
+        let pos_starts = ColFrames::from_values_packed(&starts_of(&pos));
+        let osp_starts = ColFrames::from_values_packed(&starts_of(&osp));
+        Self {
+            spo: PermFrames::from_entries(&spo),
+            pos: PermFrames::from_entries(&pos),
+            osp: PermFrames::from_entries(&osp),
+            spo_starts,
+            pos_starts,
+            osp_starts,
+        }
     }
 
     /// Indexes every live fact in `facts` (retracted entries are
@@ -127,21 +281,64 @@ impl FrozenIndexes {
     }
 
     /// The three permutation columns as fact-id arrays (SPO, POS, OSP
-    /// order) — the serialized form: keys are redundant with the fact
-    /// table, so the segment writer stores only the ids.
+    /// order) — the v1 serialized form: keys are redundant with the
+    /// fact table, so the legacy segment writer stores only the ids.
     pub(crate) fn perm_fact_ids(&self) -> [Vec<u32>; 3] {
-        let ids = |v: &[(Key, FactId)]| v.iter().map(|&(_, id)| id.0).collect();
-        [ids(&self.spo), ids(&self.pos), ids(&self.osp)]
+        [self.spo.fid.values(), self.pos.fid.values(), self.osp.fid.values()]
     }
 
-    /// The three offset-bucket arrays (SPO, POS, OSP order).
-    pub(crate) fn bucket_starts(&self) -> [&[u32]; 3] {
-        [&self.spo_starts, &self.pos_starts, &self.osp_starts]
+    /// The three offset-bucket arrays (SPO, POS, OSP order), decoded —
+    /// for the v1 segment writer.
+    pub(crate) fn bucket_starts_vec(&self) -> [Vec<u32>; 3] {
+        [self.spo_starts.values(), self.pos_starts.values(), self.osp_starts.values()]
+    }
+
+    /// The fifteen compressed columns in serialization order: for each
+    /// of SPO/POS/OSP the `k0,k1,k2,fid` columns, then the three starts
+    /// columns.
+    pub(crate) fn frame_cols(&self) -> [&ColFrames; 15] {
+        let [s0, s1, s2, s3] = self.spo.cols();
+        let [p0, p1, p2, p3] = self.pos.cols();
+        let [o0, o1, o2, o3] = self.osp.cols();
+        [
+            s0,
+            s1,
+            s2,
+            s3,
+            p0,
+            p1,
+            p2,
+            p3,
+            o0,
+            o1,
+            o2,
+            o3,
+            &self.spo_starts,
+            &self.pos_starts,
+            &self.osp_starts,
+        ]
+    }
+
+    /// Size and compression accounting across every column.
+    pub(crate) fn stats(&self) -> IndexStats {
+        let mut st = IndexStats {
+            entries: 3 * self.spo.len(),
+            bucket_slots: self.spo_starts.len() + self.pos_starts.len() + self.osp_starts.len(),
+            ..IndexStats::default()
+        };
+        for col in self.frame_cols() {
+            st.frames += col.n_frames();
+            st.compressed_bytes += col.compressed_bytes();
+        }
+        // A raw entry is a 12-byte key plus a 4-byte fact id; a raw
+        // bucket slot is one u32.
+        st.raw_bytes = st.entries * 16 + st.bucket_slots * 4;
+        st
     }
 
     /// Reassembles frozen indexes from serialized fact-id permutations
-    /// and offset buckets, re-deriving each key from the fact table in
-    /// one linear pass (no sort — this is what makes cold-start cheap).
+    /// and offset buckets (v1 segments), re-deriving each key from the
+    /// fact table in one linear pass.
     ///
     /// Validates everything a checksum cannot: ids in range, keys
     /// non-decreasing in each permutation, buckets exactly the prefix
@@ -159,7 +356,7 @@ impl FrozenIndexes {
         let build = |ids: &[u32],
                      key_of: fn(&Triple) -> Key,
                      starts: &[u32]|
-         -> Result<Vec<(Key, FactId)>, crate::StoreError> {
+         -> Result<(PermFrames, ColFrames), crate::StoreError> {
             let mut out = Vec::with_capacity(ids.len());
             let mut prev: Option<Key> = None;
             for &id in ids {
@@ -185,86 +382,280 @@ impl FrozenIndexes {
                     "offset buckets disagree with the permutation entries".into(),
                 ));
             }
-            Ok(out)
+            Ok((PermFrames::from_entries(&out), ColFrames::from_values_packed(starts)))
         };
         // The three permutations are independent reads over the shared
-        // fact table; validating them is the most expensive step of a
-        // cold open, so fan out across threads.
+        // fact table; validating and compressing them is the most
+        // expensive step of a v1 cold open, so fan out across threads.
         let (spo, pos, osp) = std::thread::scope(|s| {
             let pos = s.spawn(|| build(&pos_ids, |t| t.pos_key(), &pos_starts));
             let osp = s.spawn(|| build(&osp_ids, |t| t.osp_key(), &osp_starts));
             let spo = build(&spo_ids, |t| t.spo_key(), &spo_starts);
             (spo, pos.join().expect("pos build"), osp.join().expect("osp build"))
         });
-        let (spo, pos, osp) = (spo?, pos?, osp?);
+        let ((spo, spo_starts), (pos, pos_starts), (osp, osp_starts)) = (spo?, pos?, osp?);
         Ok(Self { spo, pos, osp, spo_starts, pos_starts, osp_starts })
     }
 
-    /// Locates the contiguous slice answering `pattern` plus the
-    /// post-filter kept for the `s?o` shape (its slice is already
-    /// exact; the filter only preserves the conservative size hint).
-    pub(crate) fn select<'a>(
+    /// Reassembles frozen indexes straight from deserialized compressed
+    /// columns (v2 segments) — the frames are validated against the
+    /// fact table but *not* re-encoded, which is what keeps the v2 cold
+    /// open linear.
+    ///
+    /// `expected_len` is the entry count every permutation must have
+    /// (live facts for a base segment, all facts for a delta);
+    /// `is_base` additionally forbids retracted facts in the index.
+    pub(crate) fn from_frames(
+        facts: &[Fact],
+        expected_len: usize,
+        is_base: bool,
+        perms: [PermFrames; 3],
+        starts: [ColFrames; 3],
+    ) -> Result<Self, crate::StoreError> {
+        use crate::error::SegmentRegion;
+        let corrupt =
+            |detail: String| crate::StoreError::Corrupt { region: SegmentRegion::Frames, detail };
+        let validate = |perm: &PermFrames,
+                        starts: &ColFrames,
+                        key_of: fn(&Triple) -> Key|
+         -> Result<(), crate::StoreError> {
+            for col in perm.cols() {
+                if col.len() != expected_len {
+                    return Err(corrupt(format!(
+                        "permutation column has {} rows, expected {expected_len}",
+                        col.len()
+                    )));
+                }
+            }
+            if perm.fid.has_varint() || starts.has_varint() {
+                return Err(corrupt("sequential-only encoding in a random-access column".into()));
+            }
+            let fids = perm.fid.values();
+            let (k0, k1, k2) = (perm.k0.values(), perm.k1.values(), perm.k2.values());
+            let mut prev: Option<Key> = None;
+            for (i, &id) in fids.iter().enumerate() {
+                let fact = facts.get(id as usize).ok_or_else(|| {
+                    corrupt(format!("fact id {id} out of range ({} facts)", facts.len()))
+                })?;
+                if is_base && fact.is_retracted() {
+                    return Err(corrupt("retracted fact indexed in a base segment".into()));
+                }
+                let key = key_of(&fact.triple);
+                if (key.0 .0, key.1 .0, key.2 .0) != (k0[i], k1[i], k2[i]) {
+                    return Err(corrupt("key columns disagree with the fact table".into()));
+                }
+                if prev.is_some_and(|p| p > key) {
+                    return Err(corrupt("permutation column is not sorted".into()));
+                }
+                prev = Some(key);
+            }
+            if starts.values() != starts_from_leading(&k0) {
+                return Err(corrupt("offset buckets disagree with the permutation entries".into()));
+            }
+            Ok(())
+        };
+        let [spo, pos, osp] = perms;
+        let [spo_starts, pos_starts, osp_starts] = starts;
+        let (r_spo, r_pos, r_osp) = std::thread::scope(|s| {
+            let rp = s.spawn(|| validate(&pos, &pos_starts, |t| t.pos_key()));
+            let ro = s.spawn(|| validate(&osp, &osp_starts, |t| t.osp_key()));
+            let rs = validate(&spo, &spo_starts, |t| t.spo_key());
+            (rs, rp.join().expect("pos validate"), ro.join().expect("osp validate"))
+        });
+        r_spo?;
+        r_pos?;
+        r_osp?;
+        Ok(Self { spo, pos, osp, spo_starts, pos_starts, osp_starts })
+    }
+
+    /// Locates the row range answering `pattern` and opens a cursor
+    /// over it, plus the post-filter kept for the `s?o` shape (its
+    /// range is already exact; the filter only preserves the
+    /// conservative size hint).
+    pub(crate) fn cursor<'a>(
         &'a self,
         pattern: &TriplePattern,
-    ) -> (&'a [(Key, FactId)], Option<TriplePattern>) {
+        facts: &'a [Fact],
+    ) -> (SegCursor<'a>, Option<TriplePattern>) {
         let choice = pattern.choose_index();
-        let (index, starts, (a, b, c)) = match choice {
+        let (perm, starts, (a, b, c)) = match choice {
             IndexChoice::Spo => (&self.spo, &self.spo_starts, (pattern.s, pattern.p, pattern.o)),
             IndexChoice::Pos => (&self.pos, &self.pos_starts, (pattern.p, pattern.o, pattern.s)),
             IndexChoice::Osp => (&self.osp, &self.osp_starts, (pattern.o, pattern.s, pattern.p)),
         };
         let filter = (pattern.bound_count() == 2 && pattern.p.is_none()).then_some(*pattern);
-        // Leading term bound → O(1) bucket lookup via the offset array.
+        // Leading term bound → O(1) bucket lookup via the offset column.
         // (`choose_index` only leaves the leading term unbound for the
         // all-wildcard pattern, which scans the whole index.)
-        let slice: &[(Key, FactId)] = match a {
-            None => index,
+        let (lo, hi) = match a {
+            None => (0, perm.len()),
             Some(a) => {
                 let i = a.index();
                 if i + 1 >= starts.len() {
-                    return (&index[0..0], filter);
+                    return (SegCursor::new(perm, facts, choice, 0, 0), filter);
                 }
-                &index[starts[i] as usize..starts[i + 1] as usize]
+                (starts.get(i) as usize, starts.get(i + 1) as usize)
             }
         };
-        // Remaining bound components narrow within the bucket.
-        let slice = match (b, c) {
-            (None, _) => slice,
+        // Remaining bound components narrow within the bucket; probes
+        // go through the O(1) fid column into the fact table.
+        let (lo, hi) = match (b, c) {
+            (None, _) => (lo, hi),
             (Some(b), None) => {
-                let start = slice.partition_point(|&((_, kb, _), _)| kb < b);
-                let end = start + slice[start..].partition_point(|&((_, kb, _), _)| kb <= b);
-                &slice[start..end]
+                let s = partition(lo, hi, |i| perm.key_at(facts, choice, i).1 < b);
+                let e = partition(s, hi, |i| perm.key_at(facts, choice, i).1 <= b);
+                (s, e)
             }
             (Some(b), Some(c)) => {
-                let start = slice.partition_point(|&((_, kb, kc), _)| (kb, kc) < (b, c));
-                let end =
-                    start + slice[start..].partition_point(|&((_, kb, kc), _)| (kb, kc) <= (b, c));
-                &slice[start..end]
+                let key12 = |i| {
+                    let k = perm.key_at(facts, choice, i);
+                    (k.1, k.2)
+                };
+                let s = partition(lo, hi, |i| key12(i) < (b, c));
+                let e = partition(s, hi, |i| key12(i) <= (b, c));
+                (s, e)
             }
         };
-        (slice, filter)
+        (SegCursor::new(perm, facts, choice, lo, hi), filter)
     }
 }
 
-/// One segment's contribution to a merged scan: the selected index
-/// slice plus the segment's fact table to resolve ids against. Advanced
-/// by re-slicing — no allocation per row.
+/// One segment's contribution to a merged scan: a row range of one
+/// permutation plus the segment's fact table. Decodes one frame-sized
+/// window at a time; ranges at or below [`SMALL_SCAN`] rows fill
+/// through the `O(1)` fid column instead, so point lookups never pay a
+/// frame decode.
 #[derive(Debug, Clone)]
 pub(crate) struct SegCursor<'a> {
-    entries: &'a [(Key, FactId)],
+    perm: &'a PermFrames,
     facts: &'a [Fact],
+    choice: IndexChoice,
+    /// Next row to yield (absolute).
+    pos: usize,
+    /// Exclusive end of the selected range (absolute).
+    end: usize,
+    /// Absolute row of the decoded window's first element.
+    win_start: usize,
+    k0: Vec<u32>,
+    k1: Vec<u32>,
+    k2: Vec<u32>,
+    fid: Vec<u32>,
 }
 
 impl<'a> SegCursor<'a> {
-    pub(crate) fn new(entries: &'a [(Key, FactId)], facts: &'a [Fact]) -> Self {
-        Self { entries, facts }
+    fn new(
+        perm: &'a PermFrames,
+        facts: &'a [Fact],
+        choice: IndexChoice,
+        pos: usize,
+        end: usize,
+    ) -> Self {
+        Self {
+            perm,
+            facts,
+            choice,
+            pos,
+            end,
+            win_start: pos,
+            k0: Vec::new(),
+            k1: Vec::new(),
+            k2: Vec::new(),
+            fid: Vec::new(),
+        }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.end - self.pos
+    }
+
+    fn fill(&mut self) {
+        self.k0.clear();
+        self.k1.clear();
+        self.k2.clear();
+        self.fid.clear();
+        self.win_start = self.pos;
+        if self.pos >= self.end {
+            return;
+        }
+        if self.end - self.pos <= SMALL_SCAN {
+            // Small range: O(1) fid probes + fact-table derefs beat
+            // decoding (possibly varint) key frames.
+            for i in self.pos..self.end {
+                let id = self.perm.fid.get(i);
+                let (a, b, c) = permute(self.choice, &self.facts[id as usize].triple);
+                self.k0.push(a.0);
+                self.k1.push(b.0);
+                self.k2.push(c.0);
+                self.fid.push(id);
+            }
+            return;
+        }
+        // Decode to the end of the current frame (keeps every later
+        // fill frame-aligned, so varint frames decode exactly once).
+        let stop = self.end.min((self.pos / FRAME_ROWS + 1) * FRAME_ROWS);
+        self.perm.k0.decode_range(self.pos, stop, &mut self.k0);
+        self.perm.k1.decode_range(self.pos, stop, &mut self.k1);
+        self.perm.k2.decode_range(self.pos, stop, &mut self.k2);
+        self.perm.fid.decode_range(self.pos, stop, &mut self.fid);
+    }
+
+    #[inline]
+    fn ensure(&mut self) {
+        if self.pos >= self.win_start + self.fid.len() {
+            self.fill();
+        }
+    }
+
+    #[inline]
+    fn idx(&self) -> usize {
+        self.pos - self.win_start
+    }
+
+    pub(crate) fn peek_key(&mut self) -> Option<Key> {
+        if self.pos >= self.end {
+            return None;
+        }
+        self.ensure();
+        let i = self.idx();
+        Some((TermId(self.k0[i]), TermId(self.k1[i]), TermId(self.k2[i])))
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(Key, &'a Fact)> {
+        let key = self.peek_key()?;
+        let facts: &'a [Fact] = self.facts;
+        let fact = &facts[self.fid[self.idx()] as usize];
+        self.pos += 1;
+        Some((key, fact))
+    }
+
+    pub(crate) fn pop_key(&mut self) -> Option<Key> {
+        let key = self.peek_key()?;
+        self.pos += 1;
+        Some(key)
+    }
+
+    /// The decoded key/fid windows at the cursor head (all four the
+    /// same length; empty iff exhausted). Consume with
+    /// [`skip`](Self::skip).
+    pub(crate) fn windows(&mut self) -> (&[u32], &[u32], &[u32], &[u32]) {
+        if self.pos >= self.end {
+            return (&[], &[], &[], &[]);
+        }
+        self.ensure();
+        let i = self.idx();
+        (&self.k0[i..], &self.k1[i..], &self.k2[i..], &self.fid[i..])
+    }
+
+    pub(crate) fn skip(&mut self, n: usize) {
+        debug_assert!(self.pos + n <= self.end);
+        self.pos += n;
     }
 }
 
 /// Streaming cursor over the live facts matching one [`TriplePattern`],
 /// in permutation-index order. Yields `&Fact` without allocating.
 ///
-/// For a monolithic view this walks one contiguous index slice. For a
+/// For a monolithic view this walks one cursor. For a
 /// [`SegmentedSnapshot`](crate::SegmentedSnapshot) it k-way merges the
 /// base cursor with one cursor per delta segment: at each step the
 /// minimum key across cursor heads is taken, every cursor sitting on
@@ -279,31 +670,22 @@ pub struct MatchIter<'a> {
     /// Base (oldest) segment cursor.
     head: SegCursor<'a>,
     /// Delta cursors, oldest → newest. Empty for monolithic views,
-    /// which keep the single-slice fast path.
+    /// which keep the single-cursor fast path.
     deltas: Vec<SegCursor<'a>>,
     filter: Option<TriplePattern>,
-    /// Which permutation the keys come from (lets [`TriplesIter`]
-    /// reconstruct triples from keys without touching the fact table).
-    choice: IndexChoice,
 }
 
 impl<'a> MatchIter<'a> {
-    pub(crate) fn new(
-        entries: &'a [(Key, FactId)],
-        facts: &'a [Fact],
-        filter: Option<TriplePattern>,
-        choice: IndexChoice,
-    ) -> Self {
-        Self { head: SegCursor::new(entries, facts), deltas: Vec::new(), filter, choice }
+    pub(crate) fn new(head: SegCursor<'a>, filter: Option<TriplePattern>) -> Self {
+        Self { head, deltas: Vec::new(), filter }
     }
 
     pub(crate) fn with_deltas(
         head: SegCursor<'a>,
         deltas: Vec<SegCursor<'a>>,
         filter: Option<TriplePattern>,
-        choice: IndexChoice,
     ) -> Self {
-        Self { head, deltas, filter, choice }
+        Self { head, deltas, filter }
     }
 
     /// Consumes the cursor and returns the exact number of remaining
@@ -312,7 +694,7 @@ impl<'a> MatchIter<'a> {
     /// make the count data-dependent).
     pub fn exact_count(self) -> usize {
         if self.deltas.is_empty() && self.filter.is_none() {
-            return self.head.entries.len();
+            return self.head.remaining();
         }
         self.count()
     }
@@ -322,9 +704,9 @@ impl<'a> MatchIter<'a> {
     /// Only called on segmented views (`deltas` non-empty).
     fn merge_next(&mut self) -> Option<&'a Fact> {
         loop {
-            let mut min: Option<Key> = self.head.entries.first().map(|&(k, _)| k);
-            for c in &self.deltas {
-                if let Some(&(k, _)) = c.entries.first() {
+            let mut min: Option<Key> = self.head.peek_key();
+            for c in self.deltas.iter_mut() {
+                if let Some(k) = c.peek_key() {
                     if min.is_none_or(|m| k < m) {
                         min = Some(k);
                     }
@@ -334,18 +716,12 @@ impl<'a> MatchIter<'a> {
             // Advance every cursor sitting on the key; cursors run
             // oldest → newest, so the last holder is authoritative.
             let mut winner: Option<&'a Fact> = None;
-            if let Some((&(k, id), rest)) = self.head.entries.split_first() {
-                if k == min {
-                    winner = Some(&self.head.facts[id.index()]);
-                    self.head.entries = rest;
-                }
+            if self.head.peek_key() == Some(min) {
+                winner = Some(self.head.pop().expect("head holds the min key").1);
             }
             for c in self.deltas.iter_mut() {
-                if let Some((&(k, id), rest)) = c.entries.split_first() {
-                    if k == min {
-                        winner = Some(&c.facts[id.index()]);
-                        c.entries = rest;
-                    }
+                if c.peek_key() == Some(min) {
+                    winner = Some(c.pop().expect("delta holds the min key").1);
                 }
             }
             let fact = winner.expect("the min key has at least one holder");
@@ -362,9 +738,7 @@ impl<'a> Iterator for MatchIter<'a> {
 
     fn next(&mut self) -> Option<&'a Fact> {
         if self.deltas.is_empty() {
-            while let Some((&(_, id), rest)) = self.head.entries.split_first() {
-                self.head.entries = rest;
-                let fact = &self.head.facts[id.index()];
+            while let Some((_, fact)) = self.head.pop() {
                 match self.filter {
                     None => return Some(fact),
                     Some(p) if p.matches(&fact.triple) => return Some(fact),
@@ -384,8 +758,7 @@ impl<'a> Iterator for MatchIter<'a> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n =
-            self.head.entries.len() + self.deltas.iter().map(|c| c.entries.len()).sum::<usize>();
+        let n = self.head.remaining() + self.deltas.iter().map(|c| c.remaining()).sum::<usize>();
         if self.deltas.is_empty() && self.filter.is_none() {
             (n, Some(n))
         } else {
@@ -399,21 +772,12 @@ impl<'a> Iterator for MatchIter<'a> {
 /// [`MatchIter`]). Returned by [`KbRead::triples_iter`].
 ///
 /// On a monolithic view each triple is reconstructed by un-permuting
-/// the index key — the fact table is never touched, so a triple
-/// projection stays inside the contiguous index slice. A segmented view
-/// must consult the winning fact anyway (tombstone check), so it
-/// projects the merged fact's triple.
+/// the decoded index key — the fact table is never touched, so a
+/// triple projection stays inside the decoded frame windows. A
+/// segmented view must consult the winning fact anyway (tombstone
+/// check), so it projects the merged fact's triple.
 #[derive(Debug, Clone)]
 pub struct TriplesIter<'a>(pub(crate) MatchIter<'a>);
-
-/// Inverts a permuted index key back into the `(s, p, o)` triple.
-fn unpermute(choice: IndexChoice, k: Key) -> Triple {
-    match choice {
-        IndexChoice::Spo => Triple::new(k.0, k.1, k.2),
-        IndexChoice::Pos => Triple::new(k.2, k.0, k.1),
-        IndexChoice::Osp => Triple::new(k.1, k.2, k.0),
-    }
-}
 
 impl Iterator for TriplesIter<'_> {
     type Item = Triple;
@@ -421,9 +785,9 @@ impl Iterator for TriplesIter<'_> {
     fn next(&mut self) -> Option<Triple> {
         let it = &mut self.0;
         if it.deltas.is_empty() {
-            while let Some((&(k, _), rest)) = it.head.entries.split_first() {
-                it.head.entries = rest;
-                let t = unpermute(it.choice, k);
+            let choice = it.head.choice;
+            while let Some(k) = it.head.pop_key() {
+                let t = unpermute(choice, k);
                 match it.filter {
                     None => return Some(t),
                     Some(p) if p.matches(&t) => return Some(t),
@@ -444,6 +808,123 @@ impl Iterator for TriplesIter<'_> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         self.0.size_hint()
+    }
+}
+
+/// A columnar batch of matching triples: three parallel `TermId`
+/// columns, at most [`BATCH_ROWS`] rows. The unit of vectorized
+/// execution — filled by [`MatchBatches`] and consumed by the query
+/// engine's batch operators.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TripleBatch {
+    /// Subject column.
+    pub s: Vec<TermId>,
+    /// Predicate column.
+    pub p: Vec<TermId>,
+    /// Object column.
+    pub o: Vec<TermId>,
+}
+
+impl TripleBatch {
+    /// An empty batch with [`BATCH_ROWS`] capacity per column.
+    pub fn new() -> Self {
+        Self {
+            s: Vec::with_capacity(BATCH_ROWS),
+            p: Vec::with_capacity(BATCH_ROWS),
+            o: Vec::with_capacity(BATCH_ROWS),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    /// Drops all rows, keeping capacity.
+    pub fn clear(&mut self) {
+        self.s.clear();
+        self.p.clear();
+        self.o.clear();
+    }
+
+    /// Appends one triple.
+    pub fn push(&mut self, t: Triple) {
+        self.s.push(t.s);
+        self.p.push(t.p);
+        self.o.push(t.o);
+    }
+
+    /// The triple at row `i`.
+    pub fn row(&self, i: usize) -> Triple {
+        Triple::new(self.s[i], self.p[i], self.o[i])
+    }
+}
+
+/// Vectorized face of [`MatchIter`]: fills columnar [`TripleBatch`]es
+/// of up to [`BATCH_ROWS`] rows. On the monolithic unfiltered path the
+/// decoded frame windows are spliced straight into the output columns —
+/// no per-row iterator step, no fact-table deref. Segmented or
+/// filtered scans fall back to the (still correct) row-at-a-time merge.
+///
+/// Returned by
+/// [`KbReadBatch::matching_batches`](crate::read::KbReadBatch::matching_batches).
+#[derive(Debug, Clone)]
+pub struct MatchBatches<'a> {
+    inner: MatchIter<'a>,
+}
+
+impl<'a> MatchBatches<'a> {
+    pub(crate) fn new(inner: MatchIter<'a>) -> Self {
+        Self { inner }
+    }
+
+    /// Exact remaining rows where the underlying scan knows them
+    /// (monolithic unfiltered), else an upper bound.
+    pub fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+
+    /// Fills `out` (cleared first) with the next batch. Returns `false`
+    /// when the scan is exhausted and no rows were produced.
+    pub fn next_batch(&mut self, out: &mut TripleBatch) -> bool {
+        out.clear();
+        let it = &mut self.inner;
+        if it.deltas.is_empty() && it.filter.is_none() {
+            // Columnar fast path: splice decoded windows.
+            let choice = it.head.choice;
+            while out.len() < BATCH_ROWS {
+                let take = {
+                    let (k0, k1, k2, _) = it.head.windows();
+                    if k0.is_empty() {
+                        break;
+                    }
+                    let take = k0.len().min(BATCH_ROWS - out.len());
+                    let (s, p, o) = match choice {
+                        IndexChoice::Spo => (k0, k1, k2),
+                        IndexChoice::Pos => (k2, k0, k1),
+                        IndexChoice::Osp => (k1, k2, k0),
+                    };
+                    out.s.extend(s[..take].iter().map(|&v| TermId(v)));
+                    out.p.extend(p[..take].iter().map(|&v| TermId(v)));
+                    out.o.extend(o[..take].iter().map(|&v| TermId(v)));
+                    take
+                };
+                it.head.skip(take);
+            }
+        } else {
+            while out.len() < BATCH_ROWS {
+                match it.next() {
+                    Some(f) => out.push(f.triple),
+                    None => break,
+                }
+            }
+        }
+        !out.is_empty()
     }
 }
 
@@ -556,6 +1037,10 @@ impl KbSnapshot {
         let obs = kb_obs::global();
         obs.gauge("store.snapshot.facts").set(live as i64);
         obs.gauge("store.snapshot.terms").set(core.dict.len() as i64);
+        let st = indexes.stats();
+        obs.gauge("store.index_bytes").set(st.compressed_bytes as i64);
+        obs.gauge("store.frames.compressed_bytes").set(st.compressed_bytes as i64);
+        obs.gauge("store.frames.raw_bytes").set(st.raw_bytes as i64);
         Self { core, taxonomy, sameas, labels, indexes, live }
     }
 
@@ -579,6 +1064,11 @@ impl KbSnapshot {
     /// Number of registered provenance sources.
     pub(crate) fn source_count(&self) -> usize {
         self.core.sources.len()
+    }
+
+    /// Size and compression accounting for the permutation indexes.
+    pub fn index_stats(&self) -> IndexStats {
+        self.indexes.stats()
     }
 }
 
@@ -628,14 +1118,15 @@ impl KbRead for KbSnapshot {
     }
 
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {
-        let (entries, filter) = self.indexes.select(pattern);
-        MatchIter::new(entries, &self.core.facts, filter, pattern.choose_index())
+        let (cur, filter) = self.indexes.cursor(pattern, &self.core.facts);
+        MatchIter::new(cur, filter)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::read::KbReadBatch;
     use crate::KbBuilder;
 
     fn snap() -> KbSnapshot {
@@ -706,5 +1197,70 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), 4);
         }
+    }
+
+    /// A KB large enough to span many compression frames, with skew so
+    /// some buckets are huge and some tiny.
+    fn big_snap() -> KbSnapshot {
+        let mut b = KbBuilder::new();
+        // (i % 700, i % 5, (i / 5) % 900) is injective below
+        // lcm(700, 5 · 900) = 31_500, so all 20_000 facts are distinct.
+        for i in 0u32..20_000 {
+            b.assert_str(
+                &format!("e{}", i % 700),
+                &format!("r{}", i % 5),
+                &format!("e{}", (i / 5) % 900),
+            );
+        }
+        let s = b.freeze();
+        assert_eq!(s.len(), 20_000);
+        s
+    }
+
+    #[test]
+    fn batches_agree_with_tuple_iteration_on_every_shape() {
+        let s = big_snap();
+        // Anchor the bound shapes on a real triple so every pattern has
+        // at least one match.
+        let t = s.triples_iter(&TriplePattern::any()).nth(37).unwrap();
+        let patterns = [
+            TriplePattern::any(),
+            TriplePattern::with_s(t.s),
+            TriplePattern::with_p(t.p),
+            TriplePattern::with_o(t.o),
+            TriplePattern::with_sp(t.s, t.p),
+            TriplePattern::with_po(t.p, t.o),
+            TriplePattern::with_so(t.s, t.o),
+            TriplePattern::exact(t),
+        ];
+        for pat in &patterns {
+            assert!(s.triples_iter(pat).next().is_some(), "anchor left {pat:?} empty");
+            let tuple: Vec<Triple> = s.triples_iter(pat).collect();
+            let mut batch = Vec::new();
+            let mut mb = s.matching_batches(pat);
+            let mut buf = TripleBatch::new();
+            while mb.next_batch(&mut buf) {
+                assert!(buf.len() <= BATCH_ROWS);
+                for i in 0..buf.len() {
+                    batch.push(buf.row(i));
+                }
+            }
+            assert_eq!(batch, tuple, "pattern {pat:?}");
+        }
+    }
+
+    #[test]
+    fn index_stats_show_real_compression() {
+        let s = big_snap();
+        let st = s.index_stats();
+        assert_eq!(st.entries, 3 * 20_000);
+        assert!(st.frames > 3, "multi-frame columns expected");
+        assert!(
+            st.saved_ratio() >= 0.30,
+            "expected ≥30% savings, got {:.1}% ({} of {} bytes)",
+            st.saved_ratio() * 100.0,
+            st.compressed_bytes,
+            st.raw_bytes
+        );
     }
 }

@@ -270,8 +270,8 @@ impl KbRead for KnowledgeBase {
     }
 
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {
-        let (entries, filter) = self.frozen().select(pattern);
-        MatchIter::new(entries, &self.core.facts, filter, pattern.choose_index())
+        let (cur, filter) = self.frozen().cursor(pattern, &self.core.facts);
+        MatchIter::new(cur, filter)
     }
 }
 

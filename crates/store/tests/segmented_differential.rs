@@ -14,7 +14,10 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use kb_store::{KbBuilder, KbRead, SegmentedSnapshot, TriplePattern};
+use kb_store::{
+    KbBuilder, KbRead, KbReadBatch, PairBatch, SegmentedSnapshot, TripleBatch, TriplePattern,
+    BATCH_ROWS,
+};
 
 /// One mutation: assert a fact with some confidence, or retract a
 /// triple (which the delta path turns into a tombstone when the triple
@@ -225,4 +228,93 @@ proptest! {
         prop_assert_eq!(seg.len(), compacted.len());
         prop_assert_eq!(fact_dump(&seg), fact_dump(&compacted));
     }
+
+    /// Vectorized scans are the tuple scans, chunked: for every delta
+    /// stack depth (0 / 2 / 8) and every pattern mask, concatenating
+    /// `matching_batches` yields the exact triple sequence of
+    /// `matching_iter` — same rows, same order — and no batch exceeds
+    /// [`BATCH_ROWS`].
+    #[test]
+    fn batches_match_tuple_scans_across_delta_stacks(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        qs in 0u32..8, qp in 0u32..4, qo in 0u32..8,
+    ) {
+        for &n_deltas in &[0usize, 2, 8] {
+            let view = build_stack(&ops, n_deltas);
+            let (es, rp, eo) = (format!("e{qs}"), format!("r{qp}"), format!("e{qo}"));
+            'mask: for mask in 0u8..8 {
+                let mut pat = TriplePattern::any();
+                for (bit, name, slot) in [
+                    (1u8, &es, &mut pat.s),
+                    (2u8, &rp, &mut pat.p),
+                    (4u8, &eo, &mut pat.o),
+                ] {
+                    if mask & bit != 0 {
+                        match view.term(name) {
+                            Some(id) => *slot = Some(id),
+                            None => continue 'mask, // term absent: nothing to compare
+                        }
+                    }
+                }
+                let tuple: Vec<kb_store::Triple> =
+                    view.matching_iter(&pat).map(|f| f.triple).collect();
+                let mut got: Vec<kb_store::Triple> = Vec::new();
+                let mut mb = view.matching_batches(&pat);
+                let mut tb = TripleBatch::new();
+                while mb.next_batch(&mut tb) {
+                    prop_assert!(tb.len() <= BATCH_ROWS, "oversized batch: {}", tb.len());
+                    for i in 0..tb.len() {
+                        got.push(tb.row(i));
+                    }
+                }
+                prop_assert_eq!(
+                    &got, &tuple,
+                    "mask {} diverged on a {}-delta stack", mask, n_deltas
+                );
+            }
+        }
+    }
+
+    /// `path_join_batches` ≡ `path_join_iter` over the same stacks.
+    #[test]
+    fn path_join_batches_match_tuple_join_across_delta_stacks(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+        p1 in 0u32..4, p2 in 0u32..4,
+    ) {
+        for &n_deltas in &[0usize, 2, 8] {
+            let view = build_stack(&ops, n_deltas);
+            let (Some(id1), Some(id2)) =
+                (view.term(&format!("r{p1}")), view.term(&format!("r{p2}"))) else { continue };
+            let tuple: Vec<_> = view.path_join_iter(id1, id2).collect();
+            let mut got = Vec::new();
+            let mut pjb = view.path_join_batches(id1, id2);
+            let mut pb = PairBatch::new();
+            while pjb.next_batch(&mut pb) {
+                prop_assert!(pb.len() <= BATCH_ROWS);
+                got.extend(pb.a.iter().copied().zip(pb.b.iter().copied()));
+            }
+            prop_assert_eq!(&got, &tuple, "path join diverged on a {}-delta stack", n_deltas);
+        }
+    }
+}
+
+/// Splits `ops` into exactly `n_deltas + 1` even chunks: chunk 0 is the
+/// base, every later chunk a delta (possibly empty — empty deltas are a
+/// legal, interesting edge case for the merge cursors).
+fn build_stack(ops: &[Op], n_deltas: usize) -> SegmentedSnapshot {
+    let chunks = n_deltas + 1;
+    let bound = |i: usize| i * ops.len() / chunks;
+    let mut base = KbBuilder::new();
+    for &op in &ops[..bound(1)] {
+        apply(&mut base, op);
+    }
+    let mut view = SegmentedSnapshot::from_base(base.freeze().into_shared());
+    for c in 1..chunks {
+        let mut b = KbBuilder::new();
+        for &op in &ops[bound(c)..bound(c + 1)] {
+            apply(&mut b, op);
+        }
+        view = view.with_delta(Arc::new(b.freeze_delta(&view)));
+    }
+    view
 }

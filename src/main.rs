@@ -20,9 +20,9 @@ use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, IncrementalHarvester, 
 use kbkit::kb_harvest::rules::{mine_rules, RuleConfig};
 use kbkit::kb_ned::{detect_mentions, Ned, Strategy};
 use kbkit::kb_obs;
-use kbkit::kb_query::QueryService;
+use kbkit::kb_query::{execute_traced, ExecTrace, Plan, QueryService};
 use kbkit::kb_store::{
-    ntriples, Compactor, KbBuilder, KbRead, KnowledgeBase, SegmentStore, StoreOptions,
+    ntriples, Compactor, IndexStats, KbBuilder, KbRead, KnowledgeBase, SegmentStore, StoreOptions,
 };
 
 const USAGE: &str = "\
@@ -296,6 +296,29 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the `--explain` report: plan shape, per-operator estimated
+/// vs actual rows, batch counts and the compressed-index footprint.
+fn print_explain(plan: &Plan, trace: &ExecTrace, stats: &IndexStats) {
+    eprintln!("plan (estimated cost {:.1}):", plan.estimated_cost());
+    for line in plan.explain() {
+        eprintln!("  {line}");
+    }
+    eprintln!("operators (estimated vs actual rows):");
+    for (op, &actual) in plan.ops().iter().zip(&trace.op_rows) {
+        eprintln!("  est {:>12.1}  actual {:>10}  {}", op.est_rows, actual, op.label);
+    }
+    eprintln!(
+        "execution: {} rows emitted in {} batches; index: {} entries in {} frames, {} B compressed / {} B raw ({:.0}% saved)",
+        trace.rows,
+        trace.batches,
+        stats.entries,
+        stats.frames,
+        stats.compressed_bytes,
+        stats.raw_bytes,
+        stats.saved_ratio() * 100.0,
+    );
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let explain = args.iter().any(|a| a == "--explain");
 
@@ -325,11 +348,15 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             );
         }
         if explain {
+            // Traced execution doubles as the serve — no second run.
             let plan = service.plan_for(q).map_err(|e| e.to_string())?;
-            eprintln!("plan (estimated cost {:.1}):", plan.estimated_cost());
-            for line in plan.explain() {
-                eprintln!("  {line}");
+            let (out, trace) = execute_traced(&plan, &view);
+            print_explain(&plan, &trace, &view.index_stats());
+            println!("{} solutions", out.rows.len());
+            for row in out.rows.iter().take(50) {
+                println!("  {}", out.render_row(row, &view));
             }
+            return Ok(());
         }
         let out = service.query(q).map_err(|e| e.to_string())?;
         println!("{} solutions", out.rows.len());
@@ -346,10 +373,13 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let service = QueryService::new(snap.clone());
     if explain {
         let plan = service.plan_for(q).map_err(|e| e.to_string())?;
-        eprintln!("plan (estimated cost {:.1}):", plan.estimated_cost());
-        for line in plan.explain() {
-            eprintln!("  {line}");
+        let (out, trace) = execute_traced(&plan, snap.as_ref());
+        print_explain(&plan, &trace, &snap.index_stats());
+        println!("{} solutions", out.rows.len());
+        for row in out.rows.iter().take(50) {
+            println!("  {}", out.render_row(row, snap.as_ref()));
         }
+        return Ok(());
     }
     let out = service.query(q).map_err(|e| e.to_string())?;
     println!("{} solutions", out.rows.len());

@@ -21,6 +21,10 @@ const EXPECTED_FAMILIES: &[&str] = &[
     "store.snapshot.freeze_us",
     "store.snapshot.facts",
     "store.index.entries",
+    // kb-store compressed frame index
+    "store.index_bytes",
+    "store.frames.compressed_bytes",
+    "store.frames.raw_bytes",
     // kb-store durable layer (WAL + recovery)
     "store.wal.appends",
     "store.wal.replayed",
@@ -75,4 +79,12 @@ fn one_pipeline_run_populates_all_three_layers() {
     assert!(registry.counter("store.wal.appends").get() >= 1);
     assert!(registry.counter("store.wal.replayed").get() >= 1);
     assert_eq!(registry.counter("store.recovery.quarantined_segments").get(), 0);
+
+    // The frame gauges carry the compressed-index footprint: non-empty,
+    // and strictly smaller than the uncompressed layout.
+    let compressed = registry.gauge("store.frames.compressed_bytes").get();
+    let raw = registry.gauge("store.frames.raw_bytes").get();
+    assert!(compressed > 0, "compressed frame bytes should be non-zero");
+    assert!(compressed < raw, "frames should compress below the raw layout");
+    assert_eq!(registry.gauge("store.index_bytes").get(), compressed);
 }
