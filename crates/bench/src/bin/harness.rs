@@ -14,7 +14,8 @@ use std::time::Instant;
 
 use kb_bench::{
     exp_analytics, exp_facts, exp_kb, exp_link, exp_misc, exp_ned, exp_openie, exp_query,
-    exp_rules, exp_scale, exp_segment, exp_store, exp_taxonomy, exp_vector, setup, HARNESS_SEED,
+    exp_rules, exp_scale, exp_segment, exp_serve, exp_store, exp_taxonomy, exp_vector, setup,
+    HARNESS_SEED,
 };
 
 fn main() {
@@ -63,6 +64,7 @@ fn main() {
         ("t15", Box::new(exp_segment::t15)),
         ("t16", Box::new(|| exp_store::t16(&corpus))),
         ("t17", Box::new(exp_vector::t17)),
+        ("t18", Box::new(exp_serve::t18)),
     ];
     for (id, run) in experiments {
         if !want(id) {

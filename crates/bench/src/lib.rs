@@ -17,6 +17,7 @@ pub mod exp_query;
 pub mod exp_rules;
 pub mod exp_scale;
 pub mod exp_segment;
+pub mod exp_serve;
 pub mod exp_store;
 pub mod exp_taxonomy;
 pub mod exp_vector;

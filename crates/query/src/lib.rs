@@ -54,7 +54,7 @@ pub use ast::SelectQuery;
 pub use error::QueryError;
 pub use exec::{cell_str, execute, execute_traced, execute_tuple, Cell, ExecTrace, QueryOutput};
 pub use parse::{normalize, parse};
-pub use plan::{plan, Footprint, OpInfo, Plan};
+pub use plan::{plan, routing_decision, Footprint, OpInfo, Plan, RoutingDecision};
 pub use service::{CacheStats, QueryService, DEFAULT_CACHE_CAPACITY};
 pub use stats::{PredStat, StatsCatalog};
 

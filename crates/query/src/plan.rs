@@ -224,6 +224,68 @@ fn collect_footprint<K: KbRead + ?Sized>(g: &Group, kb: &K, fp: &mut Footprint) 
     }
 }
 
+/// Whether a parsed query is answerable by a single subject partition.
+///
+/// A query is *subject-bound* when every triple pattern anywhere in it
+/// — the basic graph pattern, both branches of every `UNION`, every
+/// `OPTIONAL` — puts one and the same constant in subject position.
+/// Such a query can only ever touch facts colocated with that subject,
+/// so a subject-partitioned deployment routes it to exactly one
+/// partition; anything else must scatter.
+///
+/// Decided purely on the AST (no dictionary access): a constant the
+/// store has never seen still routes to the partition that *would* own
+/// it, where planning resolves it to an empty scan exactly as a
+/// monolithic service would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingDecision {
+    /// Every pattern binds the subject to this constant.
+    SubjectBound {
+        /// The shared subject constant.
+        subject: String,
+    },
+    /// Patterns disagree on the subject, bind it to a variable, or the
+    /// query has no patterns at all.
+    Scatter,
+}
+
+impl RoutingDecision {
+    /// One-line human description, used by `--explain`.
+    pub fn describe(&self) -> String {
+        match self {
+            RoutingDecision::SubjectBound { subject } => {
+                format!("single partition (subject-bound to {subject:?})")
+            }
+            RoutingDecision::Scatter => "scatter to all partitions".to_string(),
+        }
+    }
+}
+
+/// Computes the [`RoutingDecision`] for a parsed query.
+pub fn routing_decision(query: &SelectQuery) -> RoutingDecision {
+    fn walk<'a>(g: &'a Group, subject: &mut Option<&'a str>) -> bool {
+        for pat in &g.patterns {
+            match &pat.s {
+                Term::Var(_) => return false,
+                Term::Const(c) => match subject {
+                    Some(s) if *s != c.as_str() => return false,
+                    Some(_) => {}
+                    None => *subject = Some(c),
+                },
+            }
+        }
+        g.unions.iter().all(|(a, b)| walk(a, subject) && walk(b, subject))
+            && g.optionals.iter().all(|o| walk(o, subject))
+    }
+    let mut subject = None;
+    if walk(&query.group, &mut subject) {
+        if let Some(s) = subject {
+            return RoutingDecision::SubjectBound { subject: s.to_string() };
+        }
+    }
+    RoutingDecision::Scatter
+}
+
 /// An executable physical plan. Produced by [`plan()`]; run with
 /// [`crate::exec::execute`]. Plans borrow nothing — they are cheap to
 /// cache and share across threads for a given snapshot generation.
@@ -1033,5 +1095,32 @@ mod tests {
         let q = parse("?x rel_big Atlantis").unwrap();
         let p = plan(&q, &snap, &stats).unwrap();
         assert!(p.footprint().is_wildcard());
+    }
+
+    #[test]
+    fn routing_decision_detects_subject_bound_queries() {
+        let bound = |text: &str| match routing_decision(&parse(text).unwrap()) {
+            RoutingDecision::SubjectBound { subject } => Some(subject),
+            RoutingDecision::Scatter => None,
+        };
+        // One constant subject everywhere — patterns, unions, optionals.
+        assert_eq!(bound("s1 rel_big ?y"), Some("s1".into()));
+        assert_eq!(bound("s1 rel_big ?y . s1 rel_rare ?z"), Some("s1".into()));
+        assert_eq!(
+            bound("SELECT ?y WHERE { { s1 rel_big ?y } UNION { s1 rel_rare ?y } }"),
+            Some("s1".into())
+        );
+        assert_eq!(
+            bound("SELECT ?y ?z WHERE { s1 rel_big ?y OPTIONAL { s1 rel_rare ?z } }"),
+            Some("s1".into())
+        );
+        // A constant the store never interned is still subject-bound:
+        // it routes to the partition that would own it.
+        assert_eq!(bound("Atlantis rel_big ?y"), Some("Atlantis".into()));
+        // Variable subject, disagreeing subjects, or no patterns at all.
+        assert_eq!(bound("?x rel_big ?y"), None);
+        assert_eq!(bound("s1 rel_big ?y . s2 rel_big ?z"), None);
+        assert_eq!(bound("SELECT ?y WHERE { { s1 rel_big ?y } UNION { s2 rel_big ?y } }"), None);
+        assert_eq!(bound("SELECT ?y WHERE { s1 rel_big ?y OPTIONAL { ?x rel_rare ?y } }"), None);
     }
 }

@@ -550,6 +550,26 @@ impl QueryService {
         }
     }
 
+    /// Like [`with_instrumentation`](Self::with_instrumentation), but
+    /// planning with a caller-provided statistics catalog instead of
+    /// one built from `snapshot`.
+    ///
+    /// This is the partitioned-replica constructor: a router slicing
+    /// one KB into N partition services hands every replica the
+    /// *global* catalog, so each partition makes exactly the join-order
+    /// decisions a monolithic service over the whole KB would — the
+    /// key to byte-identical routed-single answers.
+    pub fn with_shared_stats(
+        snapshot: Arc<KbSnapshot>,
+        stats: Arc<StatsCatalog>,
+        capacity: usize,
+        registry: &Registry,
+    ) -> Self {
+        let service = Self::with_instrumentation(snapshot, capacity, registry);
+        service.current.lock().expect("service lock poisoned").stats = stats;
+        service
+    }
+
     /// Builds a service that serves an already-layered view — the
     /// cold-start path for a durable
     /// [`SegmentStore`](kb_store::SegmentStore): the recovered base
@@ -618,9 +638,26 @@ impl QueryService {
     /// lock is held so no query can observe the new view with the old
     /// cache epoch.
     pub fn apply_delta(&self, delta: Arc<DeltaSegment>) {
+        self.apply_delta_inner(delta, None);
+    }
+
+    /// Like [`apply_delta`](Self::apply_delta), but installing a
+    /// caller-provided statistics catalog instead of folding the
+    /// delta's statistics into the current one.
+    ///
+    /// Partitioned deployments use this: the router merges the *full*
+    /// delta into the global catalog once and hands the result to every
+    /// partition replica, so all replicas keep planning against
+    /// identical whole-KB statistics no matter which slice of the delta
+    /// they received.
+    pub fn apply_delta_with_stats(&self, delta: Arc<DeltaSegment>, stats: Arc<StatsCatalog>) {
+        self.apply_delta_inner(delta, Some(stats));
+    }
+
+    fn apply_delta_inner(&self, delta: Arc<DeltaSegment>, shared: Option<Arc<StatsCatalog>>) {
         let mut cur = self.current.lock().expect("service lock poisoned");
         let view = Arc::new(cur.view.with_delta(Arc::clone(&delta)));
-        let stats = Arc::new(cur.stats.merged_with_delta(&delta));
+        let stats = shared.unwrap_or_else(|| Arc::new(cur.stats.merged_with_delta(&delta)));
         cur.epoch += 1;
         let epoch = cur.epoch;
         cur.view = view;

@@ -1,0 +1,217 @@
+//! Admission control: per-tenant token buckets in front of bounded
+//! per-partition in-flight queues.
+//!
+//! Both gates shed load by *typed rejection* ([`Overloaded`]) rather
+//! than queueing unboundedly: past the knee, a saturated service must
+//! answer "no" in microseconds so admitted requests keep their latency
+//! — the classic load-shedding posture of production serving stacks.
+//!
+//! Time comes from the registry clock, so tests (and the T18
+//! saturation experiment) drive the buckets with a
+//! [`ManualClock`](kb_obs::ManualClock) and get exactly reproducible
+//! shed curves.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use kb_obs::{Clock, Gauge};
+
+/// Admission-control policy for a [`KbRouter`](crate::KbRouter).
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Per-tenant steady-state admission rate, requests per second.
+    /// `None` disables rate limiting.
+    pub rate_per_sec: Option<f64>,
+    /// Token-bucket burst capacity: how far above the steady rate a
+    /// tenant may briefly spike. Buckets start full.
+    pub burst: f64,
+    /// Bound on concurrently admitted requests per partition; a scatter
+    /// query occupies one slot in *every* partition. Zero rejects
+    /// everything — useful only in tests.
+    pub queue_depth: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self { rate_per_sec: None, burst: 32.0, queue_depth: 64 }
+    }
+}
+
+/// Why a request was shed. Returned inside
+/// [`ServeError::Overloaded`](crate::ServeError::Overloaded); always a
+/// fast, typed rejection — the router never queues unboundedly and
+/// never panics under load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Overloaded {
+    /// The tenant's token bucket is empty: offered load exceeds the
+    /// configured per-tenant rate.
+    RateLimited {
+        /// The tenant that exceeded its rate.
+        tenant: String,
+    },
+    /// A partition's in-flight queue is at its bound.
+    QueueFull {
+        /// The partition whose queue rejected the request.
+        partition: usize,
+    },
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Overloaded::RateLimited { tenant } => {
+                write!(f, "tenant {tenant:?} exceeded its admission rate")
+            }
+            Overloaded::QueueFull { partition } => {
+                write!(f, "partition {partition} queue is full")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// One tenant's token bucket. Tokens refill continuously at the
+/// configured rate and cap at the burst size.
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_micros: u64,
+}
+
+/// The router's admission gate: token buckets keyed by tenant plus one
+/// in-flight counter per partition.
+pub(crate) struct Admission {
+    config: AdmissionConfig,
+    clock: Arc<dyn Clock>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+    inflight: Vec<AtomicUsize>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl Admission {
+    pub(crate) fn new(
+        config: AdmissionConfig,
+        clock: Arc<dyn Clock>,
+        partitions: usize,
+        queue_depth: Arc<Gauge>,
+    ) -> Self {
+        Self {
+            config,
+            clock,
+            buckets: Mutex::new(HashMap::new()),
+            inflight: (0..partitions).map(|_| AtomicUsize::new(0)).collect(),
+            queue_depth,
+        }
+    }
+
+    /// Takes one token from `tenant`'s bucket, refilling it first from
+    /// the elapsed clock time. A tenant's first request finds a full
+    /// bucket.
+    pub(crate) fn admit(&self, tenant: &str) -> Result<(), Overloaded> {
+        let Some(rate) = self.config.rate_per_sec else {
+            return Ok(());
+        };
+        let now = self.clock.now_micros();
+        let mut buckets = self.buckets.lock().expect("admission buckets poisoned");
+        let bucket = buckets
+            .entry(tenant.to_string())
+            .or_insert(Bucket { tokens: self.config.burst, last_micros: now });
+        let elapsed = now.saturating_sub(bucket.last_micros);
+        bucket.last_micros = now;
+        // Multiply before dividing: for round trip counts this stays
+        // exact in f64 (100ms at 10 rps is exactly one token).
+        bucket.tokens = (bucket.tokens + elapsed as f64 * rate / 1e6).min(self.config.burst);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(Overloaded::RateLimited { tenant: tenant.to_string() })
+        }
+    }
+
+    /// Occupies one in-flight slot in each of `parts` (ascending order,
+    /// rolled back wholesale on failure, so concurrent scatters cannot
+    /// deadlock or leak slots). Released when the returned permit
+    /// drops.
+    pub(crate) fn acquire(&self, parts: &[usize]) -> Result<Permit<'_>, Overloaded> {
+        let depth = self.config.queue_depth;
+        for (i, &p) in parts.iter().enumerate() {
+            let admitted = self.inflight[p]
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| (v < depth).then_some(v + 1))
+                .is_ok();
+            if !admitted {
+                for &q in &parts[..i] {
+                    self.inflight[q].fetch_sub(1, Ordering::AcqRel);
+                }
+                return Err(Overloaded::QueueFull { partition: p });
+            }
+        }
+        self.queue_depth.add(parts.len() as i64);
+        Ok(Permit { admission: self, parts: parts.to_vec() })
+    }
+}
+
+/// RAII in-flight slots: dropping releases every acquired partition.
+pub(crate) struct Permit<'a> {
+    admission: &'a Admission,
+    parts: Vec<usize>,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        for &p in &self.parts {
+            self.admission.inflight[p].fetch_sub(1, Ordering::AcqRel);
+        }
+        self.admission.queue_depth.add(-(self.parts.len() as i64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kb_obs::ManualClock;
+
+    fn gate(config: AdmissionConfig, partitions: usize) -> (Admission, Arc<ManualClock>) {
+        let clock = ManualClock::shared(0);
+        let gauge = Arc::new(Gauge::new());
+        (Admission::new(config, clock.clone(), partitions, gauge), clock)
+    }
+
+    #[test]
+    fn token_bucket_sheds_past_the_rate_and_refills() {
+        let cfg = AdmissionConfig { rate_per_sec: Some(10.0), burst: 2.0, queue_depth: 4 };
+        let (gate, clock) = gate(cfg, 1);
+        // Burst of 2 admitted, third shed.
+        assert!(gate.admit("t").is_ok());
+        assert!(gate.admit("t").is_ok());
+        assert_eq!(gate.admit("t"), Err(Overloaded::RateLimited { tenant: "t".into() }));
+        // 100ms at 10 rps refills exactly one token.
+        clock.advance(100_000);
+        assert!(gate.admit("t").is_ok());
+        assert!(gate.admit("t").is_err());
+        // Tenants are isolated.
+        assert!(gate.admit("other").is_ok());
+    }
+
+    #[test]
+    fn queue_bound_rejects_and_rolls_back() {
+        let cfg = AdmissionConfig { rate_per_sec: None, burst: 1.0, queue_depth: 1 };
+        let (gate, _clock) = gate(cfg, 2);
+        let held = gate.acquire(&[1]).unwrap();
+        // A scatter needing both partitions fails on partition 1 and
+        // must roll back its partition-0 slot.
+        match gate.acquire(&[0, 1]) {
+            Err(e) => assert_eq!(e, Overloaded::QueueFull { partition: 1 }),
+            Ok(_) => panic!("scatter must be rejected while partition 1 is full"),
+        }
+        let p0 = gate.acquire(&[0]).unwrap();
+        drop(p0);
+        drop(held);
+        // Slots released: the scatter now fits.
+        let all = gate.acquire(&[0, 1]).unwrap();
+        drop(all);
+    }
+}

@@ -1,0 +1,69 @@
+//! The router's owned metric instances, published under `serve.*` in a
+//! [`Registry`]. Owning the instances (rather than re-reading
+//! get-or-create handles) keeps per-router readouts exact when several
+//! routers coexist in one process, as they do under `cargo test`.
+
+use std::sync::Arc;
+
+use kb_obs::{Clock, Counter, Gauge, Histogram, Registry, SpanTimer};
+
+pub(crate) struct ServeMetrics {
+    /// Subject-bound queries routed to exactly one partition.
+    pub(crate) routed_single: Arc<Counter>,
+    /// Queries executed over the merged scatter view.
+    pub(crate) scattered: Arc<Counter>,
+    /// Requests rejected by admission control (rate or queue bound).
+    pub(crate) shed: Arc<Counter>,
+    /// Requests that passed admission control.
+    pub(crate) admitted: Arc<Counter>,
+    /// Delta installs fanned out across the partitions.
+    pub(crate) installs: Arc<Counter>,
+    /// Requests currently holding per-partition queue slots (scatter
+    /// holds one per partition).
+    pub(crate) queue_depth: Arc<Gauge>,
+    /// Parse + routing-decision latency.
+    pub(crate) route_us: Arc<Histogram>,
+    /// Single-partition serve latency.
+    pub(crate) single_us: Arc<Histogram>,
+    /// Scatter (merged-view plan + execute) latency.
+    pub(crate) scatter_us: Arc<Histogram>,
+    /// Epoch-barrier delta fan-out latency.
+    pub(crate) install_us: Arc<Histogram>,
+    clock: Arc<dyn Clock>,
+}
+
+impl ServeMetrics {
+    /// Fresh instances, registered (replacing same-named predecessors)
+    /// in `registry`.
+    pub(crate) fn publish(registry: &Registry) -> Self {
+        let counter = |name: &str| {
+            let c = Arc::new(Counter::new());
+            registry.register_counter(name, Arc::clone(&c));
+            c
+        };
+        let histogram = |name: &str| {
+            let h = Arc::new(Histogram::latency());
+            registry.register_histogram(name, Arc::clone(&h));
+            h
+        };
+        let queue_depth = Arc::new(Gauge::new());
+        registry.register_gauge("serve.queue_depth", Arc::clone(&queue_depth));
+        ServeMetrics {
+            routed_single: counter("serve.routed_single"),
+            scattered: counter("serve.scattered"),
+            shed: counter("serve.shed"),
+            admitted: counter("serve.admitted"),
+            installs: counter("serve.installs"),
+            queue_depth,
+            route_us: histogram("serve.route_us"),
+            single_us: histogram("serve.single_us"),
+            scatter_us: histogram("serve.scatter_us"),
+            install_us: histogram("serve.install_us"),
+            clock: registry.clock(),
+        }
+    }
+
+    pub(crate) fn span(&self, hist: &Arc<Histogram>) -> SpanTimer {
+        SpanTimer::start(Arc::clone(&self.clock), Arc::clone(hist))
+    }
+}

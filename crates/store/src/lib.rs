@@ -70,6 +70,7 @@ pub mod labels;
 pub mod legacy;
 pub mod manifest;
 pub mod ntriples;
+pub mod partition;
 pub mod pattern;
 pub mod query;
 pub mod read;
@@ -95,6 +96,7 @@ pub use labels::LabelStore;
 pub use legacy::LegacyKb;
 pub use manifest::Manifest;
 pub use ntriples::LoadReport;
+pub use partition::{partition_delta, partition_snapshot, subject_partition, PartitionedView};
 pub use pattern::TriplePattern;
 pub use query::{Bindings, Query};
 pub use read::{KbRead, KbReadBatch, PairBatch, PathJoinBatches, PathJoinIter};

@@ -966,15 +966,29 @@ pub struct LiveFactsIter<'a> {
     /// Segments stacked above `cur`, oldest → newest: each shadows the
     /// current slice and then streams its own facts in turn.
     overlay: &'a [Arc<DeltaSegment>],
+    /// Later `(base, overlay)` groups, streamed after the current group
+    /// drains. Each group is an independent shadowing scope: a
+    /// partitioned view's partitions hold disjoint triple sets, so a
+    /// group's facts can never be shadowed by another group's overlay.
+    groups: std::vec::IntoIter<(&'a [Fact], &'a [Arc<DeltaSegment>])>,
 }
 
 impl<'a> LiveFactsIter<'a> {
     pub(crate) fn new(facts: &'a [Fact]) -> Self {
-        Self { cur: facts.iter(), overlay: &[] }
+        Self { cur: facts.iter(), overlay: &[], groups: Vec::new().into_iter() }
     }
 
     pub(crate) fn segmented(base: &'a [Fact], overlay: &'a [Arc<DeltaSegment>]) -> Self {
-        Self { cur: base.iter(), overlay }
+        Self { cur: base.iter(), overlay, groups: Vec::new().into_iter() }
+    }
+
+    /// Streams several independent segment groups back to back — one
+    /// per partition of a
+    /// [`PartitionedView`](crate::partition::PartitionedView).
+    pub(crate) fn grouped(groups: Vec<(&'a [Fact], &'a [Arc<DeltaSegment>])>) -> Self {
+        let mut groups = groups.into_iter();
+        let (base, overlay) = groups.next().unwrap_or((&[], &[]));
+        Self { cur: base.iter(), overlay, groups }
     }
 }
 
@@ -992,15 +1006,28 @@ impl<'a> Iterator for LiveFactsIter<'a> {
                 }
                 return Some(f);
             }
-            let (next_seg, rest) = self.overlay.split_first()?;
-            self.cur = next_seg.fact_table().iter();
-            self.overlay = rest;
+            if let Some((next_seg, rest)) = self.overlay.split_first() {
+                self.cur = next_seg.fact_table().iter();
+                self.overlay = rest;
+                continue;
+            }
+            let (base, overlay) = self.groups.next()?;
+            self.cur = base.iter();
+            self.overlay = overlay;
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let pending: usize = self.overlay.iter().map(|d| d.fact_table().len()).sum();
-        (0, Some(self.cur.len() + pending))
+        let grouped: usize = self
+            .groups
+            .as_slice()
+            .iter()
+            .map(|(base, overlay)| {
+                base.len() + overlay.iter().map(|d| d.fact_table().len()).sum::<usize>()
+            })
+            .sum();
+        (0, Some(self.cur.len() + pending + grouped))
     }
 }
 

@@ -15,6 +15,7 @@
 //! | [`kb_link`] | entity linkage: blocking, matchers, constrained clustering |
 //! | [`kb_analytics`] | entity-centric stream analytics |
 //! | [`kb_query`] | SPARQL-style query engine: parser, cost-based planner, concurrent serving layer |
+//! | [`kb_serve`] | scale-out serving: subject-partitioned replicas, scatter-gather router, admission control |
 //! | [`kb_obs`] | observability substrate: counters, gauges, histograms, span timers, metric registry |
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
@@ -27,4 +28,5 @@ pub use kb_ned;
 pub use kb_nlp;
 pub use kb_obs;
 pub use kb_query;
+pub use kb_serve;
 pub use kb_store;

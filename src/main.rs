@@ -20,9 +20,11 @@ use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, IncrementalHarvester, 
 use kbkit::kb_harvest::rules::{mine_rules, RuleConfig};
 use kbkit::kb_ned::{detect_mentions, Ned, Strategy};
 use kbkit::kb_obs;
-use kbkit::kb_query::{execute_traced, ExecTrace, Plan, QueryService};
+use kbkit::kb_query::{execute_traced, parse, routing_decision, ExecTrace, Plan, QueryService};
+use kbkit::kb_serve::{KbRouter, ServeError};
 use kbkit::kb_store::{
-    ntriples, Compactor, IndexStats, KbBuilder, KbRead, KnowledgeBase, SegmentStore, StoreOptions,
+    ntriples, Compactor, IndexStats, KbBuilder, KbRead, KbSnapshot, KnowledgeBase, SegmentStore,
+    StoreOptions,
 };
 
 const USAGE: &str = "\
@@ -54,6 +56,16 @@ USAGE:
       Mine AMIE-style Horn rules from the KB.
   kbkit ned <kb.tsv> <text>
       Detect and disambiguate entity mentions in the text.
+  kbkit serve-bench [--partitions N] [--clients M] [--requests K]
+                   [--rate R] [--data-dir DIR] [<kb.tsv>] [--seed N]
+      Partition the KB by subject into N replica services behind a
+      scatter-gather router and drive it with M concurrent clients
+      (mixed subject-bound and scatter queries). Prints routing and
+      shedding counters, throughput, and a byte-equality check against
+      an unpartitioned oracle. The KB comes from --data-dir (durable
+      segment store), a TSV dump, or a fresh tiny harvest, in that
+      order of preference. --rate enables per-tenant admission rate
+      limiting (requests/second) so overload sheds instead of queueing.
   kbkit metrics [--json] [--seed N]
       Harvest the quickstart (tiny) corpus, freeze a snapshot and serve
       a few queries, then print the collected metrics as an aligned
@@ -74,6 +86,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("rules") => cmd_rules(&args[1..]),
         Some("ned") => cmd_ned(&args[1..]),
+        Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -352,6 +365,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             let plan = service.plan_for(q).map_err(|e| e.to_string())?;
             let (out, trace) = execute_traced(&plan, &view);
             print_explain(&plan, &trace, &view.index_stats());
+            eprintln!(
+                "routing: {}",
+                routing_decision(&parse(q).map_err(|e| e.to_string())?).describe()
+            );
             println!("{} solutions", out.rows.len());
             for row in out.rows.iter().take(50) {
                 println!("  {}", out.render_row(row, &view));
@@ -375,6 +392,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         let plan = service.plan_for(q).map_err(|e| e.to_string())?;
         let (out, trace) = execute_traced(&plan, snap.as_ref());
         print_explain(&plan, &trace, &snap.index_stats());
+        eprintln!(
+            "routing: {}",
+            routing_decision(&parse(q).map_err(|e| e.to_string())?).describe()
+        );
         println!("{} solutions", out.rows.len());
         for row in out.rows.iter().take(50) {
             println!("  {}", out.render_row(row, snap.as_ref()));
@@ -400,6 +421,164 @@ fn cmd_rules(args: &[String]) -> Result<(), String> {
     for r in &rules {
         println!("  {r}");
     }
+    Ok(())
+}
+
+/// Collects a query workload from the live facts of a view: one
+/// subject-bound probe per sampled fact plus one scatter query per
+/// distinct predicate. Skips terms whose surface form would not survive
+/// the query grammar (spaces, quotes, ...).
+fn serve_workload<K: KbRead + ?Sized>(view: &K) -> (Vec<String>, Vec<String>) {
+    fn token_safe(s: &str) -> bool {
+        !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || "_-:.".contains(c))
+    }
+    let mut bound = Vec::new();
+    let mut preds = Vec::new();
+    for fact in view.facts() {
+        let (Some(s), Some(p)) = (view.resolve(fact.triple.s), view.resolve(fact.triple.p)) else {
+            continue;
+        };
+        if !token_safe(s) || !token_safe(p) {
+            continue;
+        }
+        if bound.len() < 256 {
+            bound.push(format!("{s} {p} ?o"));
+        }
+        if !preds.contains(&p) {
+            preds.push(p);
+        }
+        if bound.len() >= 256 && preds.len() >= 16 {
+            break;
+        }
+    }
+    let scatter = preds.iter().take(16).map(|p| format!("?x {p} ?o")).collect();
+    (bound, scatter)
+}
+
+/// `kbkit serve-bench`: build a partitioned router next to a monolithic
+/// oracle, hammer it from M client threads, and report routing counters,
+/// shed rate, throughput, and whether the router's answers were
+/// byte-identical to the oracle's on a sample of the workload.
+fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
+    let partitions: usize =
+        opt(args, "--partitions").unwrap_or("2").parse().map_err(|_| "bad --partitions")?;
+    let clients: usize =
+        opt(args, "--clients").unwrap_or("4").parse().map_err(|_| "bad --clients")?;
+    let requests: usize =
+        opt(args, "--requests").unwrap_or("2000").parse().map_err(|_| "bad --requests")?;
+    let rate: Option<f64> = match opt(args, "--rate") {
+        Some(r) => Some(r.parse().map_err(|_| "bad --rate")?),
+        None => None,
+    };
+    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    if partitions == 0 || clients == 0 {
+        return Err("--partitions and --clients must be positive".into());
+    }
+
+    let admission = kbkit::kb_serve::AdmissionConfig {
+        rate_per_sec: rate,
+        ..kbkit::kb_serve::AdmissionConfig::default()
+    };
+    let registry = kb_obs::global();
+
+    // Source the KB: durable store > TSV dump > fresh tiny harvest.
+    let base: Arc<KbSnapshot>;
+    let (router, oracle) = if let Some(dir) = opt(args, "--data-dir") {
+        let store =
+            SegmentStore::open(dir).map_err(|e| format!("cannot open store at {dir}: {e}"))?;
+        let view = store.view();
+        eprintln!("cold start from {dir}: {} facts (gen {})", view.len(), store.generation());
+        (
+            KbRouter::from_view_with_config(&view, partitions, admission, registry),
+            QueryService::from_view(&view),
+        )
+    } else {
+        if let Some(path) = positional(args) {
+            base = load_kb(path)?.into_snapshot().into_shared();
+            eprintln!("loaded {path}: {} facts", base.len());
+        } else {
+            let mut cfg = CorpusConfig::tiny();
+            cfg.world.seed = seed;
+            let corpus = Corpus::generate(&cfg);
+            let output = harvest(&corpus, &HarvestConfig::default())
+                .map_err(|e| format!("harvest failed: {e}"))?;
+            base = output.kb.into_snapshot().into_shared();
+            eprintln!("harvested tiny corpus (seed {seed}): {} facts", base.len());
+        }
+        (
+            KbRouter::with_config(Arc::clone(&base), partitions, admission, registry),
+            QueryService::new(base.clone()),
+        )
+    };
+    let rview = router.view();
+    let (bound, scatter) = serve_workload(rview.as_ref());
+    if bound.is_empty() {
+        return Err("KB has no grammar-safe facts to build a workload from".into());
+    }
+
+    // Interleave: 4 subject-bound probes per scatter query.
+    let workload: Vec<&str> = (0..requests)
+        .map(|i| {
+            if i % 5 == 4 && !scatter.is_empty() {
+                scatter[(i / 5) % scatter.len()].as_str()
+            } else {
+                bound[i % bound.len()].as_str()
+            }
+        })
+        .collect();
+
+    eprintln!(
+        "serve-bench: {partitions} partition(s), {clients} client(s), {requests} request(s)..."
+    );
+    let t = Instant::now();
+    let errors: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let workload = &workload;
+                let router = &router;
+                s.spawn(move || {
+                    let mut errs = 0usize;
+                    for q in workload.iter().skip(c).step_by(clients) {
+                        match router.query_as(&format!("client-{c}"), q) {
+                            Ok(_) | Err(ServeError::Overloaded(_)) => {}
+                            Err(ServeError::Query(_)) => errs += 1,
+                        }
+                    }
+                    errs
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).sum()
+    });
+    let elapsed = t.elapsed();
+    if errors > 0 {
+        return Err(format!("{errors} workload queries failed to parse/plan"));
+    }
+
+    let reg = kb_obs::global();
+    let routed = reg.counter("serve.routed_single").get();
+    let scattered = reg.counter("serve.scattered").get();
+    let shed = reg.counter("serve.shed").get();
+    println!(
+        "requests:      {requests} in {elapsed:.2?} ({:.0} req/s)",
+        requests as f64 / elapsed.as_secs_f64()
+    );
+    println!("routed single: {routed}");
+    println!("scattered:     {scattered}");
+    println!("shed:          {shed}");
+
+    // Byte-equality spot check against the unpartitioned oracle.
+    let oview = oracle.snapshot();
+    let sample: Vec<&str> =
+        bound.iter().take(4).chain(scatter.iter().take(2)).map(String::as_str).collect();
+    for q in &sample {
+        let got = router.query(q).map_err(|e| format!("router failed {q:?}: {e}"))?;
+        let want = oracle.query(q).map_err(|e| format!("oracle failed {q:?}: {e}"))?;
+        if got.render(rview.as_ref()) != want.render(oview.as_ref()) {
+            return Err(format!("router and oracle disagree on {q:?}"));
+        }
+    }
+    println!("oracle check:  OK ({} queries byte-identical)", sample.len());
     Ok(())
 }
 
@@ -432,6 +611,15 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     // Once more for result-cache hits.
     for q in queries {
         let _ = service.query(q).map_err(|e| e.to_string())?;
+    }
+
+    // Serving layer: a 2-partition router answering one subject-bound
+    // and one scatter query, so the serve.* families are present.
+    let router = KbRouter::new(service.snapshot().base().clone(), 2);
+    let rview = router.view();
+    let (bound, scatter) = serve_workload(rview.as_ref());
+    for q in bound.iter().take(1).chain(scatter.iter().take(1)) {
+        let _ = router.query(q).map_err(|e| format!("metrics serve query {q:?} failed: {e}"))?;
     }
 
     // Durable-store layer: one create → install → reopen round trip in
