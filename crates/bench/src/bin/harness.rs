@@ -65,6 +65,7 @@ fn main() {
         ("t16", Box::new(|| exp_store::t16(&corpus))),
         ("t17", Box::new(exp_vector::t17)),
         ("t18", Box::new(exp_serve::t18)),
+        ("t19", Box::new(exp_store::t19)),
     ];
     for (id, run) in experiments {
         if !want(id) {

@@ -16,6 +16,12 @@ pub enum QueryError {
     /// The parsed query is well-formed but cannot be planned (e.g. an
     /// `ORDER BY` key that is not a projected column).
     Plan(String),
+    /// The underlying store failed while faulting lazily loaded
+    /// segment regions (see [`SegmentedSnapshot::prefault`]) — e.g. a
+    /// cold region whose checksum no longer matches the manifest.
+    ///
+    /// [`SegmentedSnapshot::prefault`]: kb_store::KbRead::prefault
+    Store(kb_store::StoreError),
 }
 
 impl QueryError {
@@ -31,7 +37,14 @@ impl fmt::Display for QueryError {
                 write!(f, "parse error at token {token}: {message}")
             }
             QueryError::Plan(message) => write!(f, "planning error: {message}"),
+            QueryError::Store(err) => write!(f, "store error: {err}"),
         }
+    }
+}
+
+impl From<kb_store::StoreError> for QueryError {
+    fn from(err: kb_store::StoreError) -> Self {
+        QueryError::Store(err)
     }
 }
 

@@ -584,6 +584,17 @@ impl QueryService {
         service
     }
 
+    /// [`from_view`](Self::from_view) for lazily opened stores: faults
+    /// every region of the view first (see
+    /// [`KbRead::prefault`](kb_store::KbRead::prefault)) so that a
+    /// cold-region corruption surfaces here as a typed
+    /// [`QueryError::Store`] instead of panicking mid-query later.
+    pub fn try_from_view(view: &SegmentedSnapshot) -> Result<Self, QueryError> {
+        use kb_store::KbRead as _;
+        view.prefault()?;
+        Ok(Self::from_view(view))
+    }
+
     /// Enables or disables single-flight dedup (on by default). Only
     /// meant for benchmarking the thundering-herd effect the dedup
     /// exists to prevent — see EXPERIMENTS.md T14.

@@ -81,14 +81,22 @@ struct Bucket {
     last_micros: u64,
 }
 
+/// The bucket map plus its sweep bookkeeping, behind one lock.
+struct TenantBuckets {
+    map: HashMap<String, Bucket>,
+    /// When the last idle-bucket sweep ran (µs on the injected clock).
+    last_sweep_micros: u64,
+}
+
 /// The router's admission gate: token buckets keyed by tenant plus one
 /// in-flight counter per partition.
 pub(crate) struct Admission {
     config: AdmissionConfig,
     clock: Arc<dyn Clock>,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    buckets: Mutex<TenantBuckets>,
     inflight: Vec<AtomicUsize>,
     queue_depth: Arc<Gauge>,
+    tenants: Arc<Gauge>,
 }
 
 impl Admission {
@@ -97,26 +105,55 @@ impl Admission {
         clock: Arc<dyn Clock>,
         partitions: usize,
         queue_depth: Arc<Gauge>,
+        tenants: Arc<Gauge>,
     ) -> Self {
         Self {
             config,
             clock,
-            buckets: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(TenantBuckets { map: HashMap::new(), last_sweep_micros: 0 }),
             inflight: (0..partitions).map(|_| AtomicUsize::new(0)).collect(),
             queue_depth,
+            tenants,
         }
+    }
+
+    /// Microseconds of idleness after which a bucket has refilled to
+    /// its burst cap and is therefore indistinguishable from the fresh
+    /// bucket `admit` would mint for an unknown tenant — the point at
+    /// which evicting it is observationally invisible.
+    fn full_refill_micros(&self, rate: f64) -> u64 {
+        ((self.config.burst / rate) * 1e6).ceil() as u64
+    }
+
+    /// Number of resident tenant buckets (for tests and stats).
+    #[cfg(test)]
+    pub(crate) fn tenant_count(&self) -> usize {
+        self.buckets.lock().expect("admission buckets poisoned").map.len()
     }
 
     /// Takes one token from `tenant`'s bucket, refilling it first from
     /// the elapsed clock time. A tenant's first request finds a full
     /// bucket.
+    ///
+    /// The bucket map is kept bounded here as well: at most once per
+    /// full-refill period, buckets idle for at least a full refill are
+    /// dropped. Such a bucket has already refilled to the burst cap, so
+    /// the eviction can never change an admission decision — an
+    /// adversarial stream of unique tenant ids costs one refill period
+    /// of memory, not unbounded growth.
     pub(crate) fn admit(&self, tenant: &str) -> Result<(), Overloaded> {
         let Some(rate) = self.config.rate_per_sec else {
             return Ok(());
         };
         let now = self.clock.now_micros();
+        let idle_cutoff = self.full_refill_micros(rate);
         let mut buckets = self.buckets.lock().expect("admission buckets poisoned");
+        if now.saturating_sub(buckets.last_sweep_micros) >= idle_cutoff {
+            buckets.last_sweep_micros = now;
+            buckets.map.retain(|_, b| now.saturating_sub(b.last_micros) < idle_cutoff);
+        }
         let bucket = buckets
+            .map
             .entry(tenant.to_string())
             .or_insert(Bucket { tokens: self.config.burst, last_micros: now });
         let elapsed = now.saturating_sub(bucket.last_micros);
@@ -124,8 +161,14 @@ impl Admission {
         // Multiply before dividing: for round trip counts this stays
         // exact in f64 (100ms at 10 rps is exactly one token).
         bucket.tokens = (bucket.tokens + elapsed as f64 * rate / 1e6).min(self.config.burst);
-        if bucket.tokens >= 1.0 {
+        let admitted = if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        };
+        self.tenants.set(buckets.map.len() as i64);
+        if admitted {
             Ok(())
         } else {
             Err(Overloaded::RateLimited { tenant: tenant.to_string() })
@@ -176,8 +219,9 @@ mod tests {
 
     fn gate(config: AdmissionConfig, partitions: usize) -> (Admission, Arc<ManualClock>) {
         let clock = ManualClock::shared(0);
-        let gauge = Arc::new(Gauge::new());
-        (Admission::new(config, clock.clone(), partitions, gauge), clock)
+        let queue_depth = Arc::new(Gauge::new());
+        let tenants = Arc::new(Gauge::new());
+        (Admission::new(config, clock.clone(), partitions, queue_depth, tenants), clock)
     }
 
     #[test]
@@ -194,6 +238,41 @@ mod tests {
         assert!(gate.admit("t").is_err());
         // Tenants are isolated.
         assert!(gate.admit("other").is_ok());
+    }
+
+    #[test]
+    fn idle_tenant_buckets_are_evicted_after_a_full_refill() {
+        // burst 2 at 10 rps: a bucket refills completely in 200ms, so
+        // the idle cutoff (and minimum sweep spacing) is 200_000µs.
+        let cfg = AdmissionConfig { rate_per_sec: Some(10.0), burst: 2.0, queue_depth: 4 };
+        let (gate, clock) = gate(cfg, 1);
+        // Drain "t" to zero tokens, then park 50 one-shot tenants.
+        assert!(gate.admit("t").is_ok());
+        assert!(gate.admit("t").is_ok());
+        for i in 0..50 {
+            assert!(gate.admit(&format!("drive-by-{i}")).is_ok());
+        }
+        assert_eq!(gate.tenant_count(), 51);
+        // 100ms later everyone is under the cutoff: no sweep, and "t"
+        // has refilled exactly one token.
+        clock.advance(100_000);
+        assert!(gate.admit("t").is_ok());
+        assert_eq!(gate.tenant_count(), 51);
+        // 250ms after their last touch, the drive-by tenants have fully
+        // refilled; the next admit sweeps them out. "t" (touched 150ms
+        // ago) survives with its partial bucket intact: the 1.5 tokens
+        // it holds admit one request and shed the next, which a fresh
+        // full bucket would not.
+        clock.advance(150_000);
+        assert!(gate.admit("t").is_ok());
+        assert_eq!(gate.tenant_count(), 1);
+        assert_eq!(gate.admit("t"), Err(Overloaded::RateLimited { tenant: "t".into() }));
+        // An evicted tenant that returns gets the same full bucket a
+        // brand-new tenant would — eviction is observationally
+        // invisible.
+        assert!(gate.admit("drive-by-0").is_ok());
+        assert!(gate.admit("drive-by-0").is_ok());
+        assert!(gate.admit("drive-by-0").is_err());
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub(crate) struct ServeMetrics {
     /// Requests currently holding per-partition queue slots (scatter
     /// holds one per partition).
     pub(crate) queue_depth: Arc<Gauge>,
+    /// Token buckets currently resident in the admission gate. Bounded:
+    /// idle buckets are evicted once a full refill has elapsed.
+    pub(crate) tenants: Arc<Gauge>,
     /// Parse + routing-decision latency.
     pub(crate) route_us: Arc<Histogram>,
     /// Single-partition serve latency.
@@ -48,6 +51,8 @@ impl ServeMetrics {
         };
         let queue_depth = Arc::new(Gauge::new());
         registry.register_gauge("serve.queue_depth", Arc::clone(&queue_depth));
+        let tenants = Arc::new(Gauge::new());
+        registry.register_gauge("serve.tenants", Arc::clone(&tenants));
         ServeMetrics {
             routed_single: counter("serve.routed_single"),
             scattered: counter("serve.scattered"),
@@ -55,6 +60,7 @@ impl ServeMetrics {
             admitted: counter("serve.admitted"),
             installs: counter("serve.installs"),
             queue_depth,
+            tenants,
             route_us: histogram("serve.route_us"),
             single_us: histogram("serve.single_us"),
             scatter_us: histogram("serve.scatter_us"),

@@ -106,8 +106,13 @@ impl KbRouter {
             })
             .collect();
         let view = Arc::new(PartitionedView::new(services.iter().map(|s| s.snapshot()).collect()));
-        let admission =
-            Admission::new(config, registry.clock(), partitions, Arc::clone(&metrics.queue_depth));
+        let admission = Admission::new(
+            config,
+            registry.clock(),
+            partitions,
+            Arc::clone(&metrics.queue_depth),
+            Arc::clone(&metrics.tenants),
+        );
         KbRouter {
             services,
             state: RwLock::new(MergedState { view, stats, epoch: 0 }),

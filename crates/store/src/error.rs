@@ -99,6 +99,16 @@ pub enum StoreError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A value being serialized is too large for its on-disk length
+    /// field. Raised by the persistence writers instead of silently
+    /// truncating a `len() as u32` cast — a >4 GiB string, column or
+    /// payload must fail loudly at write time, not at reopen.
+    TooLarge {
+        /// Which region's writer hit the oversized value.
+        region: SegmentRegion,
+        /// The length that did not fit the field.
+        len: usize,
+    },
     /// An I/O error occurred while reading or writing a serialized KB.
     ///
     /// `std::io::Error` is neither `Clone` nor `PartialEq`, so only its
@@ -119,6 +129,9 @@ impl fmt::Display for StoreError {
             StoreError::InvalidTimeSpan => write!(f, "time span ends before it begins"),
             StoreError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            StoreError::TooLarge { region, len } => {
+                write!(f, "{region} value of {len} bytes exceeds the on-disk length field")
             }
             StoreError::Io(msg) => write!(f, "i/o error: {msg}"),
         }

@@ -75,6 +75,7 @@ pub mod pattern;
 pub mod query;
 pub mod read;
 pub mod sameas;
+pub mod segmap;
 pub mod segment;
 pub mod segment_io;
 pub mod segment_store;
@@ -101,6 +102,7 @@ pub use pattern::TriplePattern;
 pub use query::{Bindings, Query};
 pub use read::{KbRead, KbReadBatch, PairBatch, PathJoinBatches, PathJoinIter};
 pub use sameas::SameAsStore;
+pub use segmap::MemoryBudget;
 pub use segment::{Compactor, DeltaSegment, SegmentStats, SegmentedSnapshot};
 pub use segment_store::{RecoveryReport, SegmentStore, StoreOptions};
 pub use snapshot::{

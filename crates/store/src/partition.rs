@@ -78,16 +78,16 @@ pub fn subject_partition(subject: &str, partitions: usize) -> usize {
 pub fn partition_snapshot(base: &KbSnapshot, partitions: usize) -> Vec<KbSnapshot> {
     assert!(partitions > 0, "partition count must be positive");
     let template = KbCore {
-        dict: base.core.dict.clone(),
+        dict: base.core().dict.clone(),
         facts: Vec::new(),
         by_triple: FxHashMap::default(),
-        sources: base.core.sources.clone(),
-        source_lookup: base.core.source_lookup.clone(),
+        sources: base.core().sources.clone(),
+        source_lookup: base.core().source_lookup.clone(),
         live: 0,
     };
     let mut cores: Vec<KbCore> = (0..partitions).map(|_| template.clone()).collect();
-    for f in &base.core.facts {
-        let subject = base.core.dict.resolve(f.triple.s).expect("fact subject is interned");
+    for f in &base.core().facts {
+        let subject = base.core().dict.resolve(f.triple.s).expect("fact subject is interned");
         let core = &mut cores[subject_partition(subject, partitions)];
         let id = FactId(core.facts.len() as u32);
         core.by_triple.insert(f.triple, id);
@@ -102,9 +102,9 @@ pub fn partition_snapshot(base: &KbSnapshot, partitions: usize) -> Vec<KbSnapsho
             let indexes = FrozenIndexes::build(&core.facts);
             KbSnapshot::from_parts(
                 core,
-                base.taxonomy.clone(),
-                base.sameas.clone(),
-                base.labels.clone(),
+                base.taxonomy().clone(),
+                base.sameas().clone(),
+                base.labels().clone(),
                 indexes,
             )
         })
@@ -243,7 +243,7 @@ impl KbRead for PartitionedView {
     fn fact(&self, id: FactId) -> Option<&Fact> {
         let mut idx = id.index();
         for p in &self.parts {
-            let base = &p.base().core.facts;
+            let base = &p.base().core().facts;
             if idx < base.len() {
                 return base.get(idx);
             }
@@ -271,18 +271,18 @@ impl KbRead for PartitionedView {
 
     fn facts(&self) -> LiveFactsIter<'_> {
         LiveFactsIter::grouped(
-            self.parts.iter().map(|p| (&p.base().core.facts[..], p.deltas())).collect(),
+            self.parts.iter().map(|p| (&p.base().core().facts[..], p.deltas())).collect(),
         )
     }
 
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {
         let p0 = self.parts[0].base();
-        let (head, filter) = p0.indexes.cursor(pattern, &p0.core.facts);
+        let (head, filter) = p0.indexes.cursor(pattern, &p0.core().facts);
         let mut rest = Vec::new();
         for (i, p) in self.parts.iter().enumerate() {
             if i > 0 {
                 let base = p.base();
-                let (cur, _) = base.indexes.cursor(pattern, &base.core.facts);
+                let (cur, _) = base.indexes.cursor(pattern, &base.core().facts);
                 rest.push(cur);
             }
             for d in p.deltas() {

@@ -89,6 +89,13 @@ pub trait KbRead {
     /// allocation.
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_>;
 
+    /// Faults in and verifies any lazily loaded regions backing this
+    /// view, surfacing cold corruption as a typed error instead of a
+    /// mid-query panic. A no-op (always `Ok`) for fully resident views.
+    fn prefault(&self) -> Result<(), crate::StoreError> {
+        Ok(())
+    }
+
     // -- provided: facts ------------------------------------------------
 
     /// Whether the store holds no live facts.

@@ -115,7 +115,7 @@ impl DeltaSegment {
             })
             .collect();
 
-        let first_source = view.source_total as u32;
+        let first_source = view.source_count() as u32;
         let mut ext_sources: Vec<String> = Vec::new();
         let source_remap: Vec<SourceId> = core
             .sources
@@ -409,18 +409,21 @@ pub struct SegmentedSnapshot {
     base: Arc<KbSnapshot>,
     /// Delta stack, oldest → newest.
     deltas: Vec<Arc<DeltaSegment>>,
-    live: usize,
-    term_total: usize,
-    source_total: usize,
 }
 
 impl SegmentedSnapshot {
-    /// Wraps a monolithic snapshot as a single-segment view.
+    /// Wraps a monolithic snapshot as a single-segment view. Derived
+    /// totals (live count, term/source totals) are computed on demand
+    /// rather than stored, so wrapping a lazily opened base touches
+    /// nothing on disk.
     pub fn from_base(base: Arc<KbSnapshot>) -> Self {
-        let live = base.len();
-        let term_total = base.term_count();
-        let source_total = base.source_count();
-        Self { base, deltas: Vec::new(), live, term_total, source_total }
+        Self { base, deltas: Vec::new() }
+    }
+
+    /// Total provenance sources across the base and every delta. Cheap
+    /// on a lazy base (count-prefix read, no core fault).
+    pub(crate) fn source_count(&self) -> usize {
+        self.base.source_count() + self.deltas.iter().map(|d| d.ext_sources.len()).sum::<usize>()
     }
 
     /// Returns a new view with `delta` stacked on top (the receiver is
@@ -442,23 +445,20 @@ impl SegmentedSnapshot {
     /// degrade gracefully, never crash the reopening process.
     pub fn try_with_delta(&self, delta: Arc<DeltaSegment>) -> Result<Self, crate::StoreError> {
         use crate::error::SegmentRegion;
-        if delta.first_term as usize != self.term_total
-            || delta.first_source as usize != self.source_total
-        {
+        let term_total = self.term_count();
+        let source_total = self.source_count();
+        if delta.first_term as usize != term_total || delta.first_source as usize != source_total {
             return Err(crate::StoreError::Corrupt {
                 region: SegmentRegion::DeltaMeta,
                 detail: format!(
                     "delta stacks at term {}/source {} but the view has {} terms/{} sources",
-                    delta.first_term, delta.first_source, self.term_total, self.source_total
+                    delta.first_term, delta.first_source, term_total, source_total
                 ),
             });
         }
         let mut deltas = self.deltas.clone();
-        let live = (self.live as isize + delta.net_live()) as usize;
-        let term_total = self.term_total + delta.ext_terms.len();
-        let source_total = self.source_total + delta.ext_sources.len();
         deltas.push(delta);
-        Ok(Self { base: Arc::clone(&self.base), deltas, live, term_total, source_total })
+        Ok(Self { base: Arc::clone(&self.base), deltas })
     }
 
     /// The base segment.
@@ -485,7 +485,7 @@ impl SegmentedSnapshot {
             new_facts: self.deltas.iter().map(|d| d.new_facts()).sum(),
             shadowed: self.deltas.iter().map(|d| d.shadowed()).sum(),
             tombstones: self.deltas.iter().map(|d| d.tombstones()).sum(),
-            live: self.live,
+            live: self.len(),
         }
     }
 
@@ -501,7 +501,7 @@ impl SegmentedSnapshot {
 
     /// Looks up a provenance source by name across all segments.
     pub(crate) fn source_id(&self, name: &str) -> Option<SourceId> {
-        if let Some(&id) = self.base.core.source_lookup.get(name) {
+        if let Some(&id) = self.base.core().source_lookup.get(name) {
             return Some(id);
         }
         for d in &self.deltas {
@@ -520,7 +520,7 @@ impl SegmentedSnapshot {
     pub fn compact(&self) -> KbSnapshot {
         let obs = kb_obs::global();
         let span = obs.span("store.compact_us");
-        let mut core: KbCore = self.base.core.clone();
+        let mut core: KbCore = self.base.core().clone();
         for d in &self.deltas {
             for term in &d.ext_terms {
                 let id = core.dict.intern(term);
@@ -544,15 +544,15 @@ impl SegmentedSnapshot {
             }
         }
         core.live = core.facts.iter().filter(|f| !f.is_retracted()).count();
-        debug_assert_eq!(core.live, self.live);
+        debug_assert_eq!(core.live, self.len());
         let indexes = FrozenIndexes::build(&core.facts);
         span.stop();
         obs.counter("store.compactions").inc();
         KbSnapshot::from_parts(
             core,
-            self.base.taxonomy.clone(),
-            self.base.sameas.clone(),
-            self.base.labels.clone(),
+            self.base.taxonomy().clone(),
+            self.base.sameas().clone(),
+            self.base.labels().clone(),
             indexes,
         )
     }
@@ -560,7 +560,7 @@ impl SegmentedSnapshot {
 
 impl KbRead for SegmentedSnapshot {
     fn term(&self, term: &str) -> Option<TermId> {
-        if let Some(id) = self.base.core.dict.get(term) {
+        if let Some(id) = self.base.core().dict.get(term) {
             return Some(id);
         }
         self.deltas.iter().find_map(|d| d.ext_lookup.get(term).copied())
@@ -568,7 +568,7 @@ impl KbRead for SegmentedSnapshot {
 
     fn resolve(&self, id: TermId) -> Option<&str> {
         if id.index() < self.base.term_count() {
-            return self.base.core.dict.resolve(id);
+            return self.base.core().dict.resolve(id);
         }
         for d in &self.deltas {
             let first = d.first_term as usize;
@@ -579,29 +579,32 @@ impl KbRead for SegmentedSnapshot {
         None
     }
 
+    /// Total terms across the base and every delta's extension table.
+    /// Cheap on a lazy base (count-prefix read, no core fault), which
+    /// is what keeps delta stacking checks off the open path's cost.
     fn term_count(&self) -> usize {
-        self.term_total
+        self.base.term_count() + self.deltas.iter().map(|d| d.ext_terms.len()).sum::<usize>()
     }
 
     // Taxonomy, sameAs and labels are served from the base segment:
     // deltas carry facts and provenance only, so ontology-level changes
     // ride the next compaction/rebuild.
     fn taxonomy(&self) -> &Taxonomy {
-        &self.base.taxonomy
+        self.base.taxonomy()
     }
 
     fn sameas(&self) -> &SameAsStore {
-        &self.base.sameas
+        self.base.sameas()
     }
 
     fn labels(&self) -> &LabelStore {
-        &self.base.labels
+        self.base.labels()
     }
 
     fn source_name(&self, id: SourceId) -> Option<&str> {
         let idx = id.0 as usize;
         if idx < self.base.source_count() {
-            return self.base.core.source_name(id);
+            return self.base.core().source_name(id);
         }
         for d in &self.deltas {
             let first = d.first_source as usize;
@@ -616,9 +619,9 @@ impl KbRead for SegmentedSnapshot {
     /// each delta in stack order.
     fn fact(&self, id: FactId) -> Option<&Fact> {
         let mut idx = id.index();
-        let base_len = self.base.core.facts.len();
+        let base_len = self.base.core().facts.len();
         if idx < base_len {
-            return self.base.core.facts.get(idx);
+            return self.base.core().facts.get(idx);
         }
         idx -= base_len;
         for d in &self.deltas {
@@ -637,19 +640,20 @@ impl KbRead for SegmentedSnapshot {
                 return (!f.is_retracted()).then_some(f);
             }
         }
-        self.base.core.fact_for(t)
+        self.base.core().fact_for(t)
     }
 
     fn len(&self) -> usize {
-        self.live
+        let net: isize = self.deltas.iter().map(|d| d.net_live()).sum();
+        (self.base.len() as isize + net) as usize
     }
 
     fn facts(&self) -> LiveFactsIter<'_> {
-        LiveFactsIter::segmented(&self.base.core.facts, &self.deltas)
+        LiveFactsIter::segmented(&self.base.core().facts, &self.deltas)
     }
 
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {
-        let (head, filter) = self.base.indexes.cursor(pattern, &self.base.core.facts);
+        let (head, filter) = self.base.indexes.cursor(pattern, &self.base.core().facts);
         let deltas = self
             .deltas
             .iter()
@@ -659,6 +663,14 @@ impl KbRead for SegmentedSnapshot {
             })
             .collect();
         MatchIter::with_deltas(head, deltas, filter)
+    }
+
+    fn prefault(&self) -> Result<(), crate::StoreError> {
+        self.base.prefault()?;
+        for d in &self.deltas {
+            d.indexes.prefault()?;
+        }
+        Ok(())
     }
 }
 

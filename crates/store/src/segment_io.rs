@@ -53,8 +53,9 @@ use crate::fx::FxHashMap;
 use crate::ids::{FactId, TermId};
 use crate::labels::LabelStore;
 use crate::sameas::SameAsStore;
+use crate::segmap::{ColSlot, FrameRegion, MemoryBudget, SegmentSource, FRAME_COLS};
 use crate::segment::{DeltaSegment, FactKind};
-use crate::snapshot::{FrozenIndexes, KbSnapshot, PermFrames};
+use crate::snapshot::{EagerBase, FrozenIndexes, KbSnapshot, LazyBase, LazyIndexes, PermFrames};
 use crate::store::SourceId;
 use crate::taxonomy::Taxonomy;
 use crate::time::TimeSpan;
@@ -113,9 +114,8 @@ const fn crc_tables() -> [[u32; 256]; 8] {
     t
 }
 
-/// CRC-32 checksum of `data` (IEEE polynomial, init/final XOR `!0`).
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = !0u32;
+/// Advances a raw (pre-inverted) CRC state over `data`.
+fn crc32_advance(mut c: u32, data: &[u8]) -> u32 {
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
         let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
@@ -132,7 +132,45 @@ pub fn crc32(data: &[u8]) -> u32 {
     for &b in chunks.remainder() {
         c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
-    !c
+    c
+}
+
+/// CRC-32 checksum of `data` (IEEE polynomial, init/final XOR `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_advance(!0, data)
+}
+
+/// Incremental CRC-32: feed chunks with [`update`](Crc32::update), then
+/// [`finish`](Crc32::finish). Equivalent to [`crc32`] over the
+/// concatenated input — this is what lets the lazy segment reader
+/// verify a multi-megabyte region with an `O(1)`-memory streaming pass
+/// instead of buffering the whole region.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum state.
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Consumes the next chunk of input.
+    pub fn update(&mut self, data: &[u8]) {
+        self.state = crc32_advance(self.state, data);
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -195,9 +233,57 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+// Tests shrink the length-field capacity so the checked-cast error is
+// exercisable without allocating 4 GiB. Thread-local so parallel tests
+// cannot perturb each other.
+#[cfg(test)]
+thread_local! {
+    static TEST_LEN_LIMIT: std::cell::Cell<usize> =
+        const { std::cell::Cell::new(u32::MAX as usize) };
+}
+
+/// Runs `f` with the on-disk length-field limit lowered to `limit`
+/// (test-only; scoped to the current thread).
+#[cfg(test)]
+pub(crate) fn with_len_limit<T>(limit: usize, f: impl FnOnce() -> T) -> T {
+    TEST_LEN_LIMIT.with(|l| {
+        let prev = l.replace(limit);
+        let out = f();
+        l.set(prev);
+        out
+    })
+}
+
+fn len_limit() -> usize {
+    #[cfg(test)]
+    return TEST_LEN_LIMIT.with(|l| l.get());
+    #[cfg(not(test))]
+    {
+        u32::MAX as usize
+    }
+}
+
+/// Checked conversion of a length into its `u32` on-disk field. A value
+/// that does not fit is a typed [`StoreError::TooLarge`], never a
+/// silent truncation: a truncated length field would frame the rest of
+/// the file wrong and surface (at best) as a CRC mismatch at reopen.
+pub(crate) fn check_len(len: usize, region: SegmentRegion) -> Result<u32, StoreError> {
+    if len > len_limit() {
+        return Err(StoreError::TooLarge { region, len });
+    }
+    u32::try_from(len).map_err(|_| StoreError::TooLarge { region, len })
+}
+
+fn put_len(out: &mut Vec<u8>, len: usize, region: SegmentRegion) -> Result<(), StoreError> {
+    let v = check_len(len, region)?;
+    put_u32(out, v);
+    Ok(())
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str, region: SegmentRegion) -> Result<(), StoreError> {
+    put_len(out, s.len(), region)?;
     out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -275,18 +361,22 @@ impl<'a> Cur<'a> {
 // ---------------------------------------------------------------------
 // Region encoders.
 
-fn encode_terms(terms: impl Iterator<Item = impl AsRef<str>>, count: usize) -> Vec<u8> {
+fn encode_terms(
+    terms: impl Iterator<Item = impl AsRef<str>>,
+    count: usize,
+    region: SegmentRegion,
+) -> Result<Vec<u8>, StoreError> {
     let mut out = Vec::new();
-    put_u32(&mut out, count as u32);
+    put_len(&mut out, count, region)?;
     for t in terms {
-        put_str(&mut out, t.as_ref());
+        put_str(&mut out, t.as_ref(), region)?;
     }
-    out
+    Ok(out)
 }
 
-fn encode_facts(facts: &[Fact]) -> Vec<u8> {
+fn encode_facts(facts: &[Fact]) -> Result<Vec<u8>, StoreError> {
     let mut out = Vec::with_capacity(4 + facts.len() * 25);
-    put_u32(&mut out, facts.len() as u32);
+    put_len(&mut out, facts.len(), SegmentRegion::Facts)?;
     for f in facts {
         put_u32(&mut out, f.triple.s.0);
         put_u32(&mut out, f.triple.p.0);
@@ -303,44 +393,45 @@ fn encode_facts(facts: &[Fact]) -> Vec<u8> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
-fn encode_perms(perms: &[Vec<u32>; 3]) -> Vec<u8> {
+fn encode_perms(perms: &[Vec<u32>; 3]) -> Result<Vec<u8>, StoreError> {
     let mut out = Vec::new();
     for p in perms {
-        put_u32(&mut out, p.len() as u32);
+        put_len(&mut out, p.len(), SegmentRegion::Permutations)?;
         for &id in p {
             put_u32(&mut out, id);
         }
     }
-    out
+    Ok(out)
 }
 
-fn encode_buckets(starts: &[Vec<u32>; 3]) -> Vec<u8> {
+fn encode_buckets(starts: &[Vec<u32>; 3]) -> Result<Vec<u8>, StoreError> {
     let mut out = Vec::new();
     for s in starts {
-        put_u32(&mut out, s.len() as u32);
+        put_len(&mut out, s.len(), SegmentRegion::Buckets)?;
         for &v in s {
             put_u32(&mut out, v);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Bytes per serialized frame descriptor: base u32 · enc u8 · width u8
 /// · end u32.
-const FRAME_META_LEN: usize = 4 + 1 + 1 + 4;
+pub(crate) const FRAME_META_LEN: usize = 4 + 1 + 1 + 4;
 
 /// Serializes the fifteen compressed index columns (v2 frames region).
 /// Per column: row count, frame descriptors, then the raw payload —
 /// exactly the in-memory representation, so a reader installs it
 /// without re-encoding.
-fn encode_frames(cols: [&ColFrames; 15]) -> Vec<u8> {
+fn encode_frames(cols: [&ColFrames; 15]) -> Result<Vec<u8>, StoreError> {
+    let region = SegmentRegion::Frames;
     let mut out = Vec::new();
     for col in cols {
-        put_u32(&mut out, col.len() as u32);
-        put_u32(&mut out, col.n_frames() as u32);
+        put_len(&mut out, col.len(), region)?;
+        put_len(&mut out, col.n_frames(), region)?;
         for m in col.metas() {
             put_u32(&mut out, m.base);
             out.push(m.enc);
@@ -348,10 +439,10 @@ fn encode_frames(cols: [&ColFrames; 15]) -> Vec<u8> {
             put_u32(&mut out, m.end);
         }
         let payload = col.payload();
-        put_u32(&mut out, payload.len() as u32);
+        put_len(&mut out, payload.len(), region)?;
         out.extend_from_slice(payload);
     }
-    out
+    Ok(out)
 }
 
 /// Decodes the v2 frames region back into the three permutations and
@@ -395,50 +486,53 @@ fn decode_frames(buf: &[u8]) -> Result<([PermFrames; 3], [ColFrames; 3]), StoreE
     Ok((perms, starts))
 }
 
-fn encode_taxonomy(tax: &Taxonomy) -> Vec<u8> {
+fn encode_taxonomy(tax: &Taxonomy) -> Result<Vec<u8>, StoreError> {
+    let region = SegmentRegion::Taxonomy;
     let mut out = Vec::new();
     let classes = tax.all_classes();
-    put_u32(&mut out, classes.len() as u32);
+    put_len(&mut out, classes.len(), region)?;
     for c in &classes {
         put_u32(&mut out, c.0);
     }
     let mut edges: Vec<(TermId, TermId)> = tax.edges().collect();
     edges.sort_unstable();
-    put_u32(&mut out, edges.len() as u32);
+    put_len(&mut out, edges.len(), region)?;
     for (sub, sup) in edges {
         put_u32(&mut out, sub.0);
         put_u32(&mut out, sup.0);
     }
-    out
+    Ok(out)
 }
 
-fn encode_sameas(sameas: &SameAsStore) -> Vec<u8> {
+fn encode_sameas(sameas: &SameAsStore) -> Result<Vec<u8>, StoreError> {
+    let region = SegmentRegion::SameAs;
     let mut out = Vec::new();
     let classes = sameas.classes();
-    put_u32(&mut out, classes.len() as u32);
+    put_len(&mut out, classes.len(), region)?;
     for class in classes {
-        put_u32(&mut out, class.len() as u32);
+        put_len(&mut out, class.len(), region)?;
         for m in class {
             put_u32(&mut out, m.0);
         }
     }
-    out
+    Ok(out)
 }
 
-fn encode_labels(labels: &LabelStore) -> Vec<u8> {
+fn encode_labels(labels: &LabelStore) -> Result<Vec<u8>, StoreError> {
+    let region = SegmentRegion::Labels;
     let mut all: Vec<(TermId, &str, &str)> = labels
         .iter()
         .map(|(term, lang, form)| (term, labels.lang_tag(lang).unwrap_or(""), form))
         .collect();
     all.sort_unstable();
     let mut out = Vec::new();
-    put_u32(&mut out, all.len() as u32);
+    put_len(&mut out, all.len(), region)?;
     for (term, tag, form) in all {
         put_u32(&mut out, term.0);
-        put_str(&mut out, tag);
-        put_str(&mut out, form);
+        put_str(&mut out, tag, region)?;
+        put_str(&mut out, form, region)?;
     }
-    out
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------
@@ -667,10 +761,13 @@ pub fn region_map(buf: &[u8]) -> Result<Vec<(SegmentRegion, Range<usize>)>, Stor
     Ok(out)
 }
 
-struct RegionEntry {
-    region: SegmentRegion,
-    range: Range<usize>,
-    crc: u32,
+/// One row of a parsed region table: where a region's payload lives in
+/// the file and the CRC it must hash to.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionEntry {
+    pub(crate) region: SegmentRegion,
+    pub(crate) range: Range<usize>,
+    pub(crate) crc: u32,
 }
 
 fn header_len_of(buf: &[u8]) -> Result<usize, StoreError> {
@@ -687,6 +784,19 @@ fn header_len_of(buf: &[u8]) -> Result<usize, StoreError> {
 fn parse_header(
     buf: &[u8],
     expect_magic: Option<[u8; 4]>,
+) -> Result<([u8; 4], u32, Vec<RegionEntry>), StoreError> {
+    parse_header_limited(buf, expect_magic, buf.len())
+}
+
+/// [`parse_header`] over a *prefix* of the file: `buf` holds at least
+/// the preamble + header, while region payload bounds are checked
+/// against `data_len` (the full file length). This is what lets the
+/// lazy opener validate the region table after reading only the first
+/// few hundred bytes of an arbitrarily large segment.
+fn parse_header_limited(
+    buf: &[u8],
+    expect_magic: Option<[u8; 4]>,
+    data_len: usize,
 ) -> Result<([u8; 4], u32, Vec<RegionEntry>), StoreError> {
     let region = SegmentRegion::Header;
     if buf.len() < PREAMBLE_LEN {
@@ -740,7 +850,7 @@ fn parse_header(
             .ok_or_else(|| corrupt(region, format!("unknown region tag {tag}")))?;
         let end = offset
             .checked_add(len)
-            .filter(|&e| e <= buf.len())
+            .filter(|&e| e <= data_len)
             .ok_or_else(|| corrupt(region, format!("region {r} runs past end of file")))?;
         entries.push(RegionEntry { region: r, range: offset..end, crc });
     }
@@ -770,42 +880,56 @@ fn region<'a>(
 
 /// Serializes a base snapshot to its segment image (current format:
 /// the compressed frames region carries the indexes verbatim).
-pub(crate) fn snapshot_to_bytes(snap: &KbSnapshot) -> Vec<u8> {
-    let core = &snap.core;
+pub(crate) fn snapshot_to_bytes(snap: &KbSnapshot) -> Result<Vec<u8>, StoreError> {
+    let core = snap.core();
     let regions = vec![
         (
             SegmentRegion::Dictionary,
-            encode_terms(core.dict.iter().map(|(_, t)| t), core.dict.len()),
+            encode_terms(
+                core.dict.iter().map(|(_, t)| t),
+                core.dict.len(),
+                SegmentRegion::Dictionary,
+            )?,
         ),
-        (SegmentRegion::Sources, encode_terms(core.sources.iter(), core.sources.len())),
-        (SegmentRegion::Facts, encode_facts(&core.facts)),
-        (SegmentRegion::Frames, encode_frames(snap.indexes.frame_cols())),
-        (SegmentRegion::Taxonomy, encode_taxonomy(&snap.taxonomy)),
-        (SegmentRegion::SameAs, encode_sameas(&snap.sameas)),
-        (SegmentRegion::Labels, encode_labels(&snap.labels)),
+        (
+            SegmentRegion::Sources,
+            encode_terms(core.sources.iter(), core.sources.len(), SegmentRegion::Sources)?,
+        ),
+        (SegmentRegion::Facts, encode_facts(&core.facts)?),
+        (SegmentRegion::Frames, encode_frames(snap.indexes().frame_cols())?),
+        (SegmentRegion::Taxonomy, encode_taxonomy(snap.taxonomy())?),
+        (SegmentRegion::SameAs, encode_sameas(snap.sameas())?),
+        (SegmentRegion::Labels, encode_labels(snap.labels())?),
     ];
-    assemble(MAGIC_BASE, FORMAT_VERSION, regions)
+    Ok(assemble(MAGIC_BASE, FORMAT_VERSION, regions))
 }
 
 /// Serializes a base snapshot in the legacy v1 layout (raw fact-id
 /// permutations + offset buckets). Kept so backward-compatibility of
 /// the reader stays under test; not used by the write path.
-pub(crate) fn snapshot_to_bytes_v1(snap: &KbSnapshot) -> Vec<u8> {
-    let core = &snap.core;
+pub(crate) fn snapshot_to_bytes_v1(snap: &KbSnapshot) -> Result<Vec<u8>, StoreError> {
+    let core = snap.core();
     let regions = vec![
         (
             SegmentRegion::Dictionary,
-            encode_terms(core.dict.iter().map(|(_, t)| t), core.dict.len()),
+            encode_terms(
+                core.dict.iter().map(|(_, t)| t),
+                core.dict.len(),
+                SegmentRegion::Dictionary,
+            )?,
         ),
-        (SegmentRegion::Sources, encode_terms(core.sources.iter(), core.sources.len())),
-        (SegmentRegion::Facts, encode_facts(&core.facts)),
-        (SegmentRegion::Permutations, encode_perms(&snap.indexes.perm_fact_ids())),
-        (SegmentRegion::Buckets, encode_buckets(&snap.indexes.bucket_starts_vec())),
-        (SegmentRegion::Taxonomy, encode_taxonomy(&snap.taxonomy)),
-        (SegmentRegion::SameAs, encode_sameas(&snap.sameas)),
-        (SegmentRegion::Labels, encode_labels(&snap.labels)),
+        (
+            SegmentRegion::Sources,
+            encode_terms(core.sources.iter(), core.sources.len(), SegmentRegion::Sources)?,
+        ),
+        (SegmentRegion::Facts, encode_facts(&core.facts)?),
+        (SegmentRegion::Permutations, encode_perms(&snap.indexes().perm_fact_ids())?),
+        (SegmentRegion::Buckets, encode_buckets(&snap.indexes().bucket_starts_vec())?),
+        (SegmentRegion::Taxonomy, encode_taxonomy(snap.taxonomy())?),
+        (SegmentRegion::SameAs, encode_sameas(snap.sameas())?),
+        (SegmentRegion::Labels, encode_labels(snap.labels())?),
     ];
-    assemble(MAGIC_BASE, FORMAT_VERSION_V1, regions)
+    Ok(assemble(MAGIC_BASE, FORMAT_VERSION_V1, regions))
 }
 
 /// Decodes and validates the index regions of a base or delta image,
@@ -923,43 +1047,224 @@ pub(crate) fn snapshot_from_bytes(buf: &[u8]) -> Result<KbSnapshot, StoreError> 
 }
 
 // ---------------------------------------------------------------------
+// Lazy (paged) base snapshot open.
+
+/// Locates a region in a file-backed source, reads its payload with one
+/// positioned read, and verifies the CRC — the `pread` twin of
+/// [`region`].
+fn region_from_source(
+    source: &SegmentSource,
+    entries: &[RegionEntry],
+    want: SegmentRegion,
+) -> Result<Vec<u8>, StoreError> {
+    let e = entries
+        .iter()
+        .find(|e| e.region == want)
+        .ok_or_else(|| corrupt(SegmentRegion::Header, format!("missing {want} region")))?;
+    let payload = source.read_range(e.range.clone())?;
+    if crc32(&payload) != e.crc {
+        return Err(corrupt(want, "checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Reads a count-prefixed region's leading `u32` without touching the
+/// rest of the payload. Returns 0 for a missing or short region — the
+/// caller treats the count as advisory (real validation happens when
+/// the region faults in).
+pub(crate) fn region_count_prefix(
+    source: &SegmentSource,
+    entries: &[RegionEntry],
+    want: SegmentRegion,
+) -> usize {
+    let Some(e) = entries.iter().find(|e| e.region == want) else {
+        return 0;
+    };
+    if e.range.len() < 4 {
+        return 0;
+    }
+    let mut buf = [0u8; 4];
+    match source.read_exact_at(e.range.start as u64, &mut buf) {
+        Ok(()) => u32::from_le_bytes(buf) as usize,
+        Err(_) => 0,
+    }
+}
+
+/// Decodes the base (non-index) regions of a lazily opened segment:
+/// dictionary, sources, facts, taxonomy, sameAs, labels — each read
+/// with one positioned read and CRC-verified on this first touch. Runs
+/// at most once per snapshot (cached in [`LazyBase`]); the same
+/// validation as the eager open applies, so a corrupt region is the
+/// same typed error either way.
+pub(crate) fn fault_base(
+    source: &Arc<SegmentSource>,
+    entries: &[RegionEntry],
+) -> Result<EagerBase, StoreError> {
+    let facts = decode_facts(&region_from_source(source, entries, SegmentRegion::Facts)?)?;
+    let live = facts.iter().filter(|f| !f.is_retracted()).count();
+
+    let terms = decode_terms(&region_from_source(source, entries, SegmentRegion::Dictionary)?)?;
+    let dict = Dictionary::from_terms(terms)
+        .ok_or_else(|| corrupt(SegmentRegion::Dictionary, "duplicate term in dictionary"))?;
+    let sources = decode_sources(&region_from_source(source, entries, SegmentRegion::Sources)?)?;
+    let mut source_lookup = FxHashMap::with_capacity_and_hasher(sources.len(), Default::default());
+    for (i, name) in sources.iter().enumerate() {
+        if source_lookup.insert(name.clone(), SourceId(i as u32)).is_some() {
+            return Err(corrupt(SegmentRegion::Sources, format!("duplicate source {name:?}")));
+        }
+    }
+    let mut by_triple = FxHashMap::with_capacity_and_hasher(facts.len(), Default::default());
+    for (i, f) in facts.iter().enumerate() {
+        if by_triple.insert(f.triple, FactId(i as u32)).is_some() {
+            return Err(corrupt(SegmentRegion::Facts, format!("fact {i}: duplicate triple")));
+        }
+    }
+    check_fact_ids(&facts, dict.len(), sources.len())?;
+
+    let taxonomy = decode_taxonomy(
+        &region_from_source(source, entries, SegmentRegion::Taxonomy)?,
+        dict.len(),
+    )?;
+    let sameas =
+        decode_sameas(&region_from_source(source, entries, SegmentRegion::SameAs)?, dict.len())?;
+    let labels =
+        decode_labels(&region_from_source(source, entries, SegmentRegion::Labels)?, dict.len())?;
+
+    let core = KbCore { dict, facts, by_triple, sources, source_lookup, live };
+    Ok(EagerBase { core, taxonomy, sameas, labels })
+}
+
+/// Builds a [`FrozenIndexes::Lazy`] over a file's frames region: one
+/// [`ColSlot`] per column, all registered with `budget`'s eviction
+/// clock. Nothing is read yet beyond what the caller already parsed.
+fn lazy_indexes(
+    source: &Arc<SegmentSource>,
+    entries: &[RegionEntry],
+    budget: &MemoryBudget,
+) -> Result<FrozenIndexes, StoreError> {
+    let e = entries
+        .iter()
+        .find(|e| e.region == SegmentRegion::Frames)
+        .ok_or_else(|| corrupt(SegmentRegion::Header, "missing frames region"))?;
+    let region = Arc::new(FrameRegion::new(Arc::clone(source), e.range.clone(), e.crc));
+    let slots: [Arc<ColSlot>; FRAME_COLS] =
+        std::array::from_fn(|i| ColSlot::new(Arc::clone(&region), i, budget.clone()));
+    Ok(FrozenIndexes::Lazy(LazyIndexes::new(region, slots)))
+}
+
+/// Opens a base segment lazily: reads and validates only the preamble
+/// and region table, then hands back a [`KbSnapshot`] whose base
+/// regions fault in on first access and whose index columns page in
+/// (and spill back out) under `budget`. Open cost is `O(header)`,
+/// independent of KB size.
+///
+/// Corruption anywhere past the header surfaces on *first access* as a
+/// typed [`StoreError::Corrupt`]; call [`KbSnapshot::prefault`] right
+/// after open to get eager-open error semantics back. v1 images have no
+/// pageable frames region and fall back to the eager reader.
+pub(crate) fn snapshot_open_lazy(
+    path: &Path,
+    budget: &MemoryBudget,
+) -> Result<KbSnapshot, StoreError> {
+    let obs = kb_obs::global();
+    let span = obs.span("store.segment.open_us");
+    let source = Arc::new(SegmentSource::open(path)?);
+    let file_len = source.len() as usize;
+    let mut preamble = [0u8; PREAMBLE_LEN];
+    if file_len < PREAMBLE_LEN {
+        return Err(corrupt(SegmentRegion::Header, "file shorter than the 16-byte preamble"));
+    }
+    source.read_exact_at(0, &mut preamble)?;
+    let header_len = u32::from_le_bytes(preamble[8..12].try_into().unwrap()) as usize;
+    let prefix_len = PREAMBLE_LEN
+        .checked_add(header_len)
+        .filter(|&e| e <= file_len)
+        .ok_or_else(|| corrupt(SegmentRegion::Header, "header length runs past end of file"))?;
+    let prefix = source.read_range(0..prefix_len)?;
+    let (_, version, entries) = parse_header_limited(&prefix, Some(MAGIC_BASE), file_len)?;
+    if version == FORMAT_VERSION_V1 {
+        // v1 stores raw permutations that must be re-compressed on
+        // open; there is nothing to page. Fall back to the eager path.
+        return KbSnapshot::open_segment(path);
+    }
+    let indexes = lazy_indexes(&source, &entries, budget)?;
+    let snap = KbSnapshot::from_lazy(Arc::new(LazyBase::new(source, entries)), indexes);
+    span.stop();
+    obs.counter("store.segment.opens").inc();
+    Ok(snap)
+}
+
+/// Opens a sealed delta segment with pageable index columns: the image
+/// is read and *fully validated* eagerly (deltas are small relative to
+/// the base, and the quarantine/recovery story depends on open-time
+/// validation), then — only under a bounded budget — the decoded index
+/// columns are swapped for lazy slots so they can spill. Under an
+/// unbounded budget the eager indexes are kept as-is: re-reading what
+/// was just decoded would double the open cost for nothing.
+pub(crate) fn delta_open_lazy(
+    path: &Path,
+    budget: &MemoryBudget,
+) -> Result<DeltaSegment, StoreError> {
+    let bytes = std::fs::read(path)?;
+    let mut delta = delta_from_bytes(&bytes)?;
+    if budget.limit().is_some() {
+        let (_, version, entries) = parse_header(&bytes, Some(MAGIC_DELTA))?;
+        if version == FORMAT_VERSION {
+            let source = Arc::new(SegmentSource::open(path)?);
+            delta.indexes = lazy_indexes(&source, &entries, budget)?;
+        }
+    }
+    Ok(delta)
+}
+
+// ---------------------------------------------------------------------
 // Delta segment image.
 
-fn delta_common_regions(delta: &DeltaSegment) -> Vec<(SegmentRegion, Vec<u8>)> {
+fn delta_common_regions(delta: &DeltaSegment) -> Result<Vec<(SegmentRegion, Vec<u8>)>, StoreError> {
     let mut meta = Vec::with_capacity(8);
     put_u32(&mut meta, delta.first_term().0);
     put_u32(&mut meta, delta.first_source_id());
     let mut kinds = Vec::with_capacity(4 + delta.kinds.len());
-    put_u32(&mut kinds, delta.kinds.len() as u32);
+    put_len(&mut kinds, delta.kinds.len(), SegmentRegion::Kinds)?;
     kinds.extend(delta.kinds.iter().map(|k| match k {
         FactKind::New => 0u8,
         FactKind::Shadow => 1,
         FactKind::Tombstone => 2,
     }));
-    vec![
+    Ok(vec![
         (SegmentRegion::DeltaMeta, meta),
-        (SegmentRegion::Dictionary, encode_terms(delta.ext_terms.iter(), delta.ext_terms.len())),
-        (SegmentRegion::Sources, encode_terms(delta.ext_sources.iter(), delta.ext_sources.len())),
-        (SegmentRegion::Facts, encode_facts(&delta.facts)),
+        (
+            SegmentRegion::Dictionary,
+            encode_terms(delta.ext_terms.iter(), delta.ext_terms.len(), SegmentRegion::Dictionary)?,
+        ),
+        (
+            SegmentRegion::Sources,
+            encode_terms(
+                delta.ext_sources.iter(),
+                delta.ext_sources.len(),
+                SegmentRegion::Sources,
+            )?,
+        ),
+        (SegmentRegion::Facts, encode_facts(&delta.facts)?),
         (SegmentRegion::Kinds, kinds),
-    ]
+    ])
 }
 
 /// Serializes a delta segment to its image (also the WAL payload).
-pub(crate) fn delta_to_bytes(delta: &DeltaSegment) -> Vec<u8> {
-    let mut regions = delta_common_regions(delta);
-    regions.push((SegmentRegion::Frames, encode_frames(delta.indexes.frame_cols())));
-    assemble(MAGIC_DELTA, FORMAT_VERSION, regions)
+pub(crate) fn delta_to_bytes(delta: &DeltaSegment) -> Result<Vec<u8>, StoreError> {
+    let mut regions = delta_common_regions(delta)?;
+    regions.push((SegmentRegion::Frames, encode_frames(delta.indexes.frame_cols())?));
+    Ok(assemble(MAGIC_DELTA, FORMAT_VERSION, regions))
 }
 
 /// Serializes a delta segment in the legacy v1 layout. Retained for
 /// compatibility tests only (old WAL records and delta files carry v1
 /// images that must keep replaying).
-pub(crate) fn delta_to_bytes_v1(delta: &DeltaSegment) -> Vec<u8> {
-    let mut regions = delta_common_regions(delta);
-    regions.push((SegmentRegion::Permutations, encode_perms(&delta.indexes.perm_fact_ids())));
-    regions.push((SegmentRegion::Buckets, encode_buckets(&delta.indexes.bucket_starts_vec())));
-    assemble(MAGIC_DELTA, FORMAT_VERSION_V1, regions)
+pub(crate) fn delta_to_bytes_v1(delta: &DeltaSegment) -> Result<Vec<u8>, StoreError> {
+    let mut regions = delta_common_regions(delta)?;
+    regions.push((SegmentRegion::Permutations, encode_perms(&delta.indexes.perm_fact_ids())?));
+    regions.push((SegmentRegion::Buckets, encode_buckets(&delta.indexes.bucket_starts_vec())?));
+    Ok(assemble(MAGIC_DELTA, FORMAT_VERSION_V1, regions))
 }
 
 /// Deserializes and fully validates a delta segment image. Whether the
@@ -1082,7 +1387,7 @@ impl KbSnapshot {
     pub fn write_segment(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
         let obs = kb_obs::global();
         let span = obs.span("store.segment.write_us");
-        let bytes = snapshot_to_bytes(self);
+        let bytes = snapshot_to_bytes(self)?;
         write_file_atomic(path.as_ref(), &bytes, true)?;
         span.stop();
         obs.counter("store.segment.writes").inc();
@@ -1094,7 +1399,7 @@ impl KbSnapshot {
     /// normal code should use [`KbSnapshot::write_segment`].
     #[doc(hidden)]
     pub fn write_segment_v1(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
-        let bytes = snapshot_to_bytes_v1(self);
+        let bytes = snapshot_to_bytes_v1(self)?;
         write_file_atomic(path.as_ref(), &bytes, true)?;
         Ok(bytes.len() as u64)
     }
@@ -1116,7 +1421,7 @@ impl DeltaSegment {
     /// Writes this delta as a checksummed delta segment file
     /// (atomically; fsynced). Returns the number of bytes written.
     pub fn write_segment(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
-        let bytes = delta_to_bytes(self);
+        let bytes = delta_to_bytes(self)?;
         write_file_atomic(path.as_ref(), &bytes, true)?;
         Ok(bytes.len() as u64)
     }
@@ -1126,7 +1431,7 @@ impl DeltaSegment {
     /// should use [`DeltaSegment::write_segment`].
     #[doc(hidden)]
     pub fn write_segment_v1(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
-        let bytes = delta_to_bytes_v1(self);
+        let bytes = delta_to_bytes_v1(self)?;
         write_file_atomic(path.as_ref(), &bytes, true)?;
         Ok(bytes.len() as u64)
     }
@@ -1195,9 +1500,57 @@ mod tests {
     }
 
     #[test]
+    fn streaming_crc_agrees_with_one_shot_at_every_split() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i.wrapping_mul(0xB5297A4D) >> 5) as u8).collect();
+        let want = crc32(&data);
+        for split in 0..=data.len() {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), want, "split at {split}");
+        }
+        // Many tiny chunks, too.
+        let mut crc = Crc32::new();
+        for b in &data {
+            crc.update(std::slice::from_ref(b));
+        }
+        assert_eq!(crc.finish(), want);
+    }
+
+    #[test]
+    fn oversized_lengths_are_a_typed_error_not_a_truncation() {
+        // A value longer than the length field must fail loudly at
+        // write time. Scaled down via the test-only limit so the test
+        // does not have to materialize 4 GiB.
+        let snap = sample_snapshot();
+        let err = with_len_limit(2, || snapshot_to_bytes(&snap)).unwrap_err();
+        assert!(matches!(err, StoreError::TooLarge { .. }), "expected TooLarge, got {err:?}");
+        // The writers thread the error out through the public API.
+        let dir = std::env::temp_dir().join(format!("kbseg-big-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = with_len_limit(2, || snap.write_segment(dir.join("big.seg"))).unwrap_err();
+        assert!(matches!(err, StoreError::TooLarge { .. }));
+        // Every region encoder is checked, not just the dictionary: a
+        // limit of 2 lets two-element tables through but still trips on
+        // the first longer string/column, so sweep a range of limits
+        // and require the error to name *some* region each time.
+        for limit in [0, 1, 3, 8] {
+            let err = with_len_limit(limit, || snapshot_to_bytes(&snap)).unwrap_err();
+            let StoreError::TooLarge { len, .. } = err else {
+                panic!("limit {limit}: expected TooLarge, got {err:?}")
+            };
+            assert!(len > limit, "reported len {len} must exceed the limit {limit}");
+        }
+        // Unlimited writes still succeed afterwards (the limit is
+        // scoped, not sticky).
+        assert!(snapshot_to_bytes(&snap).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn snapshot_round_trips_byte_identically() {
         let snap = sample_snapshot();
-        let bytes = snapshot_to_bytes(&snap);
+        let bytes = snapshot_to_bytes(&snap).unwrap();
         let reopened = snapshot_from_bytes(&bytes).unwrap();
         assert_eq!(
             crate::ntriples::to_string(&snap).unwrap(),
@@ -1209,7 +1562,7 @@ mod tests {
         assert_eq!(snap.fact(FactId(1)).unwrap().confidence, 0.0);
         assert_eq!(reopened.fact(FactId(1)).unwrap().confidence, 0.0);
         // Serialization is deterministic.
-        assert_eq!(bytes, snapshot_to_bytes(&reopened));
+        assert_eq!(bytes, snapshot_to_bytes(&reopened).unwrap());
     }
 
     #[test]
@@ -1220,7 +1573,7 @@ mod tests {
         d.assert_str("Steve_Jobs", "founded", "Apple_Inc"); // shadow
         d.retract_str("Steve_Jobs", "bornIn", "SF"); // tombstone
         let delta = d.freeze_delta(&view);
-        let bytes = delta_to_bytes(&delta);
+        let bytes = delta_to_bytes(&delta).unwrap();
         let reopened = delta_from_bytes(&bytes).unwrap();
         assert_eq!(reopened.new_facts(), delta.new_facts());
         assert_eq!(reopened.shadowed(), delta.shadowed());
@@ -1233,12 +1586,12 @@ mod tests {
             crate::ntriples::to_string(&a).unwrap(),
             crate::ntriples::to_string(&b).unwrap()
         );
-        assert_eq!(bytes, delta_to_bytes(&b.deltas()[0]));
+        assert_eq!(bytes, delta_to_bytes(&b.deltas()[0]).unwrap());
     }
 
     #[test]
     fn region_map_names_every_region() {
-        let bytes = snapshot_to_bytes(&sample_snapshot());
+        let bytes = snapshot_to_bytes(&sample_snapshot()).unwrap();
         let map = region_map(&bytes).unwrap();
         let regions: Vec<SegmentRegion> = map.iter().map(|(r, _)| *r).collect();
         for want in [
@@ -1270,24 +1623,24 @@ mod tests {
         // into a byte-identical *v2* image (proving the index rebuild
         // is exact, not merely equivalent).
         let snap = sample_snapshot();
-        let v1 = snapshot_to_bytes_v1(&snap);
+        let v1 = snapshot_to_bytes_v1(&snap).unwrap();
         assert_eq!(v1[4], FORMAT_VERSION_V1 as u8);
         let reopened = snapshot_from_bytes(&v1).unwrap();
         assert_eq!(
             crate::ntriples::to_string(&snap).unwrap(),
             crate::ntriples::to_string(&reopened).unwrap()
         );
-        assert_eq!(snapshot_to_bytes(&snap), snapshot_to_bytes(&reopened));
+        assert_eq!(snapshot_to_bytes(&snap).unwrap(), snapshot_to_bytes(&reopened).unwrap());
 
         let view = SegmentedSnapshot::from_base(sample_snapshot().into_shared());
         let mut d = KbBuilder::new();
         d.assert_str("Tim_Cook", "worksAt", "Apple_Inc");
         d.retract_str("Steve_Jobs", "bornIn", "SF");
         let delta = d.freeze_delta(&view);
-        let v1 = delta_to_bytes_v1(&delta);
+        let v1 = delta_to_bytes_v1(&delta).unwrap();
         assert_eq!(v1[4], FORMAT_VERSION_V1 as u8);
         let reopened = delta_from_bytes(&v1).unwrap();
-        assert_eq!(delta_to_bytes(&delta), delta_to_bytes(&reopened));
+        assert_eq!(delta_to_bytes(&delta).unwrap(), delta_to_bytes(&reopened).unwrap());
         let a = view.with_delta(Arc::new(delta));
         let b = view.try_with_delta(Arc::new(reopened)).unwrap();
         assert_eq!(
@@ -1298,7 +1651,7 @@ mod tests {
 
     #[test]
     fn every_flipped_byte_in_a_v1_image_is_caught() {
-        let bytes = snapshot_to_bytes_v1(&sample_snapshot());
+        let bytes = snapshot_to_bytes_v1(&sample_snapshot()).unwrap();
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0xA5;
@@ -1315,7 +1668,7 @@ mod tests {
         // Flipping ANY single byte of the image must surface as a typed
         // corruption (or, for a handful of semantically inert bytes such
         // as a float's low mantissa bits, at least never panic).
-        let bytes = snapshot_to_bytes(&sample_snapshot());
+        let bytes = snapshot_to_bytes(&sample_snapshot()).unwrap();
         let baseline = crate::ntriples::to_string(&sample_snapshot()).unwrap();
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
@@ -1335,7 +1688,7 @@ mod tests {
 
     #[test]
     fn wrong_magic_and_version_are_rejected() {
-        let bytes = snapshot_to_bytes(&sample_snapshot());
+        let bytes = snapshot_to_bytes(&sample_snapshot()).unwrap();
         let err = delta_from_bytes(&bytes).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { region: SegmentRegion::Header, .. }));
         let mut wrong_version = bytes.clone();
@@ -1348,7 +1701,7 @@ mod tests {
 
     #[test]
     fn truncated_file_is_a_header_corruption() {
-        let bytes = snapshot_to_bytes(&sample_snapshot());
+        let bytes = snapshot_to_bytes(&sample_snapshot()).unwrap();
         for cut in [1, PREAMBLE_LEN - 1, PREAMBLE_LEN + 3, bytes.len() - 1] {
             let err = snapshot_from_bytes(&bytes[..cut]).unwrap_err();
             assert!(matches!(err, StoreError::Corrupt { .. }), "cut at {cut}: {err:?}");

@@ -48,6 +48,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::manifest::{Manifest, MANIFEST_NAME};
+use crate::segmap::MemoryBudget;
 use crate::segment::{Compactor, DeltaSegment, SegmentedSnapshot};
 use crate::segment_io;
 use crate::snapshot::KbSnapshot;
@@ -63,11 +64,17 @@ pub struct StoreOptions {
     /// Seal the WAL into standalone delta files once it holds this many
     /// unsealed installs (0 disables auto-seal; call [`SegmentStore::seal`]).
     pub seal_every: usize,
+    /// Ceiling, in bytes, on resident lazily-loaded index columns
+    /// across every segment this store opens. `None` keeps columns
+    /// resident forever once touched (they still load lazily, so open
+    /// stays `O(header)`); `Some(n)` spills cold columns back to disk
+    /// under the store's clock policy once `n` is exceeded.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
-        Self { fsync: true, seal_every: 8 }
+        Self { fsync: true, seal_every: 8, memory_budget: None }
     }
 }
 
@@ -106,6 +113,15 @@ pub struct SegmentStore {
     /// kept in memory so `seal` doesn't have to re-read the WAL.
     unsealed: Vec<(u64, Arc<DeltaSegment>)>,
     recovery: RecoveryReport,
+    /// The paging budget every lazily opened segment charges against.
+    budget: MemoryBudget,
+}
+
+fn budget_of(options: &StoreOptions) -> MemoryBudget {
+    match options.memory_budget {
+        Some(limit) => MemoryBudget::bounded(limit),
+        None => MemoryBudget::unbounded(),
+    }
 }
 
 fn base_name(generation: u64) -> String {
@@ -176,6 +192,7 @@ impl SegmentStore {
             view,
             unsealed: Vec::new(),
             recovery: RecoveryReport::default(),
+            budget: budget_of(&options),
         })
     }
 
@@ -193,10 +210,17 @@ impl SegmentStore {
         let start = Instant::now();
         let dir = dir.as_ref().to_path_buf();
         let mut report = RecoveryReport::default();
+        let budget = budget_of(&options);
 
-        // 1. Manifest and base segment are hard requirements.
+        // 1. Manifest and base segment header are hard requirements.
+        //    The base opens *lazily*: only its preamble and region
+        //    table are read and validated here, so open cost is
+        //    independent of KB size. Corruption in a cold region
+        //    surfaces as the same typed error on first access — call
+        //    [`SegmentedSnapshot::prefault`] on the view to get the old
+        //    validate-everything-at-open behavior back.
         let mut manifest = Manifest::load(&dir)?;
-        let base = Arc::new(KbSnapshot::open_segment(dir.join(&manifest.base))?);
+        let base = Arc::new(segment_io::snapshot_open_lazy(&dir.join(&manifest.base), &budget)?);
         let mut view = SegmentedSnapshot::from_base(base);
 
         // 2. Sealed deltas, in manifest order. The first failure
@@ -210,7 +234,7 @@ impl SegmentStore {
                 quarantine_file(&dir.join(&name), &mut report);
                 continue;
             }
-            let stacked = DeltaSegment::open_segment(dir.join(&name))
+            let stacked = segment_io::delta_open_lazy(&dir.join(&name), &budget)
                 .map(Arc::new)
                 .and_then(|delta| view.try_with_delta(Arc::clone(&delta)).map(|v| (v, delta)));
             match stacked {
@@ -321,7 +345,15 @@ impl SegmentStore {
         obs.histogram("store.open_micros").observe(start.elapsed().as_micros() as u64);
         obs.counter("store.opens").inc();
 
-        Ok(Self { dir, options, manifest, wal, view, unsealed, recovery: report })
+        Ok(Self { dir, options, manifest, wal, view, unsealed, recovery: report, budget })
+    }
+
+    /// The paging budget this store's lazily opened segments charge
+    /// against. Tests and tooling read residency/fault/spill counts
+    /// here rather than from the process-global gauges, which race when
+    /// several stores coexist.
+    pub fn memory_budget(&self) -> &MemoryBudget {
+        &self.budget
     }
 
     /// The store's directory.
@@ -361,7 +393,7 @@ impl SegmentStore {
         // delta frozen against the wrong view must not reach the log.
         let next_view = self.view.try_with_delta(Arc::clone(&delta))?;
         let seq = self.wal.last_seq().max(self.manifest.applied_seq) + 1;
-        let payload = segment_io::delta_to_bytes(&delta);
+        let payload = segment_io::delta_to_bytes(&delta)?;
         let mut cost = self.wal.append(seq, &payload)?;
         self.view = next_view;
         self.unsealed.push((seq, delta));
@@ -466,7 +498,7 @@ mod tests {
     }
 
     fn no_fsync() -> StoreOptions {
-        StoreOptions { fsync: false, seal_every: 0 }
+        StoreOptions { fsync: false, seal_every: 0, memory_budget: None }
     }
 
     fn push_fact(b: &mut KbBuilder, s: &str, p: &str, o: &str, conf: f64, src: &str) {
@@ -594,15 +626,27 @@ mod tests {
         store.install_delta(d1).unwrap();
         drop(store);
 
+        // Header damage is still caught *at open* — the lazy reader
+        // validates the preamble and region table before returning.
         let base_path = dir.join(base_name(0));
         let good = std::fs::read(&base_path).unwrap();
         let mut bad = good.clone();
-        bad[good.len() / 2] ^= 0xA5;
+        bad[10] ^= 0xA5; // inside header_len of the preamble
         std::fs::write(&base_path, &bad).unwrap();
         assert!(matches!(
             SegmentStore::open_with(&dir, no_fsync()),
             Err(StoreError::Corrupt { .. })
         ));
+
+        // Damage past the header opens fine (regions are cold) but
+        // surfaces as the same typed error on prefault / first access.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n / 2] ^= 0xA5;
+        std::fs::write(&base_path, &bad).unwrap();
+        let store = SegmentStore::open_with(&dir, no_fsync()).unwrap();
+        assert!(matches!(store.view().prefault(), Err(StoreError::Corrupt { .. })));
+        drop(store);
         std::fs::write(&base_path, &good).unwrap();
 
         let manifest_path = dir.join(MANIFEST_NAME);
@@ -645,7 +689,7 @@ mod tests {
     #[test]
     fn auto_seal_kicks_in_at_threshold() {
         let dir = temp_dir("autoseal");
-        let options = StoreOptions { fsync: false, seal_every: 2 };
+        let options = StoreOptions { fsync: false, seal_every: 2, memory_budget: None };
         let mut store = SegmentStore::create(&dir, base_snapshot(), options).unwrap();
         let d1 = delta_on(&store.view(), "Ulm", "locatedIn", "Germany");
         store.install_delta(d1).unwrap();

@@ -29,9 +29,10 @@
 //! monolithic unfiltered path (no per-row iterator step, no fact-table
 //! deref).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::builder::KbCore;
+use crate::error::StoreError;
 use crate::fact::{Fact, Triple};
 use crate::frames::{ColFrames, FRAME_ROWS};
 use crate::ids::{FactId, TermId};
@@ -39,7 +40,9 @@ use crate::labels::LabelStore;
 use crate::pattern::{IndexChoice, TriplePattern};
 use crate::read::KbRead;
 use crate::sameas::SameAsStore;
+use crate::segmap::{ColSlot, FrameRegion, SegmentSource, FRAME_COLS};
 use crate::segment::DeltaSegment;
+use crate::segment_io::RegionEntry;
 use crate::store::SourceId;
 use crate::taxonomy::Taxonomy;
 use crate::time::TimePoint;
@@ -120,11 +123,56 @@ impl PermFrames {
     pub(crate) fn cols(&self) -> [&ColFrames; 4] {
         [&self.k0, &self.k1, &self.k2, &self.fid]
     }
+}
+
+/// A cursor's handle on one permutation's four columns: either borrowed
+/// from resident [`EagerIndexes`] (zero cost) or pinned `Arc`s faulted
+/// out of a lazily opened segment. Pinned columns stay alive for the
+/// cursor even if the budget evicts the slot's copy mid-query — a spill
+/// never invalidates an in-flight scan.
+#[derive(Debug, Clone)]
+pub(crate) enum PermRef<'a> {
+    Borrowed(&'a PermFrames),
+    Pinned { k0: Arc<ColFrames>, k1: Arc<ColFrames>, k2: Arc<ColFrames>, fid: Arc<ColFrames> },
+}
+
+impl PermRef<'_> {
+    fn k0(&self) -> &ColFrames {
+        match self {
+            PermRef::Borrowed(p) => &p.k0,
+            PermRef::Pinned { k0, .. } => k0,
+        }
+    }
+
+    fn k1(&self) -> &ColFrames {
+        match self {
+            PermRef::Borrowed(p) => &p.k1,
+            PermRef::Pinned { k1, .. } => k1,
+        }
+    }
+
+    fn k2(&self) -> &ColFrames {
+        match self {
+            PermRef::Borrowed(p) => &p.k2,
+            PermRef::Pinned { k2, .. } => k2,
+        }
+    }
+
+    fn fid(&self) -> &ColFrames {
+        match self {
+            PermRef::Borrowed(p) => &p.fid,
+            PermRef::Pinned { fid, .. } => fid,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.fid().len()
+    }
 
     /// The key at row `i`, probed through the `O(1)` fact-id column
     /// and the fact table (never the possibly-varint key columns).
     fn key_at(&self, facts: &[Fact], choice: IndexChoice, i: usize) -> Key {
-        permute(choice, &facts[self.fid.get(i) as usize].triple)
+        permute(choice, &facts[self.fid().get(i) as usize].triple)
     }
 }
 
@@ -205,15 +253,11 @@ impl IndexStats {
     }
 }
 
-/// The three compressed permutation indexes of a frozen store, each
-/// paired with a per-leading-term offset column.
-///
-/// Built once from the fact table in `O(n log n)`; answering a pattern
-/// with a bound leading term is an `O(1)` bucket lookup plus
-/// `O(log b)` fid-probe narrowing for a bucket of size `b`, with an
-/// exact count in the same bounds for every shape.
+/// The three compressed permutation indexes of a frozen store, fully
+/// resident in memory — the build-side and small-segment form of
+/// [`FrozenIndexes`].
 #[derive(Debug, Default, Clone)]
-pub(crate) struct FrozenIndexes {
+pub(crate) struct EagerIndexes {
     spo: PermFrames,
     pos: PermFrames,
     osp: PermFrames,
@@ -222,7 +266,7 @@ pub(crate) struct FrozenIndexes {
     osp_starts: ColFrames,
 }
 
-impl FrozenIndexes {
+impl EagerIndexes {
     fn build_impl(facts: &[Fact], include_retracted: bool) -> Self {
         let mut spo = Vec::with_capacity(facts.len());
         let mut pos = Vec::with_capacity(facts.len());
@@ -467,56 +511,252 @@ impl FrozenIndexes {
         r_osp?;
         Ok(Self { spo, pos, osp, spo_starts, pos_starts, osp_starts })
     }
+}
+
+/// Locates the row range answering `pattern` in one permutation and
+/// opens a cursor over it, plus the post-filter kept for the `s?o`
+/// shape (its range is already exact; the filter only preserves the
+/// conservative size hint). `(a, b, c)` are the pattern components in
+/// the permutation's key order.
+fn locate<'a>(
+    perm: PermRef<'a>,
+    starts: &ColFrames,
+    (a, b, c): (Option<TermId>, Option<TermId>, Option<TermId>),
+    pattern: &TriplePattern,
+    facts: &'a [Fact],
+    choice: IndexChoice,
+) -> (SegCursor<'a>, Option<TriplePattern>) {
+    let filter = (pattern.bound_count() == 2 && pattern.p.is_none()).then_some(*pattern);
+    // Leading term bound → O(1) bucket lookup via the offset column.
+    // (`choose_index` only leaves the leading term unbound for the
+    // all-wildcard pattern, which scans the whole index.)
+    let (lo, hi) = match a {
+        None => (0, perm.len()),
+        Some(a) => {
+            let i = a.index();
+            if i + 1 >= starts.len() {
+                return (SegCursor::new(perm, facts, choice, 0, 0), filter);
+            }
+            (starts.get(i) as usize, starts.get(i + 1) as usize)
+        }
+    };
+    // Remaining bound components narrow within the bucket; probes
+    // go through the O(1) fid column into the fact table.
+    let (lo, hi) = match (b, c) {
+        (None, _) => (lo, hi),
+        (Some(b), None) => {
+            let s = partition(lo, hi, |i| perm.key_at(facts, choice, i).1 < b);
+            let e = partition(s, hi, |i| perm.key_at(facts, choice, i).1 <= b);
+            (s, e)
+        }
+        (Some(b), Some(c)) => {
+            let key12 = |i| {
+                let k = perm.key_at(facts, choice, i);
+                (k.1, k.2)
+            };
+            let s = partition(lo, hi, |i| key12(i) < (b, c));
+            let e = partition(s, hi, |i| key12(i) <= (b, c));
+            (s, e)
+        }
+    };
+    (SegCursor::new(perm, facts, choice, lo, hi), filter)
+}
+
+/// The three permutation columns of a lazily opened segment: fifteen
+/// budget-managed [`ColSlot`]s over one checksummed [`FrameRegion`], in
+/// serialization order (SPO/POS/OSP × `k0,k1,k2,fid`, then the three
+/// starts columns). Columns materialize on first touch and may be
+/// spilled back to disk by the budget's clock sweep.
+#[derive(Debug, Clone)]
+pub(crate) struct LazyIndexes {
+    region: Arc<FrameRegion>,
+    slots: [Arc<ColSlot>; FRAME_COLS],
+}
+
+impl LazyIndexes {
+    pub(crate) fn new(region: Arc<FrameRegion>, slots: [Arc<ColSlot>; FRAME_COLS]) -> Self {
+        Self { region, slots }
+    }
+
+    /// Pins column `i` resident. The region was CRC-verified on its
+    /// first touch, so a later load failure means the file changed (or
+    /// rotted) *under* a live snapshot — there is no corrupt-tolerant
+    /// answer at this point, only refusal.
+    fn pin(&self, i: usize) -> Arc<ColFrames> {
+        self.slots[i].pin().unwrap_or_else(|e| {
+            panic!(
+                "lazily opened segment failed while re-reading a verified column: {e}; \
+                 run prefault() after open to surface cold corruption as a typed error"
+            )
+        })
+    }
+}
+
+/// The three compressed permutation indexes of a frozen store, each
+/// paired with a per-leading-term offset column.
+///
+/// Built once from the fact table in `O(n log n)`; answering a pattern
+/// with a bound leading term is an `O(1)` bucket lookup plus
+/// `O(log b)` fid-probe narrowing for a bucket of size `b`, with an
+/// exact count in the same bounds for every shape.
+///
+/// `Eager` indexes are fully resident (the build side and every write
+/// path); `Lazy` indexes page their columns in from a segment file on
+/// demand under a [`MemoryBudget`](crate::MemoryBudget).
+// The size skew is deliberate: there is one `FrozenIndexes` per open
+// segment (not per row), and boxing the eager side would cost an
+// indirection on every cursor dispatch.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub(crate) enum FrozenIndexes {
+    Eager(EagerIndexes),
+    Lazy(LazyIndexes),
+}
+
+impl Default for FrozenIndexes {
+    fn default() -> Self {
+        FrozenIndexes::Eager(EagerIndexes::default())
+    }
+}
+
+impl FrozenIndexes {
+    /// See [`EagerIndexes::build`].
+    pub(crate) fn build(facts: &[Fact]) -> Self {
+        FrozenIndexes::Eager(EagerIndexes::build(facts))
+    }
+
+    /// See [`EagerIndexes::build_with_tombstones`].
+    pub(crate) fn build_with_tombstones(facts: &[Fact]) -> Self {
+        FrozenIndexes::Eager(EagerIndexes::build_with_tombstones(facts))
+    }
+
+    /// See [`EagerIndexes::from_fact_perms`].
+    pub(crate) fn from_fact_perms(
+        facts: &[Fact],
+        perms: [Vec<u32>; 3],
+        starts: [Vec<u32>; 3],
+    ) -> Result<Self, crate::StoreError> {
+        EagerIndexes::from_fact_perms(facts, perms, starts).map(FrozenIndexes::Eager)
+    }
+
+    /// See [`EagerIndexes::from_frames`].
+    pub(crate) fn from_frames(
+        facts: &[Fact],
+        expected_len: usize,
+        is_base: bool,
+        perms: [PermFrames; 3],
+        starts: [ColFrames; 3],
+    ) -> Result<Self, crate::StoreError> {
+        EagerIndexes::from_frames(facts, expected_len, is_base, perms, starts)
+            .map(FrozenIndexes::Eager)
+    }
+
+    fn eager(&self) -> &EagerIndexes {
+        match self {
+            FrozenIndexes::Eager(ix) => ix,
+            FrozenIndexes::Lazy(_) => panic!(
+                "operation requires fully resident indexes, but this snapshot was opened \
+                 lazily (write paths always construct eager snapshots)"
+            ),
+        }
+    }
+
+    /// The three permutation columns as fact-id arrays (v1 writer).
+    /// Panics on lazily opened indexes — serialization always starts
+    /// from an eager snapshot.
+    pub(crate) fn perm_fact_ids(&self) -> [Vec<u32>; 3] {
+        self.eager().perm_fact_ids()
+    }
+
+    /// The three offset-bucket arrays (v1 writer). Panics on lazily
+    /// opened indexes.
+    pub(crate) fn bucket_starts_vec(&self) -> [Vec<u32>; 3] {
+        self.eager().bucket_starts_vec()
+    }
+
+    /// The fifteen compressed columns in serialization order. Panics on
+    /// lazily opened indexes.
+    pub(crate) fn frame_cols(&self) -> [&ColFrames; 15] {
+        self.eager().frame_cols()
+    }
+
+    /// Size and compression accounting. For lazy indexes this comes
+    /// from the on-disk layout (no column is faulted in); a damaged
+    /// region reports zeros rather than failing a diagnostics call.
+    pub(crate) fn stats(&self) -> IndexStats {
+        match self {
+            FrozenIndexes::Eager(ix) => ix.stats(),
+            FrozenIndexes::Lazy(ix) => {
+                let mut st = IndexStats::default();
+                let Ok(entries) = ix.region.col_len(3) else { return st };
+                st.entries = 3 * entries;
+                for i in 12..FRAME_COLS {
+                    st.bucket_slots += ix.region.col_len(i).unwrap_or(0);
+                }
+                for i in 0..FRAME_COLS {
+                    st.frames += ix.region.col_frames(i).unwrap_or(0);
+                    st.compressed_bytes += ix.region.col_bytes(i).unwrap_or(0);
+                }
+                st.raw_bytes = st.entries * 16 + st.bucket_slots * 4;
+                st
+            }
+        }
+    }
+
+    /// Verifies everything a query could later touch, surfacing cold
+    /// corruption as a typed error. Eager indexes were validated at
+    /// construction; lazy indexes verify the frames region CRC and
+    /// walk its layout.
+    pub(crate) fn prefault(&self) -> Result<(), StoreError> {
+        match self {
+            FrozenIndexes::Eager(_) => Ok(()),
+            FrozenIndexes::Lazy(ix) => ix.region.prefault(),
+        }
+    }
 
     /// Locates the row range answering `pattern` and opens a cursor
-    /// over it, plus the post-filter kept for the `s?o` shape (its
-    /// range is already exact; the filter only preserves the
-    /// conservative size hint).
+    /// over it (see [`locate`]). On lazy indexes this pins the chosen
+    /// permutation's four columns plus its starts column, faulting any
+    /// that are cold.
     pub(crate) fn cursor<'a>(
         &'a self,
         pattern: &TriplePattern,
         facts: &'a [Fact],
     ) -> (SegCursor<'a>, Option<TriplePattern>) {
         let choice = pattern.choose_index();
-        let (perm, starts, (a, b, c)) = match choice {
-            IndexChoice::Spo => (&self.spo, &self.spo_starts, (pattern.s, pattern.p, pattern.o)),
-            IndexChoice::Pos => (&self.pos, &self.pos_starts, (pattern.p, pattern.o, pattern.s)),
-            IndexChoice::Osp => (&self.osp, &self.osp_starts, (pattern.o, pattern.s, pattern.p)),
-        };
-        let filter = (pattern.bound_count() == 2 && pattern.p.is_none()).then_some(*pattern);
-        // Leading term bound → O(1) bucket lookup via the offset column.
-        // (`choose_index` only leaves the leading term unbound for the
-        // all-wildcard pattern, which scans the whole index.)
-        let (lo, hi) = match a {
-            None => (0, perm.len()),
-            Some(a) => {
-                let i = a.index();
-                if i + 1 >= starts.len() {
-                    return (SegCursor::new(perm, facts, choice, 0, 0), filter);
-                }
-                (starts.get(i) as usize, starts.get(i + 1) as usize)
-            }
-        };
-        // Remaining bound components narrow within the bucket; probes
-        // go through the O(1) fid column into the fact table.
-        let (lo, hi) = match (b, c) {
-            (None, _) => (lo, hi),
-            (Some(b), None) => {
-                let s = partition(lo, hi, |i| perm.key_at(facts, choice, i).1 < b);
-                let e = partition(s, hi, |i| perm.key_at(facts, choice, i).1 <= b);
-                (s, e)
-            }
-            (Some(b), Some(c)) => {
-                let key12 = |i| {
-                    let k = perm.key_at(facts, choice, i);
-                    (k.1, k.2)
+        match self {
+            FrozenIndexes::Eager(ix) => {
+                let (perm, starts, abc) = match choice {
+                    IndexChoice::Spo => {
+                        (&ix.spo, &ix.spo_starts, (pattern.s, pattern.p, pattern.o))
+                    }
+                    IndexChoice::Pos => {
+                        (&ix.pos, &ix.pos_starts, (pattern.p, pattern.o, pattern.s))
+                    }
+                    IndexChoice::Osp => {
+                        (&ix.osp, &ix.osp_starts, (pattern.o, pattern.s, pattern.p))
+                    }
                 };
-                let s = partition(lo, hi, |i| key12(i) < (b, c));
-                let e = partition(s, hi, |i| key12(i) <= (b, c));
-                (s, e)
+                locate(PermRef::Borrowed(perm), starts, abc, pattern, facts, choice)
             }
-        };
-        (SegCursor::new(perm, facts, choice, lo, hi), filter)
+            FrozenIndexes::Lazy(ix) => {
+                let (first, starts_col, abc) = match choice {
+                    IndexChoice::Spo => (0, 12, (pattern.s, pattern.p, pattern.o)),
+                    IndexChoice::Pos => (4, 13, (pattern.p, pattern.o, pattern.s)),
+                    IndexChoice::Osp => (8, 14, (pattern.o, pattern.s, pattern.p)),
+                };
+                let perm = PermRef::Pinned {
+                    k0: ix.pin(first),
+                    k1: ix.pin(first + 1),
+                    k2: ix.pin(first + 2),
+                    fid: ix.pin(first + 3),
+                };
+                // The starts pin is dropped after the bucket lookup;
+                // the slot keeps it resident until evicted.
+                let starts = ix.pin(starts_col);
+                locate(perm, &starts, abc, pattern, facts, choice)
+            }
+        }
     }
 }
 
@@ -527,7 +767,7 @@ impl FrozenIndexes {
 /// frame decode.
 #[derive(Debug, Clone)]
 pub(crate) struct SegCursor<'a> {
-    perm: &'a PermFrames,
+    perm: PermRef<'a>,
     facts: &'a [Fact],
     choice: IndexChoice,
     /// Next row to yield (absolute).
@@ -544,7 +784,7 @@ pub(crate) struct SegCursor<'a> {
 
 impl<'a> SegCursor<'a> {
     fn new(
-        perm: &'a PermFrames,
+        perm: PermRef<'a>,
         facts: &'a [Fact],
         choice: IndexChoice,
         pos: usize,
@@ -580,8 +820,9 @@ impl<'a> SegCursor<'a> {
         if self.end - self.pos <= SMALL_SCAN {
             // Small range: O(1) fid probes + fact-table derefs beat
             // decoding (possibly varint) key frames.
+            let fid_col = self.perm.fid();
             for i in self.pos..self.end {
-                let id = self.perm.fid.get(i);
+                let id = fid_col.get(i);
                 let (a, b, c) = permute(self.choice, &self.facts[id as usize].triple);
                 self.k0.push(a.0);
                 self.k1.push(b.0);
@@ -593,10 +834,10 @@ impl<'a> SegCursor<'a> {
         // Decode to the end of the current frame (keeps every later
         // fill frame-aligned, so varint frames decode exactly once).
         let stop = self.end.min((self.pos / FRAME_ROWS + 1) * FRAME_ROWS);
-        self.perm.k0.decode_range(self.pos, stop, &mut self.k0);
-        self.perm.k1.decode_range(self.pos, stop, &mut self.k1);
-        self.perm.k2.decode_range(self.pos, stop, &mut self.k2);
-        self.perm.fid.decode_range(self.pos, stop, &mut self.fid);
+        self.perm.k0().decode_range(self.pos, stop, &mut self.k0);
+        self.perm.k1().decode_range(self.pos, stop, &mut self.k1);
+        self.perm.k2().decode_range(self.pos, stop, &mut self.k2);
+        self.perm.fid().decode_range(self.pos, stop, &mut self.fid);
     }
 
     #[inline]
@@ -1044,12 +1285,81 @@ impl<'a> Iterator for LiveFactsIter<'a> {
 /// All queries go through the [`KbRead`] trait.
 #[derive(Debug, Clone)]
 pub struct KbSnapshot {
+    base: BaseState,
+    pub(crate) indexes: FrozenIndexes,
+}
+
+/// The non-index regions of a snapshot, fully decoded: the fact table
+/// with its dictionary/source universe plus the ontology-level stores.
+#[derive(Debug, Clone)]
+pub(crate) struct EagerBase {
     pub(crate) core: KbCore,
     pub(crate) taxonomy: Taxonomy,
     pub(crate) sameas: SameAsStore,
     pub(crate) labels: LabelStore,
-    pub(crate) indexes: FrozenIndexes,
-    live: usize,
+}
+
+/// A snapshot's base regions before they have been decoded: a `pread`
+/// source plus the parsed region table. The first access that needs the
+/// fact table or dictionary faults everything in at once (base regions
+/// are interdependent — fact ids index the dictionary), caching either
+/// the decoded [`EagerBase`] or the typed corruption error.
+#[derive(Debug)]
+pub(crate) struct LazyBase {
+    source: Arc<SegmentSource>,
+    entries: Vec<RegionEntry>,
+    cell: OnceLock<Result<Box<EagerBase>, StoreError>>,
+    /// `(term_count, source_count)` read from the regions' count
+    /// prefixes — four-byte reads that keep delta stacking checks from
+    /// faulting the whole core.
+    counts: OnceLock<(usize, usize)>,
+}
+
+impl LazyBase {
+    pub(crate) fn new(source: Arc<SegmentSource>, entries: Vec<RegionEntry>) -> Self {
+        Self { source, entries, cell: OnceLock::new(), counts: OnceLock::new() }
+    }
+
+    fn fault(&self) -> Result<&EagerBase, StoreError> {
+        self.cell
+            .get_or_init(|| {
+                crate::segment_io::fault_base(&self.source, &self.entries).map(Box::new)
+            })
+            .as_ref()
+            .map(|b| &**b)
+            .map_err(Clone::clone)
+    }
+
+    /// `(term_count, source_count)` without decoding the core: the
+    /// dictionary and source regions are count-prefixed. The prefix is
+    /// not CRC-verified here (that happens when the region faults); a
+    /// corrupted count surfaces as a typed stacking or prefault error,
+    /// never silent data.
+    fn counts(&self) -> (usize, usize) {
+        *self.counts.get_or_init(|| {
+            if let Some(Ok(b)) = self.cell.get() {
+                return (b.core.dict.len(), b.core.sources.len());
+            }
+            (
+                crate::segment_io::region_count_prefix(
+                    &self.source,
+                    &self.entries,
+                    crate::error::SegmentRegion::Dictionary,
+                ),
+                crate::segment_io::region_count_prefix(
+                    &self.source,
+                    &self.entries,
+                    crate::error::SegmentRegion::Sources,
+                ),
+            )
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum BaseState {
+    Eager(Box<EagerBase>),
+    Lazy(Arc<LazyBase>),
 }
 
 impl KbSnapshot {
@@ -1060,15 +1370,73 @@ impl KbSnapshot {
         labels: LabelStore,
         indexes: FrozenIndexes,
     ) -> Self {
-        let live = core.live;
         let obs = kb_obs::global();
-        obs.gauge("store.snapshot.facts").set(live as i64);
+        obs.gauge("store.snapshot.facts").set(core.live as i64);
         obs.gauge("store.snapshot.terms").set(core.dict.len() as i64);
         let st = indexes.stats();
         obs.gauge("store.index_bytes").set(st.compressed_bytes as i64);
         obs.gauge("store.frames.compressed_bytes").set(st.compressed_bytes as i64);
         obs.gauge("store.frames.raw_bytes").set(st.raw_bytes as i64);
-        Self { core, taxonomy, sameas, labels, indexes, live }
+        Self {
+            base: BaseState::Eager(Box::new(EagerBase { core, taxonomy, sameas, labels })),
+            indexes,
+        }
+    }
+
+    /// A lazily opened snapshot: no region beyond the header has been
+    /// read, decoded, or checksummed yet. Gauges that need decoded data
+    /// are deliberately not touched — open cost must stay independent
+    /// of KB size.
+    pub(crate) fn from_lazy(base: Arc<LazyBase>, indexes: FrozenIndexes) -> Self {
+        Self { base: BaseState::Lazy(base), indexes }
+    }
+
+    /// The decoded base regions, faulting them in on a lazy snapshot.
+    /// Corruption is a typed error here; use [`prefault`](Self::prefault)
+    /// at open time to avoid the panicking accessors.
+    pub(crate) fn try_base(&self) -> Result<&EagerBase, StoreError> {
+        match &self.base {
+            BaseState::Eager(b) => Ok(b),
+            BaseState::Lazy(l) => l.fault(),
+        }
+    }
+
+    fn base_ref(&self) -> &EagerBase {
+        self.try_base().unwrap_or_else(|e| {
+            panic!(
+                "lazily opened segment's base regions failed to load: {e}; \
+                 call prefault() after open to surface this as a typed error"
+            )
+        })
+    }
+
+    /// Faults and verifies every lazily loaded region — base regions
+    /// decode fully, the frames region is CRC-checked and its layout
+    /// walked. After `Ok(())`, queries on this snapshot cannot hit
+    /// cold-corruption panics (only live file rot can).
+    pub fn prefault(&self) -> Result<(), StoreError> {
+        self.try_base()?;
+        self.indexes.prefault()
+    }
+
+    pub(crate) fn core(&self) -> &KbCore {
+        &self.base_ref().core
+    }
+
+    pub(crate) fn taxonomy(&self) -> &Taxonomy {
+        &self.base_ref().taxonomy
+    }
+
+    pub(crate) fn sameas(&self) -> &SameAsStore {
+        &self.base_ref().sameas
+    }
+
+    pub(crate) fn labels(&self) -> &LabelStore {
+        &self.base_ref().labels
+    }
+
+    pub(crate) fn indexes(&self) -> &FrozenIndexes {
+        &self.indexes
     }
 
     /// Wraps the snapshot in an [`Arc`] for sharing across threads.
@@ -1080,17 +1448,21 @@ impl KbSnapshot {
     /// views don't, which is why [`KbRead`] exposes term access as
     /// methods instead).
     pub fn dictionary(&self) -> &Dictionary {
-        &self.core.dict
+        &self.core().dict
     }
 
     /// All registered sources in id order.
     pub fn sources(&self) -> impl Iterator<Item = (SourceId, &str)> {
-        self.core.sources.iter().enumerate().map(|(i, s)| (SourceId(i as u32), s.as_str()))
+        self.core().sources.iter().enumerate().map(|(i, s)| (SourceId(i as u32), s.as_str()))
     }
 
-    /// Number of registered provenance sources.
+    /// Number of registered provenance sources. Cheap on a lazy
+    /// snapshot (count-prefix read, no core fault).
     pub(crate) fn source_count(&self) -> usize {
-        self.core.sources.len()
+        match &self.base {
+            BaseState::Eager(b) => b.core.sources.len(),
+            BaseState::Lazy(l) => l.counts().1,
+        }
     }
 
     /// Size and compression accounting for the permutation indexes.
@@ -1101,52 +1473,62 @@ impl KbSnapshot {
 
 impl KbRead for KbSnapshot {
     fn term(&self, term: &str) -> Option<TermId> {
-        self.core.dict.get(term)
+        self.core().dict.get(term)
     }
 
     fn resolve(&self, id: TermId) -> Option<&str> {
-        self.core.dict.resolve(id)
+        self.core().dict.resolve(id)
     }
 
+    /// Cheap on a lazy snapshot: served from the dictionary region's
+    /// count prefix, so delta-stacking checks at open never fault the
+    /// core.
     fn term_count(&self) -> usize {
-        self.core.dict.len()
+        match &self.base {
+            BaseState::Eager(b) => b.core.dict.len(),
+            BaseState::Lazy(l) => l.counts().0,
+        }
     }
 
     fn taxonomy(&self) -> &Taxonomy {
-        &self.taxonomy
+        &self.base_ref().taxonomy
     }
 
     fn sameas(&self) -> &SameAsStore {
-        &self.sameas
+        &self.base_ref().sameas
     }
 
     fn labels(&self) -> &LabelStore {
-        &self.labels
+        &self.base_ref().labels
     }
 
     fn source_name(&self, id: SourceId) -> Option<&str> {
-        self.core.source_name(id)
+        self.core().source_name(id)
     }
 
     fn fact(&self, id: FactId) -> Option<&Fact> {
-        self.core.facts.get(id.index())
+        self.core().facts.get(id.index())
     }
 
     fn fact_for(&self, t: &Triple) -> Option<&Fact> {
-        self.core.fact_for(t)
+        self.core().fact_for(t)
     }
 
     fn len(&self) -> usize {
-        self.live
+        self.core().live
     }
 
     fn facts(&self) -> LiveFactsIter<'_> {
-        LiveFactsIter::new(&self.core.facts)
+        LiveFactsIter::new(&self.core().facts)
     }
 
     fn matching_iter(&self, pattern: &TriplePattern) -> MatchIter<'_> {
-        let (cur, filter) = self.indexes.cursor(pattern, &self.core.facts);
+        let (cur, filter) = self.indexes.cursor(pattern, &self.core().facts);
         MatchIter::new(cur, filter)
+    }
+
+    fn prefault(&self) -> Result<(), StoreError> {
+        KbSnapshot::prefault(self)
     }
 }
 

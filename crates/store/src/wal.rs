@@ -163,8 +163,9 @@ impl Wal {
     /// is durable: a crash after `append` returns replays it.
     pub fn append(&mut self, seq: u64, payload: &[u8]) -> Result<DurabilityCost, StoreError> {
         debug_assert!(seq > self.last_seq, "WAL sequence numbers must increase");
+        let len = crate::segment_io::check_len(payload.len(), SegmentRegion::WalRecord)?;
         let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&seq.to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
@@ -378,6 +379,25 @@ mod tests {
     }
 
     #[test]
+    fn oversized_payload_is_rejected_before_touching_the_file() {
+        let path = temp_wal("toolarge.log");
+        let mut wal = Wal::create(&path, 1, false).unwrap();
+        let err = crate::segment_io::with_len_limit(4, || wal.append(1, b"way past the limit"))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::TooLarge { region: SegmentRegion::WalRecord, .. }));
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            WAL_HEADER_LEN,
+            "the failed append must not write a frame"
+        );
+        // The WAL is still usable afterwards.
+        wal.append(1, b"ok").unwrap();
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn non_monotonic_sequence_is_damage() {
         let path = temp_wal("seq.log");
         let mut wal = Wal::create(&path, 1, false).unwrap();
@@ -385,7 +405,7 @@ mod tests {
         // Hand-craft a second record with a *lower* seq.
         let mut bytes = std::fs::read(&path).unwrap();
         let payload = b"stale";
-        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&u32::try_from(payload.len()).unwrap().to_le_bytes());
         bytes.extend_from_slice(&2u64.to_le_bytes());
         bytes.extend_from_slice(&crc32(payload).to_le_bytes());
         bytes.extend_from_slice(payload);

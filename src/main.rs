@@ -24,7 +24,7 @@ use kbkit::kb_query::{execute_traced, parse, routing_decision, ExecTrace, Plan, 
 use kbkit::kb_serve::{KbRouter, ServeError};
 use kbkit::kb_store::{
     ntriples, Compactor, IndexStats, KbBuilder, KbRead, KbSnapshot, KnowledgeBase, SegmentStore,
-    StoreOptions,
+    StoreOptions, TriplePattern,
 };
 
 const USAGE: &str = "\
@@ -46,18 +46,22 @@ USAGE:
   kbkit stats <kb.tsv>
       Print knowledge-base statistics.
   kbkit query <kb.tsv> <query> [--explain]
-  kbkit query --data-dir DIR <query> [--explain]
+  kbkit query --data-dir DIR <query> [--explain] [--memory-budget BYTES]
       Run a SPARQL-style query, e.g. '?p bornIn ?c . ?c locatedIn ?n'
       or 'SELECT ?c COUNT(?p) AS ?n WHERE { ?p bornIn ?c } GROUP BY ?c'.
       --explain also prints the chosen physical plan. With --data-dir,
       cold-starts from a durable segment store (validating checksums
       and replaying the WAL) instead of parsing a TSV dump.
+      --memory-budget caps resident index bytes: frame columns page in
+      on first touch and spill (clock eviction) when over budget, so a
+      KB larger than RAM still serves. Accepts k/m/g suffixes (64m).
   kbkit rules <kb.tsv> [--min-support N]
       Mine AMIE-style Horn rules from the KB.
   kbkit ned <kb.tsv> <text>
       Detect and disambiguate entity mentions in the text.
   kbkit serve-bench [--partitions N] [--clients M] [--requests K]
-                   [--rate R] [--data-dir DIR] [<kb.tsv>] [--seed N]
+                   [--rate R] [--data-dir DIR] [--memory-budget BYTES]
+                   [<kb.tsv>] [--seed N]
       Partition the KB by subject into N replica services behind a
       scatter-gather router and drive it with M concurrent clients
       (mixed subject-bound and scatter queries). Prints routing and
@@ -66,6 +70,8 @@ USAGE:
       segment store), a TSV dump, or a fresh tiny harvest, in that
       order of preference. --rate enables per-tenant admission rate
       limiting (requests/second) so overload sheds instead of queueing.
+      --memory-budget (with --data-dir) serves under a resident-byte
+      cap, paging index columns on demand — see kbkit query.
   kbkit metrics [--json] [--seed N]
       Harvest the quickstart (tiny) corpus, freeze a snapshot and serve
       a few queries, then print the collected metrics as an aligned
@@ -112,6 +118,25 @@ fn main() -> ExitCode {
 /// Reads `--flag value` style options from an argument list.
 fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Parses `--memory-budget BYTES` (with optional k/m/g suffix) into
+/// store options for a budgeted cold start.
+fn budgeted_options(args: &[String]) -> Result<StoreOptions, String> {
+    let memory_budget = match opt(args, "--memory-budget") {
+        None => None,
+        Some(raw) => {
+            let (digits, mult) = match raw.as_bytes().last() {
+                Some(b'k') | Some(b'K') => (&raw[..raw.len() - 1], 1usize << 10),
+                Some(b'm') | Some(b'M') => (&raw[..raw.len() - 1], 1usize << 20),
+                Some(b'g') | Some(b'G') => (&raw[..raw.len() - 1], 1usize << 30),
+                _ => (raw, 1usize),
+            };
+            let n: usize = digits.parse().map_err(|_| format!("bad --memory-budget {raw:?}"))?;
+            Some(n.checked_mul(mult).ok_or(format!("bad --memory-budget {raw:?}"))?)
+        }
+    };
+    Ok(StoreOptions { memory_budget, ..StoreOptions::default() })
 }
 
 /// First argument that is not a flag or a flag value.
@@ -164,7 +189,14 @@ fn cmd_harvest(args: &[String]) -> Result<(), String> {
     );
     if args.iter().any(|a| a == "--incremental") {
         let durability = opt(args, "--data-dir").map(|dir| {
-            (dir, StoreOptions { fsync: !args.iter().any(|a| a == "--no-fsync"), seal_every: 8 })
+            (
+                dir,
+                StoreOptions {
+                    fsync: !args.iter().any(|a| a == "--no-fsync"),
+                    seal_every: 8,
+                    ..StoreOptions::default()
+                },
+            )
         });
         return harvest_incremental(&corpus, method, out_path, durability);
     }
@@ -339,20 +371,32 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     // (checksum validation + WAL replay), no TSV parse, no re-indexing.
     if let Some(dir) = opt(args, "--data-dir") {
         let q = positional(args).ok_or("query needs a query string")?;
+        let options = budgeted_options(args)?;
         let t = Instant::now();
-        let store =
-            SegmentStore::open(dir).map_err(|e| format!("cannot open store at {dir}: {e}"))?;
+        let store = SegmentStore::open_with(dir, options)
+            .map_err(|e| format!("cannot open store at {dir}: {e}"))?;
+        let open_us = t.elapsed();
         let view = store.view();
-        let service = QueryService::from_view(&view);
+        let service = QueryService::try_from_view(&view)
+            .map_err(|e| format!("cannot serve store at {dir}: {e}"))?;
         let report = store.recovery_report();
         eprintln!(
-            "cold start from {dir}: {} facts in {:.2?} (gen {}, {} sealed deltas, {} WAL records replayed)",
+            "cold start from {dir}: {} facts in {:.2?} (open {:.2?}, gen {}, {} sealed deltas, {} WAL records replayed)",
             view.len(),
             t.elapsed(),
+            open_us,
             store.generation(),
             report.sealed_deltas,
             report.wal_replayed,
         );
+        if let Some(limit) = store.memory_budget().limit() {
+            eprintln!(
+                "memory budget: {limit} B (resident {} B, {} page faults, {} spills)",
+                store.memory_budget().resident_bytes(),
+                store.memory_budget().page_faults(),
+                store.memory_budget().spills(),
+            );
+        }
         if report.degraded() {
             eprintln!(
                 "warning: recovery quarantined {} corrupt file(s): {}",
@@ -484,10 +528,15 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     // Source the KB: durable store > TSV dump > fresh tiny harvest.
     let base: Arc<KbSnapshot>;
     let (router, oracle) = if let Some(dir) = opt(args, "--data-dir") {
-        let store =
-            SegmentStore::open(dir).map_err(|e| format!("cannot open store at {dir}: {e}"))?;
+        let options = budgeted_options(args)?;
+        let store = SegmentStore::open_with(dir, options)
+            .map_err(|e| format!("cannot open store at {dir}: {e}"))?;
         let view = store.view();
+        view.prefault().map_err(|e| format!("cannot serve store at {dir}: {e}"))?;
         eprintln!("cold start from {dir}: {} facts (gen {})", view.len(), store.generation());
+        if let Some(limit) = store.memory_budget().limit() {
+            eprintln!("memory budget: {limit} B");
+        }
         (
             KbRouter::from_view_with_config(&view, partitions, admission, registry),
             QueryService::from_view(&view),
@@ -628,13 +677,21 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let _ = fs::remove_dir_all(&scratch);
     let durable = (|| -> Result<(), kbkit::kb_store::StoreError> {
         let base = service.snapshot().base().clone();
-        let options = StoreOptions { fsync: false, seal_every: 0 };
+        let options = StoreOptions { fsync: false, seal_every: 0, memory_budget: None };
         let mut store = SegmentStore::create(&scratch, Arc::clone(&base), options)?;
         let mut b = KbBuilder::new();
         b.assert_str("metrics_probe", "type", "probe");
         store.install_delta(Arc::new(b.freeze_delta(&store.view())))?;
         drop(store);
-        SegmentStore::open_with(&scratch, options).map(drop)
+        // Reopen under a deliberately tiny memory budget and scan, so
+        // the paging families (store.resident_bytes, store.page_faults,
+        // store.spills) are exercised and present in the output schema.
+        let budgeted = StoreOptions { memory_budget: Some(1), ..options };
+        let store = SegmentStore::open_with(&scratch, budgeted)?;
+        let view = store.view();
+        view.prefault()?;
+        let _ = view.count_matching(&TriplePattern::any());
+        Ok(())
     })();
     let _ = fs::remove_dir_all(&scratch);
     durable.map_err(|e| format!("metrics store round-trip failed: {e}"))?;

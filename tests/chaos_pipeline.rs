@@ -124,7 +124,7 @@ fn chaotic_harvest_is_deterministic_end_to_end() {
 // arbitrary instant must recover byte-identically to the last completed
 // install barrier — never to a torn or invented state.
 
-const NO_FSYNC: StoreOptions = StoreOptions { fsync: false, seal_every: 0 };
+const NO_FSYNC: StoreOptions = StoreOptions { fsync: false, seal_every: 0, memory_budget: None };
 
 /// A durable incremental harvest on the chaotic corpus, captured as the
 /// raw files it left behind plus the N-Triples oracle dump after every

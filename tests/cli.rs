@@ -108,6 +108,11 @@ fn metrics_subcommand_emits_all_layers() {
     ] {
         assert!(json.contains(family), "missing durable family {family} in:\n{json}");
     }
+    // The budgeted reopen inside `kbkit metrics` must surface the
+    // beyond-RAM paging families.
+    for family in ["\"store.resident_bytes\"", "\"store.page_faults\"", "\"store.spills\""] {
+        assert!(json.contains(family), "missing paging family {family} in:\n{json}");
+    }
 }
 
 #[test]

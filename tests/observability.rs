@@ -50,7 +50,7 @@ fn one_pipeline_run_populates_all_three_layers() {
     // a scratch directory populates the WAL and recovery families.
     let scratch = std::env::temp_dir().join(format!("kbkit-obs-{}", std::process::id()));
     std::fs::remove_dir_all(&scratch).ok();
-    let options = StoreOptions { fsync: false, seal_every: 0 };
+    let options = StoreOptions { fsync: false, seal_every: 0, memory_budget: None };
     let base = service.snapshot().base().clone();
     let mut store = SegmentStore::create(&scratch, Arc::clone(&base), options).expect("create");
     let mut b = KbBuilder::new();

@@ -13,7 +13,7 @@ use kbkit::kb_store::{
     SegmentedSnapshot, StoreError, StoreOptions, Wal,
 };
 
-const NO_FSYNC: StoreOptions = StoreOptions { fsync: false, seal_every: 0 };
+const NO_FSYNC: StoreOptions = StoreOptions { fsync: false, seal_every: 0, memory_budget: None };
 
 fn scratch(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("kbkit-corrupt-{}-{name}", std::process::id()));
@@ -187,6 +187,55 @@ fn manifest_flips_are_hard_typed_errors() {
             Err(StoreError::Corrupt { region: SegmentRegion::Manifest, .. }) => {}
             Err(other) => panic!("manifest flip at byte {i}: wrong error {other}"),
             Ok(_) => panic!("manifest flip at byte {i} was silently accepted"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Lazy opens defer region checksums to first access: a flipped byte
+/// in a *cold* region must not fail `open_with` (only the preamble,
+/// header and manifest are read there) but must surface as the same
+/// typed `Corrupt` error — naming the damaged region — the moment the
+/// region is faulted via `prefault`. Nothing is ever silently served.
+#[test]
+fn cold_region_flips_surface_on_first_access_not_open() {
+    use kbkit::kb_store::KbRead as _;
+    let dir = scratch("cold-regions");
+    let base = rich_base();
+    drop(SegmentStore::create(&dir, base, NO_FSYNC).unwrap());
+    let path = dir.join("base-0.seg");
+    let bytes = std::fs::read(&path).unwrap();
+    let regions = segment_io::region_map(&bytes).expect("region map");
+
+    for (region, range) in &regions {
+        for offset in [range.start, (range.start + range.end) / 2, range.end - 1] {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 0xA5;
+            std::fs::write(&path, &bad).unwrap();
+            let opened = SegmentStore::open_with(&dir, NO_FSYNC);
+            if *region == SegmentRegion::Header {
+                // Structural damage is still a hard open error.
+                match opened {
+                    Err(StoreError::Corrupt { .. }) => continue,
+                    Err(other) => panic!("header byte {offset}: untyped error {other}"),
+                    Ok(_) => panic!("header byte {offset} was silently accepted"),
+                }
+            }
+            // Data-region damage: the lazy open must succeed (open cost
+            // is O(header), the cold bytes were never read) ...
+            let store = opened
+                .unwrap_or_else(|e| panic!("byte {offset} in {region} failed lazy open: {e}"));
+            // ... and the first touch must report the damaged region.
+            match store.view().prefault() {
+                Err(StoreError::Corrupt { region: reported, .. }) => {
+                    assert!(
+                        reported == *region || reported == SegmentRegion::Header,
+                        "byte {offset} in {region} reported as {reported}"
+                    );
+                }
+                Err(other) => panic!("byte {offset} in {region}: untyped error {other}"),
+                Ok(()) => panic!("byte {offset} in {region} was silently accepted"),
+            }
         }
     }
     std::fs::remove_dir_all(&dir).ok();

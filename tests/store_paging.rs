@@ -1,0 +1,183 @@
+//! Beyond-RAM paging suite: a durable store opened under a
+//! `memory_budget` smaller than its index must (a) open in O(header)
+//! time without touching cold bytes, (b) answer every query
+//! byte-identically to an unbudgeted open while resident column bytes
+//! never exceed the budget, and (c) spill without ever writing — so a
+//! kill -9 mid-spill can lose nothing.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use kbkit::kb_query::QueryService;
+use kbkit::kb_store::{
+    ntriples, segment_io, Fact, KbBuilder, KbRead, KbSnapshot, SegmentRegion, SegmentStore,
+    StoreOptions, TimeSpan, Triple,
+};
+
+const NO_FSYNC: StoreOptions = StoreOptions { fsync: false, seal_every: 0, memory_budget: None };
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kbkit-paging-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A KB big enough that every permutation column holds many frames.
+fn sized_base(people: usize) -> Arc<KbSnapshot> {
+    let mut b = KbBuilder::new();
+    let src = b.register_source("paging-source");
+    let born = b.intern("bornIn");
+    let located = b.intern("locatedIn");
+    for i in 0..people {
+        let s = b.intern(&format!("person_{i}"));
+        let o = b.intern(&format!("city_{}", i % 50));
+        b.add_fact(Fact {
+            triple: Triple::new(s, born, o),
+            confidence: 0.6 + 0.3 * ((i % 10) as f64 / 10.0),
+            source: src,
+            span: TimeSpan::parse("[1950,2020]"),
+        });
+    }
+    for c in 0..50 {
+        let s = b.intern(&format!("city_{c}"));
+        let o = b.intern(&format!("country_{}", c % 5));
+        b.add_triple(s, located, o);
+    }
+    b.freeze().into()
+}
+
+/// Frames-region length of the base segment — the budget denominator.
+fn frames_bytes(dir: &Path) -> usize {
+    let bytes = std::fs::read(dir.join("base-0.seg")).unwrap();
+    segment_io::region_map(&bytes)
+        .unwrap()
+        .into_iter()
+        .find(|(r, _)| *r == SegmentRegion::Frames)
+        .map(|(_, range)| range.len())
+        .expect("v2 segment has a frames region")
+}
+
+const QUERIES: &[&str] = &[
+    "?p bornIn ?c",
+    "?p bornIn ?c . ?c locatedIn ?n",
+    "person_7 bornIn ?c",
+    "SELECT DISTINCT ?c WHERE { ?p bornIn ?c }",
+    "SELECT ?c COUNT(?p) AS ?n WHERE { ?p bornIn ?c } GROUP BY ?c",
+];
+
+fn answers(service: &QueryService, view: &kbkit::kb_store::SegmentedSnapshot) -> Vec<String> {
+    QUERIES.iter().map(|q| service.query(q).unwrap().render(view)).collect()
+}
+
+/// A store opened under half its frames-region budget answers every
+/// query byte-identically to an unbudgeted open, pages columns in and
+/// out (faults and spills both observed), and the resident gauge never
+/// ends a query above the configured limit.
+#[test]
+fn budgeted_queries_are_byte_identical_and_stay_under_budget() {
+    let dir = scratch("differential");
+    drop(SegmentStore::create(&dir, sized_base(1500), NO_FSYNC).unwrap());
+    let budget = frames_bytes(&dir) / 2;
+
+    // Oracle: unbudgeted (eager-equivalent) open.
+    let oracle_store = SegmentStore::open_with(&dir, NO_FSYNC).unwrap();
+    let oracle_view = oracle_store.view();
+    let oracle_service = QueryService::try_from_view(&oracle_view).unwrap();
+    let want = answers(&oracle_service, &oracle_view);
+    let want_dump = ntriples::to_string(&oracle_view).unwrap();
+
+    // Budgeted open of the same directory.
+    let options = StoreOptions { memory_budget: Some(budget), ..NO_FSYNC };
+    let store = SegmentStore::open_with(&dir, options).unwrap();
+    let view = store.view();
+    let service = QueryService::try_from_view(&view).unwrap();
+    let meter = store.memory_budget();
+    assert_eq!(meter.limit(), Some(budget));
+
+    for (q, want_one) in QUERIES.iter().zip(&want) {
+        let got = service.query(q).unwrap().render(&view);
+        assert_eq!(&got, want_one, "budgeted answer diverged for {q:?}");
+        assert!(
+            meter.resident_bytes() <= budget,
+            "resident {} B exceeds budget {budget} B after {q:?}",
+            meter.resident_bytes(),
+        );
+    }
+    assert_eq!(ntriples::to_string(&view).unwrap(), want_dump);
+    assert!(meter.page_faults() > 0, "budgeted serving must fault columns in");
+    assert!(meter.spills() > 0, "a half-index budget must force spills");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A lazy open reads only the preamble and header: no column is
+/// resident and no fault has happened until the first query touches
+/// the index.
+#[test]
+fn lazy_open_touches_no_cold_bytes() {
+    let dir = scratch("lazy-open");
+    drop(SegmentStore::create(&dir, sized_base(800), NO_FSYNC).unwrap());
+    let options = StoreOptions { memory_budget: Some(1 << 20), ..NO_FSYNC };
+    let store = SegmentStore::open_with(&dir, options).unwrap();
+    let meter = store.memory_budget();
+    assert_eq!(meter.resident_bytes(), 0, "open must not materialize columns");
+    assert_eq!(meter.page_faults(), 0, "open must not fault");
+    // Count-prefix reads (delta stacking checks) are not faults either.
+    let view = store.view();
+    assert!(view.term_count() > 0);
+    assert_eq!(meter.page_faults(), 0, "term_count must use the count prefix, not a fault");
+    // First real scan faults.
+    let n = view.count_matching(&kbkit::kb_store::TriplePattern::any());
+    assert_eq!(n, 850);
+    assert!(meter.page_faults() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Spill is read-only: serving under a starvation budget (every fault
+/// evicts the previous column) leaves every on-disk byte untouched, so
+/// a crash at any point during paging — including mid-spill — loses
+/// nothing. The store reopens cleanly afterwards and serves the same
+/// KB.
+#[test]
+fn spill_never_writes_and_store_survives_crash_during_paging() {
+    let dir = scratch("spill-readonly");
+    drop(SegmentStore::create(&dir, sized_base(600), NO_FSYNC).unwrap());
+    let before: Vec<(String, Vec<u8>)> = {
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.is_file())
+            .collect();
+        files.sort();
+        files.into_iter().map(|p| (p.display().to_string(), std::fs::read(&p).unwrap())).collect()
+    };
+    let oracle = {
+        let store = SegmentStore::open_with(&dir, NO_FSYNC).unwrap();
+        ntriples::to_string(&store.view()).unwrap()
+    };
+
+    // Starvation budget: one byte, so every column fault spills the
+    // previously resident column.
+    let options = StoreOptions { memory_budget: Some(1), ..NO_FSYNC };
+    let store = SegmentStore::open_with(&dir, options).unwrap();
+    let view = store.view();
+    view.prefault().unwrap();
+    for q in ["?p bornIn ?c", "?p locatedIn ?c", "person_3 bornIn ?c"] {
+        let service_free = QueryService::from_view(&view);
+        let _ = service_free.query(q).unwrap();
+    }
+    assert!(store.memory_budget().spills() > 0, "starvation budget must spill");
+    // Simulated kill -9 mid-paging: drop with no shutdown protocol.
+    drop((view, store));
+
+    for (name, bytes) in &before {
+        assert_eq!(
+            &std::fs::read(name).unwrap(),
+            bytes,
+            "{name} changed on disk — paging must never write"
+        );
+    }
+    let store = SegmentStore::open_with(&dir, NO_FSYNC).unwrap();
+    assert_eq!(ntriples::to_string(&store.view()).unwrap(), oracle);
+    std::fs::remove_dir_all(&dir).ok();
+}
