@@ -15,12 +15,14 @@
 pub mod aggregate;
 pub mod burst;
 pub mod exec;
+pub mod live;
 pub mod report;
 pub mod sentiment;
 pub mod stream;
 pub mod track;
 
 pub use aggregate::TimeSeries;
+pub use live::{synthesize_stream, window_mention_counts};
 pub use report::ComparisonReport;
-pub use stream::StreamPost;
+pub use stream::{sliding_windows, StreamPost, Window};
 pub use track::Tracker;

@@ -1,4 +1,16 @@
-//! The analytics input: timestamped text posts.
+//! The analytics input: timestamped text posts, and the temporal
+//! bucketing convention every aggregation in this crate follows.
+//!
+//! ## Half-open windows
+//!
+//! **All temporal buckets are half-open on the right: `[start,
+//! end)`.** A window contains its start day and excludes its end day,
+//! so consecutive windows of the same width tile the timeline with no
+//! gap and no double-count: day 6 is the last day of week 0, day 7 the
+//! first day of week 1. [`StreamPost::week`] (the fixed weekly
+//! bucketing) and [`Window`]/[`sliding_windows`] (arbitrary sliding
+//! windows) both implement this convention; the boundary tests below
+//! pin it.
 
 use std::sync::Arc;
 
@@ -21,10 +33,76 @@ impl StreamPost {
         Self { day, text: Arc::from(text) }
     }
 
-    /// The week bucket this post falls into.
+    /// The week bucket this post falls into. Week `k` is the half-open
+    /// day range `[7k, 7(k+1))`: day 6 is still week 0, day 7 opens
+    /// week 1.
     pub fn week(&self) -> u32 {
         self.day / 7
     }
+}
+
+/// A half-open range of day indices, `[start, end)`: contains `start`,
+/// excludes `end`. The unit of sliding-window analytics — see the
+/// module docs for why half-open is the only gap-free, overlap-free
+/// tiling convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// First day inside the window.
+    pub start: u32,
+    /// First day *after* the window.
+    pub end: u32,
+}
+
+impl Window {
+    /// Creates `[start, end)`. Panics if `start > end` (an empty
+    /// window `[d, d)` is allowed and contains nothing).
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "window start {start} past end {end}");
+        Window { start, end }
+    }
+
+    /// Whether `day` falls inside `[start, end)`.
+    pub fn contains(&self, day: u32) -> bool {
+        self.start <= day && day < self.end
+    }
+
+    /// Number of days covered.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the window covers no days.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl std::fmt::Display for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Half-open sliding windows of `width` days advancing by `step` days
+/// over the day range `[0, horizon)`: `[0, w)`, `[s, s+w)`, `[2s,
+/// 2s+w)`, … — the final windows clip at `horizon`. With `step ==
+/// width` this degenerates to the tumbling (gap-free, overlap-free)
+/// tiling `week()` uses.
+///
+/// Panics if `width` or `step` is zero.
+pub fn sliding_windows(horizon: u32, width: u32, step: u32) -> Vec<Window> {
+    assert!(width > 0, "zero-width windows cover nothing");
+    assert!(step > 0, "zero step never advances");
+    let mut out = Vec::new();
+    let mut start = 0u32;
+    while start < horizon {
+        out.push(Window::new(start, (start + width).min(horizon)));
+        match start.checked_add(step) {
+            Some(next) => start = next,
+            None => break,
+        }
+    }
+    out
 }
 
 /// Converts a corpus post (drops gold annotations — analytics must
@@ -44,6 +122,49 @@ mod tests {
         assert_eq!(StreamPost::new(6, "x").week(), 0);
         assert_eq!(StreamPost::new(7, "x").week(), 1);
         assert_eq!(StreamPost::new(20, "x").week(), 2);
+    }
+
+    /// The half-open boundary contract: a window owns its start, not
+    /// its end, so the week edges (6/7, 13/14) land exactly once.
+    #[test]
+    fn windows_are_half_open_at_both_boundaries() {
+        let w0 = Window::new(0, 7);
+        let w1 = Window::new(7, 14);
+        assert!(w0.contains(0), "start day belongs to the window");
+        assert!(w0.contains(6), "last interior day belongs to the window");
+        assert!(!w0.contains(7), "end day is excluded");
+        assert!(w1.contains(7), "…and owned by the next window");
+        assert!(w1.contains(13));
+        assert!(!w1.contains(14));
+        // Half-open agrees with week() at every boundary timestamp.
+        for day in [0u32, 6, 7, 13, 14, 20] {
+            let week = StreamPost::new(day, "x").week();
+            assert!(Window::new(week * 7, (week + 1) * 7).contains(day), "day {day}");
+        }
+        assert_eq!(w0.len(), 7);
+        let empty = Window::new(3, 3);
+        assert!(empty.is_empty());
+        assert!(!empty.contains(3), "an empty window contains nothing, not even its start");
+    }
+
+    #[test]
+    fn sliding_windows_tile_and_clip() {
+        // Tumbling (step == width): gap-free, overlap-free.
+        let tumbling = sliding_windows(21, 7, 7);
+        assert_eq!(tumbling, vec![Window::new(0, 7), Window::new(7, 14), Window::new(14, 21)]);
+        for day in 0..21 {
+            assert_eq!(tumbling.iter().filter(|w| w.contains(day)).count(), 1, "day {day}");
+        }
+        // Overlapping: each interior day is seen by width/step windows.
+        let sliding = sliding_windows(28, 14, 7);
+        assert_eq!(sliding.len(), 4);
+        assert_eq!(sliding[0], Window::new(0, 14));
+        assert_eq!(sliding[1], Window::new(7, 21));
+        assert_eq!(sliding.last().unwrap(), &Window::new(21, 28), "final window clips");
+        assert_eq!(sliding.iter().filter(|w| w.contains(14)).count(), 2);
+        // A horizon shorter than the width yields one clipped window.
+        assert_eq!(sliding_windows(3, 7, 7), vec![Window::new(0, 3)]);
+        assert!(sliding_windows(0, 7, 7).is_empty());
     }
 
     #[test]

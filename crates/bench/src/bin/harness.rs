@@ -14,8 +14,8 @@ use std::time::Instant;
 
 use kb_bench::{
     exp_analytics, exp_facts, exp_kb, exp_link, exp_misc, exp_ned, exp_openie, exp_query,
-    exp_rules, exp_scale, exp_segment, exp_serve, exp_store, exp_taxonomy, exp_vector, setup,
-    HARNESS_SEED,
+    exp_rules, exp_scale, exp_segment, exp_serve, exp_store, exp_taxonomy, exp_vector, exp_view,
+    setup, HARNESS_SEED,
 };
 
 fn main() {
@@ -66,6 +66,7 @@ fn main() {
         ("t17", Box::new(exp_vector::t17)),
         ("t18", Box::new(exp_serve::t18)),
         ("t19", Box::new(exp_store::t19)),
+        ("t20", Box::new(exp_view::t20)),
     ];
     for (id, run) in experiments {
         if !want(id) {

@@ -41,8 +41,12 @@ pub fn t18() -> String {
         for &offered in &[100u64, 200, 400, 800, 1600] {
             let clock = ManualClock::shared(0);
             let registry = Registry::with_clock(clock.clone());
-            let config =
-                AdmissionConfig { rate_per_sec: Some(RATE), burst: BURST, queue_depth: 64 };
+            let config = AdmissionConfig {
+                rate_per_sec: Some(RATE),
+                burst: BURST,
+                queue_depth: 64,
+                ..Default::default()
+            };
             let router = KbRouter::with_config(snap.clone(), partitions, config, &registry);
             let total = offered * SIM_SECS;
             // Arrivals are evenly spaced: each request advances the

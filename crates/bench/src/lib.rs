@@ -21,6 +21,7 @@ pub mod exp_serve;
 pub mod exp_store;
 pub mod exp_taxonomy;
 pub mod exp_vector;
+pub mod exp_view;
 pub mod setup;
 pub mod table;
 

@@ -115,7 +115,7 @@ pub(crate) fn cmp_values(a: &str, b: &str) -> Ordering {
     }
 }
 
-fn cmp_cells<K: KbRead + ?Sized>(a: &Cell, b: &Cell, kb: &K) -> Ordering {
+pub(crate) fn cmp_cells<K: KbRead + ?Sized>(a: &Cell, b: &Cell, kb: &K) -> Ordering {
     match (a, b) {
         (Cell::Term(x), Cell::Term(y)) => {
             cmp_values(kb.resolve(*x).unwrap_or("?"), kb.resolve(*y).unwrap_or("?"))
@@ -930,8 +930,9 @@ fn run_steps<K: KbRead + ?Sized>(
 }
 
 /// [`eval_cond`] generalized over the binding lookup, so the batch
-/// executor can evaluate straight out of a columnar batch row.
-fn eval_cond_with<K: KbRead + ?Sized>(
+/// executor can evaluate straight out of a columnar batch row (and the
+/// view maintainer out of a delta-join binding).
+pub(crate) fn eval_cond_with<K: KbRead + ?Sized>(
     c: &CondC,
     get: &dyn Fn(usize) -> Option<TermId>,
     kb: &K,

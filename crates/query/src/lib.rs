@@ -4,7 +4,7 @@
 //! "querying and analytics" discussion assumes a big-data KB must
 //! serve.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! 1. **Language + algebra** ([`ast`], [`mod@parse`]) — a SPARQL-like
 //!    surface (`SELECT`/`DISTINCT`, conjunctive basic graph patterns,
@@ -25,6 +25,11 @@
 //!    [`QueryService`] with a bounded LRU plan cache keyed on
 //!    normalized query text, a result cache invalidated by snapshot
 //!    generation, and a crossbeam worker pool for concurrent batches.
+//! 4. **Standing views** ([`view`]) — a [`ViewRegistry`] of
+//!    materialized continuous queries patched incrementally from each
+//!    delta install via signed delta joins, falling back to
+//!    re-execution only for plan shapes outside the maintainable
+//!    fragment.
 //!
 //! The legacy engine in `kb_store::query` is kept as a differential
 //! oracle — `crates/query/tests/differential.rs` checks both engines
@@ -49,6 +54,7 @@ pub mod parse;
 pub mod plan;
 pub mod service;
 pub mod stats;
+pub mod view;
 
 pub use ast::SelectQuery;
 pub use error::QueryError;
@@ -57,6 +63,10 @@ pub use parse::{normalize, parse};
 pub use plan::{plan, routing_decision, Footprint, OpInfo, Plan, RoutingDecision};
 pub use service::{CacheStats, QueryService, DEFAULT_CACHE_CAPACITY};
 pub use stats::{PredStat, StatsCatalog};
+pub use view::{
+    canonical_output, canonical_sort, maintainability, Maintainability, ViewId, ViewRegistry,
+    ViewUpdate,
+};
 
 use kb_store::KbRead;
 

@@ -186,6 +186,13 @@ impl Footprint {
     pub fn is_wildcard(&self) -> bool {
         self.wildcard
     }
+
+    /// The sorted predicate ids the plan's answer can depend on
+    /// (empty for pure-wildcard footprints). `--explain` prints these
+    /// so users can predict which delta installs touch a standing view.
+    pub fn preds(&self) -> &[TermId] {
+        &self.preds
+    }
 }
 
 /// Walks the query group collecting its predicate footprint.

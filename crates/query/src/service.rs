@@ -87,6 +87,7 @@ use crate::exec::{execute, QueryOutput};
 use crate::parse::parse;
 use crate::plan::{plan, Footprint, Plan};
 use crate::stats::StatsCatalog;
+use crate::view::{ViewId, ViewRegistry, ViewUpdate};
 
 /// Default bound on each cache (plans and results separately).
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
@@ -509,6 +510,9 @@ pub struct QueryService {
     plan_flight: SingleFlight<Result<Arc<Plan>, QueryError>>,
     result_flight: SingleFlight<Arc<QueryOutput>>,
     single_flight: AtomicBool,
+    /// Standing views maintained across delta installs. Lock order is
+    /// always `current` → `views`, never the reverse.
+    views: Mutex<ViewRegistry>,
     metrics: ServiceMetrics,
 }
 
@@ -546,6 +550,7 @@ impl QueryService {
             plan_flight: SingleFlight::new(),
             result_flight: SingleFlight::new(),
             single_flight: AtomicBool::new(true),
+            views: Mutex::new(ViewRegistry::new(registry)),
             metrics: ServiceMetrics::publish(registry),
         }
     }
@@ -652,6 +657,15 @@ impl QueryService {
         self.apply_delta_inner(delta, None);
     }
 
+    /// Like [`apply_delta`](Self::apply_delta), additionally returning
+    /// one consistent [`ViewUpdate`] per registered standing view the
+    /// delta touches — the subscription feed. Views are maintained
+    /// under the same generation lock as the install itself, so every
+    /// update batch corresponds to exactly one epoch.
+    pub fn apply_delta_publishing(&self, delta: Arc<DeltaSegment>) -> Vec<ViewUpdate> {
+        self.apply_delta_inner(delta, None)
+    }
+
     /// Like [`apply_delta`](Self::apply_delta), but installing a
     /// caller-provided statistics catalog instead of folding the
     /// delta's statistics into the current one.
@@ -665,8 +679,13 @@ impl QueryService {
         self.apply_delta_inner(delta, Some(stats));
     }
 
-    fn apply_delta_inner(&self, delta: Arc<DeltaSegment>, shared: Option<Arc<StatsCatalog>>) {
+    fn apply_delta_inner(
+        &self,
+        delta: Arc<DeltaSegment>,
+        shared: Option<Arc<StatsCatalog>>,
+    ) -> Vec<ViewUpdate> {
         let mut cur = self.current.lock().expect("service lock poisoned");
+        let old_view = Arc::clone(&cur.view);
         let view = Arc::new(cur.view.with_delta(Arc::clone(&delta)));
         let stats = shared.unwrap_or_else(|| Arc::new(cur.stats.merged_with_delta(&delta)));
         cur.epoch += 1;
@@ -677,10 +696,47 @@ impl QueryService {
         self.plans.lock().expect("plan cache poisoned").apply_delta(epoch, touched, true);
         let (retained, invalidated) =
             self.results.lock().expect("result cache poisoned").apply_delta(epoch, touched, false);
+        let updates = self.views.lock().expect("view registry poisoned").apply_delta(
+            delta.as_ref(),
+            old_view.as_ref(),
+            cur.view.as_ref(),
+            &cur.stats,
+        );
         drop(cur);
         self.metrics.delta_installs.inc();
         self.metrics.result_retained.add(retained);
         self.metrics.result_invalidated.add(invalidated);
+        updates
+    }
+
+    /// Registers `text` as a materialized standing view over the
+    /// currently-served view; later [`apply_delta`](Self::apply_delta)
+    /// calls patch its answer incrementally (see [`crate::view`]).
+    /// Registration holds the generation lock so the initial answer is
+    /// consistent with one epoch.
+    pub fn register_view(&self, text: &str) -> Result<ViewId, QueryError> {
+        let cur = self.current.lock().expect("service lock poisoned");
+        self.views.lock().expect("view registry poisoned").register(
+            text,
+            cur.view.as_ref(),
+            &cur.stats,
+        )
+    }
+
+    /// Removes a standing view; returns whether it existed.
+    pub fn unregister_view(&self, id: ViewId) -> bool {
+        self.views.lock().expect("view registry poisoned").unregister(id)
+    }
+
+    /// The standing view's current materialized answer (canonical row
+    /// order).
+    pub fn view_result(&self, id: ViewId) -> Option<Arc<QueryOutput>> {
+        self.views.lock().expect("view registry poisoned").result(id)
+    }
+
+    /// Number of registered standing views.
+    pub fn view_count(&self) -> usize {
+        self.views.lock().expect("view registry poisoned").len()
     }
 
     /// The current snapshot generation (starts at 0, bumps on
@@ -1136,6 +1192,60 @@ mod tests {
         assert_eq!(stats.result_invalidated, 1, "only the bornIn entry dies");
         assert_eq!(stats.result_retained, 1, "the locatedIn entry survives");
         assert_eq!(stats.result_misses, 3, "qa cold, qb cold, qa after the delta");
+    }
+
+    /// Standing views ride the install path: a registered view is
+    /// patched by `apply_delta_publishing` and the update batch carries
+    /// exactly the changed rows.
+    #[test]
+    fn standing_view_patches_through_the_install_path() {
+        let svc = service();
+        let id = svc
+            .register_view("SELECT ?p ?c WHERE { ?p bornIn ?c . ?c locatedIn California }")
+            .unwrap();
+        assert_eq!(svc.view_count(), 1);
+        assert_eq!(svc.view_result(id).unwrap().rows.len(), 2);
+
+        let view = svc.snapshot();
+        let mut b = KbBuilder::new();
+        b.assert_str("Jerry_Brown", "bornIn", "San_Francisco");
+        b.retract_str("Steve_Wozniak", "bornIn", "San_Jose");
+        let updates = svc.apply_delta_publishing(Arc::new(b.freeze_delta(&view)));
+        assert_eq!(updates.len(), 1);
+        assert!(updates[0].patched, "conjunctive SELECT must be delta-patched");
+        assert_eq!(updates[0].added.len(), 1);
+        assert_eq!(updates[0].removed.len(), 1);
+
+        // The patched answer matches a fresh service-level execution.
+        let direct = svc.query("SELECT ?p ?c WHERE { ?p bornIn ?c . ?c locatedIn California }");
+        assert_eq!(svc.view_result(id).unwrap().rows.len(), direct.unwrap().rows.len());
+
+        assert!(svc.unregister_view(id));
+        assert_eq!(svc.view_count(), 0);
+    }
+
+    /// A delta disjoint from every view footprint produces no updates,
+    /// and plain `apply_delta` (no publishing) still maintains state.
+    #[test]
+    fn standing_view_survives_silent_installs() {
+        let svc = service();
+        let id = svc.register_view("SELECT ?p WHERE { ?p bornIn San_Jose }").unwrap();
+
+        let view = svc.snapshot();
+        let mut b = KbBuilder::new();
+        b.assert_str("Steve_Jobs", "worksAt", "Apple_Inc");
+        let updates = svc.apply_delta_publishing(Arc::new(b.freeze_delta(&view)));
+        assert!(updates.is_empty(), "disjoint delta must not touch the view");
+
+        let view = svc.snapshot();
+        let mut b = KbBuilder::new();
+        b.assert_str("Another_Person", "bornIn", "San_Jose");
+        svc.apply_delta(Arc::new(b.freeze_delta(&view)));
+        assert_eq!(
+            svc.view_result(id).unwrap().rows.len(),
+            2,
+            "non-publishing installs still patch the materialized answer"
+        );
     }
 
     /// Epoch scoping at the cache level: entries probed or re-inserted

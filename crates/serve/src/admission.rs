@@ -31,11 +31,17 @@ pub struct AdmissionConfig {
     /// query occupies one slot in *every* partition. Zero rejects
     /// everything — useful only in tests.
     pub queue_depth: usize,
+    /// Bound on each standing-view subscriber's update queue. When a
+    /// slow subscriber falls this many updates behind, the oldest
+    /// updates drop (`view.lagged`) and the subscriber's next receive
+    /// reports [`ViewLag`](crate::ViewLag) — installs never block on a
+    /// stalled consumer.
+    pub subscriber_buffer: usize,
 }
 
 impl Default for AdmissionConfig {
     fn default() -> Self {
-        Self { rate_per_sec: None, burst: 32.0, queue_depth: 64 }
+        Self { rate_per_sec: None, burst: 32.0, queue_depth: 64, subscriber_buffer: 64 }
     }
 }
 
@@ -226,7 +232,12 @@ mod tests {
 
     #[test]
     fn token_bucket_sheds_past_the_rate_and_refills() {
-        let cfg = AdmissionConfig { rate_per_sec: Some(10.0), burst: 2.0, queue_depth: 4 };
+        let cfg = AdmissionConfig {
+            rate_per_sec: Some(10.0),
+            burst: 2.0,
+            queue_depth: 4,
+            ..Default::default()
+        };
         let (gate, clock) = gate(cfg, 1);
         // Burst of 2 admitted, third shed.
         assert!(gate.admit("t").is_ok());
@@ -244,7 +255,12 @@ mod tests {
     fn idle_tenant_buckets_are_evicted_after_a_full_refill() {
         // burst 2 at 10 rps: a bucket refills completely in 200ms, so
         // the idle cutoff (and minimum sweep spacing) is 200_000µs.
-        let cfg = AdmissionConfig { rate_per_sec: Some(10.0), burst: 2.0, queue_depth: 4 };
+        let cfg = AdmissionConfig {
+            rate_per_sec: Some(10.0),
+            burst: 2.0,
+            queue_depth: 4,
+            ..Default::default()
+        };
         let (gate, clock) = gate(cfg, 1);
         // Drain "t" to zero tokens, then park 50 one-shot tenants.
         assert!(gate.admit("t").is_ok());
@@ -277,7 +293,12 @@ mod tests {
 
     #[test]
     fn queue_bound_rejects_and_rolls_back() {
-        let cfg = AdmissionConfig { rate_per_sec: None, burst: 1.0, queue_depth: 1 };
+        let cfg = AdmissionConfig {
+            rate_per_sec: None,
+            burst: 1.0,
+            queue_depth: 1,
+            ..Default::default()
+        };
         let (gate, _clock) = gate(cfg, 2);
         let held = gate.acquire(&[1]).unwrap();
         // A scatter needing both partitions fails on partition 1 and

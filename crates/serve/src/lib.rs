@@ -55,6 +55,8 @@
 mod admission;
 mod metrics;
 mod router;
+mod subscribe;
 
 pub use admission::{AdmissionConfig, Overloaded};
 pub use router::{KbRouter, ServeError, DEFAULT_TENANT};
+pub use subscribe::{Subscription, ViewLag};

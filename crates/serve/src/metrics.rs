@@ -32,6 +32,10 @@ pub(crate) struct ServeMetrics {
     pub(crate) scatter_us: Arc<Histogram>,
     /// Epoch-barrier delta fan-out latency.
     pub(crate) install_us: Arc<Histogram>,
+    /// Standing-view updates delivered to subscriber queues.
+    pub(crate) view_pushed: Arc<Counter>,
+    /// Standing-view updates shed from full subscriber queues.
+    pub(crate) view_lagged: Arc<Counter>,
     clock: Arc<dyn Clock>,
 }
 
@@ -65,6 +69,8 @@ impl ServeMetrics {
             single_us: histogram("serve.single_us"),
             scatter_us: histogram("serve.scatter_us"),
             install_us: histogram("serve.install_us"),
+            view_pushed: counter("view.pushed"),
+            view_lagged: counter("view.lagged"),
             clock: registry.clock(),
         }
     }

@@ -2,12 +2,12 @@
 //! routing, epoch-barrier delta fan-out.
 
 use std::fmt;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use kb_obs::Registry;
 use kb_query::{
-    routing_decision, QueryError, QueryOutput, QueryService, RoutingDecision, StatsCatalog,
-    DEFAULT_CACHE_CAPACITY,
+    routing_decision, QueryError, QueryOutput, QueryService, RoutingDecision, StatsCatalog, ViewId,
+    ViewRegistry, DEFAULT_CACHE_CAPACITY,
 };
 use kb_store::{
     partition_delta, partition_snapshot, subject_partition, DeltaSegment, KbSnapshot,
@@ -16,6 +16,7 @@ use kb_store::{
 
 use crate::admission::{Admission, AdmissionConfig, Overloaded};
 use crate::metrics::ServeMetrics;
+use crate::subscribe::{Subscription, SubscriptionHub};
 
 /// The tenant [`KbRouter::query`] bills requests to.
 pub const DEFAULT_TENANT: &str = "default";
@@ -68,6 +69,13 @@ pub struct KbRouter {
     services: Vec<Arc<QueryService>>,
     state: RwLock<MergedState>,
     admission: Admission,
+    /// Standing views over the *merged* view: term ids are global
+    /// (replicated dictionaries), so maintaining once at the router
+    /// against the full delta is byte-identical to maintaining on a
+    /// monolithic service. Lock order is `state` → `views`.
+    views: Mutex<ViewRegistry>,
+    subs: SubscriptionHub,
+    subscriber_buffer: usize,
     metrics: ServeMetrics,
 }
 
@@ -106,6 +114,7 @@ impl KbRouter {
             })
             .collect();
         let view = Arc::new(PartitionedView::new(services.iter().map(|s| s.snapshot()).collect()));
+        let subscriber_buffer = config.subscriber_buffer;
         let admission = Admission::new(
             config,
             registry.clock(),
@@ -117,6 +126,12 @@ impl KbRouter {
             services,
             state: RwLock::new(MergedState { view, stats, epoch: 0 }),
             admission,
+            views: Mutex::new(ViewRegistry::new(registry)),
+            subs: SubscriptionHub::new(
+                Arc::clone(&metrics.view_pushed),
+                Arc::clone(&metrics.view_lagged),
+            ),
+            subscriber_buffer,
             metrics,
         }
     }
@@ -181,6 +196,7 @@ impl KbRouter {
     pub fn apply_delta(&self, delta: Arc<DeltaSegment>) {
         let span = self.metrics.span(&self.metrics.install_us);
         let mut st = self.state.write().expect("router state poisoned");
+        let old_view = Arc::clone(&st.view);
         let split = partition_delta(delta.as_ref(), st.view.as_ref(), self.services.len());
         let stats = Arc::new(st.stats.merged_with_delta(&delta));
         for (service, slice) in self.services.iter().zip(split) {
@@ -190,9 +206,61 @@ impl KbRouter {
             Arc::new(PartitionedView::new(self.services.iter().map(|s| s.snapshot()).collect()));
         st.stats = stats;
         st.epoch += 1;
+        // Standing views maintain against the *full* delta over the
+        // old/new merged views, still under the epoch barrier — one
+        // consistent update batch per view per install. The push never
+        // blocks (bounded queues shed), so a stalled subscriber cannot
+        // hold the barrier.
+        let updates = self.views.lock().expect("router views poisoned").apply_delta(
+            delta.as_ref(),
+            old_view.as_ref(),
+            st.view.as_ref(),
+            &st.stats,
+        );
+        self.subs.push(updates);
         drop(st);
         span.stop();
         self.metrics.installs.inc();
+    }
+
+    /// Registers `text` as a materialized standing view over the merged
+    /// view; every later [`apply_delta`](Self::apply_delta) patches it
+    /// under the epoch barrier and fans one consistent [`ViewUpdate`]
+    /// batch out to its subscribers.
+    ///
+    /// [`ViewUpdate`]: kb_query::ViewUpdate
+    pub fn register_view(&self, text: &str) -> Result<ViewId, ServeError> {
+        let st = self.state.read().expect("router state poisoned");
+        let id = self.views.lock().expect("router views poisoned").register(
+            text,
+            st.view.as_ref(),
+            &st.stats,
+        )?;
+        Ok(id)
+    }
+
+    /// Removes a standing view; returns whether it existed. Existing
+    /// subscriptions on it simply stop receiving updates.
+    pub fn unregister_view(&self, id: ViewId) -> bool {
+        self.views.lock().expect("router views poisoned").unregister(id)
+    }
+
+    /// The standing view's current materialized answer (canonical row
+    /// order; render against [`view`](Self::view)).
+    pub fn view_result(&self, id: ViewId) -> Option<Arc<QueryOutput>> {
+        self.views.lock().expect("router views poisoned").result(id)
+    }
+
+    /// Opens a subscription on a standing view. The queue is bounded by
+    /// [`AdmissionConfig::subscriber_buffer`]; see
+    /// [`Subscription::try_recv`] for the lag contract.
+    pub fn subscribe(&self, id: ViewId) -> Subscription {
+        self.subs.subscribe(id, self.subscriber_buffer)
+    }
+
+    /// Live standing-view subscriber count.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.live()
     }
 
     /// [`query_as`](Self::query_as) billed to [`DEFAULT_TENANT`].
@@ -353,10 +421,107 @@ mod tests {
         }
     }
 
+    /// Standing views at the router are byte-identical to a monolithic
+    /// service's, at 1 and 4 partitions, across a chain of deltas with
+    /// retractions — the IVM analogue of the scatter-gather oracle
+    /// test.
+    #[test]
+    fn partitioned_standing_views_match_the_monolith() {
+        let queries = [
+            "SELECT ?p ?c WHERE { ?p bornIn ?c . ?c locatedIn X }",
+            "SELECT ?c COUNT(?p) AS ?n WHERE { ?p bornIn ?c } GROUP BY ?c ORDER BY ?c",
+        ];
+        for n in [1usize, 4] {
+            let (router, _registry) = isolated(n, AdmissionConfig::default());
+            let mono = QueryService::with_instrumentation(sample(), 64, &Registry::new());
+            let router_ids: Vec<_> =
+                queries.iter().map(|q| router.register_view(q).unwrap()).collect();
+            let mono_ids: Vec<_> = queries.iter().map(|q| mono.register_view(q).unwrap()).collect();
+
+            for round in 0..3 {
+                let mut b = KbBuilder::new();
+                b.assert_str(&format!("new{round}"), "bornIn", "c1");
+                b.assert_str(&format!("new{round}"), "bornIn", &format!("fresh{round}"));
+                b.retract_str(&format!("p{round}"), "bornIn", &format!("c{round}"));
+                let mono_view = mono.snapshot();
+                let delta = Arc::new(b.freeze_delta(&mono_view));
+                router.apply_delta(Arc::clone(&delta));
+                mono.apply_delta(delta);
+                let rv = router.view();
+                let mv = mono.snapshot();
+                for (rid, mid) in router_ids.iter().zip(&mono_ids) {
+                    let got = router.view_result(*rid).unwrap();
+                    let want = mono.view_result(*mid).unwrap();
+                    assert_eq!(
+                        got.render(rv.as_ref()),
+                        want.render(mv.as_ref()),
+                        "n={n} round={round}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Satellite regression: a subscriber that never drains cannot
+    /// block the epoch barrier — the queue sheds its oldest updates,
+    /// `view.lagged` counts them, and the next receive reports a typed
+    /// `ViewLag` before delivery resumes from a full-answer update.
+    #[test]
+    fn stalled_subscriber_sheds_instead_of_blocking_installs() {
+        let cfg = AdmissionConfig { subscriber_buffer: 2, ..Default::default() };
+        let (router, registry) = isolated(2, cfg);
+        let id = router.register_view("SELECT ?p WHERE { ?p bornIn c1 }").unwrap();
+        let sub = router.subscribe(id);
+        assert_eq!(router.subscriber_count(), 1);
+
+        // Five installs against a 2-slot queue; the subscriber stalls.
+        // Deltas freeze against a monolithic shadow of the router's
+        // state (replicated dictionaries make the term spaces equal).
+        let mut shadow = SegmentedSnapshot::from_base(sample());
+        for round in 0..5 {
+            let mut b = KbBuilder::new();
+            b.assert_str(&format!("late{round}"), "bornIn", "c1");
+            let delta = Arc::new(b.freeze_delta(&shadow));
+            shadow = shadow.with_delta(Arc::clone(&delta));
+            router.apply_delta(delta);
+        }
+        assert_eq!(router.epoch(), 5, "installs must complete despite the stalled subscriber");
+        assert_eq!(registry.counter("view.lagged").get(), 3);
+        assert_eq!(registry.counter("view.pushed").get(), 5);
+
+        // Lag reported exactly once, then the queued tail drains.
+        match sub.try_recv() {
+            Err(lag) => assert_eq!(lag.missed, 3),
+            other => panic!("expected ViewLag, got {other:?}"),
+        }
+        let first = sub.try_recv().unwrap().expect("queued update");
+        assert!(first.patched);
+        // The retained update carries the full answer — a valid resync
+        // point even though three diffs were dropped.
+        assert_eq!(first.output.rows.len(), router.view_result(id).unwrap().rows.len() - 1);
+        let second = sub.try_recv().unwrap().expect("newest update");
+        assert_eq!(second.output.rows.len(), router.view_result(id).unwrap().rows.len());
+        assert!(sub.try_recv().unwrap().is_none());
+
+        // Dropping the handle unsubscribes on the next push.
+        drop(sub);
+        let mut b = KbBuilder::new();
+        b.assert_str("after_drop", "bornIn", "c1");
+        let delta = Arc::new(b.freeze_delta(&shadow));
+        router.apply_delta(delta);
+        assert_eq!(router.subscriber_count(), 0);
+        assert_eq!(registry.counter("view.pushed").get(), 5, "no push after unsubscribe");
+    }
+
     #[test]
     fn shedding_is_typed_and_counted() {
         // queue_depth 0 rejects everything at the queue gate.
-        let cfg = AdmissionConfig { rate_per_sec: None, burst: 1.0, queue_depth: 0 };
+        let cfg = AdmissionConfig {
+            rate_per_sec: None,
+            burst: 1.0,
+            queue_depth: 0,
+            ..Default::default()
+        };
         let (router, registry) = isolated(2, cfg);
         match router.query("?p bornIn ?c") {
             Err(ServeError::Overloaded(Overloaded::QueueFull { partition: 0 })) => {}

@@ -280,7 +280,12 @@ fn rate_overload_sheds_exactly_past_the_bucket() {
     let snap = build_kb().into_shared();
     let clock = ManualClock::shared(0);
     let registry = Registry::with_clock(clock.clone());
-    let config = AdmissionConfig { rate_per_sec: Some(10.0), burst: 4.0, queue_depth: 64 };
+    let config = AdmissionConfig {
+        rate_per_sec: Some(10.0),
+        burst: 4.0,
+        queue_depth: 64,
+        ..Default::default()
+    };
     let router = KbRouter::with_config(snap, 2, config, &registry);
 
     // Burst drains after 4 requests; the next two shed.

@@ -103,7 +103,7 @@ pub use query::{Bindings, Query};
 pub use read::{KbRead, KbReadBatch, PairBatch, PathJoinBatches, PathJoinIter};
 pub use sameas::SameAsStore;
 pub use segmap::MemoryBudget;
-pub use segment::{Compactor, DeltaSegment, SegmentStats, SegmentedSnapshot};
+pub use segment::{Compactor, DeltaSegment, FactKind, SegmentStats, SegmentedSnapshot};
 pub use segment_store::{RecoveryReport, SegmentStore, StoreOptions};
 pub use snapshot::{
     IndexStats, KbSnapshot, LiveFactsIter, MatchBatches, MatchIter, MatchingAtIter, TripleBatch,

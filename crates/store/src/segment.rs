@@ -328,6 +328,14 @@ impl DeltaSegment {
             .map(|(f, _)| f)
     }
 
+    /// Every entry in the delta — new, shadow and tombstone alike —
+    /// paired with its [`FactKind`]. Incremental view maintenance walks
+    /// this to turn one install into a signed set of fact changes
+    /// (`New` = +1, `Tombstone` = −1, `Shadow` = −old/+new).
+    pub fn entries_iter(&self) -> impl Iterator<Item = (&Fact, FactKind)> {
+        self.facts.iter().zip(self.kinds.iter().copied())
+    }
+
     /// First term id this segment allocates; every id at or above it
     /// names a term the underlying view had never seen.
     pub fn first_term(&self) -> TermId {

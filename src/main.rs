@@ -20,7 +20,10 @@ use kbkit::kb_harvest::pipeline::{harvest, HarvestConfig, IncrementalHarvester, 
 use kbkit::kb_harvest::rules::{mine_rules, RuleConfig};
 use kbkit::kb_ned::{detect_mentions, Ned, Strategy};
 use kbkit::kb_obs;
-use kbkit::kb_query::{execute_traced, parse, routing_decision, ExecTrace, Plan, QueryService};
+use kbkit::kb_query::{
+    execute_traced, maintainability, parse, routing_decision, ExecTrace, Plan, QueryService,
+};
+use kbkit::kb_serve::AdmissionConfig;
 use kbkit::kb_serve::{KbRouter, ServeError};
 use kbkit::kb_store::{
     ntriples, Compactor, IndexStats, KbBuilder, KbRead, KbSnapshot, KnowledgeBase, SegmentStore,
@@ -72,6 +75,14 @@ USAGE:
       limiting (requests/second) so overload sheds instead of queueing.
       --memory-budget (with --data-dir) serves under a resident-byte
       cap, paging index columns on demand — see kbkit query.
+  kbkit watch [--seed N] [--query Q] [--batch N]
+      Continuous-query demo: bootstrap a KB from ~70% of a generated
+      corpus, register Q as a materialized standing view (default: a
+      COUNT ... GROUP BY over bornIn), then stream the held-out
+      articles in as delta installs. Each install prints the view's
+      incremental update — rows added/removed, whether the answer was
+      delta-patched or re-executed, and the maintenance latency —
+      followed by the final answer. --batch sets docs per delta.
   kbkit metrics [--json] [--seed N]
       Harvest the quickstart (tiny) corpus, freeze a snapshot and serve
       a few queries, then print the collected metrics as an aligned
@@ -93,6 +104,7 @@ fn main() -> ExitCode {
         Some("rules") => cmd_rules(&args[1..]),
         Some("ned") => cmd_ned(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -341,13 +353,26 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Prints the `--explain` report: plan shape, per-operator estimated
-/// vs actual rows, batch counts and the compressed-index footprint.
-fn print_explain(plan: &Plan, trace: &ExecTrace, stats: &IndexStats) {
+/// Prints the `--explain` report: plan shape, predicate footprint and
+/// view-maintenance verdict, per-operator estimated vs actual rows,
+/// batch counts and the compressed-index footprint.
+fn print_explain<K: KbRead + ?Sized>(plan: &Plan, trace: &ExecTrace, stats: &IndexStats, kb: &K) {
     eprintln!("plan (estimated cost {:.1}):", plan.estimated_cost());
     for line in plan.explain() {
         eprintln!("  {line}");
     }
+    let fp = plan.footprint();
+    if fp.is_wildcard() {
+        eprintln!("footprint: wildcard (every delta install can change this answer)");
+    } else {
+        let preds: Vec<&str> =
+            fp.preds().iter().map(|&p| kb.resolve(p).unwrap_or("<unresolved>")).collect();
+        eprintln!(
+            "footprint: {} (only installs touching these predicates re-drive the plan)",
+            preds.join(", ")
+        );
+    }
+    eprintln!("maintenance: {}", maintainability(plan).describe());
     eprintln!("operators (estimated vs actual rows):");
     for (op, &actual) in plan.ops().iter().zip(&trace.op_rows) {
         eprintln!("  est {:>12.1}  actual {:>10}  {}", op.est_rows, actual, op.label);
@@ -408,7 +433,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             // Traced execution doubles as the serve — no second run.
             let plan = service.plan_for(q).map_err(|e| e.to_string())?;
             let (out, trace) = execute_traced(&plan, &view);
-            print_explain(&plan, &trace, &view.index_stats());
+            print_explain(&plan, &trace, &view.index_stats(), &view);
             eprintln!(
                 "routing: {}",
                 routing_decision(&parse(q).map_err(|e| e.to_string())?).describe()
@@ -435,7 +460,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if explain {
         let plan = service.plan_for(q).map_err(|e| e.to_string())?;
         let (out, trace) = execute_traced(&plan, snap.as_ref());
-        print_explain(&plan, &trace, &snap.index_stats());
+        print_explain(&plan, &trace, &snap.index_stats(), snap.as_ref());
         eprintln!(
             "routing: {}",
             routing_decision(&parse(q).map_err(|e| e.to_string())?).describe()
@@ -631,6 +656,91 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `kbkit watch`: the end-to-end continuous-query loop on one screen.
+/// Bootstrap a base KB from most of a generated corpus, register a
+/// standing view, then harvest the held-out articles in batches — each
+/// batch becomes a delta install whose view update (added/removed rows,
+/// patched-vs-reexecuted, latency) is printed as it happens.
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let batch: usize = opt(args, "--batch").unwrap_or("4").parse().map_err(|_| "bad --batch")?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let q = opt(args, "--query")
+        .unwrap_or("SELECT ?c COUNT(?p) AS ?n WHERE { ?p bornIn ?c } GROUP BY ?c");
+
+    let mut cfg = CorpusConfig::tiny();
+    cfg.world.seed = seed;
+    let corpus = Corpus::generate(&cfg);
+    let split = (corpus.articles.len() * 7 / 10).max(1);
+    let boot = Corpus {
+        world: corpus.world.clone(),
+        articles: corpus.articles[..split].to_vec(),
+        overviews: corpus.overviews.clone(),
+        web_pages: corpus.web_pages.clone(),
+        essays: corpus.essays.clone(),
+        posts: Vec::new(),
+    };
+    eprintln!("bootstrap harvest on {split}/{} articles...", corpus.articles.len());
+    let (inc, out) = IncrementalHarvester::bootstrap(&boot, &HarvestConfig::default())
+        .map_err(|e| format!("bootstrap failed: {e}"))?;
+    let service = QueryService::new(out.kb.snapshot().into_shared());
+
+    let id = service.register_view(q).map_err(|e| format!("cannot register view: {e}"))?;
+    let plan = service.plan_for(q).map_err(|e| e.to_string())?;
+    let initial = service.view_result(id).expect("freshly registered view has a result");
+    println!("standing view {id}: {q}");
+    println!("  maintenance: {}", maintainability(&plan).describe());
+    println!(
+        "  initial answer: {} rows over {} facts",
+        initial.rows.len(),
+        service.snapshot().len()
+    );
+
+    for (i, chunk) in corpus.articles[split..].chunks(batch).enumerate() {
+        let refs: Vec<_> = chunk.iter().collect();
+        let view = service.snapshot();
+        let outcome = inc
+            .harvest_batch(&corpus.world, &refs, &view)
+            .map_err(|e| format!("batch {i} failed: {e}"))?;
+        let accepted = outcome.accepted;
+        let updates = service.apply_delta_publishing(Arc::new(outcome.delta));
+        let latest = service.snapshot();
+        match updates.iter().find(|u| u.id == id) {
+            Some(u) => {
+                println!(
+                    "install {i}: {} docs, {accepted} facts → view {} (+{} −{} rows, {} in {} µs)",
+                    chunk.len(),
+                    if u.changed() { "changed" } else { "unchanged" },
+                    u.added.len(),
+                    u.removed.len(),
+                    if u.patched { "patched" } else { "re-executed" },
+                    u.patch_us,
+                );
+                for row in u.added.iter().take(5) {
+                    println!("    + {}", u.output.render_row(row, latest.as_ref()));
+                }
+                for row in u.removed.iter().take(5) {
+                    println!("    - {}", u.output.render_row(row, latest.as_ref()));
+                }
+            }
+            None => println!(
+                "install {i}: {} docs, {accepted} facts → outside the view's footprint, skipped",
+                chunk.len()
+            ),
+        }
+    }
+
+    let last = service.view_result(id).expect("view survived the stream");
+    let view = service.snapshot();
+    println!("final answer ({} rows):", last.rows.len());
+    for row in last.rows.iter().take(20) {
+        println!("  {}", last.render_row(row, view.as_ref()));
+    }
+    Ok(())
+}
+
 /// Exercises every instrumented layer once — harvest the quickstart
 /// (tiny) corpus, freeze a snapshot, serve a handful of queries — and
 /// prints the collected metrics. This is the schema the CI step
@@ -663,13 +773,41 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     }
 
     // Serving layer: a 2-partition router answering one subject-bound
-    // and one scatter query, so the serve.* families are present.
-    let router = KbRouter::new(service.snapshot().base().clone(), 2);
+    // and one scatter query, so the serve.* families are present. The
+    // one-slot subscriber buffer makes the stream below overflow.
+    let router = KbRouter::with_config(
+        service.snapshot().base().clone(),
+        2,
+        AdmissionConfig { subscriber_buffer: 1, ..Default::default() },
+        kb_obs::global(),
+    );
     let rview = router.view();
     let (bound, scatter) = serve_workload(rview.as_ref());
     for q in bound.iter().take(1).chain(scatter.iter().take(1)) {
         let _ = router.query(q).map_err(|e| format!("metrics serve query {q:?} failed: {e}"))?;
     }
+
+    // Standing-view layer: one delta-patchable view, one fallback view
+    // (LIMIT defeats incremental maintenance), a subscriber that never
+    // drains, and three installs inside the footprint — together they
+    // exercise every view.* family (registered, delta_patched,
+    // reexecuted, patch_us, pushed, lagged).
+    let patchable = router
+        .register_view("SELECT ?c COUNT(?p) AS ?n WHERE { ?p bornIn ?c } GROUP BY ?c")
+        .map_err(|e| format!("metrics view registration failed: {e}"))?;
+    router
+        .register_view("SELECT ?p ?c WHERE { ?p bornIn ?c } ORDER BY ?p LIMIT 3")
+        .map_err(|e| format!("metrics view registration failed: {e}"))?;
+    let stalled = router.subscribe(patchable);
+    let mut shadow = service.snapshot();
+    for i in 0..3 {
+        let mut b = KbBuilder::new();
+        b.assert_str(&format!("metrics_probe_{i}"), "bornIn", "metrics_city");
+        let delta = Arc::new(b.freeze_delta(&shadow));
+        shadow = Arc::new(shadow.with_delta(Arc::clone(&delta)));
+        router.apply_delta(delta);
+    }
+    drop(stalled);
 
     // Durable-store layer: one create → install → reopen round trip in
     // a scratch directory, so the WAL/recovery families are present.
